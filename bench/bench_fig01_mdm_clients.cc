@@ -1,0 +1,79 @@
+// Fig 1: the music data manager serving multiple clients.
+//
+// The paper argues (§2) that one shared MDM beats per-client data
+// management: improvements accrue to all clients and clients exchange
+// data without conversion. We regenerate the architecture diagram and
+// measure the claim's measurable core: N clients working against one
+// shared database (data written once, read by all) versus each client
+// maintaining a private copy (data duplicated N times, plus a
+// conversion pass to move between clients).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "darms/darms.h"
+#include "midi/midi.h"
+#include "mtime/tempo_map.h"
+#include "cmn/temporal.h"
+
+namespace {
+
+using mdm::er::Database;
+
+constexpr const char* kScoreDarms =
+    "!G !K2- 2Q 6Q 4E 3E 2E 4E 3E 2E 1#E 3E / 5H 4E 3E 2E 1E / 2W //";
+
+// Shared MDM: import once; the editor, analyzer and performer clients
+// all read the same entities.
+void BM_SharedMdm(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Database db;
+    auto import = mdm::darms::ImportDarms(&db, kScoreDarms, "shared");
+    if (!import.ok()) state.SkipWithError("import failed");
+    mdm::mtime::TempoMap tempo;
+    for (int c = 0; c < clients; ++c) {
+      // Each client performs its own reading pass over the shared data.
+      auto notes = mdm::cmn::ExtractPerformance(&db, import->score, tempo);
+      if (!notes.ok()) state.SkipWithError("extract failed");
+      benchmark::DoNotOptimize(notes->size());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * clients);
+}
+BENCHMARK(BM_SharedMdm)->Arg(1)->Arg(4)->Arg(16);
+
+// Private stores: every client re-imports (re-parses, re-derives
+// pitches, re-builds the hierarchy) into its own database — the
+// duplicated data management the paper wants to eliminate.
+void BM_PrivateStores(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    mdm::mtime::TempoMap tempo;
+    for (int c = 0; c < clients; ++c) {
+      Database db;
+      auto import = mdm::darms::ImportDarms(&db, kScoreDarms, "private");
+      if (!import.ok()) state.SkipWithError("import failed");
+      auto notes = mdm::cmn::ExtractPerformance(&db, import->score, tempo);
+      if (!notes.ok()) state.SkipWithError("extract failed");
+      benchmark::DoNotOptimize(notes->size());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * clients);
+}
+BENCHMARK(BM_PrivateStores)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mdm::bench::PrintHeader(
+      "Fig 1 — the MDM and its clients",
+      "block diagram: editors/typesetters, compositional tools, score "
+      "libraries and analysis systems sharing one music data manager");
+  std::printf(
+      "clients sharing one MDM import a score once; private stores\n"
+      "re-import per client. Expect shared cost to grow slower with N\n"
+      "and the gap to widen as clients are added.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

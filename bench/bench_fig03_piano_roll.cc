@@ -1,0 +1,70 @@
+// Fig 3: the piano-roll notation of the BWV 578 fugue opening, with the
+// fugue entrances shaded grey. Regenerates the roll (ASCII + SVG) and
+// measures render throughput against score size.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "cmn/temporal.h"
+#include "darms/darms.h"
+#include "mtime/tempo_map.h"
+#include "notation/piano_roll.h"
+
+namespace {
+
+using mdm::cmn::PerformedNote;
+
+std::vector<PerformedNote> PerformanceOfSize(int measures) {
+  mdm::er::Database db;
+  auto score = mdm::bench::MakeRandomScore(&db, measures);
+  mdm::mtime::TempoMap tempo;
+  auto notes = mdm::cmn::ExtractPerformance(&db, score, tempo);
+  if (!notes.ok()) std::abort();
+  return *notes;
+}
+
+void BM_AsciiPianoRoll(benchmark::State& state) {
+  auto notes = PerformanceOfSize(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::string roll = mdm::notation::AsciiPianoRoll(notes);
+    benchmark::DoNotOptimize(roll.size());
+  }
+  state.SetItemsProcessed(state.iterations() * notes.size());
+}
+BENCHMARK(BM_AsciiPianoRoll)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_SvgPianoRoll(benchmark::State& state) {
+  auto notes = PerformanceOfSize(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    std::string svg = mdm::notation::SvgPianoRoll(notes);
+    benchmark::DoNotOptimize(svg.size());
+  }
+  state.SetItemsProcessed(state.iterations() * notes.size());
+}
+BENCHMARK(BM_SvgPianoRoll)->Arg(4)->Arg(32)->Arg(256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mdm::bench::PrintHeader(
+      "Fig 3 — piano roll of the BWV 578 fugue opening",
+      "time rightward, pitch upward, black rectangles per note; the "
+      "fugue entrances shaded grey");
+  // The subject and its answer, entrances highlighted.
+  mdm::er::Database db;
+  auto import = mdm::darms::ImportDarms(
+      &db,
+      "!G !K2- 2Q 6Q 4E 3E 2E 4E 3E 2E 1#E 3E / "
+      "5E 2E 4E 3E 2H //",
+      "BWV 578 subject");
+  if (!import.ok()) return 1;
+  mdm::mtime::TempoMap tempo;
+  auto notes = mdm::cmn::ExtractPerformance(&db, import->score, tempo);
+  mdm::notation::PianoRollOptions options;
+  for (size_t i = 0; i < 4 && i < notes->size(); ++i)
+    options.highlighted_notes.push_back((*notes)[i].source_note);
+  std::printf("%s\n",
+              mdm::notation::AsciiPianoRoll(*notes, options).c_str());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Fig 4: the DARMS encoding of a score fragment. Regenerates the
+// paper's fragment in user and canonical DARMS and measures parse /
+// canonize / import throughput.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "darms/darms.h"
+
+namespace {
+
+constexpr const char* kFig4 =
+    "I4 !G !K2# 00@\xC2\xA2tenor$ R2W / (7,@\xC2\xA2glo-$ 47) / "
+    "(8 (9 8 7 8)) / 9E 9,@ri-$ 8,@a$ / (7,@in$ 6) 7,@ex-$ / "
+    "(4D,@cel-$ (8 7 8 6)) / (4D 31) 4,@sis$ / 8Q,@\xC2\xA2" "de-$ E,@o$ //";
+
+std::string RandomDarms(int measures, uint64_t seed) {
+  mdm::Rng rng(seed);
+  std::string out = "!G !K1# ";
+  const char* durations[] = {"W", "H", "Q", "E", "S"};
+  for (int m = 0; m < measures; ++m) {
+    int notes = static_cast<int>(rng.Range(2, 6));
+    for (int n = 0; n < notes; ++n) {
+      out += std::to_string(rng.Range(1, 12));
+      out += durations[rng.Uniform(5)];
+      out += " ";
+    }
+    out += m + 1 == measures ? "//" : "/ ";
+  }
+  return out;
+}
+
+void BM_ParseDarms(benchmark::State& state) {
+  std::string text = RandomDarms(static_cast<int>(state.range(0)), 3);
+  size_t items = 0;
+  for (auto _ : state) {
+    auto parsed = mdm::darms::ParseDarms(text);
+    if (!parsed.ok()) state.SkipWithError("parse failed");
+    items = parsed->size();
+    benchmark::DoNotOptimize(items);
+  }
+  state.SetBytesProcessed(state.iterations() * text.size());
+  state.SetItemsProcessed(state.iterations() * items);
+}
+BENCHMARK(BM_ParseDarms)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_Canonicalize(benchmark::State& state) {
+  std::string text = RandomDarms(static_cast<int>(state.range(0)), 4);
+  for (auto _ : state) {
+    auto canon = mdm::darms::Canonicalize(text);
+    if (!canon.ok()) state.SkipWithError("canonize failed");
+    benchmark::DoNotOptimize(canon->size());
+  }
+  state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_Canonicalize)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_ImportToCmn(benchmark::State& state) {
+  std::string text = RandomDarms(static_cast<int>(state.range(0)), 5);
+  for (auto _ : state) {
+    mdm::er::Database db;
+    auto import = mdm::darms::ImportDarms(&db, text, "bench");
+    if (!import.ok()) state.SkipWithError("import failed");
+    benchmark::DoNotOptimize(import->notes);
+  }
+  state.SetBytesProcessed(state.iterations() * text.size());
+}
+BENCHMARK(BM_ImportToCmn)->Arg(8)->Arg(64)->Arg(512);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mdm::bench::PrintHeader(
+      "Fig 4 — DARMS encoding of a fragment of music",
+      "fig 4(b)'s encoding with instrument, clef, key signature, "
+      "annotations, beams, rests and syllables");
+  std::printf("user DARMS (fig 4(b)):\n  %s\n\n", kFig4);
+  auto canon = mdm::darms::Canonicalize(kFig4);
+  if (canon.ok())
+    std::printf("canonical DARMS (the \"canonizer\" output):\n  %s\n\n",
+                canon->c_str());
+  // Fig 4(c): the abbreviation key.
+  static const char* kAbbrevTable[][2] = {
+      {"I4", "Instrument (or voice) definition #4"},
+      {"!G", "G (treble) clef"},
+      {"!K", "Key signature (!K2# two sharps)"},
+      {"00", "Annotation above the staff"},
+      {"R", "Rest (two whole rests)"},
+      {"@text$", "Literal string"},
+      {"\xC2\xA2", "Capitalize next letter"},
+      {"(notes)", "Beam grouping"},
+      {"W", "Whole duration"},
+      {"Q", "Quarter duration"},
+      {"E", "Eighth duration"},
+      {"D", "Stems down"},
+      {"/", "Bar line"},
+  };
+  std::printf("abbreviation key (fig 4(c)):\n");
+  std::printf("  %-10s| %s\n  ", "Abbrev", "Meaning");
+  std::printf("%s\n", std::string(50, '-').c_str());
+  for (const auto& row : kAbbrevTable)
+    std::printf("  %-10s| %s\n", row[0], row[1]);
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

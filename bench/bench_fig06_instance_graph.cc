@@ -1,0 +1,118 @@
+// Fig 6: a simple instance graph — a parent with an ordered set of
+// children linked by S-edges and P-edges. Regenerates the graph and
+// measures ordering-operation cost against fan-out, including the
+// DESIGN.md ablation: position-vector representation (the library's)
+// versus a naive S-edge linked list.
+#include <benchmark/benchmark.h>
+
+#include <list>
+#include <unordered_map>
+
+#include "bench_util.h"
+
+namespace {
+
+using mdm::bench::MakeChordDb;
+using mdm::er::Database;
+using mdm::er::EntityId;
+
+void BM_AppendChild(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db = MakeChordDb(1, 0);
+    EntityId chord = 0;
+    (void)db.ForEachEntity("CHORD", [&](EntityId id) {
+      chord = id;
+      return false;
+    });
+    std::vector<EntityId> notes;
+    for (int i = 0; i < fanout; ++i) {
+      auto note = db.CreateEntity("NOTE");
+      notes.push_back(*note);
+    }
+    state.ResumeTiming();
+    for (EntityId note : notes)
+      if (!db.AppendChild("note_in_chord", chord, note).ok())
+        state.SkipWithError("append failed");
+  }
+  state.SetItemsProcessed(state.iterations() * fanout);
+}
+BENCHMARK(BM_AppendChild)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_NthChild(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  Database db = MakeChordDb(1, fanout);
+  EntityId chord = 0;
+  (void)db.ForEachEntity("CHORD", [&](EntityId id) {
+    chord = id;
+    return false;
+  });
+  size_t n = 0;
+  for (auto _ : state) {
+    auto child = db.NthChild("note_in_chord", chord, n++ % fanout);
+    if (!child.ok()) state.SkipWithError("nth failed");
+    benchmark::DoNotOptimize(*child);
+  }
+}
+BENCHMARK(BM_NthChild)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_BeforePredicate(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  Database db = MakeChordDb(1, fanout);
+  EntityId chord = 0;
+  (void)db.ForEachEntity("CHORD", [&](EntityId id) {
+    chord = id;
+    return false;
+  });
+  auto kids = db.Children("note_in_chord", chord);
+  for (auto _ : state) {
+    auto before = db.Before("note_in_chord", kids->front(), kids->back());
+    if (!before.ok() || !*before) state.SkipWithError("before failed");
+    benchmark::DoNotOptimize(*before);
+  }
+}
+BENCHMARK(BM_BeforePredicate)->Arg(4)->Arg(64)->Arg(1024);
+
+// Ablation: the naive S-edge linked-list representation. "Nth child"
+// must chase next-pointers; the library's position vector indexes
+// directly.
+void BM_AblationLinkedListNth(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  // child id -> next sibling (the raw S-edges of fig 6).
+  std::unordered_map<EntityId, EntityId> next;
+  EntityId first = 1;
+  for (EntityId id = 1; id < static_cast<EntityId>(fanout); ++id)
+    next[id] = id + 1;
+  size_t n = 0;
+  for (auto _ : state) {
+    size_t target = n++ % fanout;
+    EntityId cur = first;
+    for (size_t i = 0; i < target; ++i) cur = next[cur];
+    benchmark::DoNotOptimize(cur);
+  }
+}
+BENCHMARK(BM_AblationLinkedListNth)->Arg(4)->Arg(64)->Arg(1024);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mdm::bench::PrintHeader(
+      "Fig 6 — a simple instance graph",
+      "parent y with ordered children u,v,w,x; S-edges between siblings, "
+      "P-edges to the parent; 'w is the third child of y'");
+  Database db = MakeChordDb(1, 4);
+  EntityId chord = 0;
+  (void)db.ForEachEntity("CHORD", [&](EntityId id) {
+    chord = id;
+    return false;
+  });
+  auto dot = db.InstanceGraphDot("note_in_chord", chord, "");
+  std::printf("%s\n", dot->c_str());
+  auto third = db.NthChild("note_in_chord", chord, 2);
+  std::printf("the third child of the parent is entity #%llu\n\n",
+              (unsigned long long)*third);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Fig 8: recursive ordering — beam groups containing beam groups and
+// chords. Regenerates fig 8(c)'s instance graph from fig 8(b)'s
+// notation, and measures recursive construction and the §5.5 cycle
+// check as nesting deepens (the DESIGN.md check-on-insert ablation).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "cmn/temporal.h"
+#include "ddl/parser.h"
+
+namespace {
+
+using mdm::er::Database;
+using mdm::er::EntityId;
+
+Database MakeBeamSchema() {
+  Database db;
+  auto ddl = mdm::ddl::ExecuteDdl(R"(
+    define entity BEAM_GROUP (label = string)
+    define entity CHORD (label = string)
+    define ordering beams (BEAM_GROUP, CHORD) under BEAM_GROUP
+  )",
+                                  &db);
+  if (!ddl.ok()) std::abort();
+  return db;
+}
+
+// A chain of nested beam groups `depth` deep with one chord per level.
+EntityId BuildNestedBeams(Database* db, int depth) {
+  auto root = db->CreateEntity("BEAM_GROUP");
+  EntityId current = *root;
+  for (int d = 0; d < depth; ++d) {
+    auto chord = db->CreateEntity("CHORD");
+    (void)db->AppendChild("beams", current, *chord);
+    auto inner = db->CreateEntity("BEAM_GROUP");
+    (void)db->AppendChild("beams", current, *inner);
+    current = *inner;
+  }
+  return *root;
+}
+
+void BM_BuildNestedBeams(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Database db = MakeBeamSchema();
+    EntityId root = BuildNestedBeams(&db, depth);
+    benchmark::DoNotOptimize(root);
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_BuildNestedBeams)->Arg(4)->Arg(32)->Arg(256);
+
+// The cycle check walks ancestors on every recursive insert; its cost
+// grows with nesting depth. This measures the deepest (worst-case)
+// insert.
+void BM_CycleCheckedInsert(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  Database db = MakeBeamSchema();
+  EntityId root = BuildNestedBeams(&db, depth);
+  (void)root;
+  // Find the deepest group.
+  EntityId deepest = root;
+  while (true) {
+    auto kids = db.Children("beams", deepest);
+    bool descended = false;
+    for (EntityId kid : *kids) {
+      auto type = db.TypeOf(kid);
+      if (type.ok() && *type == "BEAM_GROUP") {
+        deepest = kid;
+        descended = true;
+        break;
+      }
+    }
+    if (!descended) break;
+  }
+  for (auto _ : state) {
+    auto chord = db.CreateEntity("CHORD");
+    if (!db.AppendChild("beams", deepest, *chord).ok())
+      state.SkipWithError("insert failed");
+    benchmark::DoNotOptimize(*chord);
+    state.PauseTiming();
+    (void)db.RemoveChild("beams", *chord);
+    (void)db.DeleteEntity(*chord);
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_CycleCheckedInsert)->Arg(4)->Arg(32)->Arg(256);
+
+// Attempting to close a cycle must fail no matter how deep.
+void BM_CycleRejection(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  Database db = MakeBeamSchema();
+  EntityId root = BuildNestedBeams(&db, depth);
+  EntityId deepest = root;
+  while (true) {
+    auto kids = db.Children("beams", deepest);
+    bool descended = false;
+    for (EntityId kid : *kids) {
+      auto type = db.TypeOf(kid);
+      if (type.ok() && *type == "BEAM_GROUP") {
+        deepest = kid;
+        descended = true;
+        break;
+      }
+    }
+    if (!descended) break;
+  }
+  for (auto _ : state) {
+    mdm::Status status = db.AppendChild("beams", deepest, root);
+    if (status.code() != mdm::StatusCode::kConstraintViolation)
+      state.SkipWithError("cycle not rejected");
+    benchmark::DoNotOptimize(status.ok());
+  }
+}
+BENCHMARK(BM_CycleRejection)->Arg(4)->Arg(32)->Arg(256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mdm::bench::PrintHeader(
+      "Fig 8 — recursive ordering: beam groups",
+      "(a) HO graph with the recursive edge, (b) beamed notation with "
+      "chords c1..c6, (c) its instance graph g1 = (c1, g2 = (c2 c3 c4), "
+      "g3 = (c5 c6))");
+  Database db = MakeBeamSchema();
+  // Rebuild fig 8(c) exactly.
+  auto mk = [&db](const char* type, const char* label) {
+    auto id = db.CreateEntity(type);
+    (void)db.SetAttribute(*id, "label", mdm::rel::Value::String(label));
+    return *id;
+  };
+  EntityId g1 = mk("BEAM_GROUP", "g1");
+  EntityId g2 = mk("BEAM_GROUP", "g2");
+  EntityId g3 = mk("BEAM_GROUP", "g3");
+  EntityId c[6];
+  for (int i = 0; i < 6; ++i)
+    c[i] = mk("CHORD", ("c" + std::to_string(i + 1)).c_str());
+  (void)db.AppendChild("beams", g1, c[0]);
+  (void)db.AppendChild("beams", g1, g2);
+  (void)db.AppendChild("beams", g1, g3);
+  (void)db.AppendChild("beams", g2, c[1]);
+  (void)db.AppendChild("beams", g2, c[2]);
+  (void)db.AppendChild("beams", g2, c[3]);
+  (void)db.AppendChild("beams", g3, c[4]);
+  (void)db.AppendChild("beams", g3, c[5]);
+  auto dot = db.InstanceGraphDot("beams", g1, "label");
+  std::printf("%s\n", dot->c_str());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

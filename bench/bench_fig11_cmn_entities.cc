@@ -1,0 +1,76 @@
+// Fig 11: the entities of a CMN schema. Regenerates the table from the
+// installed schema and measures full-schema installation and lookup.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "cmn/schema.h"
+#include "ddl/parser.h"
+#include "meta/meta_schema.h"
+
+namespace {
+
+using mdm::er::Database;
+
+void BM_InstallCmnSchema(benchmark::State& state) {
+  for (auto _ : state) {
+    Database db;
+    if (!mdm::cmn::InstallCmnSchema(&db).ok())
+      state.SkipWithError("install failed");
+    benchmark::DoNotOptimize(db.schema().entity_types().size());
+  }
+}
+BENCHMARK(BM_InstallCmnSchema);
+
+void BM_InstallPlusMetaSync(benchmark::State& state) {
+  for (auto _ : state) {
+    Database db;
+    if (!mdm::cmn::InstallCmnSchema(&db).ok() ||
+        !mdm::meta::InstallMetaSchema(&db).ok() ||
+        !mdm::meta::SyncSchemaToMeta(&db).ok())
+      state.SkipWithError("install failed");
+    benchmark::DoNotOptimize(db.TotalEntities());
+  }
+}
+BENCHMARK(BM_InstallPlusMetaSync);
+
+void BM_EntityTypeLookup(benchmark::State& state) {
+  Database db;
+  (void)mdm::cmn::InstallCmnSchema(&db);
+  const auto& names = mdm::cmn::Fig11EntityTypes();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto* def = db.schema().FindEntityType(names[i++ % names.size()]);
+    if (def == nullptr) state.SkipWithError("lookup failed");
+    benchmark::DoNotOptimize(def);
+  }
+}
+BENCHMARK(BM_EntityTypeLookup);
+
+void BM_SchemaDeparse(benchmark::State& state) {
+  Database db;
+  (void)mdm::cmn::InstallCmnSchema(&db);
+  for (auto _ : state) {
+    std::string ddl = mdm::ddl::SchemaToDdl(db.schema());
+    benchmark::DoNotOptimize(ddl.size());
+  }
+}
+BENCHMARK(BM_SchemaDeparse);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mdm::bench::PrintHeader("Fig 11 — the entities of a CMN schema",
+                          "the full entity-type table, Score through "
+                          "Degree plus graphical attribute types");
+  std::printf("%s\n", mdm::cmn::Fig11Table().c_str());
+  Database db;
+  (void)mdm::cmn::InstallCmnSchema(&db);
+  std::printf("installed: %zu entity types, %zu orderings, "
+              "%zu relationships\n\n",
+              db.schema().entity_types().size(),
+              db.schema().orderings().size(),
+              db.schema().relationships().size());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Fig 12: the aspects of musical entities (temporal; timbral with
+// pitch/articulation/dynamic subaspects; graphical with textual).
+// Regenerates the aspect tree and measures per-aspect view extraction.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "cmn/aspects.h"
+#include "cmn/schema.h"
+
+namespace {
+
+using mdm::cmn::Aspect;
+using mdm::er::Database;
+
+void BM_AspectsOfType(benchmark::State& state) {
+  const auto& names = mdm::cmn::Fig11EntityTypes();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto aspects = mdm::cmn::AspectsOf(names[i++ % names.size()]);
+    benchmark::DoNotOptimize(aspects.size());
+  }
+}
+BENCHMARK(BM_AspectsOfType);
+
+// Extract the temporal "view": every (type, attribute) pair of the CMN
+// schema participating in the temporal aspect.
+void BM_AspectViewExtraction(benchmark::State& state) {
+  Database db;
+  if (!mdm::cmn::InstallCmnSchema(&db).ok()) std::abort();
+  const Aspect targets[] = {Aspect::kTemporal, Aspect::kPitch,
+                            Aspect::kGraphical};
+  size_t which = 0;
+  for (auto _ : state) {
+    Aspect target = targets[which++ % 3];
+    size_t hits = 0;
+    for (const auto& type : db.schema().entity_types()) {
+      for (const auto& attr : type.attributes) {
+        for (Aspect a : mdm::cmn::AttributeAspects(type.name, attr.name))
+          if (a == target) ++hits;
+      }
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_AspectViewExtraction);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mdm::bench::PrintHeader("Fig 12 — aspects of musical entities",
+                          "the aspect/subaspect tree: views on the "
+                          "musical schema");
+  std::printf("%s\n", mdm::cmn::AspectTreeText().c_str());
+
+  // The per-aspect attribute counts of the installed schema (the
+  // "views" the figure motivates).
+  Database db;
+  (void)mdm::cmn::InstallCmnSchema(&db);
+  const struct {
+    Aspect aspect;
+    const char* name;
+  } kAspects[] = {
+      {Aspect::kTemporal, "temporal"},     {Aspect::kPitch, "pitch"},
+      {Aspect::kArticulation, "articulation"},
+      {Aspect::kDynamic, "dynamic"},       {Aspect::kGraphical, "graphical"},
+      {Aspect::kTextual, "textual"},
+  };
+  std::printf("attributes of the installed CMN schema per aspect view:\n");
+  for (const auto& row : kAspects) {
+    size_t hits = 0;
+    for (const auto& type : db.schema().entity_types())
+      for (const auto& attr : type.attributes)
+        for (Aspect a : mdm::cmn::AttributeAspects(type.name, attr.name))
+          if (a == row.aspect) ++hits;
+    std::printf("  %-13s %3zu attributes\n", row.name, hits);
+  }
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Fig 13: the HO graph for the temporal aspect — SCORE > MOVEMENT >
+// MEASURE > SYNC > CHORD > NOTE, groups, events and MIDI at the bottom.
+// Regenerates the graph and measures temporal derivations: start-time
+// inheritance and score-to-performance extraction.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "cmn/schema.h"
+#include "cmn/temporal.h"
+#include "mtime/tempo_map.h"
+
+namespace {
+
+using mdm::er::Database;
+using mdm::er::EntityId;
+
+void BM_BuildMeasureTable(benchmark::State& state) {
+  Database db;
+  EntityId score = mdm::bench::MakeRandomScore(
+      &db, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto table = mdm::cmn::BuildMeasureTable(db, score);
+    if (!table.ok()) state.SkipWithError("table failed");
+    benchmark::DoNotOptimize(table->size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildMeasureTable)->Arg(8)->Arg(64)->Arg(512);
+
+// Start-time inheritance: sync -> absolute score time, walking the
+// P-edges upward (§7.2: "the start times of notes and chords are
+// inherited from their parent syncs").
+void BM_SyncScoreTime(benchmark::State& state) {
+  Database db;
+  EntityId score = mdm::bench::MakeRandomScore(
+      &db, static_cast<int>(state.range(0)));
+  // Collect one sync per measure.
+  std::vector<EntityId> syncs;
+  auto table = mdm::cmn::BuildMeasureTable(db, score);
+  for (const auto& span : *table) {
+    auto kids = db.Children(mdm::cmn::kSyncInMeasure, span.measure);
+    if (!kids->empty()) syncs.push_back(kids->front());
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto t = mdm::cmn::SyncScoreTime(db, syncs[i++ % syncs.size()]);
+    if (!t.ok()) state.SkipWithError("sync time failed");
+    benchmark::DoNotOptimize(t->num());
+  }
+}
+BENCHMARK(BM_SyncScoreTime)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_ExtractPerformance(benchmark::State& state) {
+  Database db;
+  EntityId score = mdm::bench::MakeRandomScore(
+      &db, static_cast<int>(state.range(0)));
+  mdm::mtime::TempoMap tempo;
+  (void)tempo.SetTempo(mdm::Rational(0), 96);
+  (void)tempo.Accelerando(mdm::Rational(16), 96);
+  (void)tempo.SetTempo(mdm::Rational(32), 144);
+  for (auto _ : state) {
+    auto notes = mdm::cmn::ExtractPerformance(&db, score, tempo);
+    if (!notes.ok()) state.SkipWithError("extract failed");
+    benchmark::DoNotOptimize(notes->size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 4);
+}
+BENCHMARK(BM_ExtractPerformance)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_TempoMapping(benchmark::State& state) {
+  mdm::mtime::TempoMap tempo;
+  (void)tempo.SetTempo(mdm::Rational(0), 90);
+  (void)tempo.Ritardando(mdm::Rational(64), 90);
+  (void)tempo.SetTempo(mdm::Rational(96), 45);
+  int64_t beat = 0;
+  for (auto _ : state) {
+    double t = tempo.ToSeconds(mdm::Rational(beat++ % 128, 1));
+    benchmark::DoNotOptimize(tempo.ToBeats(t));
+  }
+}
+BENCHMARK(BM_TempoMapping);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mdm::bench::PrintHeader(
+      "Fig 13 — the temporal aspect's HO graph",
+      "SCORE > MOVEMENT > MEASURE > SYNC > CHORD > NOTE; groups beside, "
+      "EVENT binding tied notes, MIDI in performance time at the bottom");
+  Database db;
+  (void)mdm::cmn::InstallCmnSchema(&db);
+  // Print only the temporal orderings of the full HO graph.
+  std::printf("temporal orderings of the installed schema:\n");
+  for (const auto& o : db.schema().orderings()) {
+    for (const char* temporal :
+         {"movement_in_score", "measure_in_movement", "sync_in_measure",
+          "chord_in_sync", "note_in_chord", "group_seq", "note_in_event",
+          "midi_in_event", "voice_seq"}) {
+      if (o.name == temporal) {
+        std::printf("  %-22s (", o.name.c_str());
+        for (size_t i = 0; i < o.child_types.size(); ++i)
+          std::printf("%s%s", i ? ", " : "", o.child_types[i].c_str());
+        std::printf(") under %s\n", o.parent_type.c_str());
+      }
+    }
+  }
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

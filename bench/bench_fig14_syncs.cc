@@ -1,0 +1,111 @@
+// Fig 14: dividing a score into syncs — points of alignment shared by
+// simultaneous events across voices. Regenerates the division for the
+// figure's two-voice measure and measures alignment cost against voice
+// count and rhythmic density.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "cmn/schema.h"
+#include "cmn/score_builder.h"
+#include "cmn/temporal.h"
+#include "common/random.h"
+
+namespace {
+
+using mdm::Rational;
+using mdm::er::Database;
+using mdm::er::EntityId;
+
+// Builds `voices` voices of random rhythms over `measures` 4/4
+// measures, NOT yet aligned to syncs.
+EntityId MakeUnalignedScore(Database* db, int measures, int voices,
+                            std::vector<EntityId>* voice_ids) {
+  if (!mdm::cmn::InstallCmnSchema(db).ok()) std::abort();
+  mdm::cmn::ScoreBuilder builder(db);
+  auto score = builder.CreateScore("alignment bench");
+  auto movement = builder.AddMovement(*score, "I");
+  for (int m = 1; m <= measures; ++m)
+    (void)builder.AddMeasure(*movement, m, {4, 4});
+  mdm::Rng rng(23);
+  const Rational durations[] = {Rational(1), Rational(1, 2), Rational(2),
+                                Rational(1, 4)};
+  for (int v = 0; v < voices; ++v) {
+    auto voice = builder.AddVoice(v + 1);
+    voice_ids->push_back(*voice);
+    Rational total(0);
+    Rational limit(4 * measures);
+    while (total < limit) {
+      Rational d = durations[rng.Uniform(4)];
+      if (limit - total < d) d = limit - total;
+      if (rng.Bernoulli(0.15)) {
+        (void)builder.AddRest(*voice, d);
+      } else {
+        // Voice-only chord; AlignVoicesToSyncs will attach it.
+        auto chord = db->CreateEntity("CHORD");
+        (void)db->SetAttribute(*chord, "duration_beats",
+                               mdm::rel::Value::Rat(d));
+        (void)db->AppendChild(mdm::cmn::kVoiceSeq, *voice, *chord);
+      }
+      total += d;
+    }
+  }
+  return *score;
+}
+
+void BM_AlignVoices(benchmark::State& state) {
+  const int voices = static_cast<int>(state.range(0));
+  const int measures = 16;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Database db;
+    std::vector<EntityId> voice_ids;
+    EntityId score = MakeUnalignedScore(&db, measures, voices, &voice_ids);
+    state.ResumeTiming();
+    auto syncs = mdm::cmn::AlignVoicesToSyncs(&db, score, voice_ids);
+    if (!syncs.ok()) state.SkipWithError("align failed");
+    benchmark::DoNotOptimize(*syncs);
+  }
+  state.SetItemsProcessed(state.iterations() * voices * measures);
+}
+BENCHMARK(BM_AlignVoices)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mdm::bench::PrintHeader(
+      "Fig 14 — dividing a measure into syncs",
+      "two voices with different rhythms; every distinct onset becomes "
+      "a sync shared by the chords sounding there");
+  // The fig 14 flavour: voice 1 in quarters, voice 2 half/rest/quarter.
+  Database db;
+  if (!mdm::cmn::InstallCmnSchema(&db).ok()) return 1;
+  mdm::cmn::ScoreBuilder builder(&db);
+  auto score = builder.CreateScore("fig 14");
+  auto movement = builder.AddMovement(*score, "I");
+  auto measure = builder.AddMeasure(*movement, 1, {4, 4});
+  auto v1 = builder.AddVoice(1);
+  auto v2 = builder.AddVoice(2);
+  auto add_chord = [&](EntityId voice, Rational dur) {
+    auto chord = db.CreateEntity("CHORD");
+    (void)db.SetAttribute(*chord, "duration_beats", mdm::rel::Value::Rat(dur));
+    (void)db.AppendChild(mdm::cmn::kVoiceSeq, voice, *chord);
+  };
+  for (int i = 0; i < 4; ++i) add_chord(*v1, Rational(1));
+  add_chord(*v2, Rational(2));
+  (void)builder.AddRest(*v2, Rational(1));
+  add_chord(*v2, Rational(1));
+  auto total = mdm::cmn::AlignVoicesToSyncs(&db, *score, {*v1, *v2});
+  auto syncs = db.Children(mdm::cmn::kSyncInMeasure, *measure);
+  std::printf("distinct onsets -> %llu syncs:\n",
+              (unsigned long long)*total);
+  for (EntityId sync : *syncs) {
+    auto beat = db.GetAttribute(sync, "beat");
+    auto chords = db.Children(mdm::cmn::kChordInSync, sync);
+    std::printf("  sync at beat %-4s holds %zu chord(s)\n",
+                beat->AsRational().ToString().c_str(), chords->size());
+  }
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

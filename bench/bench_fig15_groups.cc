@@ -1,0 +1,94 @@
+// Fig 15: the semantic functions of groups — phrasing (slurs) and
+// timing (beams, tuplets). Regenerates a grouped passage and measures
+// group-duration aggregation against size and nesting.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "cmn/schema.h"
+#include "cmn/score_builder.h"
+#include "cmn/temporal.h"
+
+namespace {
+
+using mdm::Rational;
+using mdm::er::Database;
+using mdm::er::EntityId;
+
+// Builds a group tree of the given depth, `width` chords per level.
+EntityId MakeGroupTree(Database* db, int depth, int width) {
+  mdm::cmn::ScoreBuilder builder(db);
+  auto root = builder.AddGroup(depth % 2 == 0 ? "beam" : "slur");
+  for (int w = 0; w < width; ++w) {
+    auto chord = db->CreateEntity("CHORD");
+    (void)db->SetAttribute(*chord, "duration_beats",
+                           mdm::rel::Value::Rat(Rational(1, 4)));
+    (void)builder.AddToGroup(*root, *chord);
+  }
+  if (depth > 1) {
+    EntityId inner = MakeGroupTree(db, depth - 1, width);
+    (void)builder.AddToGroup(*root, inner);
+  }
+  return *root;
+}
+
+void BM_GroupDurationFlat(benchmark::State& state) {
+  Database db;
+  if (!mdm::cmn::InstallCmnSchema(&db).ok()) std::abort();
+  EntityId group = MakeGroupTree(&db, 1, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto d = mdm::cmn::GroupDuration(&db, group);
+    if (!d.ok()) state.SkipWithError("duration failed");
+    benchmark::DoNotOptimize(d->num());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupDurationFlat)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_GroupDurationNested(benchmark::State& state) {
+  Database db;
+  if (!mdm::cmn::InstallCmnSchema(&db).ok()) std::abort();
+  EntityId group = MakeGroupTree(&db, static_cast<int>(state.range(0)), 4);
+  for (auto _ : state) {
+    auto d = mdm::cmn::GroupDuration(&db, group);
+    if (!d.ok()) state.SkipWithError("duration failed");
+    benchmark::DoNotOptimize(d->num());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 4);
+}
+BENCHMARK(BM_GroupDurationNested)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mdm::bench::PrintHeader(
+      "Fig 15 — group functions",
+      "phrasing groups (slurs) and timing groups (beams, tuplets) over "
+      "chords and rests; a group's duration is a function of its "
+      "constituents");
+  Database db;
+  if (!mdm::cmn::InstallCmnSchema(&db).ok()) return 1;
+  mdm::cmn::ScoreBuilder builder(&db);
+  // A slur over a beam of four eighths plus a quarter: fig 15's shape.
+  auto slur = builder.AddGroup("slur");
+  auto beam = builder.AddGroup("beam");
+  for (int i = 0; i < 4; ++i) {
+    auto chord = db.CreateEntity("CHORD");
+    (void)db.SetAttribute(*chord, "duration_beats",
+                          mdm::rel::Value::Rat(Rational(1, 2)));
+    (void)builder.AddToGroup(*beam, *chord);
+  }
+  (void)builder.AddToGroup(*slur, *beam);
+  auto quarter = db.CreateEntity("CHORD");
+  (void)db.SetAttribute(*quarter, "duration_beats",
+                        mdm::rel::Value::Rat(Rational(1)));
+  (void)builder.AddToGroup(*slur, *quarter);
+  auto beam_d = mdm::cmn::GroupDuration(&db, *beam);
+  auto slur_d = mdm::cmn::GroupDuration(&db, *slur);
+  std::printf("beam of four eighths: %s beats\n",
+              beam_d->ToString().c_str());
+  std::printf("slur over beam + quarter: %s beats\n\n",
+              slur_d->ToString().c_str());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// §4.1: sound representations — the storage arithmetic (10 minutes =
+// 57.6 MB) and the two compaction avenues the paper cites: redundancy
+// elimination [Wil85] and perceptual reduction [Kra79]. Verifies the
+// figure and measures codec ratio + throughput on synthesized music.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "cmn/temporal.h"
+#include "midi/midi.h"
+#include "mtime/tempo_map.h"
+#include "sound/sound.h"
+
+namespace {
+
+mdm::sound::PcmBuffer MusicBuffer(int measures, int sample_rate) {
+  mdm::er::Database db;
+  auto score = mdm::bench::MakeRandomScore(&db, measures);
+  mdm::mtime::TempoMap tempo;
+  auto notes = mdm::cmn::ExtractPerformance(&db, score, tempo);
+  if (!notes.ok()) std::abort();
+  auto track = mdm::midi::TrackFromPerformance(*notes);
+  return mdm::sound::Synthesize(track, sample_rate);
+}
+
+void BM_Synthesize(benchmark::State& state) {
+  mdm::er::Database db;
+  auto score = mdm::bench::MakeRandomScore(
+      &db, static_cast<int>(state.range(0)));
+  mdm::mtime::TempoMap tempo;
+  auto notes = mdm::cmn::ExtractPerformance(&db, score, tempo);
+  auto track = mdm::midi::TrackFromPerformance(*notes);
+  for (auto _ : state) {
+    auto pcm = mdm::sound::Synthesize(track, 16000);
+    benchmark::DoNotOptimize(pcm.samples.size());
+  }
+}
+BENCHMARK(BM_Synthesize)->Arg(2)->Arg(8);
+
+void BM_EncodeDelta(benchmark::State& state) {
+  auto pcm = MusicBuffer(8, 16000);
+  for (auto _ : state) {
+    auto encoded = mdm::sound::EncodeDelta(pcm);
+    benchmark::DoNotOptimize(encoded.size());
+  }
+  state.SetBytesProcessed(state.iterations() * pcm.SizeBytes());
+}
+BENCHMARK(BM_EncodeDelta);
+
+void BM_DecodeDelta(benchmark::State& state) {
+  auto pcm = MusicBuffer(8, 16000);
+  auto encoded = mdm::sound::EncodeDelta(pcm);
+  for (auto _ : state) {
+    auto decoded = mdm::sound::DecodeDelta(encoded);
+    if (!decoded.ok()) state.SkipWithError("decode failed");
+    benchmark::DoNotOptimize(decoded->samples.size());
+  }
+  state.SetBytesProcessed(state.iterations() * pcm.SizeBytes());
+}
+BENCHMARK(BM_DecodeDelta);
+
+void BM_EncodeSilence(benchmark::State& state) {
+  auto pcm = MusicBuffer(8, 16000);
+  for (auto _ : state) {
+    auto encoded = mdm::sound::EncodeSilence(pcm);
+    benchmark::DoNotOptimize(encoded.size());
+  }
+  state.SetBytesProcessed(state.iterations() * pcm.SizeBytes());
+}
+BENCHMARK(BM_EncodeSilence);
+
+void BM_EncodeQuantized(benchmark::State& state) {
+  auto pcm = MusicBuffer(8, 16000);
+  for (auto _ : state) {
+    auto encoded = mdm::sound::EncodeQuantized(pcm, 8);
+    benchmark::DoNotOptimize(encoded.size());
+  }
+  state.SetBytesProcessed(state.iterations() * pcm.SizeBytes());
+}
+BENCHMARK(BM_EncodeQuantized);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mdm::bench::PrintHeader(
+      "§4.1 — sound representations and compaction",
+      "\"ten minutes of musical sound can be recorded with acceptable "
+      "accuracy by storing 57.6 megabytes of data\"");
+  std::printf("storage arithmetic:\n");
+  std::printf("  10 min @ 48 kHz / 16-bit = %llu bytes (paper: 57.6 MB)\n",
+              (unsigned long long)mdm::sound::StorageBytes(600.0));
+  std::printf("  1 hour                  = %llu bytes\n\n",
+              (unsigned long long)mdm::sound::StorageBytes(3600.0));
+
+  auto pcm = MusicBuffer(8, 16000);
+  mdm::sound::CompactionStats delta, silence, quant;
+  (void)mdm::sound::EncodeDelta(pcm, &delta);
+  (void)mdm::sound::EncodeSilence(pcm, 8, &silence);
+  (void)mdm::sound::EncodeQuantized(pcm, 8, &quant);
+  std::printf("compaction of %.1f s of synthesized music (%zu bytes):\n",
+              pcm.DurationSeconds(), pcm.SizeBytes());
+  std::printf("  redundancy elimination (delta, lossless): %.2fx\n",
+              delta.Ratio());
+  std::printf("  silence-run elimination:                  %.2fx\n",
+              silence.Ratio());
+  std::printf("  perceptual 8-bit quantization [Kra79]:    %.2fx\n\n",
+              quant.Ratio());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,72 @@
+#ifndef MDM_BENCH_BENCH_UTIL_H_
+#define MDM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cmn/schema.h"
+#include "cmn/score_builder.h"
+#include "common/random.h"
+#include "ddl/parser.h"
+#include "er/database.h"
+
+namespace mdm::bench {
+
+/// Installs the paper's NOTE/CHORD schema and populates `n_chords`
+/// chords with `notes_per_chord` notes each. Note names are sequential;
+/// chord names are 1-based.
+inline er::Database MakeChordDb(int n_chords, int notes_per_chord) {
+  er::Database db;
+  auto ddl = ddl::ExecuteDdl(R"(
+    define entity CHORD (name = integer)
+    define entity NOTE (name = integer)
+    define ordering note_in_chord (NOTE) under CHORD
+  )",
+                             &db);
+  if (!ddl.ok()) std::abort();
+  int note_name = 0;
+  for (int c = 1; c <= n_chords; ++c) {
+    auto chord = db.CreateEntity("CHORD");
+    (void)db.SetAttribute(*chord, "name", rel::Value::Int(c));
+    for (int n = 0; n < notes_per_chord; ++n) {
+      auto note = db.CreateEntity("NOTE");
+      (void)db.SetAttribute(*note, "name", rel::Value::Int(note_name++));
+      (void)db.AppendChild("note_in_chord", *chord, *note);
+    }
+  }
+  return db;
+}
+
+/// Builds a random single-voice score of `n_measures` measures in 4/4,
+/// four quarter-note single-note chords per measure.
+inline er::EntityId MakeRandomScore(er::Database* db, int n_measures,
+                                    uint64_t seed = 7) {
+  if (!cmn::InstallCmnSchema(db).ok()) std::abort();
+  cmn::ScoreBuilder builder(db);
+  Rng rng(seed);
+  auto score = builder.CreateScore("bench score");
+  auto movement = builder.AddMovement(*score, "I");
+  auto voice = builder.AddVoice(1);
+  for (int m = 1; m <= n_measures; ++m) {
+    auto measure = builder.AddMeasure(*movement, m, {4, 4});
+    for (int b = 0; b < 4; ++b) {
+      auto sync = builder.GetOrAddSync(*measure, Rational(b));
+      auto chord = builder.AddChord(*sync, *voice, Rational(1));
+      (void)builder.AddNoteMidi(*chord,
+                                55 + static_cast<int>(rng.Uniform(24)));
+    }
+  }
+  return *score;
+}
+
+inline void PrintHeader(const char* experiment, const char* paper_artifact) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper artifact: %s\n", paper_artifact);
+  std::printf("==========================================================\n");
+}
+
+}  // namespace mdm::bench
+
+#endif  // MDM_BENCH_BENCH_UTIL_H_

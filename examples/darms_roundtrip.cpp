@@ -1,0 +1,52 @@
+// DARMS round trip (fig 4): parse the paper's encoded fragment, run the
+// "canonizer", import it into the CMN database, inspect it, and export
+// it back to canonical DARMS.
+#include <cstdio>
+
+#include "cmn/temporal.h"
+#include "darms/darms.h"
+#include "er/database.h"
+#include "quel/quel.h"
+
+int main() {
+  // The fig 4 fragment in our DARMS dialect ('!' for the leading quote).
+  const char* fig4 =
+      "I4 !G !K2# 00@\xC2\xA2tenor$ R2W / (7,@\xC2\xA2glo-$ 47) / "
+      "(8 (9 8 7 8)) / 9E 9,@ri-$ 8,@a$ / (7,@in$ 6) 7,@ex-$ / "
+      "(4D,@cel-$ (8 7 8 6)) / (4D 31) 4,@sis$ / 8Q,@\xC2\xA2" "de-$ E,@o$ //";
+
+  std::printf("== user DARMS (fig 4(b)) ==\n%s\n\n", fig4);
+
+  auto canonical = mdm::darms::Canonicalize(fig4);
+  if (!canonical.ok()) {
+    std::printf("canonize failed: %s\n",
+                canonical.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("== canonical DARMS (explicit durations, full codes) ==\n%s\n\n",
+              canonical->c_str());
+
+  mdm::er::Database db;
+  auto import = mdm::darms::ImportDarms(&db, fig4, "Gloria in excelsis");
+  if (!import.ok()) {
+    std::printf("import failed: %s\n", import.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("== imported into the CMN schema ==\n");
+  std::printf("measures: %d, notes: %d, rests: %d\n", import->measures,
+              import->notes, import->rests);
+  std::printf("entities in database: %llu\n\n",
+              (unsigned long long)db.TotalEntities());
+
+  // The imported score answers QUEL queries: count the syllables sung.
+  mdm::quel::QuelSession session(&db);
+  auto rs = session.Execute(R"(
+    range of s is SYLLABLE
+    retrieve (n = count(s), text = min(s.text))
+  )");
+  std::printf("== syllables (QUEL) ==\n%s\n", rs->ToString().c_str());
+
+  auto exported = mdm::darms::ExportDarms(&db, import->score);
+  std::printf("== re-exported canonical DARMS ==\n%s\n", exported->c_str());
+  return 0;
+}

@@ -1,0 +1,123 @@
+// mdmsh — an interactive MDM shell: a tiny terminal monitor for the
+// music data manager, accepting the paper's DDL and extended QUEL plus
+// a few meta commands. Reads from stdin; suitable for piping scripts.
+//
+//   $ ./build/examples/mdmsh
+//   mdm> define entity NOTE (name = integer)
+//   mdm> append to NOTE (name = 7)
+//   mdm> retrieve (NOTE.name)
+//   mdm> \schema        -- deparse the schema
+//   mdm> \ho            -- HO graph in DOT
+//   mdm> \save score.mdm  / \load score.mdm
+//   mdm> \quit
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/strings.h"
+#include "ddl/parser.h"
+#include "er/database.h"
+#include "er/persist.h"
+#include "quel/quel.h"
+
+namespace {
+
+bool LooksLikeDdl(const std::string& text) {
+  return mdm::StartsWith(mdm::AsciiLower(std::string(mdm::StrTrim(text))),
+                         "define");
+}
+
+}  // namespace
+
+int main() {
+  mdm::er::Database db;
+  mdm::quel::QuelSession session(&db);
+  std::string buffer;
+  std::string line;
+
+  std::printf("mdm shell — DDL + QUEL; \\help for commands\n");
+  std::printf("mdm> ");
+  std::fflush(stdout);
+  while (std::getline(std::cin, line)) {
+    std::string trimmed(mdm::StrTrim(line));
+    if (!trimmed.empty() && trimmed[0] == '\\') {
+      auto parts = mdm::StrSplit(trimmed, ' ');
+      const std::string& cmd = parts[0];
+      if (cmd == "\\quit" || cmd == "\\q") break;
+      if (cmd == "\\help") {
+        std::printf(
+            "  define entity/relationship/ordering ...   (DDL)\n"
+            "  range of / retrieve / append / replace / delete (QUEL)\n"
+            "  statements may span lines; a blank line executes\n"
+            "  \\schema       deparse the schema as DDL\n"
+            "  \\ho           hierarchical ordering graph (DOT)\n"
+            "  \\stats        entity counts per type\n"
+            "  \\save PATH    write a snapshot\n"
+            "  \\load PATH    replace the session with a snapshot\n"
+            "  \\quit\n");
+      } else if (cmd == "\\schema") {
+        std::printf("%s", mdm::ddl::SchemaToDdl(db.schema()).c_str());
+      } else if (cmd == "\\ho") {
+        std::printf("%s", db.HoGraphDot().c_str());
+      } else if (cmd == "\\stats") {
+        for (const auto& type : db.schema().entity_types()) {
+          auto n = db.CountEntities(type.name);
+          std::printf("  %-20s %llu\n", type.name.c_str(),
+                      n.ok() ? (unsigned long long)*n : 0ull);
+        }
+      } else if (cmd == "\\save" && parts.size() > 1) {
+        mdm::Status s = mdm::er::SaveSnapshot(db, parts[1]);
+        std::printf("%s\n", s.ToString().c_str());
+      } else if (cmd == "\\load" && parts.size() > 1) {
+        auto loaded = mdm::er::LoadSnapshot(parts[1]);
+        if (loaded.ok()) {
+          db = std::move(*loaded);
+          std::printf("OK\n");
+        } else {
+          std::printf("%s\n", loaded.status().ToString().c_str());
+        }
+      } else {
+        std::printf("unknown command %s (try \\help)\n", cmd.c_str());
+      }
+      std::printf("mdm> ");
+      std::fflush(stdout);
+      continue;
+    }
+
+    // Accumulate statements; execute on blank line.
+    if (!trimmed.empty()) {
+      buffer += line + "\n";
+      std::printf("...> ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (buffer.empty()) {
+      std::printf("mdm> ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (LooksLikeDdl(buffer)) {
+      auto result = mdm::ddl::ExecuteDdl(buffer, &db);
+      if (result.ok()) {
+        std::printf("defined %zu entity type(s), %zu relationship(s), "
+                    "%zu ordering(s)\n",
+                    result->entity_types.size(),
+                    result->relationships.size(),
+                    result->orderings.size());
+      } else {
+        std::printf("%s\n", result.status().ToString().c_str());
+      }
+    } else {
+      auto rs = session.Execute(buffer);
+      if (rs.ok()) {
+        std::printf("%s", rs->ToString().c_str());
+      } else {
+        std::printf("%s\n", rs.status().ToString().c_str());
+      }
+    }
+    buffer.clear();
+    std::printf("mdm> ");
+    std::fflush(stdout);
+  }
+  return 0;
+}

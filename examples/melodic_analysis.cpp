@@ -1,0 +1,84 @@
+// Music-analysis client (§2): melodic and harmonic analysis of a score
+// held in the MDM, exercising the temporal hierarchy, QUEL aggregates,
+// and the meta-musical pitch rules of §4.3.
+#include <cstdio>
+#include <map>
+
+#include "analysis/harmony.h"
+#include "cmn/pitch.h"
+#include "cmn/temporal.h"
+#include "darms/darms.h"
+#include "er/database.h"
+#include "mtime/tempo_map.h"
+
+int main() {
+  // The BWV 578 fugue subject, in g minor (two flats).
+  mdm::er::Database db;
+  auto import = mdm::darms::ImportDarms(
+      &db,
+      "!G !K2- 2Q 6Q 4E 3E 2E 4E 3E 2E 1#E 3E / 5H 4E 2E 6Q //",
+      "Fugue subject");
+  if (!import.ok()) {
+    std::printf("import failed: %s\n", import.status().ToString().c_str());
+    return 1;
+  }
+
+  mdm::mtime::TempoMap tempo;
+  (void)tempo.SetTempo(mdm::Rational(0), 84);
+  auto notes = mdm::cmn::ExtractPerformance(&db, import->score, tempo);
+  if (!notes.ok()) return 1;
+
+  // 1. Melodic contour: intervals between successive notes.
+  std::printf("== melodic analysis ==\n");
+  std::printf("%zu notes; interval sequence (semitones): ", notes->size());
+  for (size_t i = 1; i < notes->size(); ++i)
+    std::printf("%+d ", (*notes)[i].midi_key - (*notes)[i - 1].midi_key);
+  std::printf("\n");
+
+  int leaps = 0, steps = 0, repeats = 0;
+  int range_lo = 127, range_hi = 0;
+  for (size_t i = 0; i < notes->size(); ++i) {
+    range_lo = std::min(range_lo, (*notes)[i].midi_key);
+    range_hi = std::max(range_hi, (*notes)[i].midi_key);
+    if (i == 0) continue;
+    int iv = std::abs((*notes)[i].midi_key - (*notes)[i - 1].midi_key);
+    if (iv == 0) ++repeats;
+    else if (iv <= 2) ++steps;
+    else ++leaps;
+  }
+  std::printf("steps: %d, leaps: %d, repeats: %d, ambitus: %d semitones\n\n",
+              steps, leaps, repeats, range_hi - range_lo);
+
+  // 2. Pitch-class histogram: which scale degrees dominate?
+  std::printf("== pitch-class histogram ==\n");
+  std::map<int, int> histogram;
+  for (const auto& n : *notes) ++histogram[n.midi_key % 12];
+  const char* pc_names[12] = {"C",  "C#", "D",  "Eb", "E",  "F",
+                              "F#", "G",  "Ab", "A",  "Bb", "B"};
+  for (const auto& [pc, count] : histogram) {
+    std::printf("%-2s |", pc_names[pc]);
+    for (int i = 0; i < count; ++i) std::printf("#");
+    std::printf(" %d\n", count);
+  }
+
+  // 3. Rhythmic profile via the temporal aspect.
+  std::printf("\n== rhythmic profile ==\n");
+  std::map<std::string, int> durations;
+  for (const auto& n : *notes) ++durations[n.duration_beats.ToString()];
+  for (const auto& [dur, count] : durations)
+    std::printf("duration %s beats: %d note(s)\n", dur.c_str(), count);
+  double total = (*notes).back().end_seconds;
+  std::printf("performed length at 84 bpm: %.2f s\n", total);
+
+  // 4. Key estimation (Krumhansl-Schmuckler over the performance).
+  auto key = mdm::analysis::EstimateKey(*notes);
+  std::printf("\n== key estimate ==\n%s (correlation %.3f)\n",
+              key.Name().c_str(), key.correlation);
+
+  // 5. Melodic structure via the analysis module.
+  auto profile = mdm::analysis::ProfileMelody(*notes);
+  std::printf("\n== melodic structure ==\n");
+  std::printf("longest ascent: %d notes, longest descent: %d notes\n",
+              profile.longest_ascent, profile.longest_descent);
+  return 0;
+}

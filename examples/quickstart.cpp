@@ -1,0 +1,85 @@
+// Quickstart: define a schema in the paper's DDL, build hierarchically
+// ordered data, and query it with the extended QUEL operators
+// (before / after / under / is) from §5.6.
+#include <cstdio>
+
+#include "ddl/parser.h"
+#include "er/database.h"
+#include "quel/quel.h"
+
+int main() {
+  mdm::er::Database db;
+
+  // 1. The paper's running schema (§5.4).
+  auto ddl = mdm::ddl::ExecuteDdl(R"(
+    define entity CHORD (name = integer)
+    define entity NOTE (name = integer, pitch = string)
+    define ordering note_in_chord (NOTE) under CHORD
+  )",
+                                  &db);
+  if (!ddl.ok()) {
+    std::printf("DDL failed: %s\n", ddl.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("defined: %zu entity types, %zu ordering(s)\n\n",
+              ddl->entity_types.size(), ddl->orderings.size());
+
+  // 2. A four-note chord, exactly the instance graph of fig 6.
+  auto chord = db.CreateEntity("CHORD");
+  (void)db.SetAttribute(*chord, "name", mdm::rel::Value::Int(1));
+  const char* names[] = {"u", "v", "w", "x"};
+  const char* pitches[] = {"G3", "B3", "D4", "G4"};
+  for (int i = 0; i < 4; ++i) {
+    auto note = db.CreateEntity("NOTE");
+    (void)db.SetAttribute(*note, "name", mdm::rel::Value::Int(i + 1));
+    (void)db.SetAttribute(*note, "pitch",
+                          mdm::rel::Value::String(pitches[i]));
+    (void)db.AppendChild("note_in_chord", *chord, *note);
+    std::printf("inserted note %s (%s) as child %d of the chord\n",
+                names[i], pitches[i], i + 1);
+  }
+
+  // "We may speak of the node w as the third child of the parent y."
+  auto third = db.NthChild("note_in_chord", *chord, 2);
+  auto pitch = db.GetAttribute(*third, "pitch");
+  std::printf("\nthe third child of the chord is %s\n\n",
+              pitch->AsString().c_str());
+
+  // 3. The paper's §5.6 queries, verbatim apart from '.' attribute
+  // syntax.
+  mdm::quel::QuelSession session(&db);
+  struct NamedQuery {
+    const char* label;
+    const char* text;
+  } queries[] = {
+      {"notes prior to note 3 in its chord",
+       "range of n1, n2 is NOTE\n"
+       "retrieve (n1.name, n1.pitch)\n"
+       "  where n1 before n2 in note_in_chord and n2.name = 3"},
+      {"notes that follow note 2",
+       "range of n1, n2 is NOTE\n"
+       "retrieve (n1.name, n1.pitch)\n"
+       "  where n1 after n2 in note_in_chord and n2.name = 2"},
+      {"notes under chord 1",
+       "range of n1 is NOTE\nrange of c1 is CHORD\n"
+       "retrieve (n1.name, n1.pitch)\n"
+       "  where n1 under c1 in note_in_chord and c1.name = 1"},
+      {"the parent chord of note 4",
+       "range of n1 is NOTE\nrange of c1 is CHORD\n"
+       "retrieve (c1.name)\n"
+       "  where n1 under c1 in note_in_chord and n1.name = 4"},
+  };
+  for (const NamedQuery& q : queries) {
+    auto rs = session.Execute(q.text);
+    if (!rs.ok()) {
+      std::printf("query failed: %s\n", rs.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("-- %s\n%s\n", q.label, rs->ToString().c_str());
+  }
+
+  // 4. The instance graph itself (fig 6), as Graphviz DOT.
+  auto dot = db.InstanceGraphDot("note_in_chord", *chord, "pitch");
+  std::printf("instance graph (fig 6):\n%s", dot->c_str());
+  return 0;
+}

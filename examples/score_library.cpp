@@ -1,0 +1,77 @@
+// Score library client (§2): a thematic catalog in the BWV style of
+// fig 2, with identifier lookup and transposition-invariant melodic
+// search — the musicological-reference use case of §4.2.
+#include <cstdio>
+
+#include "biblio/thematic_index.h"
+#include "er/database.h"
+#include "quel/quel.h"
+
+int main() {
+  mdm::er::Database db;
+  if (!mdm::biblio::InstallBiblioSchema(&db).ok()) return 1;
+  auto bwv = mdm::biblio::CreateCatalog(&db, "Bach Werke Verzeichnis", "BWV");
+
+  // A handful of entries; BWV 578 carries the fig 2 data.
+  mdm::biblio::CatalogEntry fugue;
+  fugue.number = "578";
+  fugue.title = "Fuge g-moll";
+  fugue.setting = "Orgel";
+  fugue.composed = "Weimar um 1709 (oder schon in Arnstadt?)";
+  fugue.measure_count = 68;
+  fugue.incipit = {67, 74, 70, 69, 67, 70, 69, 67, 66, 69, 62};
+  fugue.manuscripts = {"Andreas Bach Buch (S 657-677) B Lpz III 8 4",
+                       "BB in Mus ms Bach P 803 (S 805-811)"};
+  fugue.editions = {"C F Beckers Caecilia Bd. II S 91",
+                    "Peters Orgelwerke Bd. IV S 46",
+                    "Breitkopf & Haertel EB 3174 S 72"};
+  fugue.literature = {"Spitta I 399", "Schweitzer 248", "Keller 73",
+                      "BJ 1912 131"};
+  (void)mdm::biblio::AddEntry(&db, *bwv, fugue);
+
+  mdm::biblio::CatalogEntry toccata;
+  toccata.number = "565";
+  toccata.title = "Toccata und Fuge d-moll";
+  toccata.setting = "Orgel";
+  toccata.composed = "Arnstadt(?) um 1704";
+  toccata.measure_count = 143;
+  toccata.incipit = {69, 67, 69, 65, 64, 62, 61, 62};
+  (void)mdm::biblio::AddEntry(&db, *bwv, toccata);
+
+  mdm::biblio::CatalogEntry art;
+  art.number = "1080";
+  art.title = "Die Kunst der Fuge";
+  art.setting = "offen";
+  art.composed = "Leipzig 1742-1750";
+  art.measure_count = 2397;
+  art.incipit = {62, 69, 65, 62, 61, 62, 64, 65, 67, 65, 64, 62};
+  (void)mdm::biblio::AddEntry(&db, *bwv, art);
+
+  // 1. The accepted identifier resolves the composition (§4.2).
+  auto hit = mdm::biblio::LookupByIdentifier(db, "BWV 578");
+  auto text = mdm::biblio::FormatEntry(db, *hit);
+  std::printf("== thematic index entry (fig 2) ==\n%s\n", text->c_str());
+
+  // 2. Melodic search: hum the subject in any key.
+  std::vector<int> hummed = {72, 79, 75, 74, 72};  // subject up a fourth
+  auto matches = mdm::biblio::SearchByIntervals(
+      db, *bwv, mdm::biblio::ToIntervals(hummed));
+  std::printf("== melodic search ==\n");
+  std::printf("queried %zu intervals; %zu match(es):\n", hummed.size() - 1,
+              matches->size());
+  for (auto entry : *matches) {
+    auto e = mdm::biblio::GetEntry(db, entry);
+    std::printf("  BWV %s - %s\n", e->number.c_str(), e->title.c_str());
+  }
+
+  // 3. The catalog is ordinary MDM data: QUEL reaches it directly.
+  mdm::quel::QuelSession session(&db);
+  auto rs = session.Execute(R"(
+    range of e is CATALOG_ENTRY
+    retrieve (e.number, e.title, e.measure_count)
+      where e.measure_count > 100
+  )");
+  std::printf("\n== compositions over 100 measures (QUEL) ==\n%s",
+              rs->ToString().c_str());
+  return 0;
+}

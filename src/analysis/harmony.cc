@@ -1,0 +1,210 @@
+#include "analysis/harmony.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "cmn/schema.h"
+#include "common/strings.h"
+
+namespace mdm::analysis {
+
+using cmn::PerformedNote;
+using er::Database;
+using er::EntityId;
+
+const char* ChordQualityName(ChordQuality quality) {
+  switch (quality) {
+    case ChordQuality::kMajor: return "maj";
+    case ChordQuality::kMinor: return "min";
+    case ChordQuality::kDiminished: return "dim";
+    case ChordQuality::kAugmented: return "aug";
+    case ChordQuality::kDominantSeventh: return "7";
+    case ChordQuality::kMajorSeventh: return "maj7";
+    case ChordQuality::kMinorSeventh: return "min7";
+    case ChordQuality::kOther: return "?";
+  }
+  return "?";
+}
+
+namespace {
+
+const char* kPcNames[12] = {"C",  "C#", "D",  "Eb", "E",  "F",
+                            "F#", "G",  "Ab", "A",  "Bb", "B"};
+
+struct Template {
+  ChordQuality quality;
+  std::vector<int> intervals;  // semitones above the root
+};
+
+const std::vector<Template>& Templates() {
+  static const std::vector<Template>& t = *new std::vector<Template>{
+      // Sevenths first so they win over their embedded triads.
+      {ChordQuality::kDominantSeventh, {0, 4, 7, 10}},
+      {ChordQuality::kMajorSeventh, {0, 4, 7, 11}},
+      {ChordQuality::kMinorSeventh, {0, 3, 7, 10}},
+      {ChordQuality::kMajor, {0, 4, 7}},
+      {ChordQuality::kMinor, {0, 3, 7}},
+      {ChordQuality::kDiminished, {0, 3, 6}},
+      {ChordQuality::kAugmented, {0, 4, 8}},
+  };
+  return t;
+}
+
+}  // namespace
+
+std::string ChordLabel::Name() const {
+  return StrFormat("%s %s", kPcNames[((root_pc % 12) + 12) % 12],
+                   ChordQualityName(quality));
+}
+
+ChordLabel ClassifyChord(const std::vector<int>& midi_keys) {
+  ChordLabel label;
+  if (midi_keys.empty()) return label;
+  int lowest = *std::min_element(midi_keys.begin(), midi_keys.end());
+  label.root_pc = ((lowest % 12) + 12) % 12;
+
+  std::set<int> pcs;
+  for (int key : midi_keys) pcs.insert(((key % 12) + 12) % 12);
+  if (pcs.size() < 3) return label;
+
+  // Try every pitch class present as a candidate root, in every
+  // template; exact pitch-class-set match (inversions fold away).
+  for (const Template& t : Templates()) {
+    if (t.intervals.size() != pcs.size()) continue;
+    for (int root : pcs) {
+      bool all = true;
+      for (int interval : t.intervals) {
+        if (pcs.count((root + interval) % 12) == 0) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        label.root_pc = root;
+        label.quality = t.quality;
+        return label;
+      }
+    }
+  }
+  return label;
+}
+
+Result<std::vector<ChordLabel>> AnalyzeHarmony(Database* db, EntityId score,
+                                               int min_notes) {
+  MDM_ASSIGN_OR_RETURN(std::vector<cmn::MeasureSpan> table,
+                       cmn::BuildMeasureTable(*db, score));
+  std::vector<ChordLabel> out;
+  for (const cmn::MeasureSpan& span : table) {
+    MDM_ASSIGN_OR_RETURN(std::vector<EntityId> syncs,
+                         db->Children(cmn::kSyncInMeasure, span.measure));
+    for (EntityId sync : syncs) {
+      MDM_ASSIGN_OR_RETURN(rel::Value beat, db->GetAttribute(sync, "beat"));
+      std::vector<int> keys;
+      MDM_ASSIGN_OR_RETURN(std::vector<EntityId> chords,
+                           db->Children(cmn::kChordInSync, sync));
+      for (EntityId chord : chords) {
+        MDM_ASSIGN_OR_RETURN(std::vector<EntityId> notes,
+                             db->Children(cmn::kNoteInChord, chord));
+        for (EntityId note : notes) {
+          MDM_ASSIGN_OR_RETURN(rel::Value key,
+                               db->GetAttribute(note, "midi_key"));
+          if (!key.is_null()) keys.push_back(static_cast<int>(key.AsInt()));
+        }
+      }
+      if (static_cast<int>(keys.size()) < min_notes) continue;
+      ChordLabel label = ClassifyChord(keys);
+      label.score_time =
+          span.start + (beat.is_null() ? Rational(0) : beat.AsRational());
+      out.push_back(label);
+    }
+  }
+  return out;
+}
+
+std::string KeyEstimate::Name() const {
+  return StrFormat("%s %s", kPcNames[((tonic_pc % 12) + 12) % 12],
+                   minor ? "minor" : "major");
+}
+
+KeyEstimate EstimateKey(const std::vector<PerformedNote>& notes) {
+  // Krumhansl–Kessler probe-tone profiles.
+  static const double kMajorProfile[12] = {6.35, 2.23, 3.48, 2.33, 4.38,
+                                           4.09, 2.52, 5.19, 2.39, 3.66,
+                                           2.29, 2.88};
+  static const double kMinorProfile[12] = {6.33, 2.68, 3.52, 5.38, 2.60,
+                                           3.53, 2.54, 4.75, 3.98, 2.69,
+                                           3.34, 3.17};
+  double histogram[12] = {};
+  for (const PerformedNote& n : notes) {
+    double weight = std::max(1e-6, n.end_seconds - n.start_seconds);
+    histogram[((n.midi_key % 12) + 12) % 12] += weight;
+  }
+  auto correlate = [&histogram](const double* profile, int rotation) {
+    double mean_h = 0, mean_p = 0;
+    for (int i = 0; i < 12; ++i) {
+      mean_h += histogram[i];
+      mean_p += profile[i];
+    }
+    mean_h /= 12;
+    mean_p /= 12;
+    double num = 0, den_h = 0, den_p = 0;
+    for (int i = 0; i < 12; ++i) {
+      double h = histogram[(i + rotation) % 12] - mean_h;
+      double p = profile[i] - mean_p;
+      num += h * p;
+      den_h += h * h;
+      den_p += p * p;
+    }
+    double den = std::sqrt(den_h * den_p);
+    return den == 0 ? 0.0 : num / den;
+  };
+  KeyEstimate best;
+  best.correlation = -2;
+  for (int tonic = 0; tonic < 12; ++tonic) {
+    double major = correlate(kMajorProfile, tonic);
+    double minor = correlate(kMinorProfile, tonic);
+    if (major > best.correlation) {
+      best = {tonic, false, major};
+    }
+    if (minor > best.correlation) {
+      best = {tonic, true, minor};
+    }
+  }
+  return best;
+}
+
+MelodicProfile ProfileMelody(const std::vector<PerformedNote>& notes) {
+  MelodicProfile p;
+  p.notes = static_cast<int>(notes.size());
+  if (notes.empty()) return p;
+  int lo = 127, hi = 0;
+  int ascent = 0, descent = 0;
+  for (size_t i = 0; i < notes.size(); ++i) {
+    lo = std::min(lo, notes[i].midi_key);
+    hi = std::max(hi, notes[i].midi_key);
+    if (i == 0) continue;
+    int interval = notes[i].midi_key - notes[i - 1].midi_key;
+    if (interval == 0) {
+      ++p.repeats;
+      ascent = descent = 0;
+    } else if (std::abs(interval) <= 2) {
+      ++p.steps;
+    } else {
+      ++p.leaps;
+    }
+    if (interval > 0) {
+      ascent += 1;
+      descent = 0;
+      p.longest_ascent = std::max(p.longest_ascent, ascent);
+    } else if (interval < 0) {
+      descent += 1;
+      ascent = 0;
+      p.longest_descent = std::max(p.longest_descent, descent);
+    }
+  }
+  p.ambitus = hi - lo;
+  return p;
+}
+
+}  // namespace mdm::analysis

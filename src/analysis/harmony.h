@@ -1,0 +1,85 @@
+#ifndef MDM_ANALYSIS_HARMONY_H_
+#define MDM_ANALYSIS_HARMONY_H_
+
+#include <string>
+#include <vector>
+
+#include "cmn/temporal.h"
+#include "common/result.h"
+#include "er/database.h"
+
+namespace mdm::analysis {
+
+/// §2: "Music Analysis Systems: ... systems that perform various sorts
+/// of harmonic analysis, or those that determine melodic structure."
+/// This module is such a client, built purely on the MDM's public API.
+
+/// Triad/seventh qualities recognized by the classifier.
+enum class ChordQuality {
+  kMajor,
+  kMinor,
+  kDiminished,
+  kAugmented,
+  kDominantSeventh,
+  kMajorSeventh,
+  kMinorSeventh,
+  kOther,
+};
+
+const char* ChordQualityName(ChordQuality quality);
+
+/// A classified vertical sonority.
+struct ChordLabel {
+  int root_pc = 0;  // pitch class 0..11 (C = 0)
+  ChordQuality quality = ChordQuality::kOther;
+  Rational score_time;  // onset in beats from the score start
+
+  /// "G min", "D maj7", "B dim" ...
+  std::string Name() const;
+};
+
+/// Classifies a set of MIDI keys as a chord: octave-folds to pitch
+/// classes and matches against triad/seventh templates in any
+/// inversion. Fewer than 3 distinct pitch classes, or no template
+/// match, yields kOther with the lowest note as root.
+ChordLabel ClassifyChord(const std::vector<int>& midi_keys);
+
+/// Harmonic analysis of a stored score: for every sync, the sounding
+/// notes across all voices are gathered and classified. Syncs with
+/// fewer than `min_notes` sounding notes are skipped.
+Result<std::vector<ChordLabel>> AnalyzeHarmony(er::Database* db,
+                                               er::EntityId score,
+                                               int min_notes = 3);
+
+/// A key estimate with its correlation score.
+struct KeyEstimate {
+  int tonic_pc = 0;
+  bool minor = false;
+  double correlation = 0;
+
+  std::string Name() const;  // "G minor"
+};
+
+/// Krumhansl–Schmuckler key finding: correlates the duration-weighted
+/// pitch-class distribution of the performance against the 24
+/// major/minor key profiles and returns the best match.
+KeyEstimate EstimateKey(const std::vector<cmn::PerformedNote>& notes);
+
+/// Melodic-structure report (§2's "determine melodic structure"):
+/// counts of steps/leaps/repeats, ambitus, and the longest ascending
+/// and descending runs of a monophonic line.
+struct MelodicProfile {
+  int notes = 0;
+  int steps = 0;
+  int leaps = 0;
+  int repeats = 0;
+  int ambitus = 0;
+  int longest_ascent = 0;
+  int longest_descent = 0;
+};
+
+MelodicProfile ProfileMelody(const std::vector<cmn::PerformedNote>& notes);
+
+}  // namespace mdm::analysis
+
+#endif  // MDM_ANALYSIS_HARMONY_H_

@@ -1,0 +1,199 @@
+#include "biblio/thematic_index.h"
+
+#include "common/strings.h"
+#include "ddl/parser.h"
+
+namespace mdm::biblio {
+
+using er::Database;
+using er::EntityId;
+using rel::Value;
+
+namespace {
+
+constexpr char kBiblioDdl[] = R"(
+  define entity CATALOG (name = string, abbreviation = string)
+  define entity CATALOG_ENTRY (number = string, title = string,
+                               setting = string, composed = string,
+                               measure_count = integer, incipit = string)
+  define entity CITATION (kind = string, text = string)
+  define ordering entry_in_catalog (CATALOG_ENTRY) under CATALOG
+  define ordering citation_in_entry (CITATION) under CATALOG_ENTRY
+)";
+
+std::string EncodeIncipit(const std::vector<int>& keys) {
+  std::vector<std::string> parts;
+  parts.reserve(keys.size());
+  for (int k : keys) parts.push_back(std::to_string(k));
+  return StrJoin(parts, " ");
+}
+
+std::vector<int> DecodeIncipit(const std::string& text) {
+  std::vector<int> keys;
+  for (const std::string& part : StrSplit(text, ' ')) {
+    if (part.empty()) continue;
+    keys.push_back(std::atoi(part.c_str()));
+  }
+  return keys;
+}
+
+Result<std::string> StringAttr(const Database& db, EntityId id,
+                               const char* attr) {
+  MDM_ASSIGN_OR_RETURN(Value v, db.GetAttribute(id, attr));
+  return v.is_null() ? std::string() : v.AsString();
+}
+
+Status AddCitations(Database* db, EntityId entry, const char* kind,
+                    const std::vector<std::string>& texts) {
+  for (const std::string& text : texts) {
+    MDM_ASSIGN_OR_RETURN(EntityId c, db->CreateEntity("CITATION"));
+    MDM_RETURN_IF_ERROR(db->SetAttribute(c, "kind", Value::String(kind)));
+    MDM_RETURN_IF_ERROR(db->SetAttribute(c, "text", Value::String(text)));
+    MDM_RETURN_IF_ERROR(db->AppendChild("citation_in_entry", entry, c));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status InstallBiblioSchema(Database* db) {
+  if (db->schema().FindEntityType("CATALOG") != nullptr) return Status::OK();
+  auto r = ddl::ExecuteDdl(kBiblioDdl, db);
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Result<EntityId> CreateCatalog(Database* db, const std::string& name,
+                               const std::string& abbreviation) {
+  MDM_ASSIGN_OR_RETURN(EntityId id, db->CreateEntity("CATALOG"));
+  MDM_RETURN_IF_ERROR(db->SetAttribute(id, "name", Value::String(name)));
+  MDM_RETURN_IF_ERROR(
+      db->SetAttribute(id, "abbreviation", Value::String(abbreviation)));
+  return id;
+}
+
+Result<EntityId> AddEntry(Database* db, EntityId catalog,
+                          const CatalogEntry& entry) {
+  MDM_ASSIGN_OR_RETURN(EntityId id, db->CreateEntity("CATALOG_ENTRY"));
+  MDM_RETURN_IF_ERROR(
+      db->SetAttribute(id, "number", Value::String(entry.number)));
+  MDM_RETURN_IF_ERROR(
+      db->SetAttribute(id, "title", Value::String(entry.title)));
+  MDM_RETURN_IF_ERROR(
+      db->SetAttribute(id, "setting", Value::String(entry.setting)));
+  MDM_RETURN_IF_ERROR(
+      db->SetAttribute(id, "composed", Value::String(entry.composed)));
+  MDM_RETURN_IF_ERROR(
+      db->SetAttribute(id, "measure_count", Value::Int(entry.measure_count)));
+  MDM_RETURN_IF_ERROR(db->SetAttribute(
+      id, "incipit", Value::String(EncodeIncipit(entry.incipit))));
+  MDM_RETURN_IF_ERROR(db->AppendChild("entry_in_catalog", catalog, id));
+  MDM_RETURN_IF_ERROR(AddCitations(db, id, "manuscript", entry.manuscripts));
+  MDM_RETURN_IF_ERROR(AddCitations(db, id, "edition", entry.editions));
+  MDM_RETURN_IF_ERROR(AddCitations(db, id, "literature", entry.literature));
+  return id;
+}
+
+Result<CatalogEntry> GetEntry(const Database& db, EntityId entry) {
+  CatalogEntry out;
+  MDM_ASSIGN_OR_RETURN(out.number, StringAttr(db, entry, "number"));
+  MDM_ASSIGN_OR_RETURN(out.title, StringAttr(db, entry, "title"));
+  MDM_ASSIGN_OR_RETURN(out.setting, StringAttr(db, entry, "setting"));
+  MDM_ASSIGN_OR_RETURN(out.composed, StringAttr(db, entry, "composed"));
+  MDM_ASSIGN_OR_RETURN(Value measures,
+                       db.GetAttribute(entry, "measure_count"));
+  out.measure_count =
+      measures.is_null() ? 0 : static_cast<int>(measures.AsInt());
+  MDM_ASSIGN_OR_RETURN(std::string incipit, StringAttr(db, entry, "incipit"));
+  out.incipit = DecodeIncipit(incipit);
+  MDM_ASSIGN_OR_RETURN(std::vector<EntityId> citations,
+                       db.Children("citation_in_entry", entry));
+  for (EntityId c : citations) {
+    MDM_ASSIGN_OR_RETURN(std::string kind, StringAttr(db, c, "kind"));
+    MDM_ASSIGN_OR_RETURN(std::string text, StringAttr(db, c, "text"));
+    if (kind == "manuscript") out.manuscripts.push_back(text);
+    else if (kind == "edition") out.editions.push_back(text);
+    else out.literature.push_back(text);
+  }
+  return out;
+}
+
+Result<EntityId> LookupByIdentifier(const Database& db,
+                                    const std::string& identifier) {
+  // "BWV 578" -> abbreviation "BWV", number "578".
+  std::string_view trimmed = StrTrim(identifier);
+  size_t space = trimmed.find(' ');
+  if (space == std::string_view::npos)
+    return InvalidArgument("identifier must look like 'BWV 578'");
+  std::string abbrev(StrTrim(trimmed.substr(0, space)));
+  std::string number(StrTrim(trimmed.substr(space + 1)));
+
+  EntityId found = er::kInvalidEntityId;
+  MDM_RETURN_IF_ERROR(db.ForEachEntity("CATALOG", [&](EntityId catalog) {
+    auto ab = db.GetAttribute(catalog, "abbreviation");
+    if (!ab.ok() || ab->is_null() ||
+        !EqualsIgnoreCase(ab->AsString(), abbrev))
+      return true;
+    auto entries = db.Children("entry_in_catalog", catalog);
+    if (!entries.ok()) return true;
+    for (EntityId entry : *entries) {
+      auto num = db.GetAttribute(entry, "number");
+      if (num.ok() && !num->is_null() &&
+          EqualsIgnoreCase(num->AsString(), number)) {
+        found = entry;
+        return false;
+      }
+    }
+    return true;
+  }));
+  if (found == er::kInvalidEntityId)
+    return NotFound("no catalog entry " + identifier);
+  return found;
+}
+
+Result<std::string> FormatEntry(const Database& db, EntityId entry) {
+  MDM_ASSIGN_OR_RETURN(CatalogEntry e, GetEntry(db, entry));
+  std::string out;
+  out += StrFormat("%s  %s\n", e.number.c_str(), e.title.c_str());
+  out += StrFormat("  Besetzung: %s - EZ %s - %d Takte\n", e.setting.c_str(),
+                   e.composed.c_str(), e.measure_count);
+  if (!e.incipit.empty()) {
+    out += "  Incipit:";
+    for (int k : e.incipit) out += StrFormat(" %d", k);
+    out += "\n";
+  }
+  auto section = [&out](const char* label,
+                        const std::vector<std::string>& items) {
+    if (items.empty()) return;
+    out += StrFormat("  %s: %s\n", label,
+                     StrJoin(items, " - ").c_str());
+  };
+  section("Abschriften", e.manuscripts);
+  section("Ausgaben", e.editions);
+  section("Literatur", e.literature);
+  return out;
+}
+
+std::vector<int> ToIntervals(const std::vector<int>& midi_keys) {
+  std::vector<int> out;
+  for (size_t i = 1; i < midi_keys.size(); ++i)
+    out.push_back(midi_keys[i] - midi_keys[i - 1]);
+  return out;
+}
+
+Result<std::vector<EntityId>> SearchByIntervals(
+    const Database& db, EntityId catalog, const std::vector<int>& intervals) {
+  MDM_ASSIGN_OR_RETURN(std::vector<EntityId> entries,
+                       db.Children("entry_in_catalog", catalog));
+  std::vector<EntityId> hits;
+  for (EntityId entry : entries) {
+    MDM_ASSIGN_OR_RETURN(CatalogEntry e, GetEntry(db, entry));
+    std::vector<int> haystack = ToIntervals(e.incipit);
+    if (intervals.empty() ||
+        std::search(haystack.begin(), haystack.end(), intervals.begin(),
+                    intervals.end()) != haystack.end())
+      hits.push_back(entry);
+  }
+  return hits;
+}
+
+}  // namespace mdm::biblio

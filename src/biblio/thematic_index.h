@@ -1,0 +1,69 @@
+#ifndef MDM_BIBLIO_THEMATIC_INDEX_H_
+#define MDM_BIBLIO_THEMATIC_INDEX_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "er/database.h"
+
+namespace mdm::biblio {
+
+/// §4.2: bibliographic attributes of a composition as found in a
+/// thematic index entry (fig 2: BWV 578).
+struct CatalogEntry {
+  std::string number;        // "578"
+  std::string title;         // "Fuge g-moll"
+  std::string setting;       // Besetzung: "Orgel"
+  std::string composed;      // EZ: "Weimar um 1709"
+  int measure_count = 0;     // Takte
+  std::vector<int> incipit;  // MIDI keys of the thematic fragment
+  std::vector<std::string> manuscripts;  // Abschriften
+  std::vector<std::string> editions;     // Ausgaben
+  std::vector<std::string> literature;   // Literatur
+};
+
+/// Installs the bibliographic schema:
+///   CATALOG (name, abbreviation)      e.g. Bach Werke Verzeichnis, BWV
+///   CATALOG_ENTRY (number, title, setting, composed, measure_count,
+///                  incipit)           one composition
+///   CITATION (kind, text)             manuscripts/editions/literature
+///   define ordering entry_in_catalog (CATALOG_ENTRY) under CATALOG
+///   define ordering citation_in_entry (CITATION) under CATALOG_ENTRY
+/// Idempotent.
+Status InstallBiblioSchema(er::Database* db);
+
+/// Creates a catalog ("Bach Werke Verzeichnis", "BWV").
+Result<er::EntityId> CreateCatalog(er::Database* db, const std::string& name,
+                                   const std::string& abbreviation);
+
+/// Adds an entry; entries are hierarchically ordered within the catalog
+/// (the BWV orders compositions chronologically, §4.2).
+Result<er::EntityId> AddEntry(er::Database* db, er::EntityId catalog,
+                              const CatalogEntry& entry);
+
+/// Reads an entry back.
+Result<CatalogEntry> GetEntry(const er::Database& db, er::EntityId entry);
+
+/// Resolves an accepted identifier like "BWV 578" (§4.2: the
+/// bibliographer's identifier becomes the accepted name of the piece).
+Result<er::EntityId> LookupByIdentifier(const er::Database& db,
+                                        const std::string& identifier);
+
+/// Renders an entry in the style of fig 2.
+Result<std::string> FormatEntry(const er::Database& db, er::EntityId entry);
+
+/// Transposition-invariant incipit search: returns entries whose
+/// thematic fragment contains `intervals` (successive semitone steps)
+/// as a substring. This is the musicological "identify the composition
+/// from its theme" operation the thematic index exists for.
+Result<std::vector<er::EntityId>> SearchByIntervals(
+    const er::Database& db, er::EntityId catalog,
+    const std::vector<int>& intervals);
+
+/// Converts a melody in MIDI keys to its interval sequence.
+std::vector<int> ToIntervals(const std::vector<int>& midi_keys);
+
+}  // namespace mdm::biblio
+
+#endif  // MDM_BIBLIO_THEMATIC_INDEX_H_

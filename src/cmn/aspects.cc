@@ -1,0 +1,125 @@
+#include "cmn/aspects.h"
+
+#include "common/strings.h"
+
+namespace mdm::cmn {
+
+const char* AspectName(Aspect aspect) {
+  switch (aspect) {
+    case Aspect::kTemporal: return "temporal";
+    case Aspect::kTimbral: return "timbral";
+    case Aspect::kPitch: return "pitch";
+    case Aspect::kArticulation: return "articulation";
+    case Aspect::kDynamic: return "dynamic";
+    case Aspect::kGraphical: return "graphical";
+    case Aspect::kTextual: return "textual";
+  }
+  return "?";
+}
+
+namespace {
+
+struct AspectRow {
+  const char* type;
+  std::vector<Aspect> aspects;
+};
+
+// Classification following §7.1.1: notes participate in every aspect;
+// MIDI events "have no graphical aspect in CMN"; page furniture is
+// purely graphical.
+const std::vector<AspectRow>& AspectTable() {
+  static const std::vector<AspectRow>& table = *new std::vector<AspectRow>{
+      {"SCORE", {Aspect::kTemporal, Aspect::kGraphical}},
+      {"MOVEMENT", {Aspect::kTemporal}},
+      {"MEASURE", {Aspect::kTemporal, Aspect::kGraphical}},
+      {"SYNC", {Aspect::kTemporal, Aspect::kGraphical, Aspect::kTextual}},
+      {"GROUP", {Aspect::kTemporal, Aspect::kArticulation,
+                 Aspect::kGraphical}},
+      {"CHORD", {Aspect::kTemporal, Aspect::kTimbral, Aspect::kGraphical,
+                 Aspect::kTextual}},
+      {"EVENT", {Aspect::kTemporal, Aspect::kTimbral}},
+      {"NOTE",
+       {Aspect::kTemporal, Aspect::kTimbral, Aspect::kPitch,
+        Aspect::kArticulation, Aspect::kDynamic, Aspect::kGraphical}},
+      {"REST", {Aspect::kTemporal, Aspect::kGraphical}},
+      {"MIDI_EVENT", {Aspect::kTemporal, Aspect::kTimbral, Aspect::kPitch,
+                      Aspect::kDynamic}},
+      {"MIDI_CONTROL", {Aspect::kTemporal, Aspect::kTimbral}},
+      {"ORCHESTRA", {Aspect::kTimbral}},
+      {"SECTION", {Aspect::kTimbral}},
+      {"INSTRUMENT", {Aspect::kTimbral, Aspect::kPitch}},
+      {"PART", {Aspect::kTimbral, Aspect::kGraphical}},
+      {"VOICE", {Aspect::kTimbral, Aspect::kTemporal}},
+      {"TEXT", {Aspect::kTextual}},
+      {"SYLLABLE", {Aspect::kTextual, Aspect::kGraphical}},
+      {"PAGE", {Aspect::kGraphical}},
+      {"SYSTEM", {Aspect::kGraphical}},
+      {"STAFF", {Aspect::kGraphical, Aspect::kPitch}},
+      {"DEGREE", {Aspect::kGraphical, Aspect::kPitch}},
+      {"CLEF", {Aspect::kGraphical, Aspect::kPitch}},
+      {"KEY_SIGNATURE", {Aspect::kGraphical, Aspect::kPitch}},
+      {"METER_SIGNATURE", {Aspect::kGraphical, Aspect::kTemporal}},
+      {"STEM", {Aspect::kGraphical}},
+      {"NOTE_HEAD", {Aspect::kGraphical}},
+      {"ACCIDENTAL_MARK", {Aspect::kGraphical, Aspect::kPitch}},
+      {"ANNOTATION", {Aspect::kGraphical, Aspect::kTextual}},
+      {"HAIRPIN", {Aspect::kGraphical, Aspect::kDynamic}},
+      {"ACCENT", {Aspect::kGraphical, Aspect::kArticulation}},
+      {"SLUR", {Aspect::kGraphical, Aspect::kArticulation}},
+      {"TIE", {Aspect::kGraphical, Aspect::kTemporal}},
+  };
+  return table;
+}
+
+}  // namespace
+
+std::vector<Aspect> AspectsOf(const std::string& entity_type) {
+  for (const AspectRow& row : AspectTable())
+    if (EqualsIgnoreCase(row.type, entity_type)) return row.aspects;
+  return {};
+}
+
+std::vector<Aspect> AttributeAspects(const std::string& entity_type,
+                                     const std::string& attribute) {
+  // Attribute-level classification: names carry the aspect.
+  std::string a = AsciiLower(attribute);
+  std::vector<Aspect> out;
+  auto has = [&a](const char* needle) {
+    return a.find(needle) != std::string::npos;
+  };
+  if (has("beat") || has("duration") || has("seconds") || has("start") ||
+      has("end") || has("meter"))
+    out.push_back(Aspect::kTemporal);
+  if (has("key") || has("degree") || has("accidental") || has("sharps") ||
+      has("pitch") || has("transposition"))
+    out.push_back(Aspect::kPitch);
+  if (has("articulation") || has("performance")) out.push_back(Aspect::kArticulation);
+  if (has("dynamic") || has("velocity")) out.push_back(Aspect::kDynamic);
+  if (has("pos") || has("width") || has("height") || has("shape") ||
+      has("length") || has("direction") || has("thickness") || has("style") ||
+      has("lines") || has("glyph") || has("span"))
+    out.push_back(Aspect::kGraphical);
+  if (has("text") || has("syllable") || has("language") || has("title") ||
+      has("name"))
+    out.push_back(Aspect::kTextual);
+  if (out.empty()) {
+    // Fall back to the owning type's aspects.
+    out = AspectsOf(entity_type);
+  }
+  return out;
+}
+
+std::string AspectTreeText() {
+  return
+      "aspects of musical entities (fig 12)\n"
+      "|- temporal      when events are performed\n"
+      "|- timbral       how events are performed\n"
+      "|  |- pitch          staff degree, accidentals, clefs, key\n"
+      "|  |                 signatures, performance pitch\n"
+      "|  |- articulation   staccato, marcato, pizzicato, arco\n"
+      "|  |- dynamic        forte, pianissimo, inherited from context\n"
+      "|- graphical     how events are notated on the page\n"
+      "   |- textual        annotations, lyrics/libretti, syllables\n";
+}
+
+}  // namespace mdm::cmn

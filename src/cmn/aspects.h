@@ -1,0 +1,39 @@
+#ifndef MDM_CMN_ASPECTS_H_
+#define MDM_CMN_ASPECTS_H_
+
+#include <string>
+#include <vector>
+
+namespace mdm::cmn {
+
+/// The aspects of musical entities (fig 12). Timbral subdivides into
+/// pitch, articulation and dynamic subaspects; graphical has a textual
+/// subaspect.
+enum class Aspect {
+  kTemporal,
+  kTimbral,
+  kPitch,         // subaspect of timbral
+  kArticulation,  // subaspect of timbral
+  kDynamic,       // subaspect of timbral
+  kGraphical,
+  kTextual,       // subaspect of graphical
+};
+
+const char* AspectName(Aspect aspect);
+
+/// The aspects in which an entity type of the CMN schema participates
+/// ("many entities appear in the graphs for several aspects"). Unknown
+/// types participate in none.
+std::vector<Aspect> AspectsOf(const std::string& entity_type);
+
+/// The aspects in which a (entity type, attribute) pair participates —
+/// the fig 12 "views on the musical schema" at attribute granularity.
+std::vector<Aspect> AttributeAspects(const std::string& entity_type,
+                                     const std::string& attribute);
+
+/// Regenerates fig 12 as an indented tree.
+std::string AspectTreeText();
+
+}  // namespace mdm::cmn
+
+#endif  // MDM_CMN_ASPECTS_H_

@@ -1,0 +1,148 @@
+#include "cmn/pitch.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace mdm::cmn {
+
+const char* ClefName(Clef clef) {
+  switch (clef) {
+    case Clef::kTreble: return "treble";
+    case Clef::kBass: return "bass";
+    case Clef::kAlto: return "alto";
+    case Clef::kTenor: return "tenor";
+  }
+  return "?";
+}
+
+Result<Clef> ParseClef(const std::string& name) {
+  std::string n = AsciiLower(name);
+  if (n == "treble" || n == "g") return Clef::kTreble;
+  if (n == "bass" || n == "f") return Clef::kBass;
+  if (n == "alto" || n == "c") return Clef::kAlto;
+  if (n == "tenor") return Clef::kTenor;
+  return InvalidArgument("unknown clef " + name);
+}
+
+int AccidentalAlter(Accidental acc) {
+  switch (acc) {
+    case Accidental::kNone:
+    case Accidental::kNatural:
+      return 0;
+    case Accidental::kSharp: return 1;
+    case Accidental::kFlat: return -1;
+    case Accidental::kDoubleSharp: return 2;
+    case Accidental::kDoubleFlat: return -2;
+  }
+  return 0;
+}
+
+namespace {
+
+// Semitones above C for each diatonic step C D E F G A B.
+constexpr int kStepSemis[7] = {0, 2, 4, 5, 7, 9, 11};
+constexpr char kStepNames[7] = {'C', 'D', 'E', 'F', 'G', 'A', 'B'};
+
+// Absolute diatonic index (octave*7 + step) of staff degree 1 (the
+// bottom line) for each clef: E4 (treble), G2 (bass), F3 (alto), D3
+// (tenor).
+int BottomLineDiatonic(Clef clef) {
+  switch (clef) {
+    case Clef::kTreble: return 4 * 7 + 2;  // E4
+    case Clef::kBass: return 2 * 7 + 4;    // G2
+    case Clef::kAlto: return 3 * 7 + 3;    // F3
+    case Clef::kTenor: return 3 * 7 + 1;   // D3
+  }
+  return 4 * 7;
+}
+
+// Order in which sharps (F C G D A E B) and flats (B E A D G C F) are
+// applied, as step indices.
+constexpr int kSharpOrder[7] = {3, 0, 4, 1, 5, 2, 6};
+constexpr int kFlatOrder[7] = {6, 2, 5, 1, 4, 0, 3};
+
+}  // namespace
+
+int Pitch::MidiKey() const {
+  int key = 12 * (octave + 1) + kStepSemis[((step % 7) + 7) % 7] + alter;
+  return std::clamp(key, 0, 127);
+}
+
+std::string Pitch::Name() const {
+  std::string out(1, kStepNames[((step % 7) + 7) % 7]);
+  int a = alter;
+  while (a > 0) {
+    out += '#';
+    --a;
+  }
+  while (a < 0) {
+    out += 'b';
+    ++a;
+  }
+  out += std::to_string(octave);
+  return out;
+}
+
+Pitch DegreeToPitch(Clef clef, int degree) {
+  int diatonic = BottomLineDiatonic(clef) + (degree - 1);
+  Pitch p;
+  p.octave = diatonic >= 0 ? diatonic / 7 : (diatonic - 6) / 7;
+  p.step = diatonic - p.octave * 7;
+  p.alter = 0;
+  return p;
+}
+
+int PitchToDegree(Clef clef, const Pitch& pitch) {
+  int diatonic = pitch.octave * 7 + pitch.step;
+  return diatonic - BottomLineDiatonic(clef) + 1;
+}
+
+int KeySignature::AlterFor(int step) const {
+  int n = std::clamp(sharps, -7, 7);
+  if (n > 0) {
+    for (int i = 0; i < n; ++i)
+      if (kSharpOrder[i] == step) return 1;
+  } else if (n < 0) {
+    for (int i = 0; i < -n; ++i)
+      if (kFlatOrder[i] == step) return -1;
+  }
+  return 0;
+}
+
+std::string KeySignature::MajorName() const {
+  // Circle of fifths from C.
+  static const char* kNames[] = {"Cb", "Gb", "Db", "Ab", "Eb", "Bb", "F",
+                                 "C",  "G",  "D",  "A",  "E",  "B",  "F#",
+                                 "C#"};
+  int n = std::clamp(sharps, -7, 7);
+  return std::string(kNames[n + 7]) + " major";
+}
+
+int AccidentalState::EffectiveAlter(int step, int octave) const {
+  for (auto it = marks_.rbegin(); it != marks_.rend(); ++it)
+    if (it->first == std::make_pair(step, octave)) return it->second;
+  return key_.AlterFor(step);
+}
+
+int AccidentalState::Apply(int step, int octave, Accidental acc) {
+  if (acc == Accidental::kNone) return EffectiveAlter(step, octave);
+  int alter = AccidentalAlter(acc);
+  marks_.push_back({{step, octave}, alter});
+  return alter;
+}
+
+void AccidentalState::Reset() { marks_.clear(); }
+
+int PerformancePitch(Clef clef, int degree, Accidental acc,
+                     AccidentalState* state, Pitch* out_pitch) {
+  Pitch p = DegreeToPitch(clef, degree);
+  p.alter = state != nullptr
+                ? state->Apply(p.step, p.octave, acc)
+                : (acc == Accidental::kNone ? 0 : AccidentalAlter(acc));
+  if (out_pitch != nullptr) *out_pitch = p;
+  return p.MidiKey();
+}
+
+}  // namespace mdm::cmn

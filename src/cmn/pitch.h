@@ -1,0 +1,107 @@
+#ifndef MDM_CMN_PITCH_H_
+#define MDM_CMN_PITCH_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mdm::cmn {
+
+/// Clefs supported by the CMN schema. The clef is the paper's §4.3
+/// example of meta-musical information: it determines "a mapping from
+/// staff degree to scale pitch" for everything after it on the staff.
+enum class Clef { kTreble, kBass, kAlto, kTenor };
+
+const char* ClefName(Clef clef);
+Result<Clef> ParseClef(const std::string& name);
+
+/// Explicit accidental marks. kNone means "inherit from the key
+/// signature and any earlier accidental in the measure".
+enum class Accidental {
+  kNone = 0,
+  kNatural,
+  kSharp,
+  kFlat,
+  kDoubleSharp,
+  kDoubleFlat,
+};
+
+/// Semitone offset contributed by an explicit accidental (natural = 0).
+int AccidentalAlter(Accidental acc);
+
+/// A diatonic pitch: step 0..6 = C D E F G A B, octave in scientific
+/// pitch notation (octave 4 contains middle C), alter in semitones.
+struct Pitch {
+  int step = 0;
+  int octave = 4;
+  int alter = 0;
+
+  /// MIDI key number (C4 = 60). Clamped to [0, 127].
+  int MidiKey() const;
+  /// "F#4", "Bb2", "C4".
+  std::string Name() const;
+};
+
+/// Staff degrees use the DARMS convention: degree 1 is the bottom staff
+/// line, 2 the bottom space, and so on upward; 0 and negatives continue
+/// below the staff (ledger lines). DegreeToPitch applies the clef's
+/// mapping ("Every Good Boy Does Fine" for the treble clef) and yields
+/// the unaltered diatonic pitch.
+Pitch DegreeToPitch(Clef clef, int degree);
+
+/// Inverse of DegreeToPitch, ignoring alteration.
+int PitchToDegree(Clef clef, const Pitch& pitch);
+
+/// A key signature as a count of sharps (positive) or flats (negative),
+/// e.g. +3 = A major / f# minor (the paper's §4.3 example), -2 = Bb
+/// major / g minor (BWV 578's key).
+///
+/// Declarative reading: names the tonality. Procedural reading (also
+/// §4.3): "perform all notes notated as F, C, or G one semitone higher
+/// than written" — KeyAlter implements exactly that.
+struct KeySignature {
+  int sharps = 0;
+
+  /// Semitone alteration the signature applies to `step` (0..6).
+  int AlterFor(int step) const;
+  /// Major-key name of the tonality ("A major", "Bb major").
+  std::string MajorName() const;
+};
+
+/// Tracks accidentals within one measure: an explicit accidental on a
+/// (step, octave) holds for the rest of the measure, overriding the key
+/// signature (standard CMN semantics). Reset at each barline.
+class AccidentalState {
+ public:
+  explicit AccidentalState(KeySignature key) : key_(key) {}
+
+  /// Effective alteration for an unmarked note at (step, octave).
+  int EffectiveAlter(int step, int octave) const;
+
+  /// Records an explicit accidental; returns its alteration.
+  int Apply(int step, int octave, Accidental acc);
+
+  /// Barline: explicit accidentals expire.
+  void Reset();
+
+  const KeySignature& key() const { return key_; }
+
+ private:
+  KeySignature key_;
+  // (step, octave) -> alteration; small, linear scan is fine.
+  std::vector<std::pair<std::pair<int, int>, int>> marks_;
+};
+
+/// The complete §4.3 derivation: performance pitch of a note given its
+/// staff degree, the governing clef and key signature, and any explicit
+/// accidental, with `state` carrying earlier accidentals in the measure.
+/// Returns the MIDI key and (via `out_pitch`) the spelled pitch.
+int PerformancePitch(Clef clef, int degree, Accidental acc,
+                     AccidentalState* state, Pitch* out_pitch);
+
+}  // namespace mdm::cmn
+
+#endif  // MDM_CMN_PITCH_H_

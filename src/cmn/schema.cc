@@ -1,0 +1,184 @@
+#include "cmn/schema.h"
+
+#include "common/strings.h"
+#include "ddl/parser.h"
+
+namespace mdm::cmn {
+
+namespace {
+
+// The CMN schema, in the paper's own DDL. Attribute grouping follows
+// fig 12: temporal attributes are rational score times / float seconds;
+// pitch attributes are staff degrees and accidentals; articulation and
+// dynamic attributes are modal strings; graphical attributes are page
+// coordinates.
+constexpr char kCmnDdl[] = R"(
+  -- Temporal aspect (fig 13).
+  define entity SCORE (title = string, catalog_id = string,
+                       duration_beats = rational)
+  define entity MOVEMENT (name = string, number = integer,
+                          duration_beats = rational)
+  define entity MEASURE (number = integer, meter_num = integer,
+                         meter_den = integer)
+  define entity SYNC (beat = rational)
+  define entity GROUP (function = string, duration_beats = rational)
+  define entity CHORD (duration_beats = rational, stem_direction = integer)
+  define entity REST (duration_beats = rational)
+  define entity EVENT (start_seconds = float, end_seconds = float)
+  define entity NOTE (degree = integer, accidental = integer,
+                      duration_beats = rational, midi_key = integer,
+                      articulation = string, dynamic = string,
+                      performance = string)
+  define entity MIDI_EVENT (key = integer, velocity = integer,
+                            channel = integer, start_seconds = float,
+                            end_seconds = float)
+  define entity MIDI_CONTROL (controller = integer, value = integer,
+                              at_seconds = float)
+
+  -- Timbral aspect.
+  define entity ORCHESTRA (name = string)
+  define entity SECTION (family = string)
+  define entity INSTRUMENT (name = string, midi_program = integer,
+                            transposition = integer)
+  define entity PART (name = string)
+  define entity VOICE (number = integer)
+  define entity INSTRUMENT_DEF (name = string, patch = string)
+
+  -- Graphical aspect.
+  define entity PAGE (number = integer, width = integer, height = integer)
+  define entity SYSTEM (number = integer, ypos = integer)
+  define entity STAFF (number = integer, ypos = integer, lines = integer)
+  define entity DEGREE (number = integer)
+  define entity CLEF (kind = string, at_beat = rational)
+  define entity KEY_SIGNATURE (sharps = integer, at_beat = rational)
+  define entity METER_SIGNATURE (numerator = integer,
+                                 denominator = integer,
+                                 at_beat = rational)
+  define entity NOTE_HEAD (shape = string, xpos = integer, ypos = integer)
+  define entity STEM (xpos = integer, ypos = integer, length = integer,
+                      direction = integer)
+  define entity FLAG (count = integer)
+  define entity DURATION_DOT (count = integer)
+  define entity ACCIDENTAL_MARK (kind = integer, xpos = integer)
+  define entity BARLINE (style = string)
+  define entity BEAM (thickness = integer)
+  define entity SLUR (x0 = integer, y0 = integer, x1 = integer,
+                      y1 = integer)
+  define entity TIE (x0 = integer, x1 = integer)
+  define entity HAIRPIN (kind = string, x0 = integer, x1 = integer)
+  define entity ACCENT (kind = string)
+  define entity ANNOTATION (text = string, xpos = integer, ypos = integer)
+  define entity FINGERING (finger = integer)
+  define entity ARPEGGIO (span = integer)
+  define entity LETTER (glyph = string)
+
+  -- Textual subaspect.
+  define entity TEXT (language = string)
+  define entity SYLLABLE (text = string, melisma = integer)
+
+  -- Temporal orderings (fig 13).
+  define ordering movement_in_score (MOVEMENT) under SCORE
+  define ordering measure_in_movement (MEASURE) under MOVEMENT
+  define ordering sync_in_measure (SYNC) under MEASURE
+  define ordering chord_in_sync (CHORD) under SYNC
+  define ordering note_in_chord (NOTE) under CHORD
+  -- Fig 15: groups gather chords and rests (and nest: beams in beams).
+  define ordering group_seq (GROUP, CHORD, REST) under GROUP
+  -- A voice is an ordered sequence of chords and rests (§5.5).
+  define ordering voice_seq (CHORD, REST) under VOICE
+  -- Ties bind notes under one performed event (§7.2).
+  define ordering note_in_event (NOTE) under EVENT
+  define ordering midi_in_event (MIDI_EVENT) under EVENT
+
+  -- Timbral orderings.
+  define ordering section_in_orchestra (SECTION) under ORCHESTRA
+  define ordering instrument_in_section (INSTRUMENT) under SECTION
+  define ordering part_in_instrument (PART) under INSTRUMENT
+  define ordering staff_in_instrument (STAFF) under INSTRUMENT
+  define ordering voice_in_part (VOICE) under PART
+
+  -- Graphical orderings.
+  define ordering page_in_score (PAGE) under SCORE
+  define ordering system_on_page (SYSTEM) under PAGE
+  define ordering staff_in_system (STAFF) under SYSTEM
+  define ordering note_on_staff (NOTE) under STAFF
+  define ordering degree_on_staff (DEGREE) under STAFF
+  define ordering clef_on_staff (CLEF) under STAFF
+  define ordering keysig_on_staff (KEY_SIGNATURE) under STAFF
+  define ordering syllable_in_text (SYLLABLE) under TEXT
+
+  -- Cross-aspect relationships.
+  define relationship PERFORMS (orchestra = ORCHESTRA, score = SCORE)
+  define relationship VOICE_OF_EVENT (event = EVENT, voice = VOICE)
+  define relationship TEXT_OF_PART (part = PART, text = TEXT)
+  define relationship SYLLABLE_OF_NOTE (note = NOTE, syllable = SYLLABLE)
+  define relationship INSTRUMENT_PATCH (instrument = INSTRUMENT,
+                                        def = INSTRUMENT_DEF)
+)";
+
+struct Fig11Row {
+  const char* entity;
+  const char* description;
+};
+
+constexpr Fig11Row kFig11[] = {
+    {"Score", "The unit of musical composition"},
+    {"Movement", "A temporal subsection of the score"},
+    {"Measure", "A temporal subsection of the movement"},
+    {"Sync", "Sets of simultaneous events"},
+    {"Group", "A group of contiguous chords and rests in a voice"},
+    {"Chord", "A set of notes in one voice at one sync"},
+    {"Event", "An atomic unit of sound, one or more notes"},
+    {"Note", "An atomic unit of music, a pitch in a chord"},
+    {"Rest", "A \"chord\" containing no notes"},
+    {"MIDI", "A MIDI note event"},
+    {"MIDI control", "A MIDI control event at a point in time"},
+    {"Orchestra", "A set of Instruments performing a Score"},
+    {"Section", "A family of instruments"},
+    {"Instrument", "The unit of timbral definition"},
+    {"Part", "Music assigned to an individual performer"},
+    {"Voice", "The unit of homophony"},
+    {"Text", "In vocal music, a line of text associated with the notes"},
+    {"Syllable", "The piece of text associated with a single note"},
+    {"Page", "One graphical page of the score"},
+    {"System", "One line of the score on a page"},
+    {"Staff", "A division of the system, associated with an instrument"},
+    {"Degree", "A division of the staff (line and space)"},
+    {"Graphical Definitions", "All the graphical icons and linears"},
+    {"Instrument Definitions", "Instrument patches and specifications"},
+    {"Other graphical attributes",
+     "Accents, Accidentals, Annotations, Arpeggii, Barlines, Beams, "
+     "Clefs, Duration dots, Fingerings, Flags, Hairpins, Key signatures, "
+     "Meter signatures, Note heads, Rests, Slurs, Staff lines, Stems, "
+     "Ties, Letters, etc"},
+};
+
+}  // namespace
+
+Status InstallCmnSchema(er::Database* db) {
+  if (db->schema().FindEntityType("SCORE") != nullptr) return Status::OK();
+  auto r = ddl::ExecuteDdl(kCmnDdl, db);
+  return r.ok() ? Status::OK() : r.status();
+}
+
+const std::vector<std::string>& Fig11EntityTypes() {
+  static const std::vector<std::string>& names = *new std::vector<std::string>{
+      "SCORE",      "MOVEMENT",   "MEASURE",       "SYNC",
+      "GROUP",      "CHORD",      "EVENT",         "NOTE",
+      "REST",       "MIDI_EVENT", "MIDI_CONTROL",  "ORCHESTRA",
+      "SECTION",    "INSTRUMENT", "PART",          "VOICE",
+      "TEXT",       "SYLLABLE",   "PAGE",          "SYSTEM",
+      "STAFF",      "DEGREE",     "INSTRUMENT_DEF"};
+  return names;
+}
+
+std::string Fig11Table() {
+  std::string out;
+  out += StrFormat("%-24s| %s\n", "Entity type", "Description");
+  out += std::string(80, '-') + "\n";
+  for (const Fig11Row& row : kFig11)
+    out += StrFormat("%-24s| %s\n", row.entity, row.description);
+  return out;
+}
+
+}  // namespace mdm::cmn

@@ -1,0 +1,55 @@
+#ifndef MDM_CMN_SCHEMA_H_
+#define MDM_CMN_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "er/database.h"
+
+namespace mdm::cmn {
+
+// Ordering names used by the CMN schema (figs 13/15 and the timbral and
+// graphical aspects). Exposed so clients and QUEL queries can name them.
+inline constexpr char kMovementInScore[] = "movement_in_score";
+inline constexpr char kMeasureInMovement[] = "measure_in_movement";
+inline constexpr char kSyncInMeasure[] = "sync_in_measure";
+inline constexpr char kChordInSync[] = "chord_in_sync";
+inline constexpr char kNoteInChord[] = "note_in_chord";
+inline constexpr char kGroupSeq[] = "group_seq";          // recursive
+inline constexpr char kVoiceSeq[] = "voice_seq";          // chords+rests
+inline constexpr char kNoteInEvent[] = "note_in_event";   // ties
+inline constexpr char kMidiInEvent[] = "midi_in_event";
+inline constexpr char kSectionInOrchestra[] = "section_in_orchestra";
+inline constexpr char kInstrumentInSection[] = "instrument_in_section";
+inline constexpr char kPartInInstrument[] = "part_in_instrument";
+inline constexpr char kStaffInInstrument[] = "staff_in_instrument";
+inline constexpr char kVoiceInPart[] = "voice_in_part";
+inline constexpr char kPageInScore[] = "page_in_score";
+inline constexpr char kSystemOnPage[] = "system_on_page";
+inline constexpr char kStaffInSystem[] = "staff_in_system";
+inline constexpr char kNoteOnStaff[] = "note_on_staff";
+inline constexpr char kDegreeOnStaff[] = "degree_on_staff";
+inline constexpr char kSyllableInText[] = "syllable_in_text";
+inline constexpr char kClefOnStaff[] = "clef_on_staff";
+inline constexpr char kKeySigOnStaff[] = "keysig_on_staff";
+
+/// Installs the complete CMN schema of fig 11 — every entity type the
+/// paper enumerates, with attributes grouped by aspect (fig 12), the
+/// temporal-aspect orderings of fig 13, the group structure of fig 15,
+/// and the timbral/graphical orderings described in §7.1.
+///
+/// Idempotent: a database that already has SCORE installed is left
+/// unchanged.
+Status InstallCmnSchema(er::Database* db);
+
+/// Names of every entity type fig 11 lists (used to regenerate the
+/// figure and by coverage tests).
+const std::vector<std::string>& Fig11EntityTypes();
+
+/// Regenerates fig 11 as a two-column text table (entity | description).
+std::string Fig11Table();
+
+}  // namespace mdm::cmn
+
+#endif  // MDM_CMN_SCHEMA_H_

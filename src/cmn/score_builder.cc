@@ -1,0 +1,149 @@
+#include "cmn/score_builder.h"
+
+#include "common/strings.h"
+
+namespace mdm::cmn {
+
+using er::EntityId;
+using rel::Value;
+
+Result<EntityId> ScoreBuilder::CreateScore(const std::string& title,
+                                           const std::string& catalog_id) {
+  MDM_ASSIGN_OR_RETURN(EntityId id, db_->CreateEntity("SCORE"));
+  MDM_RETURN_IF_ERROR(db_->SetAttribute(id, "title", Value::String(title)));
+  if (!catalog_id.empty())
+    MDM_RETURN_IF_ERROR(
+        db_->SetAttribute(id, "catalog_id", Value::String(catalog_id)));
+  return id;
+}
+
+Result<EntityId> ScoreBuilder::AddMovement(EntityId score,
+                                           const std::string& name) {
+  MDM_ASSIGN_OR_RETURN(EntityId id, db_->CreateEntity("MOVEMENT"));
+  MDM_RETURN_IF_ERROR(db_->SetAttribute(id, "name", Value::String(name)));
+  MDM_ASSIGN_OR_RETURN(uint64_t n, db_->ChildCount(kMovementInScore, score));
+  MDM_RETURN_IF_ERROR(
+      db_->SetAttribute(id, "number", Value::Int(static_cast<int64_t>(n))));
+  MDM_RETURN_IF_ERROR(db_->AppendChild(kMovementInScore, score, id));
+  return id;
+}
+
+Result<EntityId> ScoreBuilder::AddMeasure(EntityId movement, int number,
+                                          mtime::TimeSignature meter) {
+  MDM_ASSIGN_OR_RETURN(EntityId id, db_->CreateEntity("MEASURE"));
+  MDM_RETURN_IF_ERROR(db_->SetAttribute(id, "number", Value::Int(number)));
+  MDM_RETURN_IF_ERROR(
+      db_->SetAttribute(id, "meter_num", Value::Int(meter.numerator)));
+  MDM_RETURN_IF_ERROR(
+      db_->SetAttribute(id, "meter_den", Value::Int(meter.denominator)));
+  MDM_RETURN_IF_ERROR(db_->AppendChild(kMeasureInMovement, movement, id));
+  return id;
+}
+
+Result<EntityId> ScoreBuilder::GetOrAddSync(EntityId measure,
+                                            const Rational& beat) {
+  if (beat.IsNegative())
+    return InvalidArgument("sync beat must be non-negative");
+  MDM_ASSIGN_OR_RETURN(std::vector<EntityId> syncs,
+                       db_->Children(kSyncInMeasure, measure));
+  // Keep syncs sorted by beat; reuse an existing sync at the same point
+  // of alignment (fig 14: syncs are shared by simultaneous events).
+  size_t insert_at = syncs.size();
+  for (size_t i = 0; i < syncs.size(); ++i) {
+    MDM_ASSIGN_OR_RETURN(Value v, db_->GetAttribute(syncs[i], "beat"));
+    if (v.is_null()) continue;
+    const Rational& b = v.AsRational();
+    if (b == beat) return syncs[i];
+    if (beat < b) {
+      insert_at = i;
+      break;
+    }
+  }
+  MDM_ASSIGN_OR_RETURN(EntityId sync, db_->CreateEntity("SYNC"));
+  MDM_RETURN_IF_ERROR(db_->SetAttribute(sync, "beat", Value::Rat(beat)));
+  MDM_RETURN_IF_ERROR(
+      db_->InsertChildAt(kSyncInMeasure, measure, sync, insert_at));
+  return sync;
+}
+
+Result<EntityId> ScoreBuilder::AddVoice(int number) {
+  MDM_ASSIGN_OR_RETURN(EntityId id, db_->CreateEntity("VOICE"));
+  MDM_RETURN_IF_ERROR(db_->SetAttribute(id, "number", Value::Int(number)));
+  return id;
+}
+
+Result<EntityId> ScoreBuilder::AddChord(EntityId sync, EntityId voice,
+                                        const Rational& duration) {
+  if (duration.IsNegative() || duration.IsZero())
+    return InvalidArgument("chord duration must be positive");
+  MDM_ASSIGN_OR_RETURN(EntityId id, db_->CreateEntity("CHORD"));
+  MDM_RETURN_IF_ERROR(
+      db_->SetAttribute(id, "duration_beats", Value::Rat(duration)));
+  MDM_RETURN_IF_ERROR(db_->AppendChild(kChordInSync, sync, id));
+  MDM_RETURN_IF_ERROR(db_->AppendChild(kVoiceSeq, voice, id));
+  return id;
+}
+
+Result<EntityId> ScoreBuilder::AddRest(EntityId voice,
+                                       const Rational& duration) {
+  if (duration.IsNegative() || duration.IsZero())
+    return InvalidArgument("rest duration must be positive");
+  MDM_ASSIGN_OR_RETURN(EntityId id, db_->CreateEntity("REST"));
+  MDM_RETURN_IF_ERROR(
+      db_->SetAttribute(id, "duration_beats", Value::Rat(duration)));
+  MDM_RETURN_IF_ERROR(db_->AppendChild(kVoiceSeq, voice, id));
+  return id;
+}
+
+Result<EntityId> ScoreBuilder::AddNote(EntityId chord, Clef clef, int degree,
+                                       Accidental acc,
+                                       AccidentalState* state) {
+  MDM_ASSIGN_OR_RETURN(EntityId id, db_->CreateEntity("NOTE"));
+  MDM_RETURN_IF_ERROR(db_->SetAttribute(id, "degree", Value::Int(degree)));
+  MDM_RETURN_IF_ERROR(db_->SetAttribute(
+      id, "accidental", Value::Int(static_cast<int64_t>(acc))));
+  Pitch pitch;
+  int midi = PerformancePitch(clef, degree, acc, state, &pitch);
+  MDM_RETURN_IF_ERROR(db_->SetAttribute(id, "midi_key", Value::Int(midi)));
+  MDM_RETURN_IF_ERROR(db_->AppendChild(kNoteInChord, chord, id));
+  return id;
+}
+
+Result<EntityId> ScoreBuilder::AddNoteMidi(EntityId chord, int midi_key) {
+  if (midi_key < 0 || midi_key > 127)
+    return InvalidArgument(StrFormat("MIDI key %d out of range", midi_key));
+  MDM_ASSIGN_OR_RETURN(EntityId id, db_->CreateEntity("NOTE"));
+  MDM_RETURN_IF_ERROR(
+      db_->SetAttribute(id, "midi_key", Value::Int(midi_key)));
+  MDM_RETURN_IF_ERROR(db_->AppendChild(kNoteInChord, chord, id));
+  return id;
+}
+
+Status ScoreBuilder::Tie(EntityId a, EntityId b) {
+  MDM_ASSIGN_OR_RETURN(std::string type_a, db_->TypeOf(a));
+  MDM_ASSIGN_OR_RETURN(std::string type_b, db_->TypeOf(b));
+  if (type_a != "NOTE" || type_b != "NOTE")
+    return TypeError("ties bind notes");
+  MDM_ASSIGN_OR_RETURN(EntityId event_a, db_->ParentOf(kNoteInEvent, a));
+  MDM_ASSIGN_OR_RETURN(EntityId event_b, db_->ParentOf(kNoteInEvent, b));
+  if (event_b != er::kInvalidEntityId)
+    return ConstraintViolation("note is already tied into an event");
+  if (event_a == er::kInvalidEntityId) {
+    MDM_ASSIGN_OR_RETURN(event_a, db_->CreateEntity("EVENT"));
+    MDM_RETURN_IF_ERROR(db_->AppendChild(kNoteInEvent, event_a, a));
+  }
+  return db_->AppendChild(kNoteInEvent, event_a, b);
+}
+
+Result<EntityId> ScoreBuilder::AddGroup(const std::string& function) {
+  MDM_ASSIGN_OR_RETURN(EntityId id, db_->CreateEntity("GROUP"));
+  MDM_RETURN_IF_ERROR(
+      db_->SetAttribute(id, "function", Value::String(function)));
+  return id;
+}
+
+Status ScoreBuilder::AddToGroup(EntityId group, EntityId element) {
+  return db_->AppendChild(kGroupSeq, group, element);
+}
+
+}  // namespace mdm::cmn

@@ -1,0 +1,81 @@
+#ifndef MDM_CMN_SCORE_BUILDER_H_
+#define MDM_CMN_SCORE_BUILDER_H_
+
+#include <string>
+
+#include "cmn/pitch.h"
+#include "cmn/schema.h"
+#include "common/rational.h"
+#include "common/result.h"
+#include "er/database.h"
+#include "mtime/meter.h"
+
+namespace mdm::cmn {
+
+/// Convenience layer for constructing CMN scores in an MDM database.
+///
+/// The builder is a thin typed facade over the ER operations — every
+/// object it creates is an ordinary entity reachable through QUEL and
+/// the ordering API. A typesetting or composition client (§2) would sit
+/// exactly here.
+class ScoreBuilder {
+ public:
+  /// The database must already have the CMN schema installed.
+  explicit ScoreBuilder(er::Database* db) : db_(db) {}
+
+  Result<er::EntityId> CreateScore(const std::string& title,
+                                   const std::string& catalog_id = "");
+
+  Result<er::EntityId> AddMovement(er::EntityId score,
+                                   const std::string& name);
+
+  /// Appends measure `number` with the given meter.
+  Result<er::EntityId> AddMeasure(er::EntityId movement, int number,
+                                  mtime::TimeSignature meter = {4, 4});
+
+  /// Returns the sync at `beat` within the measure, creating it (in
+  /// sorted position) if absent. Beats are quarter-note units from the
+  /// measure start (fig 14).
+  Result<er::EntityId> GetOrAddSync(er::EntityId measure,
+                                    const Rational& beat);
+
+  Result<er::EntityId> AddVoice(int number);
+
+  /// Creates a chord of the given duration, attached both temporally
+  /// (chord_in_sync) and timbrally (voice_seq).
+  Result<er::EntityId> AddChord(er::EntityId sync, er::EntityId voice,
+                                const Rational& duration);
+
+  /// Appends a rest to the voice (rests occupy score time but produce
+  /// no performance information, §7.2).
+  Result<er::EntityId> AddRest(er::EntityId voice, const Rational& duration);
+
+  /// Adds a note to a chord by notated position: staff degree under a
+  /// clef, with an explicit accidental. The performance (MIDI) pitch is
+  /// derived per §4.3 and stored alongside.
+  Result<er::EntityId> AddNote(er::EntityId chord, Clef clef, int degree,
+                               Accidental acc = Accidental::kNone,
+                               AccidentalState* state = nullptr);
+
+  /// Adds a note directly by MIDI key (for event-stream clients).
+  Result<er::EntityId> AddNoteMidi(er::EntityId chord, int midi_key);
+
+  /// Ties two notes into one performed EVENT (§7.2: "the Tie is a
+  /// musical construct that binds multiple note entities under a single
+  /// event entity"). `a` may already be tied; `b` must not be.
+  Status Tie(er::EntityId a, er::EntityId b);
+
+  /// Creates a GROUP with the given function ("beam", "slur", "tuplet")
+  /// — fig 15 — and attaches elements in order.
+  Result<er::EntityId> AddGroup(const std::string& function);
+  Status AddToGroup(er::EntityId group, er::EntityId element);
+
+  er::Database* db() { return db_; }
+
+ private:
+  er::Database* db_;
+};
+
+}  // namespace mdm::cmn
+
+#endif  // MDM_CMN_SCORE_BUILDER_H_

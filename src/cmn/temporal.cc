@@ -1,0 +1,301 @@
+#include "cmn/temporal.h"
+
+#include <algorithm>
+#include <map>
+
+#include "cmn/score_builder.h"
+#include "common/strings.h"
+#include "mtime/meter.h"
+
+namespace mdm::cmn {
+
+using er::Database;
+using er::EntityId;
+using er::kInvalidEntityId;
+using rel::Value;
+using rel::ValueType;
+
+namespace {
+
+Result<Rational> RationalAttr(const Database& db, EntityId id,
+                              const char* attr, Rational fallback) {
+  MDM_ASSIGN_OR_RETURN(Value v, db.GetAttribute(id, attr));
+  if (v.is_null()) return fallback;
+  if (v.type() != ValueType::kRational)
+    return TypeError(StrFormat("attribute %s is not rational", attr));
+  return v.AsRational();
+}
+
+Result<int64_t> IntAttr(const Database& db, EntityId id, const char* attr,
+                        int64_t fallback) {
+  MDM_ASSIGN_OR_RETURN(Value v, db.GetAttribute(id, attr));
+  if (v.is_null()) return fallback;
+  return v.AsInt();
+}
+
+}  // namespace
+
+Result<std::vector<MeasureSpan>> BuildMeasureTable(const Database& db,
+                                                   EntityId score) {
+  std::vector<MeasureSpan> table;
+  Rational cursor(0);
+  MDM_ASSIGN_OR_RETURN(std::vector<EntityId> movements,
+                       db.Children(kMovementInScore, score));
+  for (EntityId movement : movements) {
+    MDM_ASSIGN_OR_RETURN(std::vector<EntityId> measures,
+                         db.Children(kMeasureInMovement, movement));
+    for (EntityId measure : measures) {
+      MDM_ASSIGN_OR_RETURN(int64_t num, IntAttr(db, measure, "meter_num", 4));
+      MDM_ASSIGN_OR_RETURN(int64_t den, IntAttr(db, measure, "meter_den", 4));
+      mtime::TimeSignature sig{static_cast<int>(num), static_cast<int>(den)};
+      MeasureSpan span;
+      span.measure = measure;
+      span.start = cursor;
+      span.length = sig.BeatsPerMeasure();
+      cursor += span.length;
+      table.push_back(span);
+    }
+  }
+  return table;
+}
+
+Result<Rational> SyncScoreTime(const Database& db, EntityId sync) {
+  MDM_ASSIGN_OR_RETURN(EntityId measure, db.ParentOf(kSyncInMeasure, sync));
+  if (measure == kInvalidEntityId)
+    return FailedPrecondition("sync is not placed in a measure");
+  MDM_ASSIGN_OR_RETURN(Rational beat,
+                       RationalAttr(db, sync, "beat", Rational(0)));
+  // Walk upward to the score to compute the measure's absolute start.
+  MDM_ASSIGN_OR_RETURN(EntityId movement,
+                       db.ParentOf(kMeasureInMovement, measure));
+  if (movement == kInvalidEntityId)
+    return FailedPrecondition("measure is not placed in a movement");
+  MDM_ASSIGN_OR_RETURN(EntityId score,
+                       db.ParentOf(kMovementInScore, movement));
+  if (score == kInvalidEntityId)
+    return FailedPrecondition("movement is not placed in a score");
+  MDM_ASSIGN_OR_RETURN(std::vector<MeasureSpan> table,
+                       BuildMeasureTable(db, score));
+  for (const MeasureSpan& span : table)
+    if (span.measure == measure) return span.start + beat;
+  return Internal("measure missing from its own score's table");
+}
+
+Result<Rational> GroupDuration(Database* db, EntityId group) {
+  MDM_ASSIGN_OR_RETURN(std::vector<EntityId> members,
+                       db->Children(kGroupSeq, group));
+  Rational total(0);
+  for (EntityId member : members) {
+    MDM_ASSIGN_OR_RETURN(std::string type, db->TypeOf(member));
+    if (type == "GROUP") {
+      MDM_ASSIGN_OR_RETURN(Rational inner, GroupDuration(db, member));
+      total += inner;
+    } else {
+      MDM_ASSIGN_OR_RETURN(
+          Rational d, RationalAttr(*db, member, "duration_beats", Rational(0)));
+      total += d;
+    }
+  }
+  MDM_RETURN_IF_ERROR(
+      db->SetAttribute(group, "duration_beats", Value::Rat(total)));
+  return total;
+}
+
+int DynamicToVelocity(const std::string& dynamic) {
+  static const std::pair<const char*, int> kTable[] = {
+      {"ppp", 20}, {"pp", 32}, {"p", 44},  {"mp", 56},
+      {"mf", 68},  {"f", 84},  {"ff", 100}, {"fff", 116}};
+  for (const auto& [name, vel] : kTable)
+    if (EqualsIgnoreCase(dynamic, name)) return vel;
+  return 64;
+}
+
+Result<std::vector<PerformedNote>> ExtractPerformance(
+    Database* db, EntityId score, const mtime::TempoMap& tempo) {
+  MDM_ASSIGN_OR_RETURN(std::vector<MeasureSpan> table,
+                       BuildMeasureTable(*db, score));
+  std::vector<PerformedNote> out;
+  // Tied continuation notes must not re-trigger: collect every note that
+  // is a non-initial member of an EVENT.
+  std::map<EntityId, Rational> event_extra;  // first note -> extra beats
+  std::map<EntityId, bool> suppressed;       // continuation notes
+  for (const MeasureSpan& span : table) {
+    MDM_ASSIGN_OR_RETURN(std::vector<EntityId> syncs,
+                         db->Children(kSyncInMeasure, span.measure));
+    for (EntityId sync : syncs) {
+      MDM_ASSIGN_OR_RETURN(std::vector<EntityId> chords,
+                           db->Children(kChordInSync, sync));
+      for (EntityId chord : chords) {
+        MDM_ASSIGN_OR_RETURN(std::vector<EntityId> notes,
+                             db->Children(kNoteInChord, chord));
+        for (EntityId note : notes) {
+          MDM_ASSIGN_OR_RETURN(EntityId event,
+                               db->ParentOf(kNoteInEvent, note));
+          if (event == kInvalidEntityId) continue;
+          MDM_ASSIGN_OR_RETURN(std::vector<EntityId> tied,
+                               db->Children(kNoteInEvent, event));
+          if (tied.empty() || tied.front() == note) continue;
+          suppressed[note] = true;
+        }
+      }
+    }
+  }
+  // Pre-compute tie extensions: for each event, extra duration beyond
+  // the first note from the chords of its continuation notes.
+  for (const MeasureSpan& span : table) {
+    MDM_ASSIGN_OR_RETURN(std::vector<EntityId> syncs,
+                         db->Children(kSyncInMeasure, span.measure));
+    for (EntityId sync : syncs) {
+      MDM_ASSIGN_OR_RETURN(std::vector<EntityId> chords,
+                           db->Children(kChordInSync, sync));
+      for (EntityId chord : chords) {
+        MDM_ASSIGN_OR_RETURN(Rational chord_dur,
+                             RationalAttr(*db, chord, "duration_beats",
+                                          Rational(1)));
+        MDM_ASSIGN_OR_RETURN(std::vector<EntityId> notes,
+                             db->Children(kNoteInChord, chord));
+        for (EntityId note : notes) {
+          if (suppressed.find(note) == suppressed.end()) continue;
+          MDM_ASSIGN_OR_RETURN(EntityId event,
+                               db->ParentOf(kNoteInEvent, note));
+          MDM_ASSIGN_OR_RETURN(std::vector<EntityId> tied,
+                               db->Children(kNoteInEvent, event));
+          EntityId first = tied.front();
+          auto [it, inserted] = event_extra.try_emplace(first, chord_dur);
+          if (!inserted) it->second += chord_dur;
+        }
+      }
+    }
+  }
+  // Emit performed notes.
+  for (const MeasureSpan& span : table) {
+    MDM_ASSIGN_OR_RETURN(std::vector<EntityId> syncs,
+                         db->Children(kSyncInMeasure, span.measure));
+    for (EntityId sync : syncs) {
+      MDM_ASSIGN_OR_RETURN(Rational beat,
+                           RationalAttr(*db, sync, "beat", Rational(0)));
+      Rational onset = span.start + beat;
+      MDM_ASSIGN_OR_RETURN(std::vector<EntityId> chords,
+                           db->Children(kChordInSync, sync));
+      for (EntityId chord : chords) {
+        MDM_ASSIGN_OR_RETURN(Rational chord_dur,
+                             RationalAttr(*db, chord, "duration_beats",
+                                          Rational(1)));
+        MDM_ASSIGN_OR_RETURN(std::vector<EntityId> notes,
+                             db->Children(kNoteInChord, chord));
+        for (EntityId note : notes) {
+          if (suppressed.count(note) != 0) continue;
+          MDM_ASSIGN_OR_RETURN(int64_t key,
+                               IntAttr(*db, note, "midi_key", 60));
+          PerformedNote pn;
+          pn.midi_key = static_cast<int>(key);
+          pn.source_note = note;
+          pn.start_beats = onset;
+          pn.duration_beats = chord_dur;
+          auto extra = event_extra.find(note);
+          if (extra != event_extra.end()) pn.duration_beats += extra->second;
+          // Dynamics -> velocity; articulation -> duration shaping.
+          MDM_ASSIGN_OR_RETURN(Value dyn, db->GetAttribute(note, "dynamic"));
+          if (!dyn.is_null()) pn.velocity = DynamicToVelocity(dyn.AsString());
+          Rational sounding = pn.duration_beats;
+          MDM_ASSIGN_OR_RETURN(Value art,
+                               db->GetAttribute(note, "articulation"));
+          if (!art.is_null() && EqualsIgnoreCase(art.AsString(), "staccato"))
+            sounding = sounding * Rational(1, 2);
+          pn.start_seconds = tempo.ToSeconds(pn.start_beats);
+          pn.end_seconds = tempo.ToSeconds(pn.start_beats + sounding);
+          out.push_back(pn);
+          // Record performance times on the EVENT when one exists.
+          MDM_ASSIGN_OR_RETURN(EntityId event,
+                               db->ParentOf(kNoteInEvent, note));
+          if (event != kInvalidEntityId) {
+            MDM_RETURN_IF_ERROR(db->SetAttribute(
+                event, "start_seconds", Value::Float(pn.start_seconds)));
+            MDM_RETURN_IF_ERROR(db->SetAttribute(
+                event, "end_seconds", Value::Float(pn.end_seconds)));
+          }
+        }
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const PerformedNote& a, const PerformedNote& b) {
+                     return a.start_seconds < b.start_seconds;
+                   });
+  return out;
+}
+
+Result<uint64_t> MaterializeMidiEvents(Database* db, EntityId score,
+                                       const mtime::TempoMap& tempo) {
+  MDM_ASSIGN_OR_RETURN(std::vector<PerformedNote> notes,
+                       ExtractPerformance(db, score, tempo));
+  uint64_t created = 0;
+  for (const PerformedNote& pn : notes) {
+    MDM_ASSIGN_OR_RETURN(EntityId midi, db->CreateEntity("MIDI_EVENT"));
+    MDM_RETURN_IF_ERROR(
+        db->SetAttribute(midi, "key", Value::Int(pn.midi_key)));
+    MDM_RETURN_IF_ERROR(
+        db->SetAttribute(midi, "velocity", Value::Int(pn.velocity)));
+    MDM_RETURN_IF_ERROR(db->SetAttribute(midi, "channel", Value::Int(0)));
+    MDM_RETURN_IF_ERROR(db->SetAttribute(midi, "start_seconds",
+                                         Value::Float(pn.start_seconds)));
+    MDM_RETURN_IF_ERROR(
+        db->SetAttribute(midi, "end_seconds", Value::Float(pn.end_seconds)));
+    MDM_ASSIGN_OR_RETURN(EntityId event,
+                         db->ParentOf(kNoteInEvent, pn.source_note));
+    if (event != kInvalidEntityId)
+      MDM_RETURN_IF_ERROR(db->AppendChild(kMidiInEvent, event, midi));
+    ++created;
+  }
+  return created;
+}
+
+Result<uint64_t> AlignVoicesToSyncs(Database* db, EntityId score,
+                                    const std::vector<EntityId>& voices) {
+  MDM_ASSIGN_OR_RETURN(std::vector<MeasureSpan> table,
+                       BuildMeasureTable(*db, score));
+  if (table.empty())
+    return FailedPrecondition("score has no measures to align into");
+  auto find_measure = [&table](const Rational& onset)
+      -> Result<std::pair<EntityId, Rational>> {
+    for (const MeasureSpan& span : table) {
+      if (!(onset < span.start) && onset < span.start + span.length)
+        return std::make_pair(span.measure, onset - span.start);
+    }
+    return OutOfRange(StrFormat("onset %s beyond the final measure",
+                                onset.ToString().c_str()));
+  };
+  ScoreBuilder builder(db);
+  for (EntityId voice : voices) {
+    Rational cursor(0);
+    MDM_ASSIGN_OR_RETURN(std::vector<EntityId> elements,
+                         db->Children(kVoiceSeq, voice));
+    for (EntityId element : elements) {
+      MDM_ASSIGN_OR_RETURN(std::string type, db->TypeOf(element));
+      MDM_ASSIGN_OR_RETURN(
+          Rational dur,
+          RationalAttr(*db, element, "duration_beats", Rational(1)));
+      if (type == "CHORD") {
+        MDM_ASSIGN_OR_RETURN(auto location, find_measure(cursor));
+        MDM_ASSIGN_OR_RETURN(
+            EntityId sync,
+            builder.GetOrAddSync(location.first, location.second));
+        // A chord already aligned (e.g. re-running alignment) stays put.
+        MDM_ASSIGN_OR_RETURN(EntityId existing,
+                             db->ParentOf(kChordInSync, element));
+        if (existing == kInvalidEntityId)
+          MDM_RETURN_IF_ERROR(db->AppendChild(kChordInSync, sync, element));
+      }
+      cursor += dur;  // rests advance time but produce no sync entry
+    }
+  }
+  uint64_t total_syncs = 0;
+  for (const MeasureSpan& span : table) {
+    MDM_ASSIGN_OR_RETURN(uint64_t n,
+                         db->ChildCount(kSyncInMeasure, span.measure));
+    total_syncs += n;
+  }
+  return total_syncs;
+}
+
+}  // namespace mdm::cmn

@@ -1,0 +1,75 @@
+#ifndef MDM_CMN_TEMPORAL_H_
+#define MDM_CMN_TEMPORAL_H_
+
+#include <vector>
+
+#include "cmn/schema.h"
+#include "common/rational.h"
+#include "common/result.h"
+#include "er/database.h"
+#include "mtime/tempo_map.h"
+
+namespace mdm::cmn {
+
+/// One row of the measure table: where each measure of a score starts
+/// in absolute score time.
+struct MeasureSpan {
+  er::EntityId measure = er::kInvalidEntityId;
+  Rational start;   // beats from the score start
+  Rational length;  // beats in this measure (from its meter)
+};
+
+/// Walks movement_in_score / measure_in_movement and accumulates
+/// measure start times from each measure's meter attributes.
+Result<std::vector<MeasureSpan>> BuildMeasureTable(const er::Database& db,
+                                                   er::EntityId score);
+
+/// Absolute score time of a sync: its measure's start plus its beat
+/// attribute (§7.2 "a number of beats from the start of the measure").
+Result<Rational> SyncScoreTime(const er::Database& db, er::EntityId sync);
+
+/// Fig 15: a group's duration is "a function of the duration of its
+/// constituent chords and rests" — here the sum, recursing through
+/// nested groups. The computed value is also written back to the
+/// group's duration_beats attribute.
+Result<Rational> GroupDuration(er::Database* db, er::EntityId group);
+
+/// One performed (sounding) unit: an EVENT resolved to performance
+/// time. Tied notes merge into a single performed note (§7.2).
+struct PerformedNote {
+  int midi_key = 60;
+  int velocity = 64;
+  double start_seconds = 0;
+  double end_seconds = 0;
+  Rational start_beats;
+  Rational duration_beats;
+  er::EntityId source_note = er::kInvalidEntityId;  // first note of event
+};
+
+/// Extracts the complete performance of a score: every chord at every
+/// sync, notes resolved through ties, dynamics mapped to velocities,
+/// staccato shortening applied, all mapped to seconds through `tempo`
+/// (the conductor). Results are ordered by start time.
+Result<std::vector<PerformedNote>> ExtractPerformance(
+    er::Database* db, er::EntityId score, const mtime::TempoMap& tempo);
+
+/// Materializes MIDI_EVENT entities (fig 13 bottom) from the extracted
+/// performance, ordering each under its EVENT where one exists.
+/// Returns the number of MIDI events created.
+Result<uint64_t> MaterializeMidiEvents(er::Database* db, er::EntityId score,
+                                       const mtime::TempoMap& tempo);
+
+/// Fig 14: derives the syncs of a score from independent voices. Each
+/// voice's chords and rests are walked in voice_seq order, onsets are
+/// accumulated, and every distinct onset becomes (or reuses) a sync in
+/// the measure containing it; chords are attached to their syncs.
+/// Returns the number of syncs in the score afterwards.
+Result<uint64_t> AlignVoicesToSyncs(er::Database* db, er::EntityId score,
+                                    const std::vector<er::EntityId>& voices);
+
+/// Maps a dynamic marking to a MIDI velocity (pp..ff).
+int DynamicToVelocity(const std::string& dynamic);
+
+}  // namespace mdm::cmn
+
+#endif  // MDM_CMN_TEMPORAL_H_

@@ -1,0 +1,161 @@
+#include "cmn/timbral.h"
+
+#include <algorithm>
+#include <set>
+
+#include "cmn/schema.h"
+#include "common/strings.h"
+
+namespace mdm::cmn {
+
+using er::Database;
+using er::EntityId;
+using er::kInvalidEntityId;
+using rel::Value;
+
+Result<EntityId> OrchestraBuilder::CreateOrchestra(const std::string& name) {
+  MDM_ASSIGN_OR_RETURN(EntityId id, db_->CreateEntity("ORCHESTRA"));
+  MDM_RETURN_IF_ERROR(db_->SetAttribute(id, "name", Value::String(name)));
+  return id;
+}
+
+Result<EntityId> OrchestraBuilder::AddSection(EntityId orchestra,
+                                              const std::string& family) {
+  MDM_ASSIGN_OR_RETURN(EntityId id, db_->CreateEntity("SECTION"));
+  MDM_RETURN_IF_ERROR(db_->SetAttribute(id, "family", Value::String(family)));
+  MDM_RETURN_IF_ERROR(db_->AppendChild(kSectionInOrchestra, orchestra, id));
+  return id;
+}
+
+Result<EntityId> OrchestraBuilder::AddInstrument(EntityId section,
+                                                 const std::string& name,
+                                                 int midi_program,
+                                                 int transposition) {
+  if (midi_program < 0 || midi_program > 127)
+    return InvalidArgument(StrFormat("MIDI program %d out of range",
+                                     midi_program));
+  MDM_ASSIGN_OR_RETURN(EntityId id, db_->CreateEntity("INSTRUMENT"));
+  MDM_RETURN_IF_ERROR(db_->SetAttribute(id, "name", Value::String(name)));
+  MDM_RETURN_IF_ERROR(
+      db_->SetAttribute(id, "midi_program", Value::Int(midi_program)));
+  MDM_RETURN_IF_ERROR(
+      db_->SetAttribute(id, "transposition", Value::Int(transposition)));
+  MDM_RETURN_IF_ERROR(db_->AppendChild(kInstrumentInSection, section, id));
+  return id;
+}
+
+Result<EntityId> OrchestraBuilder::AddPart(EntityId instrument,
+                                           const std::string& name) {
+  MDM_ASSIGN_OR_RETURN(EntityId id, db_->CreateEntity("PART"));
+  MDM_RETURN_IF_ERROR(db_->SetAttribute(id, "name", Value::String(name)));
+  MDM_RETURN_IF_ERROR(db_->AppendChild(kPartInInstrument, instrument, id));
+  return id;
+}
+
+Status OrchestraBuilder::AssignVoice(EntityId part, EntityId voice) {
+  return db_->AppendChild(kVoiceInPart, part, voice);
+}
+
+Status OrchestraBuilder::Performs(EntityId orchestra, EntityId score) {
+  return db_
+      ->Connect("PERFORMS", {{"orchestra", orchestra}, {"score", score}})
+      .status();
+}
+
+Result<std::vector<VoiceRouting>> RouteVoices(const Database& db,
+                                              EntityId orchestra) {
+  std::vector<VoiceRouting> out;
+  int next_channel = 0;
+  auto take_channel = [&next_channel]() {
+    int ch = next_channel;
+    ++next_channel;
+    if (next_channel == 9) ++next_channel;  // skip GM percussion
+    if (next_channel >= 16) next_channel = 0;
+    return ch;
+  };
+  MDM_ASSIGN_OR_RETURN(std::vector<EntityId> sections,
+                       db.Children(kSectionInOrchestra, orchestra));
+  for (EntityId section : sections) {
+    MDM_ASSIGN_OR_RETURN(std::vector<EntityId> instruments,
+                         db.Children(kInstrumentInSection, section));
+    for (EntityId instrument : instruments) {
+      MDM_ASSIGN_OR_RETURN(Value name, db.GetAttribute(instrument, "name"));
+      MDM_ASSIGN_OR_RETURN(Value program,
+                           db.GetAttribute(instrument, "midi_program"));
+      MDM_ASSIGN_OR_RETURN(Value transposition,
+                           db.GetAttribute(instrument, "transposition"));
+      const int channel = take_channel();
+      MDM_ASSIGN_OR_RETURN(std::vector<EntityId> parts,
+                           db.Children(kPartInInstrument, instrument));
+      for (EntityId part : parts) {
+        MDM_ASSIGN_OR_RETURN(std::vector<EntityId> voices,
+                             db.Children(kVoiceInPart, part));
+        for (EntityId voice : voices) {
+          VoiceRouting route;
+          route.voice = voice;
+          route.instrument = instrument;
+          route.instrument_name = name.is_null() ? "" : name.AsString();
+          route.channel = channel;
+          route.midi_program =
+              program.is_null() ? 0 : static_cast<int>(program.AsInt());
+          route.transposition =
+              transposition.is_null()
+                  ? 0
+                  : static_cast<int>(transposition.AsInt());
+          out.push_back(route);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<midi::MidiTrack> PerformWithOrchestra(Database* db, EntityId score,
+                                             EntityId orchestra,
+                                             const mtime::TempoMap& tempo) {
+  MDM_ASSIGN_OR_RETURN(std::vector<VoiceRouting> routes,
+                       RouteVoices(*db, orchestra));
+  MDM_ASSIGN_OR_RETURN(std::vector<PerformedNote> notes,
+                       ExtractPerformance(db, score, tempo));
+  midi::MidiTrack track;
+  // One program change per routed instrument at t = 0.
+  std::set<int> programmed;
+  for (const VoiceRouting& route : routes) {
+    if (!programmed.insert(route.channel).second) continue;
+    midi::MidiEvent program;
+    program.kind = midi::MidiEvent::Kind::kProgram;
+    program.seconds = 0;
+    program.channel = static_cast<uint8_t>(route.channel);
+    program.value = static_cast<uint8_t>(route.midi_program);
+    track.events.push_back(program);
+  }
+  for (const PerformedNote& pn : notes) {
+    // Note -> chord -> voice -> routing.
+    const VoiceRouting* route = nullptr;
+    MDM_ASSIGN_OR_RETURN(EntityId chord,
+                         db->ParentOf(kNoteInChord, pn.source_note));
+    if (chord != kInvalidEntityId) {
+      MDM_ASSIGN_OR_RETURN(EntityId voice, db->ParentOf(kVoiceSeq, chord));
+      for (const VoiceRouting& r : routes)
+        if (r.voice == voice) route = &r;
+    }
+    midi::MidiEvent on;
+    on.kind = midi::MidiEvent::Kind::kNoteOn;
+    on.seconds = pn.start_seconds;
+    int key = pn.midi_key + (route != nullptr ? route->transposition : 0);
+    on.key = static_cast<uint8_t>(std::clamp(key, 0, 127));
+    on.velocity = static_cast<uint8_t>(std::clamp(pn.velocity, 1, 127));
+    on.channel =
+        static_cast<uint8_t>(route != nullptr ? route->channel : 0);
+    midi::MidiEvent off = on;
+    off.kind = midi::MidiEvent::Kind::kNoteOff;
+    off.seconds = pn.end_seconds;
+    off.velocity = 0;
+    track.events.push_back(on);
+    track.events.push_back(off);
+  }
+  track.Sort();
+  return track;
+}
+
+}  // namespace mdm::cmn

@@ -1,0 +1,77 @@
+#ifndef MDM_CMN_TIMBRAL_H_
+#define MDM_CMN_TIMBRAL_H_
+
+#include <string>
+#include <vector>
+
+#include "cmn/temporal.h"
+#include "common/result.h"
+#include "er/database.h"
+#include "midi/midi.h"
+#include "mtime/tempo_map.h"
+
+namespace mdm::cmn {
+
+/// The timbral aspect made operational (fig 12: "the timbral aspect
+/// refers to how [events] are performed (e.g. by what instrument...)").
+///
+/// Structure (§7.1): ORCHESTRA > SECTION > INSTRUMENT > PART > VOICE,
+/// each level a hierarchical ordering of the CMN schema. An orchestra
+/// PERFORMS a score; each voice's notes sound on its instrument's MIDI
+/// channel with its program.
+
+/// Builder for the timbral hierarchy.
+class OrchestraBuilder {
+ public:
+  explicit OrchestraBuilder(er::Database* db) : db_(db) {}
+
+  Result<er::EntityId> CreateOrchestra(const std::string& name);
+  Result<er::EntityId> AddSection(er::EntityId orchestra,
+                                  const std::string& family);
+  /// `midi_program` is the General-MIDI patch; `transposition` the
+  /// written-vs-sounding offset in semitones (e.g. -2 for Bb clarinet).
+  Result<er::EntityId> AddInstrument(er::EntityId section,
+                                     const std::string& name,
+                                     int midi_program,
+                                     int transposition = 0);
+  Result<er::EntityId> AddPart(er::EntityId instrument,
+                               const std::string& name);
+  /// Attaches an existing VOICE to a part.
+  Status AssignVoice(er::EntityId part, er::EntityId voice);
+  /// Declares that `orchestra` performs `score` (the PERFORMS
+  /// relationship of the schema).
+  Status Performs(er::EntityId orchestra, er::EntityId score);
+
+  er::Database* db() { return db_; }
+
+ private:
+  er::Database* db_;
+};
+
+/// Per-voice performance routing derived from the timbral hierarchy.
+struct VoiceRouting {
+  er::EntityId voice = er::kInvalidEntityId;
+  er::EntityId instrument = er::kInvalidEntityId;
+  std::string instrument_name;
+  int channel = 0;       // assigned by instrument order, round 16
+  int midi_program = 0;
+  int transposition = 0;
+};
+
+/// Walks the orchestra's hierarchy and assigns one MIDI channel per
+/// instrument (in section/instrument order, wrapping at 16 and skipping
+/// channel 9, the percussion channel).
+Result<std::vector<VoiceRouting>> RouteVoices(const er::Database& db,
+                                              er::EntityId orchestra);
+
+/// ExtractPerformance + timbral routing: every performed note carries
+/// the channel and transposition of its voice's instrument; program
+/// changes are emitted at time 0. Voices not routed sound on channel 0.
+Result<midi::MidiTrack> PerformWithOrchestra(er::Database* db,
+                                             er::EntityId score,
+                                             er::EntityId orchestra,
+                                             const mtime::TempoMap& tempo);
+
+}  // namespace mdm::cmn
+
+#endif  // MDM_CMN_TIMBRAL_H_

@@ -1,0 +1,167 @@
+#include "cmn/transform.h"
+
+#include <algorithm>
+
+#include "cmn/schema.h"
+#include "cmn/score_builder.h"
+#include "cmn/temporal.h"
+#include "common/strings.h"
+#include "mtime/meter.h"
+
+namespace mdm::cmn {
+
+using er::Database;
+using er::EntityId;
+using er::kInvalidEntityId;
+using rel::Value;
+using rel::ValueType;
+
+namespace {
+
+// Semitone offset of each diatonic step from C, and the diatonic step
+// count corresponding to a semitone shift (rounded to nearest).
+int DiatonicStepsForSemitones(int semitones) {
+  // 12 semitones = 7 diatonic steps; round to nearest.
+  int sign = semitones < 0 ? -1 : 1;
+  int abs_semi = std::abs(semitones);
+  return sign * ((abs_semi * 7 + 6) / 12);
+}
+
+}  // namespace
+
+Result<std::vector<EntityId>> NotesInTemporalOrder(const Database& db,
+                                                   EntityId score) {
+  std::vector<EntityId> out;
+  MDM_ASSIGN_OR_RETURN(std::vector<MeasureSpan> table,
+                       BuildMeasureTable(db, score));
+  for (const MeasureSpan& span : table) {
+    MDM_ASSIGN_OR_RETURN(std::vector<EntityId> syncs,
+                         db.Children(kSyncInMeasure, span.measure));
+    for (EntityId sync : syncs) {
+      MDM_ASSIGN_OR_RETURN(std::vector<EntityId> chords,
+                           db.Children(kChordInSync, sync));
+      for (EntityId chord : chords) {
+        MDM_ASSIGN_OR_RETURN(std::vector<EntityId> notes,
+                             db.Children(kNoteInChord, chord));
+        out.insert(out.end(), notes.begin(), notes.end());
+      }
+    }
+  }
+  return out;
+}
+
+Result<uint64_t> TransposeScore(Database* db, EntityId score,
+                                int semitones) {
+  MDM_ASSIGN_OR_RETURN(std::vector<EntityId> notes,
+                       NotesInTemporalOrder(*db, score));
+  const int degree_shift = DiatonicStepsForSemitones(semitones);
+  uint64_t updated = 0;
+  for (EntityId note : notes) {
+    MDM_ASSIGN_OR_RETURN(Value key, db->GetAttribute(note, "midi_key"));
+    if (!key.is_null()) {
+      int64_t shifted = key.AsInt() + semitones;
+      if (shifted < 0 || shifted > 127)
+        return OutOfRange(StrFormat(
+            "transposition by %d pushes a note to MIDI %lld", semitones,
+            (long long)shifted));
+      MDM_RETURN_IF_ERROR(
+          db->SetAttribute(note, "midi_key", Value::Int(shifted)));
+    }
+    MDM_ASSIGN_OR_RETURN(Value degree, db->GetAttribute(note, "degree"));
+    if (!degree.is_null()) {
+      MDM_RETURN_IF_ERROR(db->SetAttribute(
+          note, "degree", Value::Int(degree.AsInt() + degree_shift)));
+    }
+    ++updated;
+  }
+  return updated;
+}
+
+Status RetrogradeVoice(Database* db, EntityId voice) {
+  MDM_ASSIGN_OR_RETURN(std::vector<EntityId> elements,
+                       db->Children(kVoiceSeq, voice));
+  for (EntityId element : elements)
+    MDM_RETURN_IF_ERROR(db->RemoveChild(kVoiceSeq, element));
+  for (auto it = elements.rbegin(); it != elements.rend(); ++it)
+    MDM_RETURN_IF_ERROR(db->AppendChild(kVoiceSeq, voice, *it));
+  return Status::OK();
+}
+
+Result<EntityId> ExtractVoice(Database* db, EntityId score,
+                              EntityId voice) {
+  MDM_ASSIGN_OR_RETURN(Value title, db->GetAttribute(score, "title"));
+  ScoreBuilder builder(db);
+  MDM_ASSIGN_OR_RETURN(
+      EntityId part_score,
+      builder.CreateScore((title.is_null() ? "score" : title.AsString()) +
+                          " (part)"));
+  MDM_ASSIGN_OR_RETURN(EntityId movement,
+                       builder.AddMovement(part_score, "part"));
+  MDM_ASSIGN_OR_RETURN(EntityId new_voice, builder.AddVoice(1));
+
+  // Recreate the measure skeleton with identical meters.
+  MDM_ASSIGN_OR_RETURN(std::vector<MeasureSpan> table,
+                       BuildMeasureTable(*db, score));
+  std::vector<EntityId> new_measures;
+  int number = 1;
+  for (const MeasureSpan& span : table) {
+    MDM_ASSIGN_OR_RETURN(Value num, db->GetAttribute(span.measure,
+                                                     "meter_num"));
+    MDM_ASSIGN_OR_RETURN(Value den, db->GetAttribute(span.measure,
+                                                     "meter_den"));
+    mtime::TimeSignature sig{
+        num.is_null() ? 4 : static_cast<int>(num.AsInt()),
+        den.is_null() ? 4 : static_cast<int>(den.AsInt())};
+    MDM_ASSIGN_OR_RETURN(EntityId m,
+                         builder.AddMeasure(movement, number++, sig));
+    new_measures.push_back(m);
+  }
+
+  // Clone the voice's chords (with notes) into the new skeleton at the
+  // same temporal positions.
+  for (size_t mi = 0; mi < table.size(); ++mi) {
+    MDM_ASSIGN_OR_RETURN(std::vector<EntityId> syncs,
+                         db->Children(kSyncInMeasure, table[mi].measure));
+    for (EntityId sync : syncs) {
+      MDM_ASSIGN_OR_RETURN(Value beat, db->GetAttribute(sync, "beat"));
+      MDM_ASSIGN_OR_RETURN(std::vector<EntityId> chords,
+                           db->Children(kChordInSync, sync));
+      for (EntityId chord : chords) {
+        MDM_ASSIGN_OR_RETURN(EntityId chord_voice,
+                             db->ParentOf(kVoiceSeq, chord));
+        if (chord_voice != voice) continue;
+        MDM_ASSIGN_OR_RETURN(Value dur,
+                             db->GetAttribute(chord, "duration_beats"));
+        MDM_ASSIGN_OR_RETURN(
+            EntityId new_sync,
+            builder.GetOrAddSync(new_measures[mi], beat.is_null()
+                                                       ? Rational(0)
+                                                       : beat.AsRational()));
+        MDM_ASSIGN_OR_RETURN(
+            EntityId new_chord,
+            builder.AddChord(new_sync, new_voice,
+                             dur.is_null() ? Rational(1)
+                                           : dur.AsRational()));
+        MDM_ASSIGN_OR_RETURN(std::vector<EntityId> notes,
+                             db->Children(kNoteInChord, chord));
+        for (EntityId note : notes) {
+          MDM_ASSIGN_OR_RETURN(Value key, db->GetAttribute(note, "midi_key"));
+          MDM_ASSIGN_OR_RETURN(
+              EntityId new_note,
+              builder.AddNoteMidi(new_chord, key.is_null()
+                                                 ? 60
+                                                 : static_cast<int>(
+                                                       key.AsInt())));
+          MDM_ASSIGN_OR_RETURN(Value degree,
+                               db->GetAttribute(note, "degree"));
+          if (!degree.is_null())
+            MDM_RETURN_IF_ERROR(
+                db->SetAttribute(new_note, "degree", degree));
+        }
+      }
+    }
+  }
+  return part_score;
+}
+
+}  // namespace mdm::cmn

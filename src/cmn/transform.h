@@ -1,0 +1,41 @@
+#ifndef MDM_CMN_TRANSFORM_H_
+#define MDM_CMN_TRANSFORM_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "er/database.h"
+
+namespace mdm::cmn {
+
+/// Compositional-tool operations (§2's "compositional tools ... are
+/// generative" clients): structure-preserving transformations applied
+/// directly to the stored score.
+
+/// Transposes every note of `score` by `semitones`: midi_key shifts
+/// exactly; the notated degree shifts by the corresponding diatonic
+/// amount (rounded toward the nearest diatonic step). Returns the
+/// number of notes updated.
+Result<uint64_t> TransposeScore(er::Database* db, er::EntityId score,
+                                int semitones);
+
+/// Retrogrades a voice: reverses the order of its chords and rests in
+/// voice_seq (the classic analysis/composition operation). Syncs are
+/// not reassigned; call AlignVoicesToSyncs afterwards to re-derive them.
+Status RetrogradeVoice(er::Database* db, er::EntityId voice);
+
+/// Extracts one voice of `score` into a fresh single-voice score (the
+/// "part extraction" a performer's part requires). Chords are cloned
+/// with their notes and durations; syncs/measures are rebuilt with the
+/// same meters. Returns the new score.
+Result<er::EntityId> ExtractVoice(er::Database* db, er::EntityId score,
+                                  er::EntityId voice);
+
+/// All notes of a score in temporal order (helper shared by the
+/// transformations and analysis clients).
+Result<std::vector<er::EntityId>> NotesInTemporalOrder(
+    const er::Database& db, er::EntityId score);
+
+}  // namespace mdm::cmn
+
+#endif  // MDM_CMN_TRANSFORM_H_

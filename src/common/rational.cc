@@ -1,0 +1,93 @@
+#include "common/rational.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <numeric>
+
+namespace mdm {
+
+Rational::Rational(int64_t num, int64_t den) : num_(num), den_(den) {
+  assert(den != 0 && "Rational denominator must be nonzero");
+  if (den_ == 0) {  // release-mode fallback: treat as zero
+    num_ = 0;
+    den_ = 1;
+    return;
+  }
+  Normalize();
+}
+
+void Rational::Normalize() {
+  if (den_ < 0) {
+    num_ = -num_;
+    den_ = -den_;
+  }
+  int64_t g = std::gcd(std::abs(num_), den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+  if (num_ == 0) den_ = 1;
+}
+
+std::string Rational::ToString() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+bool Rational::Parse(const std::string& text, Rational* out) {
+  if (text.empty() || out == nullptr) return false;
+  size_t slash = text.find('/');
+  char* end = nullptr;
+  errno = 0;
+  int64_t num = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || errno != 0) return false;
+  if (slash == std::string::npos) {
+    if (*end != '\0') return false;
+    *out = Rational(num);
+    return true;
+  }
+  if (static_cast<size_t>(end - text.c_str()) != slash) return false;
+  const char* den_start = text.c_str() + slash + 1;
+  if (*den_start == '\0') return false;
+  errno = 0;
+  int64_t den = std::strtoll(den_start, &end, 10);
+  if (*end != '\0' || errno != 0 || den == 0) return false;
+  *out = Rational(num, den);
+  return true;
+}
+
+int64_t Rational::Floor() const {
+  int64_t q = num_ / den_;
+  if (num_ % den_ != 0 && num_ < 0) --q;
+  return q;
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  // Reduce cross terms first to delay overflow.
+  int64_t g = std::gcd(den_, o.den_);
+  int64_t lden = den_ / g;
+  return Rational(num_ * (o.den_ / g) + o.num_ * lden, lden * o.den_);
+}
+
+Rational Rational::operator-(const Rational& o) const { return *this + (-o); }
+
+Rational Rational::operator*(const Rational& o) const {
+  int64_t g1 = std::gcd(std::abs(num_), o.den_);
+  int64_t g2 = std::gcd(std::abs(o.num_), den_);
+  return Rational((num_ / g1) * (o.num_ / g2), (den_ / g2) * (o.den_ / g1));
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  assert(!o.IsZero() && "Rational division by zero");
+  if (o.IsZero()) return Rational();
+  return *this * Rational(o.den_, o.num_);
+}
+
+bool operator<(const Rational& a, const Rational& b) {
+  // a.num/a.den < b.num/b.den  <=>  a.num*b.den < b.num*a.den (dens > 0).
+  // Use 128-bit intermediate to avoid overflow on large score offsets.
+  return static_cast<__int128>(a.num_) * b.den_ <
+         static_cast<__int128>(b.num_) * a.den_;
+}
+
+}  // namespace mdm

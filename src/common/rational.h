@@ -1,0 +1,80 @@
+#ifndef MDM_COMMON_RATIONAL_H_
+#define MDM_COMMON_RATIONAL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace mdm {
+
+/// Exact rational arithmetic.
+///
+/// Score time in CMN is measured in rhythmic units (beats); durations are
+/// ratios like 1/4, 3/8, or 1/6 (triplet eighth). Floating point cannot
+/// align syncs exactly (1/3 + 1/3 + 1/3 != 1.0 in binary floating point),
+/// so all score-time arithmetic in MDM uses Rational.
+///
+/// Always kept normalized: gcd(num, den) == 1, den > 0. Zero is 0/1.
+class Rational {
+ public:
+  constexpr Rational() : num_(0), den_(1) {}
+  constexpr Rational(int64_t n) : num_(n), den_(1) {}  // NOLINT: implicit
+  Rational(int64_t num, int64_t den);
+
+  int64_t num() const { return num_; }
+  int64_t den() const { return den_; }
+
+  bool IsZero() const { return num_ == 0; }
+  bool IsNegative() const { return num_ < 0; }
+  bool IsInteger() const { return den_ == 1; }
+
+  double ToDouble() const { return static_cast<double>(num_) / den_; }
+  /// "3/4", or "3" when the denominator is 1.
+  std::string ToString() const;
+
+  /// Parses "n", "n/d" (with optional leading '-'). Returns false on
+  /// malformed input or a zero denominator.
+  static bool Parse(const std::string& text, Rational* out);
+
+  /// Largest integer <= this value.
+  int64_t Floor() const;
+
+  Rational operator-() const { return Rational(-num_, den_); }
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  /// Division by zero is the caller's bug; asserts in debug builds and
+  /// returns zero in release builds.
+  Rational operator/(const Rational& o) const;
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend bool operator!=(const Rational& a, const Rational& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Rational& a, const Rational& b);
+  friend bool operator<=(const Rational& a, const Rational& b) {
+    return a < b || a == b;
+  }
+  friend bool operator>(const Rational& a, const Rational& b) {
+    return b < a;
+  }
+  friend bool operator>=(const Rational& a, const Rational& b) {
+    return b <= a;
+  }
+
+ private:
+  void Normalize();
+
+  int64_t num_;
+  int64_t den_;
+};
+
+}  // namespace mdm
+
+#endif  // MDM_COMMON_RATIONAL_H_

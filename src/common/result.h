@@ -1,0 +1,77 @@
+#ifndef MDM_COMMON_RESULT_H_
+#define MDM_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace mdm {
+
+/// Result<T> carries either a value of type T or a non-OK Status.
+///
+/// Usage:
+///   Result<int> r = Parse(text);
+///   if (!r.ok()) return r.status();
+///   int v = *r;
+///
+/// or with the macro:
+///   MDM_ASSIGN_OR_RETURN(int v, Parse(text));
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: allows `return value;` in Result functions.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from an error Status: allows `return NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mdm
+
+#define MDM_CONCAT_IMPL_(a, b) a##b
+#define MDM_CONCAT_(a, b) MDM_CONCAT_IMPL_(a, b)
+
+/// MDM_ASSIGN_OR_RETURN(lhs, expr): evaluates `expr` (a Result<T>); on
+/// error returns its Status from the enclosing function, otherwise
+/// assigns the value to `lhs` (which may include a declaration).
+#define MDM_ASSIGN_OR_RETURN(lhs, expr)                                \
+  auto MDM_CONCAT_(_mdm_result_, __LINE__) = (expr);                   \
+  if (!MDM_CONCAT_(_mdm_result_, __LINE__).ok())                       \
+    return MDM_CONCAT_(_mdm_result_, __LINE__).status();               \
+  lhs = std::move(MDM_CONCAT_(_mdm_result_, __LINE__)).value()
+
+#endif  // MDM_COMMON_RESULT_H_

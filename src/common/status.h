@@ -1,0 +1,81 @@
+#ifndef MDM_COMMON_STATUS_H_
+#define MDM_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace mdm {
+
+/// Error codes for operations across the music data manager.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input from the caller
+  kNotFound,          // named object or instance does not exist
+  kAlreadyExists,     // duplicate definition or key
+  kFailedPrecondition,// operation not legal in the current state
+  kOutOfRange,        // ordinal position / offset out of bounds
+  kCorruption,        // storage-level invariant violated
+  kConstraintViolation, // data-model invariant (e.g. ordering cycle)
+  kParseError,        // DDL / QUEL / DARMS syntax error
+  kTypeError,         // attribute or operand type mismatch
+  kIoError,           // underlying file I/O failed
+  kUnimplemented,
+  kInternal,
+};
+
+/// Human-readable name of a status code ("OK", "NotFound", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of an operation that can fail but returns no value.
+///
+/// MDM is built without C++ exceptions; every fallible public operation
+/// returns a Status (or a Result<T>, see result.h). A Status is cheap to
+/// copy in the OK case (no message allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "NotFound: no entity type named FOO" (or "OK").
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+Status InvalidArgument(std::string message);
+Status NotFound(std::string message);
+Status AlreadyExists(std::string message);
+Status FailedPrecondition(std::string message);
+Status OutOfRange(std::string message);
+Status Corruption(std::string message);
+Status ConstraintViolation(std::string message);
+Status ParseError(std::string message);
+Status TypeError(std::string message);
+Status IoError(std::string message);
+Status Unimplemented(std::string message);
+Status Internal(std::string message);
+
+}  // namespace mdm
+
+/// Propagate a non-OK Status to the caller.
+#define MDM_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::mdm::Status _mdm_status = (expr);             \
+    if (!_mdm_status.ok()) return _mdm_status;      \
+  } while (0)
+
+#endif  // MDM_COMMON_STATUS_H_

@@ -1,0 +1,582 @@
+#include "darms/darms.h"
+
+#include <cctype>
+#include <cstdint>
+
+#include "cmn/schema.h"
+#include "cmn/temporal.h"
+#include "common/strings.h"
+#include "mtime/meter.h"
+
+namespace mdm::darms {
+
+using cmn::Accidental;
+using er::EntityId;
+using rel::Value;
+
+namespace {
+
+bool DurationFromLetter(char c, Rational* out) {
+  switch (std::toupper(static_cast<unsigned char>(c))) {
+    case 'W': *out = Rational(4); return true;      // whole
+    case 'H': *out = Rational(2); return true;      // half
+    case 'Q': *out = Rational(1); return true;      // quarter
+    case 'E': *out = Rational(1, 2); return true;   // eighth
+    case 'S': *out = Rational(1, 4); return true;   // sixteenth
+    case 'T': *out = Rational(1, 8); return true;   // thirty-second
+    default: return false;
+  }
+}
+
+char LetterFromDuration(const Rational& d) {
+  if (d == Rational(4)) return 'W';
+  if (d == Rational(2)) return 'H';
+  if (d == Rational(1)) return 'Q';
+  if (d == Rational(1, 2)) return 'E';
+  if (d == Rational(1, 4)) return 'S';
+  if (d == Rational(1, 8)) return 'T';
+  return '\0';
+}
+
+/// Parser state over the raw text.
+class DarmsParser {
+ public:
+  explicit DarmsParser(const std::string& text) : text_(text) {}
+
+  Result<std::vector<DarmsItem>> Run() {
+    std::vector<DarmsItem> items;
+    Rational carried(1);  // user-DARMS carried duration (quarter default)
+    while (true) {
+      SkipSpace();
+      if (AtEnd()) break;
+      char c = Peek();
+      if (c == '(') {
+        ++pos_;
+        items.push_back(Make(DarmsItem::Kind::kBeamBegin));
+        continue;
+      }
+      if (c == ')') {
+        ++pos_;
+        items.push_back(Make(DarmsItem::Kind::kBeamEnd));
+        continue;
+      }
+      if (c == '/') {
+        ++pos_;
+        if (!AtEnd() && Peek() == '/') {
+          ++pos_;
+          items.push_back(Make(DarmsItem::Kind::kFinalBarline));
+        } else {
+          items.push_back(Make(DarmsItem::Kind::kBarline));
+        }
+        continue;
+      }
+      if (c == 'I' || c == 'i') {
+        ++pos_;
+        DarmsItem item = Make(DarmsItem::Kind::kInstrument);
+        MDM_ASSIGN_OR_RETURN(item.number, ReadInt("instrument number"));
+        items.push_back(item);
+        continue;
+      }
+      if (c == '!' || c == '\'') {
+        ++pos_;
+        if (AtEnd()) return ParseError("dangling '!' in DARMS");
+        char what = std::toupper(static_cast<unsigned char>(Peek()));
+        ++pos_;
+        if (what == 'K') {
+          DarmsItem item = Make(DarmsItem::Kind::kKeySignature);
+          MDM_ASSIGN_OR_RETURN(int n, ReadInt("key signature count"));
+          if (AtEnd() || (Peek() != '#' && Peek() != '-'))
+            return ParseError("key signature needs '#' or '-'");
+          item.number = Peek() == '#' ? n : -n;
+          ++pos_;
+          items.push_back(item);
+        } else if (what == 'M') {
+          DarmsItem item = Make(DarmsItem::Kind::kMeter);
+          MDM_ASSIGN_OR_RETURN(item.meter_num, ReadInt("meter numerator"));
+          if (AtEnd() || Peek() != ':')
+            return ParseError("meter needs ':'");
+          ++pos_;
+          MDM_ASSIGN_OR_RETURN(item.meter_den, ReadInt("meter denominator"));
+          items.push_back(item);
+        } else if (what == 'G' || what == 'F' || what == 'C') {
+          DarmsItem item = Make(DarmsItem::Kind::kClef);
+          item.clef = what;
+          items.push_back(item);
+        } else {
+          return ParseError(StrFormat("unknown '!%c' directive", what));
+        }
+        continue;
+      }
+      if (c == 'R' || c == 'r') {
+        ++pos_;
+        int count = 1;
+        if (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          MDM_ASSIGN_OR_RETURN(count, ReadInt("rest count"));
+        }
+        Rational dur = carried;
+        if (!AtEnd()) {
+          Rational parsed;
+          if (DurationFromLetter(Peek(), &parsed)) {
+            dur = parsed;
+            ++pos_;
+          }
+        }
+        carried = dur;
+        for (int i = 0; i < count; ++i) {
+          DarmsItem item = Make(DarmsItem::Kind::kRest);
+          item.duration = dur;
+          items.push_back(item);
+        }
+        continue;
+      }
+      if (c == '@' || c == '0') {
+        // Annotation, optionally preceded by a position code of zeros.
+        size_t save = pos_;
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek())))
+          ++pos_;
+        if (AtEnd() || Peek() != '@') {
+          pos_ = save;  // digits were a note code after all
+        } else {
+          DarmsItem item = Make(DarmsItem::Kind::kAnnotation);
+          MDM_ASSIGN_OR_RETURN(item.text, ReadLiteral());
+          items.push_back(item);
+          continue;
+        }
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+        MDM_ASSIGN_OR_RETURN(DarmsItem item,
+                             ReadNote(&carried, &carried_pitch_));
+        items.push_back(item);
+        continue;
+      }
+      // A bare duration letter repeats the previous pitch (user-DARMS
+      // pitch suppression, §4.6: "repeated ... pitches can be rapidly
+      // entered").
+      {
+        Rational dur;
+        if (DurationFromLetter(c, &dur) && carried_pitch_ != kNoPitch) {
+          MDM_ASSIGN_OR_RETURN(DarmsItem item,
+                               ReadPitchlessNote(&carried, carried_pitch_));
+          items.push_back(item);
+          continue;
+        }
+      }
+      return ParseError(StrFormat("unexpected '%c' in DARMS input", c));
+    }
+    return items;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  void SkipSpace() {
+    while (!AtEnd() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+  static DarmsItem Make(DarmsItem::Kind kind) {
+    DarmsItem item;
+    item.kind = kind;
+    return item;
+  }
+
+  Result<int> ReadInt(const char* what) {
+    bool negative = false;
+    if (!AtEnd() && Peek() == '-') {
+      negative = true;
+      ++pos_;
+    }
+    if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek())))
+      return ParseError(StrFormat("expected %s", what));
+    int v = 0;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      v = v * 10 + (Peek() - '0');
+      ++pos_;
+    }
+    return negative ? -v : v;
+  }
+
+  // @text$ with ¢ (UTF-8 C2 A2) capitalizing the following letter.
+  Result<std::string> ReadLiteral() {
+    if (AtEnd() || Peek() != '@') return ParseError("expected '@'");
+    ++pos_;
+    std::string out;
+    bool capitalize = false;
+    while (!AtEnd() && Peek() != '$') {
+      unsigned char ch = static_cast<unsigned char>(Peek());
+      if (ch == 0xC2 && pos_ + 1 < text_.size() &&
+          static_cast<unsigned char>(text_[pos_ + 1]) == 0xA2) {
+        capitalize = true;
+        pos_ += 2;
+        continue;
+      }
+      char c = Peek();
+      if (capitalize) {
+        c = std::toupper(static_cast<unsigned char>(c));
+        capitalize = false;
+      }
+      out += c;
+      ++pos_;
+    }
+    if (AtEnd()) return ParseError("unterminated @literal$");
+    ++pos_;  // past '$'
+    return out;
+  }
+
+  // Parses the duration/stem/dot/syllable tail shared by pitched and
+  // pitch-suppressed notes.
+  Result<DarmsItem> ReadNoteTail(DarmsItem item, Rational* carried) {
+    // Accidental.
+    if (!AtEnd()) {
+      if (Peek() == '#') {
+        item.accidental = Accidental::kSharp;
+        ++pos_;
+      } else if (Peek() == '-') {
+        item.accidental = Accidental::kFlat;
+        ++pos_;
+      } else if (Peek() == 'N' || Peek() == 'n') {
+        item.accidental = Accidental::kNatural;
+        ++pos_;
+      }
+    }
+    // Duration letter (carried when omitted).
+    Rational dur;
+    if (!AtEnd() && DurationFromLetter(Peek(), &dur)) {
+      ++pos_;
+      *carried = dur;
+    } else {
+      dur = *carried;
+    }
+    item.duration = dur;
+    // Stem direction.
+    if (!AtEnd() && (Peek() == 'D' || Peek() == 'U')) {
+      item.stem_down = Peek() == 'D';
+      item.stem_explicit = true;
+      ++pos_;
+    }
+    // Duration dot.
+    if (!AtEnd() && Peek() == '.') {
+      item.dotted = true;
+      item.duration = item.duration * Rational(3, 2);
+      ++pos_;
+    }
+    // Attached syllable: ,@text$
+    if (!AtEnd() && Peek() == ',') {
+      ++pos_;
+      MDM_ASSIGN_OR_RETURN(item.text, ReadLiteral());
+    }
+    return item;
+  }
+
+  Result<DarmsItem> ReadNote(Rational* carried, int* carried_pitch) {
+    DarmsItem item = Make(DarmsItem::Kind::kNote);
+    MDM_ASSIGN_OR_RETURN(int code, ReadInt("space code"));
+    // Full form 2x maps to short form x (21 = bottom line = 1).
+    item.space_code = code >= 20 ? code - 20 : code;
+    *carried_pitch = item.space_code;
+    return ReadNoteTail(std::move(item), carried);
+  }
+
+  Result<DarmsItem> ReadPitchlessNote(Rational* carried, int pitch) {
+    DarmsItem item = Make(DarmsItem::Kind::kNote);
+    item.space_code = pitch;
+    return ReadNoteTail(std::move(item), carried);
+  }
+
+  static constexpr int kNoPitch = INT32_MIN;
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int carried_pitch_ = kNoPitch;
+};
+
+std::string AccidentalCode(Accidental acc) {
+  switch (acc) {
+    case Accidental::kSharp: return "#";
+    case Accidental::kFlat: return "-";
+    case Accidental::kNatural: return "N";
+    default: return "";
+  }
+}
+
+std::string EncodeItems(const std::vector<DarmsItem>& items, bool canonical) {
+  std::string out;
+  Rational carried(0);
+  auto emit = [&out](const std::string& s) {
+    if (!out.empty() && out.back() != '(' && s != ")") out += ' ';
+    out += s;
+  };
+  for (const DarmsItem& item : items) {
+    switch (item.kind) {
+      case DarmsItem::Kind::kInstrument:
+        emit(StrFormat("I%d", item.number));
+        break;
+      case DarmsItem::Kind::kClef:
+        emit(StrFormat("!%c", item.clef));
+        break;
+      case DarmsItem::Kind::kKeySignature:
+        emit(StrFormat("!K%d%s", std::abs(item.number),
+                       item.number >= 0 ? "#" : "-"));
+        break;
+      case DarmsItem::Kind::kMeter:
+        emit(StrFormat("!M%d:%d", item.meter_num, item.meter_den));
+        break;
+      case DarmsItem::Kind::kRest: {
+        Rational base = item.duration;
+        char letter = LetterFromDuration(base);
+        emit(StrFormat("R%c", letter ? letter : 'Q'));
+        carried = base;
+        break;
+      }
+      case DarmsItem::Kind::kNote: {
+        Rational base =
+            item.dotted ? item.duration / Rational(3, 2) : item.duration;
+        std::string s = canonical
+                            ? std::to_string(item.space_code + 20)
+                            : std::to_string(item.space_code);
+        s += AccidentalCode(item.accidental);
+        char letter = LetterFromDuration(base);
+        if (letter != '\0' && (canonical || base != carried)) s += letter;
+        carried = base;
+        if (item.stem_explicit) s += item.stem_down ? "D" : "U";
+        if (item.dotted) s += ".";
+        if (!item.text.empty()) s += ",@" + item.text + "$";
+        emit(s);
+        break;
+      }
+      case DarmsItem::Kind::kBeamBegin:
+        emit("(");
+        break;
+      case DarmsItem::Kind::kBeamEnd:
+        out += ")";
+        break;
+      case DarmsItem::Kind::kBarline:
+        emit("/");
+        break;
+      case DarmsItem::Kind::kFinalBarline:
+        emit("//");
+        break;
+      case DarmsItem::Kind::kAnnotation:
+        emit("@" + item.text + "$");
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<DarmsItem>> ParseDarms(const std::string& text) {
+  DarmsParser parser(text);
+  return parser.Run();
+}
+
+std::string EncodeCanonical(const std::vector<DarmsItem>& items) {
+  return EncodeItems(items, /*canonical=*/true);
+}
+
+std::string EncodeUser(const std::vector<DarmsItem>& items) {
+  return EncodeItems(items, /*canonical=*/false);
+}
+
+Result<std::string> Canonicalize(const std::string& text) {
+  MDM_ASSIGN_OR_RETURN(std::vector<DarmsItem> items, ParseDarms(text));
+  return EncodeCanonical(items);
+}
+
+Result<DarmsImport> ImportDarms(er::Database* db, const std::string& text,
+                                const std::string& title) {
+  MDM_RETURN_IF_ERROR(cmn::InstallCmnSchema(db));
+  MDM_ASSIGN_OR_RETURN(std::vector<DarmsItem> items, ParseDarms(text));
+
+  cmn::ScoreBuilder builder(db);
+  DarmsImport import;
+  MDM_ASSIGN_OR_RETURN(import.score, builder.CreateScore(title));
+  MDM_ASSIGN_OR_RETURN(EntityId movement,
+                       builder.AddMovement(import.score, "I"));
+  MDM_ASSIGN_OR_RETURN(import.staff, db->CreateEntity("STAFF"));
+  MDM_ASSIGN_OR_RETURN(import.voice, builder.AddVoice(1));
+
+  mtime::TimeSignature meter{4, 4};
+  cmn::Clef clef = cmn::Clef::kTreble;
+  cmn::AccidentalState accidentals{cmn::KeySignature{0}};
+  MDM_ASSIGN_OR_RETURN(
+      EntityId measure,
+      builder.AddMeasure(movement, ++import.measures, meter));
+  Rational cursor(0);
+  std::vector<EntityId> group_stack;
+  bool saw_final = false;
+
+  for (const DarmsItem& item : items) {
+    switch (item.kind) {
+      case DarmsItem::Kind::kInstrument:
+        break;  // single-instrument import
+      case DarmsItem::Kind::kClef: {
+        clef = item.clef == 'F'
+                   ? cmn::Clef::kBass
+                   : (item.clef == 'C' ? cmn::Clef::kAlto
+                                       : cmn::Clef::kTreble);
+        MDM_ASSIGN_OR_RETURN(EntityId c, db->CreateEntity("CLEF"));
+        MDM_RETURN_IF_ERROR(db->SetAttribute(
+            c, "kind", Value::String(std::string(1, item.clef))));
+        MDM_RETURN_IF_ERROR(
+            db->AppendChild(cmn::kClefOnStaff, import.staff, c));
+        break;
+      }
+      case DarmsItem::Kind::kKeySignature: {
+        accidentals = cmn::AccidentalState{cmn::KeySignature{item.number}};
+        MDM_ASSIGN_OR_RETURN(EntityId k, db->CreateEntity("KEY_SIGNATURE"));
+        MDM_RETURN_IF_ERROR(
+            db->SetAttribute(k, "sharps", Value::Int(item.number)));
+        MDM_RETURN_IF_ERROR(
+            db->AppendChild(cmn::kKeySigOnStaff, import.staff, k));
+        break;
+      }
+      case DarmsItem::Kind::kMeter:
+        meter = {item.meter_num, item.meter_den};
+        MDM_RETURN_IF_ERROR(db->SetAttribute(measure, "meter_num",
+                                             Value::Int(item.meter_num)));
+        MDM_RETURN_IF_ERROR(db->SetAttribute(measure, "meter_den",
+                                             Value::Int(item.meter_den)));
+        break;
+      case DarmsItem::Kind::kBarline:
+      case DarmsItem::Kind::kFinalBarline: {
+        accidentals.Reset();
+        if (item.kind == DarmsItem::Kind::kFinalBarline) {
+          saw_final = true;
+          break;
+        }
+        MDM_ASSIGN_OR_RETURN(
+            measure, builder.AddMeasure(movement, ++import.measures, meter));
+        cursor = Rational(0);
+        break;
+      }
+      case DarmsItem::Kind::kBeamBegin: {
+        MDM_ASSIGN_OR_RETURN(EntityId group, builder.AddGroup("beam"));
+        if (!group_stack.empty())
+          MDM_RETURN_IF_ERROR(builder.AddToGroup(group_stack.back(), group));
+        group_stack.push_back(group);
+        break;
+      }
+      case DarmsItem::Kind::kBeamEnd:
+        if (group_stack.empty())
+          return ParseError("unbalanced ')' in DARMS beam grouping");
+        group_stack.pop_back();
+        break;
+      case DarmsItem::Kind::kRest: {
+        MDM_ASSIGN_OR_RETURN(EntityId rest,
+                             builder.AddRest(import.voice, item.duration));
+        if (!group_stack.empty())
+          MDM_RETURN_IF_ERROR(builder.AddToGroup(group_stack.back(), rest));
+        cursor += item.duration;
+        ++import.rests;
+        break;
+      }
+      case DarmsItem::Kind::kNote: {
+        MDM_ASSIGN_OR_RETURN(EntityId sync,
+                             builder.GetOrAddSync(measure, cursor));
+        MDM_ASSIGN_OR_RETURN(
+            EntityId chord,
+            builder.AddChord(sync, import.voice, item.duration));
+        if (item.stem_explicit)
+          MDM_RETURN_IF_ERROR(db->SetAttribute(
+              chord, "stem_direction", Value::Int(item.stem_down ? -1 : 1)));
+        MDM_ASSIGN_OR_RETURN(
+            EntityId note,
+            builder.AddNote(chord, clef, item.space_code, item.accidental,
+                            &accidentals));
+        MDM_RETURN_IF_ERROR(
+            db->AppendChild(cmn::kNoteOnStaff, import.staff, note));
+        if (!group_stack.empty())
+          MDM_RETURN_IF_ERROR(builder.AddToGroup(group_stack.back(), chord));
+        if (!item.text.empty()) {
+          MDM_ASSIGN_OR_RETURN(EntityId syl, db->CreateEntity("SYLLABLE"));
+          MDM_RETURN_IF_ERROR(
+              db->SetAttribute(syl, "text", Value::String(item.text)));
+          MDM_RETURN_IF_ERROR(db->Connect("SYLLABLE_OF_NOTE",
+                                          {{"note", note}, {"syllable", syl}})
+                                  .status());
+        }
+        cursor += item.duration;
+        ++import.notes;
+        break;
+      }
+      case DarmsItem::Kind::kAnnotation: {
+        MDM_ASSIGN_OR_RETURN(EntityId ann, db->CreateEntity("ANNOTATION"));
+        MDM_RETURN_IF_ERROR(
+            db->SetAttribute(ann, "text", Value::String(item.text)));
+        break;
+      }
+    }
+  }
+  if (!group_stack.empty())
+    return ParseError("unbalanced '(' in DARMS beam grouping");
+  (void)saw_final;
+  return import;
+}
+
+Result<std::string> ExportDarms(er::Database* db, er::EntityId score) {
+  std::vector<DarmsItem> items;
+  // Clef and key signature from the first staff found via notes.
+  cmn::Clef clef = cmn::Clef::kTreble;
+  {
+    DarmsItem c;
+    c.kind = DarmsItem::Kind::kClef;
+    c.clef = 'G';
+    items.push_back(c);
+  }
+  MDM_ASSIGN_OR_RETURN(std::vector<cmn::MeasureSpan> table,
+                       cmn::BuildMeasureTable(*db, score));
+  bool first_measure = true;
+  for (const cmn::MeasureSpan& span : table) {
+    if (!first_measure) {
+      DarmsItem bar;
+      bar.kind = DarmsItem::Kind::kBarline;
+      items.push_back(bar);
+    }
+    first_measure = false;
+    MDM_ASSIGN_OR_RETURN(std::vector<EntityId> syncs,
+                         db->Children(cmn::kSyncInMeasure, span.measure));
+    for (EntityId sync : syncs) {
+      MDM_ASSIGN_OR_RETURN(std::vector<EntityId> chords,
+                           db->Children(cmn::kChordInSync, sync));
+      for (EntityId chord : chords) {
+        MDM_ASSIGN_OR_RETURN(Value dur,
+                             db->GetAttribute(chord, "duration_beats"));
+        MDM_ASSIGN_OR_RETURN(std::vector<EntityId> notes,
+                             db->Children(cmn::kNoteInChord, chord));
+        for (EntityId note : notes) {
+          DarmsItem item;
+          item.kind = DarmsItem::Kind::kNote;
+          MDM_ASSIGN_OR_RETURN(Value degree, db->GetAttribute(note, "degree"));
+          if (degree.is_null()) {
+            // Event-stream note: derive a degree from its MIDI key.
+            MDM_ASSIGN_OR_RETURN(Value key, db->GetAttribute(note, "midi_key"));
+            int midi = key.is_null() ? 60 : static_cast<int>(key.AsInt());
+            cmn::Pitch p;
+            p.octave = midi / 12 - 1;
+            p.step = 0;
+            item.space_code = cmn::PitchToDegree(clef, p);
+          } else {
+            item.space_code = static_cast<int>(degree.AsInt());
+          }
+          MDM_ASSIGN_OR_RETURN(Value acc, db->GetAttribute(note, "accidental"));
+          if (!acc.is_null())
+            item.accidental = static_cast<Accidental>(acc.AsInt());
+          item.duration = dur.is_null() ? Rational(1) : dur.AsRational();
+          // Re-detect dotted durations so 3/2 emits as "Q." not silence.
+          if (LetterFromDuration(item.duration) == '\0' &&
+              LetterFromDuration(item.duration / Rational(3, 2)) != '\0')
+            item.dotted = true;
+          items.push_back(item);
+        }
+      }
+    }
+  }
+  DarmsItem fin;
+  fin.kind = DarmsItem::Kind::kFinalBarline;
+  items.push_back(fin);
+  return EncodeCanonical(items);
+}
+
+}  // namespace mdm::darms

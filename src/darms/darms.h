@@ -1,0 +1,104 @@
+#ifndef MDM_DARMS_DARMS_H_
+#define MDM_DARMS_DARMS_H_
+
+#include <string>
+#include <vector>
+
+#include "cmn/pitch.h"
+#include "cmn/score_builder.h"
+#include "common/rational.h"
+#include "common/result.h"
+#include "er/database.h"
+
+namespace mdm::darms {
+
+/// One element of a DARMS-encoded score, after parsing (§4.6, fig 4).
+///
+/// The dialect implemented here covers the constructs in the paper's
+/// fig 4 and its abbreviation key:
+///   In        instrument (or voice) definition #n
+///   !G !F !C  clef (the paper prints these with a leading quote)
+///   !Kn# !Kn- key signature of n sharps / n flats
+///   !Mn:d     meter signature (our extension for completeness)
+///   R<dur>+   rest(s)
+///   <code><dur>[D|U][.][,@text$]
+///             note: space code (1 = bottom line, 2-digit codes 2x are
+///             the full form), duration letter, stem direction,
+///             duration dot, attached syllable
+///   ( ... )   beam grouping (nests)
+///   @text$    literal annotation; ¢ capitalizes the next letter;
+///             a leading 0s position code (e.g. 00@...$) is accepted
+///   /  //     barline, double (final) barline
+///
+/// "User DARMS" may omit repeated durations (carried from the previous
+/// note). Canonicalize() re-emits with every duration explicit and
+/// 2-digit space codes — the job of the whimsically named "canonizers".
+struct DarmsItem {
+  enum class Kind {
+    kInstrument,
+    kClef,
+    kKeySignature,
+    kMeter,
+    kNote,
+    kRest,
+    kBeamBegin,
+    kBeamEnd,
+    kBarline,
+    kFinalBarline,
+    kAnnotation,
+  };
+  Kind kind = Kind::kNote;
+
+  int number = 0;          // instrument number / key sharps(+)/flats(-)
+  char clef = 'G';         // kClef
+  int meter_num = 4, meter_den = 4;
+  int space_code = 1;      // kNote: DARMS staff position (short form)
+  Rational duration{1, 1}; // kNote / kRest, in quarter-note beats
+  bool stem_down = false;
+  bool stem_explicit = false;
+  bool dotted = false;
+  cmn::Accidental accidental = cmn::Accidental::kNone;
+  std::string text;        // annotation or attached syllable
+};
+
+/// Parses DARMS text into items. User-DARMS shorthand (carried
+/// durations) is resolved during parsing, so the item list is always
+/// fully explicit.
+Result<std::vector<DarmsItem>> ParseDarms(const std::string& text);
+
+/// Re-encodes items as canonical DARMS: explicit durations everywhere,
+/// two-digit space codes, one space between items.
+std::string EncodeCanonical(const std::vector<DarmsItem>& items);
+
+/// Encodes items as compact "user DARMS": durations elided when equal
+/// to the previous note's, short space codes.
+std::string EncodeUser(const std::vector<DarmsItem>& items);
+
+/// Canonicalizes DARMS text (parse + canonical re-encode).
+Result<std::string> Canonicalize(const std::string& text);
+
+/// Result of importing a DARMS stream into the CMN database.
+struct DarmsImport {
+  er::EntityId score = er::kInvalidEntityId;
+  er::EntityId staff = er::kInvalidEntityId;
+  er::EntityId voice = er::kInvalidEntityId;
+  int notes = 0;
+  int rests = 0;
+  int measures = 0;
+};
+
+/// Decodes DARMS into a CMN score: one instrument/staff/voice, measures
+/// split at barlines, notes placed at syncs by accumulated onset,
+/// performance pitches derived from the running clef / key signature /
+/// accidental state (§4.3), beams realized as GROUPs, and syllables
+/// attached through SYLLABLE_OF_NOTE.
+Result<DarmsImport> ImportDarms(er::Database* db, const std::string& text,
+                                const std::string& title);
+
+/// Exports a previously imported (or hand-built single-voice) score
+/// back to canonical DARMS.
+Result<std::string> ExportDarms(er::Database* db, er::EntityId score);
+
+}  // namespace mdm::darms
+
+#endif  // MDM_DARMS_DARMS_H_

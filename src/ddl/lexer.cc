@@ -1,0 +1,142 @@
+#include "ddl/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace mdm::ddl {
+
+Result<std::vector<Token>> Lex(const std::string& text) {
+  std::vector<Token> out;
+  size_t i = 0;
+  size_t line = 1;
+  auto push = [&](TokenType t, std::string s = "") {
+    Token tok;
+    tok.type = t;
+    tok.text = std::move(s);
+    tok.line = line;
+    out.push_back(std::move(tok));
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < text.size() && text[i + 1] == '-') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[i])) ||
+              text[i] == '_' || text[i] == '#'))
+        ++i;
+      push(TokenType::kIdentifier, text.substr(start, i - start));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      size_t start = i;
+      if (c == '-') ++i;
+      bool is_float = false;
+      while (i < text.size() &&
+             (std::isdigit(static_cast<unsigned char>(text[i])) ||
+              text[i] == '.')) {
+        if (text[i] == '.') {
+          // A second '.' ends the number (e.g. range syntax; not used,
+          // but don't swallow it).
+          if (is_float) break;
+          is_float = true;
+        }
+        ++i;
+      }
+      std::string num = text.substr(start, i - start);
+      Token tok;
+      tok.line = line;
+      tok.text = num;
+      if (is_float) {
+        tok.type = TokenType::kFloat;
+        tok.float_value = std::strtod(num.c_str(), nullptr);
+      } else {
+        tok.type = TokenType::kInteger;
+        tok.int_value = std::strtoll(num.c_str(), nullptr, 10);
+      }
+      out.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++i;
+      std::string s;
+      bool closed = false;
+      while (i < text.size()) {
+        if (text[i] == quote) {
+          closed = true;
+          ++i;
+          break;
+        }
+        if (text[i] == '\n') ++line;
+        if (text[i] == '\\' && i + 1 < text.size()) ++i;  // escape
+        s += text[i++];
+      }
+      if (!closed)
+        return ParseError(StrFormat("unterminated string at line %zu", line));
+      push(TokenType::kString, std::move(s));
+      continue;
+    }
+    switch (c) {
+      case '(': push(TokenType::kLParen); ++i; continue;
+      case ')': push(TokenType::kRParen); ++i; continue;
+      case ',': push(TokenType::kComma); ++i; continue;
+      case '.': push(TokenType::kDot); ++i; continue;
+      case '=': push(TokenType::kEquals); ++i; continue;
+      case '!':
+        if (i + 1 < text.size() && text[i + 1] == '=') {
+          push(TokenType::kNotEquals);
+          i += 2;
+          continue;
+        }
+        return ParseError(StrFormat("stray '!' at line %zu", line));
+      case '<':
+        if (i + 1 < text.size() && text[i + 1] == '=') {
+          push(TokenType::kLessEq);
+          i += 2;
+        } else if (i + 1 < text.size() && text[i + 1] == '>') {
+          push(TokenType::kNotEquals);
+          i += 2;
+        } else {
+          push(TokenType::kLess);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < text.size() && text[i + 1] == '=') {
+          push(TokenType::kGreaterEq);
+          i += 2;
+        } else {
+          push(TokenType::kGreater);
+          ++i;
+        }
+        continue;
+      default:
+        return ParseError(
+            StrFormat("unexpected character '%c' at line %zu", c, line));
+    }
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.line = line;
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace mdm::ddl

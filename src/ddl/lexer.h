@@ -1,0 +1,47 @@
+#ifndef MDM_DDL_LEXER_H_
+#define MDM_DDL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mdm::ddl {
+
+/// Token kinds shared by the DDL and QUEL front ends.
+enum class TokenType {
+  kIdentifier,   // note_in_chord, CHORD, retrieve
+  kInteger,      // 578
+  kFloat,        // 3.25
+  kString,       // "The Star Spangled Banner" or 'G4'
+  kLParen,       // (
+  kRParen,       // )
+  kComma,        // ,
+  kEquals,       // =
+  kNotEquals,    // !=
+  kLess,         // <
+  kLessEq,       // <=
+  kGreater,      // >
+  kGreaterEq,    // >=
+  kDot,          // .
+  kEnd,          // end of input
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // identifier / string contents / number text
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t line = 1;    // 1-based, for error messages
+};
+
+/// Tokenizes DDL/QUEL text. Comments run from `--` to end of line.
+/// Identifiers are [A-Za-z_][A-Za-z0-9_#]* (the '#' admits DARMS-ish
+/// names); keywords are not distinguished here — parsers match
+/// identifiers case-insensitively.
+Result<std::vector<Token>> Lex(const std::string& text);
+
+}  // namespace mdm::ddl
+
+#endif  // MDM_DDL_LEXER_H_

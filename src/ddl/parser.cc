@@ -1,0 +1,232 @@
+#include "ddl/parser.h"
+
+#include "common/strings.h"
+#include "ddl/lexer.h"
+#include "rel/value.h"
+
+namespace mdm::ddl {
+
+namespace {
+
+/// Recursive-descent parser over the token stream. When `db` is null the
+/// parser runs in check-only mode: statements are validated syntactically
+/// but not executed (ref-attribute targets cannot be verified then).
+class DdlParser {
+ public:
+  DdlParser(std::vector<Token> tokens, er::Database* db)
+      : tokens_(std::move(tokens)), db_(db) {}
+
+  Result<DdlResult> Run() {
+    DdlResult result;
+    while (!AtEnd()) {
+      MDM_RETURN_IF_ERROR(ExpectKeyword("define"));
+      const Token& what = Peek();
+      if (IsKeyword(what, "entity")) {
+        Advance();
+        MDM_RETURN_IF_ERROR(ParseEntity(&result));
+      } else if (IsKeyword(what, "relationship")) {
+        Advance();
+        MDM_RETURN_IF_ERROR(ParseRelationship(&result));
+      } else if (IsKeyword(what, "ordering")) {
+        Advance();
+        MDM_RETURN_IF_ERROR(ParseOrdering(&result));
+      } else {
+        return ParseError(StrFormat(
+            "line %zu: expected entity/relationship/ordering after "
+            "'define', got '%s'",
+            what.line, what.text.c_str()));
+      }
+    }
+    return result;
+  }
+
+ private:
+  bool AtEnd() const { return tokens_[pos_].type == TokenType::kEnd; }
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  void Advance() {
+    if (!AtEnd()) ++pos_;
+  }
+
+  static bool IsKeyword(const Token& tok, const char* kw) {
+    return tok.type == TokenType::kIdentifier &&
+           EqualsIgnoreCase(tok.text, kw);
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!IsKeyword(Peek(), kw))
+      return ParseError(StrFormat("line %zu: expected '%s', got '%s'",
+                                  Peek().line, kw, Peek().text.c_str()));
+    Advance();
+    return Status::OK();
+  }
+
+  Status Expect(TokenType t, const char* what) {
+    if (Peek().type != t)
+      return ParseError(StrFormat("line %zu: expected %s, got '%s'",
+                                  Peek().line, what, Peek().text.c_str()));
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (Peek().type != TokenType::kIdentifier)
+      return ParseError(StrFormat("line %zu: expected %s, got '%s'",
+                                  Peek().line, what, Peek().text.c_str()));
+    std::string name = Peek().text;
+    Advance();
+    return name;
+  }
+
+  // attr := name "=" type; the type is a scalar domain or an entity type.
+  Result<er::AttributeDef> ParseAttribute() {
+    MDM_ASSIGN_OR_RETURN(std::string name,
+                         ExpectIdentifier("attribute name"));
+    MDM_RETURN_IF_ERROR(Expect(TokenType::kEquals, "'='"));
+    MDM_ASSIGN_OR_RETURN(std::string type_name,
+                         ExpectIdentifier("attribute type"));
+    er::AttributeDef attr;
+    attr.name = std::move(name);
+    rel::ValueType vt;
+    if (rel::ParseValueType(type_name, &vt)) {
+      attr.type = vt;
+    } else {
+      // Entity-valued attribute (implicit 1:n relationship, §5.1).
+      attr.type = rel::ValueType::kRef;
+      attr.ref_target = type_name;
+    }
+    return attr;
+  }
+
+  Status ParseEntity(DdlResult* result) {
+    MDM_ASSIGN_OR_RETURN(std::string name,
+                         ExpectIdentifier("entity type name"));
+    MDM_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+    er::EntityTypeDef def;
+    def.name = name;
+    if (Peek().type != TokenType::kRParen) {
+      while (true) {
+        MDM_ASSIGN_OR_RETURN(er::AttributeDef attr, ParseAttribute());
+        def.attributes.push_back(std::move(attr));
+        if (Peek().type != TokenType::kComma) break;
+        Advance();
+      }
+    }
+    MDM_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+    if (db_ != nullptr) MDM_RETURN_IF_ERROR(db_->DefineEntityType(def));
+    result->entity_types.push_back(name);
+    return Status::OK();
+  }
+
+  Status ParseRelationship(DdlResult* result) {
+    MDM_ASSIGN_OR_RETURN(std::string name,
+                         ExpectIdentifier("relationship name"));
+    MDM_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+    er::RelationshipDef def;
+    def.name = name;
+    while (true) {
+      MDM_ASSIGN_OR_RETURN(std::string role, ExpectIdentifier("role name"));
+      MDM_RETURN_IF_ERROR(Expect(TokenType::kEquals, "'='"));
+      MDM_ASSIGN_OR_RETURN(std::string type,
+                           ExpectIdentifier("role entity type"));
+      // A scalar domain makes this a relationship attribute (e.g. the
+      // set_up code of GParmUse, §6.2); an entity type makes it a role.
+      rel::ValueType vt;
+      if (rel::ParseValueType(type, &vt)) {
+        def.attributes.push_back({std::move(role), vt, ""});
+      } else {
+        def.roles.push_back({std::move(role), std::move(type)});
+      }
+      if (Peek().type != TokenType::kComma) break;
+      Advance();
+    }
+    MDM_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+    if (db_ != nullptr) MDM_RETURN_IF_ERROR(db_->DefineRelationship(def));
+    result->relationships.push_back(name);
+    return Status::OK();
+  }
+
+  // define ordering [name] (child {, child}) under parent
+  Status ParseOrdering(DdlResult* result) {
+    er::OrderingDef def;
+    if (Peek().type == TokenType::kIdentifier) {
+      def.name = Peek().text;
+      Advance();
+    }
+    MDM_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+    while (true) {
+      MDM_ASSIGN_OR_RETURN(std::string child,
+                           ExpectIdentifier("child entity type"));
+      def.child_types.push_back(std::move(child));
+      if (Peek().type != TokenType::kComma) break;
+      Advance();
+    }
+    MDM_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+    MDM_RETURN_IF_ERROR(ExpectKeyword("under"));
+    MDM_ASSIGN_OR_RETURN(def.parent_type,
+                         ExpectIdentifier("parent entity type"));
+    if (db_ != nullptr) {
+      MDM_ASSIGN_OR_RETURN(std::string final_name,
+                           db_->DefineOrdering(def));
+      result->orderings.push_back(final_name);
+    } else {
+      result->orderings.push_back(def.name);
+    }
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  er::Database* db_;
+};
+
+}  // namespace
+
+Result<DdlResult> ExecuteDdl(const std::string& script, er::Database* db) {
+  MDM_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(script));
+  DdlParser parser(std::move(tokens), db);
+  return parser.Run();
+}
+
+Status CheckDdlSyntax(const std::string& script) {
+  MDM_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(script));
+  DdlParser parser(std::move(tokens), nullptr);
+  Result<DdlResult> r = parser.Run();
+  return r.ok() ? Status::OK() : r.status();
+}
+
+std::string SchemaToDdl(const er::ErSchema& schema) {
+  std::string out;
+  for (const er::EntityTypeDef& e : schema.entity_types()) {
+    out += "define entity " + e.name + " (";
+    for (size_t i = 0; i < e.attributes.size(); ++i) {
+      if (i > 0) out += ", ";
+      const er::AttributeDef& a = e.attributes[i];
+      out += a.name + " = ";
+      out += a.type == rel::ValueType::kRef ? a.ref_target
+                                            : rel::ValueTypeName(a.type);
+    }
+    out += ")\n";
+  }
+  for (const er::RelationshipDef& r : schema.relationships()) {
+    out += "define relationship " + r.name + " (";
+    for (size_t i = 0; i < r.roles.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += r.roles[i].name + " = " + r.roles[i].entity_type;
+    }
+    out += ")\n";
+  }
+  for (const er::OrderingDef& o : schema.orderings()) {
+    out += "define ordering " + o.name + " (";
+    for (size_t i = 0; i < o.child_types.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += o.child_types[i];
+    }
+    out += ") under " + o.parent_type + "\n";
+  }
+  return out;
+}
+
+}  // namespace mdm::ddl

@@ -1,0 +1,866 @@
+#include "er/database.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace mdm::er {
+
+using rel::Value;
+using rel::ValueType;
+
+// ---------------------------------------------------------------------
+// Lookup helpers.
+// ---------------------------------------------------------------------
+
+const EntityRecord* Database::FindEntity(EntityId id) const {
+  auto it = entities_.find(id);
+  return it == entities_.end() ? nullptr : &it->second;
+}
+
+EntityRecord* Database::FindEntity(EntityId id) {
+  auto it = entities_.find(id);
+  return it == entities_.end() ? nullptr : &it->second;
+}
+
+Result<const OrderingDef*> Database::ResolveOrdering(
+    const std::string& name) const {
+  const OrderingDef* def = schema_.FindOrdering(name);
+  if (def == nullptr) return NotFound("no ordering named " + name);
+  return def;
+}
+
+Database::OrderingInstances& Database::InstancesFor(
+    const std::string& ordering_name) {
+  return ordering_instances_[AsciiUpper(ordering_name)];
+}
+
+const Database::OrderingInstances* Database::InstancesForConst(
+    const std::string& ordering_name) const {
+  auto it = ordering_instances_.find(AsciiUpper(ordering_name));
+  return it == ordering_instances_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------
+// Journaling plumbing.
+// ---------------------------------------------------------------------
+
+Status Database::LogOp(Op op, const std::vector<uint8_t>& payload) {
+  if (wal_ == nullptr || replaying_) return Status::OK();
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(op));
+  w.PutBytes(payload.data(), payload.size());
+  std::string bytes(reinterpret_cast<const char*>(w.data().data()),
+                    w.size());
+  if (open_txn_ != 0) return wal_->LogOp(open_txn_, std::move(bytes));
+  // Auto-commit: each op is its own transaction.
+  MDM_ASSIGN_OR_RETURN(uint64_t txn, wal_->Begin());
+  MDM_RETURN_IF_ERROR(wal_->LogOp(txn, std::move(bytes)));
+  return wal_->Commit(txn);
+}
+
+Status Database::BeginTxn() {
+  if (wal_ == nullptr) return FailedPrecondition("no journal attached");
+  if (open_txn_ != 0) return FailedPrecondition("transaction already open");
+  MDM_ASSIGN_OR_RETURN(open_txn_, wal_->Begin());
+  return Status::OK();
+}
+
+Status Database::CommitTxn() {
+  if (open_txn_ == 0) return FailedPrecondition("no open transaction");
+  uint64_t txn = open_txn_;
+  open_txn_ = 0;
+  return wal_->Commit(txn);
+}
+
+// ---------------------------------------------------------------------
+// Schema definition.
+// ---------------------------------------------------------------------
+
+Status Database::DefineEntityType(EntityTypeDef def) {
+  ByteWriter payload;
+  EncodeEntityTypeDef(def, &payload);
+  MDM_RETURN_IF_ERROR(schema_.AddEntityType(std::move(def)));
+  return LogOp(Op::kDefineEntity, payload.data());
+}
+
+Status Database::DefineRelationship(RelationshipDef def) {
+  ByteWriter payload;
+  EncodeRelationshipDef(def, &payload);
+  MDM_RETURN_IF_ERROR(schema_.AddRelationship(std::move(def)));
+  return LogOp(Op::kDefineRelationship, payload.data());
+}
+
+Result<std::string> Database::DefineOrdering(OrderingDef def) {
+  MDM_RETURN_IF_ERROR(schema_.AddOrdering(def));
+  // AddOrdering may have generated a name; fetch the stored def.
+  const OrderingDef& stored = schema_.orderings().back();
+  ByteWriter payload;
+  EncodeOrderingDef(stored, &payload);
+  MDM_RETURN_IF_ERROR(LogOp(Op::kDefineOrdering, payload.data()));
+  return stored.name;
+}
+
+// ---------------------------------------------------------------------
+// Entities.
+// ---------------------------------------------------------------------
+
+Result<EntityId> Database::CreateEntity(const std::string& type) {
+  const EntityTypeDef* def = schema_.FindEntityType(type);
+  if (def == nullptr) return NotFound("no entity type named " + type);
+  uint32_t type_index = 0;
+  for (size_t i = 0; i < schema_.entity_types().size(); ++i)
+    if (&schema_.entity_types()[i] == def)
+      type_index = static_cast<uint32_t>(i);
+
+  EntityId id = next_entity_id_++;
+  EntityRecord rec;
+  rec.id = id;
+  rec.type_index = type_index;
+  rec.attrs.assign(def->attributes.size(), Value::Null());
+  entities_.emplace(id, std::move(rec));
+  by_type_[AsciiUpper(def->name)].push_back(id);
+
+  ByteWriter payload;
+  payload.PutString(def->name);
+  payload.PutU64(id);
+  MDM_RETURN_IF_ERROR(LogOp(Op::kCreateEntity, payload.data()));
+  return id;
+}
+
+Status Database::DeleteEntity(EntityId id) {
+  EntityRecord* rec = FindEntity(id);
+  if (rec == nullptr)
+    return NotFound(StrFormat("no entity #%llu", (unsigned long long)id));
+  const std::string type_name =
+      schema_.entity_types()[rec->type_index].name;
+
+  // Detach from every ordering: as a child (remove from its siblings) and
+  // as a parent (children become roots of that ordering).
+  for (auto& [name, inst] : ordering_instances_) {
+    auto pit = inst.parent_of.find(id);
+    if (pit != inst.parent_of.end()) {
+      std::vector<EntityId>& sibs = inst.children[pit->second];
+      sibs.erase(std::remove(sibs.begin(), sibs.end(), id), sibs.end());
+      inst.parent_of.erase(pit);
+    }
+    auto cit = inst.children.find(id);
+    if (cit != inst.children.end()) {
+      for (EntityId child : cit->second) inst.parent_of.erase(child);
+      inst.children.erase(cit);
+    }
+  }
+
+  // Delete relationship instances that reference the entity.
+  std::vector<RelInstanceId> doomed;
+  for (const auto& [rid, ri] : rel_instances_) {
+    for (EntityId ref : ri.role_refs)
+      if (ref == id) {
+        doomed.push_back(rid);
+        break;
+      }
+  }
+  for (RelInstanceId rid : doomed) {
+    const RelationshipInstance& ri = rel_instances_.at(rid);
+    std::vector<RelInstanceId>& list =
+        rels_by_name_[AsciiUpper(schema_.relationships()[ri.rel_index].name)];
+    list.erase(std::remove(list.begin(), list.end(), rid), list.end());
+    rel_instances_.erase(rid);
+  }
+
+  std::vector<EntityId>& list = by_type_[AsciiUpper(type_name)];
+  list.erase(std::remove(list.begin(), list.end(), id), list.end());
+  entities_.erase(id);
+
+  ByteWriter payload;
+  payload.PutU64(id);
+  return LogOp(Op::kDeleteEntity, payload.data());
+}
+
+bool Database::Exists(EntityId id) const { return FindEntity(id) != nullptr; }
+
+Result<std::string> Database::TypeOf(EntityId id) const {
+  const EntityRecord* rec = FindEntity(id);
+  if (rec == nullptr)
+    return NotFound(StrFormat("no entity #%llu", (unsigned long long)id));
+  return schema_.entity_types()[rec->type_index].name;
+}
+
+Status Database::SetAttribute(EntityId id, const std::string& attr,
+                              Value value) {
+  EntityRecord* rec = FindEntity(id);
+  if (rec == nullptr)
+    return NotFound(StrFormat("no entity #%llu", (unsigned long long)id));
+  const EntityTypeDef& def = schema_.entity_types()[rec->type_index];
+  auto idx = def.AttributeIndex(attr);
+  if (!idx.has_value())
+    return NotFound(StrFormat("entity type %s has no attribute %s",
+                              def.name.c_str(), attr.c_str()));
+  const AttributeDef& adef = def.attributes[*idx];
+  if (!value.is_null()) {
+    ValueType got = value.type();
+    if (got != adef.type &&
+        !(adef.type == ValueType::kFloat && got == ValueType::kInt))
+      return TypeError(StrFormat("attribute %s.%s expects %s, got %s",
+                                 def.name.c_str(), adef.name.c_str(),
+                                 rel::ValueTypeName(adef.type),
+                                 rel::ValueTypeName(got)));
+    if (adef.type == ValueType::kRef) {
+      const EntityRecord* target = FindEntity(value.AsRef());
+      if (target == nullptr)
+        return NotFound(StrFormat("ref attribute %s targets missing entity "
+                                  "#%llu",
+                                  adef.name.c_str(),
+                                  (unsigned long long)value.AsRef()));
+      const std::string& target_type =
+          schema_.entity_types()[target->type_index].name;
+      if (!adef.ref_target.empty() &&
+          !EqualsIgnoreCase(target_type, adef.ref_target))
+        return TypeError(StrFormat("attribute %s expects a %s, got a %s",
+                                   adef.name.c_str(), adef.ref_target.c_str(),
+                                   target_type.c_str()));
+    }
+  }
+  ByteWriter payload;
+  payload.PutU64(id);
+  payload.PutString(adef.name);
+  value.Encode(&payload);
+  rec->attrs[*idx] = std::move(value);
+  return LogOp(Op::kSetAttribute, payload.data());
+}
+
+Result<Value> Database::GetAttribute(EntityId id,
+                                     const std::string& attr) const {
+  const EntityRecord* rec = FindEntity(id);
+  if (rec == nullptr)
+    return NotFound(StrFormat("no entity #%llu", (unsigned long long)id));
+  const EntityTypeDef& def = schema_.entity_types()[rec->type_index];
+  auto idx = def.AttributeIndex(attr);
+  if (!idx.has_value())
+    return NotFound(StrFormat("entity type %s has no attribute %s",
+                              def.name.c_str(), attr.c_str()));
+  return rec->attrs[*idx];
+}
+
+Status Database::ForEachEntity(const std::string& type,
+                               const std::function<bool(EntityId)>& fn) const {
+  if (schema_.FindEntityType(type) == nullptr)
+    return NotFound("no entity type named " + type);
+  auto it = by_type_.find(AsciiUpper(type));
+  if (it == by_type_.end()) return Status::OK();
+  for (EntityId id : it->second)
+    if (!fn(id)) break;
+  return Status::OK();
+}
+
+Result<uint64_t> Database::CountEntities(const std::string& type) const {
+  if (schema_.FindEntityType(type) == nullptr)
+    return NotFound("no entity type named " + type);
+  auto it = by_type_.find(AsciiUpper(type));
+  return it == by_type_.end() ? 0 : static_cast<uint64_t>(it->second.size());
+}
+
+// ---------------------------------------------------------------------
+// Relationships.
+// ---------------------------------------------------------------------
+
+Result<RelInstanceId> Database::Connect(
+    const std::string& rel,
+    const std::vector<std::pair<std::string, EntityId>>& bindings) {
+  const RelationshipDef* def = schema_.FindRelationship(rel);
+  if (def == nullptr) return NotFound("no relationship named " + rel);
+  uint32_t rel_index = 0;
+  for (size_t i = 0; i < schema_.relationships().size(); ++i)
+    if (&schema_.relationships()[i] == def)
+      rel_index = static_cast<uint32_t>(i);
+
+  std::vector<EntityId> refs(def->roles.size(), kInvalidEntityId);
+  for (const auto& [role, id] : bindings) {
+    auto ridx = def->RoleIndex(role);
+    if (!ridx.has_value())
+      return NotFound(StrFormat("relationship %s has no role %s",
+                                def->name.c_str(), role.c_str()));
+    const EntityRecord* target = FindEntity(id);
+    if (target == nullptr)
+      return NotFound(StrFormat("role %s targets missing entity #%llu",
+                                role.c_str(), (unsigned long long)id));
+    const std::string& target_type =
+        schema_.entity_types()[target->type_index].name;
+    if (!EqualsIgnoreCase(target_type, def->roles[*ridx].entity_type))
+      return TypeError(StrFormat("role %s expects a %s, got a %s",
+                                 role.c_str(),
+                                 def->roles[*ridx].entity_type.c_str(),
+                                 target_type.c_str()));
+    refs[*ridx] = id;
+  }
+  for (size_t i = 0; i < refs.size(); ++i)
+    if (refs[i] == kInvalidEntityId)
+      return InvalidArgument(StrFormat("role %s of %s is unbound",
+                                       def->roles[i].name.c_str(),
+                                       def->name.c_str()));
+
+  RelInstanceId id = next_rel_id_++;
+  RelationshipInstance inst;
+  inst.id = id;
+  inst.rel_index = rel_index;
+  inst.role_refs = refs;
+  inst.attrs.assign(def->attributes.size(), Value::Null());
+  rel_instances_.emplace(id, std::move(inst));
+  rels_by_name_[AsciiUpper(def->name)].push_back(id);
+
+  ByteWriter payload;
+  payload.PutString(def->name);
+  payload.PutU64(id);
+  payload.PutVarint(refs.size());
+  for (EntityId ref : refs) payload.PutU64(ref);
+  MDM_RETURN_IF_ERROR(LogOp(Op::kConnect, payload.data()));
+  return id;
+}
+
+Status Database::Disconnect(RelInstanceId id) {
+  auto it = rel_instances_.find(id);
+  if (it == rel_instances_.end())
+    return NotFound(StrFormat("no relationship instance #%llu",
+                              (unsigned long long)id));
+  std::vector<RelInstanceId>& list = rels_by_name_[AsciiUpper(
+      schema_.relationships()[it->second.rel_index].name)];
+  list.erase(std::remove(list.begin(), list.end(), id), list.end());
+  rel_instances_.erase(it);
+  ByteWriter payload;
+  payload.PutU64(id);
+  return LogOp(Op::kDisconnect, payload.data());
+}
+
+Status Database::SetRelationshipAttribute(RelInstanceId id,
+                                          const std::string& attr,
+                                          Value value) {
+  auto it = rel_instances_.find(id);
+  if (it == rel_instances_.end())
+    return NotFound(StrFormat("no relationship instance #%llu",
+                              (unsigned long long)id));
+  const RelationshipDef& def = schema_.relationships()[it->second.rel_index];
+  auto idx = def.AttributeIndex(attr);
+  if (!idx.has_value())
+    return NotFound(StrFormat("relationship %s has no attribute %s",
+                              def.name.c_str(), attr.c_str()));
+  const AttributeDef& adef = def.attributes[*idx];
+  if (!value.is_null() && value.type() != adef.type &&
+      !(adef.type == ValueType::kFloat && value.type() == ValueType::kInt))
+    return TypeError(StrFormat("attribute %s.%s expects %s",
+                               def.name.c_str(), adef.name.c_str(),
+                               rel::ValueTypeName(adef.type)));
+  ByteWriter payload;
+  payload.PutU64(id);
+  payload.PutString(adef.name);
+  value.Encode(&payload);
+  it->second.attrs[*idx] = std::move(value);
+  return LogOp(Op::kSetRelAttribute, payload.data());
+}
+
+Status Database::ForEachRelationship(
+    const std::string& rel,
+    const std::function<bool(const RelationshipInstance&)>& fn) const {
+  if (schema_.FindRelationship(rel) == nullptr)
+    return NotFound("no relationship named " + rel);
+  auto it = rels_by_name_.find(AsciiUpper(rel));
+  if (it == rels_by_name_.end()) return Status::OK();
+  for (RelInstanceId id : it->second)
+    if (!fn(rel_instances_.at(id))) break;
+  return Status::OK();
+}
+
+Result<uint64_t> Database::CountRelationships(const std::string& rel) const {
+  if (schema_.FindRelationship(rel) == nullptr)
+    return NotFound("no relationship named " + rel);
+  auto it = rels_by_name_.find(AsciiUpper(rel));
+  return it == rels_by_name_.end() ? 0
+                                   : static_cast<uint64_t>(it->second.size());
+}
+
+// ---------------------------------------------------------------------
+// Hierarchical ordering.
+// ---------------------------------------------------------------------
+
+bool Database::IsAncestor(const OrderingInstances& inst, EntityId needle,
+                          EntityId start) const {
+  EntityId cur = start;
+  while (cur != kInvalidEntityId) {
+    if (cur == needle) return true;
+    auto it = inst.parent_of.find(cur);
+    if (it == inst.parent_of.end()) return false;
+    cur = it->second;
+  }
+  return false;
+}
+
+Status Database::DoInsertChildAt(const OrderingDef& def, EntityId parent,
+                                 EntityId child, size_t pos) {
+  const EntityRecord* parent_rec = FindEntity(parent);
+  if (parent_rec == nullptr)
+    return NotFound(StrFormat("no parent entity #%llu",
+                              (unsigned long long)parent));
+  const EntityRecord* child_rec = FindEntity(child);
+  if (child_rec == nullptr)
+    return NotFound(StrFormat("no child entity #%llu",
+                              (unsigned long long)child));
+  const std::string& parent_type =
+      schema_.entity_types()[parent_rec->type_index].name;
+  const std::string& child_type =
+      schema_.entity_types()[child_rec->type_index].name;
+  if (!EqualsIgnoreCase(parent_type, def.parent_type))
+    return TypeError(StrFormat("ordering %s expects parent of type %s, "
+                               "got %s",
+                               def.name.c_str(), def.parent_type.c_str(),
+                               parent_type.c_str()));
+  if (!def.HasChildType(child_type))
+    return TypeError(StrFormat("ordering %s does not admit children of "
+                               "type %s",
+                               def.name.c_str(), child_type.c_str()));
+
+  OrderingInstances& inst = InstancesFor(def.name);
+  if (inst.parent_of.count(child) != 0)
+    return ConstraintViolation(StrFormat(
+        "entity #%llu already has a parent in ordering %s",
+        (unsigned long long)child, def.name.c_str()));
+  // §5.5: P-edge cycles are disallowed — an instance may not be "part of"
+  // itself. Only recursive orderings can form them.
+  if (child == parent || (def.IsRecursive() && IsAncestor(inst, child, parent)))
+    return ConstraintViolation(StrFormat(
+        "inserting #%llu under #%llu would create a P-edge cycle in %s",
+        (unsigned long long)child, (unsigned long long)parent,
+        def.name.c_str()));
+
+  std::vector<EntityId>& sibs = inst.children[parent];
+  if (pos > sibs.size())
+    return OutOfRange(StrFormat("position %zu beyond %zu siblings", pos,
+                                sibs.size()));
+  sibs.insert(sibs.begin() + pos, child);
+  inst.parent_of[child] = parent;
+
+  ByteWriter payload;
+  payload.PutString(def.name);
+  payload.PutU64(parent);
+  payload.PutU64(child);
+  payload.PutVarint(pos);
+  return LogOp(Op::kInsertChildAt, payload.data());
+}
+
+Status Database::AppendChild(const std::string& ordering, EntityId parent,
+                             EntityId child) {
+  MDM_ASSIGN_OR_RETURN(const OrderingDef* def, ResolveOrdering(ordering));
+  const OrderingInstances& inst = InstancesFor(def->name);
+  auto it = inst.children.find(parent);
+  size_t pos = it == inst.children.end() ? 0 : it->second.size();
+  return DoInsertChildAt(*def, parent, child, pos);
+}
+
+Status Database::InsertChildAt(const std::string& ordering, EntityId parent,
+                               EntityId child, size_t pos) {
+  MDM_ASSIGN_OR_RETURN(const OrderingDef* def, ResolveOrdering(ordering));
+  return DoInsertChildAt(*def, parent, child, pos);
+}
+
+Status Database::DoRemoveChild(const OrderingDef& def, EntityId child) {
+  OrderingInstances& inst = InstancesFor(def.name);
+  auto it = inst.parent_of.find(child);
+  if (it == inst.parent_of.end())
+    return NotFound(StrFormat("entity #%llu has no parent in ordering %s",
+                              (unsigned long long)child, def.name.c_str()));
+  std::vector<EntityId>& sibs = inst.children[it->second];
+  sibs.erase(std::remove(sibs.begin(), sibs.end(), child), sibs.end());
+  inst.parent_of.erase(it);
+  ByteWriter payload;
+  payload.PutString(def.name);
+  payload.PutU64(child);
+  return LogOp(Op::kRemoveChild, payload.data());
+}
+
+Status Database::RemoveChild(const std::string& ordering, EntityId child) {
+  MDM_ASSIGN_OR_RETURN(const OrderingDef* def, ResolveOrdering(ordering));
+  return DoRemoveChild(*def, child);
+}
+
+Result<std::vector<EntityId>> Database::Children(const std::string& ordering,
+                                                 EntityId parent) const {
+  MDM_ASSIGN_OR_RETURN(const OrderingDef* def, ResolveOrdering(ordering));
+  const OrderingInstances* inst = InstancesForConst(def->name);
+  if (inst == nullptr) return std::vector<EntityId>{};
+  auto it = inst->children.find(parent);
+  if (it == inst->children.end()) return std::vector<EntityId>{};
+  return it->second;
+}
+
+Result<uint64_t> Database::ChildCount(const std::string& ordering,
+                                      EntityId parent) const {
+  MDM_ASSIGN_OR_RETURN(std::vector<EntityId> kids, Children(ordering, parent));
+  return static_cast<uint64_t>(kids.size());
+}
+
+Result<EntityId> Database::ParentOf(const std::string& ordering,
+                                    EntityId child) const {
+  MDM_ASSIGN_OR_RETURN(const OrderingDef* def, ResolveOrdering(ordering));
+  const OrderingInstances* inst = InstancesForConst(def->name);
+  if (inst == nullptr) return kInvalidEntityId;
+  auto it = inst->parent_of.find(child);
+  return it == inst->parent_of.end() ? kInvalidEntityId : it->second;
+}
+
+Result<size_t> Database::PositionOf(const std::string& ordering,
+                                    EntityId child) const {
+  MDM_ASSIGN_OR_RETURN(const OrderingDef* def, ResolveOrdering(ordering));
+  const OrderingInstances* inst = InstancesForConst(def->name);
+  if (inst != nullptr) {
+    auto it = inst->parent_of.find(child);
+    if (it != inst->parent_of.end()) {
+      const std::vector<EntityId>& sibs = inst->children.at(it->second);
+      for (size_t i = 0; i < sibs.size(); ++i)
+        if (sibs[i] == child) return i;
+    }
+  }
+  return NotFound(StrFormat("entity #%llu is not ordered in %s",
+                            (unsigned long long)child, ordering.c_str()));
+}
+
+Result<EntityId> Database::NthChild(const std::string& ordering,
+                                    EntityId parent, size_t n) const {
+  MDM_ASSIGN_OR_RETURN(std::vector<EntityId> kids, Children(ordering, parent));
+  if (n >= kids.size())
+    return OutOfRange(StrFormat("parent has %zu children, wanted index %zu",
+                                kids.size(), n));
+  return kids[n];
+}
+
+Result<bool> Database::Before(const std::string& ordering, EntityId a,
+                              EntityId b) const {
+  MDM_ASSIGN_OR_RETURN(const OrderingDef* def, ResolveOrdering(ordering));
+  const OrderingInstances* inst = InstancesForConst(def->name);
+  if (inst == nullptr) return false;
+  auto pa = inst->parent_of.find(a);
+  auto pb = inst->parent_of.find(b);
+  // §5.6: entities with different parents are not comparable -> false.
+  if (pa == inst->parent_of.end() || pb == inst->parent_of.end() ||
+      pa->second != pb->second)
+    return false;
+  const std::vector<EntityId>& sibs = inst->children.at(pa->second);
+  size_t ia = sibs.size(), ib = sibs.size();
+  for (size_t i = 0; i < sibs.size(); ++i) {
+    if (sibs[i] == a) ia = i;
+    if (sibs[i] == b) ib = i;
+  }
+  return ia < ib;
+}
+
+Result<bool> Database::After(const std::string& ordering, EntityId a,
+                             EntityId b) const {
+  return Before(ordering, b, a);
+}
+
+Result<bool> Database::Under(const std::string& ordering, EntityId child,
+                             EntityId parent) const {
+  MDM_ASSIGN_OR_RETURN(EntityId p, ParentOf(ordering, child));
+  return p != kInvalidEntityId && p == parent;
+}
+
+// ---------------------------------------------------------------------
+// Graphs and diagnostics.
+// ---------------------------------------------------------------------
+
+Result<std::string> Database::InstanceGraphDot(
+    const std::string& ordering, EntityId root,
+    const std::string& label_attr) const {
+  MDM_ASSIGN_OR_RETURN(const OrderingDef* def, ResolveOrdering(ordering));
+  std::string dot =
+      "digraph instance_graph {\n  rankdir=TB;\n  node [shape=circle];\n";
+  auto label_of = [&](EntityId id) -> std::string {
+    const EntityRecord* rec = FindEntity(id);
+    if (rec == nullptr) return StrFormat("#%llu", (unsigned long long)id);
+    const EntityTypeDef& tdef = schema_.entity_types()[rec->type_index];
+    if (!label_attr.empty()) {
+      auto idx = tdef.AttributeIndex(label_attr);
+      if (idx.has_value() && !rec->attrs[*idx].is_null()) {
+        const Value& v = rec->attrs[*idx];
+        return v.type() == ValueType::kString ? v.AsString() : v.ToString();
+      }
+    }
+    return StrFormat("%s#%llu", tdef.name.c_str(), (unsigned long long)id);
+  };
+  // BFS over the ordering's P-edges from the root.
+  std::vector<EntityId> queue{root};
+  dot += StrFormat("  n%llu [label=\"%s\"];\n", (unsigned long long)root,
+                   label_of(root).c_str());
+  const OrderingInstances* inst = InstancesForConst(def->name);
+  for (size_t qi = 0; qi < queue.size(); ++qi) {
+    EntityId parent = queue[qi];
+    if (inst == nullptr) break;
+    auto it = inst->children.find(parent);
+    if (it == inst->children.end()) continue;
+    const std::vector<EntityId>& kids = it->second;
+    for (size_t i = 0; i < kids.size(); ++i) {
+      dot += StrFormat("  n%llu [label=\"%s\"];\n",
+                       (unsigned long long)kids[i], label_of(kids[i]).c_str());
+      // P-edge, child -> parent (as drawn in fig 6).
+      dot += StrFormat("  n%llu -> n%llu [style=dashed, label=\"P\"];\n",
+                       (unsigned long long)kids[i],
+                       (unsigned long long)parent);
+      // S-edge to the next sibling.
+      if (i + 1 < kids.size())
+        dot += StrFormat("  n%llu -> n%llu [label=\"S\"];\n",
+                         (unsigned long long)kids[i],
+                         (unsigned long long)kids[i + 1]);
+      queue.push_back(kids[i]);
+    }
+  }
+  dot += "}\n";
+  return dot;
+}
+
+uint64_t Database::CountDanglingRefs() const {
+  uint64_t dangling = 0;
+  for (const auto& [id, rec] : entities_) {
+    for (const Value& v : rec.attrs)
+      if (v.type() == ValueType::kRef && !Exists(v.AsRef())) ++dangling;
+  }
+  for (const auto& [rid, ri] : rel_instances_) {
+    for (EntityId ref : ri.role_refs)
+      if (!Exists(ref)) ++dangling;
+  }
+  return dangling;
+}
+
+// ---------------------------------------------------------------------
+// Snapshot / restore.
+// ---------------------------------------------------------------------
+
+void Database::Snapshot(ByteWriter* w) const {
+  w->PutU32(0x4D444D53);  // "MDMS"
+  schema_.Encode(w);
+  w->PutU64(next_entity_id_);
+  w->PutU64(next_rel_id_);
+  w->PutVarint(entities_.size());
+  for (const auto& [id, rec] : entities_) {
+    w->PutU64(id);
+    w->PutU32(rec.type_index);
+    w->PutVarint(rec.attrs.size());
+    for (const Value& v : rec.attrs) v.Encode(w);
+  }
+  w->PutVarint(rel_instances_.size());
+  for (const auto& [id, ri] : rel_instances_) {
+    w->PutU64(id);
+    w->PutU32(ri.rel_index);
+    w->PutVarint(ri.role_refs.size());
+    for (EntityId ref : ri.role_refs) w->PutU64(ref);
+    w->PutVarint(ri.attrs.size());
+    for (const Value& v : ri.attrs) v.Encode(w);
+  }
+  w->PutVarint(ordering_instances_.size());
+  for (const auto& [name, inst] : ordering_instances_) {
+    w->PutString(name);
+    w->PutVarint(inst.children.size());
+    for (const auto& [parent, kids] : inst.children) {
+      w->PutU64(parent);
+      w->PutVarint(kids.size());
+      for (EntityId kid : kids) w->PutU64(kid);
+    }
+  }
+}
+
+Status Database::Restore(ByteReader* r, Database* out) {
+  *out = Database();
+  uint32_t magic;
+  MDM_RETURN_IF_ERROR(r->GetU32(&magic));
+  if (magic != 0x4D444D53) return Corruption("bad snapshot magic");
+  MDM_RETURN_IF_ERROR(ErSchema::Decode(r, &out->schema_));
+  MDM_RETURN_IF_ERROR(r->GetU64(&out->next_entity_id_));
+  MDM_RETURN_IF_ERROR(r->GetU64(&out->next_rel_id_));
+  uint64_t n_entities;
+  MDM_RETURN_IF_ERROR(r->GetVarint(&n_entities));
+  for (uint64_t i = 0; i < n_entities; ++i) {
+    EntityRecord rec;
+    MDM_RETURN_IF_ERROR(r->GetU64(&rec.id));
+    MDM_RETURN_IF_ERROR(r->GetU32(&rec.type_index));
+    if (rec.type_index >= out->schema_.entity_types().size())
+      return Corruption("snapshot entity with bad type index");
+    uint64_t n_attrs;
+    MDM_RETURN_IF_ERROR(r->GetVarint(&n_attrs));
+    for (uint64_t j = 0; j < n_attrs; ++j) {
+      Value v;
+      MDM_RETURN_IF_ERROR(Value::Decode(r, &v));
+      rec.attrs.push_back(std::move(v));
+    }
+    const std::string& type_name =
+        out->schema_.entity_types()[rec.type_index].name;
+    out->by_type_[AsciiUpper(type_name)].push_back(rec.id);
+    out->entities_.emplace(rec.id, std::move(rec));
+  }
+  uint64_t n_rels;
+  MDM_RETURN_IF_ERROR(r->GetVarint(&n_rels));
+  for (uint64_t i = 0; i < n_rels; ++i) {
+    RelationshipInstance ri;
+    MDM_RETURN_IF_ERROR(r->GetU64(&ri.id));
+    MDM_RETURN_IF_ERROR(r->GetU32(&ri.rel_index));
+    if (ri.rel_index >= out->schema_.relationships().size())
+      return Corruption("snapshot relationship with bad index");
+    uint64_t n_refs;
+    MDM_RETURN_IF_ERROR(r->GetVarint(&n_refs));
+    for (uint64_t j = 0; j < n_refs; ++j) {
+      EntityId ref;
+      MDM_RETURN_IF_ERROR(r->GetU64(&ref));
+      ri.role_refs.push_back(ref);
+    }
+    uint64_t n_attrs;
+    MDM_RETURN_IF_ERROR(r->GetVarint(&n_attrs));
+    for (uint64_t j = 0; j < n_attrs; ++j) {
+      Value v;
+      MDM_RETURN_IF_ERROR(Value::Decode(r, &v));
+      ri.attrs.push_back(std::move(v));
+    }
+    const std::string& rel_name =
+        out->schema_.relationships()[ri.rel_index].name;
+    out->rels_by_name_[AsciiUpper(rel_name)].push_back(ri.id);
+    out->rel_instances_.emplace(ri.id, std::move(ri));
+  }
+  uint64_t n_orderings;
+  MDM_RETURN_IF_ERROR(r->GetVarint(&n_orderings));
+  for (uint64_t i = 0; i < n_orderings; ++i) {
+    std::string name;
+    MDM_RETURN_IF_ERROR(r->GetString(&name));
+    OrderingInstances inst;
+    uint64_t n_parents;
+    MDM_RETURN_IF_ERROR(r->GetVarint(&n_parents));
+    for (uint64_t j = 0; j < n_parents; ++j) {
+      EntityId parent;
+      MDM_RETURN_IF_ERROR(r->GetU64(&parent));
+      uint64_t n_kids;
+      MDM_RETURN_IF_ERROR(r->GetVarint(&n_kids));
+      std::vector<EntityId> kids;
+      for (uint64_t k = 0; k < n_kids; ++k) {
+        EntityId kid;
+        MDM_RETURN_IF_ERROR(r->GetU64(&kid));
+        kids.push_back(kid);
+        inst.parent_of[kid] = parent;
+      }
+      inst.children[parent] = std::move(kids);
+    }
+    out->ordering_instances_[name] = std::move(inst);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// Journal replay.
+// ---------------------------------------------------------------------
+
+Status Database::ApplyOp(const storage::WalRecord& rec) {
+  ByteReader r(reinterpret_cast<const uint8_t*>(rec.payload.data()),
+               rec.payload.size());
+  uint8_t opcode;
+  MDM_RETURN_IF_ERROR(r.GetU8(&opcode));
+  switch (static_cast<Op>(opcode)) {
+    case Op::kDefineEntity: {
+      EntityTypeDef def;
+      MDM_RETURN_IF_ERROR(DecodeEntityTypeDef(&r, &def));
+      return DefineEntityType(std::move(def));
+    }
+    case Op::kDefineRelationship: {
+      RelationshipDef def;
+      MDM_RETURN_IF_ERROR(DecodeRelationshipDef(&r, &def));
+      return DefineRelationship(std::move(def));
+    }
+    case Op::kDefineOrdering: {
+      OrderingDef def;
+      MDM_RETURN_IF_ERROR(DecodeOrderingDef(&r, &def));
+      return DefineOrdering(std::move(def)).ok()
+                 ? Status::OK()
+                 : Internal("ordering replay failed");
+    }
+    case Op::kCreateEntity: {
+      std::string type;
+      uint64_t id;
+      MDM_RETURN_IF_ERROR(r.GetString(&type));
+      MDM_RETURN_IF_ERROR(r.GetU64(&id));
+      // Replay must reproduce the original id.
+      next_entity_id_ = id;
+      MDM_ASSIGN_OR_RETURN(EntityId got, CreateEntity(type));
+      if (got != id) return Corruption("journal replay id drift");
+      return Status::OK();
+    }
+    case Op::kDeleteEntity: {
+      uint64_t id;
+      MDM_RETURN_IF_ERROR(r.GetU64(&id));
+      return DeleteEntity(id);
+    }
+    case Op::kSetAttribute: {
+      uint64_t id;
+      std::string attr;
+      Value v;
+      MDM_RETURN_IF_ERROR(r.GetU64(&id));
+      MDM_RETURN_IF_ERROR(r.GetString(&attr));
+      MDM_RETURN_IF_ERROR(Value::Decode(&r, &v));
+      return SetAttribute(id, attr, std::move(v));
+    }
+    case Op::kConnect: {
+      std::string rel;
+      uint64_t id, n;
+      MDM_RETURN_IF_ERROR(r.GetString(&rel));
+      MDM_RETURN_IF_ERROR(r.GetU64(&id));
+      MDM_RETURN_IF_ERROR(r.GetVarint(&n));
+      const RelationshipDef* def = schema_.FindRelationship(rel);
+      if (def == nullptr || def->roles.size() != n)
+        return Corruption("journal connect against unknown relationship");
+      std::vector<std::pair<std::string, EntityId>> bindings;
+      for (uint64_t i = 0; i < n; ++i) {
+        uint64_t ref;
+        MDM_RETURN_IF_ERROR(r.GetU64(&ref));
+        bindings.emplace_back(def->roles[i].name, ref);
+      }
+      next_rel_id_ = id;
+      MDM_ASSIGN_OR_RETURN(RelInstanceId got, Connect(rel, bindings));
+      if (got != id) return Corruption("journal replay rel-id drift");
+      return Status::OK();
+    }
+    case Op::kDisconnect: {
+      uint64_t id;
+      MDM_RETURN_IF_ERROR(r.GetU64(&id));
+      return Disconnect(id);
+    }
+    case Op::kInsertChildAt: {
+      std::string ordering;
+      uint64_t parent, child, pos;
+      MDM_RETURN_IF_ERROR(r.GetString(&ordering));
+      MDM_RETURN_IF_ERROR(r.GetU64(&parent));
+      MDM_RETURN_IF_ERROR(r.GetU64(&child));
+      MDM_RETURN_IF_ERROR(r.GetVarint(&pos));
+      return InsertChildAt(ordering, parent, child, pos);
+    }
+    case Op::kRemoveChild: {
+      std::string ordering;
+      uint64_t child;
+      MDM_RETURN_IF_ERROR(r.GetString(&ordering));
+      MDM_RETURN_IF_ERROR(r.GetU64(&child));
+      return RemoveChild(ordering, child);
+    }
+    case Op::kSetRelAttribute: {
+      uint64_t id;
+      std::string attr;
+      Value v;
+      MDM_RETURN_IF_ERROR(r.GetU64(&id));
+      MDM_RETURN_IF_ERROR(r.GetString(&attr));
+      MDM_RETURN_IF_ERROR(Value::Decode(&r, &v));
+      return SetRelationshipAttribute(id, attr, std::move(v));
+    }
+  }
+  return Corruption(StrFormat("unknown journal opcode %u", opcode));
+}
+
+Status Database::ReplayJournal(const std::vector<uint8_t>& log) {
+  replaying_ = true;
+  Result<uint64_t> n =
+      storage::WalRecover(log, [this](const storage::WalRecord& rec) {
+        return ApplyOp(rec);
+      });
+  replaying_ = false;
+  if (!n.ok()) return n.status();
+  return Status::OK();
+}
+
+}  // namespace mdm::er

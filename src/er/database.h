@@ -1,0 +1,234 @@
+#ifndef MDM_ER_DATABASE_H_
+#define MDM_ER_DATABASE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "er/schema.h"
+#include "rel/value.h"
+#include "storage/wal.h"
+
+namespace mdm::er {
+
+/// Identifier of a relationship instance.
+using RelInstanceId = uint64_t;
+
+/// One stored entity instance: its type and one value per declared
+/// attribute (null until set).
+struct EntityRecord {
+  EntityId id = kInvalidEntityId;
+  uint32_t type_index = 0;  // into ErSchema::entity_types()
+  std::vector<rel::Value> attrs;
+};
+
+/// One stored relationship instance ("m to n"): an entity per role plus
+/// relationship attributes.
+struct RelationshipInstance {
+  RelInstanceId id = 0;
+  uint32_t rel_index = 0;  // into ErSchema::relationships()
+  std::vector<EntityId> role_refs;
+  std::vector<rel::Value> attrs;
+};
+
+/// The music data manager's entity-relationship database with
+/// hierarchical ordering (the paper's §5 extension).
+///
+/// Instance-level invariants enforced here (§5.5):
+///  * a child occupies at most one position under one parent per
+///    ordering (there is only one "second object under voice V");
+///  * P-edges of one ordering never form a cycle (nothing is "part of"
+///    itself) — checked on insert for recursive orderings;
+///  * S-cycles cannot be constructed (sibling order is positional).
+///
+/// Durability: attach a WAL writer with AttachJournal and every mutation
+/// is redo-logged; Snapshot/Restore write and read full images. Recover
+/// with ReplayJournal over a log produced since the snapshot.
+class Database {
+ public:
+  Database() = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  // ------------------------------------------------------------------
+  // Schema definition (the DDL front end calls these).
+  // ------------------------------------------------------------------
+  Status DefineEntityType(EntityTypeDef def);
+  Status DefineRelationship(RelationshipDef def);
+  /// Returns the (possibly generated) ordering name.
+  Result<std::string> DefineOrdering(OrderingDef def);
+
+  const ErSchema& schema() const { return schema_; }
+
+  // ------------------------------------------------------------------
+  // Entities.
+  // ------------------------------------------------------------------
+  Result<EntityId> CreateEntity(const std::string& type);
+  /// Removes the entity, detaching it from every ordering (its own
+  /// children become ordering roots) and deleting relationship instances
+  /// that reference it. Ref-attributes of other entities that pointed at
+  /// it become dangling; see CheckReferentialIntegrity.
+  Status DeleteEntity(EntityId id);
+  bool Exists(EntityId id) const;
+  Result<std::string> TypeOf(EntityId id) const;
+
+  Status SetAttribute(EntityId id, const std::string& attr, rel::Value value);
+  Result<rel::Value> GetAttribute(EntityId id, const std::string& attr) const;
+
+  /// Visits every instance of `type` in creation order; stop early by
+  /// returning false.
+  Status ForEachEntity(const std::string& type,
+                       const std::function<bool(EntityId)>& fn) const;
+  Result<uint64_t> CountEntities(const std::string& type) const;
+  uint64_t TotalEntities() const { return entities_.size(); }
+
+  // ------------------------------------------------------------------
+  // Relationships.
+  // ------------------------------------------------------------------
+  /// Creates an instance of `rel` binding every role:
+  ///   Connect("COMPOSER", {{"composer", bach}, {"composition", fugue}}).
+  Result<RelInstanceId> Connect(
+      const std::string& rel,
+      const std::vector<std::pair<std::string, EntityId>>& bindings);
+  Status Disconnect(RelInstanceId id);
+  Status SetRelationshipAttribute(RelInstanceId id, const std::string& attr,
+                                  rel::Value value);
+  Status ForEachRelationship(
+      const std::string& rel,
+      const std::function<bool(const RelationshipInstance&)>& fn) const;
+  Result<uint64_t> CountRelationships(const std::string& rel) const;
+
+  // ------------------------------------------------------------------
+  // Hierarchical ordering (instance level).
+  // ------------------------------------------------------------------
+  Status AppendChild(const std::string& ordering, EntityId parent,
+                     EntityId child);
+  /// Inserts at 0-based position `pos` (<= current child count).
+  Status InsertChildAt(const std::string& ordering, EntityId parent,
+                       EntityId child, size_t pos);
+  Status RemoveChild(const std::string& ordering, EntityId child);
+
+  /// The ordered children of `parent` (empty if none).
+  Result<std::vector<EntityId>> Children(const std::string& ordering,
+                                         EntityId parent) const;
+  Result<uint64_t> ChildCount(const std::string& ordering,
+                              EntityId parent) const;
+  /// Parent of `child` in the ordering, or kInvalidEntityId when the
+  /// child is a root of this ordering.
+  Result<EntityId> ParentOf(const std::string& ordering,
+                            EntityId child) const;
+  /// 0-based ordinal of `child` under its parent.
+  Result<size_t> PositionOf(const std::string& ordering,
+                            EntityId child) const;
+  /// 0-based n-th child of `parent` ("the third note in chord x" is
+  /// NthChild(..., 2)).
+  Result<EntityId> NthChild(const std::string& ordering, EntityId parent,
+                            size_t n) const;
+
+  /// The paper's ordering predicates (§5.6): true iff `a` and `b` share
+  /// a parent in the ordering and a precedes/follows b. Entities with
+  /// different parents are not comparable — the predicate is false.
+  Result<bool> Before(const std::string& ordering, EntityId a,
+                      EntityId b) const;
+  Result<bool> After(const std::string& ordering, EntityId a,
+                     EntityId b) const;
+  /// True iff `child` is directly under `parent` in the ordering.
+  Result<bool> Under(const std::string& ordering, EntityId child,
+                     EntityId parent) const;
+
+  // ------------------------------------------------------------------
+  // Graphs and diagnostics.
+  // ------------------------------------------------------------------
+  /// Instance graph (fig 6 / fig 8(c)): P-edges and S-edges of the
+  /// subtree rooted at `root`, in Graphviz DOT. The node label uses the
+  /// entity's `label_attr` attribute when present, else TYPE#id.
+  Result<std::string> InstanceGraphDot(const std::string& ordering,
+                                       EntityId root,
+                                       const std::string& label_attr) const;
+  std::string HoGraphDot() const { return schema_.ToHoGraphDot(); }
+
+  /// Scans all ref-valued attributes and role bindings; reports the
+  /// count of dangling references (targets that no longer exist).
+  uint64_t CountDanglingRefs() const;
+
+  // ------------------------------------------------------------------
+  // Durability.
+  // ------------------------------------------------------------------
+  /// Attach a journal; subsequent mutations are redo-logged. Pass
+  /// nullptr to detach.
+  void AttachJournal(storage::WalWriter* wal) { wal_ = wal; }
+  /// Groups subsequent ops into one transaction until CommitTxn.
+  Status BeginTxn();
+  Status CommitTxn();
+
+  /// Full-image snapshot of schema + data.
+  void Snapshot(ByteWriter* w) const;
+  static Status Restore(ByteReader* r, Database* out);
+
+  /// Replays a journal (produced by a Database with an attached WAL)
+  /// into this database: committed ops are re-executed.
+  Status ReplayJournal(const std::vector<uint8_t>& log);
+
+ private:
+  // Journal opcodes.
+  enum class Op : uint8_t {
+    kDefineEntity = 1,
+    kDefineRelationship = 2,
+    kDefineOrdering = 3,
+    kCreateEntity = 4,
+    kDeleteEntity = 5,
+    kSetAttribute = 6,
+    kConnect = 7,
+    kDisconnect = 8,
+    kInsertChildAt = 9,
+    kRemoveChild = 10,
+    kSetRelAttribute = 11,
+  };
+
+  struct OrderingInstances {
+    // parent -> ordered children (the S-edge sequence).
+    std::unordered_map<EntityId, std::vector<EntityId>> children;
+    // child -> parent (the P-edge).
+    std::unordered_map<EntityId, EntityId> parent_of;
+  };
+
+  const EntityRecord* FindEntity(EntityId id) const;
+  EntityRecord* FindEntity(EntityId id);
+  Result<const OrderingDef*> ResolveOrdering(const std::string& name) const;
+  OrderingInstances& InstancesFor(const std::string& ordering_name);
+  const OrderingInstances* InstancesForConst(
+      const std::string& ordering_name) const;
+  // Core mutators shared by the public API and journal replay.
+  Status DoInsertChildAt(const OrderingDef& def, EntityId parent,
+                         EntityId child, size_t pos);
+  Status DoRemoveChild(const OrderingDef& def, EntityId child);
+  // Walks P-edges upward from `start`; true if `needle` is an ancestor.
+  bool IsAncestor(const OrderingInstances& inst, EntityId needle,
+                  EntityId start) const;
+  Status LogOp(Op op, const std::vector<uint8_t>& payload);
+  Status ApplyOp(const storage::WalRecord& rec);
+
+  ErSchema schema_;
+  std::map<EntityId, EntityRecord> entities_;
+  std::unordered_map<std::string, std::vector<EntityId>> by_type_;
+  std::map<RelInstanceId, RelationshipInstance> rel_instances_;
+  std::unordered_map<std::string, std::vector<RelInstanceId>> rels_by_name_;
+  std::unordered_map<std::string, OrderingInstances> ordering_instances_;
+  EntityId next_entity_id_ = 1;
+  RelInstanceId next_rel_id_ = 1;
+
+  storage::WalWriter* wal_ = nullptr;
+  uint64_t open_txn_ = 0;
+  bool replaying_ = false;
+};
+
+}  // namespace mdm::er
+
+#endif  // MDM_ER_DATABASE_H_

@@ -1,0 +1,100 @@
+#include "er/persist.h"
+
+#include <cstdio>
+
+#include "common/bytes.h"
+
+namespace mdm::er {
+
+namespace {
+
+Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return IoError("cannot create " + path);
+  size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (written != bytes.size() || !flushed)
+    return IoError("short write to " + path);
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return NotFound("no file at " + path);
+  std::vector<uint8_t> out;
+  uint8_t buf[8192];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+    out.insert(out.end(), buf, buf + n);
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace
+
+Status SaveSnapshot(const Database& db, const std::string& path) {
+  ByteWriter w;
+  db.Snapshot(&w);
+  // Write-then-rename so a crash mid-save never clobbers the old image.
+  std::string tmp = path + ".tmp";
+  MDM_RETURN_IF_ERROR(WriteFile(tmp, w.data()));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    return IoError("rename failed for " + path);
+  return Status::OK();
+}
+
+Result<Database> LoadSnapshot(const std::string& path) {
+  MDM_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFile(path));
+  ByteReader r(bytes.data(), bytes.size());
+  Database db;
+  MDM_RETURN_IF_ERROR(Database::Restore(&r, &db));
+  return db;
+}
+
+Result<std::unique_ptr<DurableDatabase>> DurableDatabase::Open(
+    const std::string& path) {
+  auto handle = std::unique_ptr<DurableDatabase>(new DurableDatabase(path));
+  // 1. Restore the snapshot if one exists.
+  Result<std::vector<uint8_t>> snapshot = ReadFile(path);
+  if (snapshot.ok()) {
+    ByteReader r(snapshot->data(), snapshot->size());
+    MDM_RETURN_IF_ERROR(Database::Restore(&r, &handle->db_));
+  } else if (snapshot.status().code() != StatusCode::kNotFound) {
+    return snapshot.status();
+  }
+  // 2. Replay the journal (absent journal = empty).
+  MDM_ASSIGN_OR_RETURN(std::vector<uint8_t> log,
+                       storage::ReadWalFile(path + ".wal"));
+  MDM_RETURN_IF_ERROR(handle->db_.ReplayJournal(log));
+  // 3. Journal subsequent mutations (appending to the existing log).
+  MDM_RETURN_IF_ERROR(handle->AttachFreshJournal(/*truncate=*/false));
+  return handle;
+}
+
+DurableDatabase::~DurableDatabase() {
+  db_.AttachJournal(nullptr);
+}
+
+Status DurableDatabase::AttachFreshJournal(bool truncate) {
+  db_.AttachJournal(nullptr);
+  wal_.reset();
+  wal_sink_.reset();
+  if (truncate) {
+    std::FILE* f = std::fopen((path_ + ".wal").c_str(), "wb");
+    if (f == nullptr) return IoError("cannot truncate journal");
+    std::fclose(f);
+  }
+  MDM_ASSIGN_OR_RETURN(wal_sink_,
+                       storage::FileWalSink::Open(path_ + ".wal"));
+  wal_ = std::make_unique<storage::WalWriter>(wal_sink_.get());
+  db_.AttachJournal(wal_.get());
+  return Status::OK();
+}
+
+Status DurableDatabase::Checkpoint() {
+  MDM_RETURN_IF_ERROR(SaveSnapshot(db_, path_));
+  return AttachFreshJournal(/*truncate=*/true);
+}
+
+}  // namespace mdm::er

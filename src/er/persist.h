@@ -1,0 +1,62 @@
+#ifndef MDM_ER_PERSIST_H_
+#define MDM_ER_PERSIST_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "er/database.h"
+#include "storage/wal.h"
+
+namespace mdm::er {
+
+/// A durable MDM database: a snapshot file plus a write-ahead journal.
+///
+/// Lifecycle:
+///   auto handle = DurableDatabase::Open("scores.mdm");   // recovers
+///   handle->db()->CreateEntity(...);                     // journaled
+///   handle->Checkpoint();   // compacts: snapshot + truncated journal
+///
+/// Crash contract: every operation whose (auto-)commit record reached
+/// the journal before the crash is recovered by the next Open; a torn
+/// journal tail is discarded cleanly (see storage::WalRecover).
+class DurableDatabase {
+ public:
+  /// Opens (or creates) the database at `path`. Expects `path` to be a
+  /// snapshot file ("<path>" may not exist yet) and "<path>.wal" the
+  /// journal. Recovery = restore snapshot, then replay the journal.
+  static Result<std::unique_ptr<DurableDatabase>> Open(
+      const std::string& path);
+
+  ~DurableDatabase();
+  DurableDatabase(const DurableDatabase&) = delete;
+  DurableDatabase& operator=(const DurableDatabase&) = delete;
+
+  Database* db() { return &db_; }
+
+  /// Writes a fresh snapshot and truncates the journal. Called at
+  /// convenient quiesce points; crash-safe (snapshot is written to a
+  /// temporary file and renamed over the old one before the journal is
+  /// truncated).
+  Status Checkpoint();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit DurableDatabase(std::string path) : path_(std::move(path)) {}
+  Status AttachFreshJournal(bool truncate);
+
+  std::string path_;
+  Database db_;
+  std::unique_ptr<storage::FileWalSink> wal_sink_;
+  std::unique_ptr<storage::WalWriter> wal_;
+};
+
+/// One-shot helpers for clients that do not need a journal.
+Status SaveSnapshot(const Database& db, const std::string& path);
+Result<Database> LoadSnapshot(const std::string& path);
+
+}  // namespace mdm::er
+
+#endif  // MDM_ER_PERSIST_H_

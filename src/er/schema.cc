@@ -1,0 +1,289 @@
+#include "er/schema.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace mdm::er {
+
+std::optional<size_t> EntityTypeDef::AttributeIndex(
+    const std::string& attr) const {
+  for (size_t i = 0; i < attributes.size(); ++i)
+    if (EqualsIgnoreCase(attributes[i].name, attr)) return i;
+  return std::nullopt;
+}
+
+std::optional<size_t> RelationshipDef::RoleIndex(const std::string& role)
+    const {
+  for (size_t i = 0; i < roles.size(); ++i)
+    if (EqualsIgnoreCase(roles[i].name, role)) return i;
+  return std::nullopt;
+}
+
+std::optional<size_t> RelationshipDef::AttributeIndex(
+    const std::string& attr) const {
+  for (size_t i = 0; i < attributes.size(); ++i)
+    if (EqualsIgnoreCase(attributes[i].name, attr)) return i;
+  return std::nullopt;
+}
+
+bool OrderingDef::IsRecursive() const { return HasChildType(parent_type); }
+
+bool OrderingDef::HasChildType(const std::string& type) const {
+  for (const std::string& c : child_types)
+    if (EqualsIgnoreCase(c, type)) return true;
+  return false;
+}
+
+namespace {
+
+Status CheckAttributes(const ErSchema& schema,
+                       const std::vector<AttributeDef>& attrs,
+                       const std::string& owner) {
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    for (size_t j = i + 1; j < attrs.size(); ++j) {
+      if (EqualsIgnoreCase(attrs[i].name, attrs[j].name))
+        return AlreadyExists(StrFormat("duplicate attribute %s in %s",
+                                       attrs[i].name.c_str(), owner.c_str()));
+    }
+    if (attrs[i].type == rel::ValueType::kRef &&
+        schema.FindEntityType(attrs[i].ref_target) == nullptr)
+      return NotFound(StrFormat(
+          "attribute %s of %s references undefined entity type %s",
+          attrs[i].name.c_str(), owner.c_str(), attrs[i].ref_target.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ErSchema::AddEntityType(EntityTypeDef def) {
+  if (def.name.empty()) return InvalidArgument("entity type needs a name");
+  if (FindEntityType(def.name) != nullptr)
+    return AlreadyExists("entity type " + def.name + " already defined");
+  MDM_RETURN_IF_ERROR(
+      CheckAttributes(*this, def.attributes, "entity " + def.name));
+  entity_index_[AsciiUpper(def.name)] = entity_types_.size();
+  entity_types_.push_back(std::move(def));
+  return Status::OK();
+}
+
+Status ErSchema::AddRelationship(RelationshipDef def) {
+  if (def.name.empty()) return InvalidArgument("relationship needs a name");
+  if (FindRelationship(def.name) != nullptr)
+    return AlreadyExists("relationship " + def.name + " already defined");
+  if (def.roles.size() < 2)
+    return InvalidArgument("relationship " + def.name +
+                           " needs at least two roles");
+  for (const RelationshipRole& role : def.roles) {
+    if (FindEntityType(role.entity_type) == nullptr)
+      return NotFound(StrFormat("relationship %s role %s references "
+                                "undefined entity type %s",
+                                def.name.c_str(), role.name.c_str(),
+                                role.entity_type.c_str()));
+  }
+  MDM_RETURN_IF_ERROR(
+      CheckAttributes(*this, def.attributes, "relationship " + def.name));
+  relationship_index_[AsciiUpper(def.name)] = relationships_.size();
+  relationships_.push_back(std::move(def));
+  return Status::OK();
+}
+
+Status ErSchema::AddOrdering(OrderingDef def) {
+  if (def.child_types.empty())
+    return InvalidArgument("ordering needs at least one child type");
+  if (FindEntityType(def.parent_type) == nullptr)
+    return NotFound("ordering parent type " + def.parent_type +
+                    " is not defined");
+  for (const std::string& child : def.child_types) {
+    if (FindEntityType(child) == nullptr)
+      return NotFound("ordering child type " + child + " is not defined");
+  }
+  for (size_t i = 0; i < def.child_types.size(); ++i)
+    for (size_t j = i + 1; j < def.child_types.size(); ++j)
+      if (EqualsIgnoreCase(def.child_types[i], def.child_types[j]))
+        return AlreadyExists("ordering repeats child type " +
+                             def.child_types[i]);
+  if (def.name.empty()) {
+    std::string base = AsciiLower(StrJoin(def.child_types, "_")) + "_under_" +
+                       AsciiLower(def.parent_type);
+    std::string candidate = base;
+    int suffix = 2;
+    while (FindOrdering(candidate) != nullptr)
+      candidate = base + "_" + std::to_string(suffix++);
+    def.name = candidate;
+  } else if (FindOrdering(def.name) != nullptr) {
+    return AlreadyExists("ordering " + def.name + " already defined");
+  }
+  ordering_index_[AsciiUpper(def.name)] = orderings_.size();
+  orderings_.push_back(std::move(def));
+  return Status::OK();
+}
+
+const EntityTypeDef* ErSchema::FindEntityType(const std::string& name) const {
+  auto it = entity_index_.find(AsciiUpper(name));
+  return it == entity_index_.end() ? nullptr : &entity_types_[it->second];
+}
+
+const RelationshipDef* ErSchema::FindRelationship(
+    const std::string& name) const {
+  auto it = relationship_index_.find(AsciiUpper(name));
+  return it == relationship_index_.end() ? nullptr
+                                         : &relationships_[it->second];
+}
+
+const OrderingDef* ErSchema::FindOrdering(const std::string& name) const {
+  auto it = ordering_index_.find(AsciiUpper(name));
+  return it == ordering_index_.end() ? nullptr : &orderings_[it->second];
+}
+
+std::vector<const OrderingDef*> ErSchema::OrderingsWithChild(
+    const std::string& type) const {
+  std::vector<const OrderingDef*> out;
+  for (const OrderingDef& o : orderings_)
+    if (o.HasChildType(type)) out.push_back(&o);
+  return out;
+}
+
+std::vector<const OrderingDef*> ErSchema::OrderingsWithParent(
+    const std::string& type) const {
+  std::vector<const OrderingDef*> out;
+  for (const OrderingDef& o : orderings_)
+    if (EqualsIgnoreCase(o.parent_type, type)) out.push_back(&o);
+  return out;
+}
+
+std::string ErSchema::ToHoGraphDot() const {
+  std::string dot = "digraph ho_graph {\n  rankdir=TB;\n  node [shape=box];\n";
+  for (const EntityTypeDef& e : entity_types_)
+    dot += "  \"" + e.name + "\";\n";
+  for (const OrderingDef& o : orderings_) {
+    for (const std::string& child : o.child_types) {
+      dot += "  \"" + o.parent_type + "\" -> \"" + child + "\" [label=\"" +
+             o.name + "\"];\n";
+    }
+  }
+  dot += "}\n";
+  return dot;
+}
+
+namespace {
+
+void EncodeAttributes(const std::vector<AttributeDef>& attrs, ByteWriter* w) {
+  w->PutVarint(attrs.size());
+  for (const AttributeDef& a : attrs) {
+    w->PutString(a.name);
+    w->PutU8(static_cast<uint8_t>(a.type));
+    w->PutString(a.ref_target);
+  }
+}
+
+Status DecodeAttributes(ByteReader* r, std::vector<AttributeDef>* attrs) {
+  uint64_t n;
+  MDM_RETURN_IF_ERROR(r->GetVarint(&n));
+  attrs->clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    AttributeDef a;
+    MDM_RETURN_IF_ERROR(r->GetString(&a.name));
+    uint8_t t;
+    MDM_RETURN_IF_ERROR(r->GetU8(&t));
+    a.type = static_cast<rel::ValueType>(t);
+    MDM_RETURN_IF_ERROR(r->GetString(&a.ref_target));
+    attrs->push_back(std::move(a));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodeEntityTypeDef(const EntityTypeDef& def, ByteWriter* w) {
+  w->PutString(def.name);
+  EncodeAttributes(def.attributes, w);
+}
+
+Status DecodeEntityTypeDef(ByteReader* r, EntityTypeDef* out) {
+  MDM_RETURN_IF_ERROR(r->GetString(&out->name));
+  return DecodeAttributes(r, &out->attributes);
+}
+
+void EncodeRelationshipDef(const RelationshipDef& def, ByteWriter* w) {
+  w->PutString(def.name);
+  w->PutVarint(def.roles.size());
+  for (const RelationshipRole& role : def.roles) {
+    w->PutString(role.name);
+    w->PutString(role.entity_type);
+  }
+  EncodeAttributes(def.attributes, w);
+}
+
+Status DecodeRelationshipDef(ByteReader* r, RelationshipDef* out) {
+  MDM_RETURN_IF_ERROR(r->GetString(&out->name));
+  uint64_t n_roles;
+  MDM_RETURN_IF_ERROR(r->GetVarint(&n_roles));
+  out->roles.clear();
+  for (uint64_t j = 0; j < n_roles; ++j) {
+    RelationshipRole role;
+    MDM_RETURN_IF_ERROR(r->GetString(&role.name));
+    MDM_RETURN_IF_ERROR(r->GetString(&role.entity_type));
+    out->roles.push_back(std::move(role));
+  }
+  return DecodeAttributes(r, &out->attributes);
+}
+
+void EncodeOrderingDef(const OrderingDef& def, ByteWriter* w) {
+  w->PutString(def.name);
+  w->PutVarint(def.child_types.size());
+  for (const std::string& c : def.child_types) w->PutString(c);
+  w->PutString(def.parent_type);
+}
+
+Status DecodeOrderingDef(ByteReader* r, OrderingDef* out) {
+  MDM_RETURN_IF_ERROR(r->GetString(&out->name));
+  uint64_t n_children;
+  MDM_RETURN_IF_ERROR(r->GetVarint(&n_children));
+  out->child_types.clear();
+  for (uint64_t j = 0; j < n_children; ++j) {
+    std::string c;
+    MDM_RETURN_IF_ERROR(r->GetString(&c));
+    out->child_types.push_back(std::move(c));
+  }
+  return r->GetString(&out->parent_type);
+}
+
+void ErSchema::Encode(ByteWriter* w) const {
+  w->PutVarint(entity_types_.size());
+  for (const EntityTypeDef& e : entity_types_) EncodeEntityTypeDef(e, w);
+  w->PutVarint(relationships_.size());
+  for (const RelationshipDef& rdef : relationships_)
+    EncodeRelationshipDef(rdef, w);
+  w->PutVarint(orderings_.size());
+  for (const OrderingDef& o : orderings_) EncodeOrderingDef(o, w);
+}
+
+Status ErSchema::Decode(ByteReader* r, ErSchema* out) {
+  *out = ErSchema();
+  uint64_t n_entities;
+  MDM_RETURN_IF_ERROR(r->GetVarint(&n_entities));
+  for (uint64_t i = 0; i < n_entities; ++i) {
+    EntityTypeDef e;
+    MDM_RETURN_IF_ERROR(DecodeEntityTypeDef(r, &e));
+    MDM_RETURN_IF_ERROR(out->AddEntityType(std::move(e)));
+  }
+  uint64_t n_rels;
+  MDM_RETURN_IF_ERROR(r->GetVarint(&n_rels));
+  for (uint64_t i = 0; i < n_rels; ++i) {
+    RelationshipDef rdef;
+    MDM_RETURN_IF_ERROR(DecodeRelationshipDef(r, &rdef));
+    MDM_RETURN_IF_ERROR(out->AddRelationship(std::move(rdef)));
+  }
+  uint64_t n_orders;
+  MDM_RETURN_IF_ERROR(r->GetVarint(&n_orders));
+  for (uint64_t i = 0; i < n_orders; ++i) {
+    OrderingDef o;
+    MDM_RETURN_IF_ERROR(DecodeOrderingDef(r, &o));
+    MDM_RETURN_IF_ERROR(out->AddOrdering(std::move(o)));
+  }
+  return Status::OK();
+}
+
+}  // namespace mdm::er

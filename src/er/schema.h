@@ -1,0 +1,133 @@
+#ifndef MDM_ER_SCHEMA_H_
+#define MDM_ER_SCHEMA_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rel/value.h"
+
+namespace mdm::er {
+
+/// Surrogate identifier of an entity instance; 0 is never assigned.
+using EntityId = uint64_t;
+inline constexpr EntityId kInvalidEntityId = 0;
+
+/// One attribute of an entity or relationship type.
+///
+/// An attribute whose declared type names another entity type (the
+/// paper's `composition_date = DATE`) is stored as a kRef value with
+/// `ref_target` naming the target type — Chen's implicit "1 to n"
+/// relationship (§5.1).
+struct AttributeDef {
+  std::string name;
+  rel::ValueType type = rel::ValueType::kNull;
+  std::string ref_target;  // set iff type == kRef
+};
+
+/// `define entity NAME (attr = type, ...)` (§5.1).
+struct EntityTypeDef {
+  std::string name;
+  std::vector<AttributeDef> attributes;
+
+  std::optional<size_t> AttributeIndex(const std::string& attr) const;
+};
+
+/// One role of a relationship (e.g. composer = PERSON).
+struct RelationshipRole {
+  std::string name;
+  std::string entity_type;
+};
+
+/// `define relationship NAME (role = TYPE, ...)` — an "m to n"
+/// relationship among entity types (§5.1).
+struct RelationshipDef {
+  std::string name;
+  std::vector<RelationshipRole> roles;
+  std::vector<AttributeDef> attributes;  // relationship attributes
+
+  std::optional<size_t> RoleIndex(const std::string& role) const;
+  std::optional<size_t> AttributeIndex(const std::string& attr) const;
+};
+
+/// `define ordering [name] (child, ...) under parent` (§5.4).
+///
+/// The paper's five configurations are all expressible:
+///  - multiple levels: an entity type may be parent in one ordering and
+///    child in another;
+///  - multiple orderings under one parent: two defs with the same parent;
+///  - inhomogeneous orderings: several child types in one def;
+///  - multiple parents: the same child type in defs with different
+///    parents;
+///  - recursive orderings: the parent type also appears among the child
+///    types (instance-level cycles are rejected at insert time, §5.5).
+struct OrderingDef {
+  std::string name;
+  std::vector<std::string> child_types;
+  std::string parent_type;
+
+  bool IsRecursive() const;
+  bool HasChildType(const std::string& type) const;
+};
+
+/// The schema of one MDM database: entity types, relationships and
+/// orderings, with name-based lookup and referential validation.
+class ErSchema {
+ public:
+  ErSchema() = default;
+
+  Status AddEntityType(EntityTypeDef def);
+  Status AddRelationship(RelationshipDef def);
+  /// If `def.name` is empty a unique name `<children>_under_<parent>` is
+  /// generated (the paper makes the order name optional).
+  Status AddOrdering(OrderingDef def);
+
+  const EntityTypeDef* FindEntityType(const std::string& name) const;
+  const RelationshipDef* FindRelationship(const std::string& name) const;
+  const OrderingDef* FindOrdering(const std::string& name) const;
+
+  const std::vector<EntityTypeDef>& entity_types() const {
+    return entity_types_;
+  }
+  const std::vector<RelationshipDef>& relationships() const {
+    return relationships_;
+  }
+  const std::vector<OrderingDef>& orderings() const { return orderings_; }
+
+  /// All orderings in which `type` participates as a child / as parent.
+  std::vector<const OrderingDef*> OrderingsWithChild(
+      const std::string& type) const;
+  std::vector<const OrderingDef*> OrderingsWithParent(
+      const std::string& type) const;
+
+  /// Emits the schema's hierarchical-ordering graph (fig 7/9/13 style)
+  /// in Graphviz DOT: solid edges parent->child per ordering.
+  std::string ToHoGraphDot() const;
+
+  void Encode(ByteWriter* w) const;
+  static Status Decode(ByteReader* r, ErSchema* out);
+
+ private:
+  std::vector<EntityTypeDef> entity_types_;
+  std::vector<RelationshipDef> relationships_;
+  std::vector<OrderingDef> orderings_;
+  std::map<std::string, size_t> entity_index_;
+  std::map<std::string, size_t> relationship_index_;
+  std::map<std::string, size_t> ordering_index_;
+};
+
+/// Standalone def serialization (used by the journal's schema ops).
+void EncodeEntityTypeDef(const EntityTypeDef& def, ByteWriter* w);
+Status DecodeEntityTypeDef(ByteReader* r, EntityTypeDef* out);
+void EncodeRelationshipDef(const RelationshipDef& def, ByteWriter* w);
+Status DecodeRelationshipDef(ByteReader* r, RelationshipDef* out);
+void EncodeOrderingDef(const OrderingDef& def, ByteWriter* w);
+Status DecodeOrderingDef(ByteReader* r, OrderingDef* out);
+
+}  // namespace mdm::er
+
+#endif  // MDM_ER_SCHEMA_H_

@@ -1,0 +1,126 @@
+#include "er/versions.h"
+
+#include <map>
+
+#include "common/bytes.h"
+#include "common/strings.h"
+
+namespace mdm::er {
+
+const VersionStore::Stored* VersionStore::Find(VersionId id) const {
+  if (id == 0 || id > versions_.size()) return nullptr;
+  return &versions_[id - 1];
+}
+
+Result<VersionId> VersionStore::Commit(const Database& db, VersionId parent,
+                                       const std::string& name,
+                                       const std::string& message) {
+  if (parent != kNoParent && Find(parent) == nullptr)
+    return NotFound(StrFormat("no parent version %llu",
+                              (unsigned long long)parent));
+  if (FindByName(name).ok())
+    return AlreadyExists("version named " + name + " already exists");
+  Stored stored;
+  stored.info.id = versions_.size() + 1;
+  stored.info.parent = parent;
+  stored.info.name = name;
+  stored.info.message = message;
+  stored.info.entity_count = db.TotalEntities();
+  ByteWriter w;
+  db.Snapshot(&w);
+  stored.snapshot = w.Take();
+  stored.info.snapshot_bytes = stored.snapshot.size();
+  versions_.push_back(std::move(stored));
+  return versions_.back().info.id;
+}
+
+Result<Database> VersionStore::Checkout(VersionId id) const {
+  const Stored* stored = Find(id);
+  if (stored == nullptr)
+    return NotFound(StrFormat("no version %llu", (unsigned long long)id));
+  ByteReader r(stored->snapshot.data(), stored->snapshot.size());
+  Database db;
+  MDM_RETURN_IF_ERROR(Database::Restore(&r, &db));
+  return db;
+}
+
+Result<VersionStore::VersionInfo> VersionStore::Info(VersionId id) const {
+  const Stored* stored = Find(id);
+  if (stored == nullptr)
+    return NotFound(StrFormat("no version %llu", (unsigned long long)id));
+  return stored->info;
+}
+
+Result<VersionId> VersionStore::FindByName(const std::string& name) const {
+  for (const Stored& stored : versions_)
+    if (EqualsIgnoreCase(stored.info.name, name)) return stored.info.id;
+  return NotFound("no version named " + name);
+}
+
+std::vector<VersionStore::VersionInfo> VersionStore::List() const {
+  std::vector<VersionInfo> out;
+  out.reserve(versions_.size());
+  for (const Stored& stored : versions_) out.push_back(stored.info);
+  return out;
+}
+
+Result<std::vector<VersionId>> VersionStore::Lineage(VersionId id) const {
+  std::vector<VersionId> out;
+  VersionId cur = id;
+  while (cur != kNoParent) {
+    const Stored* stored = Find(cur);
+    if (stored == nullptr)
+      return NotFound(StrFormat("broken lineage at version %llu",
+                                (unsigned long long)cur));
+    out.push_back(cur);
+    cur = stored->info.parent;
+  }
+  return out;
+}
+
+namespace {
+
+// entity id -> serialized attribute values, for structural comparison.
+Result<std::map<EntityId, std::string>> Fingerprints(const Database& db) {
+  std::map<EntityId, std::string> out;
+  Status inner;
+  for (const EntityTypeDef& type : db.schema().entity_types()) {
+    MDM_RETURN_IF_ERROR(db.ForEachEntity(type.name, [&](EntityId id) {
+      ByteWriter w;
+      for (const AttributeDef& attr : type.attributes) {
+        auto v = db.GetAttribute(id, attr.name);
+        if (!v.ok()) {
+          inner = v.status();
+          return false;
+        }
+        v->Encode(&w);
+      }
+      out[id].assign(reinterpret_cast<const char*>(w.data().data()),
+                     w.size());
+      return true;
+    }));
+    MDM_RETURN_IF_ERROR(inner);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<VersionStore::Diff> VersionStore::DiffVersions(VersionId a,
+                                                      VersionId b) const {
+  MDM_ASSIGN_OR_RETURN(Database da, Checkout(a));
+  MDM_ASSIGN_OR_RETURN(Database db_b, Checkout(b));
+  MDM_ASSIGN_OR_RETURN(auto fa, Fingerprints(da));
+  MDM_ASSIGN_OR_RETURN(auto fb, Fingerprints(db_b));
+  Diff diff;
+  for (const auto& [id, print] : fa) {
+    auto it = fb.find(id);
+    if (it == fb.end()) ++diff.removed;
+    else if (it->second != print) ++diff.modified;
+  }
+  for (const auto& [id, print] : fb)
+    if (fa.find(id) == fa.end()) ++diff.added;
+  return diff;
+}
+
+}  // namespace mdm::er

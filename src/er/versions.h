@@ -1,0 +1,79 @@
+#ifndef MDM_ER_VERSIONS_H_
+#define MDM_ER_VERSIONS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "er/database.h"
+
+namespace mdm::er {
+
+/// Version identifier (1-based; 0 is "no parent").
+using VersionId = uint64_t;
+
+/// Version control for MDM databases, after the paper's pointers to
+/// [KaL82] ("Storage Structures for Versions and Alternatives") and
+/// [Dan86] (a score structure with versions and multiple views).
+///
+/// Each committed version is a full database image tagged with a name,
+/// a message, and a parent version — so alternative readings of a score
+/// (ossia, editorial variants) form a tree, and any version can be
+/// checked out as a live database. Storage is snapshot-per-version;
+/// delta encoding is an orthogonal storage-structure optimization.
+class VersionStore {
+ public:
+  struct VersionInfo {
+    VersionId id = 0;
+    VersionId parent = 0;
+    std::string name;
+    std::string message;
+    uint64_t entity_count = 0;
+    size_t snapshot_bytes = 0;
+  };
+
+  /// Differences between two versions, by entity id.
+  struct Diff {
+    uint64_t added = 0;     // in b but not a
+    uint64_t removed = 0;   // in a but not b
+    uint64_t modified = 0;  // in both with different attribute values
+  };
+
+  VersionStore() = default;
+
+  /// Commits the current state of `db` as a child of `parent`
+  /// (kNoParent for a root). Returns the new version id.
+  static constexpr VersionId kNoParent = 0;
+  Result<VersionId> Commit(const Database& db, VersionId parent,
+                           const std::string& name,
+                           const std::string& message);
+
+  /// Materializes a version as a live database.
+  Result<Database> Checkout(VersionId id) const;
+
+  Result<VersionInfo> Info(VersionId id) const;
+  Result<VersionId> FindByName(const std::string& name) const;
+  std::vector<VersionInfo> List() const;
+
+  /// The ids on the path from `id` back to its root (inclusive).
+  Result<std::vector<VersionId>> Lineage(VersionId id) const;
+
+  /// Entity-level diff between two versions.
+  Result<Diff> DiffVersions(VersionId a, VersionId b) const;
+
+  size_t size() const { return versions_.size(); }
+
+ private:
+  struct Stored {
+    VersionInfo info;
+    std::vector<uint8_t> snapshot;
+  };
+  const Stored* Find(VersionId id) const;
+
+  std::vector<Stored> versions_;
+};
+
+}  // namespace mdm::er
+
+#endif  // MDM_ER_VERSIONS_H_

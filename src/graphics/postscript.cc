@@ -1,0 +1,477 @@
+#include "graphics/postscript.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace mdm::graphics {
+
+void BBox::Extend(double x, double y) {
+  if (empty) {
+    min_x = max_x = x;
+    min_y = max_y = y;
+    empty = false;
+    return;
+  }
+  if (x < min_x) min_x = x;
+  if (x > max_x) max_x = x;
+  if (y < min_y) min_y = y;
+  if (y > max_y) max_y = y;
+}
+
+std::string Rendering::ToSvg() const {
+  const double pad = 4.0;
+  double w = bbox.Width() + 2 * pad;
+  double h = bbox.Height() + 2 * pad;
+  double ox = bbox.empty ? 0 : bbox.min_x - pad;
+  double oy = bbox.empty ? 0 : bbox.min_y - pad;
+  std::string svg = StrFormat(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" "
+      "viewBox=\"%.2f %.2f %.2f %.2f\">\n",
+      ox, oy, w, h);
+  for (const PaintedPath& p : paths) {
+    int shade = static_cast<int>((1.0 - p.gray) * 0.0 + p.gray * 255.0);
+    if (p.filled) {
+      svg += StrFormat("  <path d=\"%s\" fill=\"rgb(%d,%d,%d)\"/>\n",
+                       p.d.c_str(), shade, shade, shade);
+    } else {
+      svg += StrFormat(
+          "  <path d=\"%s\" fill=\"none\" stroke=\"rgb(%d,%d,%d)\" "
+          "stroke-width=\"%.2f\"/>\n",
+          p.d.c_str(), shade, shade, shade, p.line_width);
+    }
+  }
+  svg += "</svg>\n";
+  return svg;
+}
+
+namespace {
+
+/// 2x3 affine transform (a b c d e f): x' = a*x + c*y + e, y' = b*x +
+/// d*y + f.
+struct Matrix {
+  double a = 1, b = 0, c = 0, d = 1, e = 0, f = 0;
+
+  void Apply(double x, double y, double* ox, double* oy) const {
+    *ox = a * x + c * y + e;
+    *oy = b * x + d * y + f;
+  }
+  // this = this * m (m applied first in user space).
+  void Concat(const Matrix& m) {
+    Matrix r;
+    r.a = a * m.a + c * m.b;
+    r.b = b * m.a + d * m.b;
+    r.c = a * m.c + c * m.d;
+    r.d = b * m.c + d * m.d;
+    r.e = a * m.e + c * m.f + e;
+    r.f = b * m.e + d * m.f + f;
+    *this = r;
+  }
+};
+
+struct GState {
+  Matrix ctm;
+  double line_width = 1.0;
+  double gray = 0.0;
+};
+
+struct PsValue {
+  enum class Kind { kNumber, kProcedure };
+  Kind kind = Kind::kNumber;
+  double number = 0;
+  std::vector<std::string> proc;  // token list
+};
+
+std::vector<std::string> Tokenize(const std::string& text) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    char ch = text[i];
+    if (ch == '%') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(ch))) {
+      ++i;
+      continue;
+    }
+    if (ch == '{' || ch == '}') {
+      out.push_back(std::string(1, ch));
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    while (i < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[i])) &&
+           text[i] != '{' && text[i] != '}' && text[i] != '%')
+      ++i;
+    out.push_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+bool IsNumber(const std::string& tok, double* value) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  double v = std::strtod(tok.c_str(), &end);
+  if (end != tok.c_str() + tok.size()) return false;
+  *value = v;
+  return true;
+}
+
+}  // namespace
+
+struct PostScriptInterp::Impl {
+  std::vector<double> stack;
+  std::map<std::string, PsValue> dict;
+  std::vector<GState> gstack;
+  GState gs;
+  // Current path in device coordinates.
+  std::string path;
+  bool has_current_point = false;
+  double cur_x = 0, cur_y = 0;  // user-space current point
+  Rendering rendering;
+  int depth = 0;  // procedure recursion guard
+
+  Status Pop(double* v) {
+    if (stack.empty()) return FailedPrecondition("operand stack underflow");
+    *v = stack.back();
+    stack.pop_back();
+    return Status::OK();
+  }
+
+  void DevPoint(double x, double y, double* dx, double* dy) {
+    gs.ctm.Apply(x, y, dx, dy);
+    rendering.bbox.Extend(*dx, *dy);
+  }
+
+  Status MoveTo(double x, double y, bool relative) {
+    if (relative) {
+      if (!has_current_point)
+        return FailedPrecondition("rmoveto with no current point");
+      x += cur_x;
+      y += cur_y;
+    }
+    double dx, dy;
+    DevPoint(x, y, &dx, &dy);
+    path += StrFormat("M %.2f %.2f ", dx, dy);
+    cur_x = x;
+    cur_y = y;
+    has_current_point = true;
+    return Status::OK();
+  }
+
+  Status LineTo(double x, double y, bool relative) {
+    if (!has_current_point)
+      return FailedPrecondition("lineto with no current point");
+    if (relative) {
+      x += cur_x;
+      y += cur_y;
+    }
+    double dx, dy;
+    DevPoint(x, y, &dx, &dy);
+    path += StrFormat("L %.2f %.2f ", dx, dy);
+    cur_x = x;
+    cur_y = y;
+    return Status::OK();
+  }
+
+  void FlushPath(bool filled) {
+    if (path.empty()) return;
+    PaintedPath p;
+    p.d = StrTrim(path);
+    p.filled = filled;
+    p.line_width = gs.line_width;
+    p.gray = gs.gray;
+    rendering.paths.push_back(std::move(p));
+    path.clear();
+    has_current_point = false;
+  }
+
+  Status Execute(const std::vector<std::string>& tokens);
+  Status ExecuteToken(const std::vector<std::string>& tokens, size_t* i);
+};
+
+Status PostScriptInterp::Impl::Execute(
+    const std::vector<std::string>& tokens) {
+  if (++depth > 64) {
+    --depth;
+    return FailedPrecondition("procedure recursion too deep");
+  }
+  for (size_t i = 0; i < tokens.size();) {
+    Status s = ExecuteToken(tokens, &i);
+    if (!s.ok()) {
+      --depth;
+      return s;
+    }
+  }
+  --depth;
+  return Status::OK();
+}
+
+Status PostScriptInterp::Impl::ExecuteToken(
+    const std::vector<std::string>& tokens, size_t* ip) {
+  const std::string& tok = tokens[*ip];
+  double num;
+  if (IsNumber(tok, &num)) {
+    stack.push_back(num);
+    ++*ip;
+    return Status::OK();
+  }
+  // /name [value|{proc}] ... def
+  if (tok[0] == '/') {
+    std::string name = tok.substr(1);
+    ++*ip;
+    if (*ip >= tokens.size())
+      return ParseError("literal name at end of program");
+    PsValue v;
+    if (tokens[*ip] == "{") {
+      int nest = 1;
+      ++*ip;
+      while (*ip < tokens.size() && nest > 0) {
+        if (tokens[*ip] == "{") ++nest;
+        if (tokens[*ip] == "}") {
+          --nest;
+          if (nest == 0) break;
+        }
+        v.proc.push_back(tokens[*ip]);
+        ++*ip;
+      }
+      if (nest != 0) return ParseError("unbalanced procedure braces");
+      ++*ip;  // past '}'
+      v.kind = PsValue::Kind::kProcedure;
+    } else if (tokens[*ip] == "exch") {
+      // The `value /name exch def` idiom: bind the value already on the
+      // operand stack (GParmUse set-up fragments use this, §6.2).
+      ++*ip;
+      double value;
+      MDM_RETURN_IF_ERROR(Pop(&value));
+      v.kind = PsValue::Kind::kNumber;
+      v.number = value;
+    } else {
+      double value;
+      if (!IsNumber(tokens[*ip], &value)) {
+        // Allow `/a b def` where b is an existing numeric binding.
+        auto it = dict.find(tokens[*ip]);
+        if (it == dict.end() || it->second.kind != PsValue::Kind::kNumber)
+          return ParseError("expected number or procedure after /" + name);
+        value = it->second.number;
+      }
+      v.kind = PsValue::Kind::kNumber;
+      v.number = value;
+      ++*ip;
+    }
+    if (*ip >= tokens.size() || tokens[*ip] != "def")
+      return ParseError("expected 'def' binding /" + name);
+    ++*ip;
+    dict[name] = std::move(v);
+    return Status::OK();
+  }
+  ++*ip;
+  // Operators.
+  if (tok == "add" || tok == "sub" || tok == "mul" || tok == "div") {
+    double b = 0, a = 0;
+    MDM_RETURN_IF_ERROR(Pop(&b));
+    MDM_RETURN_IF_ERROR(Pop(&a));
+    if (tok == "add") stack.push_back(a + b);
+    else if (tok == "sub") stack.push_back(a - b);
+    else if (tok == "mul") stack.push_back(a * b);
+    else {
+      if (b == 0) return FailedPrecondition("division by zero");
+      stack.push_back(a / b);
+    }
+    return Status::OK();
+  }
+  if (tok == "neg") {
+    double a;
+    MDM_RETURN_IF_ERROR(Pop(&a));
+    stack.push_back(-a);
+    return Status::OK();
+  }
+  if (tok == "dup") {
+    double a;
+    MDM_RETURN_IF_ERROR(Pop(&a));
+    stack.push_back(a);
+    stack.push_back(a);
+    return Status::OK();
+  }
+  if (tok == "pop") {
+    double a;
+    return Pop(&a);
+  }
+  if (tok == "exch") {
+    double b, a;
+    MDM_RETURN_IF_ERROR(Pop(&b));
+    MDM_RETURN_IF_ERROR(Pop(&a));
+    stack.push_back(b);
+    stack.push_back(a);
+    return Status::OK();
+  }
+  if (tok == "newpath") {
+    path.clear();
+    has_current_point = false;
+    return Status::OK();
+  }
+  if (tok == "moveto" || tok == "rmoveto" || tok == "lineto" ||
+      tok == "rlineto") {
+    double y, x;
+    MDM_RETURN_IF_ERROR(Pop(&y));
+    MDM_RETURN_IF_ERROR(Pop(&x));
+    bool relative = tok[0] == 'r';
+    return tok.find("move") != std::string::npos ? MoveTo(x, y, relative)
+                                                 : LineTo(x, y, relative);
+  }
+  if (tok == "curveto") {
+    double y3, x3, y2, x2, y1, x1;
+    MDM_RETURN_IF_ERROR(Pop(&y3));
+    MDM_RETURN_IF_ERROR(Pop(&x3));
+    MDM_RETURN_IF_ERROR(Pop(&y2));
+    MDM_RETURN_IF_ERROR(Pop(&x2));
+    MDM_RETURN_IF_ERROR(Pop(&y1));
+    MDM_RETURN_IF_ERROR(Pop(&x1));
+    if (!has_current_point)
+      return FailedPrecondition("curveto with no current point");
+    double d1x, d1y, d2x, d2y, d3x, d3y;
+    DevPoint(x1, y1, &d1x, &d1y);
+    DevPoint(x2, y2, &d2x, &d2y);
+    DevPoint(x3, y3, &d3x, &d3y);
+    path += StrFormat("C %.2f %.2f %.2f %.2f %.2f %.2f ", d1x, d1y, d2x, d2y,
+                      d3x, d3y);
+    cur_x = x3;
+    cur_y = y3;
+    return Status::OK();
+  }
+  if (tok == "arc") {
+    double a2, a1, r, y, x;
+    MDM_RETURN_IF_ERROR(Pop(&a2));
+    MDM_RETURN_IF_ERROR(Pop(&a1));
+    MDM_RETURN_IF_ERROR(Pop(&r));
+    MDM_RETURN_IF_ERROR(Pop(&y));
+    MDM_RETURN_IF_ERROR(Pop(&x));
+    // Approximate with line segments in user space (8 per quarter turn)
+    // so arbitrary CTMs transform correctly.
+    double start = a1 * M_PI / 180.0;
+    double end = a2 * M_PI / 180.0;
+    if (end < start) end += 2 * M_PI;
+    int steps = std::max(8, static_cast<int>((end - start) / (M_PI / 16)));
+    for (int k = 0; k <= steps; ++k) {
+      double th = start + (end - start) * k / steps;
+      double px = x + r * std::cos(th);
+      double py = y + r * std::sin(th);
+      if (k == 0 && !has_current_point) {
+        MDM_RETURN_IF_ERROR(MoveTo(px, py, false));
+      } else {
+        MDM_RETURN_IF_ERROR(LineTo(px, py, false));
+      }
+    }
+    return Status::OK();
+  }
+  if (tok == "closepath") {
+    path += "Z ";
+    return Status::OK();
+  }
+  if (tok == "stroke") {
+    FlushPath(/*filled=*/false);
+    return Status::OK();
+  }
+  if (tok == "fill") {
+    FlushPath(/*filled=*/true);
+    return Status::OK();
+  }
+  if (tok == "gsave") {
+    gstack.push_back(gs);
+    return Status::OK();
+  }
+  if (tok == "grestore") {
+    if (gstack.empty()) return FailedPrecondition("grestore without gsave");
+    gs = gstack.back();
+    gstack.pop_back();
+    return Status::OK();
+  }
+  if (tok == "translate") {
+    double y, x;
+    MDM_RETURN_IF_ERROR(Pop(&y));
+    MDM_RETURN_IF_ERROR(Pop(&x));
+    Matrix m;
+    m.e = x;
+    m.f = y;
+    gs.ctm.Concat(m);
+    return Status::OK();
+  }
+  if (tok == "scale") {
+    double y, x;
+    MDM_RETURN_IF_ERROR(Pop(&y));
+    MDM_RETURN_IF_ERROR(Pop(&x));
+    Matrix m;
+    m.a = x;
+    m.d = y;
+    gs.ctm.Concat(m);
+    return Status::OK();
+  }
+  if (tok == "rotate") {
+    double deg;
+    MDM_RETURN_IF_ERROR(Pop(&deg));
+    double th = deg * M_PI / 180.0;
+    Matrix m;
+    m.a = std::cos(th);
+    m.b = std::sin(th);
+    m.c = -std::sin(th);
+    m.d = std::cos(th);
+    gs.ctm.Concat(m);
+    return Status::OK();
+  }
+  if (tok == "setlinewidth") {
+    double w;
+    MDM_RETURN_IF_ERROR(Pop(&w));
+    gs.line_width = w;
+    return Status::OK();
+  }
+  if (tok == "setgray") {
+    double g;
+    MDM_RETURN_IF_ERROR(Pop(&g));
+    gs.gray = std::min(1.0, std::max(0.0, g));
+    return Status::OK();
+  }
+  // Dictionary lookup: number pushes, procedure executes.
+  auto it = dict.find(tok);
+  if (it != dict.end()) {
+    if (it->second.kind == PsValue::Kind::kNumber) {
+      stack.push_back(it->second.number);
+      return Status::OK();
+    }
+    return Execute(it->second.proc);
+  }
+  return ParseError("unknown operator '" + tok + "'");
+}
+
+PostScriptInterp::PostScriptInterp() : impl_(std::make_unique<Impl>()) {}
+PostScriptInterp::~PostScriptInterp() = default;
+
+void PostScriptInterp::DefineNumber(const std::string& name, double value) {
+  PsValue v;
+  v.kind = PsValue::Kind::kNumber;
+  v.number = value;
+  impl_->dict[name] = v;
+}
+
+Status PostScriptInterp::Run(const std::string& program) {
+  return impl_->Execute(Tokenize(program));
+}
+
+Rendering PostScriptInterp::Take() {
+  Rendering out = std::move(impl_->rendering);
+  impl_->rendering = Rendering();
+  impl_->path.clear();
+  impl_->has_current_point = false;
+  return out;
+}
+
+void PostScriptInterp::Reset() {
+  impl_ = std::make_unique<Impl>();
+}
+
+size_t PostScriptInterp::StackDepth() const { return impl_->stack.size(); }
+
+}  // namespace mdm::graphics

@@ -1,0 +1,88 @@
+#ifndef MDM_GRAPHICS_POSTSCRIPT_H_
+#define MDM_GRAPHICS_POSTSCRIPT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mdm::graphics {
+
+/// Axis-aligned bounding box of rendered output.
+struct BBox {
+  double min_x = 0, min_y = 0, max_x = 0, max_y = 0;
+  bool empty = true;
+
+  void Extend(double x, double y);
+  double Width() const { return empty ? 0 : max_x - min_x; }
+  double Height() const { return empty ? 0 : max_y - min_y; }
+};
+
+/// One painted path (already transformed to device space).
+struct PaintedPath {
+  std::string d;        // SVG path data
+  bool filled = false;  // fill vs stroke
+  double line_width = 1.0;
+  double gray = 0.0;  // 0 = black, 1 = white
+};
+
+/// The result of interpreting a drawing program.
+struct Rendering {
+  std::vector<PaintedPath> paths;
+  BBox bbox;
+
+  /// Serializes to a standalone SVG document.
+  std::string ToSvg() const;
+};
+
+/// Interpreter for the PostScript dialect used by GraphDef drawing
+/// definitions (§6.2; the paper stores "the graphical definition (e.g.
+/// PostScript function) to draw a particular object").
+///
+/// Supported operators:
+///   arithmetic: add sub mul div neg
+///   stack:      dup pop exch
+///   defs:       /name value def   /name { proc } def   name (execute)
+///   path:       newpath moveto lineto rmoveto rlineto curveto arc
+///               closepath
+///   paint:      stroke fill
+///   state:      gsave grestore translate scale rotate setlinewidth
+///               setgray
+///
+/// Values are numbers or procedure blocks. Comments run from `%` to end
+/// of line. The interpreter is reusable: Define() installs bindings (the
+/// GParmUse "set up" mechanism), Run() executes program text against the
+/// current dictionary, Take() returns and clears the rendering.
+class PostScriptInterp {
+ public:
+  PostScriptInterp();
+  ~PostScriptInterp();
+  PostScriptInterp(const PostScriptInterp&) = delete;
+  PostScriptInterp& operator=(const PostScriptInterp&) = delete;
+
+  /// Binds /name to a number (parameter set-up).
+  void DefineNumber(const std::string& name, double value);
+
+  /// Executes program text.
+  Status Run(const std::string& program);
+
+  /// Returns the accumulated rendering and resets it.
+  Rendering Take();
+
+  /// Clears user definitions and the rendering.
+  void Reset();
+
+  /// Depth of the operand stack (exposed for tests).
+  size_t StackDepth() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mdm::graphics
+
+#endif  // MDM_GRAPHICS_POSTSCRIPT_H_

@@ -1,0 +1,282 @@
+#include "meta/meta_schema.h"
+
+#include "common/strings.h"
+#include "ddl/parser.h"
+
+namespace mdm::meta {
+
+using er::Database;
+using er::EntityId;
+using er::kInvalidEntityId;
+using rel::Value;
+using rel::ValueType;
+
+namespace {
+
+constexpr char kMetaDdl[] = R"(
+  define entity ENTITY (entity_name = string)
+  define entity RELATIONSHIP (relationship_name = string)
+  define entity ATTRIBUTE (attribute_name = string,
+                           attribute_type = string)
+  define entity ORDERING (order_name = string, order_parent = ENTITY)
+  define ordering entity_attributes (ATTRIBUTE) under ENTITY
+  define ordering relationship_attributes (ATTRIBUTE) under RELATIONSHIP
+  define relationship order_child (child = ENTITY, ordering = ORDERING)
+)";
+
+constexpr char kGraphicsDdl[] = R"(
+  define entity GraphDef (name = string, function = string)
+  define relationship GDefUse (graphdef = GraphDef, entity = ENTITY)
+  define relationship GParmUse (graphdef = GraphDef,
+                                attribute = ATTRIBUTE, set_up = string)
+)";
+
+Result<EntityId> FindByStringAttr(const Database& db,
+                                  const std::string& type,
+                                  const std::string& attr,
+                                  const std::string& value) {
+  EntityId found = kInvalidEntityId;
+  MDM_RETURN_IF_ERROR(db.ForEachEntity(type, [&](EntityId id) {
+    auto v = db.GetAttribute(id, attr);
+    if (v.ok() && !v->is_null() && v->type() == ValueType::kString &&
+        EqualsIgnoreCase(v->AsString(), value)) {
+      found = id;
+      return false;
+    }
+    return true;
+  }));
+  if (found == kInvalidEntityId)
+    return NotFound(StrFormat("no %s catalogued with %s = %s", type.c_str(),
+                              attr.c_str(), value.c_str()));
+  return found;
+}
+
+// The displayed type of an attribute in the ATTRIBUTE catalog: the
+// scalar domain name, or the referenced entity type.
+std::string AttrTypeName(const er::AttributeDef& attr) {
+  return attr.type == ValueType::kRef ? attr.ref_target
+                                      : rel::ValueTypeName(attr.type);
+}
+
+Status CatalogAttributes(Database* db, const std::vector<er::AttributeDef>&
+                             attrs,
+                         const std::string& ordering, EntityId owner) {
+  // Idempotency: skip if the owner already has catalogued attributes.
+  MDM_ASSIGN_OR_RETURN(uint64_t existing, db->ChildCount(ordering, owner));
+  if (existing > 0) return Status::OK();
+  for (const er::AttributeDef& attr : attrs) {
+    MDM_ASSIGN_OR_RETURN(EntityId aid, db->CreateEntity("ATTRIBUTE"));
+    MDM_RETURN_IF_ERROR(
+        db->SetAttribute(aid, "attribute_name", Value::String(attr.name)));
+    MDM_RETURN_IF_ERROR(db->SetAttribute(
+        aid, "attribute_type", Value::String(AttrTypeName(attr))));
+    MDM_RETURN_IF_ERROR(db->AppendChild(ordering, owner, aid));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status InstallMetaSchema(Database* db) {
+  if (db->schema().FindEntityType("ENTITY") != nullptr)
+    return Status::OK();  // already installed
+  auto r = ddl::ExecuteDdl(kMetaDdl, db);
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Status SyncSchemaToMeta(Database* db) {
+  if (db->schema().FindEntityType("ENTITY") == nullptr)
+    return FailedPrecondition("meta-schema not installed");
+  // 1) One ENTITY instance per entity type, self-inclusively.
+  for (const er::EntityTypeDef& def : db->schema().entity_types()) {
+    Result<EntityId> existing = FindMetaEntity(*db, def.name);
+    EntityId eid;
+    if (existing.ok()) {
+      eid = *existing;
+    } else {
+      MDM_ASSIGN_OR_RETURN(eid, db->CreateEntity("ENTITY"));
+      MDM_RETURN_IF_ERROR(
+          db->SetAttribute(eid, "entity_name", Value::String(def.name)));
+    }
+    MDM_RETURN_IF_ERROR(
+        CatalogAttributes(db, def.attributes, "entity_attributes", eid));
+  }
+  // 2) RELATIONSHIP instances with their attributes.
+  for (const er::RelationshipDef& def : db->schema().relationships()) {
+    Result<EntityId> existing =
+        FindByStringAttr(*db, "RELATIONSHIP", "relationship_name", def.name);
+    EntityId rid;
+    if (existing.ok()) {
+      rid = *existing;
+    } else {
+      MDM_ASSIGN_OR_RETURN(rid, db->CreateEntity("RELATIONSHIP"));
+      MDM_RETURN_IF_ERROR(db->SetAttribute(rid, "relationship_name",
+                                           Value::String(def.name)));
+    }
+    MDM_RETURN_IF_ERROR(CatalogAttributes(db, def.attributes,
+                                          "relationship_attributes", rid));
+  }
+  // 3) ORDERING instances: parent ref + order_child links.
+  for (const er::OrderingDef& def : db->schema().orderings()) {
+    if (FindByStringAttr(*db, "ORDERING", "order_name", def.name).ok())
+      continue;
+    MDM_ASSIGN_OR_RETURN(EntityId oid, db->CreateEntity("ORDERING"));
+    MDM_RETURN_IF_ERROR(
+        db->SetAttribute(oid, "order_name", Value::String(def.name)));
+    MDM_ASSIGN_OR_RETURN(EntityId parent_meta,
+                         FindMetaEntity(*db, def.parent_type));
+    MDM_RETURN_IF_ERROR(
+        db->SetAttribute(oid, "order_parent", Value::Ref(parent_meta)));
+    for (const std::string& child : def.child_types) {
+      MDM_ASSIGN_OR_RETURN(EntityId child_meta, FindMetaEntity(*db, child));
+      MDM_RETURN_IF_ERROR(db->Connect("order_child", {{"child", child_meta},
+                                                      {"ordering", oid}})
+                              .status());
+    }
+  }
+  return Status::OK();
+}
+
+Result<EntityId> FindMetaEntity(const Database& db,
+                                const std::string& entity_type_name) {
+  return FindByStringAttr(db, "ENTITY", "entity_name", entity_type_name);
+}
+
+Result<std::vector<std::string>> MetaAttributeNames(
+    const Database& db, const std::string& entity_type_name) {
+  MDM_ASSIGN_OR_RETURN(EntityId eid, FindMetaEntity(db, entity_type_name));
+  MDM_ASSIGN_OR_RETURN(std::vector<EntityId> attrs,
+                       db.Children("entity_attributes", eid));
+  std::vector<std::string> names;
+  for (EntityId aid : attrs) {
+    MDM_ASSIGN_OR_RETURN(Value v, db.GetAttribute(aid, "attribute_name"));
+    names.push_back(v.is_null() ? "" : v.AsString());
+  }
+  return names;
+}
+
+Status InstallGraphicsSchema(Database* db) {
+  MDM_RETURN_IF_ERROR(InstallMetaSchema(db));
+  if (db->schema().FindEntityType("GraphDef") != nullptr)
+    return Status::OK();
+  auto r = ddl::ExecuteDdl(kGraphicsDdl, db);
+  return r.ok() ? Status::OK() : r.status();
+}
+
+Result<EntityId> DefineGraphDef(Database* db, const std::string& name,
+                                const std::string& function) {
+  MDM_ASSIGN_OR_RETURN(EntityId id, db->CreateEntity("GraphDef"));
+  MDM_RETURN_IF_ERROR(db->SetAttribute(id, "name", Value::String(name)));
+  MDM_RETURN_IF_ERROR(
+      db->SetAttribute(id, "function", Value::String(function)));
+  return id;
+}
+
+Status AttachGraphDef(Database* db, const std::string& entity_type_name,
+                      EntityId graphdef) {
+  MDM_ASSIGN_OR_RETURN(EntityId meta_entity,
+                       FindMetaEntity(*db, entity_type_name));
+  return db
+      ->Connect("GDefUse", {{"graphdef", graphdef}, {"entity", meta_entity}})
+      .status();
+}
+
+Status AttachParameter(Database* db, EntityId graphdef,
+                       const std::string& entity_type_name,
+                       const std::string& attr_name,
+                       const std::string& set_up) {
+  // Locate the ATTRIBUTE meta-instance under the type's ENTITY instance.
+  MDM_ASSIGN_OR_RETURN(EntityId meta_entity,
+                       FindMetaEntity(*db, entity_type_name));
+  MDM_ASSIGN_OR_RETURN(std::vector<EntityId> attrs,
+                       db->Children("entity_attributes", meta_entity));
+  EntityId attr_meta = kInvalidEntityId;
+  for (EntityId aid : attrs) {
+    auto v = db->GetAttribute(aid, "attribute_name");
+    if (v.ok() && !v->is_null() && EqualsIgnoreCase(v->AsString(), attr_name)) {
+      attr_meta = aid;
+      break;
+    }
+  }
+  if (attr_meta == kInvalidEntityId)
+    return NotFound(StrFormat("attribute %s of %s is not catalogued",
+                              attr_name.c_str(), entity_type_name.c_str()));
+  MDM_ASSIGN_OR_RETURN(
+      er::RelInstanceId link,
+      db->Connect("GParmUse",
+                  {{"graphdef", graphdef}, {"attribute", attr_meta}}));
+  return db->SetRelationshipAttribute(link, "set_up",
+                                      Value::String(set_up));
+}
+
+Result<graphics::Rendering> DrawEntity(Database* db, EntityId instance) {
+  // Step 1: the instance and its type.
+  MDM_ASSIGN_OR_RETURN(std::string type_name, db->TypeOf(instance));
+  MDM_ASSIGN_OR_RETURN(EntityId meta_entity,
+                       FindMetaEntity(*db, type_name));
+  // Step 2: the graphical definition via GDefUse.
+  EntityId graphdef = kInvalidEntityId;
+  MDM_RETURN_IF_ERROR(db->ForEachRelationship(
+      "GDefUse", [&](const er::RelationshipInstance& ri) {
+        // roles: graphdef, entity
+        if (ri.role_refs[1] == meta_entity) {
+          graphdef = ri.role_refs[0];
+          return false;
+        }
+        return true;
+      }));
+  if (graphdef == kInvalidEntityId)
+    return NotFound("no graphical definition for entity type " + type_name);
+
+  graphics::PostScriptInterp interp;
+  // Step 3: parameters via GParmUse — fetch each value from the
+  // instance, push it, and run the set-up fragment.
+  Status step3;
+  MDM_RETURN_IF_ERROR(db->ForEachRelationship(
+      "GParmUse", [&](const er::RelationshipInstance& ri) {
+        if (ri.role_refs[0] != graphdef) return true;
+        EntityId attr_meta = ri.role_refs[1];
+        auto attr_name = db->GetAttribute(attr_meta, "attribute_name");
+        if (!attr_name.ok() || attr_name->is_null()) {
+          step3 = Corruption("GParmUse references unnamed attribute");
+          return false;
+        }
+        auto value = db->GetAttribute(instance, attr_name->AsString());
+        if (!value.ok()) {
+          step3 = value.status();
+          return false;
+        }
+        double num;
+        if (value->is_null()) {
+          num = 0;
+        } else if (value->type() == ValueType::kInt) {
+          num = static_cast<double>(value->AsInt());
+        } else if (value->type() == ValueType::kFloat) {
+          num = value->AsFloat();
+        } else if (value->type() == ValueType::kRational) {
+          num = value->AsRational().ToDouble();
+        } else {
+          step3 = TypeError(StrFormat(
+              "graphical parameter %s is not numeric",
+              attr_name->AsString().c_str()));
+          return false;
+        }
+        const er::RelationshipDef* def =
+            db->schema().FindRelationship("GParmUse");
+        auto set_up_idx = def->AttributeIndex("set_up");
+        std::string set_up = "/" + attr_name->AsString() + " exch def";
+        if (set_up_idx.has_value() && !ri.attrs[*set_up_idx].is_null())
+          set_up = ri.attrs[*set_up_idx].AsString();
+        step3 = interp.Run(StrFormat("%.6f %s", num, set_up.c_str()));
+        return step3.ok();
+      }));
+  MDM_RETURN_IF_ERROR(step3);
+  // Step 4: execute the drawing function.
+  MDM_ASSIGN_OR_RETURN(Value function, db->GetAttribute(graphdef, "function"));
+  if (function.is_null())
+    return FailedPrecondition("graphdef has no function body");
+  MDM_RETURN_IF_ERROR(interp.Run(function.AsString()));
+  return interp.Take();
+}
+
+}  // namespace mdm::meta

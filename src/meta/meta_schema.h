@@ -1,0 +1,92 @@
+#ifndef MDM_META_META_SCHEMA_H_
+#define MDM_META_META_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "er/database.h"
+#include "graphics/postscript.h"
+
+namespace mdm::meta {
+
+/// §6: "we may actually use our data definition language to define a
+/// meta-database: a database that models our definitions of entities,
+/// relationships, attributes and orderings."
+///
+/// InstallMetaSchema executes (the equivalent of) the paper's §6.1 DDL:
+///
+///   define entity ENTITY (entity_name = string)
+///   define entity RELATIONSHIP (relationship_name = string)
+///   define entity ATTRIBUTE (attribute_name = string,
+///                            attribute_type = string)
+///   define entity ORDERING (order_name = string, order_parent = ENTITY)
+///   define ordering entity_attributes (ATTRIBUTE) under ENTITY
+///   define ordering relationship_attributes (ATTRIBUTE)
+///       under RELATIONSHIP
+///   define relationship order_child (child = ENTITY,
+///                                    ordering = ORDERING)
+///
+/// into the SAME database whose schema it describes — the paper's
+/// schema/data blurring.
+Status InstallMetaSchema(er::Database* db);
+
+/// Populates (or refreshes) the meta-database from the database's own
+/// schema: one ENTITY instance per entity type (including the meta
+/// types themselves), ATTRIBUTE instances hierarchically ordered under
+/// their owners, RELATIONSHIP and ORDERING instances, and order_child
+/// links. Idempotent: re-running catalogs only definitions added since.
+Status SyncSchemaToMeta(er::Database* db);
+
+/// The ENTITY meta-instance cataloguing `entity_type_name`.
+Result<er::EntityId> FindMetaEntity(const er::Database& db,
+                                    const std::string& entity_type_name);
+
+/// Attribute names of `entity_type_name`, read back through the
+/// meta-database's entity_attributes ordering (not through the schema).
+Result<std::vector<std::string>> MetaAttributeNames(
+    const er::Database& db, const std::string& entity_type_name);
+
+// ----------------------------------------------------------------------
+// §6.2 / fig 10: graphical definitions as data.
+// ----------------------------------------------------------------------
+
+/// Installs the application-specific middle layer:
+///
+///   define entity GraphDef (name = string, function = string)
+///   define relationship GDefUse (graphdef = GraphDef, entity = ENTITY)
+///   define relationship GParmUse (graphdef = GraphDef,
+///                                 attribute = ATTRIBUTE,
+///                                 set_up = string)
+///
+/// (set_up is modeled as a relationship attribute.)
+Status InstallGraphicsSchema(er::Database* db);
+
+/// Creates a GraphDef holding a PostScript-dialect drawing function.
+Result<er::EntityId> DefineGraphDef(er::Database* db, const std::string& name,
+                                    const std::string& function);
+
+/// Associates `graphdef` with the (already catalogued) entity type.
+Status AttachGraphDef(er::Database* db, const std::string& entity_type_name,
+                      er::EntityId graphdef);
+
+/// Declares that `attr_name` of `entity_type_name` parameterizes
+/// `graphdef`; `set_up` is the PostScript fragment run with the
+/// attribute value pushed on the operand stack (e.g. "/xpos exch def").
+Status AttachParameter(er::Database* db, er::EntityId graphdef,
+                       const std::string& entity_type_name,
+                       const std::string& attr_name,
+                       const std::string& set_up);
+
+/// The paper's four-step drawing procedure (§6.2):
+///  (1) find the instance, (2) find the graphical definition for its
+///  type via GDefUse, (3) for each GParmUse parameter fetch the value
+///  from the instance and execute its set-up code, (4) execute the
+///  graphical definition. Returns the rendering.
+Result<graphics::Rendering> DrawEntity(er::Database* db,
+                                       er::EntityId instance);
+
+}  // namespace mdm::meta
+
+#endif  // MDM_META_META_SCHEMA_H_

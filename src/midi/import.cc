@@ -1,0 +1,141 @@
+#include "midi/import.h"
+
+#include <algorithm>
+#include <map>
+
+#include "cmn/score_builder.h"
+#include "common/strings.h"
+#include "mtime/meter.h"
+
+namespace mdm::midi {
+
+using er::EntityId;
+
+namespace {
+
+Rational Quantize(const Rational& value, const Rational& quantum) {
+  // Round to the nearest multiple of quantum.
+  Rational ratio = value / quantum;
+  int64_t rounded = (ratio + Rational(1, 2)).Floor();
+  return quantum * Rational(rounded);
+}
+
+struct PendingNote {
+  int key;
+  double start_seconds;
+};
+
+struct TranscribedNote {
+  int channel;
+  int key;
+  Rational onset;     // quantized beats
+  Rational duration;  // quantized beats (>= quantum)
+};
+
+}  // namespace
+
+Result<MidiImport> ImportMidiTrack(er::Database* db, const MidiTrack& track,
+                                   const mtime::TempoMap& tempo,
+                                   const std::string& title,
+                                   const ImportOptions& options) {
+  if (options.quantum.IsZero() || options.quantum.IsNegative())
+    return InvalidArgument("quantum must be positive");
+  MDM_RETURN_IF_ERROR(cmn::InstallCmnSchema(db));
+
+  // 1. Pair note-ons with note-offs and quantize into score time.
+  std::vector<TranscribedNote> notes;
+  std::map<std::pair<int, int>, PendingNote> open;  // (channel, key)
+  MidiTrack sorted = track;
+  sorted.Sort();
+  for (const MidiEvent& e : sorted.events) {
+    if (e.kind == MidiEvent::Kind::kNoteOn) {
+      open[{e.channel, e.key}] = {e.key, e.seconds};
+    } else if (e.kind == MidiEvent::Kind::kNoteOff) {
+      auto it = open.find({e.channel, e.key});
+      if (it == open.end()) continue;  // stray note-off: ignore
+      Rational onset =
+          Quantize(tempo.ToBeats(it->second.start_seconds), options.quantum);
+      Rational end = Quantize(tempo.ToBeats(e.seconds), options.quantum);
+      Rational duration = end - onset;
+      if (duration.IsZero() || duration.IsNegative())
+        duration = options.quantum;  // grace-note floor
+      notes.push_back({e.channel, e.key, onset, duration});
+      open.erase(it);
+    }
+  }
+  // Unterminated notes get the quantum as duration.
+  for (const auto& [chan_key, pending] : open) {
+    Rational onset =
+        Quantize(tempo.ToBeats(pending.start_seconds), options.quantum);
+    notes.push_back({chan_key.first, pending.key, onset, options.quantum});
+  }
+  std::stable_sort(notes.begin(), notes.end(),
+                   [](const TranscribedNote& a, const TranscribedNote& b) {
+                     if (a.channel != b.channel) return a.channel < b.channel;
+                     if (a.onset != b.onset) return a.onset < b.onset;
+                     return a.key < b.key;
+                   });
+
+  // 2. Build the score skeleton: enough measures to cover the stream.
+  cmn::ScoreBuilder builder(db);
+  MidiImport import;
+  MDM_ASSIGN_OR_RETURN(import.score, builder.CreateScore(title));
+  MDM_ASSIGN_OR_RETURN(EntityId movement,
+                       builder.AddMovement(import.score, "I"));
+  mtime::TimeSignature sig{options.meter_numerator,
+                           options.meter_denominator};
+  Rational measure_len = sig.BeatsPerMeasure();
+  Rational stream_end(0);
+  for (const TranscribedNote& n : notes)
+    stream_end = std::max(stream_end, n.onset + n.duration,
+                          [](const Rational& a, const Rational& b) {
+                            return a < b;
+                          });
+  int n_measures = 1;
+  while (measure_len * Rational(n_measures) < stream_end) ++n_measures;
+  std::vector<EntityId> measures;
+  for (int m = 1; m <= n_measures; ++m) {
+    MDM_ASSIGN_OR_RETURN(EntityId measure,
+                         builder.AddMeasure(movement, m, sig));
+    measures.push_back(measure);
+  }
+  import.measures = n_measures;
+
+  // 3. One voice per channel; chords merge simultaneous equal-duration
+  // notes on a channel.
+  std::map<int, EntityId> voice_of_channel;
+  std::map<std::tuple<int, int64_t, int64_t, int64_t, int64_t>, EntityId>
+      chord_of;  // (channel, onset num/den, dur num/den) -> chord
+  for (const TranscribedNote& n : notes) {
+    auto vit = voice_of_channel.find(n.channel);
+    if (vit == voice_of_channel.end()) {
+      MDM_ASSIGN_OR_RETURN(EntityId voice, builder.AddVoice(n.channel + 1));
+      vit = voice_of_channel.emplace(n.channel, voice).first;
+      import.voices.push_back(voice);
+    }
+    // Locate the measure containing the onset.
+    int64_t measure_index = (n.onset / measure_len).Floor();
+    if (measure_index >= n_measures)
+      return Internal("onset beyond allocated measures");
+    Rational beat = n.onset - measure_len * Rational(measure_index);
+    MDM_ASSIGN_OR_RETURN(
+        EntityId sync,
+        builder.GetOrAddSync(measures[measure_index], beat));
+    auto chord_key = std::make_tuple(n.channel, n.onset.num(), n.onset.den(),
+                                     n.duration.num(), n.duration.den());
+    auto cit = chord_of.find(chord_key);
+    EntityId chord;
+    if (cit == chord_of.end()) {
+      MDM_ASSIGN_OR_RETURN(
+          chord, builder.AddChord(sync, vit->second, n.duration));
+      chord_of.emplace(chord_key, chord);
+    } else {
+      chord = cit->second;
+    }
+    MDM_RETURN_IF_ERROR(builder.AddNoteMidi(chord, n.key).status());
+    ++import.notes;
+  }
+  return import;
+}
+
+}  // namespace mdm::midi

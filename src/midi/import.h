@@ -1,0 +1,46 @@
+#ifndef MDM_MIDI_IMPORT_H_
+#define MDM_MIDI_IMPORT_H_
+
+#include "cmn/schema.h"
+#include "common/result.h"
+#include "er/database.h"
+#include "midi/midi.h"
+#include "mtime/tempo_map.h"
+
+namespace mdm::midi {
+
+/// Options for event-stream transcription.
+struct ImportOptions {
+  /// Onsets and durations snap to this grid (in beats): 1/4 = sixteenth
+  /// notes at a quarter-note beat.
+  Rational quantum{1, 4};
+  /// Meter used to cut the stream into measures.
+  int meter_numerator = 4;
+  int meter_denominator = 4;
+};
+
+/// Result of importing an event stream.
+struct MidiImport {
+  er::EntityId score = er::kInvalidEntityId;
+  std::vector<er::EntityId> voices;  // one per MIDI channel seen
+  int notes = 0;
+  int measures = 0;
+};
+
+/// Transcribes a MIDI note stream into a CMN score (§4.5: "the ease of
+/// translation between note event streams ... and piano rolls" is what
+/// made piano-roll systems popular; this is the MDM's version of that
+/// translation). Each channel becomes a voice; simultaneous
+/// equal-duration notes on a channel merge into chords; onsets and
+/// durations quantize to `options.quantum`. The paper is explicit that
+/// full transcription (rhythm/pitch/instrument separation from audio)
+/// is expert-hard — from an *event stream* it is mechanical, which is
+/// exactly why MIDI sits at the bottom of fig 13.
+Result<MidiImport> ImportMidiTrack(er::Database* db, const MidiTrack& track,
+                                   const mtime::TempoMap& tempo,
+                                   const std::string& title,
+                                   const ImportOptions& options = {});
+
+}  // namespace mdm::midi
+
+#endif  // MDM_MIDI_IMPORT_H_

@@ -1,0 +1,356 @@
+#include "midi/midi.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace mdm::midi {
+
+void MidiTrack::Sort() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const MidiEvent& a, const MidiEvent& b) {
+                     if (a.seconds != b.seconds) return a.seconds < b.seconds;
+                     // Note-offs first at equal timestamps.
+                     bool a_off = a.kind == MidiEvent::Kind::kNoteOff;
+                     bool b_off = b.kind == MidiEvent::Kind::kNoteOff;
+                     return a_off && !b_off;
+                   });
+}
+
+double MidiTrack::Duration() const {
+  double d = 0;
+  for (const MidiEvent& e : events) d = std::max(d, e.seconds);
+  return d;
+}
+
+MidiTrack TrackFromPerformance(const std::vector<cmn::PerformedNote>& notes) {
+  MidiTrack track;
+  for (const cmn::PerformedNote& pn : notes) {
+    MidiEvent on;
+    on.kind = MidiEvent::Kind::kNoteOn;
+    on.seconds = pn.start_seconds;
+    on.key = static_cast<uint8_t>(std::clamp(pn.midi_key, 0, 127));
+    on.velocity = static_cast<uint8_t>(std::clamp(pn.velocity, 1, 127));
+    MidiEvent off = on;
+    off.kind = MidiEvent::Kind::kNoteOff;
+    off.seconds = pn.end_seconds;
+    off.velocity = 0;
+    track.events.push_back(on);
+    track.events.push_back(off);
+  }
+  track.Sort();
+  return track;
+}
+
+namespace {
+
+void PutBe32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 3; i >= 0; --i)
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutBe16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v >> 8));
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+/// MIDI variable-length quantity (big-endian 7-bit groups).
+void PutVlq(std::vector<uint8_t>* out, uint32_t v) {
+  uint8_t bytes[5];
+  int n = 0;
+  do {
+    bytes[n++] = static_cast<uint8_t>(v & 0x7F);
+    v >>= 7;
+  } while (v != 0);
+  for (int i = n - 1; i > 0; --i)
+    out->push_back(bytes[i] | 0x80);
+  out->push_back(bytes[0]);
+}
+
+}  // namespace
+
+std::vector<uint8_t> WriteSmf(const MidiTrack& track, int division,
+                              double seconds_per_beat) {
+  MidiTrack sorted = track;
+  sorted.Sort();
+  const double ticks_per_second = division / seconds_per_beat;
+
+  std::vector<uint8_t> body;
+  // Tempo meta event at t=0.
+  PutVlq(&body, 0);
+  body.push_back(0xFF);
+  body.push_back(0x51);
+  body.push_back(0x03);
+  uint32_t usec = static_cast<uint32_t>(seconds_per_beat * 1e6);
+  body.push_back(static_cast<uint8_t>(usec >> 16));
+  body.push_back(static_cast<uint8_t>(usec >> 8));
+  body.push_back(static_cast<uint8_t>(usec));
+
+  uint32_t last_tick = 0;
+  for (const MidiEvent& e : sorted.events) {
+    uint32_t tick =
+        static_cast<uint32_t>(std::llround(e.seconds * ticks_per_second));
+    if (tick < last_tick) tick = last_tick;
+    PutVlq(&body, tick - last_tick);
+    last_tick = tick;
+    switch (e.kind) {
+      case MidiEvent::Kind::kNoteOn:
+        body.push_back(0x90 | (e.channel & 0x0F));
+        body.push_back(e.key & 0x7F);
+        body.push_back(e.velocity & 0x7F);
+        break;
+      case MidiEvent::Kind::kNoteOff:
+        body.push_back(0x80 | (e.channel & 0x0F));
+        body.push_back(e.key & 0x7F);
+        body.push_back(e.velocity & 0x7F);
+        break;
+      case MidiEvent::Kind::kControl:
+        body.push_back(0xB0 | (e.channel & 0x0F));
+        body.push_back(e.controller & 0x7F);
+        body.push_back(e.value & 0x7F);
+        break;
+      case MidiEvent::Kind::kProgram:
+        body.push_back(0xC0 | (e.channel & 0x0F));
+        body.push_back(e.value & 0x7F);
+        break;
+      case MidiEvent::Kind::kTempo: {
+        body.push_back(0xFF);
+        body.push_back(0x51);
+        body.push_back(0x03);
+        body.push_back(static_cast<uint8_t>(e.tempo_usec_per_beat >> 16));
+        body.push_back(static_cast<uint8_t>(e.tempo_usec_per_beat >> 8));
+        body.push_back(static_cast<uint8_t>(e.tempo_usec_per_beat));
+        break;
+      }
+    }
+  }
+  // End of track.
+  PutVlq(&body, 0);
+  body.push_back(0xFF);
+  body.push_back(0x2F);
+  body.push_back(0x00);
+
+  std::vector<uint8_t> out;
+  out.insert(out.end(), {'M', 'T', 'h', 'd'});
+  PutBe32(&out, 6);
+  PutBe16(&out, 0);  // format 0
+  PutBe16(&out, 1);  // one track
+  PutBe16(&out, static_cast<uint16_t>(division));
+  out.insert(out.end(), {'M', 'T', 'r', 'k'});
+  PutBe32(&out, static_cast<uint32_t>(body.size()));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+namespace {
+
+class SmfReader {
+ public:
+  SmfReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  Status Need(size_t n) const {
+    if (pos_ + n > size_) return Corruption("SMF truncated");
+    return Status::OK();
+  }
+  Result<uint8_t> U8() {
+    MDM_RETURN_IF_ERROR(Need(1));
+    return data_[pos_++];
+  }
+  Result<uint16_t> Be16() {
+    MDM_RETURN_IF_ERROR(Need(2));
+    uint16_t v = static_cast<uint16_t>(data_[pos_] << 8 | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+  Result<uint32_t> Be32() {
+    MDM_RETURN_IF_ERROR(Need(4));
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = v << 8 | data_[pos_ + i];
+    pos_ += 4;
+    return v;
+  }
+  Result<uint32_t> Vlq() {
+    uint32_t v = 0;
+    for (int i = 0; i < 5; ++i) {
+      MDM_ASSIGN_OR_RETURN(uint8_t b, U8());
+      v = v << 7 | (b & 0x7F);
+      if ((b & 0x80) == 0) return v;
+    }
+    return Corruption("SMF VLQ too long");
+  }
+  void Skip(size_t n) { pos_ = std::min(size_, pos_ + n); }
+  size_t pos() const { return pos_; }
+  bool AtEnd() const { return pos_ >= size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<MidiTrack> ReadSmf(const std::vector<uint8_t>& bytes) {
+  SmfReader r(bytes.data(), bytes.size());
+  MDM_ASSIGN_OR_RETURN(uint32_t magic, r.Be32());
+  if (magic != 0x4D546864) return Corruption("not an SMF file (no MThd)");
+  MDM_ASSIGN_OR_RETURN(uint32_t hlen, r.Be32());
+  MDM_ASSIGN_OR_RETURN(uint16_t format, r.Be16());
+  MDM_ASSIGN_OR_RETURN(uint16_t ntracks, r.Be16());
+  MDM_ASSIGN_OR_RETURN(uint16_t division, r.Be16());
+  if (format > 1) return Unimplemented("only SMF formats 0/1 supported");
+  if (division & 0x8000)
+    return Unimplemented("SMPTE time division not supported");
+  r.Skip(hlen > 6 ? hlen - 6 : 0);
+
+  MidiTrack track;
+  double seconds_per_tick = 0.5 / division;  // until a tempo event
+  for (uint16_t t = 0; t < ntracks; ++t) {
+    MDM_ASSIGN_OR_RETURN(uint32_t chunk, r.Be32());
+    MDM_ASSIGN_OR_RETURN(uint32_t length, r.Be32());
+    if (chunk != 0x4D54726B) {  // not MTrk: skip
+      r.Skip(length);
+      continue;
+    }
+    size_t end = r.pos() + length;
+    uint32_t tick = 0;
+    uint8_t running_status = 0;
+    while (r.pos() < end) {
+      MDM_ASSIGN_OR_RETURN(uint32_t delta, r.Vlq());
+      tick += delta;
+      MDM_ASSIGN_OR_RETURN(uint8_t status, r.U8());
+      if (status < 0x80) {
+        // Running status: the byte read was actually data.
+        if (running_status == 0) return Corruption("SMF running status");
+        // Un-read it by handling below with first data byte = status.
+        MidiEvent e;
+        e.seconds = tick * seconds_per_tick;
+        e.channel = running_status & 0x0F;
+        uint8_t hi = running_status & 0xF0;
+        if (hi == 0x90 || hi == 0x80 || hi == 0xB0) {
+          MDM_ASSIGN_OR_RETURN(uint8_t d2, r.U8());
+          if (hi == 0xB0) {
+            e.kind = MidiEvent::Kind::kControl;
+            e.controller = status;
+            e.value = d2;
+          } else {
+            e.kind = (hi == 0x90 && d2 > 0) ? MidiEvent::Kind::kNoteOn
+                                            : MidiEvent::Kind::kNoteOff;
+            e.key = status;
+            e.velocity = d2;
+          }
+          track.events.push_back(e);
+        } else if (hi == 0xC0) {
+          e.kind = MidiEvent::Kind::kProgram;
+          e.value = status;
+          track.events.push_back(e);
+        } else {
+          return Corruption("unsupported running status event");
+        }
+        continue;
+      }
+      if (status == 0xFF) {  // meta
+        MDM_ASSIGN_OR_RETURN(uint8_t type, r.U8());
+        MDM_ASSIGN_OR_RETURN(uint32_t len, r.Vlq());
+        if (type == 0x51 && len == 3) {
+          MDM_ASSIGN_OR_RETURN(uint8_t a, r.U8());
+          MDM_ASSIGN_OR_RETURN(uint8_t b, r.U8());
+          MDM_ASSIGN_OR_RETURN(uint8_t c, r.U8());
+          uint32_t usec = static_cast<uint32_t>(a) << 16 |
+                          static_cast<uint32_t>(b) << 8 | c;
+          seconds_per_tick = usec / 1e6 / division;
+          MidiEvent e;
+          e.kind = MidiEvent::Kind::kTempo;
+          e.seconds = tick * seconds_per_tick;
+          e.tempo_usec_per_beat = usec;
+          track.events.push_back(e);
+        } else {
+          r.Skip(len);
+        }
+        continue;
+      }
+      if (status == 0xF0 || status == 0xF7) {  // sysex: skip
+        MDM_ASSIGN_OR_RETURN(uint32_t len, r.Vlq());
+        r.Skip(len);
+        continue;
+      }
+      running_status = status;
+      uint8_t hi = status & 0xF0;
+      MidiEvent e;
+      e.seconds = tick * seconds_per_tick;
+      e.channel = status & 0x0F;
+      switch (hi) {
+        case 0x90:
+        case 0x80: {
+          MDM_ASSIGN_OR_RETURN(uint8_t key, r.U8());
+          MDM_ASSIGN_OR_RETURN(uint8_t vel, r.U8());
+          e.kind = (hi == 0x90 && vel > 0) ? MidiEvent::Kind::kNoteOn
+                                           : MidiEvent::Kind::kNoteOff;
+          e.key = key;
+          e.velocity = vel;
+          track.events.push_back(e);
+          break;
+        }
+        case 0xB0: {
+          MDM_ASSIGN_OR_RETURN(uint8_t ctl, r.U8());
+          MDM_ASSIGN_OR_RETURN(uint8_t val, r.U8());
+          e.kind = MidiEvent::Kind::kControl;
+          e.controller = ctl;
+          e.value = val;
+          track.events.push_back(e);
+          break;
+        }
+        case 0xC0: {
+          MDM_ASSIGN_OR_RETURN(uint8_t program, r.U8());
+          e.kind = MidiEvent::Kind::kProgram;
+          e.value = program;
+          track.events.push_back(e);
+          break;
+        }
+        case 0xA0:
+        case 0xE0:
+          r.Skip(2);
+          break;
+        case 0xD0:
+          r.Skip(1);
+          break;
+        default:
+          return Corruption(StrFormat("bad SMF status byte 0x%02X", status));
+      }
+    }
+  }
+  track.Sort();
+  return track;
+}
+
+std::string EventListText(const MidiTrack& track) {
+  std::string out;
+  for (const MidiEvent& e : track.events) {
+    switch (e.kind) {
+      case MidiEvent::Kind::kNoteOn:
+        out += StrFormat("%8.3f  note-on  ch%-2d key %3d vel %3d\n",
+                         e.seconds, e.channel, e.key, e.velocity);
+        break;
+      case MidiEvent::Kind::kNoteOff:
+        out += StrFormat("%8.3f  note-off ch%-2d key %3d\n", e.seconds,
+                         e.channel, e.key);
+        break;
+      case MidiEvent::Kind::kControl:
+        out += StrFormat("%8.3f  control  ch%-2d ctl %3d val %3d\n",
+                         e.seconds, e.channel, e.controller, e.value);
+        break;
+      case MidiEvent::Kind::kProgram:
+        out += StrFormat("%8.3f  program  ch%-2d prg %3d\n", e.seconds,
+                         e.channel, e.value);
+        break;
+      case MidiEvent::Kind::kTempo:
+        out += StrFormat("%8.3f  tempo    %u usec/beat\n", e.seconds,
+                         e.tempo_usec_per_beat);
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace mdm::midi

@@ -1,0 +1,59 @@
+#ifndef MDM_MIDI_MIDI_H_
+#define MDM_MIDI_MIDI_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cmn/temporal.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mdm::midi {
+
+/// One timed MIDI message (§4.6: "music may be organized into event
+/// streams, as with industry standard MIDI event lists").
+struct MidiEvent {
+  enum class Kind { kNoteOn, kNoteOff, kControl, kTempo, kProgram };
+  Kind kind = Kind::kNoteOn;
+  double seconds = 0;  // absolute performance time
+  uint8_t channel = 0;
+  uint8_t key = 60;        // note on/off
+  uint8_t velocity = 64;   // note on/off
+  uint8_t controller = 0;  // control (e.g. 66 = sostenuto, §7.2)
+  uint8_t value = 0;       // control / program
+  uint32_t tempo_usec_per_beat = 500000;  // tempo meta event
+};
+
+/// A sorted stream of MIDI events.
+struct MidiTrack {
+  std::vector<MidiEvent> events;
+
+  /// Stable-sorts by time, note-offs before note-ons at equal times so
+  /// repeated notes re-trigger cleanly.
+  void Sort();
+  /// Total duration in seconds (time of the last event).
+  double Duration() const;
+};
+
+/// Converts an extracted performance (cmn::ExtractPerformance) into a
+/// note-on/note-off stream.
+MidiTrack TrackFromPerformance(const std::vector<cmn::PerformedNote>& notes);
+
+/// Serializes a format-0 Standard MIDI File. `division` is ticks per
+/// quarter note; event times are converted using the fixed tempo meta
+/// event written at time 0 (tempo-map shaping is already baked into the
+/// events' absolute seconds).
+std::vector<uint8_t> WriteSmf(const MidiTrack& track, int division = 480,
+                              double seconds_per_beat = 0.5);
+
+/// Parses a format-0/1 SMF produced by WriteSmf (or elsewhere); only
+/// note, control, program and tempo events are retained.
+Result<MidiTrack> ReadSmf(const std::vector<uint8_t>& bytes);
+
+/// Renders the track as a human-readable event list.
+std::string EventListText(const MidiTrack& track);
+
+}  // namespace mdm::midi
+
+#endif  // MDM_MIDI_MIDI_H_

@@ -1,0 +1,84 @@
+#include "mtime/meter.h"
+
+#include "common/strings.h"
+
+namespace mdm::mtime {
+
+std::string TimeSignature::ToString() const {
+  return StrFormat("%d/%d", numerator, denominator);
+}
+
+Status MeterMap::SetSignature(int64_t measure, TimeSignature sig) {
+  if (sig.numerator <= 0 || sig.denominator <= 0)
+    return InvalidArgument("time signature parts must be positive");
+  if (measure < 0) return InvalidArgument("measure index must be >= 0");
+  if (!changes_.empty() && measure <= changes_.back().measure) {
+    if (measure == changes_.back().measure) {
+      // Replace; recompute start is unnecessary (same measure).
+      changes_.back().sig = sig;
+      return Status::OK();
+    }
+    return FailedPrecondition("signatures must be added in measure order");
+  }
+  Rational start = MeasureStart(measure);
+  changes_.push_back({measure, sig, start});
+  return Status::OK();
+}
+
+TimeSignature MeterMap::SignatureAt(int64_t measure) const {
+  TimeSignature sig;  // default 4/4
+  for (const Change& c : changes_) {
+    if (c.measure > measure) break;
+    sig = c.sig;
+  }
+  return sig;
+}
+
+Rational MeterMap::MeasureStart(int64_t measure) const {
+  if (measure <= 0) return Rational(0);
+  Rational t(0);
+  int64_t m = 0;
+  TimeSignature sig;  // 4/4 until the first change
+  size_t ci = 0;
+  // Walk change by change, skipping whole spans of equal signature.
+  while (m < measure) {
+    int64_t span_end = measure;
+    if (ci < changes_.size() && changes_[ci].measure <= m) {
+      sig = changes_[ci].sig;
+      ++ci;
+    }
+    if (ci < changes_.size() && changes_[ci].measure < span_end)
+      span_end = changes_[ci].measure;
+    t += sig.BeatsPerMeasure() * Rational(span_end - m);
+    m = span_end;
+  }
+  return t;
+}
+
+Result<Rational> MeterMap::Position(int64_t measure,
+                                    const Rational& beat) const {
+  if (measure < 0) return InvalidArgument("measure index must be >= 0");
+  if (beat.IsNegative()) return InvalidArgument("beat must be >= 0");
+  TimeSignature sig = SignatureAt(measure);
+  if (!(beat < sig.BeatsPerMeasure()))
+    return OutOfRange(StrFormat("beat %s exceeds a %s measure",
+                                beat.ToString().c_str(),
+                                sig.ToString().c_str()));
+  return MeasureStart(measure) + beat;
+}
+
+std::pair<int64_t, Rational> MeterMap::Locate(
+    const Rational& score_time) const {
+  if (score_time.IsNegative() || score_time.IsZero())
+    return {0, score_time.IsNegative() ? Rational(0) : score_time};
+  int64_t m = 0;
+  Rational start(0);
+  while (true) {
+    Rational len = SignatureAt(m).BeatsPerMeasure();
+    if (score_time < start + len) return {m, score_time - start};
+    start += len;
+    ++m;
+  }
+}
+
+}  // namespace mdm::mtime

@@ -1,0 +1,67 @@
+#ifndef MDM_MTIME_METER_H_
+#define MDM_MTIME_METER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rational.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mdm::mtime {
+
+/// A meter (time) signature: 3/4 has 3 beats per measure with the
+/// quarter note as the beat unit.
+struct TimeSignature {
+  int numerator = 4;
+  int denominator = 4;
+
+  /// Beats (quarter-note units) per measure: 6/8 -> 3 beats.
+  Rational BeatsPerMeasure() const {
+    return Rational(numerator * 4, denominator);
+  }
+  std::string ToString() const;
+};
+
+/// Assigns a time signature to measure ranges and converts between
+/// (measure index, beat within measure) and absolute score time.
+/// Measures are 0-based; beats are quarter-note units from the measure
+/// start (§7.2: "a number of beats from the start of the measure in
+/// which the sync occurs").
+class MeterMap {
+ public:
+  /// Defaults to 4/4 from measure 0.
+  MeterMap() = default;
+
+  /// Sets the signature from `measure` onward. Must be added in
+  /// increasing measure order.
+  Status SetSignature(int64_t measure, TimeSignature sig);
+
+  TimeSignature SignatureAt(int64_t measure) const;
+
+  /// Absolute score time (quarter-note beats from the score start) of
+  /// the start of `measure`.
+  Rational MeasureStart(int64_t measure) const;
+
+  /// Absolute score time of `beat` within `measure`; fails if the beat
+  /// exceeds the measure's capacity.
+  Result<Rational> Position(int64_t measure, const Rational& beat) const;
+
+  /// Inverse: which measure contains `score_time`, and the offset into
+  /// it.
+  std::pair<int64_t, Rational> Locate(const Rational& score_time) const;
+
+ private:
+  struct Change {
+    int64_t measure;
+    TimeSignature sig;
+    Rational start;  // absolute score time of this change
+  };
+  std::vector<Change> changes_;  // sorted by measure; empty = 4/4
+};
+
+}  // namespace mdm::mtime
+
+#endif  // MDM_MTIME_METER_H_

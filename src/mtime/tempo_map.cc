@@ -1,0 +1,151 @@
+#include "mtime/tempo_map.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace mdm::mtime {
+
+namespace {
+constexpr double kDefaultBpm = 120.0;
+}  // namespace
+
+Status TempoMap::AddSegment(ScoreTime start, double bpm, TempoShape shape) {
+  if (bpm <= 0.0 || !std::isfinite(bpm))
+    return InvalidArgument(StrFormat("tempo must be positive, got %f", bpm));
+  if (start.IsNegative())
+    return InvalidArgument("tempo directives cannot precede the score");
+  if (!segments_.empty()) {
+    const ScoreTime& last = segments_.back().start;
+    if (start < last)
+      return FailedPrecondition(
+          "tempo directives must be added in score order");
+    if (start == last) {
+      segments_.back().bpm = bpm;
+      segments_.back().shape = shape;
+      return Status::OK();
+    }
+  }
+  segments_.push_back({start, bpm, shape});
+  return Status::OK();
+}
+
+double TempoMap::SegmentBeats(size_t i) const {
+  if (i + 1 >= segments_.size()) return -1.0;  // unbounded
+  return (segments_[i + 1].start - segments_[i].start).ToDouble();
+}
+
+double TempoMap::SegmentEndBpm(size_t i) const {
+  if (segments_[i].shape == TempoShape::kConstant ||
+      i + 1 >= segments_.size())
+    return segments_[i].bpm;
+  return segments_[i + 1].bpm;
+}
+
+Seconds TempoMap::SegmentElapsed(size_t i, double x) const {
+  const double b0 = segments_[i].bpm;
+  const double b1 = SegmentEndBpm(i);
+  const double len = SegmentBeats(i);
+  if (b1 == b0 || len <= 0.0) return 60.0 * x / b0;
+  // Linear bpm ramp: bpm(u) = b0 + (b1-b0)u/len; integrate 60/bpm.
+  const double db = b1 - b0;
+  const double bpm_x = b0 + db * x / len;
+  return 60.0 * len / db * std::log(bpm_x / b0);
+}
+
+Seconds TempoMap::ToSeconds(const ScoreTime& beat) const {
+  const double target = beat.ToDouble();
+  if (segments_.empty()) return 60.0 * target / kDefaultBpm;
+  double t = 0.0;
+  // Implicit default-tempo region before the first directive.
+  const double first_start = segments_.front().start.ToDouble();
+  if (target <= first_start || first_start > 0.0) {
+    if (target <= first_start) return 60.0 * target / kDefaultBpm;
+    t += 60.0 * first_start / kDefaultBpm;
+  }
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    const double seg_start = segments_[i].start.ToDouble();
+    const double len = SegmentBeats(i);
+    const double into = target - seg_start;
+    if (len < 0.0 || into <= len) return t + SegmentElapsed(i, into);
+    t += SegmentElapsed(i, len);
+  }
+  return t;  // unreachable: last segment is unbounded
+}
+
+ScoreTime TempoMap::ToBeats(Seconds t, int64_t denominator) const {
+  if (denominator <= 0) denominator = 960;
+  auto quantize = [denominator](double beats) {
+    return Rational(
+        static_cast<int64_t>(std::llround(beats * denominator)), denominator);
+  };
+  if (segments_.empty()) return quantize(t * kDefaultBpm / 60.0);
+  double acc = 0.0;
+  double beat = 0.0;
+  const double first_start = segments_.front().start.ToDouble();
+  if (first_start > 0.0) {
+    double pre = 60.0 * first_start / kDefaultBpm;
+    if (t <= pre) return quantize(t * kDefaultBpm / 60.0);
+    acc = pre;
+    beat = first_start;
+  } else if (t <= 0.0) {
+    return quantize(t * segments_.front().bpm / 60.0);
+  }
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    const double len = SegmentBeats(i);
+    const double seg_seconds = len < 0.0 ? -1.0 : SegmentElapsed(i, len);
+    if (seg_seconds >= 0.0 && acc + seg_seconds < t) {
+      acc += seg_seconds;
+      beat = segments_[i].start.ToDouble() + len;
+      continue;
+    }
+    // Invert within segment i.
+    const double dt = t - acc;
+    const double b0 = segments_[i].bpm;
+    const double b1 = SegmentEndBpm(i);
+    double x;
+    if (b1 == b0 || len <= 0.0) {
+      x = dt * b0 / 60.0;
+    } else {
+      const double db = b1 - b0;
+      x = len * b0 * (std::exp(dt * db / (60.0 * len)) - 1.0) / db;
+    }
+    return quantize(segments_[i].start.ToDouble() + x);
+  }
+  return quantize(beat);
+}
+
+double TempoMap::TempoAt(const ScoreTime& beat) const {
+  if (segments_.empty()) return kDefaultBpm;
+  const double target = beat.ToDouble();
+  if (target < segments_.front().start.ToDouble()) return kDefaultBpm;
+  for (size_t i = segments_.size(); i-- > 0;) {
+    const double seg_start = segments_[i].start.ToDouble();
+    if (target < seg_start) continue;
+    const double b0 = segments_[i].bpm;
+    const double b1 = SegmentEndBpm(i);
+    const double len = SegmentBeats(i);
+    if (b1 == b0 || len <= 0.0) return b0;
+    const double into = target - seg_start;
+    return b0 + (b1 - b0) * std::min(into, len) / len;
+  }
+  return kDefaultBpm;
+}
+
+std::string TempoMap::ToString() const {
+  if (segments_.empty()) return "tempo: 120 bpm throughout\n";
+  std::string out;
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    const TempoSegment& s = segments_[i];
+    const char* shape =
+        s.shape == TempoShape::kConstant
+            ? "a tempo"
+            : (s.shape == TempoShape::kAccelerando ? "accelerando"
+                                                   : "ritardando");
+    out += StrFormat("beat %-8s %7.2f bpm  %s\n", s.start.ToString().c_str(),
+                     s.bpm, shape);
+  }
+  return out;
+}
+
+}  // namespace mdm::mtime

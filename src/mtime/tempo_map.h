@@ -1,0 +1,94 @@
+#ifndef MDM_MTIME_TEMPO_MAP_H_
+#define MDM_MTIME_TEMPO_MAP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rational.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mdm::mtime {
+
+/// A point in score time, measured in beats from the start of the
+/// composition (exact rational; §7.2 "score time ... measured in
+/// rhythmic units").
+using ScoreTime = Rational;
+
+/// A point in performance time, in seconds (§7.2 "the units of
+/// performance time are seconds").
+using Seconds = double;
+
+/// How tempo evolves over one segment.
+enum class TempoShape {
+  kConstant,     // fixed beats-per-minute
+  kAccelerando,  // linear bpm ramp upward to the next segment
+  kRitardando,   // linear bpm ramp downward to the next segment
+};
+
+/// One tempo directive: "from beat `start`, `bpm` beats per minute",
+/// optionally ramping linearly to the next directive's bpm.
+struct TempoSegment {
+  ScoreTime start;
+  double bpm = 120.0;
+  TempoShape shape = TempoShape::kConstant;
+};
+
+/// The "conductor": the mapping between score time and performance time
+/// (§7.2 — "when an orchestra performs, it is the role of the conductor
+/// to establish this relationship").
+///
+/// The map is a piecewise tempo function. Constant segments integrate to
+/// linear time; ramped segments (accelerando/ritardando) integrate a
+/// linear bpm function, giving a logarithmic time map over the segment.
+/// Both directions (beats→seconds, seconds→beats) are exact inverses up
+/// to floating-point rounding.
+class TempoMap {
+ public:
+  /// An empty map behaves as constant 120 bpm.
+  TempoMap() = default;
+
+  /// Adds a directive. Segments must be added in increasing score-time
+  /// order; a duplicate start time replaces the earlier directive.
+  Status AddSegment(ScoreTime start, double bpm,
+                    TempoShape shape = TempoShape::kConstant);
+
+  /// Convenience named after the score directives.
+  Status SetTempo(ScoreTime start, double bpm) {
+    return AddSegment(start, bpm, TempoShape::kConstant);
+  }
+  Status Accelerando(ScoreTime start, double bpm) {
+    return AddSegment(start, bpm, TempoShape::kAccelerando);
+  }
+  Status Ritardando(ScoreTime start, double bpm) {
+    return AddSegment(start, bpm, TempoShape::kRitardando);
+  }
+
+  /// Performance time at which `beat` occurs.
+  Seconds ToSeconds(const ScoreTime& beat) const;
+
+  /// Score position playing at `t` seconds (the inverse mapping).
+  ScoreTime ToBeats(Seconds t, int64_t denominator = 960) const;
+
+  /// Instantaneous tempo at `beat` (bpm).
+  double TempoAt(const ScoreTime& beat) const;
+
+  const std::vector<TempoSegment>& segments() const { return segments_; }
+
+  /// Human-readable listing of the tempo plan.
+  std::string ToString() const;
+
+ private:
+  // Seconds elapsed between segment i's start and `end_beat` (which must
+  // lie inside segment i).
+  Seconds SegmentElapsed(size_t i, double beats_into_segment) const;
+  // Total beats in segment i (infinite for the last).
+  double SegmentBeats(size_t i) const;
+  double SegmentEndBpm(size_t i) const;
+
+  std::vector<TempoSegment> segments_;
+};
+
+}  // namespace mdm::mtime
+
+#endif  // MDM_MTIME_TEMPO_MAP_H_

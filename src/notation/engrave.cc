@@ -1,0 +1,203 @@
+#include "notation/engrave.h"
+
+#include <map>
+
+#include "cmn/schema.h"
+#include "cmn/temporal.h"
+#include "common/strings.h"
+
+namespace mdm::notation {
+
+using er::EntityId;
+
+Result<std::string> EngraveScorePostScript(er::Database* db, EntityId score,
+                                           const EngraveOptions& options) {
+  MDM_ASSIGN_OR_RETURN(std::vector<cmn::MeasureSpan> table,
+                       cmn::BuildMeasureTable(*db, score));
+  const double space = options.staff_space;
+  const double half = space / 2.0;
+  Rational total(0);
+  for (const cmn::MeasureSpan& span : table)
+    total = span.start + span.length;
+  double width = options.left_margin * 2 + total.ToDouble() * options.beat_width;
+  double staff_top = options.top_margin;
+
+  std::string ps;
+  ps += StrFormat("%% engraved score (%zu measures)\n", table.size());
+  // Five staff lines. Degree 1 (bottom line) sits at y = staff_top +
+  // 4*space; degrees increase upward by half a space.
+  for (int line = 0; line < 5; ++line) {
+    double y = staff_top + line * space;
+    ps += StrFormat("newpath %.1f %.1f moveto %.1f %.1f lineto stroke\n",
+                    options.left_margin, y, width - options.left_margin, y);
+  }
+  auto degree_y = [&](int degree) {
+    return staff_top + 4 * space - (degree - 1) * half;
+  };
+  auto beat_x = [&](const Rational& beats) {
+    return options.left_margin + 2.5 * space + 10.0 +
+           beats.ToDouble() * options.beat_width;
+  };
+  // Clef glyph: a stylized spiral-and-stem for G, two dots and a curve
+  // for F, drawn from the staff's CLEF entity when the score has one.
+  {
+    bool drew_clef = false;
+    (void)db->ForEachEntity("CLEF", [&](EntityId clef) {
+      auto kind = db->GetAttribute(clef, "kind");
+      char c = (kind.ok() && !kind->is_null() && !kind->AsString().empty())
+                   ? kind->AsString()[0]
+                   : 'G';
+      double x = options.left_margin + space;
+      double mid = staff_top + 2 * space;
+      if (c == 'F') {
+        // F clef: an arc starting at the F line plus two dots.
+        ps += StrFormat("newpath %.1f %.1f %.1f 40 320 arc stroke\n", x,
+                        mid + space, space);
+        ps += StrFormat("newpath %.1f %.1f %.1f 0 360 arc fill\n",
+                        x + 1.6 * space, mid + 1.4 * space, half * 0.3);
+        ps += StrFormat("newpath %.1f %.1f %.1f 0 360 arc fill\n",
+                        x + 1.6 * space, mid + 0.6 * space, half * 0.3);
+      } else {
+        // G clef: a vertical stem through the staff with a curl around
+        // the G line.
+        ps += StrFormat("newpath %.1f %.1f moveto %.1f %.1f lineto stroke\n",
+                        x, staff_top - space, x, staff_top + 5 * space);
+        ps += StrFormat("newpath %.1f %.1f %.1f 0 360 arc stroke\n", x,
+                        staff_top + 3 * space, space * 0.8);
+      }
+      drew_clef = true;
+      return false;  // first clef only
+    });
+    (void)drew_clef;
+  }
+  // Key signature: one sharp/flat glyph per accidental at its
+  // conventional degree.
+  {
+    (void)db->ForEachEntity("KEY_SIGNATURE", [&](EntityId keysig) {
+      auto sharps = db->GetAttribute(keysig, "sharps");
+      int n = (sharps.ok() && !sharps->is_null())
+                  ? static_cast<int>(sharps->AsInt())
+                  : 0;
+      // Degrees of the sharp (F C G D A E B) and flat (B E A D G C F)
+      // positions in treble clef.
+      static const int kSharpDegrees[7] = {9, 6, 10, 7, 4, 8, 5};
+      static const int kFlatDegrees[7] = {5, 8, 4, 7, 3, 6, 2};
+      double x0 = options.left_margin + 3 * space;
+      int count = std::min(7, std::abs(n));
+      for (int i = 0; i < count; ++i) {
+        int degree = n > 0 ? kSharpDegrees[i] : kFlatDegrees[i];
+        double x = x0 + i * half;
+        double y = degree_y(degree);
+        if (n > 0) {
+          // Sharp: two crossed strokes.
+          ps += StrFormat(
+              "newpath %.1f %.1f moveto %.1f %.1f lineto stroke\n",
+              x - half * 0.4, y - half * 0.5, x + half * 0.4,
+              y + half * 0.5);
+          ps += StrFormat(
+              "newpath %.1f %.1f moveto %.1f %.1f lineto stroke\n",
+              x - half * 0.4, y + half * 0.5, x + half * 0.4,
+              y - half * 0.5);
+        } else {
+          // Flat: stem plus a small bowl.
+          ps += StrFormat(
+              "newpath %.1f %.1f moveto %.1f %.1f lineto stroke\n", x,
+              y - space, x, y + half * 0.5);
+          ps += StrFormat("newpath %.1f %.1f %.1f 270 90 arc stroke\n", x,
+                          y + half * 0.1, half * 0.45);
+        }
+      }
+      return false;  // first signature only
+    });
+  }
+  // Barlines at measure boundaries.
+  for (const cmn::MeasureSpan& span : table) {
+    double x = beat_x(span.start + span.length) - 6.0;
+    ps += StrFormat("newpath %.1f %.1f moveto %.1f %.1f lineto stroke\n", x,
+                    staff_top, x, staff_top + 4 * space);
+  }
+  // Notes. Remember each chord's head position for slur drawing.
+  std::map<EntityId, std::pair<double, double>> chord_pos;
+  for (const cmn::MeasureSpan& span : table) {
+    MDM_ASSIGN_OR_RETURN(std::vector<EntityId> syncs,
+                         db->Children(cmn::kSyncInMeasure, span.measure));
+    for (EntityId sync : syncs) {
+      MDM_ASSIGN_OR_RETURN(rel::Value beat, db->GetAttribute(sync, "beat"));
+      Rational onset = span.start +
+                       (beat.is_null() ? Rational(0) : beat.AsRational());
+      double x = beat_x(onset);
+      MDM_ASSIGN_OR_RETURN(std::vector<EntityId> chords,
+                           db->Children(cmn::kChordInSync, sync));
+      for (EntityId chord : chords) {
+        MDM_ASSIGN_OR_RETURN(rel::Value stem_dir,
+                             db->GetAttribute(chord, "stem_direction"));
+        int direction = stem_dir.is_null()
+                            ? 1
+                            : static_cast<int>(stem_dir.AsInt());
+        MDM_ASSIGN_OR_RETURN(std::vector<EntityId> notes,
+                             db->Children(cmn::kNoteInChord, chord));
+        double extreme_y = 0;
+        bool first = true;
+        for (EntityId note : notes) {
+          MDM_ASSIGN_OR_RETURN(rel::Value deg,
+                               db->GetAttribute(note, "degree"));
+          int degree = deg.is_null() ? 5 : static_cast<int>(deg.AsInt());
+          double y = degree_y(degree);
+          // Filled note head (a small circle via arc).
+          ps += StrFormat("newpath %.1f %.1f %.1f 0 360 arc fill\n", x, y,
+                          half * 0.9);
+          if (first || (direction > 0 ? y < extreme_y : y > extreme_y))
+            extreme_y = y;
+          first = false;
+        }
+        if (!notes.empty()) {
+          // One stem per chord from the extreme note head.
+          double stem_len = 3.0 * space * (direction > 0 ? -1.0 : 1.0);
+          double sx = x + (direction > 0 ? half * 0.9 : -half * 0.9);
+          ps += StrFormat(
+              "newpath %.1f %.1f moveto 0 %.1f rlineto stroke\n", sx,
+              extreme_y, stem_len);
+          chord_pos[chord] = {x, extreme_y};
+        }
+      }
+    }
+  }
+  // Slur arcs (fig 15's phrasing groups): a Bezier from the first to
+  // the last member chord of every GROUP with function "slur".
+  if (db->schema().FindEntityType("GROUP") != nullptr) {
+    Status inner;
+    MDM_RETURN_IF_ERROR(db->ForEachEntity("GROUP", [&](EntityId group) {
+      auto function = db->GetAttribute(group, "function");
+      if (!function.ok() || function->is_null() ||
+          !EqualsIgnoreCase(function->AsString(), "slur"))
+        return true;
+      auto members = db->Children(cmn::kGroupSeq, group);
+      if (!members.ok() || members->size() < 2) return true;
+      auto first = chord_pos.find(members->front());
+      auto last = chord_pos.find(members->back());
+      if (first == chord_pos.end() || last == chord_pos.end()) return true;
+      double x0 = first->second.first, y0 = first->second.second - half;
+      double x1 = last->second.first, y1 = last->second.second - half;
+      double lift = -1.5 * space;  // arch above the heads
+      ps += StrFormat(
+          "newpath %.1f %.1f moveto %.1f %.1f %.1f %.1f %.1f %.1f "
+          "curveto stroke\n",
+          x0, y0, x0 + (x1 - x0) / 3, y0 + lift, x0 + 2 * (x1 - x0) / 3,
+          y1 + lift, x1, y1);
+      return true;
+    }));
+    MDM_RETURN_IF_ERROR(inner);
+  }
+  return ps;
+}
+
+Result<std::string> EngraveScoreSvg(er::Database* db, EntityId score,
+                                    const EngraveOptions& options) {
+  MDM_ASSIGN_OR_RETURN(std::string ps,
+                       EngraveScorePostScript(db, score, options));
+  graphics::PostScriptInterp interp;
+  MDM_RETURN_IF_ERROR(interp.Run(ps));
+  return interp.Take().ToSvg();
+}
+
+}  // namespace mdm::notation

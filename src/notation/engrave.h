@@ -1,0 +1,39 @@
+#ifndef MDM_NOTATION_ENGRAVE_H_
+#define MDM_NOTATION_ENGRAVE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "er/database.h"
+#include "graphics/postscript.h"
+
+namespace mdm::notation {
+
+/// Layout parameters for the engraver.
+struct EngraveOptions {
+  double staff_space = 8.0;    // distance between staff lines
+  double beat_width = 48.0;    // horizontal pixels per quarter note
+  double left_margin = 40.0;
+  double top_margin = 40.0;
+};
+
+/// A minimal CMN engraver (the paper's music-typesetter client, §2):
+/// renders one score — staff lines, barlines, filled note heads placed
+/// by staff degree, stems following the chord's stem_direction — by
+/// emitting a PostScript-dialect program and interpreting it through
+/// mdm::graphics. Returns the SVG document.
+///
+/// The note's vertical position comes from its `degree` attribute (the
+/// graphical aspect); notes without a degree sit on the middle line.
+Result<std::string> EngraveScoreSvg(er::Database* db, er::EntityId score,
+                                    const EngraveOptions& options = {});
+
+/// The generated PostScript program itself (exposed for tests and for
+/// clients that want to store it as a GraphDef).
+Result<std::string> EngraveScorePostScript(er::Database* db,
+                                           er::EntityId score,
+                                           const EngraveOptions& options = {});
+
+}  // namespace mdm::notation
+
+#endif  // MDM_NOTATION_ENGRAVE_H_

@@ -1,0 +1,94 @@
+#include "notation/piano_roll.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cmn/pitch.h"
+#include "common/strings.h"
+
+namespace mdm::notation {
+
+namespace {
+
+bool IsHighlighted(const PianoRollOptions& options,
+                   const cmn::PerformedNote& note) {
+  return std::find(options.highlighted_notes.begin(),
+                   options.highlighted_notes.end(),
+                   note.source_note) != options.highlighted_notes.end();
+}
+
+}  // namespace
+
+std::string AsciiPianoRoll(const std::vector<cmn::PerformedNote>& notes,
+                           const PianoRollOptions& options) {
+  if (notes.empty()) return "(empty piano roll)\n";
+  int lo = 127, hi = 0;
+  double end = 0;
+  for (const cmn::PerformedNote& n : notes) {
+    lo = std::min(lo, n.midi_key);
+    hi = std::max(hi, n.midi_key);
+    end = std::max(end, n.end_seconds);
+  }
+  int cols = static_cast<int>(std::ceil(end / options.seconds_per_column));
+  cols = std::max(cols, 1);
+  std::vector<std::string> grid(hi - lo + 1, std::string(cols, '.'));
+  for (const cmn::PerformedNote& n : notes) {
+    int row = n.midi_key - lo;
+    int c0 = static_cast<int>(n.start_seconds / options.seconds_per_column);
+    int c1 = static_cast<int>(
+        std::ceil(n.end_seconds / options.seconds_per_column));
+    char mark = IsHighlighted(options, n) ? '=' : '#';
+    for (int c = std::max(0, c0); c < std::min(cols, c1); ++c)
+      grid[row][c] = mark;
+  }
+  std::string out;
+  for (int row = hi - lo; row >= 0; --row) {
+    cmn::Pitch p;
+    int key = lo + row;
+    // Spell as the natural-or-sharp name for the axis label.
+    static const int kStepOf[12] = {0, 0, 1, 1, 2, 3, 3, 4, 4, 5, 5, 6};
+    static const int kAlterOf[12] = {0, 1, 0, 1, 0, 0, 1, 0, 1, 0, 1, 0};
+    p.octave = key / 12 - 1;
+    p.step = kStepOf[key % 12];
+    p.alter = kAlterOf[key % 12];
+    out += StrFormat("%4s |%s|\n", p.Name().c_str(), grid[row].c_str());
+  }
+  out += StrFormat("      time -> (%.3f s per column)\n",
+                   options.seconds_per_column);
+  return out;
+}
+
+std::string SvgPianoRoll(const std::vector<cmn::PerformedNote>& notes,
+                         const PianoRollOptions& options) {
+  int lo = 127, hi = 0;
+  double end = 0;
+  for (const cmn::PerformedNote& n : notes) {
+    lo = std::min(lo, n.midi_key);
+    hi = std::max(hi, n.midi_key);
+    end = std::max(end, n.end_seconds);
+  }
+  if (notes.empty()) {
+    lo = 60;
+    hi = 60;
+    end = 1;
+  }
+  double width = end * options.pixels_per_second;
+  double height = (hi - lo + 2) * options.pixels_per_semitone;
+  std::string svg = StrFormat(
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"0 0 %.1f %.1f\">\n",
+      width + 2, height + 2);
+  for (const cmn::PerformedNote& n : notes) {
+    double x = n.start_seconds * options.pixels_per_second;
+    double w = (n.end_seconds - n.start_seconds) * options.pixels_per_second;
+    double y = (hi - n.midi_key) * options.pixels_per_semitone;
+    const char* fill = IsHighlighted(options, n) ? "#999999" : "#000000";
+    svg += StrFormat(
+        "  <rect x=\"%.1f\" y=\"%.1f\" width=\"%.1f\" height=\"%.1f\" "
+        "fill=\"%s\"/>\n",
+        x, y, std::max(w, 1.0), options.pixels_per_semitone, fill);
+  }
+  svg += "</svg>\n";
+  return svg;
+}
+
+}  // namespace mdm::notation

@@ -1,0 +1,38 @@
+#ifndef MDM_NOTATION_PIANO_ROLL_H_
+#define MDM_NOTATION_PIANO_ROLL_H_
+
+#include <string>
+#include <vector>
+
+#include "cmn/temporal.h"
+#include "common/result.h"
+
+namespace mdm::notation {
+
+/// Options for piano-roll rendering (§4.5, fig 3): "time progressing to
+/// the left along the x-axis, and pitch (usually quantized by
+/// semitones) increasing upward along the y-axis. Each note is
+/// represented by a black rectangle."
+struct PianoRollOptions {
+  double seconds_per_column = 0.125;  // ASCII time resolution
+  double pixels_per_second = 80.0;    // SVG scale
+  double pixels_per_semitone = 4.0;
+  /// MIDI keys of notes to shade grey instead of black — fig 3 shades
+  /// the fugue entrances. Matched by source_note id.
+  std::vector<er::EntityId> highlighted_notes;
+};
+
+/// ASCII piano roll: one row per semitone between the lowest and
+/// highest sounding key, '#' for note cells ('=' for highlighted
+/// notes), '.' for silence. Rows are emitted top (high pitch) first.
+std::string AsciiPianoRoll(const std::vector<cmn::PerformedNote>& notes,
+                           const PianoRollOptions& options = {});
+
+/// SVG piano roll: one rectangle per performed note, highlighted notes
+/// in grey (fig 3's shaded entrances).
+std::string SvgPianoRoll(const std::vector<cmn::PerformedNote>& notes,
+                         const PianoRollOptions& options = {});
+
+}  // namespace mdm::notation
+
+#endif  // MDM_NOTATION_PIANO_ROLL_H_

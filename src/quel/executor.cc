@@ -1,0 +1,650 @@
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+#include "quel/quel.h"
+
+namespace mdm::quel {
+
+using er::Database;
+using er::EntityId;
+using er::RelationshipInstance;
+using rel::Value;
+using rel::ValueType;
+
+namespace {
+
+/// What a range variable is bound to during evaluation.
+struct Binding {
+  bool is_relationship = false;
+  EntityId entity = er::kInvalidEntityId;
+  const RelationshipInstance* rel = nullptr;
+};
+
+struct VarInfo {
+  std::string name;
+  std::string type;  // entity type or relationship name
+  bool is_relationship = false;
+};
+
+/// Collects the names of range variables appearing in an expression.
+void CollectExprVars(const Expr& e, std::set<std::string>* out) {
+  if (e.kind != Expr::Kind::kLiteral) out->insert(AsciiLower(e.var));
+}
+
+void CollectQualVars(const Qual& q, std::set<std::string>* out) {
+  switch (q.kind) {
+    case Qual::Kind::kCompare:
+    case Qual::Kind::kIs:
+      CollectExprVars(q.lhs, out);
+      CollectExprVars(q.rhs, out);
+      break;
+    case Qual::Kind::kOrder:
+      out->insert(AsciiLower(q.order_var1));
+      out->insert(AsciiLower(q.order_var2));
+      break;
+    case Qual::Kind::kAnd:
+    case Qual::Kind::kOr:
+      CollectQualVars(*q.a, out);
+      CollectQualVars(*q.b, out);
+      break;
+    case Qual::Kind::kNot:
+      CollectQualVars(*q.a, out);
+      break;
+  }
+}
+
+/// Splits a qualification into top-level AND conjuncts.
+void SplitConjuncts(const Qual* q, std::vector<const Qual*>* out) {
+  if (q == nullptr) return;
+  if (q->kind == Qual::Kind::kAnd) {
+    SplitConjuncts(q->a.get(), out);
+    SplitConjuncts(q->b.get(), out);
+  } else {
+    out->push_back(q);
+  }
+}
+
+class Evaluator {
+ public:
+  Evaluator(Database* db,
+            const std::map<std::string, Binding>* bindings)
+      : db_(db), bindings_(bindings) {}
+
+  Result<Value> Eval(const Expr& e) const {
+    switch (e.kind) {
+      case Expr::Kind::kLiteral:
+        return e.literal;
+      case Expr::Kind::kVarRef: {
+        MDM_ASSIGN_OR_RETURN(const Binding* b, Lookup(e.var));
+        if (b->is_relationship)
+          return TypeError("relationship variable " + e.var +
+                           " used as a value");
+        return Value::Ref(b->entity);
+      }
+      case Expr::Kind::kAttrRef: {
+        MDM_ASSIGN_OR_RETURN(const Binding* b, Lookup(e.var));
+        if (!b->is_relationship)
+          return db_->GetAttribute(b->entity, e.attr);
+        // Relationship variable: role access yields the bound entity,
+        // otherwise a relationship attribute.
+        const er::RelationshipDef& def =
+            db_->schema().relationships()[b->rel->rel_index];
+        auto role = def.RoleIndex(e.attr);
+        if (role.has_value()) return Value::Ref(b->rel->role_refs[*role]);
+        auto attr = def.AttributeIndex(e.attr);
+        if (attr.has_value()) return b->rel->attrs[*attr];
+        return NotFound(StrFormat("relationship %s has no role or "
+                                  "attribute %s",
+                                  def.name.c_str(), e.attr.c_str()));
+      }
+    }
+    return Internal("unreachable expr kind");
+  }
+
+  Result<bool> Test(const Qual& q) const {
+    switch (q.kind) {
+      case Qual::Kind::kCompare: {
+        MDM_ASSIGN_OR_RETURN(Value lhs, Eval(q.lhs));
+        MDM_ASSIGN_OR_RETURN(Value rhs, Eval(q.rhs));
+        MDM_ASSIGN_OR_RETURN(int c, lhs.Compare(rhs));
+        switch (q.cmp) {
+          case CompareOp::kEq: return c == 0;
+          case CompareOp::kNe: return c != 0;
+          case CompareOp::kLt: return c < 0;
+          case CompareOp::kLe: return c <= 0;
+          case CompareOp::kGt: return c > 0;
+          case CompareOp::kGe: return c >= 0;
+        }
+        return Internal("unreachable compare op");
+      }
+      case Qual::Kind::kIs: {
+        MDM_ASSIGN_OR_RETURN(Value lhs, Eval(q.lhs));
+        MDM_ASSIGN_OR_RETURN(Value rhs, Eval(q.rhs));
+        if (lhs.type() != ValueType::kRef || rhs.type() != ValueType::kRef)
+          return TypeError("'is' compares entities, not values");
+        return lhs.AsRef() == rhs.AsRef();
+      }
+      case Qual::Kind::kOrder: {
+        MDM_ASSIGN_OR_RETURN(const Binding* b1, Lookup(q.order_var1));
+        MDM_ASSIGN_OR_RETURN(const Binding* b2, Lookup(q.order_var2));
+        if (b1->is_relationship || b2->is_relationship)
+          return TypeError("ordering operators apply to entities");
+        MDM_ASSIGN_OR_RETURN(std::string ordering,
+                             ResolveOrderingName(q, *b1, *b2));
+        switch (q.order_op) {
+          case OrderOp::kBefore:
+            return db_->Before(ordering, b1->entity, b2->entity);
+          case OrderOp::kAfter:
+            return db_->After(ordering, b1->entity, b2->entity);
+          case OrderOp::kUnder:
+            return db_->Under(ordering, b1->entity, b2->entity);
+        }
+        return Internal("unreachable order op");
+      }
+      case Qual::Kind::kAnd: {
+        MDM_ASSIGN_OR_RETURN(bool a, Test(*q.a));
+        if (!a) return false;
+        return Test(*q.b);
+      }
+      case Qual::Kind::kOr: {
+        MDM_ASSIGN_OR_RETURN(bool a, Test(*q.a));
+        if (a) return true;
+        return Test(*q.b);
+      }
+      case Qual::Kind::kNot: {
+        MDM_ASSIGN_OR_RETURN(bool a, Test(*q.a));
+        return !a;
+      }
+    }
+    return Internal("unreachable qual kind");
+  }
+
+ private:
+  Result<const Binding*> Lookup(const std::string& var) const {
+    auto it = bindings_->find(AsciiLower(var));
+    if (it == bindings_->end())
+      return NotFound("unbound range variable " + var);
+    return &it->second;
+  }
+
+  // `in ordering` may be omitted when exactly one ordering applies to
+  // the operand types.
+  Result<std::string> ResolveOrderingName(const Qual& q, const Binding& b1,
+                                          const Binding& b2) const {
+    if (!q.ordering.empty()) return q.ordering;
+    MDM_ASSIGN_OR_RETURN(std::string t1, db_->TypeOf(b1.entity));
+    MDM_ASSIGN_OR_RETURN(std::string t2, db_->TypeOf(b2.entity));
+    std::vector<std::string> candidates;
+    for (const er::OrderingDef& o : db_->schema().orderings()) {
+      bool match =
+          q.order_op == OrderOp::kUnder
+              ? o.HasChildType(t1) && EqualsIgnoreCase(o.parent_type, t2)
+              : o.HasChildType(t1) && o.HasChildType(t2);
+      if (match) candidates.push_back(o.name);
+    }
+    if (candidates.empty())
+      return NotFound(StrFormat("no ordering relates %s and %s",
+                                t1.c_str(), t2.c_str()));
+    if (candidates.size() > 1)
+      return InvalidArgument(StrFormat(
+          "ambiguous ordering between %s and %s; use 'in <name>'",
+          t1.c_str(), t2.c_str()));
+    return candidates[0];
+  }
+
+  Database* db_;
+  const std::map<std::string, Binding>* bindings_;
+};
+
+/// Enumerates bindings for `vars` as nested loops, evaluating each
+/// conjunct at the outermost depth where its variables are all bound
+/// (unless `pushdown` is false, in which case everything is evaluated at
+/// the innermost level). Calls `emit` for every qualifying full binding.
+class NestedLoopJoin {
+ public:
+  NestedLoopJoin(Database* db, std::vector<VarInfo> vars,
+                 const Qual* qual, bool pushdown)
+      : db_(db), vars_(std::move(vars)) {
+    SplitConjuncts(qual, &conjuncts_);
+    conjunct_depth_.resize(conjuncts_.size());
+    for (size_t c = 0; c < conjuncts_.size(); ++c) {
+      std::set<std::string> used;
+      CollectQualVars(*conjuncts_[c], &used);
+      size_t depth = 0;
+      if (pushdown) {
+        for (size_t v = 0; v < vars_.size(); ++v) {
+          if (used.count(AsciiLower(vars_[v].name)) != 0) depth = v + 1;
+        }
+        // Constant conjunct: evaluate before any loops.
+      } else {
+        depth = vars_.size();
+      }
+      conjunct_depth_[c] = depth;
+    }
+  }
+
+  Status Run(const std::function<Status(
+                 const std::map<std::string, Binding>&)>& emit) {
+    emit_ = &emit;
+    return Descend(0);
+  }
+
+ private:
+  Status Descend(size_t depth) {
+    // Evaluate conjuncts that became fully bound at this depth.
+    Evaluator eval(db_, &bindings_);
+    for (size_t c = 0; c < conjuncts_.size(); ++c) {
+      if (conjunct_depth_[c] != depth) continue;
+      MDM_ASSIGN_OR_RETURN(bool pass, eval.Test(*conjuncts_[c]));
+      if (!pass) return Status::OK();
+    }
+    if (depth == vars_.size()) return (*emit_)(bindings_);
+    const VarInfo& var = vars_[depth];
+    const std::string key = AsciiLower(var.name);
+    Status inner;
+    if (var.is_relationship) {
+      MDM_RETURN_IF_ERROR(db_->ForEachRelationship(
+          var.type, [&](const RelationshipInstance& ri) {
+            Binding b;
+            b.is_relationship = true;
+            b.rel = &ri;
+            bindings_[key] = b;
+            inner = Descend(depth + 1);
+            return inner.ok();
+          }));
+    } else {
+      MDM_RETURN_IF_ERROR(db_->ForEachEntity(var.type, [&](EntityId id) {
+        Binding b;
+        b.entity = id;
+        bindings_[key] = b;
+        inner = Descend(depth + 1);
+        return inner.ok();
+      }));
+    }
+    bindings_.erase(key);
+    return inner;
+  }
+
+  Database* db_;
+  std::vector<VarInfo> vars_;
+  std::vector<const Qual*> conjuncts_;
+  std::vector<size_t> conjunct_depth_;
+  std::map<std::string, Binding> bindings_;
+  const std::function<Status(const std::map<std::string, Binding>&)>* emit_ =
+      nullptr;
+};
+
+/// Aggregate accumulator for one target.
+struct AggState {
+  uint64_t count = 0;
+  double sum = 0;
+  bool all_int = true;
+  int64_t isum = 0;
+  Value min_v;
+  Value max_v;
+
+  Status Feed(const Value& v) {
+    ++count;
+    if (v.is_null()) return Status::OK();
+    if (v.type() == ValueType::kInt) {
+      isum += v.AsInt();
+      sum += static_cast<double>(v.AsInt());
+    } else if (v.type() == ValueType::kFloat) {
+      all_int = false;
+      sum += v.AsFloat();
+    }
+    if (min_v.is_null()) {
+      min_v = v;
+      max_v = v;
+    } else {
+      MDM_ASSIGN_OR_RETURN(int cmin, v.Compare(min_v));
+      if (cmin < 0) min_v = v;
+      MDM_ASSIGN_OR_RETURN(int cmax, v.Compare(max_v));
+      if (cmax > 0) max_v = v;
+    }
+    return Status::OK();
+  }
+
+  Value Finish(AggFn fn) const {
+    switch (fn) {
+      case AggFn::kCount: return Value::Int(static_cast<int64_t>(count));
+      case AggFn::kSum:
+        return all_int ? Value::Int(isum) : Value::Float(sum);
+      case AggFn::kAvg:
+        return Value::Float(count == 0 ? 0.0 : sum / count);
+      case AggFn::kMin: return min_v;
+      case AggFn::kMax: return max_v;
+      case AggFn::kNone: break;
+    }
+    return Value::Null();
+  }
+};
+
+}  // namespace
+
+std::string ResultSet::ToString() const {
+  std::vector<size_t> widths(columns.size());
+  std::vector<std::vector<std::string>> cells;
+  for (size_t i = 0; i < columns.size(); ++i)
+    widths[i] = columns[i].size();
+  for (const auto& row : rows) {
+    std::vector<std::string> line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      line.push_back(row[i].ToString());
+      if (i < widths.size()) widths[i] = std::max(widths[i], line[i].size());
+    }
+    cells.push_back(std::move(line));
+  }
+  std::string out;
+  auto pad = [](const std::string& s, size_t w) {
+    return s + std::string(w > s.size() ? w - s.size() : 0, ' ');
+  };
+  out += "|";
+  for (size_t i = 0; i < columns.size(); ++i)
+    out += " " + pad(columns[i], widths[i]) + " |";
+  out += "\n|";
+  for (size_t i = 0; i < columns.size(); ++i)
+    out += std::string(widths[i] + 2, '-') + "|";
+  out += "\n";
+  for (const auto& line : cells) {
+    out += "|";
+    for (size_t i = 0; i < line.size(); ++i)
+      out += " " + pad(line[i], widths[i]) + " |";
+    out += "\n";
+  }
+  if (columns.empty())
+    out = StrFormat("(%llu rows affected)\n", (unsigned long long)affected);
+  return out;
+}
+
+Result<ResultSet> QuelSession::Execute(const std::string& script) {
+  return Run(script, /*pushdown=*/true);
+}
+
+Result<ResultSet> QuelSession::ExecuteNaive(const std::string& script) {
+  return Run(script, /*pushdown=*/false);
+}
+
+Result<ResultSet> QuelSession::Run(const std::string& script, bool pushdown) {
+  MDM_ASSIGN_OR_RETURN(std::vector<Statement> stmts, ParseQuel(script));
+  ResultSet last;
+  for (const Statement& stmt : stmts) {
+    switch (stmt.kind) {
+      case Statement::Kind::kRange: {
+        // `range of v1, v2 is TYPE`
+        bool is_rel =
+            db_->schema().FindRelationship(stmt.range_type) != nullptr;
+        if (!is_rel &&
+            db_->schema().FindEntityType(stmt.range_type) == nullptr)
+          return NotFound("no entity type or relationship named " +
+                          stmt.range_type);
+        for (const std::string& v : stmt.range_vars)
+          ranges_[AsciiLower(v)] = stmt.range_type;
+        last = ResultSet{};
+        break;
+      }
+      case Statement::Kind::kAppend: {
+        MDM_ASSIGN_OR_RETURN(EntityId id,
+                             db_->CreateEntity(stmt.append_type));
+        std::map<std::string, Binding> empty;
+        Evaluator eval(db_, &empty);
+        for (const auto& [attr, expr] : stmt.assignments) {
+          MDM_ASSIGN_OR_RETURN(Value v, eval.Eval(expr));
+          MDM_RETURN_IF_ERROR(db_->SetAttribute(id, attr, std::move(v)));
+        }
+        last = ResultSet{};
+        last.affected = 1;
+        break;
+      }
+      case Statement::Kind::kRetrieve:
+      case Statement::Kind::kReplace:
+      case Statement::Kind::kDelete: {
+        MDM_ASSIGN_OR_RETURN(last, RunQuery(stmt, pushdown));
+        break;
+      }
+    }
+  }
+  return last;
+}
+
+// Defined out of line to keep Run readable; declared here as a private
+// helper through an anonymous-namespace friend pattern is overkill, so it
+// is a member in spirit: we re-open the class via a static helper.
+Result<ResultSet> RunQueryImpl(Database* db,
+                               const std::map<std::string, std::string>&
+                                   session_ranges,
+                               const Statement& stmt, bool pushdown);
+
+Result<ResultSet> QuelSession::RunQuery(const Statement& stmt,
+                                        bool pushdown) {
+  return RunQueryImpl(db_, ranges_, stmt, pushdown);
+}
+
+Result<ResultSet> RunQueryImpl(
+    Database* db, const std::map<std::string, std::string>& session_ranges,
+    const Statement& stmt, bool pushdown) {
+  // Collect the variables this statement uses.
+  std::set<std::string> used;
+  for (const Target& t : stmt.targets) CollectExprVars(t.expr, &used);
+  if (stmt.qual != nullptr) CollectQualVars(*stmt.qual, &used);
+  if (!stmt.update_var.empty()) used.insert(AsciiLower(stmt.update_var));
+  for (const auto& [attr, expr] : stmt.assignments)
+    CollectExprVars(expr, &used);
+
+  // Resolve each to a type: explicit range declaration, or the implicit
+  // same-named range variable (footnote 6).
+  std::vector<VarInfo> vars;
+  for (const std::string& name : used) {
+    VarInfo info;
+    info.name = name;
+    auto it = session_ranges.find(name);
+    if (it != session_ranges.end()) {
+      info.type = it->second;
+    } else if (db->schema().FindEntityType(name) != nullptr ||
+               db->schema().FindRelationship(name) != nullptr) {
+      info.type = name;
+    } else {
+      return NotFound("undeclared range variable " + name);
+    }
+    info.is_relationship =
+        db->schema().FindRelationship(info.type) != nullptr;
+    vars.push_back(std::move(info));
+  }
+
+  // Join-order heuristic: bind variables that appear in low-arity
+  // conjuncts first, so selective single-variable predicates (e.g.
+  // `n2.name = 3`) prune the nested loops before wider joins run.
+  if (pushdown && stmt.qual != nullptr) {
+    std::vector<const Qual*> conjuncts;
+    SplitConjuncts(stmt.qual.get(), &conjuncts);
+    auto rank = [&conjuncts](const VarInfo& v) {
+      size_t best = SIZE_MAX;
+      for (const Qual* c : conjuncts) {
+        std::set<std::string> used_vars;
+        CollectQualVars(*c, &used_vars);
+        if (used_vars.count(AsciiLower(v.name)) != 0)
+          best = std::min(best, used_vars.size());
+      }
+      return best;
+    };
+    std::stable_sort(vars.begin(), vars.end(),
+                     [&rank](const VarInfo& a, const VarInfo& b) {
+                       return rank(a) < rank(b);
+                     });
+  }
+
+  ResultSet rs;
+  bool has_agg = false;
+  bool has_plain = false;
+  bool has_by = false;
+  for (const Target& t : stmt.targets) {
+    (t.agg != AggFn::kNone ? has_agg : has_plain) = true;
+    if (!t.by.empty()) has_by = true;
+    rs.columns.push_back(t.label);
+  }
+  if (has_agg && has_plain)
+    return InvalidArgument(
+        "mixed aggregate and non-aggregate targets are not supported");
+  if (has_by && stmt.targets.size() != 1)
+    return InvalidArgument(
+        "a grouped aggregate (aggfn(x by y)) must be the only target");
+  if (has_by) {
+    // Columns: one per by-expression, then the aggregate.
+    rs.columns.clear();
+    for (const Expr& by_expr : stmt.targets[0].by) {
+      rs.columns.push_back(by_expr.kind == Expr::Kind::kAttrRef
+                               ? by_expr.var + "." + by_expr.attr
+                               : (by_expr.kind == Expr::Kind::kVarRef
+                                      ? by_expr.var
+                                      : "by"));
+    }
+    rs.columns.push_back(stmt.targets[0].label);
+  }
+
+  std::vector<AggState> agg_states(stmt.targets.size());
+  // Grouped-aggregate accumulation, keyed by encoded by-values.
+  std::vector<std::string> group_order;
+  std::map<std::string, std::pair<std::vector<Value>, AggState>> groups;
+  // Deferred mutations (applied after enumeration so iteration order is
+  // never invalidated).
+  std::vector<std::pair<EntityId, std::vector<std::pair<std::string, Value>>>>
+      replacements;
+  std::set<EntityId> deletions;
+
+  NestedLoopJoin join(db, vars, stmt.qual.get(), pushdown);
+  MDM_RETURN_IF_ERROR(join.Run([&](const std::map<std::string, Binding>&
+                                       bindings) -> Status {
+    Evaluator eval(db, &bindings);
+    switch (stmt.kind) {
+      case Statement::Kind::kRetrieve: {
+        if (has_by) {
+          const Target& t = stmt.targets[0];
+          std::vector<Value> by_values;
+          ByteWriter key;
+          for (const Expr& by_expr : t.by) {
+            MDM_ASSIGN_OR_RETURN(Value v, eval.Eval(by_expr));
+            v.Encode(&key);
+            by_values.push_back(std::move(v));
+          }
+          std::string encoded(
+              reinterpret_cast<const char*>(key.data().data()), key.size());
+          auto [it, inserted] = groups.try_emplace(
+              encoded, std::move(by_values), AggState{});
+          if (inserted) group_order.push_back(encoded);
+          if (t.agg == AggFn::kCount && t.expr.kind == Expr::Kind::kVarRef) {
+            ++it->second.second.count;
+          } else {
+            MDM_ASSIGN_OR_RETURN(Value v, eval.Eval(t.expr));
+            MDM_RETURN_IF_ERROR(it->second.second.Feed(v));
+          }
+          return Status::OK();
+        }
+        if (has_agg) {
+          for (size_t i = 0; i < stmt.targets.size(); ++i) {
+            const Target& t = stmt.targets[i];
+            if (t.agg == AggFn::kCount &&
+                t.expr.kind == Expr::Kind::kVarRef) {
+              ++agg_states[i].count;  // count(var) counts rows
+              continue;
+            }
+            MDM_ASSIGN_OR_RETURN(Value v, eval.Eval(t.expr));
+            MDM_RETURN_IF_ERROR(agg_states[i].Feed(v));
+          }
+        } else {
+          std::vector<Value> row;
+          for (const Target& t : stmt.targets) {
+            MDM_ASSIGN_OR_RETURN(Value v, eval.Eval(t.expr));
+            row.push_back(std::move(v));
+          }
+          rs.rows.push_back(std::move(row));
+        }
+        return Status::OK();
+      }
+      case Statement::Kind::kReplace: {
+        auto it = bindings.find(AsciiLower(stmt.update_var));
+        if (it == bindings.end() || it->second.is_relationship)
+          return InvalidArgument("replace target must be an entity "
+                                 "range variable");
+        std::vector<std::pair<std::string, Value>> sets;
+        for (const auto& [attr, expr] : stmt.assignments) {
+          MDM_ASSIGN_OR_RETURN(Value v, eval.Eval(expr));
+          sets.emplace_back(attr, std::move(v));
+        }
+        replacements.emplace_back(it->second.entity, std::move(sets));
+        return Status::OK();
+      }
+      case Statement::Kind::kDelete: {
+        auto it = bindings.find(AsciiLower(stmt.update_var));
+        if (it == bindings.end() || it->second.is_relationship)
+          return InvalidArgument("delete target must be an entity "
+                                 "range variable");
+        deletions.insert(it->second.entity);
+        return Status::OK();
+      }
+      default:
+        return Internal("unexpected statement kind in query runner");
+    }
+  }));
+
+  if (stmt.kind == Statement::Kind::kRetrieve && stmt.unique) {
+    // `retrieve unique`: drop duplicate rows, preserving first-seen
+    // order. Rows are compared by serialized form.
+    std::set<std::string> seen;
+    std::vector<std::vector<Value>> deduped;
+    for (auto& row : rs.rows) {
+      ByteWriter key;
+      for (const Value& v : row) v.Encode(&key);
+      std::string encoded(reinterpret_cast<const char*>(key.data().data()),
+                          key.size());
+      if (seen.insert(encoded).second) deduped.push_back(std::move(row));
+    }
+    rs.rows = std::move(deduped);
+  }
+  if (stmt.kind == Statement::Kind::kRetrieve && has_by) {
+    for (const std::string& key : group_order) {
+      auto& [by_values, state] = groups.at(key);
+      std::vector<Value> row = by_values;
+      row.push_back(state.Finish(stmt.targets[0].agg));
+      rs.rows.push_back(std::move(row));
+    }
+  } else if (stmt.kind == Statement::Kind::kRetrieve && has_agg) {
+    std::vector<Value> row;
+    for (size_t i = 0; i < stmt.targets.size(); ++i)
+      row.push_back(agg_states[i].Finish(stmt.targets[i].agg));
+    rs.rows.push_back(std::move(row));
+  }
+  if (stmt.kind == Statement::Kind::kRetrieve && !stmt.sort_keys.empty()) {
+    // Resolve sort labels to column indexes up front.
+    std::vector<std::pair<size_t, bool>> order;  // (column, descending)
+    for (const SortKey& key : stmt.sort_keys) {
+      size_t col = rs.columns.size();
+      for (size_t i = 0; i < rs.columns.size(); ++i)
+        if (EqualsIgnoreCase(rs.columns[i], key.label)) col = i;
+      if (col == rs.columns.size())
+        return NotFound("sort by references no target named " + key.label);
+      order.emplace_back(col, key.descending);
+    }
+    std::stable_sort(
+        rs.rows.begin(), rs.rows.end(),
+        [&order](const std::vector<Value>& a, const std::vector<Value>& b) {
+          for (const auto& [col, desc] : order) {
+            Result<int> c = a[col].Compare(b[col]);
+            int cmp = c.ok() ? *c : 0;  // incomparable: treat as equal
+            if (cmp != 0) return desc ? cmp > 0 : cmp < 0;
+          }
+          return false;
+        });
+  }
+  for (const auto& [id, sets] : replacements) {
+    for (const auto& [attr, v] : sets)
+      MDM_RETURN_IF_ERROR(db->SetAttribute(id, attr, v));
+  }
+  for (EntityId id : deletions) MDM_RETURN_IF_ERROR(db->DeleteEntity(id));
+  if (stmt.kind == Statement::Kind::kReplace)
+    rs.affected = replacements.size();
+  if (stmt.kind == Statement::Kind::kDelete) rs.affected = deletions.size();
+  return rs;
+}
+
+}  // namespace mdm::quel

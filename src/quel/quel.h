@@ -1,0 +1,81 @@
+#ifndef MDM_QUEL_QUEL_H_
+#define MDM_QUEL_QUEL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "er/database.h"
+#include "quel/ast.h"
+
+namespace mdm::quel {
+
+/// The rows produced by a retrieve, or the row count touched by an
+/// update statement.
+struct ResultSet {
+  std::vector<std::string> columns;
+  std::vector<std::vector<rel::Value>> rows;
+  uint64_t affected = 0;
+
+  /// Renders an aligned text table (for the examples and benches).
+  std::string ToString() const;
+};
+
+/// A QUEL session against one MDM database.
+///
+/// Implements the QUEL subset used in the paper plus the §5.6
+/// extensions:
+///
+///   range of n1, n2 is NOTE
+///   retrieve (n1.name) where n1 before n2 in note_in_chord
+///                        and n2.name = 3
+///   retrieve (c = count(n1)) where n1 under c1 in note_in_chord
+///   append to NOTE (name = 7, pitch = "G4")
+///   replace n1 (pitch = "A4") where n1.name = 7
+///   delete n1 where n1.name = 7
+///
+/// As in GEM and later INGRES versions, a range variable with the same
+/// name as its entity type is implicitly declared for every entity type
+/// and relationship (footnote 6), so `retrieve (PERSON.name) where ...`
+/// works without a range statement.
+///
+/// Evaluation is a nested-loop join over the statement's range
+/// variables with conjunct push-down: each top-level AND conjunct is
+/// evaluated at the innermost loop level at which all of its variables
+/// are bound, so selective predicates prune the cross product early
+/// (the ablation in bench_s56_quel turns this off).
+class QuelSession {
+ public:
+  explicit QuelSession(er::Database* db) : db_(db) {}
+
+  /// Executes a script of one or more statements; returns the result of
+  /// the last retrieve (or an empty/affected-count result).
+  Result<ResultSet> Execute(const std::string& script);
+
+  /// Executes with conjunct push-down disabled — the full cross product
+  /// is enumerated and the whole qualification evaluated at the bottom.
+  /// Exposed for the §5.6 evaluation-strategy benchmark.
+  Result<ResultSet> ExecuteNaive(const std::string& script);
+
+  /// Declared (explicit) range variables: name -> entity/relationship
+  /// type. Persists across Execute calls, like a QUEL terminal session.
+  const std::map<std::string, std::string>& ranges() const {
+    return ranges_;
+  }
+
+ private:
+  Result<ResultSet> Run(const std::string& script, bool pushdown);
+  Result<ResultSet> RunQuery(const Statement& stmt, bool pushdown);
+
+  er::Database* db_;
+  std::map<std::string, std::string> ranges_;
+};
+
+/// Parses a QUEL script into statements (exposed for tests).
+Result<std::vector<Statement>> ParseQuel(const std::string& script);
+
+}  // namespace mdm::quel
+
+#endif  // MDM_QUEL_QUEL_H_

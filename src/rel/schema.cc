@@ -1,0 +1,83 @@
+#include "rel/schema.h"
+
+#include "common/strings.h"
+
+namespace mdm::rel {
+
+std::optional<size_t> RelSchema::IndexOf(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i)
+    if (EqualsIgnoreCase(columns_[i].name, name)) return i;
+  return std::nullopt;
+}
+
+Status RelSchema::AddColumn(Column column) {
+  if (IndexOf(column.name).has_value())
+    return AlreadyExists("duplicate column " + column.name);
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+void RelSchema::Encode(ByteWriter* w) const {
+  w->PutVarint(columns_.size());
+  for (const Column& c : columns_) {
+    w->PutString(c.name);
+    w->PutU8(static_cast<uint8_t>(c.type));
+    w->PutString(c.ref_target);
+  }
+}
+
+Status RelSchema::Decode(ByteReader* r, RelSchema* out) {
+  uint64_t n;
+  MDM_RETURN_IF_ERROR(r->GetVarint(&n));
+  std::vector<Column> cols;
+  cols.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Column c;
+    MDM_RETURN_IF_ERROR(r->GetString(&c.name));
+    uint8_t t;
+    MDM_RETURN_IF_ERROR(r->GetU8(&t));
+    c.type = static_cast<ValueType>(t);
+    MDM_RETURN_IF_ERROR(r->GetString(&c.ref_target));
+    cols.push_back(std::move(c));
+  }
+  *out = RelSchema(std::move(cols));
+  return Status::OK();
+}
+
+Status CheckTuple(const RelSchema& schema, const Tuple& tuple) {
+  if (tuple.size() != schema.size())
+    return TypeError(StrFormat("tuple arity %zu does not match schema %zu",
+                               tuple.size(), schema.size()));
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (tuple[i].is_null()) continue;
+    ValueType expected = schema.column(i).type;
+    ValueType got = tuple[i].type();
+    if (got == expected) continue;
+    // Int is accepted where float is declared.
+    if (expected == ValueType::kFloat && got == ValueType::kInt) continue;
+    return TypeError(StrFormat("column %s expects %s, got %s",
+                               schema.column(i).name.c_str(),
+                               ValueTypeName(expected), ValueTypeName(got)));
+  }
+  return Status::OK();
+}
+
+void EncodeTuple(const Tuple& tuple, ByteWriter* w) {
+  w->PutVarint(tuple.size());
+  for (const Value& v : tuple) v.Encode(w);
+}
+
+Status DecodeTuple(ByteReader* r, Tuple* out) {
+  uint64_t n;
+  MDM_RETURN_IF_ERROR(r->GetVarint(&n));
+  out->clear();
+  out->reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    Value v;
+    MDM_RETURN_IF_ERROR(Value::Decode(r, &v));
+    out->push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
+}  // namespace mdm::rel

@@ -1,0 +1,59 @@
+#ifndef MDM_REL_SCHEMA_H_
+#define MDM_REL_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rel/value.h"
+
+namespace mdm::rel {
+
+/// A column of a relation.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;
+  /// For kRef columns: the entity type the reference targets ("" = any).
+  std::string ref_target;
+};
+
+/// The schema (heading) of one relation.
+class RelSchema {
+ public:
+  RelSchema() = default;
+  explicit RelSchema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t size() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Index of the column named `name`, if present.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+  Status AddColumn(Column column);
+
+  void Encode(ByteWriter* w) const;
+  static Status Decode(ByteReader* r, RelSchema* out);
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// A tuple: one value per schema column.
+using Tuple = std::vector<Value>;
+
+/// Validates `tuple` against `schema` (arity and per-column type; null is
+/// allowed in any column).
+Status CheckTuple(const RelSchema& schema, const Tuple& tuple);
+
+/// Serializes a tuple (schema provides arity only; values are
+/// self-describing so decode never misinterprets bytes).
+void EncodeTuple(const Tuple& tuple, ByteWriter* w);
+Status DecodeTuple(ByteReader* r, Tuple* out);
+
+}  // namespace mdm::rel
+
+#endif  // MDM_REL_SCHEMA_H_

@@ -1,0 +1,303 @@
+#include "rel/table.h"
+
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace mdm::rel {
+
+using storage::BufferPool;
+using storage::kInvalidPageId;
+using storage::kPageSize;
+using storage::Page;
+using storage::PageId;
+using storage::Rid;
+
+Table::Table(BufferPool* pool, std::string name, RelSchema schema,
+             PageId first_page)
+    : pool_(pool),
+      name_(std::move(name)),
+      schema_(std::move(schema)),
+      heap_(pool, first_page) {}
+
+Result<int64_t> Table::IndexKey(const Tuple& tuple, size_t col) {
+  const Value& v = tuple[col];
+  switch (v.type()) {
+    case ValueType::kInt: return v.AsInt();
+    case ValueType::kRef: return static_cast<int64_t>(v.AsRef());
+    case ValueType::kNull: return int64_t{INT64_MIN};  // nulls sort first
+    default:
+      return TypeError("indexed column must be integer or ref");
+  }
+}
+
+Result<Rid> Table::Insert(const Tuple& tuple) {
+  MDM_RETURN_IF_ERROR(CheckTuple(schema_, tuple));
+  ByteWriter w;
+  EncodeTuple(tuple, &w);
+  MDM_ASSIGN_OR_RETURN(
+      Rid rid, heap_.Append(std::string_view(
+                   reinterpret_cast<const char*>(w.data().data()), w.size())));
+  for (auto& [col, tree] : indexes_) {
+    MDM_ASSIGN_OR_RETURN(int64_t key, IndexKey(tuple, col));
+    tree->Insert(key, rid);
+  }
+  return rid;
+}
+
+Result<Tuple> Table::Get(const Rid& rid) const {
+  std::string bytes;
+  MDM_RETURN_IF_ERROR(heap_.Read(rid, &bytes));
+  ByteReader r(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+  Tuple t;
+  MDM_RETURN_IF_ERROR(DecodeTuple(&r, &t));
+  return t;
+}
+
+Status Table::Delete(const Rid& rid) {
+  if (!indexes_.empty()) {
+    MDM_ASSIGN_OR_RETURN(Tuple old, Get(rid));
+    for (auto& [col, tree] : indexes_) {
+      MDM_ASSIGN_OR_RETURN(int64_t key, IndexKey(old, col));
+      tree->Erase(key, rid);
+    }
+  }
+  return heap_.Delete(rid);
+}
+
+Status Table::Update(const Rid& rid, const Tuple& tuple) {
+  MDM_RETURN_IF_ERROR(CheckTuple(schema_, tuple));
+  if (!indexes_.empty()) {
+    MDM_ASSIGN_OR_RETURN(Tuple old, Get(rid));
+    for (auto& [col, tree] : indexes_) {
+      MDM_ASSIGN_OR_RETURN(int64_t old_key, IndexKey(old, col));
+      MDM_ASSIGN_OR_RETURN(int64_t new_key, IndexKey(tuple, col));
+      if (old_key != new_key) {
+        tree->Erase(old_key, rid);
+        tree->Insert(new_key, rid);
+      }
+    }
+  }
+  ByteWriter w;
+  EncodeTuple(tuple, &w);
+  Status st = heap_.Update(
+      rid, std::string_view(reinterpret_cast<const char*>(w.data().data()),
+                            w.size()));
+  if (st.code() == StatusCode::kOutOfRange) {
+    // Record grew past its page: physically relocate. Indexes must chase
+    // the new rid.
+    MDM_RETURN_IF_ERROR(heap_.Delete(rid));
+    MDM_ASSIGN_OR_RETURN(
+        Rid moved, heap_.Append(std::string_view(
+                       reinterpret_cast<const char*>(w.data().data()),
+                       w.size())));
+    for (auto& [col, tree] : indexes_) {
+      MDM_ASSIGN_OR_RETURN(int64_t key, IndexKey(tuple, col));
+      tree->Erase(key, rid);
+      tree->Insert(key, moved);
+    }
+    return Status::OK();
+  }
+  return st;
+}
+
+Status Table::Scan(
+    const std::function<bool(const Rid&, const Tuple&)>& fn) const {
+  Status decode_status;
+  MDM_RETURN_IF_ERROR(
+      heap_.Scan([&](const Rid& rid, std::string_view bytes) {
+        ByteReader r(reinterpret_cast<const uint8_t*>(bytes.data()),
+                     bytes.size());
+        Tuple t;
+        decode_status = DecodeTuple(&r, &t);
+        if (!decode_status.ok()) return false;
+        return fn(rid, t);
+      }));
+  return decode_status;
+}
+
+Status Table::CreateIndex(const std::string& column) {
+  auto idx = schema_.IndexOf(column);
+  if (!idx.has_value())
+    return NotFound(StrFormat("no column %s in %s", column.c_str(),
+                              name_.c_str()));
+  ValueType t = schema_.column(*idx).type;
+  if (t != ValueType::kInt && t != ValueType::kRef)
+    return TypeError("indexes require integer or ref columns");
+  if (indexes_.count(*idx) != 0)
+    return AlreadyExists("index on " + column + " already exists");
+  auto tree = std::make_unique<storage::BTree>();
+  Status build;
+  MDM_RETURN_IF_ERROR(Scan([&](const Rid& rid, const Tuple& tuple) {
+    Result<int64_t> key = IndexKey(tuple, *idx);
+    if (!key.ok()) {
+      build = key.status();
+      return false;
+    }
+    tree->Insert(*key, rid);
+    return true;
+  }));
+  MDM_RETURN_IF_ERROR(build);
+  indexes_[*idx] = std::move(tree);
+  return Status::OK();
+}
+
+bool Table::HasIndex(const std::string& column) const {
+  auto idx = schema_.IndexOf(column);
+  return idx.has_value() && indexes_.count(*idx) != 0;
+}
+
+Status Table::IndexScan(
+    const std::string& column, int64_t lo, int64_t hi,
+    const std::function<bool(const Rid&, const Tuple&)>& fn) const {
+  auto idx = schema_.IndexOf(column);
+  if (!idx.has_value() || indexes_.count(*idx) == 0)
+    return NotFound("no index on column " + column);
+  Status inner;
+  indexes_.at(*idx)->ScanRange(lo, hi, [&](int64_t, const Rid& rid) {
+    Result<Tuple> t = Get(rid);
+    if (!t.ok()) {
+      inner = t.status();
+      return false;
+    }
+    return fn(rid, *t);
+  });
+  return inner;
+}
+
+namespace {
+
+// The catalog is serialized as a blob chained across pages. Each chain
+// page: u32 next_page, u32 chunk_len, then chunk bytes.
+constexpr size_t kChainHeader = 8;
+constexpr size_t kChainCapacity = kPageSize - kChainHeader;
+
+// Page 0 is the chain head, so a stored next pointer of 0 (the value a
+// freshly zeroed page carries) can never be a real successor; both 0 and
+// kInvalidPageId terminate a chain.
+bool IsChainEnd(PageId next) { return next == 0 || next == kInvalidPageId; }
+
+Status WriteBlobChain(BufferPool* pool, PageId first,
+                      const std::vector<uint8_t>& blob) {
+  size_t off = 0;
+  PageId pid = first;
+  while (true) {
+    MDM_ASSIGN_OR_RETURN(Page * page, pool->FetchPage(pid));
+    uint32_t chunk =
+        static_cast<uint32_t>(std::min(kChainCapacity, blob.size() - off));
+    // Reuse the existing chain tail where possible.
+    PageId next = 0;
+    std::memcpy(&next, page->data, 4);
+    std::memcpy(page->data + 4, &chunk, 4);
+    if (chunk > 0)
+      std::memcpy(page->data + kChainHeader, blob.data() + off, chunk);
+    off += chunk;
+    bool more = off < blob.size();
+    if (more && IsChainEnd(next)) {
+      MDM_ASSIGN_OR_RETURN(Page * fresh, pool->NewPage());
+      next = fresh->id;
+      PageId none = kInvalidPageId;
+      std::memcpy(fresh->data, &none, 4);
+      MDM_RETURN_IF_ERROR(pool->UnpinPage(fresh->id, /*dirty=*/true));
+    }
+    PageId link = more ? next : kInvalidPageId;
+    std::memcpy(page->data, &link, 4);
+    MDM_RETURN_IF_ERROR(pool->UnpinPage(pid, /*dirty=*/true));
+    if (!more) return Status::OK();
+    pid = next;
+  }
+}
+
+Status ReadBlobChain(BufferPool* pool, PageId first,
+                     std::vector<uint8_t>* blob) {
+  blob->clear();
+  PageId pid = first;
+  bool head = true;
+  while (pid != kInvalidPageId && (head || !IsChainEnd(pid))) {
+    head = false;
+    MDM_ASSIGN_OR_RETURN(Page * page, pool->FetchPage(pid));
+    PageId next;
+    uint32_t len;
+    std::memcpy(&next, page->data, 4);
+    if (IsChainEnd(next)) next = kInvalidPageId;
+    std::memcpy(&len, page->data + 4, 4);
+    if (len > kChainCapacity) {
+      MDM_RETURN_IF_ERROR(pool->UnpinPage(pid, /*dirty=*/false));
+      return Corruption("catalog chain chunk overruns page");
+    }
+    blob->insert(blob->end(), page->data + kChainHeader,
+                 page->data + kChainHeader + len);
+    MDM_RETURN_IF_ERROR(pool->UnpinPage(pid, /*dirty=*/false));
+    pid = next;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Table*> Catalog::CreateTable(const std::string& name,
+                                    RelSchema schema) {
+  if (tables_.count(name) != 0)
+    return AlreadyExists("table " + name + " already exists");
+  MDM_ASSIGN_OR_RETURN(PageId first, storage::HeapFile::Create(pool_));
+  auto table = std::make_unique<Table>(pool_, name, std::move(schema), first);
+  Table* out = table.get();
+  tables_[name] = std::move(table);
+  return out;
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return NotFound("no table named " + name);
+  return it->second.get();
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) return NotFound("no table named " + name);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) out.push_back(name);
+  return out;
+}
+
+Status Catalog::Save() {
+  ByteWriter w;
+  w.PutU32(0x4D444D43);  // "MDMC"
+  w.PutVarint(tables_.size());
+  for (const auto& [name, table] : tables_) {
+    w.PutString(name);
+    w.PutU32(table->first_page());
+    table->schema().Encode(&w);
+  }
+  MDM_RETURN_IF_ERROR(WriteBlobChain(pool_, /*first=*/0, w.data()));
+  return pool_->FlushAll();
+}
+
+Status Catalog::Load() {
+  std::vector<uint8_t> blob;
+  MDM_RETURN_IF_ERROR(ReadBlobChain(pool_, /*first=*/0, &blob));
+  ByteReader r(blob.data(), blob.size());
+  uint32_t magic;
+  MDM_RETURN_IF_ERROR(r.GetU32(&magic));
+  if (magic != 0x4D444D43) return Corruption("bad catalog magic");
+  uint64_t n;
+  MDM_RETURN_IF_ERROR(r.GetVarint(&n));
+  tables_.clear();
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    uint32_t first;
+    RelSchema schema;
+    MDM_RETURN_IF_ERROR(r.GetString(&name));
+    MDM_RETURN_IF_ERROR(r.GetU32(&first));
+    MDM_RETURN_IF_ERROR(RelSchema::Decode(&r, &schema));
+    tables_[name] =
+        std::make_unique<Table>(pool_, name, std::move(schema), first);
+  }
+  return Status::OK();
+}
+
+}  // namespace mdm::rel

@@ -1,0 +1,90 @@
+#ifndef MDM_REL_TABLE_H_
+#define MDM_REL_TABLE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "rel/schema.h"
+#include "storage/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+
+namespace mdm::rel {
+
+/// A relation stored in a heap file, with optional B+tree indexes on
+/// integer or ref columns.
+///
+/// This is the paper's INGRES-substrate stand-in: the MDM's ER layer
+/// maps each entity type to one Table; §5.2's discussion of ordering as
+/// a physical optimization is exercised here (index scan vs heap scan,
+/// see bench_s52_ordering_opt).
+class Table {
+ public:
+  Table(storage::BufferPool* pool, std::string name, RelSchema schema,
+        storage::PageId first_page);
+
+  const std::string& name() const { return name_; }
+  const RelSchema& schema() const { return schema_; }
+  storage::PageId first_page() const { return heap_.first_page(); }
+
+  Result<storage::Rid> Insert(const Tuple& tuple);
+  Result<Tuple> Get(const storage::Rid& rid) const;
+  Status Delete(const storage::Rid& rid);
+  Status Update(const storage::Rid& rid, const Tuple& tuple);
+
+  /// Full scan in storage order; stop early by returning false.
+  Status Scan(
+      const std::function<bool(const storage::Rid&, const Tuple&)>& fn) const;
+
+  /// Declares a B+tree index on an int or ref column; builds it from the
+  /// current contents and maintains it on every mutation thereafter.
+  Status CreateIndex(const std::string& column);
+  bool HasIndex(const std::string& column) const;
+
+  /// Index-assisted equality/range lookup; fails if no index exists.
+  Status IndexScan(
+      const std::string& column, int64_t lo, int64_t hi,
+      const std::function<bool(const storage::Rid&, const Tuple&)>& fn) const;
+
+  Result<uint64_t> Count() const { return heap_.Count(); }
+
+ private:
+  // Key for index maintenance: int value, or ref id, of `col`.
+  static Result<int64_t> IndexKey(const Tuple& tuple, size_t col);
+
+  storage::BufferPool* pool_;
+  std::string name_;
+  RelSchema schema_;
+  storage::HeapFile heap_;
+  // column index -> btree
+  std::map<size_t, std::unique_ptr<storage::BTree>> indexes_;
+};
+
+/// Names tables and remembers their root pages; persisted in the
+/// database header page so a reopened file finds its relations.
+class Catalog {
+ public:
+  explicit Catalog(storage::BufferPool* pool) : pool_(pool) {}
+
+  Result<Table*> CreateTable(const std::string& name, RelSchema schema);
+  Result<Table*> GetTable(const std::string& name);
+  Status DropTable(const std::string& name);
+  std::vector<std::string> TableNames() const;
+
+  /// Writes the catalog (names, schemas, root pages) into page 0.
+  Status Save();
+  /// Loads the catalog from page 0 of an existing database.
+  Status Load();
+
+ private:
+  storage::BufferPool* pool_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace mdm::rel
+
+#endif  // MDM_REL_TABLE_H_

@@ -1,0 +1,173 @@
+#include "rel/value.h"
+
+#include "common/strings.h"
+
+namespace mdm::rel {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull: return "null";
+    case ValueType::kBool: return "bool";
+    case ValueType::kInt: return "integer";
+    case ValueType::kFloat: return "float";
+    case ValueType::kString: return "string";
+    case ValueType::kRational: return "rational";
+    case ValueType::kRef: return "ref";
+  }
+  return "unknown";
+}
+
+bool ParseValueType(const std::string& name, ValueType* out) {
+  std::string n = AsciiLower(name);
+  if (n == "integer" || n == "int") {
+    *out = ValueType::kInt;
+  } else if (n == "string") {
+    *out = ValueType::kString;
+  } else if (n == "float" || n == "double") {
+    *out = ValueType::kFloat;
+  } else if (n == "bool" || n == "boolean") {
+    *out = ValueType::kBool;
+  } else if (n == "rational") {
+    *out = ValueType::kRational;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+ValueType Value::type() const {
+  return static_cast<ValueType>(v_.index());
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull: return "null";
+    case ValueType::kBool: return AsBool() ? "true" : "false";
+    case ValueType::kInt: return std::to_string(AsInt());
+    case ValueType::kFloat: return StrFormat("%g", AsFloat());
+    case ValueType::kString: return "'" + AsString() + "'";
+    case ValueType::kRational: return AsRational().ToString();
+    case ValueType::kRef: return StrFormat("#%llu",
+                                           (unsigned long long)AsRef());
+  }
+  return "?";
+}
+
+Result<int> Value::Compare(const Value& other) const {
+  if (is_null() || other.is_null()) {
+    if (is_null() && other.is_null()) return 0;
+    return is_null() ? -1 : 1;
+  }
+  // Int/float compare numerically across the two types.
+  if ((type() == ValueType::kInt || type() == ValueType::kFloat) &&
+      (other.type() == ValueType::kInt || other.type() == ValueType::kFloat)) {
+    double a = type() == ValueType::kInt ? static_cast<double>(AsInt())
+                                         : AsFloat();
+    double b = other.type() == ValueType::kInt
+                   ? static_cast<double>(other.AsInt())
+                   : other.AsFloat();
+    return a < b ? -1 : (a > b ? 1 : 0);
+  }
+  if (type() != other.type())
+    return TypeError(StrFormat("cannot compare %s with %s",
+                               ValueTypeName(type()),
+                               ValueTypeName(other.type())));
+  switch (type()) {
+    case ValueType::kBool:
+      return static_cast<int>(AsBool()) - static_cast<int>(other.AsBool());
+    case ValueType::kString: {
+      int c = AsString().compare(other.AsString());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case ValueType::kRational: {
+      if (AsRational() < other.AsRational()) return -1;
+      if (other.AsRational() < AsRational()) return 1;
+      return 0;
+    }
+    case ValueType::kRef: {
+      if (AsRef() < other.AsRef()) return -1;
+      if (AsRef() > other.AsRef()) return 1;
+      return 0;
+    }
+    default:
+      return Internal("unhandled comparison type");
+  }
+}
+
+bool Value::Equals(const Value& other) const {
+  if (type() != other.type()) {
+    // Int/float numeric equality across types.
+    Result<int> c = Compare(other);
+    return c.ok() && *c == 0;
+  }
+  return v_ == other.v_;
+}
+
+void Value::Encode(ByteWriter* w) const {
+  w->PutU8(static_cast<uint8_t>(type()));
+  switch (type()) {
+    case ValueType::kNull: break;
+    case ValueType::kBool: w->PutU8(AsBool() ? 1 : 0); break;
+    case ValueType::kInt: w->PutI64(AsInt()); break;
+    case ValueType::kFloat: w->PutF64(AsFloat()); break;
+    case ValueType::kString: w->PutString(AsString()); break;
+    case ValueType::kRational:
+      w->PutI64(AsRational().num());
+      w->PutI64(AsRational().den());
+      break;
+    case ValueType::kRef: w->PutU64(AsRef()); break;
+  }
+}
+
+Status Value::Decode(ByteReader* r, Value* out) {
+  uint8_t tag;
+  MDM_RETURN_IF_ERROR(r->GetU8(&tag));
+  if (tag > static_cast<uint8_t>(ValueType::kRef))
+    return Corruption(StrFormat("bad value tag %u", tag));
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      *out = Value::Null();
+      return Status::OK();
+    case ValueType::kBool: {
+      uint8_t b;
+      MDM_RETURN_IF_ERROR(r->GetU8(&b));
+      *out = Value::Bool(b != 0);
+      return Status::OK();
+    }
+    case ValueType::kInt: {
+      int64_t i;
+      MDM_RETURN_IF_ERROR(r->GetI64(&i));
+      *out = Value::Int(i);
+      return Status::OK();
+    }
+    case ValueType::kFloat: {
+      double d;
+      MDM_RETURN_IF_ERROR(r->GetF64(&d));
+      *out = Value::Float(d);
+      return Status::OK();
+    }
+    case ValueType::kString: {
+      std::string s;
+      MDM_RETURN_IF_ERROR(r->GetString(&s));
+      *out = Value::String(std::move(s));
+      return Status::OK();
+    }
+    case ValueType::kRational: {
+      int64_t num, den;
+      MDM_RETURN_IF_ERROR(r->GetI64(&num));
+      MDM_RETURN_IF_ERROR(r->GetI64(&den));
+      if (den == 0) return Corruption("rational with zero denominator");
+      *out = Value::Rat(Rational(num, den));
+      return Status::OK();
+    }
+    case ValueType::kRef: {
+      uint64_t id;
+      MDM_RETURN_IF_ERROR(r->GetU64(&id));
+      *out = Value::Ref(id);
+      return Status::OK();
+    }
+  }
+  return Internal("unreachable value decode");
+}
+
+}  // namespace mdm::rel

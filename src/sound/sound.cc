@@ -1,0 +1,245 @@
+#include "sound/sound.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bytes.h"
+
+namespace mdm::sound {
+
+uint64_t StorageBytes(double seconds, int sample_rate, int bits_per_sample) {
+  return static_cast<uint64_t>(seconds * sample_rate) *
+         (bits_per_sample / 8);
+}
+
+double KeyToFrequency(int midi_key) {
+  return 440.0 * std::pow(2.0, (midi_key - 69) / 12.0);
+}
+
+PcmBuffer Synthesize(const midi::MidiTrack& track, int sample_rate,
+                     double gain) {
+  PcmBuffer pcm;
+  pcm.sample_rate = sample_rate;
+  double duration = track.Duration() + 0.25;  // tail for release
+  size_t n = static_cast<size_t>(duration * sample_rate);
+  std::vector<double> mix(n, 0.0);
+
+  // Pair note-ons with their note-offs.
+  struct Active {
+    double start;
+    int key;
+    int velocity;
+  };
+  std::vector<Active> active;
+  auto render = [&](const Active& note, double end) {
+    double freq = KeyToFrequency(note.key);
+    double amp = gain * note.velocity / 127.0;
+    size_t s0 = static_cast<size_t>(note.start * sample_rate);
+    size_t s1 = std::min(n, static_cast<size_t>((end + 0.05) * sample_rate));
+    for (size_t s = s0; s < s1; ++s) {
+      double t = static_cast<double>(s - s0) / sample_rate;
+      double envelope = std::exp(-2.5 * t);
+      // Release: fade over the trailing 50 ms past the note end.
+      double note_t = note.start + t;
+      if (note_t > end) envelope *= 1.0 - (note_t - end) / 0.05;
+      mix[s] += amp * envelope * std::sin(2 * M_PI * freq * t);
+    }
+  };
+  for (const midi::MidiEvent& e : track.events) {
+    if (e.kind == midi::MidiEvent::Kind::kNoteOn) {
+      active.push_back({e.seconds, e.key, e.velocity});
+    } else if (e.kind == midi::MidiEvent::Kind::kNoteOff) {
+      for (auto it = active.begin(); it != active.end(); ++it) {
+        if (it->key == e.key) {
+          render(*it, e.seconds);
+          active.erase(it);
+          break;
+        }
+      }
+    }
+  }
+  // Unterminated notes ring to the end.
+  for (const Active& note : active) render(note, duration - 0.05);
+
+  pcm.samples.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    double v = std::tanh(mix[i]);  // soft clip
+    pcm.samples[i] = static_cast<int16_t>(std::lround(v * 32000.0));
+  }
+  return pcm;
+}
+
+namespace {
+
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+void WriteHeader(ByteWriter* w, uint32_t magic, const PcmBuffer& pcm) {
+  w->PutU32(magic);
+  w->PutU32(static_cast<uint32_t>(pcm.sample_rate));
+  w->PutVarint(pcm.samples.size());
+}
+
+Status ReadHeader(ByteReader* r, uint32_t magic, PcmBuffer* pcm,
+                  uint64_t* count) {
+  uint32_t got;
+  MDM_RETURN_IF_ERROR(r->GetU32(&got));
+  if (got != magic) return Corruption("bad codec magic");
+  uint32_t rate;
+  MDM_RETURN_IF_ERROR(r->GetU32(&rate));
+  pcm->sample_rate = static_cast<int>(rate);
+  MDM_RETURN_IF_ERROR(r->GetVarint(count));
+  return Status::OK();
+}
+
+constexpr uint32_t kDeltaMagic = 0x4D444C31;    // "MDL1"
+constexpr uint32_t kSilenceMagic = 0x4D534C31;  // "MSL1"
+constexpr uint32_t kQuantMagic = 0x4D515431;    // "MQT1"
+
+}  // namespace
+
+std::vector<uint8_t> EncodeDelta(const PcmBuffer& pcm,
+                                 CompactionStats* stats) {
+  ByteWriter w;
+  WriteHeader(&w, kDeltaMagic, pcm);
+  int64_t prev = 0, prev_delta = 0;
+  for (int16_t s : pcm.samples) {
+    int64_t delta = s - prev;
+    w.PutVarint(ZigZag(delta - prev_delta));  // second-order residual
+    prev_delta = delta;
+    prev = s;
+  }
+  if (stats != nullptr) {
+    stats->raw_bytes = pcm.SizeBytes();
+    stats->encoded_bytes = w.size();
+  }
+  return w.Take();
+}
+
+Result<PcmBuffer> DecodeDelta(const std::vector<uint8_t>& encoded) {
+  ByteReader r(encoded);
+  PcmBuffer pcm;
+  uint64_t count;
+  MDM_RETURN_IF_ERROR(ReadHeader(&r, kDeltaMagic, &pcm, &count));
+  pcm.samples.reserve(count);
+  int64_t prev = 0, prev_delta = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t z;
+    MDM_RETURN_IF_ERROR(r.GetVarint(&z));
+    int64_t delta = prev_delta + UnZigZag(z);
+    int64_t v = prev + delta;
+    if (v < INT16_MIN || v > INT16_MAX)
+      return Corruption("delta stream decodes out of range");
+    pcm.samples.push_back(static_cast<int16_t>(v));
+    prev_delta = delta;
+    prev = v;
+  }
+  return pcm;
+}
+
+std::vector<uint8_t> EncodeSilence(const PcmBuffer& pcm, int16_t threshold,
+                                   CompactionStats* stats) {
+  ByteWriter w;
+  WriteHeader(&w, kSilenceMagic, pcm);
+  w.PutU16(static_cast<uint16_t>(threshold));
+  size_t i = 0;
+  const size_t n = pcm.samples.size();
+  while (i < n) {
+    if (std::abs(pcm.samples[i]) <= threshold) {
+      size_t run = 0;
+      while (i + run < n && std::abs(pcm.samples[i + run]) <= threshold)
+        ++run;
+      w.PutU8(0);  // silence block
+      w.PutVarint(run);
+      i += run;
+    } else {
+      size_t run = 0;
+      while (i + run < n && std::abs(pcm.samples[i + run]) > threshold)
+        ++run;
+      w.PutU8(1);  // literal block
+      w.PutVarint(run);
+      for (size_t k = 0; k < run; ++k)
+        w.PutU16(static_cast<uint16_t>(pcm.samples[i + k]));
+      i += run;
+    }
+  }
+  if (stats != nullptr) {
+    stats->raw_bytes = pcm.SizeBytes();
+    stats->encoded_bytes = w.size();
+  }
+  return w.Take();
+}
+
+Result<PcmBuffer> DecodeSilence(const std::vector<uint8_t>& encoded) {
+  ByteReader r(encoded);
+  PcmBuffer pcm;
+  uint64_t count;
+  MDM_RETURN_IF_ERROR(ReadHeader(&r, kSilenceMagic, &pcm, &count));
+  uint16_t threshold;
+  MDM_RETURN_IF_ERROR(r.GetU16(&threshold));
+  while (pcm.samples.size() < count) {
+    uint8_t tag;
+    MDM_RETURN_IF_ERROR(r.GetU8(&tag));
+    uint64_t run;
+    MDM_RETURN_IF_ERROR(r.GetVarint(&run));
+    if (pcm.samples.size() + run > count)
+      return Corruption("silence stream overruns declared length");
+    if (tag == 0) {
+      pcm.samples.insert(pcm.samples.end(), run, 0);
+    } else if (tag == 1) {
+      for (uint64_t k = 0; k < run; ++k) {
+        uint16_t v;
+        MDM_RETURN_IF_ERROR(r.GetU16(&v));
+        pcm.samples.push_back(static_cast<int16_t>(v));
+      }
+    } else {
+      return Corruption("bad silence block tag");
+    }
+  }
+  return pcm;
+}
+
+std::vector<uint8_t> EncodeQuantized(const PcmBuffer& pcm, int bits,
+                                     CompactionStats* stats) {
+  bits = std::clamp(bits, 2, 16);
+  ByteWriter w;
+  WriteHeader(&w, kQuantMagic, pcm);
+  w.PutU8(static_cast<uint8_t>(bits));
+  const int shift = 16 - bits;
+  int64_t prev = 0;
+  for (int16_t s : pcm.samples) {
+    int64_t q = s >> shift;  // keep the top `bits` bits
+    w.PutVarint(ZigZag(q - prev));
+    prev = q;
+  }
+  if (stats != nullptr) {
+    stats->raw_bytes = pcm.SizeBytes();
+    stats->encoded_bytes = w.size();
+  }
+  return w.Take();
+}
+
+Result<PcmBuffer> DecodeQuantized(const std::vector<uint8_t>& encoded) {
+  ByteReader r(encoded);
+  PcmBuffer pcm;
+  uint64_t count;
+  MDM_RETURN_IF_ERROR(ReadHeader(&r, kQuantMagic, &pcm, &count));
+  uint8_t bits;
+  MDM_RETURN_IF_ERROR(r.GetU8(&bits));
+  const int shift = 16 - bits;
+  int64_t prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t z;
+    MDM_RETURN_IF_ERROR(r.GetVarint(&z));
+    prev += UnZigZag(z);
+    pcm.samples.push_back(static_cast<int16_t>(prev << shift));
+  }
+  return pcm;
+}
+
+}  // namespace mdm::sound

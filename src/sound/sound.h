@@ -1,0 +1,80 @@
+#ifndef MDM_SOUND_SOUND_H_
+#define MDM_SOUND_SOUND_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "midi/midi.h"
+
+namespace mdm::sound {
+
+/// Digitized sound: "the simplest representation of sound in a digital
+/// computer is merely an array of numbers" (§4.1).
+struct PcmBuffer {
+  int sample_rate = 48000;  // the paper's professional-quality rate
+  std::vector<int16_t> samples;
+
+  double DurationSeconds() const {
+    return sample_rate == 0
+               ? 0.0
+               : static_cast<double>(samples.size()) / sample_rate;
+  }
+  size_t SizeBytes() const { return samples.size() * sizeof(int16_t); }
+};
+
+/// §4.1 arithmetic: bytes needed to record `seconds` of sound at the
+/// given rate and sample width. The paper's example: 10 minutes at
+/// 48 kHz / 16-bit = 57.6 megabytes.
+uint64_t StorageBytes(double seconds, int sample_rate = 48000,
+                      int bits_per_sample = 16);
+
+/// Additive synthesis of a MIDI track: each note renders as a sine at
+/// its equal-tempered frequency with an exponential decay envelope,
+/// mixed and soft-clipped. Deterministic.
+PcmBuffer Synthesize(const midi::MidiTrack& track, int sample_rate = 48000,
+                     double gain = 0.2);
+
+/// MIDI key -> frequency in Hz (A4 = 440).
+double KeyToFrequency(int midi_key);
+
+// ----------------------------------------------------------------------
+// Compaction (§4.1): "the digitized sound stream can be compacted ...
+// by eliminating redundant information from the sound stream".
+// ----------------------------------------------------------------------
+
+struct CompactionStats {
+  size_t raw_bytes = 0;
+  size_t encoded_bytes = 0;
+  double Ratio() const {
+    return encoded_bytes == 0
+               ? 0.0
+               : static_cast<double>(raw_bytes) / encoded_bytes;
+  }
+};
+
+/// Redundancy elimination via second-order delta + zigzag varints:
+/// lossless, exploits sample-to-sample correlation in musical signals.
+std::vector<uint8_t> EncodeDelta(const PcmBuffer& pcm,
+                                 CompactionStats* stats = nullptr);
+Result<PcmBuffer> DecodeDelta(const std::vector<uint8_t>& encoded);
+
+/// Silence-run elimination: runs of below-threshold samples are stored
+/// as counts. Lossy only for sub-threshold noise.
+std::vector<uint8_t> EncodeSilence(const PcmBuffer& pcm,
+                                   int16_t threshold = 8,
+                                   CompactionStats* stats = nullptr);
+Result<PcmBuffer> DecodeSilence(const std::vector<uint8_t>& encoded);
+
+/// Perceptual-style quantization ([Kra79]-flavoured): keeps the top
+/// `bits` of each sample (lossy), then delta-encodes. Returns stats via
+/// the out parameter.
+std::vector<uint8_t> EncodeQuantized(const PcmBuffer& pcm, int bits = 8,
+                                     CompactionStats* stats = nullptr);
+Result<PcmBuffer> DecodeQuantized(const std::vector<uint8_t>& encoded);
+
+}  // namespace mdm::sound
+
+#endif  // MDM_SOUND_SOUND_H_

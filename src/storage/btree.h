@@ -1,0 +1,83 @@
+#ifndef MDM_STORAGE_BTREE_H_
+#define MDM_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace mdm::storage {
+
+/// B+tree index mapping int64 keys to record ids.
+///
+/// Duplicate keys are allowed (an index on, say, note pitch has many
+/// records per key); entries are ordered by (key, rid). Deletion is
+/// lazy: entries are removed but nodes are not re-merged, which keeps
+/// the structure valid at some space cost — the workloads the paper
+/// implies (score editing) are strongly insert/read dominated.
+///
+/// The tree lives in memory; Table persists it by rebuilding from the
+/// heap file on open (see rel/table.h).
+class BTree {
+ public:
+  /// `max_entries` is the node fan-out (>= 4).
+  explicit BTree(size_t max_entries = 64);
+  ~BTree();
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+  BTree(BTree&&) noexcept;
+  BTree& operator=(BTree&&) noexcept;
+
+  void Insert(int64_t key, const Rid& rid);
+
+  /// Removes the exact (key, rid) entry; false if absent.
+  bool Erase(int64_t key, const Rid& rid);
+
+  /// All rids for `key`, in rid order.
+  std::vector<Rid> Find(int64_t key) const;
+
+  /// True if at least one entry with `key` exists.
+  bool Contains(int64_t key) const;
+
+  /// Calls `fn(key, rid)` for all entries with lo <= key <= hi in key
+  /// order; stops early if `fn` returns false.
+  void ScanRange(int64_t lo, int64_t hi,
+                 const std::function<bool(int64_t, const Rid&)>& fn) const;
+
+  /// Full in-order scan.
+  void ScanAll(const std::function<bool(int64_t, const Rid&)>& fn) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Height of the tree (1 = a single leaf). Exposed for tests.
+  int Height() const;
+
+  /// Verifies structural invariants (ordering, leaf chaining, uniform
+  /// depth). Exposed for property tests.
+  Status CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct Entry {
+    int64_t key;
+    Rid rid;
+  };
+
+  Node* FindLeaf(int64_t key) const;
+  // Splits `node` (which is full); inserts the separator into the parent.
+  void SplitChild(Node* parent, size_t child_index);
+  void InsertNonFull(Node* node, int64_t key, const Rid& rid);
+
+  std::unique_ptr<Node> root_;
+  size_t max_entries_;
+  size_t size_ = 0;
+};
+
+}  // namespace mdm::storage
+
+#endif  // MDM_STORAGE_BTREE_H_

@@ -1,0 +1,106 @@
+#include "storage/buffer_pool.h"
+
+#include "common/strings.h"
+
+namespace mdm::storage {
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity)
+    : disk_(disk), capacity_(capacity == 0 ? 1 : capacity) {
+  frames_.reserve(capacity_);
+  for (size_t i = 0; i < capacity_; ++i) {
+    frames_.push_back(std::make_unique<Page>());
+    free_frames_.push_back(frames_.back().get());
+  }
+}
+
+void BufferPool::TouchLru(PageId id) {
+  auto it = lru_pos_.find(id);
+  if (it != lru_pos_.end()) lru_.erase(it->second);
+  lru_.push_front(id);
+  lru_pos_[id] = lru_.begin();
+}
+
+Result<Page*> BufferPool::GetVictimFrame() {
+  if (!free_frames_.empty()) {
+    Page* frame = free_frames_.back();
+    free_frames_.pop_back();
+    return frame;
+  }
+  // Evict the least-recently-used unpinned page.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    PageId victim_id = *it;
+    Page* victim = page_table_.at(victim_id);
+    if (victim->pin_count > 0) continue;
+    if (victim->dirty) {
+      MDM_RETURN_IF_ERROR(disk_->WritePage(victim_id, victim->data));
+      ++stats_.dirty_writebacks;
+    }
+    page_table_.erase(victim_id);
+    lru_.erase(lru_pos_.at(victim_id));
+    lru_pos_.erase(victim_id);
+    ++stats_.evictions;
+    victim->dirty = false;
+    victim->id = kInvalidPageId;
+    return victim;
+  }
+  return FailedPrecondition(
+      StrFormat("buffer pool exhausted: all %zu frames pinned", capacity_));
+}
+
+Result<Page*> BufferPool::FetchPage(PageId id) {
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    ++stats_.hits;
+    Page* page = it->second;
+    ++page->pin_count;
+    TouchLru(id);
+    return page;
+  }
+  ++stats_.misses;
+  MDM_ASSIGN_OR_RETURN(Page * frame, GetVictimFrame());
+  MDM_RETURN_IF_ERROR(disk_->ReadPage(id, frame->data));
+  frame->id = id;
+  frame->dirty = false;
+  frame->pin_count = 1;
+  page_table_[id] = frame;
+  TouchLru(id);
+  return frame;
+}
+
+Result<Page*> BufferPool::NewPage() {
+  PageId id;
+  MDM_RETURN_IF_ERROR(disk_->AllocatePage(&id));
+  MDM_ASSIGN_OR_RETURN(Page * frame, GetVictimFrame());
+  frame->Zero();
+  frame->id = id;
+  frame->dirty = true;
+  frame->pin_count = 1;
+  page_table_[id] = frame;
+  TouchLru(id);
+  return frame;
+}
+
+Status BufferPool::UnpinPage(PageId id, bool dirty) {
+  auto it = page_table_.find(id);
+  if (it == page_table_.end())
+    return NotFound(StrFormat("unpin of non-resident page %u", id));
+  Page* page = it->second;
+  if (page->pin_count <= 0)
+    return FailedPrecondition(StrFormat("page %u is not pinned", id));
+  --page->pin_count;
+  if (dirty) page->dirty = true;
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  for (auto& [id, page] : page_table_) {
+    if (page->dirty) {
+      MDM_RETURN_IF_ERROR(disk_->WritePage(id, page->data));
+      page->dirty = false;
+      ++stats_.dirty_writebacks;
+    }
+  }
+  return disk_->Sync();
+}
+
+}  // namespace mdm::storage

@@ -1,0 +1,71 @@
+#ifndef MDM_STORAGE_BUFFER_POOL_H_
+#define MDM_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace mdm::storage {
+
+/// Counters exposed for tests and the storage benchmarks.
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_writebacks = 0;
+};
+
+/// Fixed-capacity page cache with LRU eviction over unpinned frames.
+///
+/// Protocol: FetchPage/NewPage return a pinned frame; the caller must
+/// balance every fetch with UnpinPage(id, dirty). A pinned page is never
+/// evicted. Not thread-safe; the MDM serializes access per database
+/// (concurrency control is transaction-level, see wal.h).
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, size_t capacity);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns the frame for `id`, reading it from disk on a miss.
+  Result<Page*> FetchPage(PageId id);
+
+  /// Allocates a new page on disk and returns its pinned frame.
+  Result<Page*> NewPage();
+
+  /// Releases one pin; `dirty` marks the frame as modified.
+  Status UnpinPage(PageId id, bool dirty);
+
+  /// Writes back all dirty frames and syncs the disk manager.
+  Status FlushAll();
+
+  const BufferPoolStats& stats() const { return stats_; }
+  size_t capacity() const { return capacity_; }
+  DiskManager* disk() const { return disk_; }
+
+ private:
+  // Returns a free frame, evicting the LRU unpinned page if needed.
+  Result<Page*> GetVictimFrame();
+  void TouchLru(PageId id);
+
+  DiskManager* disk_;
+  size_t capacity_;
+  std::vector<std::unique_ptr<Page>> frames_;
+  std::unordered_map<PageId, Page*> page_table_;
+  std::list<PageId> lru_;  // front = most recent
+  std::unordered_map<PageId, std::list<PageId>::iterator> lru_pos_;
+  std::vector<Page*> free_frames_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace mdm::storage
+
+#endif  // MDM_STORAGE_BUFFER_POOL_H_

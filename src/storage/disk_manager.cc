@@ -1,0 +1,108 @@
+#include "storage/disk_manager.h"
+
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace mdm::storage {
+
+MemoryDiskManager::MemoryDiskManager() {
+  PageId id;
+  (void)AllocatePage(&id);  // page 0: database header
+}
+
+Status MemoryDiskManager::AllocatePage(PageId* id) {
+  *id = static_cast<PageId>(pages_.size());
+  auto buf = std::make_unique<uint8_t[]>(kPageSize);
+  std::memset(buf.get(), 0, kPageSize);
+  pages_.push_back(std::move(buf));
+  return Status::OK();
+}
+
+Status MemoryDiskManager::ReadPage(PageId id, uint8_t* out) {
+  if (id >= pages_.size())
+    return OutOfRange(StrFormat("read of unallocated page %u", id));
+  std::memcpy(out, pages_[id].get(), kPageSize);
+  return Status::OK();
+}
+
+Status MemoryDiskManager::WritePage(PageId id, const uint8_t* data) {
+  if (id >= pages_.size())
+    return OutOfRange(StrFormat("write of unallocated page %u", id));
+  std::memcpy(pages_[id].get(), data, kPageSize);
+  return Status::OK();
+}
+
+uint32_t MemoryDiskManager::NumPages() const {
+  return static_cast<uint32_t>(pages_.size());
+}
+
+Result<std::unique_ptr<FileDiskManager>> FileDiskManager::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) f = std::fopen(path.c_str(), "w+b");
+  if (f == nullptr) return IoError("cannot open database file " + path);
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    std::fclose(f);
+    return IoError("seek failed on " + path);
+  }
+  long size = std::ftell(f);
+  if (size < 0) {
+    std::fclose(f);
+    return IoError("ftell failed on " + path);
+  }
+  if (size % static_cast<long>(kPageSize) != 0) {
+    std::fclose(f);
+    return Corruption(StrFormat("database file %s has partial page (size %ld)",
+                                path.c_str(), size));
+  }
+  auto dm = std::unique_ptr<FileDiskManager>(
+      new FileDiskManager(f, static_cast<uint32_t>(size / kPageSize)));
+  if (dm->num_pages_ == 0) {
+    PageId id;
+    MDM_RETURN_IF_ERROR(dm->AllocatePage(&id));  // page 0: header
+  }
+  return dm;
+}
+
+FileDiskManager::~FileDiskManager() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileDiskManager::AllocatePage(PageId* id) {
+  uint8_t zeros[kPageSize] = {};
+  *id = num_pages_;
+  if (std::fseek(file_, static_cast<long>(num_pages_) * kPageSize, SEEK_SET) !=
+          0 ||
+      std::fwrite(zeros, 1, kPageSize, file_) != kPageSize)
+    return IoError("page allocation write failed");
+  ++num_pages_;
+  return Status::OK();
+}
+
+Status FileDiskManager::ReadPage(PageId id, uint8_t* out) {
+  if (id >= num_pages_)
+    return OutOfRange(StrFormat("read of unallocated page %u", id));
+  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0 ||
+      std::fread(out, 1, kPageSize, file_) != kPageSize)
+    return IoError(StrFormat("page %u read failed", id));
+  return Status::OK();
+}
+
+Status FileDiskManager::WritePage(PageId id, const uint8_t* data) {
+  if (id >= num_pages_)
+    return OutOfRange(StrFormat("write of unallocated page %u", id));
+  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0 ||
+      std::fwrite(data, 1, kPageSize, file_) != kPageSize)
+    return IoError(StrFormat("page %u write failed", id));
+  return Status::OK();
+}
+
+uint32_t FileDiskManager::NumPages() const { return num_pages_; }
+
+Status FileDiskManager::Sync() {
+  if (std::fflush(file_) != 0) return IoError("fflush failed");
+  return Status::OK();
+}
+
+}  // namespace mdm::storage

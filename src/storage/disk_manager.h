@@ -1,0 +1,75 @@
+#ifndef MDM_STORAGE_DISK_MANAGER_H_
+#define MDM_STORAGE_DISK_MANAGER_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace mdm::storage {
+
+/// Abstraction over the backing store for pages.
+///
+/// Two implementations: memory-backed (tests, benchmarks, ephemeral
+/// databases) and file-backed (persistent databases). Page 0 always
+/// exists after construction and is conventionally the database header.
+class DiskManager {
+ public:
+  virtual ~DiskManager() = default;
+
+  /// Allocates a fresh zeroed page and returns its id.
+  virtual Status AllocatePage(PageId* id) = 0;
+  virtual Status ReadPage(PageId id, uint8_t* out) = 0;
+  virtual Status WritePage(PageId id, const uint8_t* data) = 0;
+  virtual uint32_t NumPages() const = 0;
+  /// Flushes everything to durable storage (no-op for memory).
+  virtual Status Sync() = 0;
+};
+
+/// Memory-backed store.
+class MemoryDiskManager : public DiskManager {
+ public:
+  MemoryDiskManager();
+
+  Status AllocatePage(PageId* id) override;
+  Status ReadPage(PageId id, uint8_t* out) override;
+  Status WritePage(PageId id, const uint8_t* data) override;
+  uint32_t NumPages() const override;
+  Status Sync() override { return Status::OK(); }
+
+ private:
+  std::vector<std::unique_ptr<uint8_t[]>> pages_;
+};
+
+/// File-backed store over a single database file of 4 KiB pages.
+class FileDiskManager : public DiskManager {
+ public:
+  /// Opens (or creates) the database file at `path`.
+  static Result<std::unique_ptr<FileDiskManager>> Open(
+      const std::string& path);
+  ~FileDiskManager() override;
+
+  FileDiskManager(const FileDiskManager&) = delete;
+  FileDiskManager& operator=(const FileDiskManager&) = delete;
+
+  Status AllocatePage(PageId* id) override;
+  Status ReadPage(PageId id, uint8_t* out) override;
+  Status WritePage(PageId id, const uint8_t* data) override;
+  uint32_t NumPages() const override;
+  Status Sync() override;
+
+ private:
+  FileDiskManager(std::FILE* file, uint32_t num_pages)
+      : file_(file), num_pages_(num_pages) {}
+
+  std::FILE* file_;
+  uint32_t num_pages_;
+};
+
+}  // namespace mdm::storage
+
+#endif  // MDM_STORAGE_DISK_MANAGER_H_

@@ -1,0 +1,120 @@
+#include "storage/heap_file.h"
+
+#include "common/strings.h"
+#include "storage/slotted_page.h"
+
+namespace mdm::storage {
+
+Result<PageId> HeapFile::Create(BufferPool* pool) {
+  MDM_ASSIGN_OR_RETURN(Page * page, pool->NewPage());
+  SlottedPage sp(page);
+  sp.Init();
+  PageId id = page->id;
+  MDM_RETURN_IF_ERROR(pool->UnpinPage(id, /*dirty=*/true));
+  return id;
+}
+
+HeapFile::HeapFile(BufferPool* pool, PageId first_page)
+    : pool_(pool), first_page_(first_page), tail_hint_(first_page) {}
+
+Result<Rid> HeapFile::Append(std::string_view record) {
+  if (record.size() > SlottedPage::kMaxRecordSize)
+    return InvalidArgument(
+        StrFormat("record of %zu bytes exceeds page capacity; large values "
+                  "must be chunked by the caller",
+                  record.size()));
+  PageId pid = tail_hint_;
+  while (true) {
+    MDM_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(pid));
+    SlottedPage sp(page);
+    PageId next = sp.next_page();
+    if (next != kInvalidPageId) {
+      // Not the tail; follow the chain (hint was stale).
+      MDM_RETURN_IF_ERROR(pool_->UnpinPage(pid, /*dirty=*/false));
+      pid = next;
+      continue;
+    }
+    Result<uint16_t> slot = sp.Insert(record);
+    if (slot.ok()) {
+      MDM_RETURN_IF_ERROR(pool_->UnpinPage(pid, /*dirty=*/true));
+      tail_hint_ = pid;
+      return Rid{pid, *slot};
+    }
+    if (slot.status().code() != StatusCode::kOutOfRange) {
+      MDM_RETURN_IF_ERROR(pool_->UnpinPage(pid, /*dirty=*/false));
+      return slot.status();
+    }
+    // Tail page full: grow the chain.
+    MDM_ASSIGN_OR_RETURN(Page * fresh, pool_->NewPage());
+    SlottedPage fresh_sp(fresh);
+    fresh_sp.Init();
+    PageId fresh_id = fresh->id;
+    sp.set_next_page(fresh_id);
+    MDM_RETURN_IF_ERROR(pool_->UnpinPage(pid, /*dirty=*/true));
+    MDM_RETURN_IF_ERROR(pool_->UnpinPage(fresh_id, /*dirty=*/true));
+    pid = fresh_id;
+    tail_hint_ = fresh_id;
+  }
+}
+
+Status HeapFile::Read(const Rid& rid, std::string* out) const {
+  MDM_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(rid.page_id));
+  SlottedPage sp(page);
+  Result<std::string_view> rec = sp.Get(rid.slot);
+  Status status = rec.ok() ? Status::OK() : rec.status();
+  if (rec.ok()) out->assign(rec->data(), rec->size());
+  MDM_RETURN_IF_ERROR(pool_->UnpinPage(rid.page_id, /*dirty=*/false));
+  return status;
+}
+
+Status HeapFile::Delete(const Rid& rid) {
+  MDM_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(rid.page_id));
+  SlottedPage sp(page);
+  Status status = sp.Delete(rid.slot);
+  MDM_RETURN_IF_ERROR(pool_->UnpinPage(rid.page_id, /*dirty=*/status.ok()));
+  return status;
+}
+
+Status HeapFile::Update(const Rid& rid, std::string_view record) {
+  MDM_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(rid.page_id));
+  SlottedPage sp(page);
+  Status status = sp.Update(rid.slot, record);
+  MDM_RETURN_IF_ERROR(pool_->UnpinPage(rid.page_id, /*dirty=*/status.ok()));
+  return status;
+}
+
+Status HeapFile::Scan(
+    const std::function<bool(const Rid&, std::string_view)>& fn) const {
+  PageId pid = first_page_;
+  while (pid != kInvalidPageId) {
+    MDM_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(pid));
+    SlottedPage sp(page);
+    uint16_t n = sp.num_slots();
+    bool keep_going = true;
+    for (uint16_t s = 0; s < n && keep_going; ++s) {
+      if (!sp.IsLive(s)) continue;
+      Result<std::string_view> rec = sp.Get(s);
+      if (!rec.ok()) {
+        MDM_RETURN_IF_ERROR(pool_->UnpinPage(pid, /*dirty=*/false));
+        return rec.status();
+      }
+      keep_going = fn(Rid{pid, s}, *rec);
+    }
+    PageId next = sp.next_page();
+    MDM_RETURN_IF_ERROR(pool_->UnpinPage(pid, /*dirty=*/false));
+    if (!keep_going) break;
+    pid = next;
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> HeapFile::Count() const {
+  uint64_t n = 0;
+  MDM_RETURN_IF_ERROR(Scan([&n](const Rid&, std::string_view) {
+    ++n;
+    return true;
+  }));
+  return n;
+}
+
+}  // namespace mdm::storage

@@ -1,0 +1,60 @@
+#ifndef MDM_STORAGE_HEAP_FILE_H_
+#define MDM_STORAGE_HEAP_FILE_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+
+namespace mdm::storage {
+
+/// An unordered collection of variable-length records stored in a chain
+/// of slotted pages. One HeapFile backs one relation.
+///
+/// The file is identified by its first page; the chain is threaded
+/// through each page's next_page header field. Appends go to the tail
+/// page, allocating a new page when the record does not fit.
+class HeapFile {
+ public:
+  /// Creates a new heap file; returns its header (first) page id.
+  static Result<PageId> Create(BufferPool* pool);
+
+  /// Opens an existing heap file rooted at `first_page`.
+  HeapFile(BufferPool* pool, PageId first_page);
+
+  PageId first_page() const { return first_page_; }
+
+  /// Appends a record and returns its RID.
+  Result<Rid> Append(std::string_view record);
+
+  /// Reads the record at `rid` into `out`.
+  Status Read(const Rid& rid, std::string* out) const;
+
+  /// Deletes the record at `rid`.
+  Status Delete(const Rid& rid);
+
+  /// Replaces the record at `rid` in place; fails with OutOfRange if the
+  /// new value no longer fits in its page (callers then delete+append).
+  Status Update(const Rid& rid, std::string_view record);
+
+  /// Calls `fn(rid, bytes)` for every live record in file order. If `fn`
+  /// returns false the scan stops early.
+  Status Scan(
+      const std::function<bool(const Rid&, std::string_view)>& fn) const;
+
+  /// Number of live records (computed by scanning).
+  Result<uint64_t> Count() const;
+
+ private:
+  BufferPool* pool_;
+  PageId first_page_;
+  mutable PageId tail_hint_;  // last known tail page, fast-path appends
+};
+
+}  // namespace mdm::storage
+
+#endif  // MDM_STORAGE_HEAP_FILE_H_

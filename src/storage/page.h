@@ -1,0 +1,46 @@
+#ifndef MDM_STORAGE_PAGE_H_
+#define MDM_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace mdm::storage {
+
+using PageId = uint32_t;
+
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+inline constexpr size_t kPageSize = 4096;
+
+/// A frame holding one page of data, managed by the BufferPool.
+///
+/// `pin_count` and `dirty` are maintained by the pool; clients obtain
+/// pinned pages from BufferPool::FetchPage / NewPage and must unpin them.
+struct Page {
+  PageId id = kInvalidPageId;
+  bool dirty = false;
+  int pin_count = 0;
+  uint8_t data[kPageSize] = {};
+
+  void Zero() { std::memset(data, 0, kPageSize); }
+};
+
+/// Record identifier: a physical address (page, slot) in a heap file.
+struct Rid {
+  PageId page_id = kInvalidPageId;
+  uint16_t slot = 0;
+
+  bool IsValid() const { return page_id != kInvalidPageId; }
+
+  friend bool operator==(const Rid& a, const Rid& b) {
+    return a.page_id == b.page_id && a.slot == b.slot;
+  }
+  friend bool operator!=(const Rid& a, const Rid& b) { return !(a == b); }
+  friend bool operator<(const Rid& a, const Rid& b) {
+    if (a.page_id != b.page_id) return a.page_id < b.page_id;
+    return a.slot < b.slot;
+  }
+};
+
+}  // namespace mdm::storage
+
+#endif  // MDM_STORAGE_PAGE_H_

@@ -1,0 +1,170 @@
+#include "storage/slotted_page.h"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace mdm::storage {
+
+namespace {
+constexpr size_t kNextPageOff = 0;
+constexpr size_t kNumSlotsOff = 4;
+constexpr size_t kFreeEndOff = 6;
+constexpr size_t kSlotArrayOff = 8;
+constexpr size_t kSlotEntrySize = 4;
+}  // namespace
+
+uint16_t SlottedPage::GetU16(size_t off) const {
+  return static_cast<uint16_t>(page_->data[off]) |
+         static_cast<uint16_t>(page_->data[off + 1]) << 8;
+}
+
+void SlottedPage::SetU16(size_t off, uint16_t v) {
+  page_->data[off] = static_cast<uint8_t>(v);
+  page_->data[off + 1] = static_cast<uint8_t>(v >> 8);
+}
+
+void SlottedPage::Init() {
+  std::memset(page_->data, 0, kPageSize);
+  set_next_page(kInvalidPageId);
+  SetU16(kNumSlotsOff, 0);
+  static_assert(kPageSize <= 0xFFFF, "free_end must fit in u16");
+  SetU16(kFreeEndOff, static_cast<uint16_t>(kPageSize));
+}
+
+PageId SlottedPage::next_page() const {
+  PageId id = 0;
+  for (int i = 0; i < 4; ++i)
+    id |= static_cast<PageId>(page_->data[kNextPageOff + i]) << (8 * i);
+  return id;
+}
+
+void SlottedPage::set_next_page(PageId id) {
+  for (int i = 0; i < 4; ++i)
+    page_->data[kNextPageOff + i] = static_cast<uint8_t>(id >> (8 * i));
+}
+
+uint16_t SlottedPage::num_slots() const { return GetU16(kNumSlotsOff); }
+
+uint16_t SlottedPage::SlotOffset(uint16_t slot) const {
+  return GetU16(kSlotArrayOff + slot * kSlotEntrySize);
+}
+
+uint16_t SlottedPage::SlotLength(uint16_t slot) const {
+  return GetU16(kSlotArrayOff + slot * kSlotEntrySize + 2);
+}
+
+void SlottedPage::SetSlot(uint16_t slot, uint16_t offset, uint16_t length) {
+  SetU16(kSlotArrayOff + slot * kSlotEntrySize, offset);
+  SetU16(kSlotArrayOff + slot * kSlotEntrySize + 2, length);
+}
+
+size_t SlottedPage::FreeSpace() const {
+  size_t slots_end = kSlotArrayOff + num_slots() * kSlotEntrySize;
+  size_t free_end = GetU16(kFreeEndOff);
+  if (free_end < slots_end) return 0;
+  return free_end - slots_end;
+}
+
+bool SlottedPage::IsLive(uint16_t slot) const {
+  return slot < num_slots() && SlotOffset(slot) != kDeletedSlot;
+}
+
+void SlottedPage::Compact() {
+  struct LiveRecord {
+    uint16_t slot;
+    uint16_t offset;
+    uint16_t length;
+  };
+  std::vector<LiveRecord> live;
+  uint16_t n = num_slots();
+  for (uint16_t s = 0; s < n; ++s) {
+    if (SlotOffset(s) != kDeletedSlot)
+      live.push_back({s, SlotOffset(s), SlotLength(s)});
+  }
+  // Move records to the end of the page, highest offset first so shifts
+  // never overlap destructively.
+  std::sort(live.begin(), live.end(),
+            [](const LiveRecord& a, const LiveRecord& b) {
+              return a.offset > b.offset;
+            });
+  size_t free_end = kPageSize;
+  for (const LiveRecord& r : live) {
+    free_end -= r.length;
+    std::memmove(page_->data + free_end, page_->data + r.offset, r.length);
+    SetSlot(r.slot, static_cast<uint16_t>(free_end), r.length);
+  }
+  SetU16(kFreeEndOff, static_cast<uint16_t>(free_end));
+}
+
+Result<uint16_t> SlottedPage::Insert(std::string_view record) {
+  if (record.size() > kMaxRecordSize)
+    return InvalidArgument(
+        StrFormat("record of %zu bytes exceeds page capacity", record.size()));
+  // Reuse a deleted slot if one exists (keeps slot array from growing).
+  uint16_t n = num_slots();
+  uint16_t target_slot = n;
+  for (uint16_t s = 0; s < n; ++s) {
+    if (SlotOffset(s) == kDeletedSlot) {
+      target_slot = s;
+      break;
+    }
+  }
+  size_t slot_cost = (target_slot == n) ? kSlotEntrySize : 0;
+  if (FreeSpace() < record.size() + slot_cost) {
+    Compact();
+    if (FreeSpace() < record.size() + slot_cost)
+      return OutOfRange("page full");
+  }
+  uint16_t free_end = GetU16(kFreeEndOff);
+  uint16_t offset = static_cast<uint16_t>(free_end - record.size());
+  std::memcpy(page_->data + offset, record.data(), record.size());
+  SetU16(kFreeEndOff, offset);
+  if (target_slot == n) SetU16(kNumSlotsOff, n + 1);
+  SetSlot(target_slot, offset, static_cast<uint16_t>(record.size()));
+  return target_slot;
+}
+
+Result<std::string_view> SlottedPage::Get(uint16_t slot) const {
+  if (!IsLive(slot))
+    return NotFound(StrFormat("slot %u is empty or deleted", slot));
+  return std::string_view(
+      reinterpret_cast<const char*>(page_->data + SlotOffset(slot)),
+      SlotLength(slot));
+}
+
+Status SlottedPage::Delete(uint16_t slot) {
+  if (!IsLive(slot))
+    return NotFound(StrFormat("delete of empty slot %u", slot));
+  SetSlot(slot, kDeletedSlot, 0);
+  return Status::OK();
+}
+
+Status SlottedPage::Update(uint16_t slot, std::string_view record) {
+  if (!IsLive(slot))
+    return NotFound(StrFormat("update of empty slot %u", slot));
+  uint16_t old_len = SlotLength(slot);
+  if (record.size() <= old_len) {
+    // Shrinking update in place (tail bytes become an unreclaimed hole
+    // until the next Compact).
+    std::memcpy(page_->data + SlotOffset(slot), record.data(), record.size());
+    SetSlot(slot, SlotOffset(slot), static_cast<uint16_t>(record.size()));
+    return Status::OK();
+  }
+  // Growing update: check fit first (free space plus the record's own
+  // bytes, which compaction reclaims) so failure leaves the page intact.
+  if (FreeSpace() + old_len < record.size())
+    return OutOfRange("page full on growing update");
+  SetSlot(slot, kDeletedSlot, 0);
+  if (FreeSpace() < record.size()) Compact();
+  uint16_t free_end = GetU16(kFreeEndOff);
+  uint16_t offset = static_cast<uint16_t>(free_end - record.size());
+  std::memcpy(page_->data + offset, record.data(), record.size());
+  SetU16(kFreeEndOff, offset);
+  SetSlot(slot, offset, static_cast<uint16_t>(record.size()));
+  return Status::OK();
+}
+
+}  // namespace mdm::storage

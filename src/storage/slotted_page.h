@@ -1,0 +1,76 @@
+#ifndef MDM_STORAGE_SLOTTED_PAGE_H_
+#define MDM_STORAGE_SLOTTED_PAGE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/page.h"
+
+namespace mdm::storage {
+
+/// View over a page formatted as a slotted record page.
+///
+/// Layout (little-endian):
+///   [0..3]   next_page (PageId, chain link for heap files)
+///   [4..5]   num_slots (u16)
+///   [6..7]   free_end  (u16; records occupy [free_end, kPageSize))
+///   [8..]    slot array: per slot { u16 offset, u16 length }
+/// A deleted slot has offset == kDeletedSlot. Records grow downward from
+/// the end of the page; the slot array grows upward. Freed space is
+/// reclaimed by Compact() when an insert would otherwise fail.
+class SlottedPage {
+ public:
+  static constexpr uint16_t kDeletedSlot = 0xFFFF;
+
+  explicit SlottedPage(Page* page) : page_(page) {}
+
+  /// Formats a fresh page (zeroes the header, no slots).
+  void Init();
+
+  PageId next_page() const;
+  void set_next_page(PageId id);
+
+  uint16_t num_slots() const;
+
+  /// Bytes available for a new record including its slot entry.
+  size_t FreeSpace() const;
+
+  /// Inserts a record; fails with OutOfRange if it cannot fit even after
+  /// compaction. Records larger than kMaxRecordSize are rejected.
+  Result<uint16_t> Insert(std::string_view record);
+
+  /// Returns the record bytes for `slot` (view into the page; invalidated
+  /// by any mutation of the page).
+  Result<std::string_view> Get(uint16_t slot) const;
+
+  /// Marks `slot` deleted. Idempotent on already-deleted slots is an
+  /// error (callers track liveness through RIDs).
+  Status Delete(uint16_t slot);
+
+  /// Replaces the record at `slot`. May move the record within the page;
+  /// fails with OutOfRange if the new value cannot fit.
+  Status Update(uint16_t slot, std::string_view record);
+
+  /// True if `slot` exists and is not deleted.
+  bool IsLive(uint16_t slot) const;
+
+  /// Largest record that can ever fit in one page.
+  static constexpr size_t kMaxRecordSize = kPageSize - 16;
+
+ private:
+  uint16_t GetU16(size_t off) const;
+  void SetU16(size_t off, uint16_t v);
+  uint16_t SlotOffset(uint16_t slot) const;
+  uint16_t SlotLength(uint16_t slot) const;
+  void SetSlot(uint16_t slot, uint16_t offset, uint16_t length);
+  // Slides live records to the end of the page, squeezing out holes.
+  void Compact();
+
+  Page* page_;
+};
+
+}  // namespace mdm::storage
+
+#endif  // MDM_STORAGE_SLOTTED_PAGE_H_

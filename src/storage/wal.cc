@@ -1,0 +1,131 @@
+#include "storage/wal.h"
+
+#include <cstdio>
+#include <map>
+
+#include "common/bytes.h"
+#include "common/strings.h"
+
+namespace mdm::storage {
+
+Status MemoryWalSink::Append(const std::vector<uint8_t>& bytes) {
+  bytes_.insert(bytes_.end(), bytes.begin(), bytes.end());
+  return Status::OK();
+}
+
+void MemoryWalSink::TruncateTo(size_t n) {
+  if (n < bytes_.size()) bytes_.resize(n);
+}
+
+Result<std::unique_ptr<FileWalSink>> FileWalSink::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) return IoError("cannot open WAL file " + path);
+  return std::unique_ptr<FileWalSink>(new FileWalSink(f));
+}
+
+FileWalSink::~FileWalSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileWalSink::Append(const std::vector<uint8_t>& bytes) {
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size())
+    return IoError("WAL append failed");
+  return Status::OK();
+}
+
+Status FileWalSink::Sync() {
+  if (std::fflush(file_) != 0) return IoError("WAL flush failed");
+  return Status::OK();
+}
+
+Status WalWriter::AppendRecord(uint64_t txn_id, WalRecordType type,
+                               std::string payload) {
+  ByteWriter body;
+  body.PutVarint(next_lsn_++);
+  body.PutVarint(txn_id);
+  body.PutU8(static_cast<uint8_t>(type));
+  body.PutString(payload);
+
+  ByteWriter framed;
+  framed.PutU32(Crc32(body.data().data(), body.size()));
+  framed.PutU32(static_cast<uint32_t>(body.size()));
+  framed.PutBytes(body.data().data(), body.size());
+  return sink_->Append(framed.data());
+}
+
+Result<uint64_t> WalWriter::Begin() {
+  uint64_t txn = next_txn_++;
+  MDM_RETURN_IF_ERROR(AppendRecord(txn, WalRecordType::kBegin, ""));
+  return txn;
+}
+
+Status WalWriter::LogOp(uint64_t txn_id, std::string payload) {
+  return AppendRecord(txn_id, WalRecordType::kOp, std::move(payload));
+}
+
+Status WalWriter::Commit(uint64_t txn_id) {
+  MDM_RETURN_IF_ERROR(AppendRecord(txn_id, WalRecordType::kCommit, ""));
+  return sink_->Sync();
+}
+
+Status WalWriter::Abort(uint64_t txn_id) {
+  return AppendRecord(txn_id, WalRecordType::kAbort, "");
+}
+
+Result<uint64_t> WalRecover(
+    const std::vector<uint8_t>& log,
+    const std::function<Status(const WalRecord&)>& apply) {
+  // Pass 1: parse records until the log ends or turns torn; remember the
+  // fate of each transaction.
+  std::vector<WalRecord> records;
+  std::map<uint64_t, bool> committed;  // txn -> committed?
+  ByteReader reader(log.data(), log.size());
+  while (!reader.AtEnd()) {
+    uint32_t crc, len;
+    if (!reader.GetU32(&crc).ok()) break;   // torn tail
+    if (!reader.GetU32(&len).ok()) break;   // torn tail
+    if (reader.remaining() < len) break;    // torn tail
+    const uint8_t* body = log.data() + reader.pos();
+    if (Crc32(body, len) != crc) break;     // corrupt record ends replay
+    ByteReader body_reader(body, len);
+    WalRecord rec;
+    uint8_t type;
+    if (!body_reader.GetVarint(&rec.lsn).ok() ||
+        !body_reader.GetVarint(&rec.txn_id).ok() ||
+        !body_reader.GetU8(&type).ok() ||
+        !body_reader.GetString(&rec.payload).ok())
+      break;
+    rec.type = static_cast<WalRecordType>(type);
+    // Advance past the body we just parsed.
+    for (uint32_t i = 0; i < len; ++i) {
+      uint8_t dummy;
+      (void)reader.GetU8(&dummy);
+    }
+    if (rec.type == WalRecordType::kCommit) committed[rec.txn_id] = true;
+    if (rec.type == WalRecordType::kAbort) committed[rec.txn_id] = false;
+    records.push_back(std::move(rec));
+  }
+  // Pass 2: redo committed ops in log order.
+  for (const WalRecord& rec : records) {
+    if (rec.type != WalRecordType::kOp) continue;
+    auto it = committed.find(rec.txn_id);
+    if (it == committed.end() || !it->second) continue;
+    MDM_RETURN_IF_ERROR(apply(rec));
+  }
+  return static_cast<uint64_t>(records.size());
+}
+
+Result<std::vector<uint8_t>> ReadWalFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::vector<uint8_t>{};  // no log yet: empty
+  std::vector<uint8_t> out;
+  uint8_t buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+    out.insert(out.end(), buf, buf + n);
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace mdm::storage

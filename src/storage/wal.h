@@ -1,0 +1,106 @@
+#ifndef MDM_STORAGE_WAL_H_
+#define MDM_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace mdm::storage {
+
+/// Kinds of log records.
+enum class WalRecordType : uint8_t {
+  kBegin = 1,
+  kCommit = 2,
+  kAbort = 3,
+  kOp = 4,  // opaque redo payload, interpreted by the client (the ER layer)
+};
+
+struct WalRecord {
+  uint64_t lsn = 0;
+  uint64_t txn_id = 0;
+  WalRecordType type = WalRecordType::kOp;
+  std::string payload;  // only for kOp
+};
+
+/// Sink for log bytes: an in-memory buffer (tests, crash injection) or a
+/// file.
+class WalSink {
+ public:
+  virtual ~WalSink() = default;
+  virtual Status Append(const std::vector<uint8_t>& bytes) = 0;
+  virtual Status Sync() = 0;
+};
+
+class MemoryWalSink : public WalSink {
+ public:
+  Status Append(const std::vector<uint8_t>& bytes) override;
+  Status Sync() override { return Status::OK(); }
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  /// Truncates the log to `n` bytes — simulates a crash mid-record for
+  /// recovery tests.
+  void TruncateTo(size_t n);
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+class FileWalSink : public WalSink {
+ public:
+  static Result<std::unique_ptr<FileWalSink>> Open(const std::string& path);
+  ~FileWalSink() override;
+
+  Status Append(const std::vector<uint8_t>& bytes) override;
+  Status Sync() override;
+
+ private:
+  explicit FileWalSink(std::FILE* f) : file_(f) {}
+  std::FILE* file_;
+};
+
+/// Redo-only write-ahead log.
+///
+/// Record wire format: u32 crc (over the rest), u32 length, then
+/// { varint lsn, varint txn_id, u8 type, string payload }. A torn tail
+/// (bad crc or truncated record) terminates recovery cleanly, matching
+/// the crash-consistency contract: everything up to the last fully
+/// synced commit is replayed.
+class WalWriter {
+ public:
+  explicit WalWriter(WalSink* sink) : sink_(sink) {}
+
+  Result<uint64_t> Begin();  // returns new txn id
+  Status LogOp(uint64_t txn_id, std::string payload);
+  Status Commit(uint64_t txn_id);  // syncs the sink
+  Status Abort(uint64_t txn_id);
+
+  uint64_t next_lsn() const { return next_lsn_; }
+
+ private:
+  Status AppendRecord(uint64_t txn_id, WalRecordType type,
+                      std::string payload);
+
+  WalSink* sink_;
+  uint64_t next_lsn_ = 1;
+  uint64_t next_txn_ = 1;
+};
+
+/// Replays a log buffer. Ops belonging to transactions that committed
+/// are delivered to `apply` in log order; ops from unfinished or aborted
+/// transactions are discarded. Returns the number of records scanned
+/// (including control records).
+Result<uint64_t> WalRecover(
+    const std::vector<uint8_t>& log,
+    const std::function<Status(const WalRecord&)>& apply);
+
+/// Reads a whole WAL file into memory for recovery.
+Result<std::vector<uint8_t>> ReadWalFile(const std::string& path);
+
+}  // namespace mdm::storage
+
+#endif  // MDM_STORAGE_WAL_H_

@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include "biblio/thematic_index.h"
+#include "cmn/temporal.h"
+#include "darms/darms.h"
+#include "er/database.h"
+#include "mtime/tempo_map.h"
+#include "notation/engrave.h"
+#include "notation/piano_roll.h"
+
+namespace mdm {
+namespace {
+
+using biblio::CatalogEntry;
+
+// The BWV 578 fugue subject (g minor), first phrase, as MIDI keys:
+// G4 D5 Bb4 A4 G4 Bb4 A4 G4 F#4 A4 D4.
+const std::vector<int> kFugueSubject = {67, 74, 70, 69, 67, 70,
+                                        69, 67, 66, 69, 62};
+
+CatalogEntry Bwv578() {
+  CatalogEntry e;
+  e.number = "578";
+  e.title = "Fuge g-moll";
+  e.setting = "Orgel";
+  e.composed = "Weimar um 1709 (oder schon in Arnstadt?)";
+  e.measure_count = 68;
+  e.incipit = kFugueSubject;
+  e.manuscripts = {"Andreas Bach Buch (S 657-677) B Lpz III 8 4",
+                   "BB in Mus ms Bach P 803"};
+  e.editions = {"Peters Orgelwerke Bd. IV S 46",
+                "Breitkopf & Haertel EB 3174 S 72"};
+  e.literature = {"Spitta I 399", "Schweitzer 248", "Keller 73"};
+  return e;
+}
+
+class BiblioTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(biblio::InstallBiblioSchema(&db_).ok());
+    auto catalog =
+        biblio::CreateCatalog(&db_, "Bach Werke Verzeichnis", "BWV");
+    ASSERT_TRUE(catalog.ok());
+    catalog_ = *catalog;
+  }
+
+  er::Database db_;
+  er::EntityId catalog_;
+};
+
+TEST_F(BiblioTest, EntryRoundTrip) {
+  auto id = biblio::AddEntry(&db_, catalog_, Bwv578());
+  ASSERT_TRUE(id.ok());
+  auto entry = biblio::GetEntry(db_, *id);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->title, "Fuge g-moll");
+  EXPECT_EQ(entry->measure_count, 68);
+  EXPECT_EQ(entry->incipit, kFugueSubject);
+  EXPECT_EQ(entry->manuscripts.size(), 2u);
+  EXPECT_EQ(entry->editions.size(), 2u);
+  EXPECT_EQ(entry->literature.size(), 3u);
+}
+
+TEST_F(BiblioTest, AcceptedIdentifierLookup) {
+  ASSERT_TRUE(biblio::AddEntry(&db_, catalog_, Bwv578()).ok());
+  CatalogEntry other;
+  other.number = "1080";
+  other.title = "Die Kunst der Fuge";
+  ASSERT_TRUE(biblio::AddEntry(&db_, catalog_, other).ok());
+
+  auto hit = biblio::LookupByIdentifier(db_, "BWV 578");
+  ASSERT_TRUE(hit.ok());
+  auto entry = biblio::GetEntry(db_, *hit);
+  EXPECT_EQ(entry->title, "Fuge g-moll");
+  EXPECT_TRUE(biblio::LookupByIdentifier(db_, "bwv 1080").ok());
+  EXPECT_EQ(biblio::LookupByIdentifier(db_, "BWV 9999").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(biblio::LookupByIdentifier(db_, "KV 626").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(biblio::LookupByIdentifier(db_, "nospace").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(BiblioTest, FormatEntryLooksLikeFig2) {
+  auto id = biblio::AddEntry(&db_, catalog_, Bwv578());
+  auto text = biblio::FormatEntry(db_, *id);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("578"), std::string::npos);
+  EXPECT_NE(text->find("Besetzung: Orgel"), std::string::npos);
+  EXPECT_NE(text->find("68 Takte"), std::string::npos);
+  EXPECT_NE(text->find("Abschriften"), std::string::npos);
+  EXPECT_NE(text->find("Ausgaben"), std::string::npos);
+  EXPECT_NE(text->find("Literatur"), std::string::npos);
+}
+
+TEST_F(BiblioTest, IntervalSearchIsTranspositionInvariant) {
+  ASSERT_TRUE(biblio::AddEntry(&db_, catalog_, Bwv578()).ok());
+  CatalogEntry decoy;
+  decoy.number = "1";
+  decoy.title = "Scale study";
+  decoy.incipit = {60, 62, 64, 65, 67};
+  ASSERT_TRUE(biblio::AddEntry(&db_, catalog_, decoy).ok());
+
+  // The subject's head (G4 D5 Bb4 A4), transposed up a fourth.
+  std::vector<int> query_melody = {72, 79, 75, 74};
+  auto hits = biblio::SearchByIntervals(db_, catalog_,
+                                        biblio::ToIntervals(query_melody));
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  auto entry = biblio::GetEntry(db_, (*hits)[0]);
+  EXPECT_EQ(entry->number, "578");
+  // An interval pattern matching nothing.
+  auto miss = biblio::SearchByIntervals(db_, catalog_, {11, -11, 11});
+  ASSERT_TRUE(miss.ok());
+  EXPECT_TRUE(miss->empty());
+  // Empty query matches everything.
+  auto all = biblio::SearchByIntervals(db_, catalog_, {});
+  EXPECT_EQ(all->size(), 2u);
+}
+
+TEST(ToIntervalsTest, Basics) {
+  EXPECT_EQ(biblio::ToIntervals({60, 64, 67}), (std::vector<int>{4, 3}));
+  EXPECT_TRUE(biblio::ToIntervals({60}).empty());
+  EXPECT_TRUE(biblio::ToIntervals({}).empty());
+}
+
+// ----------------------------------------------------------------------
+// Notation: piano roll (fig 3) and engraving.
+// ----------------------------------------------------------------------
+
+std::vector<cmn::PerformedNote> SubjectPerformance() {
+  std::vector<cmn::PerformedNote> notes;
+  double t = 0;
+  for (int key : kFugueSubject) {
+    cmn::PerformedNote pn;
+    pn.midi_key = key;
+    pn.start_seconds = t;
+    pn.end_seconds = t + 0.25;
+    pn.source_note = static_cast<er::EntityId>(notes.size() + 1);
+    notes.push_back(pn);
+    t += 0.25;
+  }
+  return notes;
+}
+
+TEST(PianoRollTest, AsciiGridShape) {
+  auto notes = SubjectPerformance();
+  std::string roll = notation::AsciiPianoRoll(notes);
+  // One row per semitone between D4 (62) and D5 (74): 13 rows + axis.
+  int rows = 0;
+  for (char c : roll)
+    if (c == '\n') ++rows;
+  EXPECT_EQ(rows, 14);
+  EXPECT_NE(roll.find('#'), std::string::npos);
+  // Pitch labels on the axis.
+  EXPECT_NE(roll.find("D5"), std::string::npos);
+  EXPECT_NE(roll.find("G4"), std::string::npos);
+  EXPECT_EQ(notation::AsciiPianoRoll({}), "(empty piano roll)\n");
+}
+
+TEST(PianoRollTest, HighlightedEntrancesShadedGrey) {
+  auto notes = SubjectPerformance();
+  notation::PianoRollOptions options;
+  options.highlighted_notes = {notes[0].source_note, notes[1].source_note};
+  std::string ascii = notation::AsciiPianoRoll(notes, options);
+  EXPECT_NE(ascii.find('='), std::string::npos);  // highlighted cells
+  std::string svg = notation::SvgPianoRoll(notes, options);
+  EXPECT_NE(svg.find("#999999"), std::string::npos);  // grey entrances
+  EXPECT_NE(svg.find("#000000"), std::string::npos);  // normal notes
+  // One rect per note.
+  size_t rects = 0, pos = 0;
+  while ((pos = svg.find("<rect", pos)) != std::string::npos) {
+    ++rects;
+    pos += 5;
+  }
+  EXPECT_EQ(rects, notes.size());
+}
+
+TEST(EngraveTest, RendersStaffNotesAndBarlines) {
+  er::Database db;
+  auto import = darms::ImportDarms(&db, "!G 1Q 3Q 5Q 7Q / 8H 6H //", "t");
+  ASSERT_TRUE(import.ok());
+  auto ps = notation::EngraveScorePostScript(&db, import->score);
+  ASSERT_TRUE(ps.ok()) << ps.status().ToString();
+  // 5 staff lines + 2 barlines + 6 note heads + 6 stems.
+  size_t strokes = 0, fills = 0, pos = 0;
+  while ((pos = ps->find("stroke\n", pos)) != std::string::npos) {
+    ++strokes;
+    pos += 6;
+  }
+  pos = 0;
+  while ((pos = ps->find("fill\n", pos)) != std::string::npos) {
+    ++fills;
+    pos += 4;
+  }
+  EXPECT_EQ(fills, 6u);
+  // 5 staff lines + 2 barlines + 6 stems + 2 clef strokes.
+  EXPECT_EQ(strokes, 5u + 2u + 6u + 2u);
+  auto svg = notation::EngraveScoreSvg(&db, import->score);
+  ASSERT_TRUE(svg.ok());
+  EXPECT_NE(svg->find("<svg"), std::string::npos);
+  EXPECT_NE(svg->find("<path"), std::string::npos);
+}
+
+TEST(EngraveTest, KeySignatureAndSlurGlyphs) {
+  er::Database db;
+  // Two flats and a slur over the first beam group.
+  auto import =
+      darms::ImportDarms(&db, "!G !K2- (1Q 3Q) 5Q 7Q //", "glyphs");
+  ASSERT_TRUE(import.ok());
+  // Re-label the imported beam group as a slur so the engraver arcs it.
+  (void)db.ForEachEntity("GROUP", [&](er::EntityId group) {
+    EXPECT_TRUE(db.SetAttribute(group, "function",
+                                rel::Value::String("slur"))
+                    .ok());
+    return true;
+  });
+  auto ps = notation::EngraveScorePostScript(&db, import->score);
+  ASSERT_TRUE(ps.ok()) << ps.status().ToString();
+  // Two flats: each draws a stem line and a bowl arc; slur draws a
+  // curveto.
+  EXPECT_NE(ps->find("curveto"), std::string::npos);
+  size_t arcs = 0, pos = 0;
+  while ((pos = ps->find(" arc stroke", pos)) != std::string::npos) {
+    ++arcs;
+    pos += 4;
+  }
+  // 1 clef curl + 2 flat bowls.
+  EXPECT_EQ(arcs, 3u);
+}
+
+TEST(EngraveTest, Fig3PipelineFromDarmsToPianoRoll) {
+  // End-to-end fig 3: DARMS text -> CMN -> performance -> piano roll.
+  er::Database db;
+  auto import = darms::ImportDarms(
+      &db, "!G !K2- 4E 8E 6Q 5Q 4E 6E 5E 4E 3#E 5E 1Q //", "BWV 578 subject");
+  ASSERT_TRUE(import.ok());
+  mtime::TempoMap tempo;
+  auto notes = cmn::ExtractPerformance(&db, import->score, tempo);
+  ASSERT_TRUE(notes.ok());
+  ASSERT_EQ(notes->size(), 11u);
+  std::string roll = notation::AsciiPianoRoll(*notes);
+  EXPECT_NE(roll.find('#'), std::string::npos);
+  std::string svg = notation::SvgPianoRoll(*notes);
+  EXPECT_NE(svg.find("<rect"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mdm

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "cmn/pitch.h"
+
+namespace mdm::cmn {
+namespace {
+
+TEST(PitchTest, MidiKeyReferencePoints) {
+  EXPECT_EQ((Pitch{0, 4, 0}).MidiKey(), 60);   // C4 (middle C)
+  EXPECT_EQ((Pitch{5, 4, 0}).MidiKey(), 69);   // A4 = 440 Hz
+  EXPECT_EQ((Pitch{0, -1, 0}).MidiKey(), 0);   // C-1 = MIDI 0
+  EXPECT_EQ((Pitch{4, 4, 0}).MidiKey(), 67);   // G4
+  EXPECT_EQ((Pitch{3, 4, 1}).MidiKey(), 66);   // F#4
+  EXPECT_EQ((Pitch{6, 3, -1}).MidiKey(), 58);  // Bb3
+}
+
+TEST(PitchTest, Names) {
+  EXPECT_EQ((Pitch{0, 4, 0}).Name(), "C4");
+  EXPECT_EQ((Pitch{3, 4, 1}).Name(), "F#4");
+  EXPECT_EQ((Pitch{6, 2, -1}).Name(), "Bb2");
+  EXPECT_EQ((Pitch{4, 5, 2}).Name(), "G##5");
+}
+
+TEST(PitchTest, TrebleClefEveryGoodBoyDoesFine) {
+  // §4.3: the treble clef's lines map to E G B D F.
+  const char expected_lines[] = {'E', 'G', 'B', 'D', 'F'};
+  for (int line = 0; line < 5; ++line) {
+    Pitch p = DegreeToPitch(Clef::kTreble, 1 + 2 * line);
+    EXPECT_EQ(p.Name()[0], expected_lines[line]) << "line " << line;
+  }
+  // The spaces spell FACE.
+  const char expected_spaces[] = {'F', 'A', 'C', 'E'};
+  for (int space = 0; space < 4; ++space) {
+    Pitch p = DegreeToPitch(Clef::kTreble, 2 + 2 * space);
+    EXPECT_EQ(p.Name()[0], expected_spaces[space]) << "space " << space;
+  }
+}
+
+TEST(PitchTest, ClefBottomLines) {
+  EXPECT_EQ(DegreeToPitch(Clef::kTreble, 1).Name(), "E4");
+  EXPECT_EQ(DegreeToPitch(Clef::kBass, 1).Name(), "G2");
+  EXPECT_EQ(DegreeToPitch(Clef::kAlto, 1).Name(), "F3");
+  EXPECT_EQ(DegreeToPitch(Clef::kTenor, 1).Name(), "D3");
+}
+
+TEST(PitchTest, LedgerLinesBelowAndAbove) {
+  // Middle C hangs one ledger line below the treble staff: degree -1.
+  EXPECT_EQ(DegreeToPitch(Clef::kTreble, -1).Name(), "C4");
+  // High C above the treble staff.
+  EXPECT_EQ(DegreeToPitch(Clef::kTreble, 13).Name(), "C6");
+}
+
+TEST(PitchTest, DegreeRoundTrip) {
+  for (Clef clef : {Clef::kTreble, Clef::kBass, Clef::kAlto, Clef::kTenor}) {
+    for (int degree = -10; degree <= 20; ++degree) {
+      Pitch p = DegreeToPitch(clef, degree);
+      EXPECT_EQ(PitchToDegree(clef, p), degree)
+          << ClefName(clef) << " degree " << degree;
+    }
+  }
+}
+
+TEST(PitchTest, ParseClefNames) {
+  EXPECT_TRUE(ParseClef("treble").ok());
+  EXPECT_TRUE(ParseClef("G").ok());
+  EXPECT_TRUE(ParseClef("Bass").ok());
+  EXPECT_FALSE(ParseClef("soprano").ok());
+}
+
+TEST(KeySignatureTest, PaperThreeSharpsExample) {
+  // §4.3: three sharps = A major; "perform all notes notated as F, C,
+  // or G one semitone higher than written".
+  KeySignature a_major{3};
+  EXPECT_EQ(a_major.MajorName(), "A major");
+  EXPECT_EQ(a_major.AlterFor(3), 1);  // F
+  EXPECT_EQ(a_major.AlterFor(0), 1);  // C
+  EXPECT_EQ(a_major.AlterFor(4), 1);  // G
+  EXPECT_EQ(a_major.AlterFor(1), 0);  // D unaffected
+  EXPECT_EQ(a_major.AlterFor(6), 0);  // B unaffected
+}
+
+TEST(KeySignatureTest, FlatsAndNames) {
+  KeySignature g_minor{-2};  // BWV 578's signature: Bb major / g minor
+  EXPECT_EQ(g_minor.MajorName(), "Bb major");
+  EXPECT_EQ(g_minor.AlterFor(6), -1);  // Bb
+  EXPECT_EQ(g_minor.AlterFor(2), -1);  // Eb
+  EXPECT_EQ(g_minor.AlterFor(5), 0);   // A unaffected
+  EXPECT_EQ(KeySignature{0}.MajorName(), "C major");
+  EXPECT_EQ(KeySignature{7}.MajorName(), "C# major");
+  EXPECT_EQ(KeySignature{-7}.MajorName(), "Cb major");
+}
+
+TEST(AccidentalStateTest, MeasureScopedAccidentals) {
+  AccidentalState state(KeySignature{1});  // G major: F#
+  // Unmarked F inherits the sharp from the key signature.
+  EXPECT_EQ(state.EffectiveAlter(3, 4), 1);
+  // An explicit natural cancels it for the rest of the measure.
+  EXPECT_EQ(state.Apply(3, 4, Accidental::kNatural), 0);
+  EXPECT_EQ(state.EffectiveAlter(3, 4), 0);
+  // ...but only in that octave.
+  EXPECT_EQ(state.EffectiveAlter(3, 5), 1);
+  // After the barline the key signature applies again.
+  state.Reset();
+  EXPECT_EQ(state.EffectiveAlter(3, 4), 1);
+}
+
+TEST(AccidentalStateTest, LaterAccidentalOverridesEarlier) {
+  AccidentalState state(KeySignature{0});
+  state.Apply(0, 4, Accidental::kSharp);
+  EXPECT_EQ(state.EffectiveAlter(0, 4), 1);
+  state.Apply(0, 4, Accidental::kFlat);
+  EXPECT_EQ(state.EffectiveAlter(0, 4), -1);
+}
+
+TEST(PerformancePitchTest, FullDerivation) {
+  // A major (3 sharps), treble clef. Bottom space = F -> F#4 = 66.
+  AccidentalState state(KeySignature{3});
+  Pitch p;
+  EXPECT_EQ(PerformancePitch(Clef::kTreble, 2, Accidental::kNone, &state, &p),
+            66);
+  EXPECT_EQ(p.Name(), "F#4");
+  // Explicit natural overrides the signature.
+  EXPECT_EQ(
+      PerformancePitch(Clef::kTreble, 2, Accidental::kNatural, &state, &p),
+      65);
+  // A later unmarked F in the same measure keeps the natural.
+  EXPECT_EQ(PerformancePitch(Clef::kTreble, 2, Accidental::kNone, &state, &p),
+            65);
+  // Without state, an unmarked note is taken at face value.
+  EXPECT_EQ(
+      PerformancePitch(Clef::kTreble, 2, Accidental::kNone, nullptr, &p), 65);
+}
+
+TEST(AccidentalTest, AlterValues) {
+  EXPECT_EQ(AccidentalAlter(Accidental::kSharp), 1);
+  EXPECT_EQ(AccidentalAlter(Accidental::kFlat), -1);
+  EXPECT_EQ(AccidentalAlter(Accidental::kDoubleSharp), 2);
+  EXPECT_EQ(AccidentalAlter(Accidental::kDoubleFlat), -2);
+  EXPECT_EQ(AccidentalAlter(Accidental::kNatural), 0);
+}
+
+}  // namespace
+}  // namespace mdm::cmn

@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include "cmn/aspects.h"
+#include "cmn/schema.h"
+#include "cmn/score_builder.h"
+#include "cmn/temporal.h"
+#include "er/database.h"
+#include "quel/quel.h"
+
+namespace mdm::cmn {
+namespace {
+
+using er::EntityId;
+
+class CmnScoreTest : public testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(InstallCmnSchema(&db_).ok()); }
+
+  er::Database db_;
+};
+
+TEST_F(CmnScoreTest, SchemaInstallsAllFig11Entities) {
+  for (const std::string& type : Fig11EntityTypes())
+    EXPECT_NE(db_.schema().FindEntityType(type), nullptr) << type;
+  // Key orderings from fig 13.
+  for (const char* ordering :
+       {kMovementInScore, kMeasureInMovement, kSyncInMeasure, kChordInSync,
+        kNoteInChord, kGroupSeq, kVoiceSeq, kNoteInEvent, kMidiInEvent})
+    EXPECT_NE(db_.schema().FindOrdering(ordering), nullptr) << ordering;
+  // group_seq is the recursive one (beams within beams).
+  EXPECT_TRUE(db_.schema().FindOrdering(kGroupSeq)->IsRecursive());
+  // Idempotent.
+  EXPECT_TRUE(InstallCmnSchema(&db_).ok());
+}
+
+TEST_F(CmnScoreTest, Fig11TableRegenerates) {
+  std::string table = Fig11Table();
+  EXPECT_NE(table.find("Sync"), std::string::npos);
+  EXPECT_NE(table.find("Sets of simultaneous events"), std::string::npos);
+  EXPECT_NE(table.find("The unit of homophony"), std::string::npos);
+}
+
+TEST_F(CmnScoreTest, BuildSmallScore) {
+  ScoreBuilder b(&db_);
+  auto score = b.CreateScore("Fuge g-moll", "BWV 578");
+  ASSERT_TRUE(score.ok());
+  auto movement = b.AddMovement(*score, "Fuga");
+  ASSERT_TRUE(movement.ok());
+  auto m1 = b.AddMeasure(*movement, 1, {4, 4});
+  auto m2 = b.AddMeasure(*movement, 2, {4, 4});
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  auto voice = b.AddVoice(1);
+  ASSERT_TRUE(voice.ok());
+  auto sync = b.GetOrAddSync(*m1, Rational(0));
+  ASSERT_TRUE(sync.ok());
+  auto chord = b.AddChord(*sync, *voice, Rational(1, 2));
+  ASSERT_TRUE(chord.ok());
+  auto note = b.AddNote(*chord, Clef::kTreble, 4);  // D5... degree 4 = B4
+  ASSERT_TRUE(note.ok());
+  auto key = db_.GetAttribute(*note, "midi_key");
+  ASSERT_TRUE(key.ok());
+  EXPECT_EQ(key->AsInt(), DegreeToPitch(Clef::kTreble, 4).MidiKey());
+
+  // The temporal hierarchy is navigable through plain ordering ops.
+  EXPECT_EQ(*db_.ParentOf(kChordInSync, *chord), *sync);
+  EXPECT_EQ(*db_.ParentOf(kSyncInMeasure, *sync), *m1);
+  EXPECT_EQ(*db_.ParentOf(kMeasureInMovement, *m1), *movement);
+  EXPECT_EQ(*db_.ParentOf(kMovementInScore, *movement), *score);
+}
+
+TEST_F(CmnScoreTest, SyncsSortedAndDeduplicated) {
+  ScoreBuilder b(&db_);
+  auto score = b.CreateScore("t");
+  auto movement = b.AddMovement(*score, "I");
+  auto measure = b.AddMeasure(*movement, 1, {4, 4});
+  auto s_half = b.GetOrAddSync(*measure, Rational(1, 2));
+  auto s_zero = b.GetOrAddSync(*measure, Rational(0));
+  auto s_third = b.GetOrAddSync(*measure, Rational(1, 3));
+  auto again = b.GetOrAddSync(*measure, Rational(1, 2));
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *s_half);  // reused, not duplicated
+  auto kids = db_.Children(kSyncInMeasure, *measure);
+  ASSERT_TRUE(kids.ok());
+  EXPECT_EQ(*kids, (std::vector<EntityId>{*s_zero, *s_third, *s_half}));
+}
+
+TEST_F(CmnScoreTest, SyncScoreTimeAccumulatesMeasures) {
+  ScoreBuilder b(&db_);
+  auto score = b.CreateScore("t");
+  auto movement = b.AddMovement(*score, "I");
+  auto m1 = b.AddMeasure(*movement, 1, {3, 4});
+  auto m2 = b.AddMeasure(*movement, 2, {4, 4});
+  auto m3 = b.AddMeasure(*movement, 3, {6, 8});
+  (void)m2;
+  auto sync = b.GetOrAddSync(*m3, Rational(3, 2));
+  ASSERT_TRUE(sync.ok());
+  // m1 is 3 beats, m2 is 4 beats; sync is 1.5 beats into m3.
+  auto t = SyncScoreTime(db_, *sync);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_EQ(*t, Rational(17, 2));
+  (void)m1;
+}
+
+TEST_F(CmnScoreTest, TiesMergeNotesIntoEvents) {
+  ScoreBuilder b(&db_);
+  auto score = b.CreateScore("t");
+  auto movement = b.AddMovement(*score, "I");
+  auto m1 = b.AddMeasure(*movement, 1, {4, 4});
+  auto m2 = b.AddMeasure(*movement, 2, {4, 4});
+  auto voice = b.AddVoice(1);
+  // A half note on beat 3 of m1 tied across the barline to a half note
+  // on beat 0 of m2: one EVENT of 2+2 beats... here quarter+quarter.
+  auto s1 = b.GetOrAddSync(*m1, Rational(3));
+  auto c1 = b.AddChord(*s1, *voice, Rational(1));
+  auto n1 = b.AddNoteMidi(*c1, 67);
+  auto s2 = b.GetOrAddSync(*m2, Rational(0));
+  auto c2 = b.AddChord(*s2, *voice, Rational(1));
+  auto n2 = b.AddNoteMidi(*c2, 67);
+  ASSERT_TRUE(b.Tie(*n1, *n2).ok());
+  // Tying the same note again violates the one-event rule.
+  EXPECT_EQ(b.Tie(*n1, *n2).code(), StatusCode::kConstraintViolation);
+
+  mtime::TempoMap tempo;  // default 120 bpm: 0.5 s per beat
+  auto notes = ExtractPerformance(&db_, *score, tempo);
+  ASSERT_TRUE(notes.ok()) << notes.status().ToString();
+  ASSERT_EQ(notes->size(), 1u);  // the tie merged two notes
+  const PerformedNote& pn = (*notes)[0];
+  EXPECT_EQ(pn.midi_key, 67);
+  EXPECT_EQ(pn.start_beats, Rational(3));
+  EXPECT_EQ(pn.duration_beats, Rational(2));
+  EXPECT_DOUBLE_EQ(pn.start_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(pn.end_seconds, 2.5);
+  // The EVENT carries its performance times (fig 13's temporal
+  // attributes of EVENT).
+  auto event = db_.ParentOf(kNoteInEvent, *n1);
+  ASSERT_TRUE(event.ok());
+  auto start = db_.GetAttribute(*event, "start_seconds");
+  ASSERT_TRUE(start.ok());
+  EXPECT_DOUBLE_EQ(start->AsFloat(), 1.5);
+}
+
+TEST_F(CmnScoreTest, DynamicsAndArticulationShapePerformance) {
+  ScoreBuilder b(&db_);
+  auto score = b.CreateScore("t");
+  auto movement = b.AddMovement(*score, "I");
+  auto m1 = b.AddMeasure(*movement, 1, {4, 4});
+  auto voice = b.AddVoice(1);
+  auto sync = b.GetOrAddSync(*m1, Rational(0));
+  auto chord = b.AddChord(*sync, *voice, Rational(1));
+  auto note = b.AddNoteMidi(*chord, 60);
+  ASSERT_TRUE(
+      db_.SetAttribute(*note, "dynamic", rel::Value::String("ff")).ok());
+  ASSERT_TRUE(
+      db_.SetAttribute(*note, "articulation", rel::Value::String("staccato"))
+          .ok());
+  mtime::TempoMap tempo;
+  auto notes = ExtractPerformance(&db_, *score, tempo);
+  ASSERT_TRUE(notes.ok());
+  ASSERT_EQ(notes->size(), 1u);
+  EXPECT_EQ((*notes)[0].velocity, 100);  // ff
+  // Staccato halves the sounding duration: 1 beat -> 0.25 s at 120.
+  EXPECT_DOUBLE_EQ((*notes)[0].end_seconds, 0.25);
+}
+
+TEST_F(CmnScoreTest, GroupDurationAggregatesRecursively) {
+  // Fig 15 / fig 8: nested beam groups.
+  ScoreBuilder b(&db_);
+  auto score = b.CreateScore("t");
+  auto movement = b.AddMovement(*score, "I");
+  auto measure = b.AddMeasure(*movement, 1, {4, 4});
+  auto voice = b.AddVoice(1);
+  auto sync = b.GetOrAddSync(*measure, Rational(0));
+  auto outer = b.AddGroup("beam");
+  auto inner = b.AddGroup("beam");
+  ASSERT_TRUE(outer.ok());
+  ASSERT_TRUE(inner.ok());
+  auto c1 = b.AddChord(*sync, *voice, Rational(1, 2));
+  auto sync2 = b.GetOrAddSync(*measure, Rational(1, 2));
+  auto c2 = b.AddChord(*sync2, *voice, Rational(1, 4));
+  auto sync3 = b.GetOrAddSync(*measure, Rational(3, 4));
+  auto c3 = b.AddChord(*sync3, *voice, Rational(1, 4));
+  ASSERT_TRUE(b.AddToGroup(*outer, *c1).ok());
+  ASSERT_TRUE(b.AddToGroup(*inner, *c2).ok());
+  ASSERT_TRUE(b.AddToGroup(*inner, *c3).ok());
+  ASSERT_TRUE(b.AddToGroup(*outer, *inner).ok());
+  auto duration = GroupDuration(&db_, *outer);
+  ASSERT_TRUE(duration.ok());
+  EXPECT_EQ(*duration, Rational(1));
+  // The computed duration is stored on the group entity.
+  auto stored = db_.GetAttribute(*outer, "duration_beats");
+  ASSERT_TRUE(stored.ok());
+  EXPECT_EQ(stored->AsRational(), Rational(1));
+}
+
+TEST_F(CmnScoreTest, Fig14AlignVoicesToSyncs) {
+  // Fig 14: two voices with different rhythms divide a measure into
+  // syncs at every distinct onset.
+  ScoreBuilder b(&db_);
+  auto score = b.CreateScore("t");
+  auto movement = b.AddMovement(*score, "I");
+  auto measure = b.AddMeasure(*movement, 1, {4, 4});
+  (void)measure;
+  auto v1 = b.AddVoice(1);
+  auto v2 = b.AddVoice(2);
+  // Voice 1: four quarters (onsets 0, 1, 2, 3).
+  // Voice 2: half, quarter rest, quarter (onsets 0, [2], 3).
+  er::Database& db = *b.db();
+  auto mk_chord = [&](EntityId voice, Rational dur) {
+    auto chord = db.CreateEntity("CHORD");
+    EXPECT_TRUE(chord.ok());
+    EXPECT_TRUE(
+        db.SetAttribute(*chord, "duration_beats", rel::Value::Rat(dur)).ok());
+    EXPECT_TRUE(db.AppendChild(kVoiceSeq, voice, *chord).ok());
+    return *chord;
+  };
+  for (int i = 0; i < 4; ++i) mk_chord(*v1, Rational(1));
+  mk_chord(*v2, Rational(2));
+  ASSERT_TRUE(b.AddRest(*v2, Rational(1)).ok());
+  mk_chord(*v2, Rational(1));
+
+  auto syncs = AlignVoicesToSyncs(&db_, *score, {*v1, *v2});
+  ASSERT_TRUE(syncs.ok()) << syncs.status().ToString();
+  // Distinct onsets: 0, 1, 2, 3 (the rest at beat 2 creates no sync of
+  // its own, but voice 1 has a chord there).
+  EXPECT_EQ(*syncs, 4u);
+  // The sync at beat 0 holds chords from both voices.
+  auto m_syncs = db_.Children(kSyncInMeasure, *measure);
+  ASSERT_TRUE(m_syncs.ok());
+  auto chords_at_0 = db_.Children(kChordInSync, (*m_syncs)[0]);
+  ASSERT_TRUE(chords_at_0.ok());
+  EXPECT_EQ(chords_at_0->size(), 2u);
+  // Beat 3 likewise (voice 1's fourth quarter + voice 2's last quarter).
+  auto chords_at_3 = db_.Children(kChordInSync, (*m_syncs)[3]);
+  ASSERT_TRUE(chords_at_3.ok());
+  EXPECT_EQ(chords_at_3->size(), 2u);
+  // Re-running is idempotent for already-aligned chords.
+  auto again = AlignVoicesToSyncs(&db_, *score, {*v1, *v2});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, 4u);
+}
+
+TEST_F(CmnScoreTest, MaterializeMidiEvents) {
+  ScoreBuilder b(&db_);
+  auto score = b.CreateScore("t");
+  auto movement = b.AddMovement(*score, "I");
+  auto measure = b.AddMeasure(*movement, 1, {4, 4});
+  auto voice = b.AddVoice(1);
+  for (int i = 0; i < 4; ++i) {
+    auto sync = b.GetOrAddSync(*measure, Rational(i));
+    auto chord = b.AddChord(*sync, *voice, Rational(1));
+    ASSERT_TRUE(b.AddNoteMidi(*chord, 60 + i).ok());
+  }
+  mtime::TempoMap tempo;
+  auto n = MaterializeMidiEvents(&db_, *score, tempo);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 4u);
+  EXPECT_EQ(*db_.CountEntities("MIDI_EVENT"), 4u);
+}
+
+TEST_F(CmnScoreTest, BuilderValidatesInput) {
+  ScoreBuilder b(&db_);
+  auto score = b.CreateScore("t");
+  auto movement = b.AddMovement(*score, "I");
+  auto measure = b.AddMeasure(*movement, 1, {4, 4});
+  auto voice = b.AddVoice(1);
+  auto sync = b.GetOrAddSync(*measure, Rational(0));
+  EXPECT_EQ(b.GetOrAddSync(*measure, Rational(-1)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(b.AddChord(*sync, *voice, Rational(0)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(b.AddRest(*voice, Rational(-1, 2)).status().code(),
+            StatusCode::kInvalidArgument);
+  auto chord = b.AddChord(*sync, *voice, Rational(1));
+  EXPECT_EQ(b.AddNoteMidi(*chord, 300).status().code(),
+            StatusCode::kInvalidArgument);
+  // Tying non-notes fails.
+  EXPECT_EQ(b.Tie(*chord, *chord).code(), StatusCode::kTypeError);
+}
+
+TEST_F(CmnScoreTest, AspectsClassification) {
+  auto note_aspects = AspectsOf("NOTE");
+  // §7.1.1: a note participates in every aspect of fig 12 except the
+  // textual subaspect.
+  EXPECT_EQ(note_aspects.size(), 6u);
+  auto midi_aspects = AspectsOf("MIDI_EVENT");
+  for (Aspect a : midi_aspects) EXPECT_NE(a, Aspect::kGraphical);
+  EXPECT_TRUE(AspectsOf("UNKNOWN_TYPE").empty());
+  // Attribute-level views.
+  auto beat_aspects = AttributeAspects("SYNC", "beat");
+  ASSERT_EQ(beat_aspects.size(), 1u);
+  EXPECT_EQ(beat_aspects[0], Aspect::kTemporal);
+  std::string tree = AspectTreeText();
+  EXPECT_NE(tree.find("articulation"), std::string::npos);
+  EXPECT_NE(tree.find("textual"), std::string::npos);
+}
+
+TEST_F(CmnScoreTest, CmnQueriesThroughQuel) {
+  ScoreBuilder b(&db_);
+  auto score = b.CreateScore("Fuge g-moll", "BWV 578");
+  auto movement = b.AddMovement(*score, "Fuga");
+  auto measure = b.AddMeasure(*movement, 1, {4, 4});
+  auto voice = b.AddVoice(1);
+  auto sync = b.GetOrAddSync(*measure, Rational(0));
+  auto chord = b.AddChord(*sync, *voice, Rational(1));
+  ASSERT_TRUE(b.AddNote(*chord, Clef::kTreble, 1).ok());
+  ASSERT_TRUE(b.AddNote(*chord, Clef::kTreble, 3).ok());
+  ASSERT_TRUE(b.AddNote(*chord, Clef::kTreble, 5).ok());
+
+  quel::QuelSession session(&db_);
+  auto rs = session.Execute(R"(
+    range of n is NOTE
+    range of c is CHORD
+    retrieve (k = count(n)) where n under c in note_in_chord
+  )");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows[0][0].AsInt(), 3);
+}
+
+}  // namespace
+}  // namespace mdm::cmn

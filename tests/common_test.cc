@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/random.h"
+#include "common/rational.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace mdm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFound("no entity type named FOO");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: no entity type named FOO");
+}
+
+TEST(StatusTest, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(FailedPrecondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Corruption("x").code(), StatusCode::kCorruption);
+  EXPECT_EQ(ConstraintViolation("x").code(),
+            StatusCode::kConstraintViolation);
+  EXPECT_EQ(ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(TypeError("x").code(), StatusCode::kTypeError);
+  EXPECT_EQ(IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Internal("x").code(), StatusCode::kInternal);
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return InvalidArgument("not positive");
+  return v;
+}
+
+Result<int> DoubleIt(int v) {
+  MDM_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  return parsed * 2;
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  Result<int> good = DoubleIt(21);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+
+  Result<int> bad = DoubleIt(-1);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, ValueOr) {
+  EXPECT_EQ(ParsePositive(-5).value_or(7), 7);
+  EXPECT_EQ(ParsePositive(5).value_or(7), 5);
+}
+
+TEST(RationalTest, NormalizesOnConstruction) {
+  Rational r(6, 8);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 4);
+  Rational neg(3, -6);
+  EXPECT_EQ(neg.num(), -1);
+  EXPECT_EQ(neg.den(), 2);
+  Rational zero(0, 17);
+  EXPECT_EQ(zero.den(), 1);
+  EXPECT_TRUE(zero.IsZero());
+}
+
+TEST(RationalTest, TripletArithmeticIsExact) {
+  // The motivating case: three triplet eighths fill one quarter exactly.
+  Rational triplet(1, 12);
+  Rational sum = triplet + triplet + triplet;
+  EXPECT_EQ(sum, Rational(1, 4));
+}
+
+TEST(RationalTest, ArithmeticIdentities) {
+  Rational a(3, 4), b(5, 6);
+  EXPECT_EQ(a + b, Rational(19, 12));
+  EXPECT_EQ(b - a, Rational(1, 12));
+  EXPECT_EQ(a * b, Rational(5, 8));
+  EXPECT_EQ(a / b, Rational(9, 10));
+  EXPECT_EQ(a - a, Rational(0));
+}
+
+TEST(RationalTest, Ordering) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(7, 8), Rational(3, 4));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(0));
+}
+
+TEST(RationalTest, FloorHandlesNegatives) {
+  EXPECT_EQ(Rational(7, 2).Floor(), 3);
+  EXPECT_EQ(Rational(-7, 2).Floor(), -4);
+  EXPECT_EQ(Rational(4).Floor(), 4);
+  EXPECT_EQ(Rational(-4).Floor(), -4);
+}
+
+TEST(RationalTest, ParseRoundTrip) {
+  Rational r;
+  ASSERT_TRUE(Rational::Parse("3/4", &r));
+  EXPECT_EQ(r, Rational(3, 4));
+  ASSERT_TRUE(Rational::Parse("-5", &r));
+  EXPECT_EQ(r, Rational(-5));
+  ASSERT_TRUE(Rational::Parse("-6/8", &r));
+  EXPECT_EQ(r, Rational(-3, 4));
+  EXPECT_FALSE(Rational::Parse("", &r));
+  EXPECT_FALSE(Rational::Parse("abc", &r));
+  EXPECT_FALSE(Rational::Parse("1/0", &r));
+  EXPECT_FALSE(Rational::Parse("1/", &r));
+  EXPECT_FALSE(Rational::Parse("1/2x", &r));
+}
+
+TEST(RationalTest, ToString) {
+  EXPECT_EQ(Rational(3, 4).ToString(), "3/4");
+  EXPECT_EQ(Rational(8, 4).ToString(), "2");
+  EXPECT_EQ(Rational(-1, 2).ToString(), "-1/2");
+}
+
+TEST(StringsTest, SplitJoinRoundTrip) {
+  auto parts = StrSplit("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(StrJoin(parts, ","), "a,b,,c");
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(StrTrim("  hello \t\n"), "hello");
+  EXPECT_EQ(StrTrim(""), "");
+  EXPECT_EQ(StrTrim("   "), "");
+  EXPECT_EQ(StrTrim("x"), "x");
+}
+
+TEST(StringsTest, CaseConversionAndCompare) {
+  EXPECT_EQ(AsciiLower("MiXeD"), "mixed");
+  EXPECT_EQ(AsciiUpper("MiXeD"), "MIXED");
+  EXPECT_TRUE(EqualsIgnoreCase("Chord", "CHORD"));
+  EXPECT_FALSE(EqualsIgnoreCase("Chord", "Chords"));
+}
+
+TEST(StringsTest, PrefixSuffix) {
+  EXPECT_TRUE(StartsWith("define entity", "define"));
+  EXPECT_FALSE(StartsWith("def", "define"));
+  EXPECT_TRUE(EndsWith("note_in_chord", "chord"));
+  EXPECT_FALSE(EndsWith("chord", "note_in_chord"));
+}
+
+TEST(StringsTest, Format) {
+  EXPECT_EQ(StrFormat("%s-%d", "BWV", 578), "BWV-578");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+}
+
+TEST(BytesTest, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0xAB);
+  w.PutU16(0x1234);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFull);
+  w.PutI64(-42);
+  w.PutF64(3.25);
+
+  ByteReader r(w.data());
+  uint8_t u8;
+  uint16_t u16;
+  uint32_t u32;
+  uint64_t u64;
+  int64_t i64;
+  double f64;
+  ASSERT_TRUE(r.GetU8(&u8).ok());
+  ASSERT_TRUE(r.GetU16(&u16).ok());
+  ASSERT_TRUE(r.GetU32(&u32).ok());
+  ASSERT_TRUE(r.GetU64(&u64).ok());
+  ASSERT_TRUE(r.GetI64(&i64).ok());
+  ASSERT_TRUE(r.GetF64(&f64).ok());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u16, 0x1234);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(i64, -42);
+  EXPECT_EQ(f64, 3.25);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, VarintBoundaries) {
+  ByteWriter w;
+  const uint64_t values[] = {0, 1, 127, 128, 16383, 16384, UINT64_MAX};
+  for (uint64_t v : values) w.PutVarint(v);
+  ByteReader r(w.data());
+  for (uint64_t v : values) {
+    uint64_t got;
+    ASSERT_TRUE(r.GetVarint(&got).ok());
+    EXPECT_EQ(got, v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, StringRoundTripIncludingEmbeddedNul) {
+  ByteWriter w;
+  std::string s("with\0nul", 8);
+  w.PutString(s);
+  w.PutString("");
+  ByteReader r(w.data());
+  std::string a, b;
+  ASSERT_TRUE(r.GetString(&a).ok());
+  ASSERT_TRUE(r.GetString(&b).ok());
+  EXPECT_EQ(a, s);
+  EXPECT_EQ(b, "");
+}
+
+TEST(BytesTest, ExhaustionIsCorruption) {
+  ByteWriter w;
+  w.PutU8(1);
+  ByteReader r(w.data());
+  uint32_t v;
+  EXPECT_EQ(r.GetU32(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(BytesTest, Crc32KnownVector) {
+  // CRC32("123456789") = 0xCBF43926 is the standard check value.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(RngTest, DeterministicAndInRange) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.Range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace mdm

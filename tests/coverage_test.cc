@@ -1,0 +1,165 @@
+// Edge cases and error paths not covered by the main suites.
+#include <gtest/gtest.h>
+
+#include "biblio/thematic_index.h"
+#include "cmn/schema.h"
+#include "ddl/parser.h"
+#include "er/database.h"
+#include "mtime/meter.h"
+#include "quel/quel.h"
+
+namespace mdm {
+namespace {
+
+TEST(CoverageTest, InstanceGraphErrors) {
+  er::Database db;
+  ASSERT_TRUE(db.DefineEntityType({"X", {}}).ok());
+  EXPECT_EQ(db.InstanceGraphDot("ghost", 1, "").status().code(),
+            StatusCode::kNotFound);
+  // A valid ordering with a root that has no children still renders.
+  ASSERT_TRUE(db.DefineOrdering({"o", {"X"}, "X"}).ok());
+  auto x = db.CreateEntity("X");
+  auto dot = db.InstanceGraphDot("o", *x, "");
+  ASSERT_TRUE(dot.ok());
+  EXPECT_NE(dot->find("digraph"), std::string::npos);
+}
+
+TEST(CoverageTest, OrderingCountsAndErrors) {
+  er::Database db;
+  ASSERT_TRUE(db.DefineEntityType({"P", {}}).ok());
+  ASSERT_TRUE(db.DefineEntityType({"C", {}}).ok());
+  ASSERT_TRUE(db.DefineOrdering({"o", {"C"}, "P"}).ok());
+  auto parent = db.CreateEntity("P");
+  auto child = db.CreateEntity("C");
+  EXPECT_EQ(*db.ChildCount("o", *parent), 0u);
+  ASSERT_TRUE(db.AppendChild("o", *parent, *child).ok());
+  EXPECT_EQ(*db.ChildCount("o", *parent), 1u);
+  EXPECT_EQ(db.ChildCount("ghost", *parent).status().code(),
+            StatusCode::kNotFound);
+  // Inserting at a position beyond the end is OutOfRange.
+  auto child2 = db.CreateEntity("C");
+  EXPECT_EQ(db.InsertChildAt("o", *parent, *child2, 5).code(),
+            StatusCode::kOutOfRange);
+  // Removing a child that has no parent is NotFound.
+  EXPECT_EQ(db.RemoveChild("o", *child2).code(), StatusCode::kNotFound);
+  // Missing entities.
+  EXPECT_EQ(db.AppendChild("o", 999, *child2).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db.AppendChild("o", *parent, 999).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db.DeleteEntity(999).code(), StatusCode::kNotFound);
+  EXPECT_EQ(db.TypeOf(999).status().code(), StatusCode::kNotFound);
+}
+
+TEST(CoverageTest, RelationshipErrors) {
+  er::Database db;
+  ASSERT_TRUE(db.DefineEntityType({"A", {}}).ok());
+  ASSERT_TRUE(db.DefineEntityType({"B", {}}).ok());
+  ASSERT_TRUE(db.DefineRelationship(
+                    {"R",
+                     {{"a", "A"}, {"b", "B"}},
+                     {{"weight", rel::ValueType::kFloat, ""}}})
+                  .ok());
+  auto a = db.CreateEntity("A");
+  auto b = db.CreateEntity("B");
+  EXPECT_EQ(db.Connect("GHOST", {}).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(db.Connect("R", {{"a", *a}, {"zzz", *b}}).status().code(),
+            StatusCode::kNotFound);
+  auto link = db.Connect("R", {{"a", *a}, {"b", *b}});
+  ASSERT_TRUE(link.ok());
+  EXPECT_TRUE(
+      db.SetRelationshipAttribute(*link, "weight", rel::Value::Float(0.5))
+          .ok());
+  EXPECT_EQ(db.SetRelationshipAttribute(*link, "ghost", rel::Value::Int(1))
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(
+      db.SetRelationshipAttribute(*link, "weight", rel::Value::String("x"))
+          .code(),
+      StatusCode::kTypeError);
+  EXPECT_EQ(db.SetRelationshipAttribute(999, "weight", rel::Value::Int(1))
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_TRUE(db.Disconnect(*link).ok());
+  EXPECT_EQ(db.Disconnect(*link).code(), StatusCode::kNotFound);
+  EXPECT_EQ(db.CountRelationships("GHOST").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CoverageTest, QuelSortByParseErrors) {
+  er::Database db;
+  ASSERT_TRUE(
+      db.DefineEntityType({"N", {{"v", rel::ValueType::kInt, ""}}}).ok());
+  quel::QuelSession session(&db);
+  EXPECT_EQ(session.Execute("retrieve (N.v) sort v").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(session.Execute("retrieve (N.v) sort by").status().code(),
+            StatusCode::kParseError);
+  // Sorting on mixed null/non-null values is stable and non-crashing.
+  for (int i = 0; i < 3; ++i) {
+    auto n = db.CreateEntity("N");
+    if (i != 1) {
+      ASSERT_TRUE(db.SetAttribute(*n, "v", rel::Value::Int(10 - i)).ok());
+    }
+  }
+  auto rs = session.Execute("retrieve (N.v) sort by N.v");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 3u);
+  EXPECT_TRUE(rs->rows[0][0].is_null());  // nulls sort first
+}
+
+TEST(CoverageTest, BiblioEntryWithoutCitations) {
+  er::Database db;
+  ASSERT_TRUE(biblio::InstallBiblioSchema(&db).ok());
+  auto catalog = biblio::CreateCatalog(&db, "Koechel", "KV");
+  biblio::CatalogEntry entry;
+  entry.number = "626";
+  entry.title = "Requiem";
+  auto id = biblio::AddEntry(&db, *catalog, entry);
+  ASSERT_TRUE(id.ok());
+  auto text = biblio::FormatEntry(db, *id);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text->find("Abschriften"), std::string::npos);
+  EXPECT_NE(text->find("Requiem"), std::string::npos);
+}
+
+TEST(CoverageTest, MeterLocateEdges) {
+  mtime::MeterMap meter;
+  auto [m0, b0] = meter.Locate(Rational(0));
+  EXPECT_EQ(m0, 0);
+  EXPECT_EQ(b0, Rational(0));
+  auto [mn, bn] = meter.Locate(Rational(-5));
+  EXPECT_EQ(mn, 0);
+  EXPECT_EQ(bn, Rational(0));
+  // Exactly on a boundary belongs to the following measure.
+  auto [m1, b1] = meter.Locate(Rational(4));
+  EXPECT_EQ(m1, 1);
+  EXPECT_EQ(b1, Rational(0));
+}
+
+TEST(CoverageTest, DdlOrderingKeywordCollision) {
+  // An ordering explicitly named before parsing children still works,
+  // and 'under' as an ordering name is tolerated by the grammar.
+  er::Database db;
+  ASSERT_TRUE(ddl::ExecuteDdl(R"(
+    define entity A ()
+    define entity B ()
+    define ordering seq (B) under A
+  )",
+                              &db)
+                  .ok());
+  EXPECT_NE(db.schema().FindOrdering("seq"), nullptr);
+}
+
+TEST(CoverageTest, Fig11EntityTypesAllInstalled) {
+  er::Database db;
+  ASSERT_TRUE(cmn::InstallCmnSchema(&db).ok());
+  // Every type can actually be instantiated.
+  for (const std::string& type : cmn::Fig11EntityTypes()) {
+    auto id = db.CreateEntity(type);
+    EXPECT_TRUE(id.ok()) << type;
+  }
+}
+
+}  // namespace
+}  // namespace mdm

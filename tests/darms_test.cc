@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "cmn/schema.h"
+#include "cmn/temporal.h"
+#include "darms/darms.h"
+#include "er/database.h"
+
+namespace mdm::darms {
+namespace {
+
+// The fig 4 fragment, transliterated into our DARMS dialect ('!' for the
+// paper's leading quote, which OCR renders inconsistently).
+constexpr char kFig4[] =
+    "I4 !G !K2# 00@\xC2\xA2tenor$ R2W / (7,@\xC2\xA2glo-$ 47) / "
+    "(8 (9 8 7 8)) / 9E 9,@ri-$ 8,@a$ / (7,@in$ 6) 7,@ex-$ / "
+    "(4D,@cel-$ (8 7 8 6)) / (4D 31) 4,@sis$ / 8Q,@\xC2\xA2" "de-$ E,@o$ //";
+
+TEST(DarmsParseTest, DurationsAndCarrying) {
+  auto items = ParseDarms("1W 2 3H 4 5Q 6E 7S 8T");
+  ASSERT_TRUE(items.ok()) << items.status().ToString();
+  ASSERT_EQ(items->size(), 8u);
+  // 2 carries W from 1; 4 carries H from 3.
+  EXPECT_EQ((*items)[0].duration, Rational(4));
+  EXPECT_EQ((*items)[1].duration, Rational(4));
+  EXPECT_EQ((*items)[2].duration, Rational(2));
+  EXPECT_EQ((*items)[3].duration, Rational(2));
+  EXPECT_EQ((*items)[4].duration, Rational(1));
+  EXPECT_EQ((*items)[5].duration, Rational(1, 2));
+  EXPECT_EQ((*items)[6].duration, Rational(1, 4));
+  EXPECT_EQ((*items)[7].duration, Rational(1, 8));
+}
+
+TEST(DarmsParseTest, SpaceCodesShortAndFull) {
+  auto items = ParseDarms("1Q 21 29 9");
+  ASSERT_TRUE(items.ok());
+  EXPECT_EQ((*items)[0].space_code, 1);
+  EXPECT_EQ((*items)[1].space_code, 1);  // 21 = full form of 1
+  EXPECT_EQ((*items)[2].space_code, 9);
+  EXPECT_EQ((*items)[3].space_code, 9);
+}
+
+TEST(DarmsParseTest, AccidentalsStemsDots) {
+  auto items = ParseDarms("5#Q 6-E 7NQ 4QD 3Q. 2QU.");
+  ASSERT_TRUE(items.ok()) << items.status().ToString();
+  EXPECT_EQ((*items)[0].accidental, cmn::Accidental::kSharp);
+  EXPECT_EQ((*items)[1].accidental, cmn::Accidental::kFlat);
+  EXPECT_EQ((*items)[2].accidental, cmn::Accidental::kNatural);
+  EXPECT_TRUE((*items)[3].stem_down);
+  EXPECT_TRUE((*items)[3].stem_explicit);
+  EXPECT_TRUE((*items)[4].dotted);
+  EXPECT_EQ((*items)[4].duration, Rational(3, 2));
+  EXPECT_FALSE((*items)[5].stem_down);
+  EXPECT_EQ((*items)[5].duration, Rational(3, 2));
+}
+
+TEST(DarmsParseTest, RestsClefsKeysMeters) {
+  auto items = ParseDarms("!G !K2- !M3:4 R2W RQ");
+  ASSERT_TRUE(items.ok()) << items.status().ToString();
+  EXPECT_EQ((*items)[0].kind, DarmsItem::Kind::kClef);
+  EXPECT_EQ((*items)[0].clef, 'G');
+  EXPECT_EQ((*items)[1].number, -2);  // two flats
+  EXPECT_EQ((*items)[2].meter_num, 3);
+  // R2W expands to two whole rests.
+  EXPECT_EQ((*items)[3].kind, DarmsItem::Kind::kRest);
+  EXPECT_EQ((*items)[3].duration, Rational(4));
+  EXPECT_EQ((*items)[4].kind, DarmsItem::Kind::kRest);
+  EXPECT_EQ((*items)[5].kind, DarmsItem::Kind::kRest);
+  EXPECT_EQ((*items)[5].duration, Rational(1));
+}
+
+TEST(DarmsParseTest, LiteralsAndCapitalization) {
+  auto items = ParseDarms("00@\xC2\xA2tenor$ 5Q,@glo-$");
+  ASSERT_TRUE(items.ok()) << items.status().ToString();
+  EXPECT_EQ((*items)[0].kind, DarmsItem::Kind::kAnnotation);
+  EXPECT_EQ((*items)[0].text, "Tenor");  // ¢ capitalized the t
+  EXPECT_EQ((*items)[1].text, "glo-");
+}
+
+TEST(DarmsParseTest, Errors) {
+  EXPECT_EQ(ParseDarms("@unterminated").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseDarms("!K2").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseDarms("!Z").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseDarms("&").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseDarms("!M4").status().code(), StatusCode::kParseError);
+}
+
+TEST(DarmsCanonTest, CanonicalFormIsExplicitAndStable) {
+  auto canon = Canonicalize("1W 2 3 / 4Q 5");
+  ASSERT_TRUE(canon.ok());
+  // Every note gets an explicit duration and a 2-digit code.
+  EXPECT_EQ(*canon, "21W 22W 23W / 24Q 25Q");
+  // Canonicalizing is idempotent.
+  auto again = Canonicalize(*canon);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *canon);
+}
+
+TEST(DarmsCanonTest, UserEncodingElidesRepeatedDurations) {
+  auto items = ParseDarms("21W 22W 23Q 24Q");
+  ASSERT_TRUE(items.ok());
+  EXPECT_EQ(EncodeUser(*items), "1W 2 3Q 4");
+}
+
+TEST(DarmsCanonTest, Fig4FragmentRoundTrips) {
+  auto items = ParseDarms(kFig4);
+  ASSERT_TRUE(items.ok()) << items.status().ToString();
+  // Canonical form parses back to the same item sequence.
+  std::string canon = EncodeCanonical(*items);
+  auto reparsed = ParseDarms(canon);
+  ASSERT_TRUE(reparsed.ok()) << canon;
+  ASSERT_EQ(reparsed->size(), items->size());
+  for (size_t i = 0; i < items->size(); ++i) {
+    EXPECT_EQ(static_cast<int>((*reparsed)[i].kind),
+              static_cast<int>((*items)[i].kind))
+        << "item " << i;
+    EXPECT_EQ((*reparsed)[i].duration, (*items)[i].duration) << "item " << i;
+    EXPECT_EQ((*reparsed)[i].space_code, (*items)[i].space_code)
+        << "item " << i;
+    EXPECT_EQ((*reparsed)[i].text, (*items)[i].text) << "item " << i;
+  }
+}
+
+TEST(DarmsImportTest, BuildsCmnScore) {
+  er::Database db;
+  auto import = ImportDarms(&db, kFig4, "Gloria fragment");
+  ASSERT_TRUE(import.ok()) << import.status().ToString();
+  EXPECT_EQ(import->measures, 8);
+  EXPECT_GT(import->notes, 15);
+  EXPECT_EQ(import->rests, 2);
+  // The key signature (2 sharps: D major) made F and C sharp: the
+  // imported notes around degree 7/8 (D/E) are unaffected, but the
+  // database must hold KEY_SIGNATURE and CLEF entities on the staff.
+  EXPECT_EQ(*db.CountEntities("KEY_SIGNATURE"), 1u);
+  EXPECT_EQ(*db.CountEntities("CLEF"), 1u);
+  // Syllables attached through the relationship.
+  auto syllables = db.CountEntities("SYLLABLE");
+  ASSERT_TRUE(syllables.ok());
+  EXPECT_GT(*syllables, 5u);
+  EXPECT_EQ(*db.CountRelationships("SYLLABLE_OF_NOTE"), *syllables);
+  // Beam groups became GROUP entities (nested ones included).
+  auto groups = db.CountEntities("GROUP");
+  ASSERT_TRUE(groups.ok());
+  EXPECT_GE(*groups, 6u);
+}
+
+TEST(DarmsImportTest, KeySignatureAffectsPerformancePitch) {
+  er::Database db;
+  // !K1# = G major: degree 2 (bottom space, F4) performs as F#4 = 66.
+  auto import = ImportDarms(&db, "!G !K1# 2Q //", "t");
+  ASSERT_TRUE(import.ok());
+  int midi = -1;
+  ASSERT_TRUE(db.ForEachEntity("NOTE", [&](er::EntityId note) {
+                  auto v = db.GetAttribute(note, "midi_key");
+                  if (v.ok() && !v->is_null())
+                    midi = static_cast<int>(v->AsInt());
+                  return true;
+                })
+                  .ok());
+  EXPECT_EQ(midi, 66);
+}
+
+TEST(DarmsImportTest, AccidentalsResetAtBarlines) {
+  er::Database db;
+  // Sharp on F in measure 1 carries within the measure, resets after /.
+  auto import = ImportDarms(&db, "!G 2#Q 2Q / 2Q //", "t");
+  ASSERT_TRUE(import.ok());
+  std::vector<int> keys;
+  ASSERT_TRUE(db.ForEachEntity("NOTE", [&](er::EntityId note) {
+                  auto v = db.GetAttribute(note, "midi_key");
+                  keys.push_back(static_cast<int>(v->AsInt()));
+                  return true;
+                })
+                  .ok());
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0], 66);  // F#4 (explicit)
+  EXPECT_EQ(keys[1], 66);  // carried within the measure
+  EXPECT_EQ(keys[2], 65);  // F natural after the barline
+}
+
+TEST(DarmsImportTest, UnbalancedBeamsRejected) {
+  er::Database db;
+  EXPECT_EQ(ImportDarms(&db, "(5Q 6Q //", "t").status().code(),
+            StatusCode::kParseError);
+  er::Database db2;
+  EXPECT_EQ(ImportDarms(&db2, "5Q 6Q) //", "t").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(DarmsExportTest, ImportExportReimportPreservesNotes) {
+  er::Database db;
+  const char* source = "!G !K2# 5Q 6E 7E / 8H. 9S 8S 7E //";
+  auto import = ImportDarms(&db, source, "t");
+  ASSERT_TRUE(import.ok()) << import.status().ToString();
+  auto exported = ExportDarms(&db, import->score);
+  ASSERT_TRUE(exported.ok()) << exported.status().ToString();
+
+  er::Database db2;
+  auto reimport = ImportDarms(&db2, *exported, "t2");
+  ASSERT_TRUE(reimport.ok()) << *exported;
+  EXPECT_EQ(reimport->notes, import->notes);
+  EXPECT_EQ(reimport->measures, import->measures);
+  // Degrees survive the round trip in order.
+  auto degrees = [](er::Database& d) {
+    std::vector<int64_t> out;
+    EXPECT_TRUE(d.ForEachEntity("NOTE", [&](er::EntityId n) {
+                    auto v = d.GetAttribute(n, "degree");
+                    out.push_back(v->AsInt());
+                    return true;
+                  })
+                    .ok());
+    return out;
+  };
+  EXPECT_EQ(degrees(db), degrees(db2));
+}
+
+}  // namespace
+}  // namespace mdm::darms

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include "ddl/lexer.h"
+#include "ddl/parser.h"
+#include "er/database.h"
+
+namespace mdm::ddl {
+namespace {
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Lex("define entity NOTE (name = integer) -- comment\n"
+                    "x != 3.5 'str' <= >= < > <>");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenType> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.type);
+  EXPECT_EQ(kinds.front(), TokenType::kIdentifier);
+  // The comment is skipped entirely.
+  for (const Token& t : *tokens) EXPECT_NE(t.text, "comment");
+  // '<>' lexes as not-equals.
+  int ne = 0;
+  for (const Token& t : *tokens)
+    if (t.type == TokenType::kNotEquals) ++ne;
+  EXPECT_EQ(ne, 2);  // != and <>
+}
+
+TEST(LexerTest, NumbersAndStrings) {
+  auto tokens = Lex("578 -12 3.25 \"The Star Spangled Banner\"");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].int_value, 578);
+  EXPECT_EQ((*tokens)[1].int_value, -12);
+  EXPECT_DOUBLE_EQ((*tokens)[2].float_value, 3.25);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[3].text, "The Star Spangled Banner");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_EQ(Lex("\"unterminated").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(Lex("a @ b").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(Lex("a ! b").status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, LineTracking) {
+  auto tokens = Lex("a\nb\n\nc");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1u);
+  EXPECT_EQ((*tokens)[1].line, 2u);
+  EXPECT_EQ((*tokens)[2].line, 4u);
+}
+
+// The paper's §5.1 schema, verbatim (modulo '.'-free attribute syntax).
+constexpr char kPaperSchema[] = R"(
+  define entity DATE (day = integer, month = integer, year = integer)
+  define entity COMPOSITION (title = string, composition_date = DATE)
+  define entity PERSON (name = string)
+  define relationship COMPOSER
+      (person = PERSON, composition = COMPOSITION)
+)";
+
+TEST(DdlTest, PaperSection51SchemaExecutes) {
+  er::Database db;
+  auto result = ExecuteDdl(kPaperSchema, &db);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->entity_types.size(), 3u);
+  EXPECT_EQ(result->relationships.size(), 1u);
+  // composition_date became an entity-valued (ref) attribute.
+  const er::EntityTypeDef* comp =
+      db.schema().FindEntityType("COMPOSITION");
+  ASSERT_NE(comp, nullptr);
+  auto idx = comp->AttributeIndex("composition_date");
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(comp->attributes[*idx].type, rel::ValueType::kRef);
+  EXPECT_EQ(comp->attributes[*idx].ref_target, "DATE");
+}
+
+TEST(DdlTest, PaperSection54Orderings) {
+  er::Database db;
+  auto result = ExecuteDdl(R"(
+    define entity CHORD (name = integer)
+    define entity NOTE (name = integer)
+    define entity MEASURE ()
+    define ordering note_in_chord (NOTE) under CHORD
+    define ordering (CHORD) under MEASURE
+  )",
+                           &db);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->orderings.size(), 2u);
+  EXPECT_EQ(result->orderings[0], "note_in_chord");
+  // The anonymous ordering got a generated name.
+  EXPECT_EQ(result->orderings[1], "chord_under_measure");
+}
+
+TEST(DdlTest, InhomogeneousAndRecursiveOrderings) {
+  er::Database db;
+  auto result = ExecuteDdl(R"(
+    define entity CHORD ()
+    define entity REST ()
+    define entity VOICE ()
+    define entity BEAM_GROUP ()
+    define ordering (CHORD, REST) under VOICE
+    define ordering (BEAM_GROUP, CHORD) under BEAM_GROUP
+  )",
+                           &db);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const er::OrderingDef* beams =
+      db.schema().FindOrdering("beam_group_chord_under_beam_group");
+  ASSERT_NE(beams, nullptr);
+  EXPECT_TRUE(beams->IsRecursive());
+}
+
+TEST(DdlTest, SyntaxErrorsNameTheLine) {
+  er::Database db;
+  auto r1 = ExecuteDdl("define entity (a = integer)", &db);
+  EXPECT_EQ(r1.status().code(), StatusCode::kParseError);
+  auto r2 = ExecuteDdl("define ordering (X) above Y", &db);
+  EXPECT_EQ(r2.status().code(), StatusCode::kParseError);
+  auto r3 = ExecuteDdl("create table foo", &db);
+  EXPECT_EQ(r3.status().code(), StatusCode::kParseError);
+  auto r4 = ExecuteDdl("define entity X (a = integer", &db);
+  EXPECT_EQ(r4.status().code(), StatusCode::kParseError);
+}
+
+TEST(DdlTest, SemanticErrorsSurface) {
+  er::Database db;
+  // Unknown attribute type name that is also not an entity type.
+  auto r = ExecuteDdl("define entity X (a = WIDGET)", &db);
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DdlTest, CheckSyntaxDoesNotExecute) {
+  EXPECT_TRUE(CheckDdlSyntax("define entity X (a = integer)").ok());
+  EXPECT_FALSE(CheckDdlSyntax("define entity X a = integer)").ok());
+}
+
+TEST(DdlTest, DeparseRoundTrip) {
+  er::Database db;
+  ASSERT_TRUE(ExecuteDdl(kPaperSchema, &db).ok());
+  std::string ddl = SchemaToDdl(db.schema());
+  // Deparsed text re-executes to an equivalent schema.
+  er::Database db2;
+  ASSERT_TRUE(ExecuteDdl(ddl, &db2).ok()) << ddl;
+  EXPECT_EQ(db2.schema().entity_types().size(),
+            db.schema().entity_types().size());
+  EXPECT_EQ(db2.schema().relationships().size(),
+            db.schema().relationships().size());
+  EXPECT_NE(ddl.find("composition_date = DATE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mdm::ddl

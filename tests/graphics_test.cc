@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "graphics/postscript.h"
+
+namespace mdm::graphics {
+namespace {
+
+TEST(PostScriptTest, StrokeSimpleLine) {
+  PostScriptInterp ps;
+  ASSERT_TRUE(ps.Run("newpath 0 0 moveto 10 20 lineto stroke").ok());
+  Rendering r = ps.Take();
+  ASSERT_EQ(r.paths.size(), 1u);
+  EXPECT_FALSE(r.paths[0].filled);
+  EXPECT_EQ(r.paths[0].d, "M 0.00 0.00 L 10.00 20.00");
+  EXPECT_DOUBLE_EQ(r.bbox.Width(), 10.0);
+  EXPECT_DOUBLE_EQ(r.bbox.Height(), 20.0);
+}
+
+TEST(PostScriptTest, ArithmeticAndStackOps) {
+  PostScriptInterp ps;
+  // (3 + 4) * 2 - 5 = 9; exch/dup/pop exercise the stack.
+  ASSERT_TRUE(ps.Run("3 4 add 2 mul 5 sub dup pop 0 exch moveto "
+                     "1 1 rlineto stroke")
+                  .ok());
+  Rendering r = ps.Take();
+  ASSERT_EQ(r.paths.size(), 1u);
+  EXPECT_EQ(r.paths[0].d, "M 0.00 9.00 L 1.00 10.00");
+}
+
+TEST(PostScriptTest, DefinedNumbersAndProcedures) {
+  PostScriptInterp ps;
+  ASSERT_TRUE(ps.Run(R"(
+    /unit 10 def
+    /box {
+      0 0 moveto unit 0 rlineto 0 unit rlineto
+      unit neg 0 rlineto closepath fill
+    } def
+    box
+  )")
+                  .ok());
+  Rendering r = ps.Take();
+  ASSERT_EQ(r.paths.size(), 1u);
+  EXPECT_TRUE(r.paths[0].filled);
+  EXPECT_NE(r.paths[0].d.find("Z"), std::string::npos);
+  EXPECT_DOUBLE_EQ(r.bbox.Width(), 10.0);
+}
+
+TEST(PostScriptTest, TransformsCompose) {
+  PostScriptInterp ps;
+  ASSERT_TRUE(ps.Run("gsave 100 50 translate 2 2 scale "
+                     "0 0 moveto 10 0 lineto stroke grestore "
+                     "0 0 moveto 10 0 lineto stroke")
+                  .ok());
+  Rendering r = ps.Take();
+  ASSERT_EQ(r.paths.size(), 2u);
+  // Translated+scaled line: from (100,50) to (120,50).
+  EXPECT_EQ(r.paths[0].d, "M 100.00 50.00 L 120.00 50.00");
+  // After grestore the CTM is identity again.
+  EXPECT_EQ(r.paths[1].d, "M 0.00 0.00 L 10.00 0.00");
+}
+
+TEST(PostScriptTest, RotateNinetyDegrees) {
+  PostScriptInterp ps;
+  ASSERT_TRUE(ps.Run("90 rotate 0 0 moveto 10 0 lineto stroke").ok());
+  Rendering r = ps.Take();
+  ASSERT_EQ(r.paths.size(), 1u);
+  // (10,0) rotated 90° CCW is (0,10).
+  EXPECT_EQ(r.paths[0].d, "M 0.00 0.00 L 0.00 10.00");
+}
+
+TEST(PostScriptTest, ArcProducesClosedCircleBBox) {
+  PostScriptInterp ps;
+  ASSERT_TRUE(ps.Run("newpath 50 50 10 0 360 arc closepath fill").ok());
+  Rendering r = ps.Take();
+  ASSERT_EQ(r.paths.size(), 1u);
+  EXPECT_NEAR(r.bbox.Width(), 20.0, 0.2);
+  EXPECT_NEAR(r.bbox.min_x, 40.0, 0.2);
+}
+
+TEST(PostScriptTest, SetGrayAndLineWidth) {
+  PostScriptInterp ps;
+  ASSERT_TRUE(
+      ps.Run("0.5 setgray 3 setlinewidth 0 0 moveto 5 5 lineto stroke")
+          .ok());
+  Rendering r = ps.Take();
+  ASSERT_EQ(r.paths.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.paths[0].gray, 0.5);
+  EXPECT_DOUBLE_EQ(r.paths[0].line_width, 3.0);
+}
+
+TEST(PostScriptTest, CommentsIgnored) {
+  PostScriptInterp ps;
+  ASSERT_TRUE(ps.Run("% draw nothing but a dot\n"
+                     "0 0 moveto 1 0 lineto stroke % trailing\n")
+                  .ok());
+  EXPECT_EQ(ps.Take().paths.size(), 1u);
+}
+
+TEST(PostScriptTest, ErrorsAreStatuses) {
+  PostScriptInterp ps;
+  EXPECT_EQ(ps.Run("add").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ps.Run("5 0 div").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ps.Run("frobnicate").code(), StatusCode::kParseError);
+  EXPECT_EQ(ps.Run("10 20 lineto").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ps.Run("grestore").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ps.Run("/x { 1 2").code(), StatusCode::kParseError);
+  EXPECT_EQ(ps.Run("/x").code(), StatusCode::kParseError);
+}
+
+TEST(PostScriptTest, RecursionGuard) {
+  PostScriptInterp ps;
+  EXPECT_EQ(ps.Run("/loop { loop } def loop").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(PostScriptTest, DefineNumberBindsParameters) {
+  PostScriptInterp ps;
+  ps.DefineNumber("xpos", 30);
+  ps.DefineNumber("ypos", 40);
+  ASSERT_TRUE(ps.Run("xpos ypos moveto xpos ypos add 0 lineto stroke").ok());
+  Rendering r = ps.Take();
+  EXPECT_EQ(r.paths[0].d, "M 30.00 40.00 L 70.00 0.00");
+}
+
+TEST(PostScriptTest, SvgOutputWellFormed) {
+  PostScriptInterp ps;
+  ASSERT_TRUE(ps.Run("0 0 moveto 10 10 lineto stroke "
+                     "newpath 5 5 2 0 360 arc fill")
+                  .ok());
+  std::string svg = ps.Take().ToSvg();
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("stroke-width"), std::string::npos);
+  EXPECT_NE(svg.find("fill=\"rgb(0,0,0)\""), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mdm::graphics

@@ -1,0 +1,166 @@
+// End-to-end integration: the full MDM pipeline the paper envisions,
+// crossing every module boundary in one scenario — a score enters as
+// DARMS, is catalogued, queried, typeset, performed, synthesized,
+// compacted, persisted, and recovered.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "biblio/thematic_index.h"
+#include "cmn/temporal.h"
+#include "cmn/transform.h"
+#include "darms/darms.h"
+#include "er/persist.h"
+#include "meta/meta_schema.h"
+#include "midi/midi.h"
+#include "mtime/tempo_map.h"
+#include "notation/engrave.h"
+#include "notation/piano_roll.h"
+#include "quel/quel.h"
+#include "sound/sound.h"
+
+namespace mdm {
+namespace {
+
+constexpr const char* kSubjectDarms =
+    "!G !K2- 2Q 6Q 4E 3E 2E 4E 3E 2E 1#E 3E / 5H 4E 3E 2E 1E / 2W //";
+
+TEST(IntegrationTest, FullPipeline) {
+  er::Database db;
+
+  // 1. Ingest: DARMS -> CMN entities.
+  auto import = darms::ImportDarms(&db, kSubjectDarms, "Fuge g-moll");
+  ASSERT_TRUE(import.ok()) << import.status().ToString();
+  EXPECT_EQ(import->measures, 3);
+  EXPECT_EQ(import->notes, 16);
+
+  // 2. Catalog: the biblio layer lives in the SAME database.
+  ASSERT_TRUE(biblio::InstallBiblioSchema(&db).ok());
+  auto bwv = biblio::CreateCatalog(&db, "Bach Werke Verzeichnis", "BWV");
+  ASSERT_TRUE(bwv.ok());
+  biblio::CatalogEntry entry;
+  entry.number = "578";
+  entry.title = "Fuge g-moll";
+  entry.measure_count = import->measures;
+  // Incipit from the stored notes themselves.
+  auto ordered = cmn::NotesInTemporalOrder(db, import->score);
+  ASSERT_TRUE(ordered.ok());
+  for (er::EntityId note : *ordered) {
+    auto key = db.GetAttribute(note, "midi_key");
+    entry.incipit.push_back(static_cast<int>(key->AsInt()));
+  }
+  ASSERT_TRUE(biblio::AddEntry(&db, *bwv, entry).ok());
+
+  // 3. Query: QUEL over the combined schema.
+  quel::QuelSession session(&db);
+  auto rs = session.Execute(R"(
+    range of n is NOTE
+    retrieve (lo = min(n.midi_key), hi = max(n.midi_key), c = count(n))
+  )");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows[0][2].AsInt(), 16);
+  int lo = static_cast<int>(rs->rows[0][0].AsInt());
+  int hi = static_cast<int>(rs->rows[0][1].AsInt());
+  EXPECT_LT(lo, hi);
+
+  // 4. Meta: self-host the combined schema and read it back as data.
+  ASSERT_TRUE(meta::InstallMetaSchema(&db).ok());
+  ASSERT_TRUE(meta::SyncSchemaToMeta(&db).ok());
+  auto attrs = meta::MetaAttributeNames(db, "CATALOG_ENTRY");
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs->size(), 6u);
+
+  // 5. Typeset and notate.
+  auto svg = notation::EngraveScoreSvg(&db, import->score);
+  ASSERT_TRUE(svg.ok());
+  EXPECT_GT(svg->size(), 500u);
+
+  // 6. Perform: conductor -> events -> MIDI -> SMF round trip.
+  mtime::TempoMap tempo;
+  ASSERT_TRUE(tempo.SetTempo(Rational(0), 84).ok());
+  ASSERT_TRUE(tempo.Ritardando(Rational(8), 84).ok());
+  ASSERT_TRUE(tempo.SetTempo(Rational(12), 42).ok());
+  auto notes = cmn::ExtractPerformance(&db, import->score, tempo);
+  ASSERT_TRUE(notes.ok());
+  ASSERT_EQ(notes->size(), 16u);
+  // The ritardando stretches late notes.
+  double early_len =
+      (*notes)[0].end_seconds - (*notes)[0].start_seconds;
+  double late_len =
+      notes->back().end_seconds - notes->back().start_seconds;
+  EXPECT_GT(late_len, early_len);
+
+  auto track = midi::TrackFromPerformance(*notes);
+  auto reparsed = midi::ReadSmf(midi::WriteSmf(track));
+  ASSERT_TRUE(reparsed.ok());
+
+  // 7. Sound: synthesize and compact losslessly.
+  auto pcm = sound::Synthesize(track, 8000);
+  EXPECT_GT(pcm.DurationSeconds(), 5.0);
+  sound::CompactionStats stats;
+  auto encoded = sound::EncodeDelta(pcm, &stats);
+  EXPECT_GT(stats.Ratio(), 1.0);
+  auto decoded = sound::DecodeDelta(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->samples, pcm.samples);
+
+  // 8. Piano roll of the same performance.
+  std::string roll = notation::AsciiPianoRoll(*notes);
+  EXPECT_NE(roll.find('#'), std::string::npos);
+
+  // 9. Persist and recover; the recovered database answers the same
+  // melodic search.
+  std::string path = testing::TempDir() + "/integration.mdm";
+  std::remove(path.c_str());
+  ASSERT_TRUE(er::SaveSnapshot(db, path).ok());
+  auto recovered = er::LoadSnapshot(path);
+  ASSERT_TRUE(recovered.ok());
+  auto hits = biblio::SearchByIntervals(
+      *recovered, *bwv,
+      biblio::ToIntervals({entry.incipit[0] + 7, entry.incipit[1] + 7,
+                           entry.incipit[2] + 7}));
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ(biblio::GetEntry(*recovered, (*hits)[0])->number, "578");
+  EXPECT_EQ(recovered->CountDanglingRefs(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, TransposedPartExtractionPipeline) {
+  // Compose a two-voice passage, extract one part, transpose it for a
+  // Bb instrument, and verify through performance extraction.
+  er::Database db;
+  ASSERT_TRUE(cmn::InstallCmnSchema(&db).ok());
+  cmn::ScoreBuilder builder(&db);
+  auto score = builder.CreateScore("duet");
+  auto movement = builder.AddMovement(*score, "I");
+  auto v1 = builder.AddVoice(1);
+  auto v2 = builder.AddVoice(2);
+  for (int m = 1; m <= 2; ++m) {
+    auto measure = builder.AddMeasure(*movement, m, {4, 4});
+    for (int b = 0; b < 4; ++b) {
+      auto sync = builder.GetOrAddSync(*measure, Rational(b));
+      auto c1 = builder.AddChord(*sync, *v1, Rational(1));
+      ASSERT_TRUE(builder.AddNoteMidi(*c1, 60 + b).ok());
+      auto c2 = builder.AddChord(*sync, *v2, Rational(1));
+      ASSERT_TRUE(builder.AddNoteMidi(*c2, 48 + b).ok());
+    }
+  }
+  auto part = cmn::ExtractVoice(&db, *score, *v2);
+  ASSERT_TRUE(part.ok());
+  auto transposed = cmn::TransposeScore(&db, *part, 2);  // Bb -> written D
+  ASSERT_TRUE(transposed.ok());
+  EXPECT_EQ(*transposed, 8u);
+
+  mtime::TempoMap tempo;
+  auto notes = cmn::ExtractPerformance(&db, *part, tempo);
+  ASSERT_TRUE(notes.ok());
+  ASSERT_EQ(notes->size(), 8u);
+  EXPECT_EQ((*notes)[0].midi_key, 50);  // 48 + 2
+  // The original is untouched.
+  auto original = cmn::ExtractPerformance(&db, *score, tempo);
+  EXPECT_EQ(original->size(), 16u);
+}
+
+}  // namespace
+}  // namespace mdm

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "ddl/parser.h"
+#include "er/database.h"
+#include "meta/meta_schema.h"
+#include "quel/quel.h"
+
+namespace mdm::meta {
+namespace {
+
+using rel::Value;
+
+class MetaTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(InstallMetaSchema(&db_).ok());
+    // The paper's STEM example (§6.2).
+    ASSERT_TRUE(ddl::ExecuteDdl(R"(
+      define entity STEM (xpos = integer, ypos = integer,
+                          length = integer, direction = integer)
+    )",
+                                &db_)
+                    .ok());
+    ASSERT_TRUE(SyncSchemaToMeta(&db_).ok());
+  }
+
+  er::Database db_;
+};
+
+TEST_F(MetaTest, MetaSchemaInstallsOnceOnly) {
+  EXPECT_NE(db_.schema().FindEntityType("ENTITY"), nullptr);
+  EXPECT_NE(db_.schema().FindEntityType("ATTRIBUTE"), nullptr);
+  EXPECT_NE(db_.schema().FindOrdering("entity_attributes"), nullptr);
+  EXPECT_NE(db_.schema().FindRelationship("order_child"), nullptr);
+  // Idempotent.
+  EXPECT_TRUE(InstallMetaSchema(&db_).ok());
+}
+
+TEST_F(MetaTest, SchemaCatalogedAsData) {
+  // STEM is catalogued as an ENTITY instance...
+  auto stem_meta = FindMetaEntity(db_, "STEM");
+  ASSERT_TRUE(stem_meta.ok());
+  // ...with its four attributes hierarchically ordered under it.
+  auto names = MetaAttributeNames(db_, "STEM");
+  ASSERT_TRUE(names.ok());
+  EXPECT_EQ(*names, (std::vector<std::string>{"xpos", "ypos", "length",
+                                              "direction"}));
+}
+
+TEST_F(MetaTest, MetaSchemaIsSelfHosting) {
+  // §6: the meta types catalogue themselves.
+  auto entity_meta = FindMetaEntity(db_, "ENTITY");
+  ASSERT_TRUE(entity_meta.ok());
+  auto attrs = MetaAttributeNames(db_, "ATTRIBUTE");
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(*attrs, (std::vector<std::string>{"attribute_name",
+                                              "attribute_type"}));
+  // ORDERING instances exist for entity_attributes and
+  // relationship_attributes.
+  auto count = db_.CountEntities("ORDERING");
+  ASSERT_TRUE(count.ok());
+  EXPECT_GE(*count, 2u);
+}
+
+TEST_F(MetaTest, SyncIsIdempotent) {
+  auto before = db_.CountEntities("ATTRIBUTE");
+  ASSERT_TRUE(SyncSchemaToMeta(&db_).ok());
+  auto after = db_.CountEntities("ATTRIBUTE");
+  EXPECT_EQ(*before, *after);
+}
+
+TEST_F(MetaTest, MetaIsQueryableThroughQuel) {
+  // The schema/data blur: the catalog answers QUEL queries like any
+  // other data.
+  quel::QuelSession session(&db_);
+  auto rs = session.Execute(R"(
+    range of e is ENTITY
+    range of a is ATTRIBUTE
+    retrieve (a.attribute_name)
+      where a under e in entity_attributes and e.entity_name = "STEM"
+  )");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->rows.size(), 4u);
+}
+
+TEST_F(MetaTest, StemDrawingViaFourStepProcedure) {
+  ASSERT_TRUE(InstallGraphicsSchema(&db_).ok());
+  ASSERT_TRUE(SyncSchemaToMeta(&db_).ok());
+  // The stem drawing function: a vertical line of `length` from
+  // (xpos, ypos), going up or down by `direction` (+1/-1).
+  auto graphdef = DefineGraphDef(&db_, "draw-stem", R"(
+    newpath
+    xpos ypos moveto
+    0 length direction mul rlineto
+    stroke
+  )");
+  ASSERT_TRUE(graphdef.ok());
+  ASSERT_TRUE(AttachGraphDef(&db_, "STEM", *graphdef).ok());
+  for (const char* attr : {"xpos", "ypos", "length", "direction"}) {
+    ASSERT_TRUE(AttachParameter(&db_, *graphdef, "STEM", attr,
+                                std::string("/") + attr + " exch def")
+                    .ok());
+  }
+
+  auto stem = db_.CreateEntity("STEM");
+  ASSERT_TRUE(stem.ok());
+  ASSERT_TRUE(db_.SetAttribute(*stem, "xpos", Value::Int(100)).ok());
+  ASSERT_TRUE(db_.SetAttribute(*stem, "ypos", Value::Int(50)).ok());
+  ASSERT_TRUE(db_.SetAttribute(*stem, "length", Value::Int(30)).ok());
+  ASSERT_TRUE(db_.SetAttribute(*stem, "direction", Value::Int(-1)).ok());
+
+  auto rendering = DrawEntity(&db_, *stem);
+  ASSERT_TRUE(rendering.ok()) << rendering.status().ToString();
+  ASSERT_EQ(rendering->paths.size(), 1u);
+  EXPECT_EQ(rendering->paths[0].d, "M 100.00 50.00 L 100.00 20.00");
+  // Changing the stored function changes how stems draw — "the client
+  // program may freely modify such attributes as the printing function".
+  ASSERT_TRUE(db_.SetAttribute(*graphdef, "function",
+                               Value::String("newpath xpos ypos moveto "
+                                             "length 0 rlineto stroke"))
+                  .ok());
+  rendering = DrawEntity(&db_, *stem);
+  ASSERT_TRUE(rendering.ok());
+  EXPECT_EQ(rendering->paths[0].d, "M 100.00 50.00 L 130.00 50.00");
+}
+
+TEST_F(MetaTest, DrawErrorsSurface) {
+  ASSERT_TRUE(InstallGraphicsSchema(&db_).ok());
+  ASSERT_TRUE(SyncSchemaToMeta(&db_).ok());
+  auto stem = db_.CreateEntity("STEM");
+  ASSERT_TRUE(stem.ok());
+  // No GraphDef attached yet.
+  EXPECT_EQ(DrawEntity(&db_, *stem).status().code(), StatusCode::kNotFound);
+  // Attaching a parameter for an uncatalogued attribute fails.
+  auto graphdef = DefineGraphDef(&db_, "d", "0 0 moveto 1 1 lineto stroke");
+  ASSERT_TRUE(graphdef.ok());
+  EXPECT_EQ(
+      AttachParameter(&db_, *graphdef, "STEM", "ghost", "/g exch def").code(),
+      StatusCode::kNotFound);
+}
+
+TEST_F(MetaTest, Fig9MetaHoGraphContainsMetaEdges) {
+  std::string dot = db_.HoGraphDot();
+  EXPECT_NE(dot.find("\"ENTITY\" -> \"ATTRIBUTE\""), std::string::npos);
+  EXPECT_NE(dot.find("\"RELATIONSHIP\" -> \"ATTRIBUTE\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace mdm::meta

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "cmn/temporal.h"
+#include "midi/import.h"
+#include "mtime/tempo_map.h"
+#include "quel/quel.h"
+
+namespace mdm::midi {
+namespace {
+
+MidiTrack MakeTrack(
+    const std::vector<std::tuple<double, double, int, int>>& notes) {
+  MidiTrack track;
+  for (const auto& [start, end, key, channel] : notes) {
+    MidiEvent on;
+    on.kind = MidiEvent::Kind::kNoteOn;
+    on.seconds = start;
+    on.key = static_cast<uint8_t>(key);
+    on.channel = static_cast<uint8_t>(channel);
+    MidiEvent off = on;
+    off.kind = MidiEvent::Kind::kNoteOff;
+    off.seconds = end;
+    track.events.push_back(on);
+    track.events.push_back(off);
+  }
+  track.Sort();
+  return track;
+}
+
+TEST(MidiImportTest, MonophonicStreamBecomesScore) {
+  // Four quarters at 120 bpm: 0.5 s each.
+  MidiTrack track = MakeTrack({{0.0, 0.5, 60, 0},
+                               {0.5, 1.0, 62, 0},
+                               {1.0, 1.5, 64, 0},
+                               {1.5, 2.0, 65, 0}});
+  er::Database db;
+  mtime::TempoMap tempo;
+  auto import = ImportMidiTrack(&db, track, tempo, "transcribed");
+  ASSERT_TRUE(import.ok()) << import.status().ToString();
+  EXPECT_EQ(import->notes, 4);
+  EXPECT_EQ(import->measures, 1);
+  EXPECT_EQ(import->voices.size(), 1u);
+  // Round trip through performance extraction reproduces the stream.
+  auto notes = cmn::ExtractPerformance(&db, import->score, tempo);
+  ASSERT_TRUE(notes.ok());
+  ASSERT_EQ(notes->size(), 4u);
+  EXPECT_EQ((*notes)[0].midi_key, 60);
+  EXPECT_EQ((*notes)[3].midi_key, 65);
+  EXPECT_EQ((*notes)[3].start_beats, Rational(3));
+  EXPECT_EQ((*notes)[3].duration_beats, Rational(1));
+}
+
+TEST(MidiImportTest, QuantizationSnapsLooseTiming) {
+  // Slightly humanized timing snaps to the sixteenth grid.
+  MidiTrack track = MakeTrack({{0.02, 0.49, 60, 0},
+                               {0.53, 0.97, 62, 0}});
+  er::Database db;
+  mtime::TempoMap tempo;
+  auto import = ImportMidiTrack(&db, track, tempo, "humanized");
+  ASSERT_TRUE(import.ok());
+  auto notes = cmn::ExtractPerformance(&db, import->score, tempo);
+  ASSERT_EQ(notes->size(), 2u);
+  EXPECT_EQ((*notes)[0].start_beats, Rational(0));
+  EXPECT_EQ((*notes)[0].duration_beats, Rational(1));
+  EXPECT_EQ((*notes)[1].start_beats, Rational(1));
+}
+
+TEST(MidiImportTest, ChannelsBecomeVoicesAndChordsMerge) {
+  // Channel 0 plays a C-major triad (three simultaneous notes); channel
+  // 1 plays a bass note.
+  MidiTrack track = MakeTrack({{0.0, 1.0, 60, 0},
+                               {0.0, 1.0, 64, 0},
+                               {0.0, 1.0, 67, 0},
+                               {0.0, 2.0, 36, 1}});
+  er::Database db;
+  mtime::TempoMap tempo;
+  auto import = ImportMidiTrack(&db, track, tempo, "two channels");
+  ASSERT_TRUE(import.ok());
+  EXPECT_EQ(import->voices.size(), 2u);
+  EXPECT_EQ(import->notes, 4);
+  // The triad merged into ONE chord.
+  EXPECT_EQ(*db.CountEntities("CHORD"), 2u);
+  quel::QuelSession session(&db);
+  auto rs = session.Execute(R"(
+    range of n is NOTE
+    range of c is CHORD
+    retrieve (k = count(n)) where n under c in note_in_chord
+  )");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows[0][0].AsInt(), 4);
+}
+
+TEST(MidiImportTest, MultiMeasureAndMeterOption) {
+  // Six quarters in 3/4 = two measures.
+  std::vector<std::tuple<double, double, int, int>> spec;
+  for (int i = 0; i < 6; ++i)
+    spec.emplace_back(i * 0.5, i * 0.5 + 0.5, 60 + i, 0);
+  MidiTrack track = MakeTrack(spec);
+  er::Database db;
+  mtime::TempoMap tempo;
+  ImportOptions options;
+  options.meter_numerator = 3;
+  auto import = ImportMidiTrack(&db, track, tempo, "waltz", options);
+  ASSERT_TRUE(import.ok());
+  EXPECT_EQ(import->measures, 2);
+  auto table = cmn::BuildMeasureTable(db, import->score);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)[0].length, Rational(3));
+}
+
+TEST(MidiImportTest, StrayAndUnterminatedNotesHandled) {
+  MidiTrack track;
+  MidiEvent stray_off;
+  stray_off.kind = MidiEvent::Kind::kNoteOff;
+  stray_off.seconds = 0.1;
+  stray_off.key = 99;
+  MidiEvent dangling_on;
+  dangling_on.kind = MidiEvent::Kind::kNoteOn;
+  dangling_on.seconds = 0.0;
+  dangling_on.key = 60;
+  track.events = {stray_off, dangling_on};
+  er::Database db;
+  mtime::TempoMap tempo;
+  auto import = ImportMidiTrack(&db, track, tempo, "edge");
+  ASSERT_TRUE(import.ok()) << import.status().ToString();
+  EXPECT_EQ(import->notes, 1);  // the dangling note-on, quantum-length
+}
+
+TEST(MidiImportTest, BadQuantumRejected) {
+  er::Database db;
+  mtime::TempoMap tempo;
+  ImportOptions options;
+  options.quantum = Rational(0);
+  EXPECT_EQ(ImportMidiTrack(&db, MidiTrack{}, tempo, "x", options)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+// QUEL sort by, exercised on an imported stream.
+TEST(QuelSortByTest, SortsRows) {
+  MidiTrack track = MakeTrack({{0.0, 0.5, 67, 0},
+                               {0.5, 1.0, 60, 0},
+                               {1.0, 1.5, 64, 0}});
+  er::Database db;
+  mtime::TempoMap tempo;
+  auto import = ImportMidiTrack(&db, track, tempo, "sortable");
+  ASSERT_TRUE(import.ok());
+  quel::QuelSession session(&db);
+  auto rs = session.Execute(
+      "range of n is NOTE retrieve (n.midi_key) sort by n.midi_key");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 3u);
+  EXPECT_EQ(rs->rows[0][0].AsInt(), 60);
+  EXPECT_EQ(rs->rows[2][0].AsInt(), 67);
+  rs = session.Execute(
+      "range of n is NOTE retrieve (k = n.midi_key) sort by k desc");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows[0][0].AsInt(), 67);
+  EXPECT_EQ(rs->rows[2][0].AsInt(), 60);
+  // Unknown sort column errors.
+  EXPECT_EQ(session
+                .Execute("range of n is NOTE retrieve (n.midi_key) "
+                         "sort by ghost")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace mdm::midi

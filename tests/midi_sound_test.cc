@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "midi/midi.h"
+#include "sound/sound.h"
+
+namespace mdm {
+namespace {
+
+using cmn::PerformedNote;
+using midi::MidiEvent;
+using midi::MidiTrack;
+
+std::vector<PerformedNote> SmallPerformance() {
+  std::vector<PerformedNote> notes;
+  for (int i = 0; i < 4; ++i) {
+    PerformedNote pn;
+    pn.midi_key = 60 + i * 2;
+    pn.velocity = 80;
+    pn.start_seconds = i * 0.5;
+    pn.end_seconds = i * 0.5 + 0.45;
+    notes.push_back(pn);
+  }
+  return notes;
+}
+
+TEST(MidiTrackTest, FromPerformanceAndSorting) {
+  MidiTrack track = midi::TrackFromPerformance(SmallPerformance());
+  ASSERT_EQ(track.events.size(), 8u);
+  // Events are time-sorted, and the stream alternates on/off here.
+  for (size_t i = 1; i < track.events.size(); ++i)
+    EXPECT_LE(track.events[i - 1].seconds, track.events[i].seconds);
+  EXPECT_DOUBLE_EQ(track.Duration(), 1.95);
+}
+
+TEST(MidiTrackTest, NoteOffBeforeOnAtSameInstant) {
+  MidiTrack track;
+  MidiEvent on;
+  on.kind = MidiEvent::Kind::kNoteOn;
+  on.seconds = 1.0;
+  MidiEvent off;
+  off.kind = MidiEvent::Kind::kNoteOff;
+  off.seconds = 1.0;
+  track.events = {on, off};
+  track.Sort();
+  EXPECT_EQ(track.events[0].kind, MidiEvent::Kind::kNoteOff);
+}
+
+TEST(SmfTest, WriteReadRoundTrip) {
+  MidiTrack track = midi::TrackFromPerformance(SmallPerformance());
+  std::vector<uint8_t> bytes = midi::WriteSmf(track);
+  // Header sanity.
+  ASSERT_GT(bytes.size(), 22u);
+  EXPECT_EQ(bytes[0], 'M');
+  EXPECT_EQ(bytes[1], 'T');
+  EXPECT_EQ(bytes[2], 'h');
+  EXPECT_EQ(bytes[3], 'd');
+
+  auto parsed = midi::ReadSmf(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  // 8 note events + 1 tempo meta.
+  ASSERT_EQ(parsed->events.size(), 9u);
+  int ons = 0, offs = 0;
+  for (const MidiEvent& e : parsed->events) {
+    if (e.kind == MidiEvent::Kind::kNoteOn) {
+      ++ons;
+      EXPECT_GE(e.key, 60);
+      EXPECT_LE(e.key, 66);
+    }
+    if (e.kind == MidiEvent::Kind::kNoteOff) ++offs;
+  }
+  EXPECT_EQ(ons, 4);
+  EXPECT_EQ(offs, 4);
+  // Times survive within one tick of quantization.
+  double tick = 0.5 / 480;
+  for (const MidiEvent& e : parsed->events) {
+    if (e.kind != MidiEvent::Kind::kNoteOn) continue;
+    double nearest = std::round(e.seconds / 0.5) * 0.5;
+    EXPECT_NEAR(e.seconds, nearest, tick + 1e-9);
+  }
+}
+
+TEST(SmfTest, ControlAndProgramEvents) {
+  MidiTrack track;
+  MidiEvent ctl;
+  ctl.kind = MidiEvent::Kind::kControl;
+  ctl.seconds = 0.25;
+  ctl.controller = 66;  // sostenuto, the paper's §7.2 example
+  ctl.value = 127;
+  MidiEvent prg;
+  prg.kind = MidiEvent::Kind::kProgram;
+  prg.seconds = 0.0;
+  prg.value = 19;  // church organ
+  track.events = {ctl, prg};
+  auto parsed = midi::ReadSmf(midi::WriteSmf(track));
+  ASSERT_TRUE(parsed.ok());
+  bool saw_ctl = false, saw_prg = false;
+  for (const MidiEvent& e : parsed->events) {
+    if (e.kind == MidiEvent::Kind::kControl) {
+      saw_ctl = true;
+      EXPECT_EQ(e.controller, 66);
+      EXPECT_EQ(e.value, 127);
+    }
+    if (e.kind == MidiEvent::Kind::kProgram) {
+      saw_prg = true;
+      EXPECT_EQ(e.value, 19);
+    }
+  }
+  EXPECT_TRUE(saw_ctl);
+  EXPECT_TRUE(saw_prg);
+}
+
+TEST(SmfTest, RejectsGarbage) {
+  EXPECT_FALSE(midi::ReadSmf({1, 2, 3}).ok());
+  std::vector<uint8_t> bad = {'M', 'T', 'h', 'd', 0, 0, 0, 6,
+                              0,   2,  0,  1,  1, 0xE0};  // format 2
+  EXPECT_FALSE(midi::ReadSmf(bad).ok());
+}
+
+TEST(SmfTest, EventListTextMentionsEverything) {
+  MidiTrack track = midi::TrackFromPerformance(SmallPerformance());
+  std::string text = midi::EventListText(track);
+  EXPECT_NE(text.find("note-on"), std::string::npos);
+  EXPECT_NE(text.find("note-off"), std::string::npos);
+  EXPECT_NE(text.find("key  60"), std::string::npos);
+}
+
+TEST(SoundTest, PaperStorageArithmetic) {
+  // §4.1: "ten minutes of musical sound ... 57.6 megabytes".
+  EXPECT_EQ(sound::StorageBytes(600.0), 57'600'000u);
+  EXPECT_EQ(sound::StorageBytes(1.0, 48000, 16), 96'000u);
+  EXPECT_EQ(sound::StorageBytes(1.0, 44100, 8), 44'100u);
+}
+
+TEST(SoundTest, KeyToFrequency) {
+  EXPECT_DOUBLE_EQ(sound::KeyToFrequency(69), 440.0);
+  EXPECT_NEAR(sound::KeyToFrequency(60), 261.6256, 1e-3);
+  EXPECT_NEAR(sound::KeyToFrequency(81), 880.0, 1e-9);
+}
+
+TEST(SoundTest, SynthesisProducesSignal) {
+  MidiTrack track = midi::TrackFromPerformance(SmallPerformance());
+  sound::PcmBuffer pcm = sound::Synthesize(track, 8000);
+  EXPECT_EQ(pcm.sample_rate, 8000);
+  EXPECT_GT(pcm.samples.size(), 8000u);  // > 1 s of audio
+  // Signal present during the first note...
+  int16_t peak = 0;
+  for (size_t i = 0; i < 2000; ++i)
+    peak = std::max<int16_t>(peak, std::abs(pcm.samples[i]));
+  EXPECT_GT(peak, 1000);
+  // ...and near-silence in the gap between notes 1 and 2 is NOT
+  // expected (decay tail), but the tail end dies out.
+  int16_t tail = 0;
+  for (size_t i = pcm.samples.size() - 100; i < pcm.samples.size(); ++i)
+    tail = std::max<int16_t>(tail, std::abs(pcm.samples[i]));
+  EXPECT_LT(tail, peak);
+}
+
+TEST(SoundTest, DeltaCodecLosslessRoundTrip) {
+  MidiTrack track = midi::TrackFromPerformance(SmallPerformance());
+  sound::PcmBuffer pcm = sound::Synthesize(track, 8000);
+  sound::CompactionStats stats;
+  auto encoded = sound::EncodeDelta(pcm, &stats);
+  EXPECT_EQ(stats.raw_bytes, pcm.SizeBytes());
+  EXPECT_LT(stats.encoded_bytes, stats.raw_bytes);  // actually compresses
+  auto decoded = sound::DecodeDelta(encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->sample_rate, pcm.sample_rate);
+  ASSERT_EQ(decoded->samples.size(), pcm.samples.size());
+  EXPECT_EQ(decoded->samples, pcm.samples);  // bit-exact
+}
+
+TEST(SoundTest, SilenceCodecCompressesQuietStreams) {
+  sound::PcmBuffer pcm;
+  pcm.sample_rate = 8000;
+  pcm.samples.assign(8000, 0);
+  for (int i = 2000; i < 2500; ++i)
+    pcm.samples[i] = static_cast<int16_t>(1000 * std::sin(i * 0.1));
+  sound::CompactionStats stats;
+  auto encoded = sound::EncodeSilence(pcm, 8, &stats);
+  EXPECT_LT(stats.encoded_bytes, stats.raw_bytes / 4);
+  auto decoded = sound::DecodeSilence(encoded);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->samples.size(), pcm.samples.size());
+  // Above-threshold samples are exact; sub-threshold samples (e.g. the
+  // sine's zero crossings) fold to silence — the codec's documented
+  // lossiness.
+  for (int i = 2000; i < 2500; ++i) {
+    if (std::abs(pcm.samples[i]) > 8) {
+      EXPECT_EQ(decoded->samples[i], pcm.samples[i]) << i;
+    } else {
+      EXPECT_EQ(decoded->samples[i], 0) << i;
+    }
+  }
+  EXPECT_EQ(decoded->samples[100], 0);
+}
+
+TEST(SoundTest, QuantizedCodecLossyButBounded) {
+  MidiTrack track = midi::TrackFromPerformance(SmallPerformance());
+  sound::PcmBuffer pcm = sound::Synthesize(track, 8000);
+  sound::CompactionStats stats;
+  auto encoded = sound::EncodeQuantized(pcm, 8, &stats);
+  EXPECT_LT(stats.encoded_bytes, stats.raw_bytes);
+  auto decoded = sound::DecodeQuantized(encoded);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->samples.size(), pcm.samples.size());
+  // 8-bit quantization: error bounded by one quantization step (256).
+  for (size_t i = 0; i < pcm.samples.size(); i += 97) {
+    EXPECT_LE(std::abs(pcm.samples[i] - decoded->samples[i]), 256)
+        << "sample " << i;
+  }
+}
+
+TEST(SoundTest, CodecsRejectForeignStreams) {
+  sound::PcmBuffer pcm;
+  pcm.samples = {1, 2, 3};
+  auto delta = sound::EncodeDelta(pcm);
+  EXPECT_FALSE(sound::DecodeSilence(delta).ok());
+  EXPECT_FALSE(sound::DecodeQuantized(delta).ok());
+  EXPECT_FALSE(sound::DecodeDelta({1, 2, 3}).ok());
+}
+
+}  // namespace
+}  // namespace mdm

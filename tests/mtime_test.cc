@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mtime/meter.h"
+#include "mtime/tempo_map.h"
+
+namespace mdm::mtime {
+namespace {
+
+TEST(TempoMapTest, EmptyMapIs120Bpm) {
+  TempoMap map;
+  EXPECT_DOUBLE_EQ(map.ToSeconds(Rational(4)), 2.0);  // 4 beats @ 120
+  EXPECT_EQ(map.ToBeats(2.0), Rational(4));
+  EXPECT_DOUBLE_EQ(map.TempoAt(Rational(10)), 120.0);
+}
+
+TEST(TempoMapTest, ConstantTempoSegments) {
+  TempoMap map;
+  ASSERT_TRUE(map.SetTempo(Rational(0), 60).ok());
+  ASSERT_TRUE(map.SetTempo(Rational(4), 120).ok());
+  // 4 beats at 60 bpm = 4 s, then 4 beats at 120 = 2 s.
+  EXPECT_DOUBLE_EQ(map.ToSeconds(Rational(4)), 4.0);
+  EXPECT_DOUBLE_EQ(map.ToSeconds(Rational(8)), 6.0);
+  EXPECT_DOUBLE_EQ(map.TempoAt(Rational(2)), 60.0);
+  EXPECT_DOUBLE_EQ(map.TempoAt(Rational(5)), 120.0);
+}
+
+TEST(TempoMapTest, InverseMappingRoundTrips) {
+  TempoMap map;
+  ASSERT_TRUE(map.SetTempo(Rational(0), 90).ok());
+  ASSERT_TRUE(map.Accelerando(Rational(8), 90).ok());
+  ASSERT_TRUE(map.SetTempo(Rational(16), 180).ok());
+  ASSERT_TRUE(map.Ritardando(Rational(24), 180).ok());
+  ASSERT_TRUE(map.SetTempo(Rational(32), 60).ok());
+  for (int i = 0; i <= 40; ++i) {
+    Rational beat(i, 1);
+    double t = map.ToSeconds(beat);
+    Rational back = map.ToBeats(t, 3840);
+    EXPECT_NEAR(back.ToDouble(), beat.ToDouble(), 1e-3)
+        << "beat " << i << " t=" << t;
+  }
+}
+
+TEST(TempoMapTest, AccelerandoShortensTime) {
+  // 8 beats ramping 60 -> 120 must take less time than 8 beats at 60
+  // and more than 8 beats at 120.
+  TempoMap ramp;
+  ASSERT_TRUE(ramp.Accelerando(Rational(0), 60).ok());
+  ASSERT_TRUE(ramp.SetTempo(Rational(8), 120).ok());
+  double t = ramp.ToSeconds(Rational(8));
+  EXPECT_LT(t, 8.0);   // slower bound: 8 beats @60 = 8 s
+  EXPECT_GT(t, 4.0);   // faster bound: 8 beats @120 = 4 s
+  // Analytic value: 60*8/(120-60) * ln(120/60) = 8 ln 2 ≈ 5.545.
+  EXPECT_NEAR(t, 8.0 * std::log(2.0), 1e-9);
+  // Instantaneous tempo mid-ramp.
+  EXPECT_NEAR(ramp.TempoAt(Rational(4)), 90.0, 1e-9);
+}
+
+TEST(TempoMapTest, RitardandoMonotonicity) {
+  TempoMap map;
+  ASSERT_TRUE(map.Ritardando(Rational(0), 120).ok());
+  ASSERT_TRUE(map.SetTempo(Rational(8), 40).ok());
+  double prev = -1;
+  for (int i = 0; i <= 16; ++i) {
+    double t = map.ToSeconds(Rational(i, 1));
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(TempoMapTest, DirectivesValidated) {
+  TempoMap map;
+  EXPECT_EQ(map.SetTempo(Rational(0), 0).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(map.SetTempo(Rational(0), -10).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(map.SetTempo(Rational(-1), 100).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(map.SetTempo(Rational(4), 100).ok());
+  EXPECT_EQ(map.SetTempo(Rational(2), 90).code(),
+            StatusCode::kFailedPrecondition);
+  // Same start replaces.
+  ASSERT_TRUE(map.SetTempo(Rational(4), 110).ok());
+  EXPECT_DOUBLE_EQ(map.TempoAt(Rational(5)), 110.0);
+}
+
+TEST(TempoMapTest, ImplicitDefaultBeforeFirstDirective) {
+  TempoMap map;
+  ASSERT_TRUE(map.SetTempo(Rational(4), 60).ok());
+  // Beats 0..4 at the 120 default (2 s), beats 4..8 at 60 (4 s).
+  EXPECT_DOUBLE_EQ(map.ToSeconds(Rational(4)), 2.0);
+  EXPECT_DOUBLE_EQ(map.ToSeconds(Rational(8)), 6.0);
+  EXPECT_EQ(map.ToBeats(6.0), Rational(8));
+}
+
+TEST(TempoMapTest, ToStringListsDirectives) {
+  TempoMap map;
+  ASSERT_TRUE(map.SetTempo(Rational(0), 96).ok());
+  ASSERT_TRUE(map.Ritardando(Rational(8), 96).ok());
+  std::string s = map.ToString();
+  EXPECT_NE(s.find("96.00"), std::string::npos);
+  EXPECT_NE(s.find("ritardando"), std::string::npos);
+}
+
+TEST(MeterTest, BeatsPerMeasure) {
+  EXPECT_EQ((TimeSignature{4, 4}).BeatsPerMeasure(), Rational(4));
+  EXPECT_EQ((TimeSignature{3, 4}).BeatsPerMeasure(), Rational(3));
+  EXPECT_EQ((TimeSignature{6, 8}).BeatsPerMeasure(), Rational(3));
+  EXPECT_EQ((TimeSignature{2, 2}).BeatsPerMeasure(), Rational(4));
+  EXPECT_EQ((TimeSignature{5, 8}).BeatsPerMeasure(), Rational(5, 2));
+}
+
+TEST(MeterTest, DefaultFourFour) {
+  MeterMap meter;
+  EXPECT_EQ(meter.MeasureStart(0), Rational(0));
+  EXPECT_EQ(meter.MeasureStart(3), Rational(12));
+  auto [m, beat] = meter.Locate(Rational(13, 2));  // 6.5 beats
+  EXPECT_EQ(m, 1);
+  EXPECT_EQ(beat, Rational(5, 2));
+}
+
+TEST(MeterTest, SignatureChanges) {
+  MeterMap meter;
+  ASSERT_TRUE(meter.SetSignature(0, {3, 4}).ok());
+  ASSERT_TRUE(meter.SetSignature(2, {4, 4}).ok());
+  // Measures: 0 -> 0, 1 -> 3, 2 -> 6, 3 -> 10.
+  EXPECT_EQ(meter.MeasureStart(1), Rational(3));
+  EXPECT_EQ(meter.MeasureStart(2), Rational(6));
+  EXPECT_EQ(meter.MeasureStart(3), Rational(10));
+  EXPECT_EQ(meter.SignatureAt(1).numerator, 3);
+  EXPECT_EQ(meter.SignatureAt(2).numerator, 4);
+  auto pos = meter.Position(2, Rational(7, 2));
+  ASSERT_TRUE(pos.ok());
+  EXPECT_EQ(*pos, Rational(19, 2));
+  auto [m, beat] = meter.Locate(Rational(19, 2));
+  EXPECT_EQ(m, 2);
+  EXPECT_EQ(beat, Rational(7, 2));
+}
+
+TEST(MeterTest, PositionBoundsChecked) {
+  MeterMap meter;
+  ASSERT_TRUE(meter.SetSignature(0, {3, 4}).ok());
+  EXPECT_EQ(meter.Position(0, Rational(3)).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(meter.Position(-1, Rational(0)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(meter.Position(0, Rational(-1)).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(meter.Position(0, Rational(11, 4)).ok());
+}
+
+TEST(MeterTest, OrderEnforcedAndReplacement) {
+  MeterMap meter;
+  ASSERT_TRUE(meter.SetSignature(4, {3, 4}).ok());
+  EXPECT_EQ(meter.SetSignature(2, {2, 4}).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(meter.SetSignature(4, {6, 8}).ok());  // replace
+  EXPECT_EQ(meter.SignatureAt(4).denominator, 8);
+}
+
+}  // namespace
+}  // namespace mdm::mtime

@@ -1,0 +1,329 @@
+#include <gtest/gtest.h>
+
+#include "ddl/parser.h"
+#include "er/database.h"
+#include "quel/quel.h"
+
+namespace mdm::quel {
+namespace {
+
+using rel::Value;
+
+/// Builds the paper's §5.6 example database: chords with named notes.
+class QuelOrderingTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(ddl::ExecuteDdl(R"(
+      define entity CHORD (name = integer)
+      define entity NOTE (name = integer)
+      define ordering note_in_chord (NOTE) under CHORD
+    )",
+                                &db_)
+                    .ok());
+    // Chord 1 holds notes 10 < 20 < 30; chord 2 holds notes 40, 50.
+    auto c1 = db_.CreateEntity("CHORD");
+    auto c2 = db_.CreateEntity("CHORD");
+    chord1_ = *c1;
+    chord2_ = *c2;
+    EXPECT_TRUE(db_.SetAttribute(chord1_, "name", Value::Int(1)).ok());
+    EXPECT_TRUE(db_.SetAttribute(chord2_, "name", Value::Int(2)).ok());
+    for (int n : {10, 20, 30}) AddNote(chord1_, n);
+    for (int n : {40, 50}) AddNote(chord2_, n);
+  }
+
+  void AddNote(er::EntityId chord, int name) {
+    auto id = db_.CreateEntity("NOTE");
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(db_.SetAttribute(*id, "name", Value::Int(name)).ok());
+    ASSERT_TRUE(db_.AppendChild("note_in_chord", chord, *id).ok());
+  }
+
+  std::vector<int64_t> Ints(const ResultSet& rs) {
+    std::vector<int64_t> out;
+    for (const auto& row : rs.rows) out.push_back(row[0].AsInt());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  er::Database db_;
+  er::EntityId chord1_, chord2_;
+};
+
+TEST_F(QuelOrderingTest, PaperQueryNotesBefore) {
+  // "Given a note n, retrieve the notes prior to n in its chord."
+  QuelSession session(&db_);
+  auto rs = session.Execute(R"(
+    range of n1, n2 is NOTE
+    retrieve (n1.name)
+      where n1 before n2 in note_in_chord and n2.name = 30
+  )");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(Ints(*rs), (std::vector<int64_t>{10, 20}));
+}
+
+TEST_F(QuelOrderingTest, PaperQueryNotesAfter) {
+  QuelSession session(&db_);
+  auto rs = session.Execute(R"(
+    range of n1, n2 is NOTE
+    retrieve (n1.name)
+      where n1 after n2 in note_in_chord and n2.name = 10
+  )");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(Ints(*rs), (std::vector<int64_t>{20, 30}));
+}
+
+TEST_F(QuelOrderingTest, PaperQueryNotesUnderChord) {
+  QuelSession session(&db_);
+  auto rs = session.Execute(R"(
+    range of n1 is NOTE
+    range of c1 is CHORD
+    retrieve (n1.name)
+      where n1 under c1 in note_in_chord and c1.name = 2
+  )");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(Ints(*rs), (std::vector<int64_t>{40, 50}));
+}
+
+TEST_F(QuelOrderingTest, PaperQueryParentChord) {
+  // "Retrieve the parent chord of note n."
+  QuelSession session(&db_);
+  auto rs = session.Execute(R"(
+    range of n1 is NOTE
+    range of c1 is CHORD
+    retrieve (c1.name)
+      where n1 under c1 in note_in_chord and n1.name = 40
+  )");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0][0].AsInt(), 2);
+}
+
+TEST_F(QuelOrderingTest, DifferentParentsNotComparable) {
+  // Notes 10 (chord 1) and 40 (chord 2): neither before nor after.
+  QuelSession session(&db_);
+  auto rs = session.Execute(R"(
+    range of n1, n2 is NOTE
+    retrieve (n1.name)
+      where (n1 before n2 in note_in_chord
+             or n1 after n2 in note_in_chord)
+        and n2.name = 40 and n1.name = 10
+  )");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(rs->rows.empty());
+}
+
+TEST_F(QuelOrderingTest, OrderingNameInferredWhenUnique) {
+  QuelSession session(&db_);
+  auto rs = session.Execute(R"(
+    range of n1 is NOTE
+    range of c1 is CHORD
+    retrieve (n1.name) where n1 under c1 and c1.name = 1
+  )");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(Ints(*rs), (std::vector<int64_t>{10, 20, 30}));
+}
+
+TEST_F(QuelOrderingTest, ImplicitRangeVariables) {
+  // Footnote 6: NOTE / CHORD act as implicitly declared range variables.
+  QuelSession session(&db_);
+  auto rs = session.Execute(
+      "retrieve (NOTE.name) where NOTE under CHORD and CHORD.name = 1");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(Ints(*rs), (std::vector<int64_t>{10, 20, 30}));
+}
+
+TEST_F(QuelOrderingTest, Aggregates) {
+  QuelSession session(&db_);
+  auto rs = session.Execute(R"(
+    range of n1 is NOTE
+    range of c1 is CHORD
+    retrieve (c = count(n1), s = sum(n1.name), mn = min(n1.name),
+              mx = max(n1.name), a = avg(n1.name))
+      where n1 under c1 in note_in_chord and c1.name = 1
+  )");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0][0].AsInt(), 3);
+  EXPECT_EQ(rs->rows[0][1].AsInt(), 60);
+  EXPECT_EQ(rs->rows[0][2].AsInt(), 10);
+  EXPECT_EQ(rs->rows[0][3].AsInt(), 30);
+  EXPECT_DOUBLE_EQ(rs->rows[0][4].AsFloat(), 20.0);
+}
+
+TEST_F(QuelOrderingTest, GroupedAggregates) {
+  // QUEL's by-grouping: notes per chord in one query.
+  QuelSession session(&db_);
+  auto rs = session.Execute(R"(
+    range of n is NOTE
+    range of c is CHORD
+    retrieve (k = count(n by c.name))
+      where n under c in note_in_chord
+  )");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 2u);
+  ASSERT_EQ(rs->columns.size(), 2u);
+  EXPECT_EQ(rs->columns[0], "c.name");
+  EXPECT_EQ(rs->columns[1], "k");
+  EXPECT_EQ(rs->rows[0][0].AsInt(), 1);
+  EXPECT_EQ(rs->rows[0][1].AsInt(), 3);
+  EXPECT_EQ(rs->rows[1][0].AsInt(), 2);
+  EXPECT_EQ(rs->rows[1][1].AsInt(), 2);
+  // Sum per chord.
+  rs = session.Execute(R"(
+    range of n is NOTE
+    range of c is CHORD
+    retrieve (s = sum(n.name by c.name))
+      where n under c in note_in_chord
+      sort by s desc
+  )");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 2u);
+  EXPECT_EQ(rs->rows[0][1].AsInt(), 90);  // chord 2: 40+50
+  EXPECT_EQ(rs->rows[1][1].AsInt(), 60);  // chord 1: 10+20+30
+  // A grouped aggregate must be the only target.
+  EXPECT_EQ(session
+                .Execute("range of n is NOTE range of c is CHORD "
+                         "retrieve (count(n by c.name), c.name) "
+                         "where n under c in note_in_chord")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(QuelOrderingTest, AppendReplaceDelete) {
+  QuelSession session(&db_);
+  auto rs = session.Execute("append to NOTE (name = 99)");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->affected, 1u);
+  rs = session.Execute(R"(
+    range of n1 is NOTE
+    replace n1 (name = 77) where n1.name = 99
+  )");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->affected, 1u);
+  rs = session.Execute(
+      "range of n1 is NOTE retrieve (n1.name) where n1.name = 77");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->rows.size(), 1u);
+  rs = session.Execute("range of n1 is NOTE delete n1 where n1.name = 77");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->affected, 1u);
+  auto count = db_.CountEntities("NOTE");
+  EXPECT_EQ(*count, 5u);
+}
+
+TEST_F(QuelOrderingTest, DeleteWithoutQualDeletesAll) {
+  QuelSession session(&db_);
+  auto rs = session.Execute("range of n1 is NOTE delete n1");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->affected, 5u);
+  EXPECT_EQ(*db_.CountEntities("NOTE"), 0u);
+}
+
+TEST_F(QuelOrderingTest, NaiveAndPushdownAgree) {
+  QuelSession session(&db_);
+  const char* q = R"(
+    range of n1, n2 is NOTE
+    retrieve (n1.name)
+      where n1 before n2 in note_in_chord and n2.name = 30
+  )";
+  auto fast = session.Execute(q);
+  auto slow = session.ExecuteNaive(q);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  EXPECT_EQ(Ints(*fast), Ints(*slow));
+}
+
+TEST_F(QuelOrderingTest, Errors) {
+  QuelSession session(&db_);
+  EXPECT_EQ(session.Execute("retrieve (x.name)").status().code(),
+            StatusCode::kNotFound);  // undeclared variable
+  EXPECT_EQ(session.Execute("range of n1 is GHOST").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(session
+                .Execute("range of n1 is NOTE retrieve (n1.name) "
+                         "where n1.name = 'text'")
+                .status()
+                .code(),
+            StatusCode::kTypeError);
+  EXPECT_EQ(session.Execute("retrieve (NOTE.name) where NOTE under NOTE "
+                            "in ghost_order")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(session.Execute("retrieve ()").status().code(),
+            StatusCode::kParseError);
+  // Mixed aggregate and plain targets.
+  EXPECT_EQ(session
+                .Execute("range of n1 is NOTE "
+                         "retrieve (count(n1), n1.name)")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ----------------------------------------------------------------------
+// The Star Spangled Banner query (paper §5.6, with the `is` operator).
+// ----------------------------------------------------------------------
+
+TEST(QuelIsOperatorTest, StarSpangledBanner) {
+  er::Database db;
+  ASSERT_TRUE(ddl::ExecuteDdl(R"(
+    define entity PERSON (name = string)
+    define entity COMPOSITION (title = string)
+    define relationship COMPOSER
+        (composer = PERSON, composition = COMPOSITION)
+  )",
+                              &db)
+                  .ok());
+  auto key = db.CreateEntity("PERSON");
+  auto smith = db.CreateEntity("PERSON");
+  auto banner = db.CreateEntity("COMPOSITION");
+  auto other = db.CreateEntity("COMPOSITION");
+  ASSERT_TRUE(
+      db.SetAttribute(*key, "name", Value::String("John Stafford Smith"))
+          .ok());
+  ASSERT_TRUE(
+      db.SetAttribute(*smith, "name", Value::String("Someone Else")).ok());
+  ASSERT_TRUE(db.SetAttribute(*banner, "title",
+                              Value::String("The Star Spangled Banner"))
+                  .ok());
+  ASSERT_TRUE(
+      db.SetAttribute(*other, "title", Value::String("Greensleeves")).ok());
+  ASSERT_TRUE(db.Connect("COMPOSER", {{"composer", *key},
+                                      {"composition", *banner}})
+                  .ok());
+  ASSERT_TRUE(db.Connect("COMPOSER", {{"composer", *smith},
+                                      {"composition", *other}})
+                  .ok());
+
+  QuelSession session(&db);
+  // The paper's query, using implicit range variables.
+  auto rs = session.Execute(R"(
+    retrieve (PERSON.name)
+      where COMPOSITION.title = "The Star Spangled Banner"
+        and COMPOSER.composition is COMPOSITION
+        and COMPOSER.composer is PERSON
+  )");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), 1u);
+  EXPECT_EQ(rs->rows[0][0].AsString(), "John Stafford Smith");
+}
+
+TEST(QuelResultSetTest, ToStringFormatsTable) {
+  ResultSet rs;
+  rs.columns = {"name", "n"};
+  rs.rows.push_back({Value::String("abc"), Value::Int(1)});
+  rs.rows.push_back({Value::String("d"), Value::Int(22)});
+  std::string s = rs.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("'abc'"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+
+  ResultSet affected;
+  affected.affected = 3;
+  EXPECT_NE(affected.ToString().find("3 rows affected"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mdm::quel

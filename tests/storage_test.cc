@@ -1,0 +1,506 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/random.h"
+#include "storage/btree.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/heap_file.h"
+#include "storage/page.h"
+#include "storage/slotted_page.h"
+#include "storage/wal.h"
+
+namespace mdm::storage {
+namespace {
+
+TEST(MemoryDiskManagerTest, AllocateReadWrite) {
+  MemoryDiskManager dm;
+  EXPECT_EQ(dm.NumPages(), 1u);  // header page
+  PageId id;
+  ASSERT_TRUE(dm.AllocatePage(&id).ok());
+  EXPECT_EQ(id, 1u);
+  uint8_t out[kPageSize];
+  uint8_t in[kPageSize];
+  for (size_t i = 0; i < kPageSize; ++i) in[i] = static_cast<uint8_t>(i);
+  ASSERT_TRUE(dm.WritePage(id, in).ok());
+  ASSERT_TRUE(dm.ReadPage(id, out).ok());
+  EXPECT_EQ(std::memcmp(in, out, kPageSize), 0);
+}
+
+TEST(MemoryDiskManagerTest, OutOfRangeAccessFails) {
+  MemoryDiskManager dm;
+  uint8_t buf[kPageSize];
+  EXPECT_EQ(dm.ReadPage(99, buf).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(dm.WritePage(99, buf).code(), StatusCode::kOutOfRange);
+}
+
+TEST(FileDiskManagerTest, PersistsAcrossReopen) {
+  std::string path = testing::TempDir() + "/mdm_disk_test.db";
+  std::remove(path.c_str());
+  PageId id;
+  {
+    auto dm = FileDiskManager::Open(path);
+    ASSERT_TRUE(dm.ok());
+    ASSERT_TRUE((*dm)->AllocatePage(&id).ok());
+    uint8_t in[kPageSize] = {};
+    in[0] = 0x5A;
+    in[kPageSize - 1] = 0xA5;
+    ASSERT_TRUE((*dm)->WritePage(id, in).ok());
+    ASSERT_TRUE((*dm)->Sync().ok());
+  }
+  {
+    auto dm = FileDiskManager::Open(path);
+    ASSERT_TRUE(dm.ok());
+    EXPECT_EQ((*dm)->NumPages(), 2u);
+    uint8_t out[kPageSize];
+    ASSERT_TRUE((*dm)->ReadPage(id, out).ok());
+    EXPECT_EQ(out[0], 0x5A);
+    EXPECT_EQ(out[kPageSize - 1], 0xA5);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BufferPoolTest, HitsAndMisses) {
+  MemoryDiskManager dm;
+  PageId p1, p2;
+  ASSERT_TRUE(dm.AllocatePage(&p1).ok());
+  ASSERT_TRUE(dm.AllocatePage(&p2).ok());
+  BufferPool pool(&dm, 4);
+
+  auto page = pool.FetchPage(p1);
+  ASSERT_TRUE(page.ok());
+  ASSERT_TRUE(pool.UnpinPage(p1, false).ok());
+  EXPECT_EQ(pool.stats().misses, 1u);
+
+  page = pool.FetchPage(p1);
+  ASSERT_TRUE(page.ok());
+  ASSERT_TRUE(pool.UnpinPage(p1, false).ok());
+  EXPECT_EQ(pool.stats().hits, 1u);
+}
+
+TEST(BufferPoolTest, EvictsLruAndWritesBackDirty) {
+  MemoryDiskManager dm;
+  BufferPool pool(&dm, 2);
+  // Create 3 pages through a pool of capacity 2.
+  PageId ids[3];
+  for (int i = 0; i < 3; ++i) {
+    auto page = pool.NewPage();
+    ASSERT_TRUE(page.ok());
+    ids[i] = (*page)->id;
+    (*page)->data[0] = static_cast<uint8_t>(0x10 + i);
+    ASSERT_TRUE(pool.UnpinPage(ids[i], true).ok());
+  }
+  EXPECT_GE(pool.stats().evictions, 1u);
+  EXPECT_GE(pool.stats().dirty_writebacks, 1u);
+  // The first page must have been written back; fetch and verify.
+  auto page = pool.FetchPage(ids[0]);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ((*page)->data[0], 0x10);
+  ASSERT_TRUE(pool.UnpinPage(ids[0], false).ok());
+}
+
+TEST(BufferPoolTest, AllPinnedFailsGracefully) {
+  MemoryDiskManager dm;
+  BufferPool pool(&dm, 2);
+  auto a = pool.NewPage();
+  auto b = pool.NewPage();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto c = pool.NewPage();
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(pool.UnpinPage((*a)->id, false).ok());
+  ASSERT_TRUE(pool.UnpinPage((*b)->id, false).ok());
+}
+
+TEST(BufferPoolTest, UnpinErrors) {
+  MemoryDiskManager dm;
+  BufferPool pool(&dm, 2);
+  EXPECT_EQ(pool.UnpinPage(123, false).code(), StatusCode::kNotFound);
+  auto a = pool.NewPage();
+  ASSERT_TRUE(a.ok());
+  PageId id = (*a)->id;
+  ASSERT_TRUE(pool.UnpinPage(id, false).ok());
+  EXPECT_EQ(pool.UnpinPage(id, false).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+class SlottedPageTest : public testing::Test {
+ protected:
+  SlottedPageTest() : sp_(&page_) { sp_.Init(); }
+  Page page_;
+  SlottedPage sp_;
+};
+
+TEST_F(SlottedPageTest, InsertGetRoundTrip) {
+  auto s1 = sp_.Insert("hello");
+  auto s2 = sp_.Insert("world!");
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  EXPECT_NE(*s1, *s2);
+  auto r1 = sp_.Get(*s1);
+  auto r2 = sp_.Get(*s2);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r1, "hello");
+  EXPECT_EQ(*r2, "world!");
+}
+
+TEST_F(SlottedPageTest, DeleteThenSlotReuse) {
+  auto s1 = sp_.Insert("first");
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(sp_.Delete(*s1).ok());
+  EXPECT_FALSE(sp_.IsLive(*s1));
+  EXPECT_EQ(sp_.Get(*s1).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(sp_.Delete(*s1).code(), StatusCode::kNotFound);
+  // Next insert reuses the freed slot.
+  auto s2 = sp_.Insert("second");
+  ASSERT_TRUE(s2.ok());
+  EXPECT_EQ(*s2, *s1);
+}
+
+TEST_F(SlottedPageTest, FillsUntilFullThenCompactionRecoversSpace) {
+  std::string rec(100, 'x');
+  std::vector<uint16_t> slots;
+  while (true) {
+    auto s = sp_.Insert(rec);
+    if (!s.ok()) {
+      EXPECT_EQ(s.status().code(), StatusCode::kOutOfRange);
+      break;
+    }
+    slots.push_back(*s);
+  }
+  // 4096-byte page, 104 bytes/record: expect ~39 records.
+  EXPECT_GT(slots.size(), 30u);
+  // Delete every other record, then a larger record must fit via compact.
+  for (size_t i = 0; i < slots.size(); i += 2)
+    ASSERT_TRUE(sp_.Delete(slots[i]).ok());
+  auto big = sp_.Insert(std::string(400, 'y'));
+  ASSERT_TRUE(big.ok());
+  auto got = sp_.Get(*big);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got->size(), 400u);
+  // Survivors are intact after compaction.
+  for (size_t i = 1; i < slots.size(); i += 2) {
+    auto r = sp_.Get(slots[i]);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, rec);
+  }
+}
+
+TEST_F(SlottedPageTest, UpdateShrinkGrowInPlace) {
+  auto s = sp_.Insert("medium length record");
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(sp_.Update(*s, "short").ok());
+  EXPECT_EQ(*sp_.Get(*s), "short");
+  ASSERT_TRUE(sp_.Update(*s, std::string(200, 'z')).ok());
+  EXPECT_EQ(sp_.Get(*s)->size(), 200u);
+}
+
+TEST_F(SlottedPageTest, GrowingUpdateThatCannotFitLeavesRecordIntact) {
+  auto s = sp_.Insert("keep me");
+  ASSERT_TRUE(s.ok());
+  Status st = sp_.Update(*s, std::string(5000, 'q'));
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(*sp_.Get(*s), "keep me");
+}
+
+TEST_F(SlottedPageTest, OversizeRecordRejected) {
+  auto s = sp_.Insert(std::string(kPageSize, 'a'));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kInvalidArgument);
+}
+
+class HeapFileTest : public testing::Test {
+ protected:
+  HeapFileTest() : pool_(&dm_, 16) {}
+  MemoryDiskManager dm_;
+  BufferPool pool_;
+};
+
+TEST_F(HeapFileTest, AppendReadAcrossManyPages) {
+  auto first = HeapFile::Create(&pool_);
+  ASSERT_TRUE(first.ok());
+  HeapFile hf(&pool_, *first);
+  std::vector<Rid> rids;
+  for (int i = 0; i < 500; ++i) {
+    auto rid = hf.Append("record-" + std::to_string(i) +
+                         std::string(50, static_cast<char>('a' + i % 26)));
+    ASSERT_TRUE(rid.ok());
+    rids.push_back(*rid);
+  }
+  // Multiple pages were chained.
+  std::set<PageId> pages;
+  for (const Rid& r : rids) pages.insert(r.page_id);
+  EXPECT_GT(pages.size(), 1u);
+  std::string out;
+  ASSERT_TRUE(hf.Read(rids[0], &out).ok());
+  EXPECT_TRUE(out.rfind("record-0", 0) == 0);
+  ASSERT_TRUE(hf.Read(rids[499], &out).ok());
+  EXPECT_TRUE(out.rfind("record-499", 0) == 0);
+}
+
+TEST_F(HeapFileTest, ScanSeesAllLiveRecordsInOrder) {
+  auto first = HeapFile::Create(&pool_);
+  ASSERT_TRUE(first.ok());
+  HeapFile hf(&pool_, *first);
+  std::vector<Rid> rids;
+  for (int i = 0; i < 100; ++i) {
+    auto rid = hf.Append("r" + std::to_string(i));
+    ASSERT_TRUE(rid.ok());
+    rids.push_back(*rid);
+  }
+  ASSERT_TRUE(hf.Delete(rids[10]).ok());
+  ASSERT_TRUE(hf.Delete(rids[50]).ok());
+  int count = 0;
+  ASSERT_TRUE(hf.Scan([&](const Rid&, std::string_view) {
+                  ++count;
+                  return true;
+                })
+                  .ok());
+  EXPECT_EQ(count, 98);
+  auto total = hf.Count();
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 98u);
+}
+
+TEST_F(HeapFileTest, ScanEarlyStop) {
+  auto first = HeapFile::Create(&pool_);
+  ASSERT_TRUE(first.ok());
+  HeapFile hf(&pool_, *first);
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(hf.Append("x").ok());
+  int seen = 0;
+  ASSERT_TRUE(hf.Scan([&](const Rid&, std::string_view) {
+                  return ++seen < 5;
+                })
+                  .ok());
+  EXPECT_EQ(seen, 5);
+}
+
+TEST_F(HeapFileTest, UpdateInPlace) {
+  auto first = HeapFile::Create(&pool_);
+  ASSERT_TRUE(first.ok());
+  HeapFile hf(&pool_, *first);
+  auto rid = hf.Append("before");
+  ASSERT_TRUE(rid.ok());
+  ASSERT_TRUE(hf.Update(*rid, "after!").ok());
+  std::string out;
+  ASSERT_TRUE(hf.Read(*rid, &out).ok());
+  EXPECT_EQ(out, "after!");
+}
+
+TEST_F(HeapFileTest, ReadDeletedRecordFails) {
+  auto first = HeapFile::Create(&pool_);
+  ASSERT_TRUE(first.ok());
+  HeapFile hf(&pool_, *first);
+  auto rid = hf.Append("gone");
+  ASSERT_TRUE(rid.ok());
+  ASSERT_TRUE(hf.Delete(*rid).ok());
+  std::string out;
+  EXPECT_EQ(hf.Read(*rid, &out).code(), StatusCode::kNotFound);
+}
+
+TEST_F(HeapFileTest, TwoFilesDoNotInterfere) {
+  auto f1 = HeapFile::Create(&pool_);
+  auto f2 = HeapFile::Create(&pool_);
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f2.ok());
+  HeapFile a(&pool_, *f1), b(&pool_, *f2);
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(a.Append("a" + std::to_string(i)).ok());
+    ASSERT_TRUE(b.Append("b" + std::to_string(i)).ok());
+  }
+  auto ca = a.Count();
+  auto cb = b.Count();
+  ASSERT_TRUE(ca.ok());
+  ASSERT_TRUE(cb.ok());
+  EXPECT_EQ(*ca, 200u);
+  EXPECT_EQ(*cb, 200u);
+  int b_records_in_a = 0;
+  ASSERT_TRUE(a.Scan([&](const Rid&, std::string_view rec) {
+                  if (!rec.empty() && rec[0] == 'b') ++b_records_in_a;
+                  return true;
+                })
+                  .ok());
+  EXPECT_EQ(b_records_in_a, 0);
+}
+
+TEST(BTreeTest, InsertFindSmall) {
+  BTree tree(4);
+  tree.Insert(5, Rid{1, 0});
+  tree.Insert(3, Rid{1, 1});
+  tree.Insert(8, Rid{1, 2});
+  EXPECT_EQ(tree.size(), 3u);
+  auto hits = tree.Find(3);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], (Rid{1, 1}));
+  EXPECT_TRUE(tree.Contains(8));
+  EXPECT_FALSE(tree.Contains(7));
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BTreeTest, SplitsGrowHeight) {
+  BTree tree(4);
+  for (int64_t i = 0; i < 100; ++i) tree.Insert(i, Rid{0, static_cast<uint16_t>(i)});
+  EXPECT_GT(tree.Height(), 1);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  for (int64_t i = 0; i < 100; ++i) EXPECT_TRUE(tree.Contains(i));
+}
+
+TEST(BTreeTest, DuplicateKeys) {
+  BTree tree(4);
+  for (uint16_t s = 0; s < 10; ++s) tree.Insert(42, Rid{1, s});
+  auto hits = tree.Find(42);
+  EXPECT_EQ(hits.size(), 10u);
+  // Erase a specific duplicate.
+  EXPECT_TRUE(tree.Erase(42, Rid{1, 4}));
+  EXPECT_FALSE(tree.Erase(42, Rid{1, 4}));
+  hits = tree.Find(42);
+  EXPECT_EQ(hits.size(), 9u);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BTreeTest, RangeScanOrderedAndBounded) {
+  BTree tree(8);
+  for (int64_t i = 100; i >= 0; --i)
+    tree.Insert(i * 2, Rid{0, static_cast<uint16_t>(i)});  // even keys 0..200
+  std::vector<int64_t> keys;
+  tree.ScanRange(10, 30, [&](int64_t k, const Rid&) {
+    keys.push_back(k);
+    return true;
+  });
+  ASSERT_EQ(keys.size(), 11u);  // 10,12,...,30
+  EXPECT_EQ(keys.front(), 10);
+  EXPECT_EQ(keys.back(), 30);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(BTreeTest, PropertyAgainstMultimap) {
+  // Randomized property test: the tree behaves exactly like a sorted
+  // multimap under mixed inserts and erases.
+  Rng rng(2026);
+  BTree tree(6);
+  std::multimap<int64_t, Rid> model;
+  for (int step = 0; step < 5000; ++step) {
+    int64_t key = rng.Range(0, 200);
+    if (rng.Bernoulli(0.3) && !model.empty()) {
+      // Erase a random existing (key, rid).
+      auto it = model.lower_bound(key);
+      if (it == model.end()) it = model.begin();
+      bool tree_erased = tree.Erase(it->first, it->second);
+      EXPECT_TRUE(tree_erased);
+      model.erase(it);
+    } else {
+      Rid rid{static_cast<PageId>(step / 65536),
+              static_cast<uint16_t>(step % 65536)};
+      tree.Insert(key, rid);
+      model.emplace(key, rid);
+    }
+  }
+  EXPECT_EQ(tree.size(), model.size());
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  // Every model key is found with the same multiplicity.
+  for (int64_t k = 0; k <= 200; ++k) {
+    EXPECT_EQ(tree.Find(k).size(), model.count(k)) << "key " << k;
+  }
+  // Full scan matches the model ordering.
+  std::vector<int64_t> scanned;
+  tree.ScanAll([&](int64_t k, const Rid&) {
+    scanned.push_back(k);
+    return true;
+  });
+  std::vector<int64_t> expected;
+  for (const auto& [k, v] : model) expected.push_back(k);
+  EXPECT_EQ(scanned, expected);
+}
+
+TEST(WalTest, CommittedOpsReplayInOrder) {
+  MemoryWalSink sink;
+  WalWriter wal(&sink);
+  auto t1 = wal.Begin();
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(wal.LogOp(*t1, "op1").ok());
+  ASSERT_TRUE(wal.LogOp(*t1, "op2").ok());
+  ASSERT_TRUE(wal.Commit(*t1).ok());
+
+  std::vector<std::string> applied;
+  auto n = WalRecover(sink.bytes(), [&](const WalRecord& rec) {
+    applied.push_back(rec.payload);
+    return Status::OK();
+  });
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 4u);  // begin, 2 ops, commit
+  ASSERT_EQ(applied.size(), 2u);
+  EXPECT_EQ(applied[0], "op1");
+  EXPECT_EQ(applied[1], "op2");
+}
+
+TEST(WalTest, UncommittedAndAbortedOpsAreDiscarded) {
+  MemoryWalSink sink;
+  WalWriter wal(&sink);
+  auto t1 = wal.Begin();  // committed
+  auto t2 = wal.Begin();  // aborted
+  auto t3 = wal.Begin();  // never finished (crash)
+  ASSERT_TRUE(wal.LogOp(*t1, "keep").ok());
+  ASSERT_TRUE(wal.LogOp(*t2, "aborted").ok());
+  ASSERT_TRUE(wal.LogOp(*t3, "in-flight").ok());
+  ASSERT_TRUE(wal.Abort(*t2).ok());
+  ASSERT_TRUE(wal.Commit(*t1).ok());
+
+  std::vector<std::string> applied;
+  ASSERT_TRUE(WalRecover(sink.bytes(), [&](const WalRecord& rec) {
+                applied.push_back(rec.payload);
+                return Status::OK();
+              })
+                  .ok());
+  ASSERT_EQ(applied.size(), 1u);
+  EXPECT_EQ(applied[0], "keep");
+}
+
+TEST(WalTest, TornTailStopsReplayCleanly) {
+  MemoryWalSink sink;
+  WalWriter wal(&sink);
+  auto t1 = wal.Begin();
+  ASSERT_TRUE(wal.LogOp(*t1, "committed-op").ok());
+  ASSERT_TRUE(wal.Commit(*t1).ok());
+  size_t good_size = sink.bytes().size();
+  auto t2 = wal.Begin();
+  ASSERT_TRUE(wal.LogOp(*t2, "will-be-torn").ok());
+  ASSERT_TRUE(wal.Commit(*t2).ok());
+  // Crash: cut the log mid-way through txn 2's records.
+  sink.TruncateTo(good_size + 3);
+
+  std::vector<std::string> applied;
+  ASSERT_TRUE(WalRecover(sink.bytes(), [&](const WalRecord& rec) {
+                applied.push_back(rec.payload);
+                return Status::OK();
+              })
+                  .ok());
+  ASSERT_EQ(applied.size(), 1u);
+  EXPECT_EQ(applied[0], "committed-op");
+}
+
+TEST(WalTest, CorruptMiddleRecordEndsReplayAtCorruption) {
+  MemoryWalSink sink;
+  WalWriter wal(&sink);
+  auto t1 = wal.Begin();
+  ASSERT_TRUE(wal.LogOp(*t1, "op-a").ok());
+  ASSERT_TRUE(wal.Commit(*t1).ok());
+  // Flip a byte inside the first record's payload area.
+  auto& bytes = const_cast<std::vector<uint8_t>&>(sink.bytes());
+  bytes[10] ^= 0xFF;
+  std::vector<std::string> applied;
+  ASSERT_TRUE(WalRecover(sink.bytes(), [&](const WalRecord& rec) {
+                applied.push_back(rec.payload);
+                return Status::OK();
+              })
+                  .ok());
+  EXPECT_TRUE(applied.empty());
+}
+
+}  // namespace
+}  // namespace mdm::storage

@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include "analysis/harmony.h"
+#include "cmn/schema.h"
+#include "cmn/score_builder.h"
+#include "cmn/timbral.h"
+#include "darms/darms.h"
+#include "er/database.h"
+#include "er/versions.h"
+#include "mtime/tempo_map.h"
+
+namespace mdm {
+namespace {
+
+using er::EntityId;
+
+class TimbralTest : public testing::Test {
+ protected:
+  void SetUp() override { ASSERT_TRUE(cmn::InstallCmnSchema(&db_).ok()); }
+  er::Database db_;
+};
+
+TEST_F(TimbralTest, OrchestraHierarchyAndRouting) {
+  cmn::OrchestraBuilder orch(&db_);
+  auto orchestra = orch.CreateOrchestra("chamber");
+  ASSERT_TRUE(orchestra.ok());
+  auto strings = orch.AddSection(*orchestra, "strings");
+  auto winds = orch.AddSection(*orchestra, "winds");
+  auto violin = orch.AddInstrument(*strings, "violin", 40);
+  auto clarinet = orch.AddInstrument(*winds, "clarinet in Bb", 71, -2);
+  ASSERT_TRUE(violin.ok());
+  ASSERT_TRUE(clarinet.ok());
+  auto violin_part = orch.AddPart(*violin, "violin I");
+  auto clarinet_part = orch.AddPart(*clarinet, "clarinet I");
+  cmn::ScoreBuilder builder(&db_);
+  auto v1 = builder.AddVoice(1);
+  auto v2 = builder.AddVoice(2);
+  ASSERT_TRUE(orch.AssignVoice(*violin_part, *v1).ok());
+  ASSERT_TRUE(orch.AssignVoice(*clarinet_part, *v2).ok());
+
+  auto routes = cmn::RouteVoices(db_, *orchestra);
+  ASSERT_TRUE(routes.ok());
+  ASSERT_EQ(routes->size(), 2u);
+  EXPECT_EQ((*routes)[0].voice, *v1);
+  EXPECT_EQ((*routes)[0].channel, 0);
+  EXPECT_EQ((*routes)[0].midi_program, 40);
+  EXPECT_EQ((*routes)[1].voice, *v2);
+  EXPECT_EQ((*routes)[1].channel, 1);
+  EXPECT_EQ((*routes)[1].transposition, -2);
+  // Bad program rejected.
+  EXPECT_EQ(orch.AddInstrument(*winds, "bad", 200).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(TimbralTest, ChannelAssignmentSkipsPercussion) {
+  cmn::OrchestraBuilder orch(&db_);
+  auto orchestra = orch.CreateOrchestra("big band");
+  auto section = orch.AddSection(*orchestra, "all");
+  for (int i = 0; i < 12; ++i)
+    ASSERT_TRUE(orch.AddInstrument(*section, "inst" + std::to_string(i), i)
+                    .ok());
+  // Channels assigned to instruments even with no parts/voices yet.
+  auto routes = cmn::RouteVoices(db_, *orchestra);
+  ASSERT_TRUE(routes.ok());
+  EXPECT_TRUE(routes->empty());  // no voices assigned
+  // Attach one part+voice per instrument and re-route.
+  cmn::ScoreBuilder builder(&db_);
+  auto sections = db_.Children(cmn::kSectionInOrchestra, *orchestra);
+  auto instruments = db_.Children(cmn::kInstrumentInSection, *section);
+  int n = 0;
+  for (EntityId instrument : *instruments) {
+    auto part = orch.AddPart(instrument, "p" + std::to_string(n));
+    auto voice = builder.AddVoice(n++);
+    ASSERT_TRUE(orch.AssignVoice(*part, *voice).ok());
+  }
+  (void)sections;
+  routes = cmn::RouteVoices(db_, *orchestra);
+  ASSERT_EQ(routes->size(), 12u);
+  for (const auto& route : *routes) EXPECT_NE(route.channel, 9);
+}
+
+TEST_F(TimbralTest, PerformWithOrchestraRoutesAndTransposes) {
+  cmn::ScoreBuilder builder(&db_);
+  auto score = builder.CreateScore("duet");
+  auto movement = builder.AddMovement(*score, "I");
+  auto measure = builder.AddMeasure(*movement, 1, {4, 4});
+  auto v1 = builder.AddVoice(1);
+  auto v2 = builder.AddVoice(2);
+  auto sync = builder.GetOrAddSync(*measure, Rational(0));
+  auto c1 = builder.AddChord(*sync, *v1, Rational(1));
+  ASSERT_TRUE(builder.AddNoteMidi(*c1, 60).ok());
+  auto c2 = builder.AddChord(*sync, *v2, Rational(1));
+  ASSERT_TRUE(builder.AddNoteMidi(*c2, 60).ok());
+
+  cmn::OrchestraBuilder orch(&db_);
+  auto orchestra = orch.CreateOrchestra("pair");
+  auto section = orch.AddSection(*orchestra, "winds");
+  auto flute = orch.AddInstrument(*section, "flute", 73, 0);
+  auto clarinet = orch.AddInstrument(*section, "clarinet", 71, -2);
+  auto p1 = orch.AddPart(*flute, "fl");
+  auto p2 = orch.AddPart(*clarinet, "cl");
+  ASSERT_TRUE(orch.AssignVoice(*p1, *v1).ok());
+  ASSERT_TRUE(orch.AssignVoice(*p2, *v2).ok());
+  ASSERT_TRUE(orch.Performs(*orchestra, *score).ok());
+
+  mtime::TempoMap tempo;
+  auto track = cmn::PerformWithOrchestra(&db_, *score, *orchestra, tempo);
+  ASSERT_TRUE(track.ok()) << track.status().ToString();
+  int programs = 0, ons = 0;
+  bool saw_transposed = false, saw_straight = false;
+  for (const auto& e : track->events) {
+    if (e.kind == midi::MidiEvent::Kind::kProgram) ++programs;
+    if (e.kind == midi::MidiEvent::Kind::kNoteOn) {
+      ++ons;
+      if (e.key == 58 && e.channel == 1) saw_transposed = true;
+      if (e.key == 60 && e.channel == 0) saw_straight = true;
+    }
+  }
+  EXPECT_EQ(programs, 2);
+  EXPECT_EQ(ons, 2);
+  EXPECT_TRUE(saw_transposed);  // clarinet sounded down a tone
+  EXPECT_TRUE(saw_straight);
+}
+
+// ----------------------------------------------------------------------
+// Harmonic and melodic analysis.
+// ----------------------------------------------------------------------
+
+TEST(HarmonyTest, TriadAndSeventhClassification) {
+  using analysis::ChordQuality;
+  EXPECT_EQ(analysis::ClassifyChord({60, 64, 67}).quality,
+            ChordQuality::kMajor);  // C E G
+  EXPECT_EQ(analysis::ClassifyChord({60, 64, 67}).root_pc, 0);
+  // Inversions fold to the same root.
+  EXPECT_EQ(analysis::ClassifyChord({64, 67, 72}).root_pc, 0);
+  EXPECT_EQ(analysis::ClassifyChord({64, 67, 72}).quality,
+            ChordQuality::kMajor);
+  EXPECT_EQ(analysis::ClassifyChord({57, 60, 64}).quality,
+            ChordQuality::kMinor);  // A C E
+  EXPECT_EQ(analysis::ClassifyChord({57, 60, 64}).root_pc, 9);
+  EXPECT_EQ(analysis::ClassifyChord({59, 62, 65}).quality,
+            ChordQuality::kDiminished);  // B D F
+  EXPECT_EQ(analysis::ClassifyChord({60, 64, 68}).quality,
+            ChordQuality::kAugmented);
+  EXPECT_EQ(analysis::ClassifyChord({55, 59, 62, 65}).quality,
+            ChordQuality::kDominantSeventh);  // G B D F
+  EXPECT_EQ(analysis::ClassifyChord({60, 64, 67, 71}).quality,
+            ChordQuality::kMajorSeventh);
+  EXPECT_EQ(analysis::ClassifyChord({62, 65, 69, 72}).quality,
+            ChordQuality::kMinorSeventh);  // D F A C
+  // Non-chords.
+  EXPECT_EQ(analysis::ClassifyChord({60, 61, 62}).quality,
+            ChordQuality::kOther);
+  EXPECT_EQ(analysis::ClassifyChord({60, 67}).quality, ChordQuality::kOther);
+  EXPECT_EQ(analysis::ClassifyChord({}).quality, ChordQuality::kOther);
+  EXPECT_EQ(analysis::ClassifyChord({55, 59, 62}).Name(), "G maj");
+}
+
+TEST(HarmonyTest, AnalyzeHarmonyOverScore) {
+  er::Database db;
+  ASSERT_TRUE(cmn::InstallCmnSchema(&db).ok());
+  cmn::ScoreBuilder builder(&db);
+  auto score = builder.CreateScore("cadence");
+  auto movement = builder.AddMovement(*score, "I");
+  auto measure = builder.AddMeasure(*movement, 1, {4, 4});
+  auto voice = builder.AddVoice(1);
+  // I - IV - V7 - I in C major.
+  const std::vector<std::vector<int>> progression = {
+      {60, 64, 67}, {60, 65, 69}, {59, 62, 65, 67}, {60, 64, 67}};
+  for (size_t b = 0; b < progression.size(); ++b) {
+    auto sync = builder.GetOrAddSync(*measure, Rational(b));
+    auto chord = builder.AddChord(*sync, *voice, Rational(1));
+    for (int key : progression[b])
+      ASSERT_TRUE(builder.AddNoteMidi(*chord, key).ok());
+  }
+  auto labels = analysis::AnalyzeHarmony(&db, *score);
+  ASSERT_TRUE(labels.ok());
+  ASSERT_EQ(labels->size(), 4u);
+  EXPECT_EQ((*labels)[0].Name(), "C maj");
+  EXPECT_EQ((*labels)[1].Name(), "F maj");
+  EXPECT_EQ((*labels)[2].Name(), "G 7");
+  EXPECT_EQ((*labels)[3].Name(), "C maj");
+  EXPECT_EQ((*labels)[2].score_time, Rational(2));
+}
+
+TEST(HarmonyTest, KeyEstimationGMinorSubject) {
+  // The BWV 578 subject should profile as G minor.
+  er::Database db;
+  // G4 D5 Bb4 A4 G4 Bb4 A4 G4 F#4 A4 / D4...
+  auto import = darms::ImportDarms(
+      &db, "!G !K2- 3Q 7Q 5E 4E 3E 5E 4E 3E 2#E 4E / 0Q 3Q 2E 1E 0E 2E //",
+      "subject");
+  ASSERT_TRUE(import.ok());
+  mtime::TempoMap tempo;
+  auto notes = cmn::ExtractPerformance(&db, import->score, tempo);
+  ASSERT_TRUE(notes.ok());
+  auto key = analysis::EstimateKey(*notes);
+  EXPECT_EQ(key.Name(), "G minor");
+  EXPECT_GT(key.correlation, 0.5);
+}
+
+TEST(HarmonyTest, KeyEstimationCMajorScale) {
+  std::vector<cmn::PerformedNote> notes;
+  double t = 0;
+  for (int key : {60, 62, 64, 65, 67, 69, 71, 72, 67, 64, 60}) {
+    cmn::PerformedNote pn;
+    pn.midi_key = key;
+    pn.start_seconds = t;
+    pn.end_seconds = t + 0.5;
+    // Weight the tonic by duration.
+    if (key == 60) pn.end_seconds = t + 1.5;
+    notes.push_back(pn);
+    t = pn.end_seconds;
+  }
+  auto key = analysis::EstimateKey(notes);
+  EXPECT_EQ(key.Name(), "C major");
+}
+
+TEST(HarmonyTest, MelodicProfile) {
+  std::vector<cmn::PerformedNote> notes;
+  for (int key : {60, 62, 64, 64, 67, 65, 64, 62, 60}) {
+    cmn::PerformedNote pn;
+    pn.midi_key = key;
+    notes.push_back(pn);
+  }
+  auto p = analysis::ProfileMelody(notes);
+  EXPECT_EQ(p.notes, 9);
+  EXPECT_EQ(p.repeats, 1);
+  EXPECT_EQ(p.leaps, 1);       // 64 -> 67
+  EXPECT_EQ(p.steps, 6);
+  EXPECT_EQ(p.ambitus, 7);
+  EXPECT_EQ(p.longest_descent, 4);  // 67 65 64 62 60
+  EXPECT_EQ(analysis::ProfileMelody({}).notes, 0);
+}
+
+// ----------------------------------------------------------------------
+// Version store.
+// ----------------------------------------------------------------------
+
+TEST(VersionStoreTest, CommitCheckoutLineageDiff) {
+  er::Database db;
+  ASSERT_TRUE(db.DefineEntityType(
+                    {"NOTE", {{"name", rel::ValueType::kInt, ""}}})
+                  .ok());
+  auto n1 = db.CreateEntity("NOTE");
+  ASSERT_TRUE(db.SetAttribute(*n1, "name", rel::Value::Int(1)).ok());
+
+  er::VersionStore store;
+  auto v1 = store.Commit(db, er::VersionStore::kNoParent, "draft",
+                         "first sketch");
+  ASSERT_TRUE(v1.ok());
+
+  // Mutate: add a note, change the first.
+  auto n2 = db.CreateEntity("NOTE");
+  ASSERT_TRUE(db.SetAttribute(*n2, "name", rel::Value::Int(2)).ok());
+  ASSERT_TRUE(db.SetAttribute(*n1, "name", rel::Value::Int(99)).ok());
+  auto v2 = store.Commit(db, *v1, "revised", "added a note");
+  ASSERT_TRUE(v2.ok());
+
+  // An alternative reading branches from v1.
+  auto alt_db = store.Checkout(*v1);
+  ASSERT_TRUE(alt_db.ok());
+  ASSERT_TRUE(alt_db->DeleteEntity(*n1).ok());
+  auto v3 = store.Commit(*alt_db, *v1, "ossia", "alternative reading");
+  ASSERT_TRUE(v3.ok());
+
+  // Checkout reproduces old states exactly.
+  auto old_db = store.Checkout(*v1);
+  ASSERT_TRUE(old_db.ok());
+  EXPECT_EQ(old_db->GetAttribute(*n1, "name")->AsInt(), 1);
+  EXPECT_EQ(old_db->TotalEntities(), 1u);
+
+  // Lineage: v2 -> v1; v3 -> v1.
+  auto lineage = store.Lineage(*v2);
+  ASSERT_TRUE(lineage.ok());
+  EXPECT_EQ(*lineage, (std::vector<er::VersionId>{*v2, *v1}));
+  lineage = store.Lineage(*v3);
+  EXPECT_EQ(*lineage, (std::vector<er::VersionId>{*v3, *v1}));
+
+  // Diffs.
+  auto diff = store.DiffVersions(*v1, *v2);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_EQ(diff->added, 1u);
+  EXPECT_EQ(diff->removed, 0u);
+  EXPECT_EQ(diff->modified, 1u);
+  diff = store.DiffVersions(*v2, *v3);
+  EXPECT_EQ(diff->removed, 2u);  // n1 (deleted) and n2 (never in v3)
+  EXPECT_EQ(diff->added, 0u);
+
+  // Names resolve; duplicates rejected.
+  EXPECT_EQ(*store.FindByName("ossia"), *v3);
+  EXPECT_EQ(store.FindByName("nope").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(store.Commit(db, *v1, "draft", "dup").status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(store.Checkout(99).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.List().size(), 3u);
+}
+
+}  // namespace
+}  // namespace mdm

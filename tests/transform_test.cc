@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "cmn/temporal.h"
+#include "cmn/transform.h"
+#include "darms/darms.h"
+#include "er/database.h"
+#include "mtime/tempo_map.h"
+#include "quel/quel.h"
+
+namespace mdm::cmn {
+namespace {
+
+std::vector<int> MidiKeys(er::Database* db, er::EntityId score) {
+  mtime::TempoMap tempo;
+  auto notes = ExtractPerformance(db, score, tempo);
+  EXPECT_TRUE(notes.ok());
+  std::vector<int> out;
+  for (const auto& n : *notes) out.push_back(n.midi_key);
+  return out;
+}
+
+TEST(TransformTest, TransposePreservesIntervals) {
+  er::Database db;
+  auto import = darms::ImportDarms(&db, "!G 1Q 3Q 5Q / 8H 6H //", "t");
+  ASSERT_TRUE(import.ok());
+  std::vector<int> before = MidiKeys(&db, import->score);
+  auto n = TransposeScore(&db, import->score, 5);  // up a fourth
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 5u);
+  std::vector<int> after = MidiKeys(&db, import->score);
+  ASSERT_EQ(before.size(), after.size());
+  for (size_t i = 0; i < before.size(); ++i)
+    EXPECT_EQ(after[i], before[i] + 5) << i;
+  // Degrees moved diatonically (5 semitones ~ 3 steps).
+  auto first_degree = [&db]() {
+    int64_t degree = -99;
+    (void)db.ForEachEntity("NOTE", [&](er::EntityId note) {
+      auto v = db.GetAttribute(note, "degree");
+      if (v.ok() && !v->is_null()) degree = v->AsInt();
+      return false;
+    });
+    return degree;
+  };
+  EXPECT_EQ(first_degree(), 1 + 3);
+}
+
+TEST(TransformTest, TransposeOutOfRangeFailsCleanly) {
+  er::Database db;
+  auto import = darms::ImportDarms(&db, "!G 9Q //", "t");
+  ASSERT_TRUE(import.ok());
+  EXPECT_EQ(TransposeScore(&db, import->score, 100).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(TransposeScore(&db, import->score, -100).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(TransformTest, RetrogradeReversesVoice) {
+  er::Database db;
+  auto import = darms::ImportDarms(&db, "!G 1Q 3Q 5Q 7Q //", "t");
+  ASSERT_TRUE(import.ok());
+  auto before = db.Children(kVoiceSeq, import->voice);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(RetrogradeVoice(&db, import->voice).ok());
+  auto after = db.Children(kVoiceSeq, import->voice);
+  ASSERT_TRUE(after.ok());
+  std::vector<er::EntityId> reversed(before->rbegin(), before->rend());
+  EXPECT_EQ(*after, reversed);
+  // Applying retrograde twice restores the original.
+  ASSERT_TRUE(RetrogradeVoice(&db, import->voice).ok());
+  after = db.Children(kVoiceSeq, import->voice);
+  EXPECT_EQ(*after, *before);
+}
+
+TEST(TransformTest, ExtractVoiceClonesOnlyThatVoice) {
+  er::Database db;
+  ASSERT_TRUE(InstallCmnSchema(&db).ok());
+  ScoreBuilder builder(&db);
+  auto score = builder.CreateScore("duet");
+  auto movement = builder.AddMovement(*score, "I");
+  auto measure = builder.AddMeasure(*movement, 1, {3, 4});
+  auto v1 = builder.AddVoice(1);
+  auto v2 = builder.AddVoice(2);
+  for (int b = 0; b < 3; ++b) {
+    auto sync = builder.GetOrAddSync(*measure, Rational(b));
+    auto c1 = builder.AddChord(*sync, *v1, Rational(1));
+    (void)builder.AddNoteMidi(*c1, 60 + b);
+    auto c2 = builder.AddChord(*sync, *v2, Rational(1));
+    (void)builder.AddNoteMidi(*c2, 72 + b);
+  }
+  auto part = ExtractVoice(&db, *score, *v1);
+  ASSERT_TRUE(part.ok()) << part.status().ToString();
+  std::vector<int> keys = MidiKeys(&db, *part);
+  EXPECT_EQ(keys, (std::vector<int>{60, 61, 62}));
+  // The part's measures carry the source meter.
+  auto table = BuildMeasureTable(db, *part);
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->size(), 1u);
+  EXPECT_EQ((*table)[0].length, Rational(3));
+  // The original score is untouched.
+  EXPECT_EQ(MidiKeys(&db, *score).size(), 6u);
+}
+
+TEST(TransformTest, NotesInTemporalOrder) {
+  er::Database db;
+  auto import = darms::ImportDarms(&db, "!G 5Q 3Q / 7H 1H //", "t");
+  ASSERT_TRUE(import.ok());
+  auto notes = NotesInTemporalOrder(db, import->score);
+  ASSERT_TRUE(notes.ok());
+  EXPECT_EQ(notes->size(), 4u);
+  std::vector<int64_t> degrees;
+  for (er::EntityId n : *notes)
+    degrees.push_back(db.GetAttribute(n, "degree")->AsInt());
+  EXPECT_EQ(degrees, (std::vector<int64_t>{5, 3, 7, 1}));
+}
+
+TEST(QuelUniqueTest, RetrieveUniqueDeduplicates) {
+  er::Database db;
+  ASSERT_TRUE(db.DefineEntityType(
+                    {"NOTE", {{"pitch", rel::ValueType::kString, ""}}})
+                  .ok());
+  for (const char* p : {"G4", "A4", "G4", "G4", "B4"}) {
+    auto note = db.CreateEntity("NOTE");
+    ASSERT_TRUE(
+        db.SetAttribute(*note, "pitch", rel::Value::String(p)).ok());
+  }
+  quel::QuelSession session(&db);
+  auto all = session.Execute("retrieve (NOTE.pitch)");
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->rows.size(), 5u);
+  auto unique = session.Execute("retrieve unique (NOTE.pitch)");
+  ASSERT_TRUE(unique.ok()) << unique.status().ToString();
+  EXPECT_EQ(unique->rows.size(), 3u);
+  // First-seen order preserved.
+  EXPECT_EQ(unique->rows[0][0].AsString(), "G4");
+  EXPECT_EQ(unique->rows[1][0].AsString(), "A4");
+  EXPECT_EQ(unique->rows[2][0].AsString(), "B4");
+}
+
+}  // namespace
+}  // namespace mdm::cmn
