@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_mdm_clients.dir/bench_fig01_mdm_clients.cc.o"
+  "CMakeFiles/bench_fig01_mdm_clients.dir/bench_fig01_mdm_clients.cc.o.d"
+  "bench_fig01_mdm_clients"
+  "bench_fig01_mdm_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_mdm_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_thematic_index.dir/bench_fig02_thematic_index.cc.o"
+  "CMakeFiles/bench_fig02_thematic_index.dir/bench_fig02_thematic_index.cc.o.d"
+  "bench_fig02_thematic_index"
+  "bench_fig02_thematic_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_thematic_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_piano_roll.dir/bench_fig03_piano_roll.cc.o"
+  "CMakeFiles/bench_fig03_piano_roll.dir/bench_fig03_piano_roll.cc.o.d"
+  "bench_fig03_piano_roll"
+  "bench_fig03_piano_roll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_piano_roll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_darms.dir/bench_fig04_darms.cc.o"
+  "CMakeFiles/bench_fig04_darms.dir/bench_fig04_darms.cc.o.d"
+  "bench_fig04_darms"
+  "bench_fig04_darms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_darms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

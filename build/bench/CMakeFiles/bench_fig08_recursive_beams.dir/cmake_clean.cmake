@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_recursive_beams.dir/bench_fig08_recursive_beams.cc.o"
+  "CMakeFiles/bench_fig08_recursive_beams.dir/bench_fig08_recursive_beams.cc.o.d"
+  "bench_fig08_recursive_beams"
+  "bench_fig08_recursive_beams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_recursive_beams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

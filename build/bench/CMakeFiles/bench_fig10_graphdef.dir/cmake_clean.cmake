@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_graphdef.dir/bench_fig10_graphdef.cc.o"
+  "CMakeFiles/bench_fig10_graphdef.dir/bench_fig10_graphdef.cc.o.d"
+  "bench_fig10_graphdef"
+  "bench_fig10_graphdef.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_graphdef.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_cmn_entities.dir/bench_fig11_cmn_entities.cc.o"
+  "CMakeFiles/bench_fig11_cmn_entities.dir/bench_fig11_cmn_entities.cc.o.d"
+  "bench_fig11_cmn_entities"
+  "bench_fig11_cmn_entities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_cmn_entities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_aspects.dir/bench_fig12_aspects.cc.o"
+  "CMakeFiles/bench_fig12_aspects.dir/bench_fig12_aspects.cc.o.d"
+  "bench_fig12_aspects"
+  "bench_fig12_aspects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_aspects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

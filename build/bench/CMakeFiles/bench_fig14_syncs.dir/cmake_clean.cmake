@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_syncs.dir/bench_fig14_syncs.cc.o"
+  "CMakeFiles/bench_fig14_syncs.dir/bench_fig14_syncs.cc.o.d"
+  "bench_fig14_syncs"
+  "bench_fig14_syncs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_syncs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

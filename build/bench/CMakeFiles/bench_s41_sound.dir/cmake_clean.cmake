@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s41_sound.dir/bench_s41_sound.cc.o"
+  "CMakeFiles/bench_s41_sound.dir/bench_s41_sound.cc.o.d"
+  "bench_s41_sound"
+  "bench_s41_sound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s41_sound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

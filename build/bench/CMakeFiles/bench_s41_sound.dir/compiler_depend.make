@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_s41_sound.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s52_ordering_opt.dir/bench_s52_ordering_opt.cc.o"
+  "CMakeFiles/bench_s52_ordering_opt.dir/bench_s52_ordering_opt.cc.o.d"
+  "bench_s52_ordering_opt"
+  "bench_s52_ordering_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s52_ordering_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s56_quel.dir/bench_s56_quel.cc.o"
+  "CMakeFiles/bench_s56_quel.dir/bench_s56_quel.cc.o.d"
+  "bench_s56_quel"
+  "bench_s56_quel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s56_quel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

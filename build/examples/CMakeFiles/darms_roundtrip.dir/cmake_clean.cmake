@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darms_roundtrip.dir/darms_roundtrip.cpp.o"
+  "CMakeFiles/darms_roundtrip.dir/darms_roundtrip.cpp.o.d"
+  "darms_roundtrip"
+  "darms_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darms_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdmsh.dir/mdmsh.cpp.o"
+  "CMakeFiles/mdmsh.dir/mdmsh.cpp.o.d"
+  "mdmsh"
+  "mdmsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdmsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

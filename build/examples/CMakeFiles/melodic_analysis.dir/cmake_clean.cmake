@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/melodic_analysis.dir/melodic_analysis.cpp.o"
+  "CMakeFiles/melodic_analysis.dir/melodic_analysis.cpp.o.d"
+  "melodic_analysis"
+  "melodic_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/melodic_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orchestration.dir/orchestration.cpp.o"
+  "CMakeFiles/orchestration.dir/orchestration.cpp.o.d"
+  "orchestration"
+  "orchestration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orchestration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/performance_pipeline.dir/performance_pipeline.cpp.o"
+  "CMakeFiles/performance_pipeline.dir/performance_pipeline.cpp.o.d"
+  "performance_pipeline"
+  "performance_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/performance_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

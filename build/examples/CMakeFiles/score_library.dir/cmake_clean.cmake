@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/score_library.dir/score_library.cpp.o"
+  "CMakeFiles/score_library.dir/score_library.cpp.o.d"
+  "score_library"
+  "score_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/score_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/typeset_svg.dir/typeset_svg.cpp.o"
+  "CMakeFiles/typeset_svg.dir/typeset_svg.cpp.o.d"
+  "typeset_svg"
+  "typeset_svg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/typeset_svg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

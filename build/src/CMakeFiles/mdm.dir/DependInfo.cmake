@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/harmony.cc" "src/CMakeFiles/mdm.dir/analysis/harmony.cc.o" "gcc" "src/CMakeFiles/mdm.dir/analysis/harmony.cc.o.d"
+  "/root/repo/src/biblio/thematic_index.cc" "src/CMakeFiles/mdm.dir/biblio/thematic_index.cc.o" "gcc" "src/CMakeFiles/mdm.dir/biblio/thematic_index.cc.o.d"
+  "/root/repo/src/cmn/aspects.cc" "src/CMakeFiles/mdm.dir/cmn/aspects.cc.o" "gcc" "src/CMakeFiles/mdm.dir/cmn/aspects.cc.o.d"
+  "/root/repo/src/cmn/pitch.cc" "src/CMakeFiles/mdm.dir/cmn/pitch.cc.o" "gcc" "src/CMakeFiles/mdm.dir/cmn/pitch.cc.o.d"
+  "/root/repo/src/cmn/schema.cc" "src/CMakeFiles/mdm.dir/cmn/schema.cc.o" "gcc" "src/CMakeFiles/mdm.dir/cmn/schema.cc.o.d"
+  "/root/repo/src/cmn/score_builder.cc" "src/CMakeFiles/mdm.dir/cmn/score_builder.cc.o" "gcc" "src/CMakeFiles/mdm.dir/cmn/score_builder.cc.o.d"
+  "/root/repo/src/cmn/temporal.cc" "src/CMakeFiles/mdm.dir/cmn/temporal.cc.o" "gcc" "src/CMakeFiles/mdm.dir/cmn/temporal.cc.o.d"
+  "/root/repo/src/cmn/timbral.cc" "src/CMakeFiles/mdm.dir/cmn/timbral.cc.o" "gcc" "src/CMakeFiles/mdm.dir/cmn/timbral.cc.o.d"
+  "/root/repo/src/cmn/transform.cc" "src/CMakeFiles/mdm.dir/cmn/transform.cc.o" "gcc" "src/CMakeFiles/mdm.dir/cmn/transform.cc.o.d"
+  "/root/repo/src/common/bytes.cc" "src/CMakeFiles/mdm.dir/common/bytes.cc.o" "gcc" "src/CMakeFiles/mdm.dir/common/bytes.cc.o.d"
+  "/root/repo/src/common/rational.cc" "src/CMakeFiles/mdm.dir/common/rational.cc.o" "gcc" "src/CMakeFiles/mdm.dir/common/rational.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/mdm.dir/common/status.cc.o" "gcc" "src/CMakeFiles/mdm.dir/common/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/CMakeFiles/mdm.dir/common/strings.cc.o" "gcc" "src/CMakeFiles/mdm.dir/common/strings.cc.o.d"
+  "/root/repo/src/darms/darms.cc" "src/CMakeFiles/mdm.dir/darms/darms.cc.o" "gcc" "src/CMakeFiles/mdm.dir/darms/darms.cc.o.d"
+  "/root/repo/src/ddl/lexer.cc" "src/CMakeFiles/mdm.dir/ddl/lexer.cc.o" "gcc" "src/CMakeFiles/mdm.dir/ddl/lexer.cc.o.d"
+  "/root/repo/src/ddl/parser.cc" "src/CMakeFiles/mdm.dir/ddl/parser.cc.o" "gcc" "src/CMakeFiles/mdm.dir/ddl/parser.cc.o.d"
+  "/root/repo/src/er/database.cc" "src/CMakeFiles/mdm.dir/er/database.cc.o" "gcc" "src/CMakeFiles/mdm.dir/er/database.cc.o.d"
+  "/root/repo/src/er/persist.cc" "src/CMakeFiles/mdm.dir/er/persist.cc.o" "gcc" "src/CMakeFiles/mdm.dir/er/persist.cc.o.d"
+  "/root/repo/src/er/schema.cc" "src/CMakeFiles/mdm.dir/er/schema.cc.o" "gcc" "src/CMakeFiles/mdm.dir/er/schema.cc.o.d"
+  "/root/repo/src/er/versions.cc" "src/CMakeFiles/mdm.dir/er/versions.cc.o" "gcc" "src/CMakeFiles/mdm.dir/er/versions.cc.o.d"
+  "/root/repo/src/graphics/postscript.cc" "src/CMakeFiles/mdm.dir/graphics/postscript.cc.o" "gcc" "src/CMakeFiles/mdm.dir/graphics/postscript.cc.o.d"
+  "/root/repo/src/meta/meta_schema.cc" "src/CMakeFiles/mdm.dir/meta/meta_schema.cc.o" "gcc" "src/CMakeFiles/mdm.dir/meta/meta_schema.cc.o.d"
+  "/root/repo/src/midi/import.cc" "src/CMakeFiles/mdm.dir/midi/import.cc.o" "gcc" "src/CMakeFiles/mdm.dir/midi/import.cc.o.d"
+  "/root/repo/src/midi/midi.cc" "src/CMakeFiles/mdm.dir/midi/midi.cc.o" "gcc" "src/CMakeFiles/mdm.dir/midi/midi.cc.o.d"
+  "/root/repo/src/mtime/meter.cc" "src/CMakeFiles/mdm.dir/mtime/meter.cc.o" "gcc" "src/CMakeFiles/mdm.dir/mtime/meter.cc.o.d"
+  "/root/repo/src/mtime/tempo_map.cc" "src/CMakeFiles/mdm.dir/mtime/tempo_map.cc.o" "gcc" "src/CMakeFiles/mdm.dir/mtime/tempo_map.cc.o.d"
+  "/root/repo/src/notation/engrave.cc" "src/CMakeFiles/mdm.dir/notation/engrave.cc.o" "gcc" "src/CMakeFiles/mdm.dir/notation/engrave.cc.o.d"
+  "/root/repo/src/notation/piano_roll.cc" "src/CMakeFiles/mdm.dir/notation/piano_roll.cc.o" "gcc" "src/CMakeFiles/mdm.dir/notation/piano_roll.cc.o.d"
+  "/root/repo/src/quel/executor.cc" "src/CMakeFiles/mdm.dir/quel/executor.cc.o" "gcc" "src/CMakeFiles/mdm.dir/quel/executor.cc.o.d"
+  "/root/repo/src/quel/parser.cc" "src/CMakeFiles/mdm.dir/quel/parser.cc.o" "gcc" "src/CMakeFiles/mdm.dir/quel/parser.cc.o.d"
+  "/root/repo/src/rel/schema.cc" "src/CMakeFiles/mdm.dir/rel/schema.cc.o" "gcc" "src/CMakeFiles/mdm.dir/rel/schema.cc.o.d"
+  "/root/repo/src/rel/table.cc" "src/CMakeFiles/mdm.dir/rel/table.cc.o" "gcc" "src/CMakeFiles/mdm.dir/rel/table.cc.o.d"
+  "/root/repo/src/rel/value.cc" "src/CMakeFiles/mdm.dir/rel/value.cc.o" "gcc" "src/CMakeFiles/mdm.dir/rel/value.cc.o.d"
+  "/root/repo/src/sound/sound.cc" "src/CMakeFiles/mdm.dir/sound/sound.cc.o" "gcc" "src/CMakeFiles/mdm.dir/sound/sound.cc.o.d"
+  "/root/repo/src/storage/btree.cc" "src/CMakeFiles/mdm.dir/storage/btree.cc.o" "gcc" "src/CMakeFiles/mdm.dir/storage/btree.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/mdm.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/mdm.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/CMakeFiles/mdm.dir/storage/disk_manager.cc.o" "gcc" "src/CMakeFiles/mdm.dir/storage/disk_manager.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/CMakeFiles/mdm.dir/storage/heap_file.cc.o" "gcc" "src/CMakeFiles/mdm.dir/storage/heap_file.cc.o.d"
+  "/root/repo/src/storage/slotted_page.cc" "src/CMakeFiles/mdm.dir/storage/slotted_page.cc.o" "gcc" "src/CMakeFiles/mdm.dir/storage/slotted_page.cc.o.d"
+  "/root/repo/src/storage/wal.cc" "src/CMakeFiles/mdm.dir/storage/wal.cc.o" "gcc" "src/CMakeFiles/mdm.dir/storage/wal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for mdm.
+# This may be replaced when dependencies are built.

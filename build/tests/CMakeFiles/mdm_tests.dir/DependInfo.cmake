@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/biblio_notation_test.cc" "tests/CMakeFiles/mdm_tests.dir/biblio_notation_test.cc.o" "gcc" "tests/CMakeFiles/mdm_tests.dir/biblio_notation_test.cc.o.d"
+  "/root/repo/tests/cmn_pitch_test.cc" "tests/CMakeFiles/mdm_tests.dir/cmn_pitch_test.cc.o" "gcc" "tests/CMakeFiles/mdm_tests.dir/cmn_pitch_test.cc.o.d"
+  "/root/repo/tests/cmn_score_test.cc" "tests/CMakeFiles/mdm_tests.dir/cmn_score_test.cc.o" "gcc" "tests/CMakeFiles/mdm_tests.dir/cmn_score_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/mdm_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/mdm_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/coverage_test.cc" "tests/CMakeFiles/mdm_tests.dir/coverage_test.cc.o" "gcc" "tests/CMakeFiles/mdm_tests.dir/coverage_test.cc.o.d"
+  "/root/repo/tests/darms_test.cc" "tests/CMakeFiles/mdm_tests.dir/darms_test.cc.o" "gcc" "tests/CMakeFiles/mdm_tests.dir/darms_test.cc.o.d"
+  "/root/repo/tests/ddl_test.cc" "tests/CMakeFiles/mdm_tests.dir/ddl_test.cc.o" "gcc" "tests/CMakeFiles/mdm_tests.dir/ddl_test.cc.o.d"
+  "/root/repo/tests/editor_property_test.cc" "tests/CMakeFiles/mdm_tests.dir/editor_property_test.cc.o" "gcc" "tests/CMakeFiles/mdm_tests.dir/editor_property_test.cc.o.d"
+  "/root/repo/tests/er_test.cc" "tests/CMakeFiles/mdm_tests.dir/er_test.cc.o" "gcc" "tests/CMakeFiles/mdm_tests.dir/er_test.cc.o.d"
+  "/root/repo/tests/file_backed_test.cc" "tests/CMakeFiles/mdm_tests.dir/file_backed_test.cc.o" "gcc" "tests/CMakeFiles/mdm_tests.dir/file_backed_test.cc.o.d"
+  "/root/repo/tests/graphics_test.cc" "tests/CMakeFiles/mdm_tests.dir/graphics_test.cc.o" "gcc" "tests/CMakeFiles/mdm_tests.dir/graphics_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/mdm_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/mdm_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/meta_test.cc" "tests/CMakeFiles/mdm_tests.dir/meta_test.cc.o" "gcc" "tests/CMakeFiles/mdm_tests.dir/meta_test.cc.o.d"
+  "/root/repo/tests/midi_import_test.cc" "tests/CMakeFiles/mdm_tests.dir/midi_import_test.cc.o" "gcc" "tests/CMakeFiles/mdm_tests.dir/midi_import_test.cc.o.d"
+  "/root/repo/tests/midi_sound_test.cc" "tests/CMakeFiles/mdm_tests.dir/midi_sound_test.cc.o" "gcc" "tests/CMakeFiles/mdm_tests.dir/midi_sound_test.cc.o.d"
+  "/root/repo/tests/mtime_test.cc" "tests/CMakeFiles/mdm_tests.dir/mtime_test.cc.o" "gcc" "tests/CMakeFiles/mdm_tests.dir/mtime_test.cc.o.d"
+  "/root/repo/tests/persist_test.cc" "tests/CMakeFiles/mdm_tests.dir/persist_test.cc.o" "gcc" "tests/CMakeFiles/mdm_tests.dir/persist_test.cc.o.d"
+  "/root/repo/tests/property2_test.cc" "tests/CMakeFiles/mdm_tests.dir/property2_test.cc.o" "gcc" "tests/CMakeFiles/mdm_tests.dir/property2_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/mdm_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/mdm_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/quel_test.cc" "tests/CMakeFiles/mdm_tests.dir/quel_test.cc.o" "gcc" "tests/CMakeFiles/mdm_tests.dir/quel_test.cc.o.d"
+  "/root/repo/tests/rel_test.cc" "tests/CMakeFiles/mdm_tests.dir/rel_test.cc.o" "gcc" "tests/CMakeFiles/mdm_tests.dir/rel_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/mdm_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/mdm_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/timbral_analysis_test.cc" "tests/CMakeFiles/mdm_tests.dir/timbral_analysis_test.cc.o" "gcc" "tests/CMakeFiles/mdm_tests.dir/timbral_analysis_test.cc.o.d"
+  "/root/repo/tests/transform_test.cc" "tests/CMakeFiles/mdm_tests.dir/transform_test.cc.o" "gcc" "tests/CMakeFiles/mdm_tests.dir/transform_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mdm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
