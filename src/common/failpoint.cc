@@ -1,0 +1,100 @@
+#include "common/failpoint.h"
+
+namespace mdm {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "None";
+    case FaultKind::kError: return "Error";
+    case FaultKind::kShortWrite: return "ShortWrite";
+    case FaultKind::kTornWrite: return "TornWrite";
+    case FaultKind::kPowerCut: return "PowerCut";
+  }
+  return "?";
+}
+
+Failpoint Failpoint::FailNth(uint64_t nth, FaultKind kind,
+                             double keep_fraction) {
+  Failpoint fp;
+  fp.mode_ = Mode::kNth;
+  fp.nth_ = nth;
+  fp.kind_ = kind;
+  fp.keep_fraction_ = keep_fraction;
+  return fp;
+}
+
+Failpoint Failpoint::FailWithProbability(double p, uint64_t seed,
+                                         FaultKind kind,
+                                         double keep_fraction) {
+  Failpoint fp;
+  fp.mode_ = Mode::kProbability;
+  fp.probability_ = p;
+  fp.kind_ = kind;
+  fp.keep_fraction_ = keep_fraction;
+  fp.rng_ = Rng(seed);
+  return fp;
+}
+
+FaultDecision Failpoint::Eval() {
+  if (mode_ == Mode::kOff) return {};
+  ++hits_;
+  bool fire = false;
+  switch (mode_) {
+    case Mode::kOff:
+      break;
+    case Mode::kNth:
+      fire = hits_ == nth_;
+      break;
+    case Mode::kProbability:
+      fire = rng_.Bernoulli(probability_);
+      break;
+  }
+  if (!fire) return {};
+  ++fires_;
+  return {kind_, keep_fraction_};
+}
+
+FailpointRegistry* FailpointRegistry::Global() {
+  static FailpointRegistry registry;
+  return &registry;
+}
+
+void FailpointRegistry::Arm(const std::string& name, Failpoint fp) {
+  points_[name] = fp;
+}
+
+void FailpointRegistry::Disarm(const std::string& name) {
+  points_.erase(name);
+}
+
+void FailpointRegistry::Reset() {
+  points_.clear();
+  io_count_ = 0;
+  cut_at_ = 0;
+  cut_keep_ = 0.5;
+  power_out_ = false;
+}
+
+void FailpointRegistry::ArmPowerCutAtIo(uint64_t nth_io,
+                                        double keep_fraction) {
+  cut_at_ = nth_io;
+  cut_keep_ = keep_fraction;
+  power_out_ = false;
+}
+
+FaultDecision FailpointRegistry::Eval(const std::string& name) {
+  if (!armed()) return {};
+  ++io_count_;
+  if (power_out_) return {FaultKind::kError, 0.0};
+  if (cut_at_ != 0 && io_count_ == cut_at_) {
+    power_out_ = true;
+    return {FaultKind::kPowerCut, cut_keep_};
+  }
+  auto it = points_.find(name);
+  if (it == points_.end()) return {};
+  FaultDecision d = it->second.Eval();
+  if (d.kind == FaultKind::kPowerCut) power_out_ = true;
+  return d;
+}
+
+}  // namespace mdm

@@ -1,0 +1,28 @@
+#include "common/io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace mdm {
+
+Status SyncStream(std::FILE* f, const std::string& what) {
+  if (std::fflush(f) != 0) return IoError("fflush failed for " + what);
+  int fd = fileno(f);
+  if (fd < 0) return IoError("fileno failed for " + what);
+  if (::fsync(fd) != 0) return IoError("fsync failed for " + what);
+  return Status::OK();
+}
+
+Status SyncParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return IoError("cannot open directory " + dir);
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return IoError("fsync failed for directory " + dir);
+  return Status::OK();
+}
+
+}  // namespace mdm

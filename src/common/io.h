@@ -1,0 +1,22 @@
+#ifndef MDM_COMMON_IO_H_
+#define MDM_COMMON_IO_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/status.h"
+
+namespace mdm {
+
+/// Pushes a stream's buffered bytes all the way to durable storage:
+/// fflush to the kernel, then fsync the file descriptor. `what` names
+/// the file in error messages.
+Status SyncStream(std::FILE* f, const std::string& what);
+
+/// fsyncs the directory containing `path`, making a just-completed
+/// rename or file creation in that directory durable.
+Status SyncParentDir(const std::string& path);
+
+}  // namespace mdm
+
+#endif  // MDM_COMMON_IO_H_

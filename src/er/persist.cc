@@ -1,21 +1,42 @@
 #include "er/persist.h"
 
 #include <cstdio>
+#include <cstring>
 
 #include "common/bytes.h"
+#include "common/failpoint.h"
+#include "common/io.h"
 
 namespace mdm::er {
 
 namespace {
 
-Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+// Snapshot envelope: magic, version, checkpoint epoch, then the
+// database image guarded by a CRC so bit rot or a torn snapshot write
+// surfaces as Corruption instead of a half-restored database.
+constexpr char kSnapshotMagic[4] = {'M', 'D', 'M', 'S'};
+constexpr uint32_t kSnapshotVersion = 2;
+
+Status WriteFileDurable(const std::string& path,
+                        const std::vector<uint8_t>& bytes) {
+  FaultDecision fault = FailpointRegistry::Global()->Eval("snapshot.write");
+  if (fault.kind == FaultKind::kError)
+    return IoError("injected write failure for " + path);
+  size_t n = bytes.size();
+  if (fault.fired()) {
+    n = static_cast<size_t>(static_cast<double>(n) * fault.keep_fraction);
+    if (n > bytes.size()) n = bytes.size();
+  }
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return IoError("cannot create " + path);
-  size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
-  bool flushed = std::fflush(f) == 0;
-  std::fclose(f);
-  if (written != bytes.size() || !flushed)
-    return IoError("short write to " + path);
+  size_t written = std::fwrite(bytes.data(), 1, n, f);
+  Status synced = SyncStream(f, path);
+  bool closed = std::fclose(f) == 0;
+  if (written != n || !closed) return IoError("short write to " + path);
+  MDM_RETURN_IF_ERROR(synced);
+  if (fault.kind == FaultKind::kShortWrite ||
+      fault.kind == FaultKind::kPowerCut)
+    return IoError("injected short write to " + path);
   return Status::OK();
 }
 
@@ -27,26 +48,97 @@ Result<std::vector<uint8_t>> ReadFile(const std::string& path) {
   size_t n;
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
     out.insert(out.end(), buf, buf + n);
+  // Distinguish a mid-read I/O error from EOF: a failed disk must not
+  // look like a short-but-valid file.
+  bool failed = std::ferror(f) != 0;
   std::fclose(f);
+  if (failed) return IoError("read error on " + path);
   return out;
+}
+
+std::vector<uint8_t> EncodeSnapshot(const Database& db, uint64_t epoch) {
+  ByteWriter payload;
+  db.Snapshot(&payload);
+  ByteWriter out;
+  out.PutBytes(kSnapshotMagic, 4);
+  out.PutU32(kSnapshotVersion);
+  out.PutU64(epoch);
+  out.PutU32(Crc32(payload.data().data(), payload.size()));
+  out.PutBytes(payload.data().data(), payload.size());
+  return out.Take();
+}
+
+struct SnapshotImage {
+  uint64_t epoch = 0;
+  const uint8_t* payload = nullptr;  // into the caller's byte buffer
+  size_t payload_size = 0;
+};
+
+/// Parses and CRC-verifies a snapshot file image. Files predating the
+/// envelope (no magic) decode as an epoch-0 raw database image.
+Result<SnapshotImage> DecodeSnapshot(const std::vector<uint8_t>& bytes,
+                                     const std::string& path) {
+  SnapshotImage img;
+  if (bytes.size() < 4 || std::memcmp(bytes.data(), kSnapshotMagic, 4) != 0) {
+    img.payload = bytes.data();
+    img.payload_size = bytes.size();
+    return img;
+  }
+  ByteReader r(bytes.data(), bytes.size());
+  uint8_t skip;
+  for (int i = 0; i < 4; ++i) (void)r.GetU8(&skip);
+  uint32_t version, crc;
+  if (!r.GetU32(&version).ok() || version != kSnapshotVersion)
+    return Corruption("snapshot " + path + " has unsupported version");
+  if (!r.GetU64(&img.epoch).ok() || !r.GetU32(&crc).ok())
+    return Corruption("snapshot " + path + " has truncated header");
+  img.payload = bytes.data() + r.pos();
+  img.payload_size = bytes.size() - r.pos();
+  if (Crc32(img.payload, img.payload_size) != crc)
+    return Corruption("snapshot " + path +
+                      " failed checksum verification");
+  return img;
+}
+
+std::string WalPathFor(const std::string& path, uint64_t epoch) {
+  return epoch == 0 ? path + ".wal"
+                    : path + ".wal." + std::to_string(epoch);
+}
+
+Status SaveSnapshotAs(const Database& db, const std::string& path,
+                      uint64_t epoch) {
+  std::vector<uint8_t> bytes = EncodeSnapshot(db, epoch);
+  // Write-then-rename so a crash mid-save never clobbers the old image;
+  // fsync the data before the rename and the directory after, so the
+  // sequence survives power loss on both sides.
+  std::string tmp = path + ".tmp";
+  MDM_RETURN_IF_ERROR(WriteFileDurable(tmp, bytes));
+  // Read back and verify before renaming over the only other copy: a
+  // silently torn write must be caught while the old snapshot is intact.
+  {
+    MDM_ASSIGN_OR_RETURN(std::vector<uint8_t> readback, ReadFile(tmp));
+    MDM_ASSIGN_OR_RETURN(SnapshotImage img, DecodeSnapshot(readback, tmp));
+    (void)img;
+  }
+  if (FailpointRegistry::Global()->Eval("snapshot.rename").fired())
+    return IoError("injected rename failure for " + path);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    return IoError("rename failed for " + path);
+  if (FailpointRegistry::Global()->Eval("snapshot.dirsync").fired())
+    return IoError("injected directory sync failure for " + path);
+  return SyncParentDir(path);
 }
 
 }  // namespace
 
 Status SaveSnapshot(const Database& db, const std::string& path) {
-  ByteWriter w;
-  db.Snapshot(&w);
-  // Write-then-rename so a crash mid-save never clobbers the old image.
-  std::string tmp = path + ".tmp";
-  MDM_RETURN_IF_ERROR(WriteFile(tmp, w.data()));
-  if (std::rename(tmp.c_str(), path.c_str()) != 0)
-    return IoError("rename failed for " + path);
-  return Status::OK();
+  return SaveSnapshotAs(db, path, /*epoch=*/0);
 }
 
 Result<Database> LoadSnapshot(const std::string& path) {
   MDM_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFile(path));
-  ByteReader r(bytes.data(), bytes.size());
+  MDM_ASSIGN_OR_RETURN(SnapshotImage img, DecodeSnapshot(bytes, path));
+  ByteReader r(img.payload, img.payload_size);
   Database db;
   MDM_RETURN_IF_ERROR(Database::Restore(&r, &db));
   return db;
@@ -55,20 +147,25 @@ Result<Database> LoadSnapshot(const std::string& path) {
 Result<std::unique_ptr<DurableDatabase>> DurableDatabase::Open(
     const std::string& path) {
   auto handle = std::unique_ptr<DurableDatabase>(new DurableDatabase(path));
-  // 1. Restore the snapshot if one exists.
+  // 1. Restore the snapshot if one exists; its header names the journal
+  //    epoch to replay.
   Result<std::vector<uint8_t>> snapshot = ReadFile(path);
   if (snapshot.ok()) {
-    ByteReader r(snapshot->data(), snapshot->size());
+    MDM_ASSIGN_OR_RETURN(SnapshotImage img, DecodeSnapshot(*snapshot, path));
+    ByteReader r(img.payload, img.payload_size);
     MDM_RETURN_IF_ERROR(Database::Restore(&r, &handle->db_));
+    handle->epoch_ = img.epoch;
   } else if (snapshot.status().code() != StatusCode::kNotFound) {
     return snapshot.status();
   }
-  // 2. Replay the journal (absent journal = empty).
+  // 2. Replay this epoch's journal (absent journal = empty). A journal
+  //    belonging to an older epoch is never replayed: its effects are
+  //    already inside the snapshot.
   MDM_ASSIGN_OR_RETURN(std::vector<uint8_t> log,
-                       storage::ReadWalFile(path + ".wal"));
+                       storage::ReadWalFile(handle->wal_path()));
   MDM_RETURN_IF_ERROR(handle->db_.ReplayJournal(log));
   // 3. Journal subsequent mutations (appending to the existing log).
-  MDM_RETURN_IF_ERROR(handle->AttachFreshJournal(/*truncate=*/false));
+  MDM_RETURN_IF_ERROR(handle->AttachJournal(/*truncate=*/false));
   return handle;
 }
 
@@ -76,25 +173,61 @@ DurableDatabase::~DurableDatabase() {
   db_.AttachJournal(nullptr);
 }
 
-Status DurableDatabase::AttachFreshJournal(bool truncate) {
+std::string DurableDatabase::wal_path() const {
+  return WalPathFor(path_, epoch_);
+}
+
+Status DurableDatabase::AttachJournal(bool truncate) {
   db_.AttachJournal(nullptr);
   wal_.reset();
   wal_sink_.reset();
-  if (truncate) {
-    std::FILE* f = std::fopen((path_ + ".wal").c_str(), "wb");
-    if (f == nullptr) return IoError("cannot truncate journal");
-    std::fclose(f);
+  // If anything below fails, leave a sink that rejects every append:
+  // acknowledging unjournaled mutations would break the crash contract.
+  Status failed;
+  if (truncate &&
+      !FailpointRegistry::Global()->Eval("wal.truncate").fired()) {
+    std::FILE* f = std::fopen(wal_path().c_str(), "wb");
+    if (f != nullptr)
+      std::fclose(f);
+    else
+      failed = IoError("cannot truncate journal " + wal_path());
+  } else if (truncate) {
+    failed = IoError("injected truncate failure for " + wal_path());
   }
-  MDM_ASSIGN_OR_RETURN(wal_sink_,
-                       storage::FileWalSink::Open(path_ + ".wal"));
+  if (failed.ok()) {
+    auto sink = storage::FileWalSink::Open(wal_path());
+    if (sink.ok())
+      wal_sink_ = std::move(*sink);
+    else
+      failed = sink.status();
+  }
+  if (!failed.ok()) {
+    wal_ = std::make_unique<storage::WalWriter>(&broken_sink_);
+    db_.AttachJournal(wal_.get());
+    return failed;
+  }
   wal_ = std::make_unique<storage::WalWriter>(wal_sink_.get());
   db_.AttachJournal(wal_.get());
   return Status::OK();
 }
 
 Status DurableDatabase::Checkpoint() {
-  MDM_RETURN_IF_ERROR(SaveSnapshot(db_, path_));
-  return AttachFreshJournal(/*truncate=*/true);
+  // 1. Persist the new snapshot under the next epoch (written to a
+  //    temporary file, verified by read-back, renamed, directory
+  //    fsynced). On any failure the old snapshot/journal pair is still
+  //    the recovery source.
+  uint64_t next_epoch = epoch_ + 1;
+  MDM_RETURN_IF_ERROR(SaveSnapshotAs(db_, path_, next_epoch));
+  // 2. Switch to the new epoch's empty journal. From here recovery uses
+  //    the new snapshot; the old journal is dead weight.
+  std::string old_wal = wal_path();
+  epoch_ = next_epoch;
+  MDM_RETURN_IF_ERROR(AttachJournal(/*truncate=*/true));
+  // 3. Best-effort cleanup; a leftover old-epoch journal is ignored by
+  //    recovery.
+  if (!FailpointRegistry::Global()->Eval("wal.remove").fired())
+    (void)std::remove(old_wal.c_str());
+  return Status::OK();
 }
 
 }  // namespace mdm::er

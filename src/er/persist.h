@@ -1,6 +1,7 @@
 #ifndef MDM_ER_PERSIST_H_
 #define MDM_ER_PERSIST_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -11,21 +12,30 @@
 
 namespace mdm::er {
 
-/// A durable MDM database: a snapshot file plus a write-ahead journal.
+/// A durable MDM database: a checksummed snapshot file plus a
+/// write-ahead journal.
 ///
 /// Lifecycle:
 ///   auto handle = DurableDatabase::Open("scores.mdm");   // recovers
 ///   handle->db()->CreateEntity(...);                     // journaled
-///   handle->Checkpoint();   // compacts: snapshot + truncated journal
+///   handle->Checkpoint();   // compacts: snapshot + fresh journal
 ///
-/// Crash contract: every operation whose (auto-)commit record reached
-/// the journal before the crash is recovered by the next Open; a torn
-/// journal tail is discarded cleanly (see storage::WalRecover).
+/// Crash contract (see docs/DURABILITY.md): every operation whose
+/// (auto-)commit record was fsynced to the journal before the crash is
+/// recovered by the next Open; a torn journal tail is discarded cleanly
+/// (storage::WalRecover); a corrupt snapshot surfaces as Corruption,
+/// never as a half-restored database.
+///
+/// The snapshot and journal are paired through a checkpoint epoch: the
+/// snapshot header names the epoch it covers and recovery replays only
+/// that epoch's journal file ("<path>.wal" for epoch 0, "<path>.wal.N"
+/// after the Nth checkpoint). A crash anywhere inside Checkpoint leaves
+/// either the old pair or the new pair — never the new snapshot with
+/// the old journal replayed on top (double apply).
 class DurableDatabase {
  public:
-  /// Opens (or creates) the database at `path`. Expects `path` to be a
-  /// snapshot file ("<path>" may not exist yet) and "<path>.wal" the
-  /// journal. Recovery = restore snapshot, then replay the journal.
+  /// Opens (or creates) the database at `path` and recovers: restore
+  /// and verify the snapshot, then replay the current epoch's journal.
   static Result<std::unique_ptr<DurableDatabase>> Open(
       const std::string& path);
 
@@ -35,25 +45,46 @@ class DurableDatabase {
 
   Database* db() { return &db_; }
 
-  /// Writes a fresh snapshot and truncates the journal. Called at
-  /// convenient quiesce points; crash-safe (snapshot is written to a
-  /// temporary file and renamed over the old one before the journal is
-  /// truncated).
+  /// Writes a fresh snapshot (to a temporary file, fsynced, renamed,
+  /// directory fsynced, then read back and verified) and switches to
+  /// the next epoch's empty journal. Crash-safe at every intermediate
+  /// point. On failure the previous snapshot and journal stay intact;
+  /// if the new journal cannot be attached the handle is poisoned and
+  /// every further mutation fails rather than silently going
+  /// unjournaled.
   Status Checkpoint();
 
   const std::string& path() const { return path_; }
+  uint64_t epoch() const { return epoch_; }
+  /// The journal file backing the current epoch.
+  std::string wal_path() const;
 
  private:
+  /// Sink attached when the real journal cannot be opened: every append
+  /// fails, so no mutation is acknowledged without being logged.
+  struct BrokenWalSink : storage::WalSink {
+    Status Append(const std::vector<uint8_t>&) override {
+      return IoError("journal unavailable (previous attach failed)");
+    }
+    Status Sync() override {
+      return IoError("journal unavailable (previous attach failed)");
+    }
+  };
+
   explicit DurableDatabase(std::string path) : path_(std::move(path)) {}
-  Status AttachFreshJournal(bool truncate);
+  Status AttachJournal(bool truncate);
 
   std::string path_;
+  uint64_t epoch_ = 0;
   Database db_;
   std::unique_ptr<storage::FileWalSink> wal_sink_;
   std::unique_ptr<storage::WalWriter> wal_;
+  BrokenWalSink broken_sink_;
 };
 
-/// One-shot helpers for clients that do not need a journal.
+/// One-shot helpers for clients that do not need a journal. The file
+/// carries a checksummed envelope; LoadSnapshot returns Corruption on
+/// any bit rot (legacy unchecksummed files are still readable).
 Status SaveSnapshot(const Database& db, const std::string& path);
 Result<Database> LoadSnapshot(const std::string& path);
 

@@ -2,6 +2,9 @@
 
 #include <cstring>
 
+#include "common/bytes.h"
+#include "common/failpoint.h"
+#include "common/io.h"
 #include "common/strings.h"
 
 namespace mdm::storage {
@@ -37,6 +40,95 @@ uint32_t MemoryDiskManager::NumPages() const {
   return static_cast<uint32_t>(pages_.size());
 }
 
+namespace {
+
+void PutU32At(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+uint32_t GetU32At(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 |
+         static_cast<uint32_t>(p[3]) << 24;
+}
+
+long FrameOffset(PageId id) {
+  return static_cast<long>(kSuperblockSize) +
+         static_cast<long>(id) * static_cast<long>(kPageFrameSize);
+}
+
+/// Fills the 16-byte frame header and returns the frame CRC: CRC32 over
+/// page_id + reserved + data, i.e. everything after the crc field.
+void BuildFrame(PageId id, const uint8_t* data, uint8_t* frame) {
+  std::memset(frame, 0, kPageFrameHeaderSize);
+  PutU32At(frame + 4, id);
+  std::memcpy(frame + kPageFrameHeaderSize, data, kPageSize);
+  uint32_t crc = Crc32(frame + 4, kPageFrameSize - 4);
+  PutU32At(frame, crc);
+}
+
+void BuildSuperblock(uint8_t* block) {
+  std::memset(block, 0, kSuperblockSize);
+  std::memcpy(block, kDbFileMagic, 4);
+  PutU32At(block + 4, kPageFormatVersion);
+  PutU32At(block + 8, static_cast<uint32_t>(kPageFrameSize));
+  PutU32At(block + 12, Crc32(block, 12));
+}
+
+Status WriteSuperblock(std::FILE* f) {
+  uint8_t block[kSuperblockSize];
+  BuildSuperblock(block);
+  if (std::fseek(f, 0, SEEK_SET) != 0 ||
+      std::fwrite(block, 1, kSuperblockSize, f) != kSuperblockSize)
+    return IoError("superblock write failed");
+  return Status::OK();
+}
+
+/// Rewrites a version-1 file (raw 4 KiB pages, no checksums) into the
+/// checksummed v2 format via a temporary file + rename, returning the
+/// reopened stream.
+Result<std::FILE*> MigrateV1File(const std::string& path, std::FILE* old_f,
+                                 long old_size) {
+  uint32_t num_pages = static_cast<uint32_t>(old_size / kPageSize);
+  std::string tmp = path + ".upgrade";
+  std::FILE* nf = std::fopen(tmp.c_str(), "wb");
+  if (nf == nullptr) {
+    std::fclose(old_f);
+    return IoError("cannot create migration file " + tmp);
+  }
+  Status st = WriteSuperblock(nf);
+  uint8_t data[kPageSize];
+  uint8_t frame[kPageFrameSize];
+  for (PageId id = 0; st.ok() && id < num_pages; ++id) {
+    if (std::fseek(old_f, static_cast<long>(id) * kPageSize, SEEK_SET) != 0 ||
+        std::fread(data, 1, kPageSize, old_f) != kPageSize) {
+      st = IoError(StrFormat("migration read of page %u failed", id));
+      break;
+    }
+    BuildFrame(id, data, frame);
+    if (std::fwrite(frame, 1, kPageFrameSize, nf) != kPageFrameSize)
+      st = IoError(StrFormat("migration write of page %u failed", id));
+  }
+  if (st.ok()) st = SyncStream(nf, tmp);
+  std::fclose(old_f);
+  std::fclose(nf);
+  if (!st.ok()) {
+    std::remove(tmp.c_str());
+    return st;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    return IoError("migration rename failed for " + path);
+  MDM_RETURN_IF_ERROR(SyncParentDir(path));
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) return IoError("cannot reopen migrated file " + path);
+  return f;
+}
+
+}  // namespace
+
 Result<std::unique_ptr<FileDiskManager>> FileDiskManager::Open(
     const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "r+b");
@@ -51,13 +143,59 @@ Result<std::unique_ptr<FileDiskManager>> FileDiskManager::Open(
     std::fclose(f);
     return IoError("ftell failed on " + path);
   }
-  if (size % static_cast<long>(kPageSize) != 0) {
-    std::fclose(f);
-    return Corruption(StrFormat("database file %s has partial page (size %ld)",
-                                path.c_str(), size));
+  if (size == 0) {
+    // Fresh database: superblock, then the conventional header page.
+    Status st = WriteSuperblock(f);
+    if (!st.ok()) {
+      std::fclose(f);
+      return st;
+    }
+    auto dm = std::unique_ptr<FileDiskManager>(
+        new FileDiskManager(f, path, 0));
+    PageId id;
+    MDM_RETURN_IF_ERROR(dm->AllocatePage(&id));  // page 0: header
+    return dm;
   }
-  auto dm = std::unique_ptr<FileDiskManager>(
-      new FileDiskManager(f, static_cast<uint32_t>(size / kPageSize)));
+  uint8_t head[16] = {};
+  bool has_magic = false;
+  if (std::fseek(f, 0, SEEK_SET) == 0 &&
+      std::fread(head, 1, sizeof(head), f) == sizeof(head))
+    has_magic = std::memcmp(head, kDbFileMagic, 4) == 0;
+  if (!has_magic) {
+    // Version-1 candidate: a bare sequence of 4 KiB pages.
+    if (size % static_cast<long>(kPageSize) != 0) {
+      std::fclose(f);
+      return Corruption(StrFormat(
+          "database file %s has partial page (size %ld)", path.c_str(),
+          size));
+    }
+    MDM_ASSIGN_OR_RETURN(f, MigrateV1File(path, f, size));
+    if (std::fseek(f, 0, SEEK_END) != 0 || (size = std::ftell(f)) < 0) {
+      std::fclose(f);
+      return IoError("seek failed on migrated " + path);
+    }
+  } else {
+    if (GetU32At(head + 4) != kPageFormatVersion) {
+      std::fclose(f);
+      return Corruption(StrFormat("database file %s has unsupported format "
+                                  "version %u",
+                                  path.c_str(), GetU32At(head + 4)));
+    }
+    if (GetU32At(head + 12) != Crc32(head, 12)) {
+      std::fclose(f);
+      return Corruption("database file " + path +
+                        " has a corrupt superblock");
+    }
+  }
+  long body = size - static_cast<long>(kSuperblockSize);
+  if (body < 0 || body % static_cast<long>(kPageFrameSize) != 0) {
+    std::fclose(f);
+    return Corruption(StrFormat(
+        "database file %s has partial page frame (size %ld)", path.c_str(),
+        size));
+  }
+  auto dm = std::unique_ptr<FileDiskManager>(new FileDiskManager(
+      f, path, static_cast<uint32_t>(body / kPageFrameSize)));
   if (dm->num_pages_ == 0) {
     PageId id;
     MDM_RETURN_IF_ERROR(dm->AllocatePage(&id));  // page 0: header
@@ -69,13 +207,35 @@ FileDiskManager::~FileDiskManager() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
+Status FileDiskManager::WriteFrame(PageId id, const uint8_t* data,
+                                   double keep_fraction) {
+  uint8_t frame[kPageFrameSize];
+  BuildFrame(id, data, frame);
+  size_t n = kPageFrameSize;
+  if (keep_fraction < 1.0) {
+    n = static_cast<size_t>(static_cast<double>(kPageFrameSize) *
+                            keep_fraction);
+    if (n > kPageFrameSize) n = kPageFrameSize;
+  }
+  if (std::fseek(file_, FrameOffset(id), SEEK_SET) != 0 ||
+      std::fwrite(frame, 1, n, file_) != n)
+    return IoError(StrFormat("page %u write failed", id));
+  return Status::OK();
+}
+
 Status FileDiskManager::AllocatePage(PageId* id) {
+  FaultDecision fault = FailpointRegistry::Global()->Eval("disk.file.alloc");
+  if (fault.kind == FaultKind::kError)
+    return IoError("injected allocation failure");
   uint8_t zeros[kPageSize] = {};
   *id = num_pages_;
-  if (std::fseek(file_, static_cast<long>(num_pages_) * kPageSize, SEEK_SET) !=
-          0 ||
-      std::fwrite(zeros, 1, kPageSize, file_) != kPageSize)
-    return IoError("page allocation write failed");
+  double keep = fault.fired() ? fault.keep_fraction : 1.0;
+  Status st = WriteFrame(num_pages_, zeros, keep);
+  if (!st.ok()) return st;
+  if (fault.kind == FaultKind::kShortWrite ||
+      fault.kind == FaultKind::kPowerCut)
+    return IoError(StrFormat("injected short allocation of page %u",
+                             num_pages_));
   ++num_pages_;
   return Status::OK();
 }
@@ -83,26 +243,47 @@ Status FileDiskManager::AllocatePage(PageId* id) {
 Status FileDiskManager::ReadPage(PageId id, uint8_t* out) {
   if (id >= num_pages_)
     return OutOfRange(StrFormat("read of unallocated page %u", id));
-  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0 ||
-      std::fread(out, 1, kPageSize, file_) != kPageSize)
+  if (FailpointRegistry::Global()->Eval("disk.file.read").fired())
+    return IoError(StrFormat("injected read failure for page %u", id));
+  uint8_t frame[kPageFrameSize];
+  if (std::fseek(file_, FrameOffset(id), SEEK_SET) != 0 ||
+      std::fread(frame, 1, kPageFrameSize, file_) != kPageFrameSize)
     return IoError(StrFormat("page %u read failed", id));
+  uint32_t stored_crc = GetU32At(frame);
+  uint32_t stored_id = GetU32At(frame + 4);
+  if (stored_id != id)
+    return Corruption(StrFormat(
+        "page %u frame carries page id %u (misdirected write)", id,
+        stored_id));
+  if (Crc32(frame + 4, kPageFrameSize - 4) != stored_crc)
+    return Corruption(
+        StrFormat("page %u failed checksum verification (torn or "
+                  "bit-flipped page)",
+                  id));
+  std::memcpy(out, frame + kPageFrameHeaderSize, kPageSize);
   return Status::OK();
 }
 
 Status FileDiskManager::WritePage(PageId id, const uint8_t* data) {
   if (id >= num_pages_)
     return OutOfRange(StrFormat("write of unallocated page %u", id));
-  if (std::fseek(file_, static_cast<long>(id) * kPageSize, SEEK_SET) != 0 ||
-      std::fwrite(data, 1, kPageSize, file_) != kPageSize)
-    return IoError(StrFormat("page %u write failed", id));
+  FaultDecision fault = FailpointRegistry::Global()->Eval("disk.file.write");
+  if (fault.kind == FaultKind::kError)
+    return IoError(StrFormat("injected write failure for page %u", id));
+  double keep = fault.fired() ? fault.keep_fraction : 1.0;
+  MDM_RETURN_IF_ERROR(WriteFrame(id, data, keep));
+  if (fault.kind == FaultKind::kShortWrite ||
+      fault.kind == FaultKind::kPowerCut)
+    return IoError(StrFormat("injected short write of page %u", id));
   return Status::OK();
 }
 
 uint32_t FileDiskManager::NumPages() const { return num_pages_; }
 
 Status FileDiskManager::Sync() {
-  if (std::fflush(file_) != 0) return IoError("fflush failed");
-  return Status::OK();
+  if (FailpointRegistry::Global()->Eval("disk.file.sync").fired())
+    return IoError("injected sync failure for " + path_);
+  return SyncStream(file_, path_);
 }
 
 }  // namespace mdm::storage

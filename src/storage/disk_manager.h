@@ -45,7 +45,16 @@ class MemoryDiskManager : public DiskManager {
   std::vector<std::unique_ptr<uint8_t[]>> pages_;
 };
 
-/// File-backed store over a single database file of 4 KiB pages.
+/// File-backed store over a single database file of checksummed page
+/// frames (format v2, see page.h). ReadPage verifies the per-frame CRC
+/// and stored page id, returning Corruption instead of garbage for
+/// torn, bit-flipped, or misdirected pages. Sync performs a real fsync.
+/// Version-1 files (raw 4 KiB pages) are migrated on open.
+///
+/// Physical-level fault injection: every file I/O evaluates a failpoint
+/// on FailpointRegistry::Global() — "disk.file.read", "disk.file.write",
+/// "disk.file.alloc", "disk.file.sync". A torn write at this level
+/// persists a partial frame, which the checksum catches on read.
 class FileDiskManager : public DiskManager {
  public:
   /// Opens (or creates) the database file at `path`.
@@ -63,10 +72,13 @@ class FileDiskManager : public DiskManager {
   Status Sync() override;
 
  private:
-  FileDiskManager(std::FILE* file, uint32_t num_pages)
-      : file_(file), num_pages_(num_pages) {}
+  FileDiskManager(std::FILE* file, std::string path, uint32_t num_pages)
+      : file_(file), path_(std::move(path)), num_pages_(num_pages) {}
+
+  Status WriteFrame(PageId id, const uint8_t* data, double keep_fraction);
 
   std::FILE* file_;
+  std::string path_;
   uint32_t num_pages_;
 };
 

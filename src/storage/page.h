@@ -11,6 +11,27 @@ using PageId = uint32_t;
 inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
 inline constexpr size_t kPageSize = 4096;
 
+// ---------------------------------------------------------------------
+// On-disk format (FileDiskManager), version 2.
+//
+// A database file is a 4 KiB superblock followed by fixed-size page
+// frames. Each frame carries a 16-byte header ahead of the 4 KiB of
+// page data:
+//
+//   [u32 crc] [u32 page_id] [u64 reserved] [kPageSize data bytes]
+//
+// `crc` is CRC32 over everything after it (page_id + reserved + data),
+// so both a torn/bit-flipped page and a misdirected write (right bytes,
+// wrong slot) surface as Corruption on read. Version-1 files (raw
+// 4 KiB pages, no superblock, no checksums) are migrated in place on
+// open. In-memory Page frames are unchanged: 4 KiB of data.
+// ---------------------------------------------------------------------
+inline constexpr uint32_t kPageFormatVersion = 2;
+inline constexpr size_t kSuperblockSize = kPageSize;
+inline constexpr size_t kPageFrameHeaderSize = 16;
+inline constexpr size_t kPageFrameSize = kPageSize + kPageFrameHeaderSize;
+inline constexpr char kDbFileMagic[4] = {'M', 'D', 'M', 'P'};
+
 /// A frame holding one page of data, managed by the BufferPool.
 ///
 /// `pin_count` and `dirty` are maintained by the pool; clients obtain

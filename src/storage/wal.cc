@@ -4,6 +4,8 @@
 #include <map>
 
 #include "common/bytes.h"
+#include "common/failpoint.h"
+#include "common/io.h"
 #include "common/strings.h"
 
 namespace mdm::storage {
@@ -19,9 +21,11 @@ void MemoryWalSink::TruncateTo(size_t n) {
 
 Result<std::unique_ptr<FileWalSink>> FileWalSink::Open(
     const std::string& path) {
+  if (FailpointRegistry::Global()->Eval("wal.open").fired())
+    return IoError("injected open failure for WAL file " + path);
   std::FILE* f = std::fopen(path.c_str(), "ab");
   if (f == nullptr) return IoError("cannot open WAL file " + path);
-  return std::unique_ptr<FileWalSink>(new FileWalSink(f));
+  return std::unique_ptr<FileWalSink>(new FileWalSink(f, path));
 }
 
 FileWalSink::~FileWalSink() {
@@ -29,14 +33,28 @@ FileWalSink::~FileWalSink() {
 }
 
 Status FileWalSink::Append(const std::vector<uint8_t>& bytes) {
-  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size())
+  FaultDecision fault = FailpointRegistry::Global()->Eval("wal.append");
+  if (fault.kind == FaultKind::kError)
+    return IoError("injected WAL append failure");
+  size_t n = bytes.size();
+  if (fault.fired()) {
+    n = static_cast<size_t>(static_cast<double>(n) * fault.keep_fraction);
+    if (n > bytes.size()) n = bytes.size();
+  }
+  if (std::fwrite(bytes.data(), 1, n, file_) != n)
     return IoError("WAL append failed");
+  if (fault.kind == FaultKind::kShortWrite ||
+      fault.kind == FaultKind::kPowerCut) {
+    (void)std::fflush(file_);  // the torn prefix is what survives
+    return IoError("injected torn WAL append");
+  }
   return Status::OK();
 }
 
 Status FileWalSink::Sync() {
-  if (std::fflush(file_) != 0) return IoError("WAL flush failed");
-  return Status::OK();
+  if (FailpointRegistry::Global()->Eval("wal.sync").fired())
+    return IoError("injected WAL sync failure");
+  return SyncStream(file_, path_);
 }
 
 Status WalWriter::AppendRecord(uint64_t txn_id, WalRecordType type,
@@ -124,7 +142,11 @@ Result<std::vector<uint8_t>> ReadWalFile(const std::string& path) {
   size_t n;
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
     out.insert(out.end(), buf, buf + n);
+  // A mid-read I/O error must not masquerade as a short-but-valid log —
+  // recovery would silently drop the committed suffix.
+  bool failed = std::ferror(f) != 0;
   std::fclose(f);
+  if (failed) return IoError("read error on WAL file " + path);
   return out;
 }
 

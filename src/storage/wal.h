@@ -50,6 +50,11 @@ class MemoryWalSink : public WalSink {
   std::vector<uint8_t> bytes_;
 };
 
+/// File-backed sink. Sync performs a real fsync, so a record whose
+/// Commit returned OK survives power loss. Every physical operation
+/// evaluates a failpoint on FailpointRegistry::Global() — "wal.open",
+/// "wal.append", "wal.sync" — enabling torn-tail and power-cut
+/// simulation against real log files.
 class FileWalSink : public WalSink {
  public:
   static Result<std::unique_ptr<FileWalSink>> Open(const std::string& path);
@@ -59,8 +64,10 @@ class FileWalSink : public WalSink {
   Status Sync() override;
 
  private:
-  explicit FileWalSink(std::FILE* f) : file_(f) {}
+  FileWalSink(std::FILE* f, std::string path)
+      : file_(f), path_(std::move(path)) {}
   std::FILE* file_;
+  std::string path_;
 };
 
 /// Redo-only write-ahead log.

@@ -13,7 +13,10 @@ using rel::Value;
 std::string TempPath(const char* name) {
   std::string path = testing::TempDir() + "/" + name;
   std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
   std::remove((path + ".wal").c_str());
+  for (int e = 1; e <= 4; ++e)
+    std::remove((path + ".wal." + std::to_string(e)).c_str());
   return path;
 }
 
@@ -137,6 +140,30 @@ TEST(DurableDatabaseTest, TornJournalTailDiscarded) {
   }
   std::remove(path.c_str());
   std::remove((path + ".wal").c_str());
+}
+
+TEST(SnapshotFileTest, CorruptSnapshotIsCorruptionNotGarbage) {
+  std::string path = TempPath("corrupt_snapshot.mdm");
+  Database db;
+  DefineNoteSchema(&db);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(db.CreateEntity("NOTE").ok());
+  ASSERT_TRUE(SaveSnapshot(db, path).ok());
+  // Flip one byte near the middle of the file.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
+    long mid = std::ftell(f) / 2;
+    ASSERT_EQ(std::fseek(f, mid, SEEK_SET), 0);
+    int c = std::fgetc(f);
+    ASSERT_EQ(std::fseek(f, mid, SEEK_SET), 0);
+    std::fputc(c ^ 0x01, f);
+    std::fclose(f);
+  }
+  EXPECT_EQ(LoadSnapshot(path).status().code(), StatusCode::kCorruption);
+  EXPECT_EQ(DurableDatabase::Open(path).status().code(),
+            StatusCode::kCorruption);
+  std::remove(path.c_str());
 }
 
 TEST(DurableDatabaseTest, EmptyDatabaseOpens) {

@@ -64,6 +64,125 @@ TEST(FileDiskManagerTest, PersistsAcrossReopen) {
   std::remove(path.c_str());
 }
 
+TEST(FileDiskManagerTest, BitFlippedPageIsCorruption) {
+  std::string path = testing::TempDir() + "/mdm_bitflip_test.db";
+  std::remove(path.c_str());
+  PageId id;
+  {
+    auto dm = FileDiskManager::Open(path);
+    ASSERT_TRUE(dm.ok());
+    ASSERT_TRUE((*dm)->AllocatePage(&id).ok());
+    uint8_t in[kPageSize];
+    std::memset(in, 0x33, kPageSize);
+    ASSERT_TRUE((*dm)->WritePage(id, in).ok());
+    ASSERT_TRUE((*dm)->Sync().ok());
+  }
+  // Flip one data byte of the page while the file is closed.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    long off = static_cast<long>(kSuperblockSize + id * kPageFrameSize +
+                                 kPageFrameHeaderSize + 1234);
+    ASSERT_EQ(std::fseek(f, off, SEEK_SET), 0);
+    std::fputc(0x34, f);
+    std::fclose(f);
+  }
+  {
+    auto dm = FileDiskManager::Open(path);
+    ASSERT_TRUE(dm.ok());
+    uint8_t out[kPageSize];
+    Status s = (*dm)->ReadPage(id, out);
+    EXPECT_EQ(s.code(), StatusCode::kCorruption) << s.ToString();
+    // The undamaged header page still reads cleanly.
+    EXPECT_TRUE((*dm)->ReadPage(0, out).ok());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FileDiskManagerTest, MisdirectedWriteDetected) {
+  std::string path = testing::TempDir() + "/mdm_misdirect_test.db";
+  std::remove(path.c_str());
+  PageId p1, p2;
+  {
+    auto dm = FileDiskManager::Open(path);
+    ASSERT_TRUE(dm.ok());
+    ASSERT_TRUE((*dm)->AllocatePage(&p1).ok());
+    ASSERT_TRUE((*dm)->AllocatePage(&p2).ok());
+    uint8_t in[kPageSize];
+    std::memset(in, 0x77, kPageSize);
+    ASSERT_TRUE((*dm)->WritePage(p1, in).ok());
+    ASSERT_TRUE((*dm)->Sync().ok());
+  }
+  // Copy page p1's whole frame (valid CRC and all) over p2's slot — the
+  // lost-seek failure mode a bare CRC cannot see.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::vector<uint8_t> frame(kPageFrameSize);
+    ASSERT_EQ(std::fseek(
+                  f, static_cast<long>(kSuperblockSize + p1 * kPageFrameSize),
+                  SEEK_SET),
+              0);
+    ASSERT_EQ(std::fread(frame.data(), 1, frame.size(), f), frame.size());
+    ASSERT_EQ(std::fseek(
+                  f, static_cast<long>(kSuperblockSize + p2 * kPageFrameSize),
+                  SEEK_SET),
+              0);
+    ASSERT_EQ(std::fwrite(frame.data(), 1, frame.size(), f), frame.size());
+    std::fclose(f);
+  }
+  {
+    auto dm = FileDiskManager::Open(path);
+    ASSERT_TRUE(dm.ok());
+    uint8_t out[kPageSize];
+    Status s = (*dm)->ReadPage(p2, out);
+    EXPECT_EQ(s.code(), StatusCode::kCorruption);
+    EXPECT_NE(s.ToString().find("misdirected"), std::string::npos)
+        << s.ToString();
+    EXPECT_TRUE((*dm)->ReadPage(p1, out).ok());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(FileDiskManagerTest, MigratesV1RawPageFile) {
+  std::string path = testing::TempDir() + "/mdm_migrate_test.db";
+  std::remove(path.c_str());
+  // Craft a version-1 file: bare 4096-byte pages, no superblock, no
+  // checksums. Page 0 was the header page; page 1 carries data.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::vector<uint8_t> page(kPageSize, 0);
+    ASSERT_EQ(std::fwrite(page.data(), 1, kPageSize, f), kPageSize);
+    std::memset(page.data(), 0x5C, kPageSize);
+    ASSERT_EQ(std::fwrite(page.data(), 1, kPageSize, f), kPageSize);
+    std::fclose(f);
+  }
+  for (int reopen = 0; reopen < 2; ++reopen) {
+    auto dm = FileDiskManager::Open(path);
+    ASSERT_TRUE(dm.ok()) << "reopen " << reopen << ": "
+                         << dm.status().ToString();
+    EXPECT_EQ((*dm)->NumPages(), 2u);
+    uint8_t out[kPageSize];
+    ASSERT_TRUE((*dm)->ReadPage(1, out).ok());
+    EXPECT_EQ(out[0], 0x5C);
+    EXPECT_EQ(out[kPageSize - 1], 0x5C);
+  }
+  // The file is now in the checksummed v2 format.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char magic[4];
+    ASSERT_EQ(std::fread(magic, 1, 4, f), 4u);
+    EXPECT_EQ(std::memcmp(magic, "MDMP", 4), 0);
+    ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
+    EXPECT_EQ(std::ftell(f),
+              static_cast<long>(kSuperblockSize + 2 * kPageFrameSize));
+    std::fclose(f);
+  }
+  std::remove(path.c_str());
+}
+
 TEST(BufferPoolTest, HitsAndMisses) {
   MemoryDiskManager dm;
   PageId p1, p2;
