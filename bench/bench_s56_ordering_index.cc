@@ -1,0 +1,166 @@
+// §5.6 structural indexes in isolation: the per-ordering sibling-rank
+// map behind `before`/`after` and the Euler-tour interval labels behind
+// multi-level `under`, each against its EnableOrderingIndex(false)
+// fallback (linear sibling scan / parent-chain walk). Also measures the
+// price of incremental invalidation: a mutation followed by a query
+// forces a per-parent rank rebuild or a full interval relabel.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "quel/quel.h"
+
+namespace {
+
+using mdm::bench::MakeChordDb;
+using mdm::er::Database;
+using mdm::er::EntityId;
+using mdm::er::OrderingHandle;
+
+// One CHORD with `width` NOTE children; returns the last two siblings —
+// the worst case for the unindexed linear scan.
+struct WideFixture {
+  Database db;
+  OrderingHandle h;
+  EntityId chord = 0;
+  EntityId a = 0, b = 0;
+
+  explicit WideFixture(int width) : db(MakeChordDb(1, width)) {
+    h = *db.ResolveOrderingHandle("note_in_chord");
+    (void)db.ForEachEntity("CHORD", [&](EntityId id) {
+      chord = id;
+      return false;
+    });
+    std::vector<EntityId> kids = *db.Children(h, chord);
+    a = kids[kids.size() - 2];
+    b = kids.back();
+  }
+};
+
+// A recursive SECTION chain of the given depth; `under(leaf, root)` is
+// the worst case for the unindexed parent walk.
+struct DeepFixture {
+  Database db;
+  OrderingHandle h;
+  EntityId root = 0, leaf = 0;
+
+  explicit DeepFixture(int depth) {
+    auto ddl = mdm::ddl::ExecuteDdl(R"(
+      define entity SECTION (name = integer)
+      define ordering sec_tree (SECTION) under SECTION
+    )",
+                                    &db);
+    if (!ddl.ok()) std::abort();
+    h = *db.ResolveOrderingHandle("sec_tree");
+    EntityId parent = *db.CreateEntity("SECTION");
+    root = parent;
+    for (int i = 1; i < depth; ++i) {
+      EntityId next = *db.CreateEntity("SECTION");
+      (void)db.AppendChild(h, parent, next);
+      parent = next;
+    }
+    leaf = parent;
+  }
+};
+
+void BM_BeforeRankIndexed(benchmark::State& state) {
+  WideFixture f(static_cast<int>(state.range(0)));
+  (void)f.db.Before(f.h, f.a, f.b);  // build the rank map once
+  for (auto _ : state)
+    benchmark::DoNotOptimize(*f.db.Before(f.h, f.a, f.b));
+}
+BENCHMARK(BM_BeforeRankIndexed)->Arg(64)->Arg(1024)->Arg(10000);
+
+void BM_BeforeLinearScan(benchmark::State& state) {
+  WideFixture f(static_cast<int>(state.range(0)));
+  f.db.EnableOrderingIndex(false);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(*f.db.Before(f.h, f.a, f.b));
+}
+BENCHMARK(BM_BeforeLinearScan)->Arg(64)->Arg(1024)->Arg(10000);
+
+void BM_UnderIntervalIndexed(benchmark::State& state) {
+  DeepFixture f(static_cast<int>(state.range(0)));
+  (void)f.db.Under(f.h, f.leaf, f.root);  // build the interval labels once
+  for (auto _ : state)
+    benchmark::DoNotOptimize(*f.db.Under(f.h, f.leaf, f.root));
+}
+BENCHMARK(BM_UnderIntervalIndexed)->Arg(64)->Arg(1024)->Arg(10000);
+
+void BM_UnderParentWalk(benchmark::State& state) {
+  DeepFixture f(static_cast<int>(state.range(0)));
+  f.db.EnableOrderingIndex(false);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(*f.db.Under(f.h, f.leaf, f.root));
+}
+BENCHMARK(BM_UnderParentWalk)->Arg(64)->Arg(1024)->Arg(10000);
+
+// Worst case for invalidation: every iteration appends a child (which
+// dirties the parent's rank map) and then asks `before`, forcing a
+// rebuild of the whole sibling list.
+void BM_BeforeRebuildAfterAppend(benchmark::State& state) {
+  WideFixture f(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    EntityId extra = *f.db.CreateEntity("NOTE");
+    (void)f.db.AppendChild(f.h, f.chord, extra);
+    benchmark::DoNotOptimize(*f.db.Before(f.h, f.a, f.b));
+  }
+}
+BENCHMARK(BM_BeforeRebuildAfterAppend)->Arg(64)->Arg(1024);
+
+// Same churn for `under`: an append anywhere dirties the Euler labels,
+// so the next containment test relabels the whole ordering.
+void BM_UnderRebuildAfterAppend(benchmark::State& state) {
+  DeepFixture f(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    EntityId extra = *f.db.CreateEntity("SECTION");
+    (void)f.db.AppendChild(f.h, f.root, extra);
+    benchmark::DoNotOptimize(*f.db.Under(f.h, f.leaf, f.root));
+  }
+}
+BENCHMARK(BM_UnderRebuildAfterAppend)->Arg(64)->Arg(1024);
+
+// End-to-end: the paper's `before` retrieve over a 10k-note score,
+// indexed vs ablated, through the planner.
+constexpr const char* kBeforeQuery = R"(
+  range of n1, n2 is NOTE
+  retrieve (n1.name)
+    where n1 before n2 in note_in_chord and n2.name = 2
+)";
+
+void BM_QueryBefore10kIndexed(benchmark::State& state) {
+  Database db = MakeChordDb(100, 100);
+  mdm::quel::QuelSession session(&db);
+  for (auto _ : state) {
+    auto rs = session.Execute(kBeforeQuery);
+    if (!rs.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(rs->size());
+  }
+}
+BENCHMARK(BM_QueryBefore10kIndexed);
+
+void BM_QueryBefore10kUnindexed(benchmark::State& state) {
+  Database db = MakeChordDb(100, 100);
+  db.EnableOrderingIndex(false);
+  mdm::quel::QuelSession session(&db);
+  for (auto _ : state) {
+    auto rs = session.Execute(kBeforeQuery);
+    if (!rs.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(rs->size());
+  }
+}
+BENCHMARK(BM_QueryBefore10kUnindexed);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mdm::bench::PrintHeader(
+      "§5.6 — ordering-index ablation",
+      "before/after as rank comparisons, multi-level under as interval "
+      "containment, vs the unindexed scan/walk fallbacks");
+  std::printf("expect: indexed before/under flat in sibling count and\n"
+              "depth; the fallbacks linear. Rebuild-after-append shows the\n"
+              "cost a mutation puts on the next ordering query.\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

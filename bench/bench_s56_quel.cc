@@ -1,8 +1,11 @@
 // §5.6: the four ordering queries, run verbatim through QUEL. Measures
-// latency against chord size and database size, and the DESIGN.md
-// evaluation-strategy ablation: conjunct push-down versus the naive
-// full cross product.
+// latency against chord size and database size, and two DESIGN.md
+// evaluation-strategy ablations: conjunct push-down versus the naive
+// full cross product, and the ordering index (sibling ranks + Euler
+// intervals) versus the unindexed linear-scan/parent-walk path.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
 
 #include "bench_util.h"
 #include "quel/quel.h"
@@ -78,6 +81,33 @@ void BM_BeforeQueryNaive(benchmark::State& state) {
 }
 BENCHMARK(BM_BeforeQueryNaive)->Arg(4)->Arg(16)->Arg(64);
 
+// Ablation: the same queries with the ordering index disabled — every
+// `before` falls back to a linear sibling scan and every `under` to a
+// parent-chain walk.
+void BM_BeforeQueryUnindexed(benchmark::State& state) {
+  Database db = MakeChordDb(static_cast<int>(state.range(0)), 4);
+  db.EnableOrderingIndex(false);
+  mdm::quel::QuelSession session(&db);
+  for (auto _ : state) {
+    auto rs = session.Execute(kBeforeQuery);
+    if (!rs.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(rs->rows.size());
+  }
+}
+BENCHMARK(BM_BeforeQueryUnindexed)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_UnderQueryUnindexed(benchmark::State& state) {
+  Database db = MakeChordDb(static_cast<int>(state.range(0)), 4);
+  db.EnableOrderingIndex(false);
+  mdm::quel::QuelSession session(&db);
+  for (auto _ : state) {
+    auto rs = session.Execute(kUnderQuery);
+    if (!rs.ok()) state.SkipWithError("query failed");
+    benchmark::DoNotOptimize(rs->rows.size());
+  }
+}
+BENCHMARK(BM_UnderQueryUnindexed)->Arg(4)->Arg(16)->Arg(64);
+
 // Direct ordering-API equivalents (what a C++ client pays without the
 // query language).
 void BM_BeforeDirectApi(benchmark::State& state) {
@@ -105,6 +135,125 @@ void BM_BeforeDirectApi(benchmark::State& state) {
 }
 BENCHMARK(BM_BeforeDirectApi)->Arg(4)->Arg(16)->Arg(64);
 
+// Wall-clock nanoseconds per call of `f`, averaged over `iters` calls.
+template <typename F>
+double NsPerOp(F&& f, int iters) {
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) f();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() / iters;
+}
+
+// A chain of `depth` SECTIONs under a recursive ordering; `under` on the
+// (leaf, root) pair costs O(depth) without the interval index.
+Database MakeDeepSectionDb(int depth, mdm::er::EntityId* root,
+                           mdm::er::EntityId* leaf) {
+  Database db;
+  auto ddl = mdm::ddl::ExecuteDdl(R"(
+    define entity SECTION (name = integer)
+    define ordering sec_tree (SECTION) under SECTION
+  )",
+                                  &db);
+  if (!ddl.ok()) std::abort();
+  mdm::er::EntityId parent = *db.CreateEntity("SECTION");
+  *root = parent;
+  for (int i = 1; i < depth; ++i) {
+    mdm::er::EntityId next = *db.CreateEntity("SECTION");
+    (void)db.AppendChild("sec_tree", parent, next);
+    parent = next;
+  }
+  *leaf = parent;
+  return db;
+}
+
+// The acceptance comparison for the §5.6 structural indexes, emitted as
+// one JSON object so runs can be diffed: before/under predicate latency
+// on a 10k-note database, indexed versus the EnableOrderingIndex(false)
+// ablation, plus query-level and push-down numbers for context.
+void EmitBeforeAfterJson() {
+  constexpr int kPredIters = 20000;
+  constexpr int kQueryIters = 10;
+
+  // `before` on the last two of 10000 siblings (a 10k-note score as one
+  // maximally wide chord): rank lookup vs a scan of the sibling list.
+  Database wide = MakeChordDb(1, 10000);
+  auto h = *wide.ResolveOrderingHandle("note_in_chord");
+  mdm::er::EntityId last_chord = 0;
+  (void)wide.ForEachEntity("CHORD", [&](mdm::er::EntityId id) {
+    last_chord = id;
+    return true;
+  });
+  std::vector<mdm::er::EntityId> kids = *wide.Children(h, last_chord);
+  mdm::er::EntityId a = kids[kids.size() - 2], b = kids.back();
+  (void)wide.Before(h, a, b);  // warm the rank index
+  double before_idx =
+      NsPerOp([&] { benchmark::DoNotOptimize(*wide.Before(h, a, b)); },
+              kPredIters);
+  wide.EnableOrderingIndex(false);
+  double before_scan =
+      NsPerOp([&] { benchmark::DoNotOptimize(*wide.Before(h, a, b)); },
+              kPredIters);
+  wide.EnableOrderingIndex(true);
+
+  // `under` on a 10k-deep recursive chain: interval test vs parent walk.
+  mdm::er::EntityId root = 0, leaf = 0;
+  Database deep = MakeDeepSectionDb(10000, &root, &leaf);
+  auto hs = *deep.ResolveOrderingHandle("sec_tree");
+  (void)deep.Under(hs, leaf, root);  // warm the interval index
+  double under_idx =
+      NsPerOp([&] { benchmark::DoNotOptimize(*deep.Under(hs, leaf, root)); },
+              kPredIters);
+  deep.EnableOrderingIndex(false);
+  double under_walk =
+      NsPerOp([&] { benchmark::DoNotOptimize(*deep.Under(hs, leaf, root)); },
+              kPredIters);
+  deep.EnableOrderingIndex(true);
+
+  // Query-level view of the same ablation: 10k notes as 100 chords of
+  // 100 (binding enumeration and attribute filters dilute the gap).
+  Database grid = MakeChordDb(100, 100);
+  mdm::quel::QuelSession session(&grid);
+  double q_before_idx = NsPerOp(
+      [&] { benchmark::DoNotOptimize(session.Execute(kBeforeQuery)->size()); },
+      kQueryIters);
+  grid.EnableOrderingIndex(false);
+  double q_before_scan = NsPerOp(
+      [&] { benchmark::DoNotOptimize(session.Execute(kBeforeQuery)->size()); },
+      kQueryIters);
+  grid.EnableOrderingIndex(true);
+
+  // Push-down vs the naive cross product (small db: naive is quadratic).
+  Database small = MakeChordDb(16, 4);
+  mdm::quel::QuelSession planned(&small);
+  double q_planned = NsPerOp(
+      [&] { benchmark::DoNotOptimize(planned.Execute(kBeforeQuery)->size()); },
+      kQueryIters);
+  double q_naive = NsPerOp(
+      [&] {
+        benchmark::DoNotOptimize(planned.ExecuteNaive(kBeforeQuery)->size());
+      },
+      kQueryIters);
+
+  std::printf(
+      "BENCH_JSON {\"bench\": \"s56_quel_ordering_index\", "
+      "\"scale\": {\"notes\": 10000, \"chord_width\": 10000, "
+      "\"under_depth\": 10000}, \"results\": ["
+      "{\"op\": \"before_predicate\", \"indexed_ns\": %.1f, "
+      "\"unindexed_ns\": %.1f, \"speedup\": %.1f}, "
+      "{\"op\": \"under_predicate\", \"indexed_ns\": %.1f, "
+      "\"unindexed_ns\": %.1f, \"speedup\": %.1f}, "
+      "{\"op\": \"before_query\", \"indexed_ns\": %.0f, "
+      "\"unindexed_ns\": %.0f, \"speedup\": %.2f}, "
+      "{\"op\": \"pushdown_vs_naive\", \"planned_ns\": %.0f, "
+      "\"naive_ns\": %.0f, \"speedup\": %.1f}]}\n",
+      before_idx, before_scan, before_scan / before_idx, under_idx, under_walk,
+      under_walk / under_idx, q_before_idx, q_before_scan,
+      q_before_scan / q_before_idx, q_planned, q_naive, q_naive / q_planned);
+  std::printf("acceptance (>=10x on indexed before/under predicates): "
+              "before %.1fx, under %.1fx\n\n",
+              before_scan / before_idx, under_walk / under_idx);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -121,6 +270,7 @@ int main(int argc, char** argv) {
   std::printf("notes under chord 1:\n%s\n", rs->ToString().c_str());
   std::printf("expect: push-down ~linear in notes; naive cross product\n"
               "quadratic (the gap widens with database size).\n\n");
+  EmitBeforeAfterJson();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

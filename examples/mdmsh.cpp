@@ -48,10 +48,11 @@ int main() {
         std::printf(
             "  define entity/relationship/ordering ...   (DDL)\n"
             "  range of / retrieve / append / replace / delete (QUEL)\n"
+            "  explain retrieve ...   show the plan without running it\n"
             "  statements may span lines; a blank line executes\n"
             "  \\schema       deparse the schema as DDL\n"
             "  \\ho           hierarchical ordering graph (DOT)\n"
-            "  \\stats        entity counts per type\n"
+            "  \\stats        entity counts + session execution counters\n"
             "  \\save PATH    write a snapshot\n"
             "  \\load PATH    replace the session with a snapshot\n"
             "  \\quit\n");
@@ -65,6 +66,7 @@ int main() {
           std::printf("  %-20s %llu\n", type.name.c_str(),
                       n.ok() ? (unsigned long long)*n : 0ull);
         }
+        std::printf("session:\n%s", session.stats().ToString().c_str());
       } else if (cmd == "\\save" && parts.size() > 1) {
         mdm::Status s = mdm::er::SaveSnapshot(db, parts[1]);
         std::printf("%s\n", s.ToString().c_str());

@@ -75,10 +75,26 @@ int main() {
       std::printf("query failed: %s\n", rs.status().ToString().c_str());
       return 1;
     }
-    std::printf("-- %s\n%s\n", q.label, rs->ToString().c_str());
+    // Consume the result through the ResultSet API: range-for over rows,
+    // cells by column index or label.
+    std::printf("-- %s\n", q.label);
+    for (mdm::quel::ResultSet::RowRef row : *rs) {
+      for (size_t c = 0; c < rs->columns.size(); ++c)
+        std::printf("%s%s = %s", c == 0 ? "   " : ", ",
+                    rs->columns[c].c_str(), row[c].ToString().c_str());
+      std::printf("\n");
+    }
   }
 
-  // 4. The instance graph itself (fig 6), as Graphviz DOT.
+  // 4. `explain` renders the chosen plan — loop order, pushed-down
+  // filters, and which §5.6 structural index answers each operator.
+  auto plan = session.Execute(
+      "range of n1, n2 is NOTE\n"
+      "explain retrieve (n1.name, n1.pitch)\n"
+      "  where n1 before n2 in note_in_chord and n2.name = 3");
+  std::printf("\n%s\n", plan->ToString().c_str());
+
+  // 5. The instance graph itself (fig 6), as Graphviz DOT.
   auto dot = db.InstanceGraphDot("note_in_chord", *chord, "pitch");
   std::printf("instance graph (fig 6):\n%s", dot->c_str());
   return 0;

@@ -71,7 +71,19 @@ int main() {
     retrieve (e.number, e.title, e.measure_count)
       where e.measure_count > 100
   )");
-  std::printf("\n== compositions over 100 measures (QUEL) ==\n%s",
-              rs->ToString().c_str());
+  // Consume it through the ResultSet API: resolve labels once, then
+  // read cells by index while iterating rows.
+  std::printf("\n== compositions over 100 measures (QUEL) ==\n");
+  auto number = rs->ColumnIndex("e.number");
+  auto title = rs->ColumnIndex("e.title");
+  auto measures = rs->ColumnIndex("e.measure_count");
+  for (mdm::quel::ResultSet::RowRef row : *rs) {
+    std::printf("  BWV %s - %s (%s measures)\n",
+                row[*number].ToString().c_str(),
+                row[*title].ToString().c_str(),
+                row[*measures].ToString().c_str());
+  }
+  std::printf("  (%zu of %llu entries)\n", rs->size(),
+              (unsigned long long)*db.CountEntities("CATALOG_ENTRY"));
   return 0;
 }

@@ -30,15 +30,12 @@ Result<const OrderingDef*> Database::ResolveOrdering(
   return def;
 }
 
-Database::OrderingInstances& Database::InstancesFor(
-    const std::string& ordering_name) {
-  return ordering_instances_[AsciiUpper(ordering_name)];
-}
-
-const Database::OrderingInstances* Database::InstancesForConst(
-    const std::string& ordering_name) const {
-  auto it = ordering_instances_.find(AsciiUpper(ordering_name));
-  return it == ordering_instances_.end() ? nullptr : &it->second;
+Result<OrderingHandle> Database::ResolveOrderingHandle(
+    std::string_view name) const {
+  auto idx = schema_.FindOrderingIndex(std::string(name));
+  if (!idx.has_value())
+    return NotFound("no ordering named " + std::string(name));
+  return OrderingHandle::FromIndex(*idx);
 }
 
 // ---------------------------------------------------------------------
@@ -95,6 +92,7 @@ Result<std::string> Database::DefineOrdering(OrderingDef def) {
   MDM_RETURN_IF_ERROR(schema_.AddOrdering(def));
   // AddOrdering may have generated a name; fetch the stored def.
   const OrderingDef& stored = schema_.orderings().back();
+  ordering_instances_.resize(schema_.orderings().size());
   ByteWriter payload;
   EncodeOrderingDef(stored, &payload);
   MDM_RETURN_IF_ERROR(LogOp(Op::kDefineOrdering, payload.data()));
@@ -137,17 +135,24 @@ Status Database::DeleteEntity(EntityId id) {
 
   // Detach from every ordering: as a child (remove from its siblings) and
   // as a parent (children become roots of that ordering).
-  for (auto& [name, inst] : ordering_instances_) {
+  for (OrderingInstances& inst : ordering_instances_) {
     auto pit = inst.parent_of.find(id);
     if (pit != inst.parent_of.end()) {
       std::vector<EntityId>& sibs = inst.children[pit->second];
       sibs.erase(std::remove(sibs.begin(), sibs.end(), id), sibs.end());
+      inst.Invalidate(pit->second);
+      inst.rank_of.erase(id);
       inst.parent_of.erase(pit);
     }
     auto cit = inst.children.find(id);
     if (cit != inst.children.end()) {
-      for (EntityId child : cit->second) inst.parent_of.erase(child);
+      for (EntityId child : cit->second) {
+        inst.parent_of.erase(child);
+        inst.rank_of.erase(child);
+      }
       inst.children.erase(cit);
+      inst.rank_dirty.erase(id);
+      inst.intervals_dirty = true;
     }
   }
 
@@ -393,8 +398,72 @@ bool Database::IsAncestor(const OrderingInstances& inst, EntityId needle,
   return false;
 }
 
-Status Database::DoInsertChildAt(const OrderingDef& def, EntityId parent,
+// ---------------------------------------------------------------------
+// Lazy structural indexes (§5.6 execution).
+// ---------------------------------------------------------------------
+
+size_t Database::RankOf(const OrderingInstances& inst, EntityId parent,
+                        EntityId child) const {
+  auto it = inst.rank_of.find(child);
+  if (inst.rank_dirty.count(parent) != 0 || it == inst.rank_of.end()) {
+    ++index_stats_.rank_rebuilds;
+    const std::vector<EntityId>& sibs = inst.children.at(parent);
+    for (size_t i = 0; i < sibs.size(); ++i) inst.rank_of[sibs[i]] = i;
+    inst.rank_dirty.erase(parent);
+    it = inst.rank_of.find(child);
+  } else {
+    ++index_stats_.rank_hits;
+  }
+  return it->second;
+}
+
+void Database::RebuildIntervals(const OrderingInstances& inst) const {
+  ++index_stats_.interval_rebuilds;
+  inst.interval_of.clear();
+  uint64_t clock = 0;
+  // Iterative Euler tour from every root (a parent that is nobody's
+  // child); recursion depth is unbounded in recursive orderings.
+  struct Frame {
+    EntityId node;
+    size_t next_child;
+  };
+  std::vector<Frame> stack;
+  for (const auto& [root, kids] : inst.children) {
+    (void)kids;
+    if (inst.parent_of.count(root) != 0) continue;
+    stack.push_back({root, 0});
+    inst.interval_of[root].first = clock++;
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      auto cit = inst.children.find(top.node);
+      if (cit != inst.children.end() && top.next_child < cit->second.size()) {
+        EntityId next = cit->second[top.next_child++];
+        inst.interval_of[next].first = clock++;
+        stack.push_back({next, 0});
+      } else {
+        inst.interval_of[top.node].second = clock++;
+        stack.pop_back();
+      }
+    }
+  }
+  inst.intervals_dirty = false;
+}
+
+Status Database::CheckOrderedPairExists(EntityId a, EntityId b) const {
+  if (FindEntity(a) == nullptr)
+    return NotFound(StrFormat("no entity #%llu", (unsigned long long)a));
+  if (FindEntity(b) == nullptr)
+    return NotFound(StrFormat("no entity #%llu", (unsigned long long)b));
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// Mutations.
+// ---------------------------------------------------------------------
+
+Status Database::DoInsertChildAt(OrderingHandle h, EntityId parent,
                                  EntityId child, size_t pos) {
+  const OrderingDef& def = ordering_def(h);
   const EntityRecord* parent_rec = FindEntity(parent);
   if (parent_rec == nullptr)
     return NotFound(StrFormat("no parent entity #%llu",
@@ -417,7 +486,7 @@ Status Database::DoInsertChildAt(const OrderingDef& def, EntityId parent,
                                "type %s",
                                def.name.c_str(), child_type.c_str()));
 
-  OrderingInstances& inst = InstancesFor(def.name);
+  OrderingInstances& inst = ordering_instances_[h.index()];
   if (inst.parent_of.count(child) != 0)
     return ConstraintViolation(StrFormat(
         "entity #%llu already has a parent in ordering %s",
@@ -436,6 +505,7 @@ Status Database::DoInsertChildAt(const OrderingDef& def, EntityId parent,
                                 sibs.size()));
   sibs.insert(sibs.begin() + pos, child);
   inst.parent_of[child] = parent;
+  inst.Invalidate(parent);
 
   ByteWriter payload;
   payload.PutString(def.name);
@@ -445,29 +515,42 @@ Status Database::DoInsertChildAt(const OrderingDef& def, EntityId parent,
   return LogOp(Op::kInsertChildAt, payload.data());
 }
 
-Status Database::AppendChild(const std::string& ordering, EntityId parent,
+Status Database::AppendChild(OrderingHandle h, EntityId parent,
                              EntityId child) {
-  MDM_ASSIGN_OR_RETURN(const OrderingDef* def, ResolveOrdering(ordering));
-  const OrderingInstances& inst = InstancesFor(def->name);
+  const OrderingInstances& inst = ordering_instances_[h.index()];
   auto it = inst.children.find(parent);
   size_t pos = it == inst.children.end() ? 0 : it->second.size();
-  return DoInsertChildAt(*def, parent, child, pos);
+  return DoInsertChildAt(h, parent, child, pos);
+}
+
+Status Database::AppendChild(const std::string& ordering, EntityId parent,
+                             EntityId child) {
+  MDM_ASSIGN_OR_RETURN(OrderingHandle h, ResolveOrderingHandle(ordering));
+  return AppendChild(h, parent, child);
+}
+
+Status Database::InsertChildAt(OrderingHandle h, EntityId parent,
+                               EntityId child, size_t pos) {
+  return DoInsertChildAt(h, parent, child, pos);
 }
 
 Status Database::InsertChildAt(const std::string& ordering, EntityId parent,
                                EntityId child, size_t pos) {
-  MDM_ASSIGN_OR_RETURN(const OrderingDef* def, ResolveOrdering(ordering));
-  return DoInsertChildAt(*def, parent, child, pos);
+  MDM_ASSIGN_OR_RETURN(OrderingHandle h, ResolveOrderingHandle(ordering));
+  return DoInsertChildAt(h, parent, child, pos);
 }
 
-Status Database::DoRemoveChild(const OrderingDef& def, EntityId child) {
-  OrderingInstances& inst = InstancesFor(def.name);
+Status Database::DoRemoveChild(OrderingHandle h, EntityId child) {
+  const OrderingDef& def = ordering_def(h);
+  OrderingInstances& inst = ordering_instances_[h.index()];
   auto it = inst.parent_of.find(child);
   if (it == inst.parent_of.end())
     return NotFound(StrFormat("entity #%llu has no parent in ordering %s",
                               (unsigned long long)child, def.name.c_str()));
   std::vector<EntityId>& sibs = inst.children[it->second];
   sibs.erase(std::remove(sibs.begin(), sibs.end(), child), sibs.end());
+  inst.Invalidate(it->second);
+  inst.rank_of.erase(child);
   inst.parent_of.erase(it);
   ByteWriter payload;
   payload.PutString(def.name);
@@ -475,90 +558,167 @@ Status Database::DoRemoveChild(const OrderingDef& def, EntityId child) {
   return LogOp(Op::kRemoveChild, payload.data());
 }
 
+Status Database::RemoveChild(OrderingHandle h, EntityId child) {
+  return DoRemoveChild(h, child);
+}
+
 Status Database::RemoveChild(const std::string& ordering, EntityId child) {
-  MDM_ASSIGN_OR_RETURN(const OrderingDef* def, ResolveOrdering(ordering));
-  return DoRemoveChild(*def, child);
+  MDM_ASSIGN_OR_RETURN(OrderingHandle h, ResolveOrderingHandle(ordering));
+  return DoRemoveChild(h, child);
+}
+
+// ---------------------------------------------------------------------
+// Traversal.
+// ---------------------------------------------------------------------
+
+Result<std::vector<EntityId>> Database::Children(OrderingHandle h,
+                                                 EntityId parent) const {
+  const OrderingInstances& inst = ordering_instances_[h.index()];
+  auto it = inst.children.find(parent);
+  if (it == inst.children.end()) return std::vector<EntityId>{};
+  return it->second;
 }
 
 Result<std::vector<EntityId>> Database::Children(const std::string& ordering,
                                                  EntityId parent) const {
-  MDM_ASSIGN_OR_RETURN(const OrderingDef* def, ResolveOrdering(ordering));
-  const OrderingInstances* inst = InstancesForConst(def->name);
-  if (inst == nullptr) return std::vector<EntityId>{};
-  auto it = inst->children.find(parent);
-  if (it == inst->children.end()) return std::vector<EntityId>{};
-  return it->second;
+  MDM_ASSIGN_OR_RETURN(OrderingHandle h, ResolveOrderingHandle(ordering));
+  return Children(h, parent);
+}
+
+Result<uint64_t> Database::ChildCount(OrderingHandle h,
+                                      EntityId parent) const {
+  const OrderingInstances& inst = ordering_instances_[h.index()];
+  auto it = inst.children.find(parent);
+  return it == inst.children.end() ? 0
+                                   : static_cast<uint64_t>(it->second.size());
 }
 
 Result<uint64_t> Database::ChildCount(const std::string& ordering,
                                       EntityId parent) const {
-  MDM_ASSIGN_OR_RETURN(std::vector<EntityId> kids, Children(ordering, parent));
-  return static_cast<uint64_t>(kids.size());
+  MDM_ASSIGN_OR_RETURN(OrderingHandle h, ResolveOrderingHandle(ordering));
+  return ChildCount(h, parent);
+}
+
+Result<EntityId> Database::ParentOf(OrderingHandle h, EntityId child) const {
+  const OrderingInstances& inst = ordering_instances_[h.index()];
+  auto it = inst.parent_of.find(child);
+  return it == inst.parent_of.end() ? kInvalidEntityId : it->second;
 }
 
 Result<EntityId> Database::ParentOf(const std::string& ordering,
                                     EntityId child) const {
-  MDM_ASSIGN_OR_RETURN(const OrderingDef* def, ResolveOrdering(ordering));
-  const OrderingInstances* inst = InstancesForConst(def->name);
-  if (inst == nullptr) return kInvalidEntityId;
-  auto it = inst->parent_of.find(child);
-  return it == inst->parent_of.end() ? kInvalidEntityId : it->second;
+  MDM_ASSIGN_OR_RETURN(OrderingHandle h, ResolveOrderingHandle(ordering));
+  return ParentOf(h, child);
+}
+
+Result<size_t> Database::PositionOf(OrderingHandle h, EntityId child) const {
+  const OrderingInstances& inst = ordering_instances_[h.index()];
+  auto it = inst.parent_of.find(child);
+  if (it != inst.parent_of.end()) {
+    if (ordering_index_enabled_) return RankOf(inst, it->second, child);
+    ++index_stats_.linear_scans;
+    const std::vector<EntityId>& sibs = inst.children.at(it->second);
+    for (size_t i = 0; i < sibs.size(); ++i)
+      if (sibs[i] == child) return i;
+  }
+  return NotFound(StrFormat("entity #%llu is not ordered in %s",
+                            (unsigned long long)child,
+                            ordering_def(h).name.c_str()));
 }
 
 Result<size_t> Database::PositionOf(const std::string& ordering,
                                     EntityId child) const {
-  MDM_ASSIGN_OR_RETURN(const OrderingDef* def, ResolveOrdering(ordering));
-  const OrderingInstances* inst = InstancesForConst(def->name);
-  if (inst != nullptr) {
-    auto it = inst->parent_of.find(child);
-    if (it != inst->parent_of.end()) {
-      const std::vector<EntityId>& sibs = inst->children.at(it->second);
-      for (size_t i = 0; i < sibs.size(); ++i)
-        if (sibs[i] == child) return i;
-    }
-  }
-  return NotFound(StrFormat("entity #%llu is not ordered in %s",
-                            (unsigned long long)child, ordering.c_str()));
+  MDM_ASSIGN_OR_RETURN(OrderingHandle h, ResolveOrderingHandle(ordering));
+  return PositionOf(h, child);
+}
+
+Result<EntityId> Database::NthChild(OrderingHandle h, EntityId parent,
+                                    size_t n) const {
+  const OrderingInstances& inst = ordering_instances_[h.index()];
+  auto it = inst.children.find(parent);
+  size_t count = it == inst.children.end() ? 0 : it->second.size();
+  if (n >= count)
+    return OutOfRange(StrFormat("parent has %zu children, wanted index %zu",
+                                count, n));
+  return it->second[n];
 }
 
 Result<EntityId> Database::NthChild(const std::string& ordering,
                                     EntityId parent, size_t n) const {
-  MDM_ASSIGN_OR_RETURN(std::vector<EntityId> kids, Children(ordering, parent));
-  if (n >= kids.size())
-    return OutOfRange(StrFormat("parent has %zu children, wanted index %zu",
-                                kids.size(), n));
-  return kids[n];
+  MDM_ASSIGN_OR_RETURN(OrderingHandle h, ResolveOrderingHandle(ordering));
+  return NthChild(h, parent, n);
+}
+
+// ---------------------------------------------------------------------
+// §5.6 ordering predicates (see the tri-state contract in database.h).
+// ---------------------------------------------------------------------
+
+Result<bool> Database::Before(OrderingHandle h, EntityId a, EntityId b) const {
+  MDM_RETURN_IF_ERROR(CheckOrderedPairExists(a, b));
+  const OrderingInstances& inst = ordering_instances_[h.index()];
+  auto pa = inst.parent_of.find(a);
+  auto pb = inst.parent_of.find(b);
+  // §5.6: entities with different parents are not comparable -> false.
+  if (pa == inst.parent_of.end() || pb == inst.parent_of.end() ||
+      pa->second != pb->second)
+    return false;
+  if (!ordering_index_enabled_) {
+    ++index_stats_.linear_scans;
+    const std::vector<EntityId>& sibs = inst.children.at(pa->second);
+    size_t ia = sibs.size(), ib = sibs.size();
+    for (size_t i = 0; i < sibs.size(); ++i) {
+      if (sibs[i] == a) ia = i;
+      if (sibs[i] == b) ib = i;
+    }
+    return ia < ib;
+  }
+  return RankOf(inst, pa->second, a) < RankOf(inst, pb->second, b);
 }
 
 Result<bool> Database::Before(const std::string& ordering, EntityId a,
                               EntityId b) const {
-  MDM_ASSIGN_OR_RETURN(const OrderingDef* def, ResolveOrdering(ordering));
-  const OrderingInstances* inst = InstancesForConst(def->name);
-  if (inst == nullptr) return false;
-  auto pa = inst->parent_of.find(a);
-  auto pb = inst->parent_of.find(b);
-  // §5.6: entities with different parents are not comparable -> false.
-  if (pa == inst->parent_of.end() || pb == inst->parent_of.end() ||
-      pa->second != pb->second)
-    return false;
-  const std::vector<EntityId>& sibs = inst->children.at(pa->second);
-  size_t ia = sibs.size(), ib = sibs.size();
-  for (size_t i = 0; i < sibs.size(); ++i) {
-    if (sibs[i] == a) ia = i;
-    if (sibs[i] == b) ib = i;
-  }
-  return ia < ib;
+  MDM_ASSIGN_OR_RETURN(OrderingHandle h, ResolveOrderingHandle(ordering));
+  return Before(h, a, b);
+}
+
+Result<bool> Database::After(OrderingHandle h, EntityId a, EntityId b) const {
+  return Before(h, b, a);
 }
 
 Result<bool> Database::After(const std::string& ordering, EntityId a,
                              EntityId b) const {
-  return Before(ordering, b, a);
+  MDM_ASSIGN_OR_RETURN(OrderingHandle h, ResolveOrderingHandle(ordering));
+  return Before(h, b, a);
+}
+
+Result<bool> Database::Under(OrderingHandle h, EntityId child,
+                             EntityId parent) const {
+  MDM_RETURN_IF_ERROR(CheckOrderedPairExists(child, parent));
+  const OrderingInstances& inst = ordering_instances_[h.index()];
+  if (child == parent) return false;
+  // Fast path: the direct parent needs no interval lookup.
+  auto it = inst.parent_of.find(child);
+  if (it == inst.parent_of.end()) return false;
+  if (it->second == parent) return true;
+  if (!ordering_index_enabled_) {
+    // Ablation: multi-level containment by walking P-edges upward.
+    ++index_stats_.linear_scans;
+    return IsAncestor(inst, parent, it->second);
+  }
+  if (inst.intervals_dirty) RebuildIntervals(inst);
+  else ++index_stats_.interval_hits;
+  auto ci = inst.interval_of.find(child);
+  auto pi = inst.interval_of.find(parent);
+  if (ci == inst.interval_of.end() || pi == inst.interval_of.end())
+    return false;
+  return pi->second.first < ci->second.first &&
+         ci->second.second < pi->second.second;
 }
 
 Result<bool> Database::Under(const std::string& ordering, EntityId child,
                              EntityId parent) const {
-  MDM_ASSIGN_OR_RETURN(EntityId p, ParentOf(ordering, child));
-  return p != kInvalidEntityId && p == parent;
+  MDM_ASSIGN_OR_RETURN(OrderingHandle h, ResolveOrderingHandle(ordering));
+  return Under(h, child, parent);
 }
 
 // ---------------------------------------------------------------------
@@ -568,7 +728,7 @@ Result<bool> Database::Under(const std::string& ordering, EntityId child,
 Result<std::string> Database::InstanceGraphDot(
     const std::string& ordering, EntityId root,
     const std::string& label_attr) const {
-  MDM_ASSIGN_OR_RETURN(const OrderingDef* def, ResolveOrdering(ordering));
+  MDM_ASSIGN_OR_RETURN(OrderingHandle h, ResolveOrderingHandle(ordering));
   std::string dot =
       "digraph instance_graph {\n  rankdir=TB;\n  node [shape=circle];\n";
   auto label_of = [&](EntityId id) -> std::string {
@@ -588,12 +748,11 @@ Result<std::string> Database::InstanceGraphDot(
   std::vector<EntityId> queue{root};
   dot += StrFormat("  n%llu [label=\"%s\"];\n", (unsigned long long)root,
                    label_of(root).c_str());
-  const OrderingInstances* inst = InstancesForConst(def->name);
+  const OrderingInstances& inst = ordering_instances_[h.index()];
   for (size_t qi = 0; qi < queue.size(); ++qi) {
     EntityId parent = queue[qi];
-    if (inst == nullptr) break;
-    auto it = inst->children.find(parent);
-    if (it == inst->children.end()) continue;
+    auto it = inst.children.find(parent);
+    if (it == inst.children.end()) continue;
     const std::vector<EntityId>& kids = it->second;
     for (size_t i = 0; i < kids.size(); ++i) {
       dot += StrFormat("  n%llu [label=\"%s\"];\n",
@@ -653,8 +812,9 @@ void Database::Snapshot(ByteWriter* w) const {
     for (const Value& v : ri.attrs) v.Encode(w);
   }
   w->PutVarint(ordering_instances_.size());
-  for (const auto& [name, inst] : ordering_instances_) {
-    w->PutString(name);
+  for (size_t i = 0; i < ordering_instances_.size(); ++i) {
+    const OrderingInstances& inst = ordering_instances_[i];
+    w->PutString(AsciiUpper(schema_.orderings()[i].name));
     w->PutVarint(inst.children.size());
     for (const auto& [parent, kids] : inst.children) {
       w->PutU64(parent);
@@ -721,10 +881,15 @@ Status Database::Restore(ByteReader* r, Database* out) {
   }
   uint64_t n_orderings;
   MDM_RETURN_IF_ERROR(r->GetVarint(&n_orderings));
+  out->ordering_instances_.resize(out->schema_.orderings().size());
   for (uint64_t i = 0; i < n_orderings; ++i) {
     std::string name;
     MDM_RETURN_IF_ERROR(r->GetString(&name));
-    OrderingInstances inst;
+    auto idx = out->schema_.FindOrderingIndex(name);
+    if (!idx.has_value())
+      return Corruption("snapshot ordering instances for unknown ordering " +
+                        name);
+    OrderingInstances& inst = out->ordering_instances_[*idx];
     uint64_t n_parents;
     MDM_RETURN_IF_ERROR(r->GetVarint(&n_parents));
     for (uint64_t j = 0; j < n_parents; ++j) {
@@ -741,7 +906,6 @@ Status Database::Restore(ByteReader* r, Database* out) {
       }
       inst.children[parent] = std::move(kids);
     }
-    out->ordering_instances_[name] = std::move(inst);
   }
   return Status::OK();
 }

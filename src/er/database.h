@@ -5,7 +5,9 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
@@ -34,6 +36,19 @@ struct RelationshipInstance {
   uint32_t rel_index = 0;  // into ErSchema::relationships()
   std::vector<EntityId> role_refs;
   std::vector<rel::Value> attrs;
+};
+
+/// Counters for the per-ordering structural indexes (§5.6 execution).
+/// `rank_hits`/`interval_hits` are index lookups answered from a fresh
+/// index; `*_rebuilds` count lazy rebuilds triggered by a lookup after
+/// a structural mutation; `linear_scans` counts predicate evaluations
+/// that bypassed the indexes (ablation mode).
+struct OrderingIndexStats {
+  uint64_t rank_hits = 0;
+  uint64_t rank_rebuilds = 0;
+  uint64_t interval_hits = 0;
+  uint64_t interval_rebuilds = 0;
+  uint64_t linear_scans = 0;
 };
 
 /// The music data manager's entity-relationship database with
@@ -107,41 +122,93 @@ class Database {
 
   // ------------------------------------------------------------------
   // Hierarchical ordering (instance level).
+  //
+  // Every operation exists in two forms: a string-named convenience
+  // overload (resolves the ordering by name on every call) and an
+  // OrderingHandle overload. Resolve the handle once per statement or
+  // session and use it in hot paths — the handle form also skips the
+  // per-call name normalization.
   // ------------------------------------------------------------------
+
+  /// Resolves an ordering name to a handle valid for this database's
+  /// lifetime (orderings are append-only).
+  Result<OrderingHandle> ResolveOrderingHandle(std::string_view name) const;
+  /// The definition behind a handle obtained from this database.
+  const OrderingDef& ordering_def(OrderingHandle h) const {
+    return schema_.orderings()[h.index()];
+  }
+
   Status AppendChild(const std::string& ordering, EntityId parent,
                      EntityId child);
+  Status AppendChild(OrderingHandle h, EntityId parent, EntityId child);
   /// Inserts at 0-based position `pos` (<= current child count).
   Status InsertChildAt(const std::string& ordering, EntityId parent,
                        EntityId child, size_t pos);
+  Status InsertChildAt(OrderingHandle h, EntityId parent, EntityId child,
+                       size_t pos);
   Status RemoveChild(const std::string& ordering, EntityId child);
+  Status RemoveChild(OrderingHandle h, EntityId child);
 
   /// The ordered children of `parent` (empty if none).
   Result<std::vector<EntityId>> Children(const std::string& ordering,
                                          EntityId parent) const;
+  Result<std::vector<EntityId>> Children(OrderingHandle h,
+                                         EntityId parent) const;
   Result<uint64_t> ChildCount(const std::string& ordering,
                               EntityId parent) const;
+  Result<uint64_t> ChildCount(OrderingHandle h, EntityId parent) const;
   /// Parent of `child` in the ordering, or kInvalidEntityId when the
   /// child is a root of this ordering.
   Result<EntityId> ParentOf(const std::string& ordering,
                             EntityId child) const;
+  Result<EntityId> ParentOf(OrderingHandle h, EntityId child) const;
   /// 0-based ordinal of `child` under its parent.
   Result<size_t> PositionOf(const std::string& ordering,
                             EntityId child) const;
+  Result<size_t> PositionOf(OrderingHandle h, EntityId child) const;
   /// 0-based n-th child of `parent` ("the third note in chord x" is
   /// NthChild(..., 2)).
   Result<EntityId> NthChild(const std::string& ordering, EntityId parent,
                             size_t n) const;
+  Result<EntityId> NthChild(OrderingHandle h, EntityId parent,
+                            size_t n) const;
 
-  /// The paper's ordering predicates (§5.6): true iff `a` and `b` share
-  /// a parent in the ordering and a precedes/follows b. Entities with
-  /// different parents are not comparable — the predicate is false.
+  /// The paper's ordering predicates (§5.6). Each is a tri-state:
+  ///
+  ///   * error status — the ordering name does not resolve, or either
+  ///     operand entity does not exist. Misspelled orderings and stale
+  ///     ids are reported, never silently treated as "no".
+  ///   * ok(false)    — both operands exist but are *not comparable* in
+  ///     this ordering: different parents, not ordered at all, or (for
+  ///     Under) no ancestor path. Per §5.6 this is a legitimate "no".
+  ///   * ok(true)     — the predicate holds.
+  ///
+  /// Before/After: `a` and `b` share a parent and a precedes/follows b
+  /// (O(1) via the sibling-rank index). Under: `child` lies below
+  /// `parent` at *any* depth along P-edges of this ordering — the
+  /// paper's multi-level reading, so in a recursive ordering a chord is
+  /// `under` every enclosing beam group, not just its direct parent
+  /// (O(1) via Euler-tour interval containment).
   Result<bool> Before(const std::string& ordering, EntityId a,
                       EntityId b) const;
+  Result<bool> Before(OrderingHandle h, EntityId a, EntityId b) const;
   Result<bool> After(const std::string& ordering, EntityId a,
                      EntityId b) const;
-  /// True iff `child` is directly under `parent` in the ordering.
+  Result<bool> After(OrderingHandle h, EntityId a, EntityId b) const;
   Result<bool> Under(const std::string& ordering, EntityId child,
                      EntityId parent) const;
+  Result<bool> Under(OrderingHandle h, EntityId child, EntityId parent) const;
+
+  /// Ablation switch for the §5.6 structural indexes. When disabled,
+  /// Before/After fall back to linear sibling scans and Under to an
+  /// upward P-edge walk (semantics are identical; only the cost
+  /// changes). Exposed for bench_s56_ordering_index.
+  void EnableOrderingIndex(bool on) { ordering_index_enabled_ = on; }
+  bool ordering_index_enabled() const { return ordering_index_enabled_; }
+  const OrderingIndexStats& ordering_index_stats() const {
+    return index_stats_;
+  }
+  void ResetOrderingIndexStats() { index_stats_ = OrderingIndexStats{}; }
 
   // ------------------------------------------------------------------
   // Graphs and diagnostics.
@@ -197,21 +264,43 @@ class Database {
     std::unordered_map<EntityId, std::vector<EntityId>> children;
     // child -> parent (the P-edge).
     std::unordered_map<EntityId, EntityId> parent_of;
+
+    // --- structural indexes, maintained lazily (§5.6 execution) ---
+    // child -> 0-based rank among its siblings. Ranks of one parent's
+    // children are rebuilt together the first time any of them is
+    // queried after that parent's child list changed.
+    mutable std::unordered_map<EntityId, size_t> rank_of;
+    mutable std::unordered_set<EntityId> rank_dirty;  // parents to rebuild
+    // Euler-tour labels over the ordering forest: entity -> (entry,
+    // exit). `a` lies under `b` iff b.entry < a.entry && a.exit <
+    // b.exit. Rebuilt whole-ordering on first containment query after
+    // any structural change.
+    mutable std::unordered_map<EntityId, std::pair<uint64_t, uint64_t>>
+        interval_of;
+    mutable bool intervals_dirty = true;
+
+    // Called on every S/P-edge mutation touching `parent`'s child list.
+    void Invalidate(EntityId parent) {
+      rank_dirty.insert(parent);
+      intervals_dirty = true;
+    }
   };
 
   const EntityRecord* FindEntity(EntityId id) const;
   EntityRecord* FindEntity(EntityId id);
   Result<const OrderingDef*> ResolveOrdering(const std::string& name) const;
-  OrderingInstances& InstancesFor(const std::string& ordering_name);
-  const OrderingInstances* InstancesForConst(
-      const std::string& ordering_name) const;
   // Core mutators shared by the public API and journal replay.
-  Status DoInsertChildAt(const OrderingDef& def, EntityId parent,
-                         EntityId child, size_t pos);
-  Status DoRemoveChild(const OrderingDef& def, EntityId child);
+  Status DoInsertChildAt(OrderingHandle h, EntityId parent, EntityId child,
+                         size_t pos);
+  Status DoRemoveChild(OrderingHandle h, EntityId child);
   // Walks P-edges upward from `start`; true if `needle` is an ancestor.
   bool IsAncestor(const OrderingInstances& inst, EntityId needle,
                   EntityId start) const;
+  // Lazy index maintenance: both may rebuild the index they serve.
+  size_t RankOf(const OrderingInstances& inst, EntityId parent,
+                EntityId child) const;
+  void RebuildIntervals(const OrderingInstances& inst) const;
+  Status CheckOrderedPairExists(EntityId a, EntityId b) const;
   Status LogOp(Op op, const std::vector<uint8_t>& payload);
   Status ApplyOp(const storage::WalRecord& rec);
 
@@ -220,9 +309,12 @@ class Database {
   std::unordered_map<std::string, std::vector<EntityId>> by_type_;
   std::map<RelInstanceId, RelationshipInstance> rel_instances_;
   std::unordered_map<std::string, std::vector<RelInstanceId>> rels_by_name_;
-  std::unordered_map<std::string, OrderingInstances> ordering_instances_;
+  // One slot per schema ordering, indexed by OrderingHandle::index().
+  std::vector<OrderingInstances> ordering_instances_;
   EntityId next_entity_id_ = 1;
   RelInstanceId next_rel_id_ = 1;
+  bool ordering_index_enabled_ = true;
+  mutable OrderingIndexStats index_stats_;
 
   storage::WalWriter* wal_ = nullptr;
   uint64_t open_txn_ = 0;

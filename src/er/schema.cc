@@ -137,6 +137,13 @@ const OrderingDef* ErSchema::FindOrdering(const std::string& name) const {
   return it == ordering_index_.end() ? nullptr : &orderings_[it->second];
 }
 
+std::optional<size_t> ErSchema::FindOrderingIndex(
+    const std::string& name) const {
+  auto it = ordering_index_.find(AsciiUpper(name));
+  if (it == ordering_index_.end()) return std::nullopt;
+  return it->second;
+}
+
 std::vector<const OrderingDef*> ErSchema::OrderingsWithChild(
     const std::string& type) const {
   std::vector<const OrderingDef*> out;

@@ -74,6 +74,37 @@ struct OrderingDef {
   bool HasChildType(const std::string& type) const;
 };
 
+/// A resolved reference to one ordering of a schema. Orderings are
+/// append-only, so a handle stays valid for the lifetime of the
+/// database that issued it (Database::ResolveOrderingHandle). Passing
+/// a handle instead of a name skips per-call name normalization and
+/// lookup on every ordering operation — resolve once per statement,
+/// then use the handle in hot paths.
+class OrderingHandle {
+ public:
+  OrderingHandle() = default;
+
+  bool valid() const { return index_ != kInvalid; }
+  /// Position in ErSchema::orderings().
+  uint32_t index() const { return index_; }
+
+  /// Wraps a raw ordering index. Prefer Database::ResolveOrderingHandle;
+  /// this exists for callers that already iterate schema.orderings().
+  static OrderingHandle FromIndex(size_t index) {
+    OrderingHandle h;
+    h.index_ = static_cast<uint32_t>(index);
+    return h;
+  }
+
+  friend bool operator==(OrderingHandle a, OrderingHandle b) {
+    return a.index_ == b.index_;
+  }
+
+ private:
+  static constexpr uint32_t kInvalid = 0xFFFFFFFFu;
+  uint32_t index_ = kInvalid;
+};
+
 /// The schema of one MDM database: entity types, relationships and
 /// orderings, with name-based lookup and referential validation.
 class ErSchema {
@@ -89,6 +120,8 @@ class ErSchema {
   const EntityTypeDef* FindEntityType(const std::string& name) const;
   const RelationshipDef* FindRelationship(const std::string& name) const;
   const OrderingDef* FindOrdering(const std::string& name) const;
+  /// Index of the ordering in orderings(), for handle resolution.
+  std::optional<size_t> FindOrderingIndex(const std::string& name) const;
 
   const std::vector<EntityTypeDef>& entity_types() const {
     return entity_types_;

@@ -96,7 +96,8 @@ struct Statement {
   std::string range_type;
 
   // kRetrieve
-  bool unique = false;  // `retrieve unique (...)` deduplicates rows
+  bool explain = false;  // `explain retrieve ...`: render the plan only
+  bool unique = false;   // `retrieve unique (...)` deduplicates rows
   std::vector<Target> targets;
   std::vector<SortKey> sort_keys;  // `sort by label [desc], ...`
   std::unique_ptr<Qual> qual;  // shared by retrieve/replace/delete

@@ -2,6 +2,7 @@
 #include <set>
 
 #include "common/strings.h"
+#include "quel/planner.h"
 #include "quel/quel.h"
 
 namespace mdm::quel {
@@ -14,6 +15,9 @@ using rel::ValueType;
 
 namespace {
 
+/// Scripts cached per session; cleared wholesale on overflow.
+constexpr size_t kParseCacheCapacity = 128;
+
 /// What a range variable is bound to during evaluation.
 struct Binding {
   bool is_relationship = false;
@@ -21,55 +25,12 @@ struct Binding {
   const RelationshipInstance* rel = nullptr;
 };
 
-struct VarInfo {
-  std::string name;
-  std::string type;  // entity type or relationship name
-  bool is_relationship = false;
-};
-
-/// Collects the names of range variables appearing in an expression.
-void CollectExprVars(const Expr& e, std::set<std::string>* out) {
-  if (e.kind != Expr::Kind::kLiteral) out->insert(AsciiLower(e.var));
-}
-
-void CollectQualVars(const Qual& q, std::set<std::string>* out) {
-  switch (q.kind) {
-    case Qual::Kind::kCompare:
-    case Qual::Kind::kIs:
-      CollectExprVars(q.lhs, out);
-      CollectExprVars(q.rhs, out);
-      break;
-    case Qual::Kind::kOrder:
-      out->insert(AsciiLower(q.order_var1));
-      out->insert(AsciiLower(q.order_var2));
-      break;
-    case Qual::Kind::kAnd:
-    case Qual::Kind::kOr:
-      CollectQualVars(*q.a, out);
-      CollectQualVars(*q.b, out);
-      break;
-    case Qual::Kind::kNot:
-      CollectQualVars(*q.a, out);
-      break;
-  }
-}
-
-/// Splits a qualification into top-level AND conjuncts.
-void SplitConjuncts(const Qual* q, std::vector<const Qual*>* out) {
-  if (q == nullptr) return;
-  if (q->kind == Qual::Kind::kAnd) {
-    SplitConjuncts(q->a.get(), out);
-    SplitConjuncts(q->b.get(), out);
-  } else {
-    out->push_back(q);
-  }
-}
-
 class Evaluator {
  public:
-  Evaluator(Database* db,
-            const std::map<std::string, Binding>* bindings)
-      : db_(db), bindings_(bindings) {}
+  Evaluator(Database* db, const std::map<std::string, Binding>* bindings,
+            const std::map<const Qual*, er::OrderingHandle>* order_handles =
+                nullptr)
+      : db_(db), bindings_(bindings), order_handles_(order_handles) {}
 
   Result<Value> Eval(const Expr& e) const {
     switch (e.kind) {
@@ -130,17 +91,18 @@ class Evaluator {
         MDM_ASSIGN_OR_RETURN(const Binding* b2, Lookup(q.order_var2));
         if (b1->is_relationship || b2->is_relationship)
           return TypeError("ordering operators apply to entities");
-        MDM_ASSIGN_OR_RETURN(std::string ordering,
-                             ResolveOrderingName(q, *b1, *b2));
-        switch (q.order_op) {
-          case OrderOp::kBefore:
-            return db_->Before(ordering, b1->entity, b2->entity);
-          case OrderOp::kAfter:
-            return db_->After(ordering, b1->entity, b2->entity);
-          case OrderOp::kUnder:
-            return db_->Under(ordering, b1->entity, b2->entity);
+        // Planned statements carry a pre-resolved handle; the slow
+        // per-row name resolution remains only for un-planned callers.
+        if (order_handles_ != nullptr) {
+          auto it = order_handles_->find(&q);
+          if (it != order_handles_->end())
+            return TestOrder(q.order_op, it->second, b1->entity, b2->entity);
         }
-        return Internal("unreachable order op");
+        MDM_ASSIGN_OR_RETURN(std::string name,
+                             ResolveOrderingName(q, *b1, *b2));
+        MDM_ASSIGN_OR_RETURN(er::OrderingHandle h,
+                             db_->ResolveOrderingHandle(name));
+        return TestOrder(q.order_op, h, b1->entity, b2->entity);
       }
       case Qual::Kind::kAnd: {
         MDM_ASSIGN_OR_RETURN(bool a, Test(*q.a));
@@ -166,6 +128,16 @@ class Evaluator {
     if (it == bindings_->end())
       return NotFound("unbound range variable " + var);
     return &it->second;
+  }
+
+  Result<bool> TestOrder(OrderOp op, er::OrderingHandle h, EntityId a,
+                         EntityId b) const {
+    switch (op) {
+      case OrderOp::kBefore: return db_->Before(h, a, b);
+      case OrderOp::kAfter: return db_->After(h, a, b);
+      case OrderOp::kUnder: return db_->Under(h, a, b);
+    }
+    return Internal("unreachable order op");
   }
 
   // `in ordering` may be omitted when exactly one ordering applies to
@@ -195,34 +167,17 @@ class Evaluator {
 
   Database* db_;
   const std::map<std::string, Binding>* bindings_;
+  const std::map<const Qual*, er::OrderingHandle>* order_handles_;
 };
 
-/// Enumerates bindings for `vars` as nested loops, evaluating each
-/// conjunct at the outermost depth where its variables are all bound
-/// (unless `pushdown` is false, in which case everything is evaluated at
-/// the innermost level). Calls `emit` for every qualifying full binding.
+/// Enumerates bindings for the plan's variables as nested loops,
+/// evaluating each conjunct at its planned depth. Calls `emit` for every
+/// qualifying full binding. `stats` (optional) accumulates row/conjunct
+/// counters.
 class NestedLoopJoin {
  public:
-  NestedLoopJoin(Database* db, std::vector<VarInfo> vars,
-                 const Qual* qual, bool pushdown)
-      : db_(db), vars_(std::move(vars)) {
-    SplitConjuncts(qual, &conjuncts_);
-    conjunct_depth_.resize(conjuncts_.size());
-    for (size_t c = 0; c < conjuncts_.size(); ++c) {
-      std::set<std::string> used;
-      CollectQualVars(*conjuncts_[c], &used);
-      size_t depth = 0;
-      if (pushdown) {
-        for (size_t v = 0; v < vars_.size(); ++v) {
-          if (used.count(AsciiLower(vars_[v].name)) != 0) depth = v + 1;
-        }
-        // Constant conjunct: evaluate before any loops.
-      } else {
-        depth = vars_.size();
-      }
-      conjunct_depth_[c] = depth;
-    }
-  }
+  NestedLoopJoin(Database* db, const Plan* plan, ExecStats* stats)
+      : db_(db), plan_(plan), stats_(stats) {}
 
   Status Run(const std::function<Status(
                  const std::map<std::string, Binding>&)>& emit) {
@@ -233,19 +188,21 @@ class NestedLoopJoin {
  private:
   Status Descend(size_t depth) {
     // Evaluate conjuncts that became fully bound at this depth.
-    Evaluator eval(db_, &bindings_);
-    for (size_t c = 0; c < conjuncts_.size(); ++c) {
-      if (conjunct_depth_[c] != depth) continue;
-      MDM_ASSIGN_OR_RETURN(bool pass, eval.Test(*conjuncts_[c]));
+    Evaluator eval(db_, &bindings_, &plan_->order_handles);
+    for (const PlannedConjunct& c : plan_->conjuncts) {
+      if (c.depth != depth) continue;
+      if (stats_ != nullptr) ++stats_->conjuncts_evaluated;
+      MDM_ASSIGN_OR_RETURN(bool pass, eval.Test(*c.qual));
       if (!pass) return Status::OK();
     }
-    if (depth == vars_.size()) return (*emit_)(bindings_);
-    const VarInfo& var = vars_[depth];
-    const std::string key = AsciiLower(var.name);
+    if (depth == plan_->vars.size()) return (*emit_)(bindings_);
+    const PlannedVar& var = plan_->vars[depth];
+    const std::string& key = var.name;  // already lowercased by the planner
     Status inner;
     if (var.is_relationship) {
       MDM_RETURN_IF_ERROR(db_->ForEachRelationship(
           var.type, [&](const RelationshipInstance& ri) {
+            if (stats_ != nullptr) ++stats_->rows_scanned;
             Binding b;
             b.is_relationship = true;
             b.rel = &ri;
@@ -255,6 +212,7 @@ class NestedLoopJoin {
           }));
     } else {
       MDM_RETURN_IF_ERROR(db_->ForEachEntity(var.type, [&](EntityId id) {
+        if (stats_ != nullptr) ++stats_->rows_scanned;
         Binding b;
         b.entity = id;
         bindings_[key] = b;
@@ -267,9 +225,8 @@ class NestedLoopJoin {
   }
 
   Database* db_;
-  std::vector<VarInfo> vars_;
-  std::vector<const Qual*> conjuncts_;
-  std::vector<size_t> conjunct_depth_;
+  const Plan* plan_;
+  ExecStats* stats_;
   std::map<std::string, Binding> bindings_;
   const std::function<Status(const std::map<std::string, Binding>&)>* emit_ =
       nullptr;
@@ -323,7 +280,39 @@ struct AggState {
 
 }  // namespace
 
+std::optional<size_t> ResultSet::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < columns.size(); ++i)
+    if (EqualsIgnoreCase(columns[i], name)) return i;
+  return std::nullopt;
+}
+
+const Value& ResultSet::At(size_t row, size_t col) const {
+  static const Value kNull = Value::Null();
+  if (row >= rows.size() || col >= rows[row].size()) return kNull;
+  return rows[row][col];
+}
+
+const Value& ResultSet::RowRef::operator[](std::string_view col) const {
+  std::optional<size_t> idx = rs_->ColumnIndex(col);
+  return rs_->At(row_, idx.value_or(SIZE_MAX));
+}
+
+std::string ExecStats::ToString() const {
+  return StrFormat(
+      "statements: %llu\n"
+      "rows scanned: %llu\n"
+      "conjuncts evaluated: %llu\n"
+      "ordering index hits: %llu\n"
+      "ordering index misses: %llu\n"
+      "plan cache hits: %llu\n",
+      (unsigned long long)statements, (unsigned long long)rows_scanned,
+      (unsigned long long)conjuncts_evaluated,
+      (unsigned long long)index_hits, (unsigned long long)index_misses,
+      (unsigned long long)plan_cache_hits);
+}
+
 std::string ResultSet::ToString() const {
+  if (!explain.empty()) return explain;
   std::vector<size_t> widths(columns.size());
   std::vector<std::vector<std::string>> cells;
   for (size_t i = 0; i < columns.size(); ++i)
@@ -367,9 +356,25 @@ Result<ResultSet> QuelSession::ExecuteNaive(const std::string& script) {
 }
 
 Result<ResultSet> QuelSession::Run(const std::string& script, bool pushdown) {
-  MDM_ASSIGN_OR_RETURN(std::vector<Statement> stmts, ParseQuel(script));
+  // Statement cache: scripts are re-run verbatim by interactive sessions
+  // and benchmarks, so a text-keyed cache skips the lexer and parser.
+  std::shared_ptr<const std::vector<Statement>> stmts;
+  auto cached = parse_cache_.find(script);
+  if (cached != parse_cache_.end()) {
+    stmts = cached->second;
+    ++stats_.plan_cache_hits;
+  } else {
+    MDM_ASSIGN_OR_RETURN(std::vector<Statement> parsed, ParseQuel(script));
+    stmts =
+        std::make_shared<const std::vector<Statement>>(std::move(parsed));
+    if (parse_cache_.size() >= kParseCacheCapacity) parse_cache_.clear();
+    parse_cache_.emplace(script, stmts);
+  }
+
+  const er::OrderingIndexStats before = db_->ordering_index_stats();
   ResultSet last;
-  for (const Statement& stmt : stmts) {
+  for (const Statement& stmt : *stmts) {
+    ++stats_.statements;
     switch (stmt.kind) {
       case Statement::Kind::kRange: {
         // `range of v1, v2 is TYPE`
@@ -405,73 +410,38 @@ Result<ResultSet> QuelSession::Run(const std::string& script, bool pushdown) {
       }
     }
   }
+  // Attribute this script's ordering-index activity to the session.
+  const er::OrderingIndexStats& after = db_->ordering_index_stats();
+  stats_.index_hits += (after.rank_hits - before.rank_hits) +
+                       (after.interval_hits - before.interval_hits);
+  stats_.index_misses += (after.rank_rebuilds - before.rank_rebuilds) +
+                         (after.interval_rebuilds - before.interval_rebuilds) +
+                         (after.linear_scans - before.linear_scans);
   return last;
 }
 
-// Defined out of line to keep Run readable; declared here as a private
-// helper through an anonymous-namespace friend pattern is overkill, so it
-// is a member in spirit: we re-open the class via a static helper.
+// Defined out of line to keep Run readable.
 Result<ResultSet> RunQueryImpl(Database* db,
                                const std::map<std::string, std::string>&
                                    session_ranges,
-                               const Statement& stmt, bool pushdown);
+                               const Statement& stmt, bool pushdown,
+                               ExecStats* stats);
 
 Result<ResultSet> QuelSession::RunQuery(const Statement& stmt,
                                         bool pushdown) {
-  return RunQueryImpl(db_, ranges_, stmt, pushdown);
+  return RunQueryImpl(db_, ranges_, stmt, pushdown, &stats_);
 }
 
 Result<ResultSet> RunQueryImpl(
     Database* db, const std::map<std::string, std::string>& session_ranges,
-    const Statement& stmt, bool pushdown) {
-  // Collect the variables this statement uses.
-  std::set<std::string> used;
-  for (const Target& t : stmt.targets) CollectExprVars(t.expr, &used);
-  if (stmt.qual != nullptr) CollectQualVars(*stmt.qual, &used);
-  if (!stmt.update_var.empty()) used.insert(AsciiLower(stmt.update_var));
-  for (const auto& [attr, expr] : stmt.assignments)
-    CollectExprVars(expr, &used);
-
-  // Resolve each to a type: explicit range declaration, or the implicit
-  // same-named range variable (footnote 6).
-  std::vector<VarInfo> vars;
-  for (const std::string& name : used) {
-    VarInfo info;
-    info.name = name;
-    auto it = session_ranges.find(name);
-    if (it != session_ranges.end()) {
-      info.type = it->second;
-    } else if (db->schema().FindEntityType(name) != nullptr ||
-               db->schema().FindRelationship(name) != nullptr) {
-      info.type = name;
-    } else {
-      return NotFound("undeclared range variable " + name);
-    }
-    info.is_relationship =
-        db->schema().FindRelationship(info.type) != nullptr;
-    vars.push_back(std::move(info));
-  }
-
-  // Join-order heuristic: bind variables that appear in low-arity
-  // conjuncts first, so selective single-variable predicates (e.g.
-  // `n2.name = 3`) prune the nested loops before wider joins run.
-  if (pushdown && stmt.qual != nullptr) {
-    std::vector<const Qual*> conjuncts;
-    SplitConjuncts(stmt.qual.get(), &conjuncts);
-    auto rank = [&conjuncts](const VarInfo& v) {
-      size_t best = SIZE_MAX;
-      for (const Qual* c : conjuncts) {
-        std::set<std::string> used_vars;
-        CollectQualVars(*c, &used_vars);
-        if (used_vars.count(AsciiLower(v.name)) != 0)
-          best = std::min(best, used_vars.size());
-      }
-      return best;
-    };
-    std::stable_sort(vars.begin(), vars.end(),
-                     [&rank](const VarInfo& a, const VarInfo& b) {
-                       return rank(a) < rank(b);
-                     });
+    const Statement& stmt, bool pushdown, ExecStats* stats) {
+  MDM_ASSIGN_OR_RETURN(Plan plan,
+                       PlanQuery(db, session_ranges, stmt, pushdown));
+  if (stmt.explain) {
+    // Plan-only: render without touching a single row.
+    ResultSet rs;
+    rs.explain = ExplainPlan(*db, stmt, plan);
+    return rs;
   }
 
   ResultSet rs;
@@ -512,10 +482,10 @@ Result<ResultSet> RunQueryImpl(
       replacements;
   std::set<EntityId> deletions;
 
-  NestedLoopJoin join(db, vars, stmt.qual.get(), pushdown);
+  NestedLoopJoin join(db, &plan, stats);
   MDM_RETURN_IF_ERROR(join.Run([&](const std::map<std::string, Binding>&
                                        bindings) -> Status {
-    Evaluator eval(db, &bindings);
+    Evaluator eval(db, &bindings, &plan.order_handles);
     switch (stmt.kind) {
       case Statement::Kind::kRetrieve: {
         if (has_by) {

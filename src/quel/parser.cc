@@ -66,6 +66,18 @@ class QuelParser {
   Result<Statement> ParseStatement() {
     const Token& tok = Peek();
     if (IsKeyword(tok, "range")) return ParseRange();
+    if (IsKeyword(tok, "explain")) {
+      // `explain retrieve ...`: parse the statement, mark it plan-only.
+      Advance();
+      if (!IsKeyword(Peek(), "retrieve"))
+        return ParseError(
+            StrFormat("line %zu: expected 'retrieve' after 'explain', "
+                      "got '%s'",
+                      Peek().line, Peek().text.c_str()));
+      MDM_ASSIGN_OR_RETURN(Statement stmt, ParseRetrieve());
+      stmt.explain = true;
+      return stmt;
+    }
     if (IsKeyword(tok, "retrieve")) return ParseRetrieve();
     if (IsKeyword(tok, "append")) return ParseAppend();
     if (IsKeyword(tok, "replace")) return ParseReplace();

@@ -1,0 +1,331 @@
+#include "quel/planner.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace mdm::quel {
+
+using er::Database;
+
+void CollectExprVars(const Expr& e, std::set<std::string>* out) {
+  if (e.kind != Expr::Kind::kLiteral) out->insert(AsciiLower(e.var));
+}
+
+void CollectQualVars(const Qual& q, std::set<std::string>* out) {
+  switch (q.kind) {
+    case Qual::Kind::kCompare:
+    case Qual::Kind::kIs:
+      CollectExprVars(q.lhs, out);
+      CollectExprVars(q.rhs, out);
+      break;
+    case Qual::Kind::kOrder:
+      out->insert(AsciiLower(q.order_var1));
+      out->insert(AsciiLower(q.order_var2));
+      break;
+    case Qual::Kind::kAnd:
+    case Qual::Kind::kOr:
+      CollectQualVars(*q.a, out);
+      CollectQualVars(*q.b, out);
+      break;
+    case Qual::Kind::kNot:
+      CollectQualVars(*q.a, out);
+      break;
+  }
+}
+
+namespace {
+
+/// Splits a qualification into top-level AND conjuncts.
+void SplitConjuncts(const Qual* q, std::vector<const Qual*>* out) {
+  if (q == nullptr) return;
+  if (q->kind == Qual::Kind::kAnd) {
+    SplitConjuncts(q->a.get(), out);
+    SplitConjuncts(q->b.get(), out);
+  } else {
+    out->push_back(q);
+  }
+}
+
+const char* CompareOpText(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "!=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+const char* OrderOpText(OrderOp op) {
+  switch (op) {
+    case OrderOp::kBefore: return "before";
+    case OrderOp::kAfter: return "after";
+    case OrderOp::kUnder: return "under";
+  }
+  return "?";
+}
+
+/// Binds every kOrder node in `q` (at any nesting depth) to a resolved
+/// handle. `types` maps lowercased variable name -> (type, is_rel).
+Status BindOrderHandles(Database* db,
+                        const std::map<std::string,
+                                       std::pair<std::string, bool>>& types,
+                        const Qual& q, Plan* plan) {
+  switch (q.kind) {
+    case Qual::Kind::kCompare:
+    case Qual::Kind::kIs:
+      return Status::OK();
+    case Qual::Kind::kAnd:
+    case Qual::Kind::kOr:
+      MDM_RETURN_IF_ERROR(BindOrderHandles(db, types, *q.a, plan));
+      return BindOrderHandles(db, types, *q.b, plan);
+    case Qual::Kind::kNot:
+      return BindOrderHandles(db, types, *q.a, plan);
+    case Qual::Kind::kOrder:
+      break;
+  }
+  const auto& t1 = types.at(AsciiLower(q.order_var1));
+  const auto& t2 = types.at(AsciiLower(q.order_var2));
+  if (t1.second || t2.second)
+    return TypeError("ordering operators apply to entities");
+  if (!q.ordering.empty()) {
+    MDM_ASSIGN_OR_RETURN(er::OrderingHandle h,
+                         db->ResolveOrderingHandle(q.ordering));
+    plan->order_handles[&q] = h;
+    return Status::OK();
+  }
+  // `in ordering` omitted: exactly one ordering must apply to the static
+  // operand types. The types come from the range declarations, so this
+  // is decidable at plan time — no per-row TypeOf calls.
+  std::vector<er::OrderingHandle> candidates;
+  const std::vector<er::OrderingDef>& defs = db->schema().orderings();
+  for (size_t i = 0; i < defs.size(); ++i) {
+    const er::OrderingDef& o = defs[i];
+    bool match = q.order_op == OrderOp::kUnder
+                     ? o.HasChildType(t1.first) &&
+                           EqualsIgnoreCase(o.parent_type, t2.first)
+                     : o.HasChildType(t1.first) && o.HasChildType(t2.first);
+    if (match) candidates.push_back(er::OrderingHandle::FromIndex(i));
+  }
+  if (candidates.empty())
+    return NotFound(StrFormat("no ordering relates %s and %s",
+                              t1.first.c_str(), t2.first.c_str()));
+  if (candidates.size() > 1)
+    return InvalidArgument(
+        StrFormat("ambiguous ordering between %s and %s; use 'in <name>'",
+                  t1.first.c_str(), t2.first.c_str()));
+  plan->order_handles[&q] = candidates[0];
+  return Status::OK();
+}
+
+/// Renders a qualification; with a database + plan, ordering operators
+/// carry their resolved ordering names and index annotations (the
+/// explain output). Both may be null for a plain deparse.
+std::string RenderQual(const Database* db, const Plan* plan, const Qual& q) {
+  switch (q.kind) {
+    case Qual::Kind::kCompare:
+      return ExprToString(q.lhs) + " " + CompareOpText(q.cmp) + " " +
+             ExprToString(q.rhs);
+    case Qual::Kind::kIs:
+      return ExprToString(q.lhs) + " is " + ExprToString(q.rhs);
+    case Qual::Kind::kOrder: {
+      std::string out = AsciiLower(q.order_var1);
+      out += " ";
+      out += OrderOpText(q.order_op);
+      out += " ";
+      out += AsciiLower(q.order_var2);
+      bool annotated = false;
+      if (plan != nullptr && db != nullptr) {
+        auto it = plan->order_handles.find(&q);
+        if (it != plan->order_handles.end()) {
+          out += " in " + db->ordering_def(it->second).name;
+          if (!db->ordering_index_enabled())
+            out += " [linear scan]";
+          else if (q.order_op == OrderOp::kUnder)
+            out += " [interval index]";
+          else
+            out += " [rank index]";
+          annotated = true;
+        }
+      }
+      if (!annotated && !q.ordering.empty()) out += " in " + q.ordering;
+      return out;
+    }
+    case Qual::Kind::kAnd:
+      return RenderQual(db, plan, *q.a) + " and " +
+             RenderQual(db, plan, *q.b);
+    case Qual::Kind::kOr:
+      return "(" + RenderQual(db, plan, *q.a) + " or " +
+             RenderQual(db, plan, *q.b) + ")";
+    case Qual::Kind::kNot:
+      return "not (" + RenderQual(db, plan, *q.a) + ")";
+  }
+  return "?";
+}
+
+std::string RenderTarget(const Target& t) {
+  std::string inner = ExprToString(t.expr);
+  switch (t.agg) {
+    case AggFn::kNone: break;
+    case AggFn::kCount: inner = "count(" + inner + ")"; break;
+    case AggFn::kSum: inner = "sum(" + inner + ")"; break;
+    case AggFn::kAvg: inner = "avg(" + inner + ")"; break;
+    case AggFn::kMin: inner = "min(" + inner + ")"; break;
+    case AggFn::kMax: inner = "max(" + inner + ")"; break;
+  }
+  return inner;
+}
+
+}  // namespace
+
+std::string ExprToString(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral: return e.literal.ToString();
+    case Expr::Kind::kVarRef: return AsciiLower(e.var);
+    case Expr::Kind::kAttrRef: return AsciiLower(e.var) + "." + e.attr;
+  }
+  return "?";
+}
+
+std::string QualToString(const Qual& q) {
+  return RenderQual(nullptr, nullptr, q);
+}
+
+Result<Plan> PlanQuery(Database* db,
+                       const std::map<std::string, std::string>& ranges,
+                       const Statement& stmt, bool pushdown) {
+  Plan plan;
+  plan.pushdown = pushdown;
+
+  // Collect the variables this statement uses.
+  std::set<std::string> used;
+  for (const Target& t : stmt.targets) {
+    CollectExprVars(t.expr, &used);
+    for (const Expr& by_expr : t.by) CollectExprVars(by_expr, &used);
+  }
+  if (stmt.qual != nullptr) CollectQualVars(*stmt.qual, &used);
+  if (!stmt.update_var.empty()) used.insert(AsciiLower(stmt.update_var));
+  for (const auto& [attr, expr] : stmt.assignments)
+    CollectExprVars(expr, &used);
+
+  // Resolve each to a type: explicit range declaration, or the implicit
+  // same-named range variable (footnote 6).
+  for (const std::string& name : used) {
+    PlannedVar var;
+    var.name = name;
+    auto it = ranges.find(name);
+    if (it != ranges.end()) {
+      var.type = it->second;
+    } else if (db->schema().FindEntityType(name) != nullptr ||
+               db->schema().FindRelationship(name) != nullptr) {
+      var.type = name;
+    } else {
+      return NotFound("undeclared range variable " + name);
+    }
+    var.is_relationship =
+        db->schema().FindRelationship(var.type) != nullptr;
+    MDM_ASSIGN_OR_RETURN(var.cardinality,
+                         var.is_relationship
+                             ? db->CountRelationships(var.type)
+                             : db->CountEntities(var.type));
+    plan.vars.push_back(std::move(var));
+  }
+
+  std::vector<const Qual*> conjuncts;
+  SplitConjuncts(stmt.qual.get(), &conjuncts);
+
+  // Selectivity: the arity of the narrowest conjunct mentioning the
+  // variable (a `n.name = 3` restriction makes n maximally selective).
+  for (PlannedVar& var : plan.vars) {
+    for (const Qual* c : conjuncts) {
+      std::set<std::string> cv;
+      CollectQualVars(*c, &cv);
+      if (cv.count(var.name) != 0)
+        var.selectivity = std::min(var.selectivity, cv.size());
+    }
+  }
+
+  // Loop order: most-restricted variables first, then smaller estimated
+  // cardinality, so selective predicates prune before wide loops run.
+  // The naive (no-pushdown) plan keeps declaration order — it is the
+  // ablation baseline and must not benefit from reordering.
+  if (pushdown) {
+    std::stable_sort(plan.vars.begin(), plan.vars.end(),
+                     [](const PlannedVar& a, const PlannedVar& b) {
+                       if (a.selectivity != b.selectivity)
+                         return a.selectivity < b.selectivity;
+                       return a.cardinality < b.cardinality;
+                     });
+  }
+
+  // Push each conjunct to the outermost depth at which its variables
+  // are all bound (depth 0 = constant). Without pushdown everything
+  // evaluates at the innermost level.
+  for (const Qual* c : conjuncts) {
+    PlannedConjunct pc;
+    pc.qual = c;
+    if (pushdown) {
+      std::set<std::string> cv;
+      CollectQualVars(*c, &cv);
+      for (size_t v = 0; v < plan.vars.size(); ++v) {
+        if (cv.count(plan.vars[v].name) != 0) pc.depth = v + 1;
+      }
+    } else {
+      pc.depth = plan.vars.size();
+    }
+    plan.conjuncts.push_back(pc);
+  }
+
+  // Bind every ordering operator to a resolved handle, once.
+  if (stmt.qual != nullptr) {
+    std::map<std::string, std::pair<std::string, bool>> types;
+    for (const PlannedVar& var : plan.vars)
+      types[var.name] = {var.type, var.is_relationship};
+    MDM_RETURN_IF_ERROR(BindOrderHandles(db, types, *stmt.qual, &plan));
+  }
+  return plan;
+}
+
+std::string ExplainPlan(const Database& db, const Statement& stmt,
+                        const Plan& plan) {
+  std::string out = "plan:";
+  switch (stmt.kind) {
+    case Statement::Kind::kRetrieve: out += " retrieve"; break;
+    case Statement::Kind::kReplace: out += " replace"; break;
+    case Statement::Kind::kDelete: out += " delete"; break;
+    default: out += " ?"; break;
+  }
+  if (stmt.unique) out += " unique";
+  out += "\n";
+  out += StrFormat("  pushdown: %s\n", plan.pushdown ? "on" : "off");
+  out += StrFormat("  ordering index: %s\n",
+                   db.ordering_index_enabled() ? "on" : "off");
+  for (const PlannedConjunct& c : plan.conjuncts) {
+    if (c.depth == 0)
+      out += "  filter (const): " + RenderQual(&db, &plan, *c.qual) + "\n";
+  }
+  for (size_t v = 0; v < plan.vars.size(); ++v) {
+    const PlannedVar& var = plan.vars[v];
+    out += StrFormat("  loop %zu: %s is %s (~%llu rows)\n", v + 1,
+                     var.name.c_str(), var.type.c_str(),
+                     (unsigned long long)var.cardinality);
+    for (const PlannedConjunct& c : plan.conjuncts) {
+      if (c.depth == v + 1)
+        out += "    filter: " + RenderQual(&db, &plan, *c.qual) + "\n";
+    }
+  }
+  out += "  emit:";
+  if (stmt.kind == Statement::Kind::kRetrieve) {
+    for (size_t i = 0; i < stmt.targets.size(); ++i)
+      out += (i == 0 ? " " : ", ") + RenderTarget(stmt.targets[i]);
+  } else {
+    out += " " + AsciiLower(stmt.update_var);
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace mdm::quel

@@ -1,0 +1,72 @@
+#ifndef MDM_QUEL_PLANNER_H_
+#define MDM_QUEL_PLANNER_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "er/database.h"
+#include "quel/ast.h"
+
+namespace mdm::quel {
+
+/// One range variable of a planned statement, in chosen loop order.
+struct PlannedVar {
+  std::string name;  // lowercased
+  std::string type;  // entity type or relationship name
+  bool is_relationship = false;
+  uint64_t cardinality = 0;  // CountEntities / CountRelationships estimate
+  // Arity of the narrowest conjunct mentioning this variable (SIZE_MAX
+  // when none does): single-variable predicates make a loop maximally
+  // selective, so lower ranks loop first.
+  size_t selectivity = SIZE_MAX;
+};
+
+/// One top-level AND conjunct: evaluated as soon as the first `depth`
+/// loop variables are bound (depth 0 = constant, tested before any
+/// loop).
+struct PlannedConjunct {
+  const Qual* qual = nullptr;
+  size_t depth = 0;
+};
+
+/// A compiled retrieve/replace/delete: loop order, pushed-down
+/// conjuncts, and every ordering operator bound to a resolved
+/// er::OrderingHandle once — the executor never resolves an ordering
+/// name per row.
+struct Plan {
+  std::vector<PlannedVar> vars;
+  std::vector<PlannedConjunct> conjuncts;
+  /// Every Qual::kOrder node in the statement, at any nesting depth
+  /// (including inside OR/NOT), mapped to its resolved ordering.
+  std::map<const Qual*, er::OrderingHandle> order_handles;
+  bool pushdown = true;
+};
+
+/// Plans a statement against the session's range declarations. Unknown
+/// range variables and unresolvable or ambiguous orderings are reported
+/// here, before any loop runs.
+Result<Plan> PlanQuery(er::Database* db,
+                       const std::map<std::string, std::string>& ranges,
+                       const Statement& stmt, bool pushdown);
+
+/// Renders a plan for `explain retrieve ...` (golden-tested, so the
+/// format is part of the API surface).
+std::string ExplainPlan(const er::Database& db, const Statement& stmt,
+                        const Plan& plan);
+
+/// Deparse helpers (explain output, error messages, tests).
+std::string ExprToString(const Expr& e);
+std::string QualToString(const Qual& q);
+
+/// Names of the range variables appearing in an expression /
+/// qualification, lowercased (shared with the executor).
+void CollectExprVars(const Expr& e, std::set<std::string>* out);
+void CollectQualVars(const Qual& q, std::set<std::string>* out);
+
+}  // namespace mdm::quel
+
+#endif  // MDM_QUEL_PLANNER_H_

@@ -1,8 +1,13 @@
 #ifndef MDM_QUEL_QUEL_H_
 #define MDM_QUEL_QUEL_H_
 
+#include <cstddef>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -14,12 +19,81 @@ namespace mdm::quel {
 
 /// The rows produced by a retrieve, or the row count touched by an
 /// update statement.
+///
+/// Consumption API: look up columns by name once with ColumnIndex, read
+/// cells with At, or range-for over the rows:
+///
+///   auto name = rs.ColumnIndex("n1.name");
+///   for (ResultSet::RowRef row : rs)
+///     use(row[*name]);           // or row["n1.name"]
 struct ResultSet {
   std::vector<std::string> columns;
   std::vector<std::vector<rel::Value>> rows;
   uint64_t affected = 0;
+  /// Set by `explain retrieve ...`: the rendered plan. When non-empty,
+  /// ToString() returns it verbatim.
+  std::string explain;
+
+  /// Index of the column labelled `name` (case-insensitive), if any.
+  std::optional<size_t> ColumnIndex(std::string_view name) const;
+  /// Cell access; returns a null Value for out-of-range coordinates
+  /// rather than faulting, so display loops need no bounds checks.
+  const rel::Value& At(size_t row, size_t col) const;
+
+  size_t size() const { return rows.size(); }
+  bool empty() const { return rows.empty(); }
+
+  /// One row, addressable by column index or (case-insensitive) label.
+  class RowRef {
+   public:
+    const rel::Value& operator[](size_t col) const {
+      return rs_->At(row_, col);
+    }
+    const rel::Value& operator[](std::string_view col) const;
+    size_t size() const { return rs_->rows[row_].size(); }
+    size_t row_index() const { return row_; }
+
+   private:
+    friend struct ResultSet;
+    RowRef(const ResultSet* rs, size_t row) : rs_(rs), row_(row) {}
+    const ResultSet* rs_;
+    size_t row_;
+  };
+
+  class RowIterator {
+   public:
+    RowRef operator*() const { return RowRef(rs_, row_); }
+    RowIterator& operator++() {
+      ++row_;
+      return *this;
+    }
+    bool operator!=(const RowIterator& o) const { return row_ != o.row_; }
+    bool operator==(const RowIterator& o) const { return row_ == o.row_; }
+
+   private:
+    friend struct ResultSet;
+    RowIterator(const ResultSet* rs, size_t row) : rs_(rs), row_(row) {}
+    const ResultSet* rs_;
+    size_t row_;
+  };
+
+  RowIterator begin() const { return RowIterator(this, 0); }
+  RowIterator end() const { return RowIterator(this, rows.size()); }
 
   /// Renders an aligned text table (for the examples and benches).
+  std::string ToString() const;
+};
+
+/// Per-session execution counters, cumulative across Execute calls
+/// until ResetStats. Surfaced by mdmsh's \stats.
+struct ExecStats {
+  uint64_t statements = 0;           // statements executed
+  uint64_t rows_scanned = 0;         // range-variable bindings enumerated
+  uint64_t conjuncts_evaluated = 0;  // pushed-down conjunct tests
+  uint64_t index_hits = 0;           // ordering-index answers (rank/interval)
+  uint64_t index_misses = 0;         // index rebuilds + linear fallbacks
+  uint64_t plan_cache_hits = 0;      // scripts answered from the parse cache
+
   std::string ToString() const;
 };
 
@@ -35,17 +109,21 @@ struct ResultSet {
 ///   append to NOTE (name = 7, pitch = "G4")
 ///   replace n1 (pitch = "A4") where n1.name = 7
 ///   delete n1 where n1.name = 7
+///   explain retrieve (n1.name) where n1 before n2 in note_in_chord
 ///
 /// As in GEM and later INGRES versions, a range variable with the same
 /// name as its entity type is implicitly declared for every entity type
 /// and relationship (footnote 6), so `retrieve (PERSON.name) where ...`
 /// works without a range statement.
 ///
-/// Evaluation is a nested-loop join over the statement's range
-/// variables with conjunct push-down: each top-level AND conjunct is
-/// evaluated at the innermost loop level at which all of its variables
-/// are bound, so selective predicates prune the cross product early
-/// (the ablation in bench_s56_quel turns this off).
+/// Execution goes through a small planner (quel/planner.h): range
+/// variables are ordered by selectivity and estimated cardinality,
+/// top-level AND conjuncts are pushed down to the outermost loop level
+/// at which their variables are bound, and every ordering operator is
+/// bound to a resolved er::OrderingHandle once per statement. Parsed
+/// scripts are cached by text, so repeated Execute calls skip the
+/// lexer/parser entirely. `explain retrieve` renders the plan without
+/// running it.
 class QuelSession {
  public:
   explicit QuelSession(er::Database* db) : db_(db) {}
@@ -65,12 +143,23 @@ class QuelSession {
     return ranges_;
   }
 
+  /// Cumulative execution counters (see ExecStats).
+  const ExecStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ExecStats{}; }
+
  private:
   Result<ResultSet> Run(const std::string& script, bool pushdown);
   Result<ResultSet> RunQuery(const Statement& stmt, bool pushdown);
 
   er::Database* db_;
   std::map<std::string, std::string> ranges_;
+  ExecStats stats_;
+  // Statement cache keyed by script text. Statements are immutable once
+  // parsed; the shared_ptr keeps a script alive while it executes even
+  // if the cache is cleared mid-run.
+  std::unordered_map<std::string,
+                     std::shared_ptr<const std::vector<Statement>>>
+      parse_cache_;
 };
 
 /// Parses a QUEL script into statements (exposed for tests).

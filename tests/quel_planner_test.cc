@@ -1,0 +1,411 @@
+// Planner, ordering-handle API, explain, and ExecStats coverage for the
+// §5.6 execution layer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "ddl/parser.h"
+#include "er/database.h"
+#include "quel/planner.h"
+#include "quel/quel.h"
+
+namespace mdm::quel {
+namespace {
+
+using er::EntityId;
+using er::OrderingHandle;
+using rel::Value;
+
+/// Chords with named notes plus a recursive section tree:
+///   section 1 > section 2 > notes 100, 200 (sec_tree)
+///   chord 1: notes 10 < 20 < 30; chord 2: notes 40, 50 (note_in_chord)
+class QuelPlannerTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(ddl::ExecuteDdl(R"(
+      define entity CHORD (name = integer)
+      define entity NOTE (name = integer)
+      define entity SECTION (name = integer)
+      define ordering note_in_chord (NOTE) under CHORD
+      define ordering sec_tree (SECTION, NOTE) under SECTION
+    )",
+                                &db_)
+                    .ok());
+    chord1_ = Create("CHORD", 1);
+    chord2_ = Create("CHORD", 2);
+    for (int n : {10, 20, 30})
+      notes_[n] = AddChild("note_in_chord", "NOTE", chord1_, n);
+    for (int n : {40, 50})
+      notes_[n] = AddChild("note_in_chord", "NOTE", chord2_, n);
+    section1_ = Create("SECTION", 1);
+    section2_ = AddChild("sec_tree", "SECTION", section1_, 2);
+    for (int n : {100, 200})
+      notes_[n] = AddChild("sec_tree", "NOTE", section2_, n);
+  }
+
+  EntityId Create(const std::string& type, int name) {
+    auto id = db_.CreateEntity(type);
+    EXPECT_TRUE(id.ok());
+    EXPECT_TRUE(db_.SetAttribute(*id, "name", Value::Int(name)).ok());
+    return *id;
+  }
+
+  EntityId AddChild(const std::string& ordering, const std::string& type,
+                    EntityId parent, int name) {
+    EntityId id = Create(type, name);
+    EXPECT_TRUE(db_.AppendChild(ordering, parent, id).ok());
+    return id;
+  }
+
+  std::vector<int64_t> Ints(const ResultSet& rs) {
+    std::vector<int64_t> out;
+    for (const auto& row : rs.rows) out.push_back(row[0].AsInt());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  er::Database db_;
+  EntityId chord1_, chord2_, section1_, section2_;
+  std::map<int, EntityId> notes_;
+};
+
+// ----------------------------------------------------------------------
+// Ordering-handle API.
+// ----------------------------------------------------------------------
+
+TEST_F(QuelPlannerTest, ResolveOrderingHandle) {
+  auto h = db_.ResolveOrderingHandle("note_in_chord");
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(h->valid());
+  EXPECT_EQ(db_.ordering_def(*h).name, "note_in_chord");
+  // Resolution is case-insensitive, like every name lookup.
+  auto upper = db_.ResolveOrderingHandle("NOTE_IN_CHORD");
+  ASSERT_TRUE(upper.ok());
+  EXPECT_EQ(*h, *upper);
+  EXPECT_EQ(db_.ResolveOrderingHandle("ghost_order").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(OrderingHandle().valid());
+}
+
+TEST_F(QuelPlannerTest, HandleOverloadsMatchStringOverloads) {
+  auto h = db_.ResolveOrderingHandle("note_in_chord");
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(*db_.Children(*h, chord1_), *db_.Children("note_in_chord",
+                                                      chord1_));
+  EXPECT_EQ(*db_.ChildCount(*h, chord1_), 3u);
+  EXPECT_EQ(*db_.ParentOf(*h, notes_[20]), chord1_);
+  EXPECT_EQ(*db_.NthChild(*h, chord1_, 2), notes_[30]);
+  EXPECT_EQ(*db_.PositionOf(*h, notes_[30]), 2u);
+  EXPECT_TRUE(*db_.Before(*h, notes_[10], notes_[20]));
+  EXPECT_TRUE(*db_.After(*h, notes_[30], notes_[10]));
+  EXPECT_TRUE(*db_.Under(*h, notes_[10], chord1_));
+}
+
+// ----------------------------------------------------------------------
+// Tri-state predicate contract (§5.6): error vs incomparable vs holds.
+// ----------------------------------------------------------------------
+
+TEST_F(QuelPlannerTest, BeforeAcrossParentsIsFalseNotError) {
+  auto h = db_.ResolveOrderingHandle("note_in_chord");
+  ASSERT_TRUE(h.ok());
+  // Different parents: a legitimate "no", not an error.
+  auto r = db_.Before(*h, notes_[10], notes_[40]);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+  r = db_.After(*h, notes_[40], notes_[10]);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+TEST_F(QuelPlannerTest, EntityAbsentFromOrderingIsFalseNotError) {
+  // notes 100/200 exist but participate only in sec_tree.
+  auto h = db_.ResolveOrderingHandle("note_in_chord");
+  ASSERT_TRUE(h.ok());
+  auto r = db_.Before(*h, notes_[100], notes_[10]);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+  r = db_.Under(*h, notes_[100], chord1_);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+TEST_F(QuelPlannerTest, NonexistentOperandIsAnError) {
+  auto h = db_.ResolveOrderingHandle("note_in_chord");
+  ASSERT_TRUE(h.ok());
+  const EntityId ghost = 999999;
+  EXPECT_EQ(db_.Before(*h, notes_[10], ghost).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db_.After(*h, ghost, notes_[10]).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db_.Under(*h, ghost, chord1_).status().code(),
+            StatusCode::kNotFound);
+}
+
+// ----------------------------------------------------------------------
+// Multi-level `under` (recursive orderings).
+// ----------------------------------------------------------------------
+
+TEST_F(QuelPlannerTest, UnderReachesAnyDepth) {
+  auto h = db_.ResolveOrderingHandle("sec_tree");
+  ASSERT_TRUE(h.ok());
+  // Direct parent (depth 1) and grandparent (depth 2).
+  EXPECT_TRUE(*db_.Under(*h, notes_[100], section2_));
+  EXPECT_TRUE(*db_.Under(*h, notes_[100], section1_));
+  EXPECT_TRUE(*db_.Under(*h, section2_, section1_));
+  // Never reflexive, never upward.
+  EXPECT_FALSE(*db_.Under(*h, section1_, section1_));
+  EXPECT_FALSE(*db_.Under(*h, section1_, notes_[100]));
+  // The ablation path answers identically.
+  db_.EnableOrderingIndex(false);
+  EXPECT_TRUE(*db_.Under(*h, notes_[100], section1_));
+  EXPECT_FALSE(*db_.Under(*h, section1_, notes_[100]));
+  db_.EnableOrderingIndex(true);
+}
+
+TEST_F(QuelPlannerTest, UnderIndexSurvivesMutation) {
+  auto h = db_.ResolveOrderingHandle("sec_tree");
+  ASSERT_TRUE(h.ok());
+  EXPECT_TRUE(*db_.Under(*h, notes_[100], section1_));  // builds intervals
+  // Deepen the tree; the interval index must be invalidated.
+  EntityId section3 = AddChild("sec_tree", "SECTION", section2_, 3);
+  EntityId deep = AddChild("sec_tree", "NOTE", section3, 300);
+  EXPECT_TRUE(*db_.Under(*h, deep, section1_));
+  EXPECT_TRUE(*db_.Under(*h, deep, section3));
+  // Detach and re-attach at the top: depth changes, answers follow.
+  ASSERT_TRUE(db_.RemoveChild(*h, section3).ok());
+  EXPECT_FALSE(*db_.Under(*h, section3, section1_));
+  EXPECT_TRUE(*db_.Under(*h, deep, section3));
+  ASSERT_TRUE(db_.AppendChild(*h, section1_, section3).ok());
+  EXPECT_TRUE(*db_.Under(*h, deep, section1_));
+  EXPECT_FALSE(*db_.Under(*h, deep, section2_));
+}
+
+TEST_F(QuelPlannerTest, QuelUnderIsMultiLevel) {
+  QuelSession session(&db_);
+  // section 1 is the root: both notes lie under it at depth 2.
+  auto rs = session.Execute(R"(
+    range of n is NOTE
+    range of s is SECTION
+    retrieve (n.name) where n under s in sec_tree and s.name = 1
+  )");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(Ints(*rs), (std::vector<int64_t>{100, 200}));
+}
+
+// ----------------------------------------------------------------------
+// Planner.
+// ----------------------------------------------------------------------
+
+TEST_F(QuelPlannerTest, PlanOrdersBySelectivityThenCardinality) {
+  auto stmts = ParseQuel(
+      "retrieve (note.name) where note under chord in note_in_chord");
+  ASSERT_TRUE(stmts.ok());
+  auto plan = PlanQuery(&db_, {}, (*stmts)[0], /*pushdown=*/true);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  ASSERT_EQ(plan->vars.size(), 2u);
+  // Equal selectivity (one 2-ary conjunct): the smaller relation —
+  // 2 chords vs 7 notes — loops first.
+  EXPECT_EQ(plan->vars[0].name, "chord");
+  EXPECT_EQ(plan->vars[0].cardinality, 2u);
+  EXPECT_EQ(plan->vars[1].name, "note");
+  EXPECT_EQ(plan->vars[1].cardinality, 7u);
+  // The single conjunct evaluates once both are bound, with a handle
+  // bound at plan time.
+  ASSERT_EQ(plan->conjuncts.size(), 1u);
+  EXPECT_EQ(plan->conjuncts[0].depth, 2u);
+  ASSERT_EQ(plan->order_handles.size(), 1u);
+  EXPECT_EQ(db_.ordering_def(plan->order_handles.begin()->second).name,
+            "note_in_chord");
+}
+
+TEST_F(QuelPlannerTest, PlanBindsOrderingInsideOrAndNot) {
+  auto stmts = ParseQuel(
+      "range of n1, n2 is NOTE\n"
+      "retrieve (n1.name) where not (n1 before n2 in note_in_chord"
+      " or n1 under chord in note_in_chord)");
+  ASSERT_TRUE(stmts.ok());
+  std::map<std::string, std::string> ranges = {{"n1", "NOTE"},
+                                               {"n2", "NOTE"}};
+  auto plan = PlanQuery(&db_, ranges, (*stmts)[1], /*pushdown=*/true);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->order_handles.size(), 2u);
+}
+
+TEST_F(QuelPlannerTest, PlanErrors) {
+  QuelSession session(&db_);
+  // Unknown ordering: rejected at plan time, before any row is read.
+  EXPECT_EQ(session
+                .Execute("range of n1, n2 is NOTE\n"
+                         "retrieve (n1.name) where n1 before n2 in ghost")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  // No ordering relates two chords.
+  EXPECT_EQ(session
+                .Execute("range of c1, c2 is CHORD\n"
+                         "retrieve (c1.name) where c1 before c2")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  // NOTE participates in two orderings: the operand types are ambiguous
+  // without an `in` clause.
+  EXPECT_EQ(session
+                .Execute("range of n1, n2 is NOTE\n"
+                         "retrieve (n1.name) where n1 before n2")
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(session.Execute("retrieve (zzz.name)").status().code(),
+            StatusCode::kNotFound);
+}
+
+// ----------------------------------------------------------------------
+// explain.
+// ----------------------------------------------------------------------
+
+TEST_F(QuelPlannerTest, ExplainGolden) {
+  QuelSession session(&db_);
+  auto rs = session.Execute(R"(
+    range of n1, n2 is NOTE
+    explain retrieve (n1.name)
+      where n1 before n2 in note_in_chord and n2.name = 30
+  )");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->ToString(),
+            "plan: retrieve\n"
+            "  pushdown: on\n"
+            "  ordering index: on\n"
+            "  loop 1: n2 is NOTE (~7 rows)\n"
+            "    filter: n2.name = 30\n"
+            "  loop 2: n1 is NOTE (~7 rows)\n"
+            "    filter: n1 before n2 in note_in_chord [rank index]\n"
+            "  emit: n1.name\n");
+  EXPECT_TRUE(rs->rows.empty());
+}
+
+TEST_F(QuelPlannerTest, ExplainUnderShowsIntervalIndexAndAblation) {
+  QuelSession session(&db_);
+  const char* query =
+      "range of n is NOTE\nrange of s is SECTION\n"
+      "explain retrieve (c = count(n))"
+      " where n under s in sec_tree and s.name = 1";
+  auto rs = session.Execute(query);
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->ToString(),
+            "plan: retrieve\n"
+            "  pushdown: on\n"
+            "  ordering index: on\n"
+            "  loop 1: s is SECTION (~2 rows)\n"
+            "    filter: s.name = 1\n"
+            "  loop 2: n is NOTE (~7 rows)\n"
+            "    filter: n under s in sec_tree [interval index]\n"
+            "  emit: count(n)\n");
+  db_.EnableOrderingIndex(false);
+  auto ablated = session.Execute(query);
+  ASSERT_TRUE(ablated.ok());
+  EXPECT_NE(ablated->ToString().find("[linear scan]"), std::string::npos);
+  EXPECT_NE(ablated->ToString().find("ordering index: off"),
+            std::string::npos);
+}
+
+TEST_F(QuelPlannerTest, ExplainNeverExecutes) {
+  QuelSession session(&db_);
+  auto rs = session.Execute(
+      "range of n is NOTE\nexplain retrieve (n.name)");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(rs->rows.empty());
+  EXPECT_FALSE(rs->explain.empty());
+  // A plan-only run enumerates no bindings.
+  EXPECT_EQ(session.stats().rows_scanned, 0u);
+  // And `explain` is retrieve-only.
+  EXPECT_EQ(session.Execute("explain delete n").status().code(),
+            StatusCode::kParseError);
+}
+
+// ----------------------------------------------------------------------
+// ResultSet consumption API.
+// ----------------------------------------------------------------------
+
+TEST_F(QuelPlannerTest, ResultSetAccessors) {
+  QuelSession session(&db_);
+  auto rs = session.Execute(
+      "range of n is NOTE\n"
+      "retrieve (n.name) where n under chord in note_in_chord"
+      " sort by n.name");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->size(), 5u);
+  EXPECT_FALSE(rs->empty());
+  EXPECT_EQ(rs->ColumnIndex("n.name"), std::optional<size_t>(0));
+  EXPECT_EQ(rs->ColumnIndex("N.NAME"), std::optional<size_t>(0));
+  EXPECT_EQ(rs->ColumnIndex("nope"), std::nullopt);
+  EXPECT_EQ(rs->At(0, 0).AsInt(), 10);
+  EXPECT_TRUE(rs->At(0, 7).is_null());   // column out of range
+  EXPECT_TRUE(rs->At(99, 0).is_null());  // row out of range
+  int64_t expect = 10;
+  size_t seen = 0;
+  for (ResultSet::RowRef row : *rs) {
+    EXPECT_EQ(row[0].AsInt(), expect);
+    EXPECT_EQ(row["n.name"].AsInt(), expect);
+    EXPECT_TRUE(row["nope"].is_null());
+    EXPECT_EQ(row.size(), 1u);
+    EXPECT_EQ(row.row_index(), seen);
+    expect += 10;
+    ++seen;
+  }
+  EXPECT_EQ(seen, rs->size());
+}
+
+// ----------------------------------------------------------------------
+// ExecStats and the statement cache.
+// ----------------------------------------------------------------------
+
+TEST_F(QuelPlannerTest, ExecStatsAndParseCache) {
+  QuelSession session(&db_);
+  const std::string query =
+      "range of n1, n2 is NOTE\n"
+      "retrieve (n1.name)"
+      " where n1 before n2 in note_in_chord and n2.name = 30";
+  auto first = session.Execute(query);
+  ASSERT_TRUE(first.ok());
+  const ExecStats after_first = session.stats();
+  EXPECT_EQ(after_first.statements, 2u);  // range + retrieve
+  EXPECT_EQ(after_first.plan_cache_hits, 0u);
+  // n2 loops over all 7 notes; n1 only under the surviving binding.
+  EXPECT_EQ(after_first.rows_scanned, 14u);
+  EXPECT_GT(after_first.conjuncts_evaluated, 0u);
+
+  auto second = session.Execute(query);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(Ints(*second), Ints(*first));
+  const ExecStats& after_second = session.stats();
+  EXPECT_EQ(after_second.statements, 4u);
+  EXPECT_EQ(after_second.plan_cache_hits, 1u);
+  // The rank index was built during the first run; the re-run only hits.
+  EXPECT_GT(after_second.index_hits, after_first.index_hits);
+
+  session.ResetStats();
+  EXPECT_EQ(session.stats().statements, 0u);
+  EXPECT_EQ(session.stats().ToString(),
+            "statements: 0\nrows scanned: 0\nconjuncts evaluated: 0\n"
+            "ordering index hits: 0\nordering index misses: 0\n"
+            "plan cache hits: 0\n");
+}
+
+TEST_F(QuelPlannerTest, NaiveAndPlannedAgreeOnRecursiveUnder) {
+  QuelSession session(&db_);
+  const char* query =
+      "range of n is NOTE\nrange of s is SECTION\n"
+      "retrieve (n.name) where n under s in sec_tree and s.name = 1";
+  auto planned = session.Execute(query);
+  ASSERT_TRUE(planned.ok());
+  auto naive = session.ExecuteNaive(query);
+  ASSERT_TRUE(naive.ok());
+  EXPECT_EQ(Ints(*planned), Ints(*naive));
+  db_.EnableOrderingIndex(false);
+  auto ablated = session.Execute(query);
+  ASSERT_TRUE(ablated.ok());
+  EXPECT_EQ(Ints(*planned), Ints(*ablated));
+}
+
+}  // namespace
+}  // namespace mdm::quel
