@@ -5,6 +5,7 @@
 // MDM exposes for bounding restart time.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <sys/stat.h>
@@ -89,6 +90,28 @@ void BM_ReopenAfterCheckpoint(benchmark::State& state) {
 }
 BENCHMARK(BM_ReopenAfterCheckpoint)->Arg(100)->Arg(1000)->Arg(5000);
 
+// One populate + reopen cycle with obs-registry deltas attached: WAL
+// records/commits and fsync count + total latency (the span histogram's
+// _count/_sum series) attributed to exactly this section.
+void EmitDurabilityJson() {
+  constexpr int kOps = 1000;
+  std::string path = BenchPath();
+  mdm::bench::MetricsSection metrics;
+  auto t0 = std::chrono::steady_clock::now();
+  Populate(path, kOps, /*checkpoint=*/false);
+  auto handle = DurableDatabase::Open(path);
+  if (!handle.ok()) std::abort();
+  benchmark::DoNotOptimize((*handle)->db()->TotalEntities());
+  auto t1 = std::chrono::steady_clock::now();
+  double total_ns = std::chrono::duration<double, std::nano>(t1 - t0).count();
+  RemoveDbFiles(path);
+  std::printf(
+      "BENCH_JSON {\"bench\": \"s43_recovery_durability\", "
+      "\"ops\": %d, \"populate_reopen_ns\": %.0f, "
+      "\"metrics\": {%s}}\n\n",
+      kOps, total_ns, metrics.DeltaJson().c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -99,6 +122,7 @@ int main(int argc, char** argv) {
   std::printf(
       "expect: reopen time linear in journal length; after a checkpoint\n"
       "it is O(snapshot) and nearly independent of the mutation count.\n\n");
+  EmitDurabilityJson();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

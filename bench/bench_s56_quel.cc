@@ -173,6 +173,9 @@ Database MakeDeepSectionDb(int depth, mdm::er::EntityId* root,
 void EmitBeforeAfterJson() {
   constexpr int kPredIters = 20000;
   constexpr int kQueryIters = 10;
+  // Registry deltas over the timed sections below (ordering-index hit
+  // rates, rows scanned, parse-cache hits) ride along in the JSON.
+  mdm::bench::MetricsSection metrics;
 
   // `before` on the last two of 10000 siblings (a 10k-note score as one
   // maximally wide chord): rank lookup vs a scan of the sibling list.
@@ -245,10 +248,12 @@ void EmitBeforeAfterJson() {
       "{\"op\": \"before_query\", \"indexed_ns\": %.0f, "
       "\"unindexed_ns\": %.0f, \"speedup\": %.2f}, "
       "{\"op\": \"pushdown_vs_naive\", \"planned_ns\": %.0f, "
-      "\"naive_ns\": %.0f, \"speedup\": %.1f}]}\n",
+      "\"naive_ns\": %.0f, \"speedup\": %.1f}], "
+      "\"metrics\": {%s}}\n",
       before_idx, before_scan, before_scan / before_idx, under_idx, under_walk,
       under_walk / under_idx, q_before_idx, q_before_scan,
-      q_before_scan / q_before_idx, q_planned, q_naive, q_naive / q_planned);
+      q_before_scan / q_before_idx, q_planned, q_naive, q_naive / q_planned,
+      metrics.DeltaJson().c_str());
   std::printf("acceptance (>=10x on indexed before/under predicates): "
               "before %.1fx, under %.1fx\n\n",
               before_scan / before_idx, under_walk / under_idx);

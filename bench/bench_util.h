@@ -2,6 +2,7 @@
 #define MDM_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "common/random.h"
 #include "ddl/parser.h"
 #include "er/database.h"
+#include "obs/metrics.h"
 
 namespace mdm::bench {
 
@@ -59,6 +61,51 @@ inline er::EntityId MakeRandomScore(er::Database* db, int n_measures,
   }
   return *score;
 }
+
+/// Snapshots the obs registry's monotonic series around a timed bench
+/// section, so the BENCH_JSON line can attribute registry activity
+/// (buffer-pool hit rates, fsync counts, ...) to that section.
+///
+///   MetricsSection metrics;
+///   ... timed work ...
+///   std::printf("BENCH_JSON {... %s}\n", metrics.DeltaJson().c_str());
+class MetricsSection {
+ public:
+  MetricsSection() : before_(obs::Registry::Global()->CounterValues()) {}
+
+  /// Counters that changed since construction, as `"name": delta` JSON
+  /// members (no surrounding braces, ready for embedding). Series named
+  /// with labels keep them. Empty string when nothing changed.
+  std::string DeltaJson() const {
+    std::map<std::string, uint64_t> after =
+        obs::Registry::Global()->CounterValues();
+    std::string out;
+    for (const auto& [name, value] : after) {
+      auto it = before_.find(name);
+      uint64_t delta = value - (it == before_.end() ? 0 : it->second);
+      if (delta == 0) continue;
+      if (!out.empty()) out += ", ";
+      // Series names may embed label quotes; escape them for JSON.
+      out += '"';
+      for (char ch : name) {
+        if (ch == '"' || ch == '\\') out += '\\';
+        out += ch;
+      }
+      out += "\": " + std::to_string(delta);
+    }
+    return out;
+  }
+
+  /// `delta_json` plus a leading comma when non-empty, so callers can
+  /// splice it after existing BENCH_JSON members unconditionally.
+  std::string DeltaJsonSuffix() const {
+    std::string d = DeltaJson();
+    return d.empty() ? d : ", " + d;
+  }
+
+ private:
+  std::map<std::string, uint64_t> before_;
+};
 
 inline void PrintHeader(const char* experiment, const char* paper_artifact) {
   std::printf("==========================================================\n");

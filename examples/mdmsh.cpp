@@ -18,6 +18,7 @@
 #include "ddl/parser.h"
 #include "er/database.h"
 #include "er/persist.h"
+#include "obs/metrics.h"
 #include "quel/quel.h"
 
 namespace {
@@ -49,10 +50,12 @@ int main() {
             "  define entity/relationship/ordering ...   (DDL)\n"
             "  range of / retrieve / append / replace / delete (QUEL)\n"
             "  explain retrieve ...   show the plan without running it\n"
+            "  explain analyze retrieve ...   run it, annotate with actuals\n"
             "  statements may span lines; a blank line executes\n"
             "  \\schema       deparse the schema as DDL\n"
             "  \\ho           hierarchical ordering graph (DOT)\n"
             "  \\stats        entity counts + session execution counters\n"
+            "  \\metrics      process metrics (Prometheus text; 'json' for JSON)\n"
             "  \\save PATH    write a snapshot\n"
             "  \\load PATH    replace the session with a snapshot\n"
             "  \\quit\n");
@@ -67,6 +70,13 @@ int main() {
                       n.ok() ? (unsigned long long)*n : 0ull);
         }
         std::printf("session:\n%s", session.stats().ToString().c_str());
+      } else if (cmd == "\\metrics") {
+        bool json = parts.size() > 1 && parts[1] == "json";
+        if (json) {
+          std::printf("%s\n", mdm::obs::RenderJson().c_str());
+        } else {
+          std::printf("%s", mdm::obs::RenderPrometheusText().c_str());
+        }
       } else if (cmd == "\\save" && parts.size() > 1) {
         mdm::Status s = mdm::er::SaveSnapshot(db, parts[1]);
         std::printf("%s\n", s.ToString().c_str());

@@ -3,9 +3,12 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "obs/span.h"
+
 namespace mdm {
 
 Status SyncStream(std::FILE* f, const std::string& what) {
+  obs::Span span("storage.fsync");
   if (std::fflush(f) != 0) return IoError("fflush failed for " + what);
   int fd = fileno(f);
   if (fd < 0) return IoError("fileno failed for " + what);

@@ -3,11 +3,45 @@
 #include <algorithm>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace mdm::er {
 
 using rel::Value;
 using rel::ValueType;
+
+namespace {
+
+/// Process-wide mirrors of the per-database OrderingIndexStats fields.
+struct ErCounters {
+  obs::Counter* rank_hits;
+  obs::Counter* rank_rebuilds;
+  obs::Counter* interval_hits;
+  obs::Counter* interval_rebuilds;
+  obs::Counter* linear_scans;
+  static const ErCounters& Get() {
+    static ErCounters c = {
+        obs::Registry::Global()->GetCounter(
+            "mdm_er_rank_hits_total",
+            "Sibling-rank lookups answered from a fresh rank index"),
+        obs::Registry::Global()->GetCounter(
+            "mdm_er_rank_rebuilds_total",
+            "Lazy rank-index rebuilds triggered by a lookup"),
+        obs::Registry::Global()->GetCounter(
+            "mdm_er_interval_hits_total",
+            "Containment checks answered from a fresh interval index"),
+        obs::Registry::Global()->GetCounter(
+            "mdm_er_interval_rebuilds_total",
+            "Lazy Euler-tour interval rebuilds"),
+        obs::Registry::Global()->GetCounter(
+            "mdm_er_linear_scans_total",
+            "Ordering predicates evaluated without an index (ablation)")};
+    return c;
+  }
+};
+
+}  // namespace
 
 // ---------------------------------------------------------------------
 // Lookup helpers.
@@ -407,18 +441,22 @@ size_t Database::RankOf(const OrderingInstances& inst, EntityId parent,
   auto it = inst.rank_of.find(child);
   if (inst.rank_dirty.count(parent) != 0 || it == inst.rank_of.end()) {
     ++index_stats_.rank_rebuilds;
+    ErCounters::Get().rank_rebuilds->Inc();
     const std::vector<EntityId>& sibs = inst.children.at(parent);
     for (size_t i = 0; i < sibs.size(); ++i) inst.rank_of[sibs[i]] = i;
     inst.rank_dirty.erase(parent);
     it = inst.rank_of.find(child);
   } else {
     ++index_stats_.rank_hits;
+    ErCounters::Get().rank_hits->Inc();
   }
   return it->second;
 }
 
 void Database::RebuildIntervals(const OrderingInstances& inst) const {
+  obs::Span span("er.interval_rebuild");
   ++index_stats_.interval_rebuilds;
+  ErCounters::Get().interval_rebuilds->Inc();
   inst.interval_of.clear();
   uint64_t clock = 0;
   // Iterative Euler tour from every root (a parent that is nobody's
@@ -617,6 +655,7 @@ Result<size_t> Database::PositionOf(OrderingHandle h, EntityId child) const {
   if (it != inst.parent_of.end()) {
     if (ordering_index_enabled_) return RankOf(inst, it->second, child);
     ++index_stats_.linear_scans;
+    ErCounters::Get().linear_scans->Inc();
     const std::vector<EntityId>& sibs = inst.children.at(it->second);
     for (size_t i = 0; i < sibs.size(); ++i)
       if (sibs[i] == child) return i;
@@ -664,6 +703,7 @@ Result<bool> Database::Before(OrderingHandle h, EntityId a, EntityId b) const {
     return false;
   if (!ordering_index_enabled_) {
     ++index_stats_.linear_scans;
+    ErCounters::Get().linear_scans->Inc();
     const std::vector<EntityId>& sibs = inst.children.at(pa->second);
     size_t ia = sibs.size(), ib = sibs.size();
     for (size_t i = 0; i < sibs.size(); ++i) {
@@ -703,10 +743,15 @@ Result<bool> Database::Under(OrderingHandle h, EntityId child,
   if (!ordering_index_enabled_) {
     // Ablation: multi-level containment by walking P-edges upward.
     ++index_stats_.linear_scans;
+    ErCounters::Get().linear_scans->Inc();
     return IsAncestor(inst, parent, it->second);
   }
-  if (inst.intervals_dirty) RebuildIntervals(inst);
-  else ++index_stats_.interval_hits;
+  if (inst.intervals_dirty) {
+    RebuildIntervals(inst);
+  } else {
+    ++index_stats_.interval_hits;
+    ErCounters::Get().interval_hits->Inc();
+  }
   auto ci = inst.interval_of.find(child);
   auto pi = inst.interval_of.find(parent);
   if (ci == inst.interval_of.end() || pi == inst.interval_of.end())

@@ -43,6 +43,12 @@ struct RelationshipInstance {
 /// index; `*_rebuilds` count lazy rebuilds triggered by a lookup after
 /// a structural mutation; `linear_scans` counts predicate evaluations
 /// that bypassed the indexes (ablation mode).
+///
+/// This struct is the per-Database view. Process-wide totals (and the
+/// rebuild latency histogram) live on the obs registry as
+/// mdm_er_*_total / mdm_span_duration_ns{span="er.interval_rebuild"};
+/// prefer those for monitoring — this accessor remains for per-instance
+/// attribution in tests and benches (see docs/OBSERVABILITY.md).
 struct OrderingIndexStats {
   uint64_t rank_hits = 0;
   uint64_t rank_rebuilds = 0;

@@ -1,0 +1,247 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mdm::obs {
+
+namespace {
+
+/// Splits "base{labels}" into base and the brace-enclosed label body
+/// ("" when the name carries no labels).
+void SplitName(const std::string& name, std::string* base,
+               std::string* labels) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  // Keep the inner body only; the renderer re-wraps as needed.
+  *labels = name.substr(brace + 1, name.size() - brace - 2);
+}
+
+/// Re-wraps a label body, appending `extra` (e.g. le="4") when present.
+std::string WrapLabels(const std::string& body, const std::string& extra) {
+  if (body.empty() && extra.empty()) return "";
+  std::string out = "{" + body;
+  if (!body.empty() && !extra.empty()) out += ",";
+  out += extra + "}";
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void Append(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  *out += buf;
+}
+
+}  // namespace
+
+size_t Histogram::BucketIndex(uint64_t v) {
+  if (v <= 1) return 0;
+  // First i with v <= 2^i, i.e. ceil(log2 v) = bit_width(v - 1).
+  size_t i = static_cast<size_t>(std::bit_width(v - 1));
+  return i < kFiniteBuckets ? i : kFiniteBuckets;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Registry* Registry::Global() {
+  static Registry* g = new Registry();  // never destroyed: metric
+  return g;                             // pointers outlive static dtors
+}
+
+Registry::Entry* Registry::GetEntry(std::string_view name,
+                                    std::string_view help, Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry e;
+    e.kind = kind;
+    e.help = std::string(help);
+    switch (kind) {
+      case Kind::kCounter: e.counter = std::make_unique<Counter>(); break;
+      case Kind::kGauge: e.gauge = std::make_unique<Gauge>(); break;
+      case Kind::kHistogram:
+        e.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    it = metrics_.emplace(std::string(name), std::move(e)).first;
+  }
+  if (it->second.kind != kind) {
+    std::fprintf(stderr, "obs: metric %.*s registered with two kinds\n",
+                 static_cast<int>(name.size()), name.data());
+    std::abort();
+  }
+  return &it->second;
+}
+
+Counter* Registry::GetCounter(std::string_view name, std::string_view help) {
+  return GetEntry(name, help, Kind::kCounter)->counter.get();
+}
+
+Gauge* Registry::GetGauge(std::string_view name, std::string_view help) {
+  return GetEntry(name, help, Kind::kGauge)->gauge.get();
+}
+
+Histogram* Registry::GetHistogram(std::string_view name,
+                                  std::string_view help) {
+  return GetEntry(name, help, Kind::kHistogram)->histogram.get();
+}
+
+std::string Registry::RenderPrometheusText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  std::string last_family;
+  for (const auto& [name, e] : metrics_) {
+    std::string base, labels;
+    SplitName(name, &base, &labels);
+    if (base != last_family) {
+      last_family = base;
+      if (!e.help.empty())
+        out += "# HELP " + base + " " + e.help + "\n";
+      const char* type = e.kind == Kind::kCounter   ? "counter"
+                         : e.kind == Kind::kGauge   ? "gauge"
+                                                    : "histogram";
+      out += "# TYPE " + base + " " + type + "\n";
+    }
+    switch (e.kind) {
+      case Kind::kCounter:
+        Append(&out, "%s%s %" PRIu64 "\n", base.c_str(),
+               WrapLabels(labels, "").c_str(), e.counter->value());
+        break;
+      case Kind::kGauge:
+        Append(&out, "%s%s %" PRId64 "\n", base.c_str(),
+               WrapLabels(labels, "").c_str(), e.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *e.histogram;
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < Histogram::kFiniteBuckets; ++i) {
+          cumulative += h.bucket_count(i);
+          Append(&out, "%s_bucket%s %" PRIu64 "\n", base.c_str(),
+                 WrapLabels(labels,
+                            "le=\"" +
+                                std::to_string(Histogram::BucketUpperBound(i)) +
+                                "\"")
+                     .c_str(),
+                 cumulative);
+        }
+        Append(&out, "%s_bucket%s %" PRIu64 "\n", base.c_str(),
+               WrapLabels(labels, "le=\"+Inf\"").c_str(), h.count());
+        Append(&out, "%s_sum%s %" PRIu64 "\n", base.c_str(),
+               WrapLabels(labels, "").c_str(), h.sum());
+        Append(&out, "%s_count%s %" PRIu64 "\n", base.c_str(),
+               WrapLabels(labels, "").c_str(), h.count());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string Registry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string counters, gauges, histograms;
+  for (const auto& [name, e] : metrics_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        if (!counters.empty()) counters += ", ";
+        Append(&counters, "\"%s\": %" PRIu64, JsonEscape(name).c_str(),
+               e.counter->value());
+        break;
+      case Kind::kGauge:
+        if (!gauges.empty()) gauges += ", ";
+        Append(&gauges, "\"%s\": %" PRId64, JsonEscape(name).c_str(),
+               e.gauge->value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *e.histogram;
+        if (!histograms.empty()) histograms += ", ";
+        Append(&histograms, "\"%s\": {\"count\": %" PRIu64
+                            ", \"sum\": %" PRIu64 ", \"buckets\": [",
+               JsonEscape(name).c_str(), h.count(), h.sum());
+        bool first = true;
+        for (size_t i = 0; i <= Histogram::kFiniteBuckets; ++i) {
+          uint64_t n = h.bucket_count(i);
+          if (n == 0) continue;  // sparse: empty buckets are implied
+          if (!first) histograms += ", ";
+          first = false;
+          if (i < Histogram::kFiniteBuckets)
+            Append(&histograms, "[%" PRIu64 ", %" PRIu64 "]",
+                   Histogram::BucketUpperBound(i), n);
+          else
+            Append(&histograms, "[\"+Inf\", %" PRIu64 "]", n);
+        }
+        histograms += "]}";
+        break;
+      }
+    }
+  }
+  return "{\"counters\": {" + counters + "}, \"gauges\": {" + gauges +
+         "}, \"histograms\": {" + histograms + "}}";
+}
+
+std::map<std::string, uint64_t> Registry::CounterValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, uint64_t> out;
+  for (const auto& [name, e] : metrics_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        out[name] = e.counter->value();
+        break;
+      case Kind::kHistogram: {
+        std::string base, labels;
+        SplitName(name, &base, &labels);
+        out[base + "_count" + WrapLabels(labels, "")] =
+            e.histogram->count();
+        out[base + "_sum" + WrapLabels(labels, "")] = e.histogram->sum();
+        break;
+      }
+      case Kind::kGauge:
+        break;  // not monotonic; meaningless to diff
+    }
+  }
+  return out;
+}
+
+void Registry::ResetAllForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, e] : metrics_) {
+    switch (e.kind) {
+      case Kind::kCounter: e.counter->Reset(); break;
+      case Kind::kGauge: e.gauge->Set(0); break;
+      case Kind::kHistogram: e.histogram->Reset(); break;
+    }
+  }
+}
+
+std::string RenderPrometheusText() {
+  return Registry::Global()->RenderPrometheusText();
+}
+
+std::string RenderJson() { return Registry::Global()->RenderJson(); }
+
+}  // namespace mdm::obs

@@ -1,0 +1,148 @@
+#ifndef MDM_OBS_METRICS_H_
+#define MDM_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace mdm::obs {
+
+/// Process-wide metrics for the MDM: counters, gauges and fixed-bucket
+/// log-scale histograms, collected in a registry and rendered as
+/// Prometheus text exposition or JSON.
+///
+/// Design contract:
+///  * the *fast path* (Inc/Set/Observe) is lock-free — plain relaxed
+///    atomics, safe from any thread, no allocation;
+///  * *registration* (Registry::GetCounter etc.) takes a mutex and may
+///    allocate, so hot call sites should resolve their metric pointer
+///    once (function-local static, member, or plan-time) and reuse it;
+///  * metric pointers are stable for the registry's lifetime — the
+///    registry never deletes or moves a registered metric.
+///
+/// Metric identity is the full name string. A name may carry Prometheus
+/// labels inline — `mdm_span_duration_ns{span="quel.statement"}` — and
+/// the renderers group such series under one metric family.
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  /// Testing/bench only: counters are monotonic in production.
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Instantaneous signed value.
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Histogram with fixed log2-scale buckets: finite upper bounds
+/// 2^0, 2^1, …, 2^(kFiniteBuckets-1), plus an overflow (+Inf) bucket.
+/// With nanosecond observations the finite range spans 1 ns .. ~2.1 s,
+/// which covers every latency the MDM produces; slower events land in
+/// +Inf but still contribute to count and sum exactly.
+class Histogram {
+ public:
+  static constexpr size_t kFiniteBuckets = 32;
+
+  void Observe(uint64_t v) {
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Non-cumulative count of bucket `i` (i == kFiniteBuckets: +Inf).
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  /// Upper bound of finite bucket `i`: 2^i. A value v lands in the
+  /// first bucket with v <= bound.
+  static uint64_t BucketUpperBound(size_t i) { return uint64_t{1} << i; }
+  static size_t BucketIndex(uint64_t v);
+
+  /// Testing/bench only.
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> buckets_[kFiniteBuckets + 1] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Thread-safe name -> metric registry. One process-wide instance
+/// (Global()); tests may construct private registries for deterministic
+/// golden output.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry* Global();
+
+  /// Returns the metric registered under `name`, creating it on first
+  /// use. `help` is kept from the first registration. Registering the
+  /// same name as two different kinds aborts — that is a programming
+  /// error, not a runtime condition.
+  Counter* GetCounter(std::string_view name, std::string_view help = "");
+  Gauge* GetGauge(std::string_view name, std::string_view help = "");
+  Histogram* GetHistogram(std::string_view name, std::string_view help = "");
+
+  /// Prometheus text exposition format (version 0.0.4): HELP/TYPE
+  /// headers per family, cumulative `_bucket{le=...}` series plus
+  /// `_sum`/`_count` for histograms.
+  std::string RenderPrometheusText() const;
+  /// The same data as one JSON object:
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,
+  /// buckets:[[le,count],...]}}}.
+  std::string RenderJson() const;
+
+  /// Flat snapshot of every monotonic series: counters by name, and
+  /// histograms as `<base>_count`/`<base>_sum` (labels preserved).
+  /// Benchmarks diff two snapshots to attribute activity to a section.
+  std::map<std::string, uint64_t> CounterValues() const;
+
+  /// Zeroes every metric without invalidating pointers. Tests only.
+  void ResetAllForTest();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* GetEntry(std::string_view name, std::string_view help, Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry, std::less<>> metrics_;
+};
+
+/// Convenience wrappers over Registry::Global().
+std::string RenderPrometheusText();
+std::string RenderJson();
+
+}  // namespace mdm::obs
+
+#endif  // MDM_OBS_METRICS_H_

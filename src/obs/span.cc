@@ -1,0 +1,50 @@
+#include "obs/span.h"
+
+#include <string>
+
+namespace mdm::obs {
+
+namespace {
+
+thread_local Span* g_current = nullptr;
+thread_local int g_depth = 0;
+
+}  // namespace
+
+Span::Span(const char* name)
+    : Span(name,
+           Registry::Global()->GetHistogram(
+               "mdm_span_duration_ns{span=\"" + std::string(name) + "\"}",
+               "Inclusive span latency in nanoseconds"),
+           Registry::Global()->GetCounter(
+               "mdm_span_self_ns_total{span=\"" + std::string(name) + "\"}",
+               "Span latency excluding child spans")) {}
+
+Span::Span(const char* name, Histogram* duration, Counter* self_ns)
+    : name_(name),
+      duration_(duration),
+      self_ns_(self_ns),
+      parent_(g_current),
+      start_(std::chrono::steady_clock::now()) {
+  g_current = this;
+  ++g_depth;
+}
+
+Span::~Span() {
+  uint64_t total = elapsed_ns();
+  duration_->Observe(total);
+  self_ns_->Inc(total >= child_ns_ ? total - child_ns_ : 0);
+  if (parent_ != nullptr) parent_->child_ns_ += total;
+  g_current = parent_;
+  --g_depth;
+}
+
+int Span::depth() { return g_depth; }
+
+uint64_t Span::elapsed_ns() const {
+  auto d = std::chrono::steady_clock::now() - start_;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+}
+
+}  // namespace mdm::obs

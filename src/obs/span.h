@@ -1,0 +1,52 @@
+#ifndef MDM_OBS_SPAN_H_
+#define MDM_OBS_SPAN_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace mdm::obs {
+
+/// RAII trace span: times a scope and aggregates per-name latency on
+/// the global registry. Spans nest — a thread-local stack tracks the
+/// active span, so each span also knows how much of its wall time was
+/// spent in child spans.
+///
+/// On destruction a span records:
+///   mdm_span_duration_ns{span="<name>"}  histogram — inclusive time
+///   mdm_span_self_ns_total{span="<name>"} counter  — time minus children
+///   (the histogram's _count doubles as the span's hit counter)
+///
+/// `name` must be a string literal (or otherwise outlive the span): it
+/// is not copied. Construction resolves two registry entries under a
+/// mutex; for very hot scopes, prefer the pre-resolved constructor.
+class Span {
+ public:
+  explicit Span(const char* name);
+  /// Pre-resolved fast form: no registry lookup at construction.
+  Span(const char* name, Histogram* duration, Counter* self_ns);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Nesting depth of the calling thread's active span stack (0 when no
+  /// span is open). Exposed for tests.
+  static int depth();
+
+  /// Inclusive nanoseconds so far (the span is still open).
+  uint64_t elapsed_ns() const;
+
+ private:
+  const char* name_;
+  Histogram* duration_;
+  Counter* self_ns_;
+  Span* parent_;
+  std::chrono::steady_clock::time_point start_;
+  uint64_t child_ns_ = 0;
+};
+
+}  // namespace mdm::obs
+
+#endif  // MDM_OBS_SPAN_H_

@@ -97,6 +97,7 @@ struct Statement {
 
   // kRetrieve
   bool explain = false;  // `explain retrieve ...`: render the plan only
+  bool analyze = false;  // `explain analyze ...`: execute + annotate plan
   bool unique = false;   // `retrieve unique (...)` deduplicates rows
   std::vector<Target> targets;
   std::vector<SortKey> sort_keys;  // `sort by label [desc], ...`

@@ -1,7 +1,10 @@
 #include <algorithm>
+#include <chrono>
 #include <set>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "quel/planner.h"
 #include "quel/quel.h"
 
@@ -17,6 +20,45 @@ namespace {
 
 /// Scripts cached per session; cleared wholesale on overflow.
 constexpr size_t kParseCacheCapacity = 128;
+
+/// Process-wide mirrors of the per-session ExecStats counters.
+struct QuelCounters {
+  obs::Counter* statements;
+  obs::Counter* rows_scanned;
+  obs::Counter* conjuncts;
+  obs::Counter* parse_cache_hits;
+  static const QuelCounters& Get() {
+    static QuelCounters c = {
+        obs::Registry::Global()->GetCounter(
+            "mdm_quel_statements_total", "QUEL statements executed"),
+        obs::Registry::Global()->GetCounter(
+            "mdm_quel_rows_scanned_total",
+            "Range-variable bindings enumerated by nested-loop joins"),
+        obs::Registry::Global()->GetCounter(
+            "mdm_quel_conjuncts_total",
+            "Pushed-down conjunct tests evaluated"),
+        obs::Registry::Global()->GetCounter(
+            "mdm_quel_parse_cache_hits_total",
+            "Scripts answered from the session parse cache")};
+    return c;
+  }
+};
+
+/// Pre-resolved metrics for the per-statement span, so the hot Execute
+/// path skips the registry lookup.
+obs::Histogram* StatementDuration() {
+  static obs::Histogram* h = obs::Registry::Global()->GetHistogram(
+      "mdm_span_duration_ns{span=\"quel.statement\"}",
+      "Inclusive span latency in nanoseconds");
+  return h;
+}
+
+obs::Counter* StatementSelf() {
+  static obs::Counter* c = obs::Registry::Global()->GetCounter(
+      "mdm_span_self_ns_total{span=\"quel.statement\"}",
+      "Span latency excluding child spans");
+  return c;
+}
 
 /// What a range variable is bound to during evaluation.
 struct Binding {
@@ -173,11 +215,14 @@ class Evaluator {
 /// Enumerates bindings for the plan's variables as nested loops,
 /// evaluating each conjunct at its planned depth. Calls `emit` for every
 /// qualifying full binding. `stats` (optional) accumulates row/conjunct
-/// counters.
+/// counters; `actual` (optional, `explain analyze`) records per-depth
+/// call/pass counts and inclusive timings — when null the join pays no
+/// timing overhead.
 class NestedLoopJoin {
  public:
-  NestedLoopJoin(Database* db, const Plan* plan, ExecStats* stats)
-      : db_(db), plan_(plan), stats_(stats) {}
+  NestedLoopJoin(Database* db, const Plan* plan, ExecStats* stats,
+                 AnalyzeStats* actual = nullptr)
+      : db_(db), plan_(plan), stats_(stats), actual_(actual) {}
 
   Status Run(const std::function<Status(
                  const std::map<std::string, Binding>&)>& emit) {
@@ -187,14 +232,30 @@ class NestedLoopJoin {
 
  private:
   Status Descend(size_t depth) {
+    if (actual_ == nullptr) return DescendImpl(depth);
+    ++actual_->calls[depth];
+    auto t0 = std::chrono::steady_clock::now();
+    Status s = DescendImpl(depth);
+    actual_->inclusive_ns[depth] += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    return s;
+  }
+
+  Status DescendImpl(size_t depth) {
     // Evaluate conjuncts that became fully bound at this depth.
     Evaluator eval(db_, &bindings_, &plan_->order_handles);
     for (const PlannedConjunct& c : plan_->conjuncts) {
       if (c.depth != depth) continue;
-      if (stats_ != nullptr) ++stats_->conjuncts_evaluated;
+      if (stats_ != nullptr) {
+        ++stats_->conjuncts_evaluated;
+        QuelCounters::Get().conjuncts->Inc();
+      }
       MDM_ASSIGN_OR_RETURN(bool pass, eval.Test(*c.qual));
       if (!pass) return Status::OK();
     }
+    if (actual_ != nullptr) ++actual_->passed[depth];
     if (depth == plan_->vars.size()) return (*emit_)(bindings_);
     const PlannedVar& var = plan_->vars[depth];
     const std::string& key = var.name;  // already lowercased by the planner
@@ -202,7 +263,10 @@ class NestedLoopJoin {
     if (var.is_relationship) {
       MDM_RETURN_IF_ERROR(db_->ForEachRelationship(
           var.type, [&](const RelationshipInstance& ri) {
-            if (stats_ != nullptr) ++stats_->rows_scanned;
+            if (stats_ != nullptr) {
+              ++stats_->rows_scanned;
+              QuelCounters::Get().rows_scanned->Inc();
+            }
             Binding b;
             b.is_relationship = true;
             b.rel = &ri;
@@ -212,7 +276,10 @@ class NestedLoopJoin {
           }));
     } else {
       MDM_RETURN_IF_ERROR(db_->ForEachEntity(var.type, [&](EntityId id) {
-        if (stats_ != nullptr) ++stats_->rows_scanned;
+        if (stats_ != nullptr) {
+          ++stats_->rows_scanned;
+          QuelCounters::Get().rows_scanned->Inc();
+        }
         Binding b;
         b.entity = id;
         bindings_[key] = b;
@@ -227,6 +294,7 @@ class NestedLoopJoin {
   Database* db_;
   const Plan* plan_;
   ExecStats* stats_;
+  AnalyzeStats* actual_;
   std::map<std::string, Binding> bindings_;
   const std::function<Status(const std::map<std::string, Binding>&)>* emit_ =
       nullptr;
@@ -363,6 +431,7 @@ Result<ResultSet> QuelSession::Run(const std::string& script, bool pushdown) {
   if (cached != parse_cache_.end()) {
     stmts = cached->second;
     ++stats_.plan_cache_hits;
+    QuelCounters::Get().parse_cache_hits->Inc();
   } else {
     MDM_ASSIGN_OR_RETURN(std::vector<Statement> parsed, ParseQuel(script));
     stmts =
@@ -374,7 +443,9 @@ Result<ResultSet> QuelSession::Run(const std::string& script, bool pushdown) {
   const er::OrderingIndexStats before = db_->ordering_index_stats();
   ResultSet last;
   for (const Statement& stmt : *stmts) {
+    obs::Span span("quel.statement", StatementDuration(), StatementSelf());
     ++stats_.statements;
+    QuelCounters::Get().statements->Inc();
     switch (stmt.kind) {
       case Statement::Kind::kRange: {
         // `range of v1, v2 is TYPE`
@@ -435,14 +506,19 @@ Result<ResultSet> QuelSession::RunQuery(const Statement& stmt,
 Result<ResultSet> RunQueryImpl(
     Database* db, const std::map<std::string, std::string>& session_ranges,
     const Statement& stmt, bool pushdown, ExecStats* stats) {
+  const bool analyze = stmt.explain && stmt.analyze;
+  std::chrono::steady_clock::time_point analyze_start;
+  if (analyze) analyze_start = std::chrono::steady_clock::now();
   MDM_ASSIGN_OR_RETURN(Plan plan,
                        PlanQuery(db, session_ranges, stmt, pushdown));
-  if (stmt.explain) {
+  if (stmt.explain && !analyze) {
     // Plan-only: render without touching a single row.
     ResultSet rs;
     rs.explain = ExplainPlan(*db, stmt, plan);
     return rs;
   }
+  AnalyzeStats actual;
+  if (analyze) actual.Resize(plan.vars.size() + 1);
 
   ResultSet rs;
   bool has_agg = false;
@@ -482,7 +558,7 @@ Result<ResultSet> RunQueryImpl(
       replacements;
   std::set<EntityId> deletions;
 
-  NestedLoopJoin join(db, &plan, stats);
+  NestedLoopJoin join(db, &plan, stats, analyze ? &actual : nullptr);
   MDM_RETURN_IF_ERROR(join.Run([&](const std::map<std::string, Binding>&
                                        bindings) -> Status {
     Evaluator eval(db, &bindings, &plan.order_handles);
@@ -614,6 +690,16 @@ Result<ResultSet> RunQueryImpl(
   if (stmt.kind == Statement::Kind::kReplace)
     rs.affected = replacements.size();
   if (stmt.kind == Statement::Kind::kDelete) rs.affected = deletions.size();
+  if (analyze) {
+    // The statement ran for real; the result is the annotated plan.
+    uint64_t statement_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - analyze_start)
+            .count());
+    ResultSet out;
+    out.explain = ExplainAnalyzePlan(*db, stmt, plan, actual, statement_ns);
+    return out;
+  }
   return rs;
 }
 

@@ -67,8 +67,15 @@ class QuelParser {
     const Token& tok = Peek();
     if (IsKeyword(tok, "range")) return ParseRange();
     if (IsKeyword(tok, "explain")) {
-      // `explain retrieve ...`: parse the statement, mark it plan-only.
+      // `explain retrieve ...` renders the plan without running it;
+      // `explain analyze retrieve ...` runs it and annotates the plan
+      // with actual row counts and per-loop timings.
       Advance();
+      bool analyze = false;
+      if (IsKeyword(Peek(), "analyze")) {
+        analyze = true;
+        Advance();
+      }
       if (!IsKeyword(Peek(), "retrieve"))
         return ParseError(
             StrFormat("line %zu: expected 'retrieve' after 'explain', "
@@ -76,6 +83,7 @@ class QuelParser {
                       Peek().line, Peek().text.c_str()));
       MDM_ASSIGN_OR_RETURN(Statement stmt, ParseRetrieve());
       stmt.explain = true;
+      stmt.analyze = analyze;
       return stmt;
     }
     if (IsKeyword(tok, "retrieve")) return ParseRetrieve();

@@ -289,8 +289,14 @@ Result<Plan> PlanQuery(Database* db,
   return plan;
 }
 
-std::string ExplainPlan(const Database& db, const Statement& stmt,
-                        const Plan& plan) {
+namespace {
+
+/// Shared renderer behind ExplainPlan and ExplainAnalyzePlan. When
+/// `actual` is non-null, each loop line carries its measured rows
+/// in/out and self time, and a totals footer is appended.
+std::string RenderPlan(const Database& db, const Statement& stmt,
+                       const Plan& plan, const AnalyzeStats* actual,
+                       uint64_t statement_ns) {
   std::string out = "plan:";
   switch (stmt.kind) {
     case Statement::Kind::kRetrieve: out += " retrieve"; break;
@@ -299,6 +305,7 @@ std::string ExplainPlan(const Database& db, const Statement& stmt,
     default: out += " ?"; break;
   }
   if (stmt.unique) out += " unique";
+  if (actual != nullptr) out += " (analyze)";
   out += "\n";
   out += StrFormat("  pushdown: %s\n", plan.pushdown ? "on" : "off");
   out += StrFormat("  ordering index: %s\n",
@@ -307,11 +314,25 @@ std::string ExplainPlan(const Database& db, const Statement& stmt,
     if (c.depth == 0)
       out += "  filter (const): " + RenderQual(&db, &plan, *c.qual) + "\n";
   }
-  for (size_t v = 0; v < plan.vars.size(); ++v) {
+  size_t levels = plan.vars.size();
+  for (size_t v = 0; v < levels; ++v) {
     const PlannedVar& var = plan.vars[v];
-    out += StrFormat("  loop %zu: %s is %s (~%llu rows)\n", v + 1,
+    out += StrFormat("  loop %zu: %s is %s (~%llu rows)", v + 1,
                      var.name.c_str(), var.type.c_str(),
                      (unsigned long long)var.cardinality);
+    if (actual != nullptr) {
+      // Self time of loop v+1: everything spent at depth v (its filter
+      // gate plus the enumeration) minus the time handed to depth v+1.
+      uint64_t self = actual->inclusive_ns[v] >= actual->inclusive_ns[v + 1]
+                          ? actual->inclusive_ns[v] -
+                                actual->inclusive_ns[v + 1]
+                          : 0;
+      out += StrFormat(" [actual: in=%llu out=%llu, self=%lluns]",
+                       (unsigned long long)actual->calls[v + 1],
+                       (unsigned long long)actual->passed[v + 1],
+                       (unsigned long long)self);
+    }
+    out += "\n";
     for (const PlannedConjunct& c : plan.conjuncts) {
       if (c.depth == v + 1)
         out += "    filter: " + RenderQual(&db, &plan, *c.qual) + "\n";
@@ -324,8 +345,33 @@ std::string ExplainPlan(const Database& db, const Statement& stmt,
   } else {
     out += " " + AsciiLower(stmt.update_var);
   }
+  if (actual != nullptr) {
+    out += StrFormat(" [actual: rows=%llu, time=%lluns]",
+                     (unsigned long long)actual->passed[levels],
+                     (unsigned long long)actual->inclusive_ns[levels]);
+  }
   out += "\n";
+  if (actual != nullptr) {
+    // Loop self times + emit time sum exactly to join=inclusive_ns[0];
+    // statement additionally covers planning and post-processing.
+    out += StrFormat("  actual: join=%lluns, statement=%lluns\n",
+                     (unsigned long long)actual->inclusive_ns[0],
+                     (unsigned long long)statement_ns);
+  }
   return out;
+}
+
+}  // namespace
+
+std::string ExplainPlan(const Database& db, const Statement& stmt,
+                        const Plan& plan) {
+  return RenderPlan(db, stmt, plan, nullptr, 0);
+}
+
+std::string ExplainAnalyzePlan(const Database& db, const Statement& stmt,
+                               const Plan& plan, const AnalyzeStats& actual,
+                               uint64_t statement_ns) {
+  return RenderPlan(db, stmt, plan, &actual, statement_ns);
 }
 
 }  // namespace mdm::quel

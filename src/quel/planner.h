@@ -58,6 +58,36 @@ Result<Plan> PlanQuery(er::Database* db,
 std::string ExplainPlan(const er::Database& db, const Statement& stmt,
                         const Plan& plan);
 
+/// Actual row counts and timings collected while executing an
+/// `explain analyze` statement. Index k of each vector is loop depth k:
+/// depth 0 is the constant gate before any loop, depth k >= 1 is entered
+/// once per binding enumerated by loop k. All three vectors have
+/// plan.vars.size() + 1 entries.
+///
+/// Invariant used by the renderer: inclusive_ns[k] covers everything at
+/// depth k and below, so the self time of loop k is
+/// inclusive_ns[k-1] - inclusive_ns[k], and the loop self times plus the
+/// emit time (inclusive_ns[N]) sum exactly to inclusive_ns[0].
+struct AnalyzeStats {
+  std::vector<uint64_t> calls;         // times depth k was entered
+  std::vector<uint64_t> passed;        // bindings surviving depth-k filters
+  std::vector<uint64_t> inclusive_ns;  // total ns spent at depth >= k
+
+  void Resize(size_t levels) {
+    calls.assign(levels, 0);
+    passed.assign(levels, 0);
+    inclusive_ns.assign(levels, 0);
+  }
+};
+
+/// Renders an executed plan for `explain analyze retrieve ...`: the
+/// ExplainPlan output with each loop annotated by actual rows in/out and
+/// self time, plus a totals footer. `statement_ns` is the measured
+/// latency of the whole statement (planning + join + post-processing).
+std::string ExplainAnalyzePlan(const er::Database& db, const Statement& stmt,
+                               const Plan& plan, const AnalyzeStats& actual,
+                               uint64_t statement_ns);
+
 /// Deparse helpers (explain output, error messages, tests).
 std::string ExprToString(const Expr& e);
 std::string QualToString(const Qual& q);

@@ -30,8 +30,9 @@ struct ResultSet {
   std::vector<std::string> columns;
   std::vector<std::vector<rel::Value>> rows;
   uint64_t affected = 0;
-  /// Set by `explain retrieve ...`: the rendered plan. When non-empty,
-  /// ToString() returns it verbatim.
+  /// Set by `explain [analyze] retrieve ...`: the rendered (and, under
+  /// analyze, annotated) plan. When non-empty, ToString() returns it
+  /// verbatim.
   std::string explain;
 
   /// Index of the column labelled `name` (case-insensitive), if any.
@@ -86,6 +87,12 @@ struct ResultSet {
 
 /// Per-session execution counters, cumulative across Execute calls
 /// until ResetStats. Surfaced by mdmsh's \stats.
+///
+/// This struct is the per-session view. Process-wide totals are
+/// mirrored on the obs registry (mdm_quel_*_total, mdm_er_*_total and
+/// the quel.statement span histogram); prefer those for monitoring —
+/// this accessor remains for per-session attribution in tests and
+/// benches (see docs/OBSERVABILITY.md).
 struct ExecStats {
   uint64_t statements = 0;           // statements executed
   uint64_t rows_scanned = 0;         // range-variable bindings enumerated
@@ -110,6 +117,7 @@ struct ExecStats {
 ///   replace n1 (pitch = "A4") where n1.name = 7
 ///   delete n1 where n1.name = 7
 ///   explain retrieve (n1.name) where n1 before n2 in note_in_chord
+///   explain analyze retrieve (n1.name) where n1.name = 3
 ///
 /// As in GEM and later INGRES versions, a range variable with the same
 /// name as its entity type is implicitly declared for every entity type
@@ -145,7 +153,16 @@ class QuelSession {
 
   /// Cumulative execution counters (see ExecStats).
   const ExecStats& stats() const { return stats_; }
+
+  /// Zeroes the counters only — the parse cache is left intact, so
+  /// re-running a cached script after ResetStats still counts a
+  /// plan_cache_hit. Use ClearParseCache to drop cached scripts.
   void ResetStats() { stats_ = ExecStats{}; }
+
+  /// Drops every cached parsed script without touching the counters;
+  /// the next Execute of any script re-parses it (and does not count a
+  /// plan_cache_hit).
+  void ClearParseCache() { parse_cache_.clear(); }
 
  private:
   Result<ResultSet> Run(const std::string& script, bool pushdown);

@@ -1,8 +1,38 @@
 #include "storage/buffer_pool.h"
 
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace mdm::storage {
+
+namespace {
+
+/// Process-wide counters mirroring the per-pool BufferPoolStats (which
+/// remain the per-instance view for tests and benches).
+struct PoolCounters {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* evictions;
+  obs::Counter* writebacks;
+  static const PoolCounters& Get() {
+    static PoolCounters c = {
+        obs::Registry::Global()->GetCounter(
+            "mdm_storage_bufferpool_hits_total",
+            "Buffer pool fetches served from a resident frame"),
+        obs::Registry::Global()->GetCounter(
+            "mdm_storage_bufferpool_misses_total",
+            "Buffer pool fetches that read from the disk manager"),
+        obs::Registry::Global()->GetCounter(
+            "mdm_storage_bufferpool_evictions_total",
+            "Frames evicted to make room"),
+        obs::Registry::Global()->GetCounter(
+            "mdm_storage_bufferpool_writebacks_total",
+            "Dirty frames written back to the disk manager")};
+    return c;
+  }
+};
+
+}  // namespace
 
 BufferPool::BufferPool(DiskManager* disk, size_t capacity)
     : disk_(disk), capacity_(capacity == 0 ? 1 : capacity) {
@@ -34,11 +64,13 @@ Result<Page*> BufferPool::GetVictimFrame() {
     if (victim->dirty) {
       MDM_RETURN_IF_ERROR(disk_->WritePage(victim_id, victim->data));
       ++stats_.dirty_writebacks;
+      PoolCounters::Get().writebacks->Inc();
     }
     page_table_.erase(victim_id);
     lru_.erase(lru_pos_.at(victim_id));
     lru_pos_.erase(victim_id);
     ++stats_.evictions;
+    PoolCounters::Get().evictions->Inc();
     victim->dirty = false;
     victim->id = kInvalidPageId;
     return victim;
@@ -51,12 +83,14 @@ Result<Page*> BufferPool::FetchPage(PageId id) {
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     ++stats_.hits;
+    PoolCounters::Get().hits->Inc();
     Page* page = it->second;
     ++page->pin_count;
     TouchLru(id);
     return page;
   }
   ++stats_.misses;
+  PoolCounters::Get().misses->Inc();
   MDM_ASSIGN_OR_RETURN(Page * frame, GetVictimFrame());
   MDM_RETURN_IF_ERROR(disk_->ReadPage(id, frame->data));
   frame->id = id;
@@ -98,6 +132,7 @@ Status BufferPool::FlushAll() {
       MDM_RETURN_IF_ERROR(disk_->WritePage(id, page->data));
       page->dirty = false;
       ++stats_.dirty_writebacks;
+      PoolCounters::Get().writebacks->Inc();
     }
   }
   return disk_->Sync();

@@ -14,7 +14,9 @@
 
 namespace mdm::storage {
 
-/// Counters exposed for tests and the storage benchmarks.
+/// Counters exposed for tests and the storage benchmarks. This is the
+/// per-pool view; process-wide totals are mirrored on the obs registry
+/// as mdm_storage_bufferpool_* (see docs/OBSERVABILITY.md).
 struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;

@@ -6,8 +6,40 @@
 #include "common/failpoint.h"
 #include "common/io.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace mdm::storage {
+
+namespace {
+
+obs::Counter* PageReads() {
+  static obs::Counter* c = obs::Registry::Global()->GetCounter(
+      "mdm_storage_page_reads_total",
+      "Pages read through a disk manager (memory or file backed)");
+  return c;
+}
+
+obs::Counter* PageWrites() {
+  static obs::Counter* c = obs::Registry::Global()->GetCounter(
+      "mdm_storage_page_writes_total",
+      "Pages written through a disk manager (memory or file backed)");
+  return c;
+}
+
+obs::Counter* PageAllocs() {
+  static obs::Counter* c = obs::Registry::Global()->GetCounter(
+      "mdm_storage_page_allocs_total", "Pages allocated");
+  return c;
+}
+
+obs::Counter* ChecksumFailures() {
+  static obs::Counter* c = obs::Registry::Global()->GetCounter(
+      "mdm_storage_checksum_failures_total",
+      "Page frames rejected as torn, bit-flipped or misdirected");
+  return c;
+}
+
+}  // namespace
 
 MemoryDiskManager::MemoryDiskManager() {
   PageId id;
@@ -19,6 +51,7 @@ Status MemoryDiskManager::AllocatePage(PageId* id) {
   auto buf = std::make_unique<uint8_t[]>(kPageSize);
   std::memset(buf.get(), 0, kPageSize);
   pages_.push_back(std::move(buf));
+  PageAllocs()->Inc();
   return Status::OK();
 }
 
@@ -26,6 +59,7 @@ Status MemoryDiskManager::ReadPage(PageId id, uint8_t* out) {
   if (id >= pages_.size())
     return OutOfRange(StrFormat("read of unallocated page %u", id));
   std::memcpy(out, pages_[id].get(), kPageSize);
+  PageReads()->Inc();
   return Status::OK();
 }
 
@@ -33,6 +67,7 @@ Status MemoryDiskManager::WritePage(PageId id, const uint8_t* data) {
   if (id >= pages_.size())
     return OutOfRange(StrFormat("write of unallocated page %u", id));
   std::memcpy(pages_[id].get(), data, kPageSize);
+  PageWrites()->Inc();
   return Status::OK();
 }
 
@@ -237,6 +272,7 @@ Status FileDiskManager::AllocatePage(PageId* id) {
     return IoError(StrFormat("injected short allocation of page %u",
                              num_pages_));
   ++num_pages_;
+  PageAllocs()->Inc();
   return Status::OK();
 }
 
@@ -251,16 +287,21 @@ Status FileDiskManager::ReadPage(PageId id, uint8_t* out) {
     return IoError(StrFormat("page %u read failed", id));
   uint32_t stored_crc = GetU32At(frame);
   uint32_t stored_id = GetU32At(frame + 4);
-  if (stored_id != id)
+  if (stored_id != id) {
+    ChecksumFailures()->Inc();
     return Corruption(StrFormat(
         "page %u frame carries page id %u (misdirected write)", id,
         stored_id));
-  if (Crc32(frame + 4, kPageFrameSize - 4) != stored_crc)
+  }
+  if (Crc32(frame + 4, kPageFrameSize - 4) != stored_crc) {
+    ChecksumFailures()->Inc();
     return Corruption(
         StrFormat("page %u failed checksum verification (torn or "
                   "bit-flipped page)",
                   id));
+  }
   std::memcpy(out, frame + kPageFrameHeaderSize, kPageSize);
+  PageReads()->Inc();
   return Status::OK();
 }
 
@@ -275,6 +316,7 @@ Status FileDiskManager::WritePage(PageId id, const uint8_t* data) {
   if (fault.kind == FaultKind::kShortWrite ||
       fault.kind == FaultKind::kPowerCut)
     return IoError(StrFormat("injected short write of page %u", id));
+  PageWrites()->Inc();
   return Status::OK();
 }
 

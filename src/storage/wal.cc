@@ -7,8 +7,31 @@
 #include "common/failpoint.h"
 #include "common/io.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace mdm::storage {
+
+namespace {
+
+obs::Counter* WalRecords() {
+  static obs::Counter* c = obs::Registry::Global()->GetCounter(
+      "mdm_wal_records_total", "WAL records framed and appended");
+  return c;
+}
+
+obs::Counter* WalBytes() {
+  static obs::Counter* c = obs::Registry::Global()->GetCounter(
+      "mdm_wal_bytes_total", "Framed WAL bytes handed to the sink");
+  return c;
+}
+
+obs::Counter* WalCommits() {
+  static obs::Counter* c = obs::Registry::Global()->GetCounter(
+      "mdm_wal_commits_total", "Transactions committed through the WAL");
+  return c;
+}
+
+}  // namespace
 
 Status MemoryWalSink::Append(const std::vector<uint8_t>& bytes) {
   bytes_.insert(bytes_.end(), bytes.begin(), bytes.end());
@@ -69,6 +92,8 @@ Status WalWriter::AppendRecord(uint64_t txn_id, WalRecordType type,
   framed.PutU32(Crc32(body.data().data(), body.size()));
   framed.PutU32(static_cast<uint32_t>(body.size()));
   framed.PutBytes(body.data().data(), body.size());
+  WalRecords()->Inc();
+  WalBytes()->Inc(framed.size());
   return sink_->Append(framed.data());
 }
 
@@ -84,7 +109,9 @@ Status WalWriter::LogOp(uint64_t txn_id, std::string payload) {
 
 Status WalWriter::Commit(uint64_t txn_id) {
   MDM_RETURN_IF_ERROR(AppendRecord(txn_id, WalRecordType::kCommit, ""));
-  return sink_->Sync();
+  MDM_RETURN_IF_ERROR(sink_->Sync());
+  WalCommits()->Inc();
+  return Status::OK();
 }
 
 Status WalWriter::Abort(uint64_t txn_id) {

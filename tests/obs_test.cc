@@ -1,0 +1,241 @@
+// Metrics registry + trace spans (src/obs): bucket boundaries,
+// concurrency, renderer goldens, and span nesting/attribution.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace mdm::obs {
+namespace {
+
+// ----------------------------------------------------------------------
+// Histogram bucket boundaries.
+// ----------------------------------------------------------------------
+
+TEST(HistogramTest, BucketIndexBoundaries) {
+  // A value v lands in the first bucket whose upper bound 2^i satisfies
+  // v <= 2^i.
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(5), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(8), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(9), 4u);
+  // The last finite bucket holds values up to 2^31...
+  EXPECT_EQ(Histogram::BucketIndex(uint64_t{1} << 31),
+            Histogram::kFiniteBuckets - 1);
+  // ...and anything beyond overflows into +Inf.
+  EXPECT_EQ(Histogram::BucketIndex((uint64_t{1} << 31) + 1),
+            Histogram::kFiniteBuckets);
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), Histogram::kFiniteBuckets);
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(31), uint64_t{1} << 31);
+}
+
+TEST(HistogramTest, ObservePlacesCountAndSum) {
+  Histogram h;
+  h.Observe(1);
+  h.Observe(3);
+  h.Observe(3);
+  h.Observe(5'000'000'000);  // ~5 s: past every finite bound
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 5'000'000'007u);
+  EXPECT_EQ(h.bucket_count(0), 1u);  // le=1
+  EXPECT_EQ(h.bucket_count(1), 0u);  // le=2
+  EXPECT_EQ(h.bucket_count(2), 2u);  // le=4
+  EXPECT_EQ(h.bucket_count(Histogram::kFiniteBuckets), 1u);  // +Inf
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+}
+
+// ----------------------------------------------------------------------
+// Concurrency: the fast path is relaxed atomics; registration is
+// mutex-protected and idempotent. Run under TSan via the obs-tsan
+// preset.
+// ----------------------------------------------------------------------
+
+TEST(RegistryTest, ConcurrentIncrementsAndRegistration) {
+  Registry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 50000;
+  std::vector<std::thread> threads;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, &seen, t] {
+      // Every thread registers the same names; all must resolve to the
+      // same instances.
+      Counter* c = reg.GetCounter("mdm_test_concurrent_total");
+      Histogram* h = reg.GetHistogram("mdm_test_concurrent_ns");
+      seen[t] = c;
+      for (int i = 0; i < kIters; ++i) {
+        c->Inc();
+        h->Observe(static_cast<uint64_t>(i % 1000));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  EXPECT_EQ(reg.GetCounter("mdm_test_concurrent_total")->value(),
+            static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(reg.GetHistogram("mdm_test_concurrent_ns")->count(),
+            static_cast<uint64_t>(kThreads) * kIters);
+}
+
+// ----------------------------------------------------------------------
+// Renderer goldens (private registry for deterministic content).
+// ----------------------------------------------------------------------
+
+Registry* MakeGoldenRegistry() {
+  auto* reg = new Registry();
+  reg->GetCounter("mdm_test_total", "Things counted")->Inc(3);
+  reg->GetGauge("mdm_depth", "Current depth")->Set(-2);
+  Histogram* h = reg->GetHistogram("mdm_lat_ns{op=\"x\"}", "Latency");
+  h->Observe(1);
+  h->Observe(3);
+  h->Observe(5'000'000'000);
+  return reg;
+}
+
+TEST(RegistryTest, PrometheusTextGolden) {
+  std::unique_ptr<Registry> reg(MakeGoldenRegistry());
+  std::string expected =
+      "# HELP mdm_depth Current depth\n"
+      "# TYPE mdm_depth gauge\n"
+      "mdm_depth -2\n"
+      "# HELP mdm_lat_ns Latency\n"
+      "# TYPE mdm_lat_ns histogram\n";
+  uint64_t cumulative[Histogram::kFiniteBuckets] = {};
+  // Observations 1 and 3 land in buckets le=1 and le=4; 5e9 overflows.
+  for (size_t i = 0; i < Histogram::kFiniteBuckets; ++i)
+    cumulative[i] = i < 2 ? 1 : 2;
+  for (size_t i = 0; i < Histogram::kFiniteBuckets; ++i)
+    expected += "mdm_lat_ns_bucket{op=\"x\",le=\"" +
+                std::to_string(Histogram::BucketUpperBound(i)) + "\"} " +
+                std::to_string(cumulative[i]) + "\n";
+  expected +=
+      "mdm_lat_ns_bucket{op=\"x\",le=\"+Inf\"} 3\n"
+      "mdm_lat_ns_sum{op=\"x\"} 5000000004\n"
+      "mdm_lat_ns_count{op=\"x\"} 3\n"
+      "# HELP mdm_test_total Things counted\n"
+      "# TYPE mdm_test_total counter\n"
+      "mdm_test_total 3\n";
+  EXPECT_EQ(reg->RenderPrometheusText(), expected);
+}
+
+TEST(RegistryTest, JsonGolden) {
+  std::unique_ptr<Registry> reg(MakeGoldenRegistry());
+  EXPECT_EQ(reg->RenderJson(),
+            "{\"counters\": {\"mdm_test_total\": 3}, "
+            "\"gauges\": {\"mdm_depth\": -2}, "
+            "\"histograms\": {\"mdm_lat_ns{op=\\\"x\\\"}\": "
+            "{\"count\": 3, \"sum\": 5000000004, "
+            "\"buckets\": [[1, 1], [4, 1], [\"+Inf\", 1]]}}}");
+}
+
+TEST(RegistryTest, LabelledSeriesShareOneFamilyHeader) {
+  Registry reg;
+  reg.GetCounter("mdm_multi_total{kind=\"a\"}", "Multi")->Inc(1);
+  reg.GetCounter("mdm_multi_total{kind=\"b\"}", "Multi")->Inc(2);
+  std::string text = reg.RenderPrometheusText();
+  // One HELP/TYPE pair for the family, one sample per series.
+  EXPECT_EQ(text,
+            "# HELP mdm_multi_total Multi\n"
+            "# TYPE mdm_multi_total counter\n"
+            "mdm_multi_total{kind=\"a\"} 1\n"
+            "mdm_multi_total{kind=\"b\"} 2\n");
+}
+
+TEST(RegistryTest, CounterValuesSnapshotsMonotonicSeries) {
+  Registry reg;
+  reg.GetCounter("mdm_c_total")->Inc(5);
+  reg.GetGauge("mdm_g")->Set(9);  // gauges are excluded: not monotonic
+  Histogram* h = reg.GetHistogram("mdm_h_ns{op=\"y\"}");
+  h->Observe(7);
+  h->Observe(9);
+  auto values = reg.CounterValues();
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_EQ(values.at("mdm_c_total"), 5u);
+  EXPECT_EQ(values.at("mdm_h_ns_count{op=\"y\"}"), 2u);
+  EXPECT_EQ(values.at("mdm_h_ns_sum{op=\"y\"}"), 16u);
+}
+
+TEST(RegistryTest, ResetAllKeepsPointersValid) {
+  Registry reg;
+  Counter* c = reg.GetCounter("mdm_r_total");
+  c->Inc(4);
+  reg.ResetAllForTest();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(reg.GetCounter("mdm_r_total"), c);
+}
+
+// ----------------------------------------------------------------------
+// Spans.
+// ----------------------------------------------------------------------
+
+void BusyWaitNs(uint64_t ns) {
+  auto start = std::chrono::steady_clock::now();
+  while (static_cast<uint64_t>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now() - start)
+                 .count()) < ns) {
+  }
+}
+
+TEST(SpanTest, NestingDepthAndSelfTimeAttribution) {
+  auto* reg = Registry::Global();
+  Histogram* outer_h =
+      reg->GetHistogram("mdm_span_duration_ns{span=\"test.outer\"}");
+  Counter* outer_self =
+      reg->GetCounter("mdm_span_self_ns_total{span=\"test.outer\"}");
+  Histogram* inner_h =
+      reg->GetHistogram("mdm_span_duration_ns{span=\"test.inner\"}");
+
+  ASSERT_EQ(Span::depth(), 0);
+  {
+    Span outer("test.outer");
+    EXPECT_EQ(Span::depth(), 1);
+    BusyWaitNs(100'000);
+    {
+      Span inner("test.inner");
+      EXPECT_EQ(Span::depth(), 2);
+      BusyWaitNs(300'000);
+      EXPECT_GE(inner.elapsed_ns(), 300'000u);
+    }
+    EXPECT_EQ(Span::depth(), 1);
+  }
+  EXPECT_EQ(Span::depth(), 0);
+
+  EXPECT_EQ(outer_h->count(), 1u);
+  EXPECT_EQ(inner_h->count(), 1u);
+  uint64_t outer_total = outer_h->sum();
+  uint64_t inner_total = inner_h->sum();
+  // The outer span's inclusive time covers the inner span entirely, and
+  // its self time is exactly the remainder.
+  EXPECT_GE(inner_total, 300'000u);
+  EXPECT_GE(outer_total, inner_total + 100'000);
+  EXPECT_EQ(outer_self->value() + inner_total, outer_total);
+}
+
+TEST(SpanTest, SequentialSiblingsAccumulateOnOneSeries) {
+  auto* reg = Registry::Global();
+  Histogram* h =
+      reg->GetHistogram("mdm_span_duration_ns{span=\"test.sibling\"}");
+  uint64_t before = h->count();
+  for (int i = 0; i < 3; ++i) {
+    Span span("test.sibling");
+  }
+  EXPECT_EQ(h->count(), before + 3);
+}
+
+}  // namespace
+}  // namespace mdm::obs

@@ -1,8 +1,9 @@
-// Planner, ordering-handle API, explain, and ExecStats coverage for the
-// §5.6 execution layer.
+// Planner, ordering-handle API, explain (+ analyze), and ExecStats
+// coverage for the §5.6 execution layer.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <regex>
 
 #include "ddl/parser.h"
 #include "er/database.h"
@@ -323,6 +324,101 @@ TEST_F(QuelPlannerTest, ExplainNeverExecutes) {
 }
 
 // ----------------------------------------------------------------------
+// explain analyze.
+// ----------------------------------------------------------------------
+
+/// Replaces every nanosecond figure so the annotated plan goldens are
+/// deterministic.
+std::string ScrubTimes(const std::string& s) {
+  return std::regex_replace(s, std::regex("[0-9]+ns"), "Xns");
+}
+
+/// Pulls the integer after `key=` (e.g. "join=" -> ns) out of an
+/// explain-analyze rendering.
+uint64_t ExtractNs(const std::string& text, const std::string& key) {
+  std::smatch m;
+  EXPECT_TRUE(
+      std::regex_search(text, m, std::regex(key + "([0-9]+)ns")))
+      << text;
+  return m.empty() ? 0 : std::stoull(m[1]);
+}
+
+TEST_F(QuelPlannerTest, ExplainAnalyzeGolden) {
+  QuelSession session(&db_);
+  auto rs = session.Execute(R"(
+    range of n1, n2 is NOTE
+    explain analyze retrieve (n1.name)
+      where n1 before n2 in note_in_chord and n2.name = 30
+  )");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  // 7 notes scanned per loop; n2.name = 30 passes once, and two notes
+  // (10, 20) precede note 30 in its chord.
+  EXPECT_EQ(ScrubTimes(rs->ToString()),
+            "plan: retrieve (analyze)\n"
+            "  pushdown: on\n"
+            "  ordering index: on\n"
+            "  loop 1: n2 is NOTE (~7 rows) [actual: in=7 out=1, "
+            "self=Xns]\n"
+            "    filter: n2.name = 30\n"
+            "  loop 2: n1 is NOTE (~7 rows) [actual: in=7 out=2, "
+            "self=Xns]\n"
+            "    filter: n1 before n2 in note_in_chord [rank index]\n"
+            "  emit: n1.name [actual: rows=2, time=Xns]\n"
+            "  actual: join=Xns, statement=Xns\n");
+  EXPECT_TRUE(rs->rows.empty());
+}
+
+TEST_F(QuelPlannerTest, ExplainAnalyzeExecutesForReal) {
+  QuelSession session(&db_);
+  auto rs = session.Execute(
+      "range of n is NOTE\nexplain analyze retrieve (n.name)");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_FALSE(rs->explain.empty());
+  // Unlike plain explain, analyze enumerates every binding.
+  EXPECT_EQ(session.stats().rows_scanned, 7u);
+}
+
+TEST_F(QuelPlannerTest, ExplainAnalyzeTimesSumToStatement) {
+  // A 10k-note score: 100 chords of 100 notes each.
+  ASSERT_TRUE(ddl::ExecuteDdl(R"(
+    define entity BIGCHORD (name = integer)
+    define entity BIGNOTE (name = integer)
+    define ordering big_note_in_chord (BIGNOTE) under BIGCHORD
+  )",
+                              &db_)
+                  .ok());
+  int note_name = 0;
+  for (int c = 1; c <= 100; ++c) {
+    EntityId chord = Create("BIGCHORD", c);
+    for (int n = 0; n < 100; ++n)
+      AddChild("big_note_in_chord", "BIGNOTE", chord, note_name++);
+  }
+  QuelSession session(&db_);
+  auto rs = session.Execute(R"(
+    range of b1, b2 is BIGNOTE
+    explain analyze retrieve (b1.name)
+      where b1 before b2 in big_note_in_chord and b2.name = 50
+  )");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  const std::string text = rs->ToString();
+  // Per-loop actual row counts: both loops scan all 10k notes once.
+  EXPECT_NE(text.find("in=10000 out=1,"), std::string::npos) << text;
+  EXPECT_NE(text.find("in=10000 out=50,"), std::string::npos) << text;
+  // The per-loop self times plus the emit time reconstruct the join
+  // total exactly, and the join dominates the reported statement
+  // latency (within 10%) on a database this size.
+  uint64_t self1 = ExtractNs(text, "self=");
+  std::string rest = text.substr(text.find("self=") + 5);
+  uint64_t self2 = ExtractNs(rest, "self=");
+  uint64_t emit_ns = ExtractNs(text, "time=");
+  uint64_t join_ns = ExtractNs(text, "join=");
+  uint64_t statement_ns = ExtractNs(text, "statement=");
+  EXPECT_EQ(self1 + self2 + emit_ns, join_ns) << text;
+  EXPECT_LE(join_ns, statement_ns) << text;
+  EXPECT_GE(join_ns * 10, statement_ns * 9) << text;
+}
+
+// ----------------------------------------------------------------------
 // ResultSet consumption API.
 // ----------------------------------------------------------------------
 
@@ -389,6 +485,35 @@ TEST_F(QuelPlannerTest, ExecStatsAndParseCache) {
             "statements: 0\nrows scanned: 0\nconjuncts evaluated: 0\n"
             "ordering index hits: 0\nordering index misses: 0\n"
             "plan cache hits: 0\n");
+}
+
+TEST_F(QuelPlannerTest, ResetStatsKeepsParseCache) {
+  QuelSession session(&db_);
+  const std::string query = "range of n is NOTE\nretrieve (n.name)";
+  ASSERT_TRUE(session.Execute(query).ok());
+  session.ResetStats();
+  EXPECT_EQ(session.stats().plan_cache_hits, 0u);
+  // The cache survived the reset: the re-run skips the parser and the
+  // hit counter starts counting again from zero.
+  ASSERT_TRUE(session.Execute(query).ok());
+  EXPECT_EQ(session.stats().plan_cache_hits, 1u);
+  EXPECT_EQ(session.stats().statements, 2u);
+}
+
+TEST_F(QuelPlannerTest, ClearParseCacheForcesReparseWithoutTouchingStats) {
+  QuelSession session(&db_);
+  const std::string query = "range of n is NOTE\nretrieve (n.name)";
+  ASSERT_TRUE(session.Execute(query).ok());
+  ASSERT_TRUE(session.Execute(query).ok());
+  EXPECT_EQ(session.stats().plan_cache_hits, 1u);
+  session.ClearParseCache();
+  // Counters are untouched; the next run re-parses, so no new hit.
+  EXPECT_EQ(session.stats().plan_cache_hits, 1u);
+  ASSERT_TRUE(session.Execute(query).ok());
+  EXPECT_EQ(session.stats().plan_cache_hits, 1u);
+  // And the re-parsed script is cached again.
+  ASSERT_TRUE(session.Execute(query).ok());
+  EXPECT_EQ(session.stats().plan_cache_hits, 2u);
 }
 
 TEST_F(QuelPlannerTest, NaiveAndPlannedAgreeOnRecursiveUnder) {
