@@ -1,0 +1,130 @@
+// §2.1 — the MDM as a shared server: N client threads reading one
+// database concurrently (snapshot `before`/`under` queries through
+// per-client QuelSessions) while one writer churns chord contents.
+// Measures aggregate read throughput at 1/2/4/8 clients and reports the
+// 8-vs-1 scaling factor. On a single-hardware-thread host the factor
+// degenerates toward <= 1 (threads time-slice one core and pay latch
+// traffic on top); the JSON line carries hw_threads so results are
+// interpreted against the machine that produced them.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "er/session.h"
+#include "quel/quel.h"
+
+namespace {
+
+constexpr int kChords = 64;
+constexpr int kNotesPerChord = 8;
+constexpr double kSecondsPerPoint = 0.5;
+
+/// One reader's query mix: alternating ordering predicates and scans,
+/// each a fresh snapshot read under the shared latch.
+const char* ReaderScript(uint64_t i) {
+  switch (i % 3) {
+    case 0:
+      return "range of n1, n2 is NOTE\n"
+             "retrieve (n1.name) where n1 before n2 in note_in_chord "
+             "and n2.name = 4";
+    case 1:
+      return "range of n is NOTE\nrange of c is CHORD\n"
+             "retrieve (n.name) where n under c in note_in_chord "
+             "and c.name = 7";
+    default:
+      return "retrieve (k = count(NOTE.name))";
+  }
+}
+
+/// Runs `threads` readers against `db` for a fixed wall-clock window
+/// while one writer rotates notes between two chords; returns aggregate
+/// completed read scripts per second.
+double MeasureQps(mdm::er::Database* db, int threads) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> errors{0};
+
+  std::thread writer([&] {
+    mdm::er::Session session(db);
+    auto h = *db->ResolveOrderingHandle("note_in_chord");
+    auto c1 = db->Children(h, 1);
+    if (!c1.ok() || c1->empty()) std::abort();
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto w = session.Write();
+      // Rotate chord 1: detach its first note and re-append it.
+      auto kids = w->Children(h, 1);
+      if (!kids.ok() || kids->empty()) continue;
+      if (!w->RemoveChild(h, kids->front()).ok() ||
+          !w->AppendChild(h, 1, kids->front()).ok())
+        errors.fetch_add(1);
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < threads; ++t) {
+    readers.emplace_back([&, t] {
+      mdm::quel::QuelSession session(db);
+      for (uint64_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        if (session.Execute(ReaderScript(t + i)).ok())
+          reads.fetch_add(1, std::memory_order_relaxed);
+        else
+          errors.fetch_add(1);
+      }
+    });
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(kSecondsPerPoint));
+  stop.store(true);
+  for (std::thread& t : readers) t.join();
+  writer.join();
+  double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (errors.load() != 0) {
+    std::printf("WARNING: %llu failed operations\n",
+                (unsigned long long)errors.load());
+  }
+  return static_cast<double>(reads.load()) / secs;
+}
+
+}  // namespace
+
+int main() {
+  mdm::bench::PrintHeader(
+      "§2.1 — concurrent MDM clients: read throughput vs client count",
+      "fig 1's many-clients/one-server shape: N reader sessions + 1 "
+      "writer against a shared music database");
+  std::printf(
+      "expect: near-linear read scaling up to the hardware thread count;\n"
+      "beyond it, threads time-slice and the curve flattens (or dips from\n"
+      "latch handoff). Reads stay snapshot-consistent throughout.\n\n");
+
+  mdm::er::Database db =
+      mdm::bench::MakeChordDb(kChords, kNotesPerChord);
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  const int counts[] = {1, 2, 4, 8};
+  double qps[4] = {};
+  for (int i = 0; i < 4; ++i) {
+    qps[i] = MeasureQps(&db, counts[i]);
+    std::printf("%d reader(s) + 1 writer: %10.0f reads/s\n", counts[i],
+                qps[i]);
+  }
+  double scaling = qps[0] > 0 ? qps[3] / qps[0] : 0.0;
+  std::printf("\n8-vs-1 scaling: %.2fx (hardware threads: %u)\n", scaling,
+              hw);
+  std::printf(
+      "BENCH_JSON {\"bench\": \"s21_clients\", \"chords\": %d, "
+      "\"notes_per_chord\": %d, \"seconds_per_point\": %.2f, "
+      "\"qps_1\": %.0f, \"qps_2\": %.0f, \"qps_4\": %.0f, "
+      "\"qps_8\": %.0f, \"scaling_8v1\": %.3f, \"hw_threads\": %u}\n",
+      kChords, kNotesPerChord, kSecondsPerPoint, qps[0], qps[1], qps[2],
+      qps[3], scaling, hw);
+  return 0;
+}

@@ -10,14 +10,19 @@
 //   mdm> \ho            -- HO graph in DOT
 //   mdm> \save score.mdm  / \load score.mdm
 //   mdm> \quit
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/strings.h"
 #include "ddl/parser.h"
 #include "er/database.h"
 #include "er/persist.h"
+#include "er/session.h"
 #include "obs/metrics.h"
 #include "quel/quel.h"
 
@@ -28,6 +33,42 @@ bool LooksLikeDdl(const std::string& text) {
                          "define");
 }
 
+/// \stress: re-runs the last executed QUEL script from N concurrent
+/// client threads (each with its own QuelSession, the fig 1
+/// many-clients shape) and reports aggregate throughput. Retrieves
+/// overlap under the shared latch; mutating scripts serialize safely.
+void RunStress(mdm::er::Database* db, const std::string& script,
+               size_t threads, size_t iters) {
+  std::atomic<uint64_t> ok{0};
+  std::atomic<uint64_t> failed{0};
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) {
+    clients.emplace_back([db, &script, iters, &ok, &failed] {
+      mdm::quel::QuelSession session(db);
+      for (size_t i = 0; i < iters; ++i) {
+        if (session.Execute(script).ok()) {
+          ok.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  double secs = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  uint64_t total = ok.load() + failed.load();
+  std::printf("%zu threads x %zu iterations: %llu scripts (%llu failed) "
+              "in %.3fs = %.0f scripts/s (hw threads: %u)\n",
+              threads, iters, (unsigned long long)total,
+              (unsigned long long)failed.load(), secs,
+              secs > 0 ? total / secs : 0.0,
+              std::thread::hardware_concurrency());
+}
+
 }  // namespace
 
 int main() {
@@ -35,6 +76,7 @@ int main() {
   mdm::quel::QuelSession session(&db);
   std::string buffer;
   std::string line;
+  std::string last_script;  // most recent QUEL buffer, for \stress
 
   std::printf("mdm shell — DDL + QUEL; \\help for commands\n");
   std::printf("mdm> ");
@@ -55,6 +97,8 @@ int main() {
             "  \\schema       deparse the schema as DDL\n"
             "  \\ho           hierarchical ordering graph (DOT)\n"
             "  \\stats        entity counts + session execution counters\n"
+            "  \\stress [N] [ITERS]  re-run the last script from N client\n"
+            "                threads (default 4 x 100)\n"
             "  \\metrics      process metrics (Prometheus text; 'json' for JSON)\n"
             "  \\save PATH    write a snapshot\n"
             "  \\load PATH    replace the session with a snapshot\n"
@@ -64,12 +108,24 @@ int main() {
       } else if (cmd == "\\ho") {
         std::printf("%s", db.HoGraphDot().c_str());
       } else if (cmd == "\\stats") {
-        for (const auto& type : db.schema().entity_types()) {
-          auto n = db.CountEntities(type.name);
+        // One ReadGuard around the whole report: the counts form one
+        // consistent snapshot even if \stress threads were running.
+        mdm::er::ReadGuard read{db};
+        for (const auto& type : read->schema().entity_types()) {
+          auto n = read->CountEntities(type.name);
           std::printf("  %-20s %llu\n", type.name.c_str(),
                       n.ok() ? (unsigned long long)*n : 0ull);
         }
         std::printf("session:\n%s", session.stats().ToString().c_str());
+      } else if (cmd == "\\stress") {
+        if (last_script.empty()) {
+          std::printf("nothing to stress: execute a QUEL script first\n");
+        } else {
+          size_t threads = parts.size() > 1 ? std::stoul(parts[1]) : 4;
+          size_t iters = parts.size() > 2 ? std::stoul(parts[2]) : 100;
+          if (threads == 0) threads = 1;
+          RunStress(&db, last_script, threads, iters);
+        }
       } else if (cmd == "\\metrics") {
         bool json = parts.size() > 1 && parts[1] == "json";
         if (json) {
@@ -123,6 +179,7 @@ int main() {
       auto rs = session.Execute(buffer);
       if (rs.ok()) {
         std::printf("%s", rs->ToString().c_str());
+        last_script = buffer;
       } else {
         std::printf("%s\n", rs.status().ToString().c_str());
       }

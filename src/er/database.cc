@@ -44,6 +44,49 @@ struct ErCounters {
 }  // namespace
 
 // ---------------------------------------------------------------------
+// Moves.
+//
+// Hand-written because the latch, the atomic ablation flag and the
+// atomic stats are not movable. Moving is NOT latch-protected: callers
+// (mdmsh \load, persist's Restore) quiesce all sessions first. The
+// destination gets fresh synchronization state and a copy of the
+// counters; the source is left empty and reusable.
+// ---------------------------------------------------------------------
+
+Database::Database(Database&& other) noexcept { *this = std::move(other); }
+
+Database& Database::operator=(Database&& other) noexcept {
+  if (this == &other) return *this;
+  schema_ = std::move(other.schema_);
+  entities_ = std::move(other.entities_);
+  by_type_ = std::move(other.by_type_);
+  rel_instances_ = std::move(other.rel_instances_);
+  rels_by_name_ = std::move(other.rels_by_name_);
+  ordering_instances_ = std::move(other.ordering_instances_);
+  next_entity_id_ = other.next_entity_id_;
+  next_rel_id_ = other.next_rel_id_;
+  ordering_index_enabled_.store(
+      other.ordering_index_enabled_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  index_stats_.CopyFrom(other.index_stats_);
+  wal_ = other.wal_;
+  open_txn_ = other.open_txn_;
+  replaying_ = other.replaying_;
+  other.schema_ = ErSchema();
+  other.entities_.clear();
+  other.by_type_.clear();
+  other.rel_instances_.clear();
+  other.rels_by_name_.clear();
+  other.ordering_instances_.clear();
+  other.next_entity_id_ = 1;
+  other.next_rel_id_ = 1;
+  other.wal_ = nullptr;
+  other.open_txn_ = 0;
+  other.replaying_ = false;
+  return *this;
+}
+
+// ---------------------------------------------------------------------
 // Lookup helpers.
 // ---------------------------------------------------------------------
 
@@ -170,24 +213,21 @@ Status Database::DeleteEntity(EntityId id) {
   // Detach from every ordering: as a child (remove from its siblings) and
   // as a parent (children become roots of that ordering).
   for (OrderingInstances& inst : ordering_instances_) {
+    bool touched = false;
     auto pit = inst.parent_of.find(id);
     if (pit != inst.parent_of.end()) {
       std::vector<EntityId>& sibs = inst.children[pit->second];
       sibs.erase(std::remove(sibs.begin(), sibs.end(), id), sibs.end());
-      inst.Invalidate(pit->second);
-      inst.rank_of.erase(id);
       inst.parent_of.erase(pit);
+      touched = true;
     }
     auto cit = inst.children.find(id);
     if (cit != inst.children.end()) {
-      for (EntityId child : cit->second) {
-        inst.parent_of.erase(child);
-        inst.rank_of.erase(child);
-      }
+      for (EntityId child : cit->second) inst.parent_of.erase(child);
       inst.children.erase(cit);
-      inst.rank_dirty.erase(id);
-      inst.intervals_dirty = true;
+      touched = true;
     }
+    if (touched) inst.Invalidate();
   }
 
   // Delete relationship instances that reference the entity.
@@ -436,28 +476,70 @@ bool Database::IsAncestor(const OrderingInstances& inst, EntityId needle,
 // Lazy structural indexes (§5.6 execution).
 // ---------------------------------------------------------------------
 
-size_t Database::RankOf(const OrderingInstances& inst, EntityId parent,
-                        EntityId child) const {
-  auto it = inst.rank_of.find(child);
-  if (inst.rank_dirty.count(parent) != 0 || it == inst.rank_of.end()) {
-    ++index_stats_.rank_rebuilds;
-    ErCounters::Get().rank_rebuilds->Inc();
-    const std::vector<EntityId>& sibs = inst.children.at(parent);
-    for (size_t i = 0; i < sibs.size(); ++i) inst.rank_of[sibs[i]] = i;
-    inst.rank_dirty.erase(parent);
-    it = inst.rank_of.find(child);
-  } else {
-    ++index_stats_.rank_hits;
+// Both accessors follow the same publish protocol. Fast path: load the
+// cell's epoch then the published snapshot (acquire); a snapshot
+// stamped with the current epoch is immutable and safe to use without
+// any lock. Slow path: serialize on rebuild_mu, re-check (another
+// reader may have just rebuilt), rebuild from children/parent_of —
+// which cannot change underneath us, since mutators need the exclusive
+// database latch while every reader here holds it shared — and publish
+// with a release store. Readers that loaded the old snapshot keep a
+// complete (merely stale-epoch) table via shared ownership.
+
+std::shared_ptr<const Database::RankIndex> Database::RankIndexFor(
+    const OrderingInstances& inst) const {
+  OrderingIndexCell* cell = inst.index.get();
+  const uint64_t cur = cell->epoch.load(std::memory_order_acquire);
+  std::shared_ptr<const RankIndex> snap =
+      cell->ranks.load(std::memory_order_acquire);
+  if (snap != nullptr && snap->epoch == cur) {
+    index_stats_.rank_hits.fetch_add(1, std::memory_order_relaxed);
     ErCounters::Get().rank_hits->Inc();
+    return snap;
   }
-  return it->second;
+  std::lock_guard<std::mutex> lock(cell->rebuild_mu);
+  snap = cell->ranks.load(std::memory_order_acquire);
+  if (snap != nullptr && snap->epoch == cur) {
+    index_stats_.rank_hits.fetch_add(1, std::memory_order_relaxed);
+    ErCounters::Get().rank_hits->Inc();
+    return snap;
+  }
+  index_stats_.rank_rebuilds.fetch_add(1, std::memory_order_relaxed);
+  ErCounters::Get().rank_rebuilds->Inc();
+  auto fresh = std::make_shared<RankIndex>();
+  fresh->epoch = cur;
+  for (const auto& [parent, sibs] : inst.children) {
+    (void)parent;
+    for (size_t i = 0; i < sibs.size(); ++i) fresh->rank_of[sibs[i]] = i;
+  }
+  cell->ranks.store(fresh, std::memory_order_release);
+  return fresh;
 }
 
-void Database::RebuildIntervals(const OrderingInstances& inst) const {
+std::shared_ptr<const Database::IntervalIndex> Database::IntervalIndexFor(
+    const OrderingInstances& inst) const {
+  OrderingIndexCell* cell = inst.index.get();
+  const uint64_t cur = cell->epoch.load(std::memory_order_acquire);
+  std::shared_ptr<const IntervalIndex> snap =
+      cell->intervals.load(std::memory_order_acquire);
+  if (snap != nullptr && snap->epoch == cur) {
+    index_stats_.interval_hits.fetch_add(1, std::memory_order_relaxed);
+    ErCounters::Get().interval_hits->Inc();
+    return snap;
+  }
+  std::lock_guard<std::mutex> lock(cell->rebuild_mu);
+  snap = cell->intervals.load(std::memory_order_acquire);
+  if (snap != nullptr && snap->epoch == cur) {
+    index_stats_.interval_hits.fetch_add(1, std::memory_order_relaxed);
+    ErCounters::Get().interval_hits->Inc();
+    return snap;
+  }
   obs::Span span("er.interval_rebuild");
-  ++index_stats_.interval_rebuilds;
+  index_stats_.interval_rebuilds.fetch_add(1, std::memory_order_relaxed);
   ErCounters::Get().interval_rebuilds->Inc();
-  inst.interval_of.clear();
+  auto fresh = std::make_shared<IntervalIndex>();
+  fresh->epoch = cur;
+  auto& interval_of = fresh->interval_of;
   uint64_t clock = 0;
   // Iterative Euler tour from every root (a parent that is nobody's
   // child); recursion depth is unbounded in recursive orderings.
@@ -470,21 +552,22 @@ void Database::RebuildIntervals(const OrderingInstances& inst) const {
     (void)kids;
     if (inst.parent_of.count(root) != 0) continue;
     stack.push_back({root, 0});
-    inst.interval_of[root].first = clock++;
+    interval_of[root].first = clock++;
     while (!stack.empty()) {
       Frame& top = stack.back();
       auto cit = inst.children.find(top.node);
       if (cit != inst.children.end() && top.next_child < cit->second.size()) {
         EntityId next = cit->second[top.next_child++];
-        inst.interval_of[next].first = clock++;
+        interval_of[next].first = clock++;
         stack.push_back({next, 0});
       } else {
-        inst.interval_of[top.node].second = clock++;
+        interval_of[top.node].second = clock++;
         stack.pop_back();
       }
     }
   }
-  inst.intervals_dirty = false;
+  cell->intervals.store(fresh, std::memory_order_release);
+  return fresh;
 }
 
 Status Database::CheckOrderedPairExists(EntityId a, EntityId b) const {
@@ -543,7 +626,7 @@ Status Database::DoInsertChildAt(OrderingHandle h, EntityId parent,
                                 sibs.size()));
   sibs.insert(sibs.begin() + pos, child);
   inst.parent_of[child] = parent;
-  inst.Invalidate(parent);
+  inst.Invalidate();
 
   ByteWriter payload;
   payload.PutString(def.name);
@@ -587,8 +670,7 @@ Status Database::DoRemoveChild(OrderingHandle h, EntityId child) {
                               (unsigned long long)child, def.name.c_str()));
   std::vector<EntityId>& sibs = inst.children[it->second];
   sibs.erase(std::remove(sibs.begin(), sibs.end(), child), sibs.end());
-  inst.Invalidate(it->second);
-  inst.rank_of.erase(child);
+  inst.Invalidate();
   inst.parent_of.erase(it);
   ByteWriter payload;
   payload.PutString(def.name);
@@ -653,12 +735,17 @@ Result<size_t> Database::PositionOf(OrderingHandle h, EntityId child) const {
   const OrderingInstances& inst = ordering_instances_[h.index()];
   auto it = inst.parent_of.find(child);
   if (it != inst.parent_of.end()) {
-    if (ordering_index_enabled_) return RankOf(inst, it->second, child);
-    ++index_stats_.linear_scans;
-    ErCounters::Get().linear_scans->Inc();
-    const std::vector<EntityId>& sibs = inst.children.at(it->second);
-    for (size_t i = 0; i < sibs.size(); ++i)
-      if (sibs[i] == child) return i;
+    if (ordering_index_enabled()) {
+      std::shared_ptr<const RankIndex> ranks = RankIndexFor(inst);
+      auto rit = ranks->rank_of.find(child);
+      if (rit != ranks->rank_of.end()) return rit->second;
+    } else {
+      index_stats_.linear_scans.fetch_add(1, std::memory_order_relaxed);
+      ErCounters::Get().linear_scans->Inc();
+      const std::vector<EntityId>& sibs = inst.children.at(it->second);
+      for (size_t i = 0; i < sibs.size(); ++i)
+        if (sibs[i] == child) return i;
+    }
   }
   return NotFound(StrFormat("entity #%llu is not ordered in %s",
                             (unsigned long long)child,
@@ -701,8 +788,8 @@ Result<bool> Database::Before(OrderingHandle h, EntityId a, EntityId b) const {
   if (pa == inst.parent_of.end() || pb == inst.parent_of.end() ||
       pa->second != pb->second)
     return false;
-  if (!ordering_index_enabled_) {
-    ++index_stats_.linear_scans;
+  if (!ordering_index_enabled()) {
+    index_stats_.linear_scans.fetch_add(1, std::memory_order_relaxed);
     ErCounters::Get().linear_scans->Inc();
     const std::vector<EntityId>& sibs = inst.children.at(pa->second);
     size_t ia = sibs.size(), ib = sibs.size();
@@ -712,7 +799,13 @@ Result<bool> Database::Before(OrderingHandle h, EntityId a, EntityId b) const {
     }
     return ia < ib;
   }
-  return RankOf(inst, pa->second, a) < RankOf(inst, pb->second, b);
+  // Both ranks come from ONE immutable snapshot, so the comparison can
+  // never mix pre- and post-mutation sibling orders.
+  std::shared_ptr<const RankIndex> ranks = RankIndexFor(inst);
+  auto ia = ranks->rank_of.find(a);
+  auto ib = ranks->rank_of.find(b);
+  if (ia == ranks->rank_of.end() || ib == ranks->rank_of.end()) return false;
+  return ia->second < ib->second;
 }
 
 Result<bool> Database::Before(const std::string& ordering, EntityId a,
@@ -740,21 +833,17 @@ Result<bool> Database::Under(OrderingHandle h, EntityId child,
   auto it = inst.parent_of.find(child);
   if (it == inst.parent_of.end()) return false;
   if (it->second == parent) return true;
-  if (!ordering_index_enabled_) {
+  if (!ordering_index_enabled()) {
     // Ablation: multi-level containment by walking P-edges upward.
-    ++index_stats_.linear_scans;
+    index_stats_.linear_scans.fetch_add(1, std::memory_order_relaxed);
     ErCounters::Get().linear_scans->Inc();
     return IsAncestor(inst, parent, it->second);
   }
-  if (inst.intervals_dirty) {
-    RebuildIntervals(inst);
-  } else {
-    ++index_stats_.interval_hits;
-    ErCounters::Get().interval_hits->Inc();
-  }
-  auto ci = inst.interval_of.find(child);
-  auto pi = inst.interval_of.find(parent);
-  if (ci == inst.interval_of.end() || pi == inst.interval_of.end())
+  std::shared_ptr<const IntervalIndex> intervals = IntervalIndexFor(inst);
+  auto ci = intervals->interval_of.find(child);
+  auto pi = intervals->interval_of.find(parent);
+  if (ci == intervals->interval_of.end() ||
+      pi == intervals->interval_of.end())
     return false;
   return pi->second.first < ci->second.first &&
          ci->second.second < pi->second.second;

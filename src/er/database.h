@@ -1,9 +1,13 @@
 #ifndef MDM_ER_DATABASE_H_
 #define MDM_ER_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -39,10 +43,13 @@ struct RelationshipInstance {
 };
 
 /// Counters for the per-ordering structural indexes (§5.6 execution).
-/// `rank_hits`/`interval_hits` are index lookups answered from a fresh
-/// index; `*_rebuilds` count lazy rebuilds triggered by a lookup after
-/// a structural mutation; `linear_scans` counts predicate evaluations
-/// that bypassed the indexes (ablation mode).
+/// `rank_hits`/`interval_hits` are index lookups answered from the
+/// current published snapshot; `*_rebuilds` count snapshot rebuilds
+/// triggered by a lookup after a structural mutation retired the
+/// previous epoch; `linear_scans` counts predicate evaluations that
+/// bypassed the indexes (ablation mode). Under concurrency the counts
+/// are exact (relaxed atomics) but attribution across sessions is
+/// best-effort.
 ///
 /// This struct is the per-Database view. Process-wide totals (and the
 /// rebuild latency histogram) live on the obs registry as
@@ -70,13 +77,37 @@ struct OrderingIndexStats {
 /// Durability: attach a WAL writer with AttachJournal and every mutation
 /// is redo-logged; Snapshot/Restore write and read full images. Recover
 /// with ReplayJournal over a log produced since the snapshot.
+///
+/// Thread safety — EXTERNAL locking via `latch()`:
+///
+/// Methods do not lock internally (they call each other and replay the
+/// journal through the same code paths; self-locking would deadlock).
+/// Instead every concurrent caller brackets calls with the reader-writer
+/// latch: shared for the const read API, exclusive for any mutator
+/// (including AttachJournal/BeginTxn/CommitTxn/Snapshot-as-writer-free
+/// but Restore/ReplayJournal/EnableOrderingIndex as writers). The
+/// er::Session guards (er/session.h) and the QUEL executor do this for
+/// you; direct single-threaded use needs no locks at all.
+///
+/// Under a shared latch, reads are snapshot-consistent: structural
+/// mutations (which require the exclusive latch) cannot interleave, and
+/// the lazy §5.6 ordering indexes are published as immutable epoch-
+/// stamped snapshots (std::atomic<std::shared_ptr>), so Before/After/
+/// Under never observe a half-rebuilt rank or interval table even while
+/// many readers trigger rebuilds concurrently. Moving a Database (move
+/// construction/assignment) is NOT latch-protected — quiesce all
+/// sessions first. See docs/CONCURRENCY.md for the lock hierarchy.
 class Database {
  public:
   Database() = default;
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
-  Database(Database&&) = default;
-  Database& operator=(Database&&) = default;
+  Database(Database&& other) noexcept;
+  Database& operator=(Database&& other) noexcept;
+
+  /// The database-wide reader-writer latch (see class comment). Mutable
+  /// so read-side guards can be taken on a const Database&.
+  std::shared_mutex& latch() const { return mu_; }
 
   // ------------------------------------------------------------------
   // Schema definition (the DDL front end calls these).
@@ -208,13 +239,20 @@ class Database {
   /// Ablation switch for the §5.6 structural indexes. When disabled,
   /// Before/After fall back to linear sibling scans and Under to an
   /// upward P-edge walk (semantics are identical; only the cost
-  /// changes). Exposed for bench_s56_ordering_index.
-  void EnableOrderingIndex(bool on) { ordering_index_enabled_ = on; }
-  bool ordering_index_enabled() const { return ordering_index_enabled_; }
-  const OrderingIndexStats& ordering_index_stats() const {
-    return index_stats_;
+  /// changes). Exposed for bench_s56_ordering_index. Toggling counts as
+  /// a mutation (take the latch exclusively around it).
+  void EnableOrderingIndex(bool on) {
+    ordering_index_enabled_.store(on, std::memory_order_relaxed);
   }
-  void ResetOrderingIndexStats() { index_stats_ = OrderingIndexStats{}; }
+  bool ordering_index_enabled() const {
+    return ordering_index_enabled_.load(std::memory_order_relaxed);
+  }
+  /// Snapshot of the index counters (by value: the internals are
+  /// relaxed atomics bumped by concurrent readers under shared latch).
+  OrderingIndexStats ordering_index_stats() const {
+    return index_stats_.Snapshot();
+  }
+  void ResetOrderingIndexStats() { index_stats_.Reset(); }
 
   // ------------------------------------------------------------------
   // Graphs and diagnostics.
@@ -265,30 +303,52 @@ class Database {
     kSetRelAttribute = 11,
   };
 
+  // --- structural indexes, maintained lazily (§5.6 execution) ---
+  //
+  // Both indexes are published as immutable epoch-stamped snapshots.
+  // A structural mutation (under the exclusive latch) only bumps the
+  // cell's epoch; the first predicate lookup that finds the published
+  // snapshot stale rebuilds a fresh one off to the side and publishes
+  // it atomically. Concurrent readers under the shared latch therefore
+  // see either the complete old snapshot or the complete new one —
+  // never a half-rebuilt table (the torn-index hazard of the previous
+  // mutable-in-place scheme).
+
+  // child -> 0-based rank among its siblings, for every ordered child
+  // of this ordering.
+  struct RankIndex {
+    uint64_t epoch = 0;
+    std::unordered_map<EntityId, size_t> rank_of;
+  };
+  // Euler-tour labels over the ordering forest: entity -> (entry,
+  // exit). `a` lies under `b` iff b.entry < a.entry && a.exit < b.exit.
+  struct IntervalIndex {
+    uint64_t epoch = 0;
+    std::unordered_map<EntityId, std::pair<uint64_t, uint64_t>> interval_of;
+  };
+  // Heap-allocated so OrderingInstances (and the vector holding it)
+  // stays movable; the atomics give lock-free reads on the hot path and
+  // rebuild_mu serializes rebuilds (double-checked under the mutex).
+  struct OrderingIndexCell {
+    std::atomic<uint64_t> epoch{1};
+    std::mutex rebuild_mu;
+    std::atomic<std::shared_ptr<const RankIndex>> ranks{};
+    std::atomic<std::shared_ptr<const IntervalIndex>> intervals{};
+  };
+
   struct OrderingInstances {
     // parent -> ordered children (the S-edge sequence).
     std::unordered_map<EntityId, std::vector<EntityId>> children;
     // child -> parent (the P-edge).
     std::unordered_map<EntityId, EntityId> parent_of;
 
-    // --- structural indexes, maintained lazily (§5.6 execution) ---
-    // child -> 0-based rank among its siblings. Ranks of one parent's
-    // children are rebuilt together the first time any of them is
-    // queried after that parent's child list changed.
-    mutable std::unordered_map<EntityId, size_t> rank_of;
-    mutable std::unordered_set<EntityId> rank_dirty;  // parents to rebuild
-    // Euler-tour labels over the ordering forest: entity -> (entry,
-    // exit). `a` lies under `b` iff b.entry < a.entry && a.exit <
-    // b.exit. Rebuilt whole-ordering on first containment query after
-    // any structural change.
-    mutable std::unordered_map<EntityId, std::pair<uint64_t, uint64_t>>
-        interval_of;
-    mutable bool intervals_dirty = true;
+    std::unique_ptr<OrderingIndexCell> index =
+        std::make_unique<OrderingIndexCell>();
 
-    // Called on every S/P-edge mutation touching `parent`'s child list.
-    void Invalidate(EntityId parent) {
-      rank_dirty.insert(parent);
-      intervals_dirty = true;
+    // Called on every S/P-edge mutation of this ordering; retires the
+    // published snapshots by advancing the epoch.
+    void Invalidate() {
+      index->epoch.fetch_add(1, std::memory_order_release);
     }
   };
 
@@ -302,14 +362,58 @@ class Database {
   // Walks P-edges upward from `start`; true if `needle` is an ancestor.
   bool IsAncestor(const OrderingInstances& inst, EntityId needle,
                   EntityId start) const;
-  // Lazy index maintenance: both may rebuild the index they serve.
-  size_t RankOf(const OrderingInstances& inst, EntityId parent,
-                EntityId child) const;
-  void RebuildIntervals(const OrderingInstances& inst) const;
+  // Lazy index access: returns the current published snapshot,
+  // rebuilding and republishing it first if the epoch moved. Safe for
+  // concurrent readers under the shared latch.
+  std::shared_ptr<const RankIndex> RankIndexFor(
+      const OrderingInstances& inst) const;
+  std::shared_ptr<const IntervalIndex> IntervalIndexFor(
+      const OrderingInstances& inst) const;
   Status CheckOrderedPairExists(EntityId a, EntityId b) const;
   Status LogOp(Op op, const std::vector<uint8_t>& payload);
   Status ApplyOp(const storage::WalRecord& rec);
 
+  // Relaxed-atomic twin of OrderingIndexStats: bumped by concurrent
+  // readers (index lookups run under the shared latch).
+  struct AtomicOrderingIndexStats {
+    std::atomic<uint64_t> rank_hits{0};
+    std::atomic<uint64_t> rank_rebuilds{0};
+    std::atomic<uint64_t> interval_hits{0};
+    std::atomic<uint64_t> interval_rebuilds{0};
+    std::atomic<uint64_t> linear_scans{0};
+
+    OrderingIndexStats Snapshot() const {
+      OrderingIndexStats s;
+      s.rank_hits = rank_hits.load(std::memory_order_relaxed);
+      s.rank_rebuilds = rank_rebuilds.load(std::memory_order_relaxed);
+      s.interval_hits = interval_hits.load(std::memory_order_relaxed);
+      s.interval_rebuilds = interval_rebuilds.load(std::memory_order_relaxed);
+      s.linear_scans = linear_scans.load(std::memory_order_relaxed);
+      return s;
+    }
+    void Reset() {
+      rank_hits.store(0, std::memory_order_relaxed);
+      rank_rebuilds.store(0, std::memory_order_relaxed);
+      interval_hits.store(0, std::memory_order_relaxed);
+      interval_rebuilds.store(0, std::memory_order_relaxed);
+      linear_scans.store(0, std::memory_order_relaxed);
+    }
+    void CopyFrom(const AtomicOrderingIndexStats& o) {
+      rank_hits.store(o.rank_hits.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+      rank_rebuilds.store(o.rank_rebuilds.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+      interval_hits.store(o.interval_hits.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+      interval_rebuilds.store(
+          o.interval_rebuilds.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      linear_scans.store(o.linear_scans.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    }
+  };
+
+  mutable std::shared_mutex mu_;  // see latch()
   ErSchema schema_;
   std::map<EntityId, EntityRecord> entities_;
   std::unordered_map<std::string, std::vector<EntityId>> by_type_;
@@ -319,8 +423,8 @@ class Database {
   std::vector<OrderingInstances> ordering_instances_;
   EntityId next_entity_id_ = 1;
   RelInstanceId next_rel_id_ = 1;
-  bool ordering_index_enabled_ = true;
-  mutable OrderingIndexStats index_stats_;
+  std::atomic<bool> ordering_index_enabled_{true};
+  mutable AtomicOrderingIndexStats index_stats_;
 
   storage::WalWriter* wal_ = nullptr;
   uint64_t open_txn_ = 0;

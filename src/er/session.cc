@@ -1,0 +1,36 @@
+#include "er/session.h"
+
+#include "obs/metrics.h"
+
+namespace mdm::er {
+
+namespace {
+
+struct SessionCounters {
+  obs::Counter* read_guards;
+  obs::Counter* write_guards;
+  static const SessionCounters& Get() {
+    static SessionCounters c = {
+        obs::Registry::Global()->GetCounter(
+            "mdm_er_read_guards_total",
+            "Shared-latch read guards taken on a database"),
+        obs::Registry::Global()->GetCounter(
+            "mdm_er_write_guards_total",
+            "Exclusive-latch write guards taken on a database")};
+    return c;
+  }
+};
+
+}  // namespace
+
+ReadGuard Session::Read() const {
+  SessionCounters::Get().read_guards->Inc();
+  return ReadGuard(*db_);
+}
+
+WriteGuard Session::Write() const {
+  SessionCounters::Get().write_guards->Inc();
+  return WriteGuard(*db_);
+}
+
+}  // namespace mdm::er

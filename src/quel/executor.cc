@@ -1,6 +1,8 @@
 #include <algorithm>
 #include <chrono>
+#include <mutex>
 #include <set>
+#include <shared_mutex>
 
 #include "common/strings.h"
 #include "obs/metrics.h"
@@ -220,7 +222,7 @@ class Evaluator {
 /// timing overhead.
 class NestedLoopJoin {
  public:
-  NestedLoopJoin(Database* db, const Plan* plan, ExecStats* stats,
+  NestedLoopJoin(Database* db, const Plan* plan, ExecCounters* stats,
                  AnalyzeStats* actual = nullptr)
       : db_(db), plan_(plan), stats_(stats), actual_(actual) {}
 
@@ -249,7 +251,7 @@ class NestedLoopJoin {
     for (const PlannedConjunct& c : plan_->conjuncts) {
       if (c.depth != depth) continue;
       if (stats_ != nullptr) {
-        ++stats_->conjuncts_evaluated;
+        stats_->conjuncts_evaluated.fetch_add(1, std::memory_order_relaxed);
         QuelCounters::Get().conjuncts->Inc();
       }
       MDM_ASSIGN_OR_RETURN(bool pass, eval.Test(*c.qual));
@@ -264,7 +266,7 @@ class NestedLoopJoin {
       MDM_RETURN_IF_ERROR(db_->ForEachRelationship(
           var.type, [&](const RelationshipInstance& ri) {
             if (stats_ != nullptr) {
-              ++stats_->rows_scanned;
+              stats_->rows_scanned.fetch_add(1, std::memory_order_relaxed);
               QuelCounters::Get().rows_scanned->Inc();
             }
             Binding b;
@@ -277,7 +279,7 @@ class NestedLoopJoin {
     } else {
       MDM_RETURN_IF_ERROR(db_->ForEachEntity(var.type, [&](EntityId id) {
         if (stats_ != nullptr) {
-          ++stats_->rows_scanned;
+          stats_->rows_scanned.fetch_add(1, std::memory_order_relaxed);
           QuelCounters::Get().rows_scanned->Inc();
         }
         Binding b;
@@ -293,7 +295,7 @@ class NestedLoopJoin {
 
   Database* db_;
   const Plan* plan_;
-  ExecStats* stats_;
+  ExecCounters* stats_;
   AnalyzeStats* actual_;
   std::map<std::string, Binding> bindings_;
   const std::function<Status(const std::map<std::string, Binding>&)>* emit_ =
@@ -426,26 +428,46 @@ Result<ResultSet> QuelSession::ExecuteNaive(const std::string& script) {
 Result<ResultSet> QuelSession::Run(const std::string& script, bool pushdown) {
   // Statement cache: scripts are re-run verbatim by interactive sessions
   // and benchmarks, so a text-keyed cache skips the lexer and parser.
+  // Parsing is pure (no database access), so doing it under the session
+  // mutex keeps concurrent callers of one shared session correct.
   std::shared_ptr<const std::vector<Statement>> stmts;
-  auto cached = parse_cache_.find(script);
-  if (cached != parse_cache_.end()) {
-    stmts = cached->second;
-    ++stats_.plan_cache_hits;
-    QuelCounters::Get().parse_cache_hits->Inc();
-  } else {
-    MDM_ASSIGN_OR_RETURN(std::vector<Statement> parsed, ParseQuel(script));
-    stmts =
-        std::make_shared<const std::vector<Statement>>(std::move(parsed));
-    if (parse_cache_.size() >= kParseCacheCapacity) parse_cache_.clear();
-    parse_cache_.emplace(script, stmts);
+  std::map<std::string, std::string> ranges;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto cached = parse_cache_.find(script);
+    if (cached != parse_cache_.end()) {
+      stmts = cached->second;
+      stats_.plan_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      QuelCounters::Get().parse_cache_hits->Inc();
+    } else {
+      MDM_ASSIGN_OR_RETURN(std::vector<Statement> parsed, ParseQuel(script));
+      stmts =
+          std::make_shared<const std::vector<Statement>>(std::move(parsed));
+      if (parse_cache_.size() >= kParseCacheCapacity) parse_cache_.clear();
+      parse_cache_.emplace(script, stmts);
+    }
+    ranges = ranges_;
   }
 
   const er::OrderingIndexStats before = db_->ordering_index_stats();
   ResultSet last;
   for (const Statement& stmt : *stmts) {
     obs::Span span("quel.statement", StatementDuration(), StatementSelf());
-    ++stats_.statements;
+    stats_.statements.fetch_add(1, std::memory_order_relaxed);
     QuelCounters::Get().statements->Inc();
+    // Per-statement database latch (see the thread-safety contract in
+    // quel.h): retrieves run under the shared latch so concurrent
+    // readers overlap; mutating statements take it exclusively.
+    const bool mutates = stmt.kind == Statement::Kind::kAppend ||
+                         stmt.kind == Statement::Kind::kReplace ||
+                         stmt.kind == Statement::Kind::kDelete;
+    std::shared_lock<std::shared_mutex> read_latch;
+    std::unique_lock<std::shared_mutex> write_latch;
+    if (mutates) {
+      write_latch = std::unique_lock<std::shared_mutex>(db_->latch());
+    } else {
+      read_latch = std::shared_lock<std::shared_mutex>(db_->latch());
+    }
     switch (stmt.kind) {
       case Statement::Kind::kRange: {
         // `range of v1, v2 is TYPE`
@@ -455,8 +477,11 @@ Result<ResultSet> QuelSession::Run(const std::string& script, bool pushdown) {
             db_->schema().FindEntityType(stmt.range_type) == nullptr)
           return NotFound("no entity type or relationship named " +
                           stmt.range_type);
-        for (const std::string& v : stmt.range_vars)
+        std::lock_guard<std::mutex> lock(mu_);
+        for (const std::string& v : stmt.range_vars) {
           ranges_[AsciiLower(v)] = stmt.range_type;
+          ranges[AsciiLower(v)] = stmt.range_type;
+        }
         last = ResultSet{};
         break;
       }
@@ -476,18 +501,23 @@ Result<ResultSet> QuelSession::Run(const std::string& script, bool pushdown) {
       case Statement::Kind::kRetrieve:
       case Statement::Kind::kReplace:
       case Statement::Kind::kDelete: {
-        MDM_ASSIGN_OR_RETURN(last, RunQuery(stmt, pushdown));
+        MDM_ASSIGN_OR_RETURN(last, RunQuery(stmt, pushdown, ranges));
         break;
       }
     }
   }
-  // Attribute this script's ordering-index activity to the session.
-  const er::OrderingIndexStats& after = db_->ordering_index_stats();
-  stats_.index_hits += (after.rank_hits - before.rank_hits) +
-                       (after.interval_hits - before.interval_hits);
-  stats_.index_misses += (after.rank_rebuilds - before.rank_rebuilds) +
-                         (after.interval_rebuilds - before.interval_rebuilds) +
-                         (after.linear_scans - before.linear_scans);
+  // Attribute this script's ordering-index activity to the session
+  // (best-effort when other sessions run concurrently; see ExecStats).
+  const er::OrderingIndexStats after = db_->ordering_index_stats();
+  stats_.index_hits.fetch_add(
+      (after.rank_hits - before.rank_hits) +
+          (after.interval_hits - before.interval_hits),
+      std::memory_order_relaxed);
+  stats_.index_misses.fetch_add(
+      (after.rank_rebuilds - before.rank_rebuilds) +
+          (after.interval_rebuilds - before.interval_rebuilds) +
+          (after.linear_scans - before.linear_scans),
+      std::memory_order_relaxed);
   return last;
 }
 
@@ -496,16 +526,17 @@ Result<ResultSet> RunQueryImpl(Database* db,
                                const std::map<std::string, std::string>&
                                    session_ranges,
                                const Statement& stmt, bool pushdown,
-                               ExecStats* stats);
+                               ExecCounters* stats);
 
-Result<ResultSet> QuelSession::RunQuery(const Statement& stmt,
-                                        bool pushdown) {
-  return RunQueryImpl(db_, ranges_, stmt, pushdown, &stats_);
+Result<ResultSet> QuelSession::RunQuery(
+    const Statement& stmt, bool pushdown,
+    const std::map<std::string, std::string>& ranges) {
+  return RunQueryImpl(db_, ranges, stmt, pushdown, &stats_);
 }
 
 Result<ResultSet> RunQueryImpl(
     Database* db, const std::map<std::string, std::string>& session_ranges,
-    const Statement& stmt, bool pushdown, ExecStats* stats) {
+    const Statement& stmt, bool pushdown, ExecCounters* stats) {
   const bool analyze = stmt.explain && stmt.analyze;
   std::chrono::steady_clock::time_point analyze_start;
   if (analyze) analyze_start = std::chrono::steady_clock::now();

@@ -1,9 +1,11 @@
 #ifndef MDM_QUEL_QUEL_H_
 #define MDM_QUEL_QUEL_H_
 
+#include <atomic>
 #include <cstddef>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -104,6 +106,40 @@ struct ExecStats {
   std::string ToString() const;
 };
 
+/// Relaxed-atomic twin of ExecStats: the live counters a session (and
+/// the join inner loops) bump, safe against concurrent Execute calls on
+/// one shared session. Counts are exact; the index_hits/index_misses
+/// attribution is best-effort when several sessions share one database
+/// (it diffs the database-wide index stats around the script).
+struct ExecCounters {
+  std::atomic<uint64_t> statements{0};
+  std::atomic<uint64_t> rows_scanned{0};
+  std::atomic<uint64_t> conjuncts_evaluated{0};
+  std::atomic<uint64_t> index_hits{0};
+  std::atomic<uint64_t> index_misses{0};
+  std::atomic<uint64_t> plan_cache_hits{0};
+
+  ExecStats Snapshot() const {
+    ExecStats s;
+    s.statements = statements.load(std::memory_order_relaxed);
+    s.rows_scanned = rows_scanned.load(std::memory_order_relaxed);
+    s.conjuncts_evaluated =
+        conjuncts_evaluated.load(std::memory_order_relaxed);
+    s.index_hits = index_hits.load(std::memory_order_relaxed);
+    s.index_misses = index_misses.load(std::memory_order_relaxed);
+    s.plan_cache_hits = plan_cache_hits.load(std::memory_order_relaxed);
+    return s;
+  }
+  void Reset() {
+    statements.store(0, std::memory_order_relaxed);
+    rows_scanned.store(0, std::memory_order_relaxed);
+    conjuncts_evaluated.store(0, std::memory_order_relaxed);
+    index_hits.store(0, std::memory_order_relaxed);
+    index_misses.store(0, std::memory_order_relaxed);
+    plan_cache_hits.store(0, std::memory_order_relaxed);
+  }
+};
+
 /// A QUEL session against one MDM database.
 ///
 /// Implements the QUEL subset used in the paper plus the §5.6
@@ -132,9 +168,23 @@ struct ExecStats {
 /// scripts are cached by text, so repeated Execute calls skip the
 /// lexer/parser entirely. `explain retrieve` renders the plan without
 /// running it.
+///
+/// Thread safety: Execute/ExecuteNaive may be called concurrently —
+/// from many sessions sharing one database (the normal multi-client
+/// shape, one session per client thread) or from threads sharing one
+/// session (the parse cache and range declarations are mutex-guarded;
+/// the counters are atomics). Each statement runs under the database
+/// latch: shared for range/retrieve, exclusive for append/replace/
+/// delete, so retrieves see snapshot-consistent states and mutating
+/// statements are serialized. Consequently, do NOT call Execute while
+/// holding an er::ReadGuard/WriteGuard on the same database — the
+/// latch is not recursive.
 class QuelSession {
  public:
   explicit QuelSession(er::Database* db) : db_(db) {}
+
+  QuelSession(const QuelSession&) = delete;
+  QuelSession& operator=(const QuelSession&) = delete;
 
   /// Executes a script of one or more statements; returns the result of
   /// the last retrieve (or an empty/affected-count result).
@@ -147,30 +197,39 @@ class QuelSession {
 
   /// Declared (explicit) range variables: name -> entity/relationship
   /// type. Persists across Execute calls, like a QUEL terminal session.
-  const std::map<std::string, std::string>& ranges() const {
+  /// Returned by value: a snapshot consistent under concurrency.
+  std::map<std::string, std::string> ranges() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return ranges_;
   }
 
-  /// Cumulative execution counters (see ExecStats).
-  const ExecStats& stats() const { return stats_; }
+  /// Snapshot of the cumulative execution counters (see ExecStats).
+  ExecStats stats() const { return stats_.Snapshot(); }
 
   /// Zeroes the counters only — the parse cache is left intact, so
   /// re-running a cached script after ResetStats still counts a
   /// plan_cache_hit. Use ClearParseCache to drop cached scripts.
-  void ResetStats() { stats_ = ExecStats{}; }
+  void ResetStats() { stats_.Reset(); }
 
   /// Drops every cached parsed script without touching the counters;
   /// the next Execute of any script re-parses it (and does not count a
   /// plan_cache_hit).
-  void ClearParseCache() { parse_cache_.clear(); }
+  void ClearParseCache() {
+    std::lock_guard<std::mutex> lock(mu_);
+    parse_cache_.clear();
+  }
 
  private:
   Result<ResultSet> Run(const std::string& script, bool pushdown);
-  Result<ResultSet> RunQuery(const Statement& stmt, bool pushdown);
+  Result<ResultSet> RunQuery(const Statement& stmt, bool pushdown,
+                             const std::map<std::string, std::string>& ranges);
 
   er::Database* db_;
+  // mu_ guards ranges_ and parse_cache_ (session-local state); the
+  // database itself is guarded by its own latch, taken per statement.
+  mutable std::mutex mu_;
   std::map<std::string, std::string> ranges_;
-  ExecStats stats_;
+  ExecCounters stats_;
   // Statement cache keyed by script text. Statements are immutable once
   // parsed; the shared_ptr keeps a script alive while it executes even
   // if the cache is cleared mid-run.

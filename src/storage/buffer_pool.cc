@@ -1,5 +1,8 @@
 #include "storage/buffer_pool.h"
 
+#include <mutex>
+#include <shared_mutex>
+
 #include "common/strings.h"
 #include "obs/metrics.h"
 
@@ -62,6 +65,9 @@ Result<Page*> BufferPool::GetVictimFrame() {
     Page* victim = page_table_.at(victim_id);
     if (victim->pin_count > 0) continue;
     if (victim->dirty) {
+      // Unpinned ⇒ no client legally holds the content latch; taken
+      // anyway so the writeback read is ordered after the last writer.
+      std::shared_lock<std::shared_mutex> content(victim->latch);
       MDM_RETURN_IF_ERROR(disk_->WritePage(victim_id, victim->data));
       ++stats_.dirty_writebacks;
       PoolCounters::Get().writebacks->Inc();
@@ -80,6 +86,7 @@ Result<Page*> BufferPool::GetVictimFrame() {
 }
 
 Result<Page*> BufferPool::FetchPage(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
     ++stats_.hits;
@@ -102,6 +109,7 @@ Result<Page*> BufferPool::FetchPage(PageId id) {
 }
 
 Result<Page*> BufferPool::NewPage() {
+  std::lock_guard<std::mutex> lock(mu_);
   PageId id;
   MDM_RETURN_IF_ERROR(disk_->AllocatePage(&id));
   MDM_ASSIGN_OR_RETURN(Page * frame, GetVictimFrame());
@@ -115,6 +123,7 @@ Result<Page*> BufferPool::NewPage() {
 }
 
 Status BufferPool::UnpinPage(PageId id, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = page_table_.find(id);
   if (it == page_table_.end())
     return NotFound(StrFormat("unpin of non-resident page %u", id));
@@ -127,8 +136,13 @@ Status BufferPool::UnpinPage(PageId id, bool dirty) {
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [id, page] : page_table_) {
     if (page->dirty) {
+      // Shared content latch: a pinned frame may be concurrently read by
+      // a latch-holding client; clients never hold the latch across pool
+      // calls, so this cannot deadlock (pool mutex → frame latch).
+      std::shared_lock<std::shared_mutex> content(page->latch);
       MDM_RETURN_IF_ERROR(disk_->WritePage(id, page->data));
       page->dirty = false;
       ++stats_.dirty_writebacks;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -28,8 +29,17 @@ struct BufferPoolStats {
 ///
 /// Protocol: FetchPage/NewPage return a pinned frame; the caller must
 /// balance every fetch with UnpinPage(id, dirty). A pinned page is never
-/// evicted. Not thread-safe; the MDM serializes access per database
-/// (concurrency control is transaction-level, see wal.h).
+/// evicted.
+///
+/// Thread safety: all public methods are safe to call concurrently.
+/// One pool mutex guards the page table, LRU state, free list and
+/// stats; miss I/O and dirty writebacks run under it (simple and
+/// correct — see docs/CONCURRENCY.md for the trade-off). A returned
+/// Page* stays valid while pinned; concurrent readers/writers of the
+/// same frame coordinate through the per-frame `Page::latch`, which
+/// they must release before calling back into the pool (lock
+/// hierarchy: pool mutex → frame latch, never the reverse from a
+/// client). Destruction must be externally quiesced.
 class BufferPool {
  public:
   BufferPool(DiskManager* disk, size_t capacity);
@@ -49,17 +59,26 @@ class BufferPool {
   /// Writes back all dirty frames and syncs the disk manager.
   Status FlushAll();
 
-  const BufferPoolStats& stats() const { return stats_; }
+  /// Snapshot of the counters (by value: safe under concurrency).
+  BufferPoolStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
   size_t capacity() const { return capacity_; }
   DiskManager* disk() const { return disk_; }
 
  private:
   // Returns a free frame, evicting the LRU unpinned page if needed.
+  // Requires mu_ held.
   Result<Page*> GetVictimFrame();
-  void TouchLru(PageId id);
+  void TouchLru(PageId id);  // Requires mu_ held.
 
   DiskManager* disk_;
   size_t capacity_;
+  // mu_ guards everything below it (frames_ itself is immutable after
+  // construction; the Page objects it owns are guarded as documented
+  // on Page).
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<Page>> frames_;
   std::unordered_map<PageId, Page*> page_table_;
   std::list<PageId> lru_;  // front = most recent

@@ -18,6 +18,12 @@ namespace mdm::storage {
 /// The file is identified by its first page; the chain is threaded
 /// through each page's next_page header field. Appends go to the tail
 /// page, allocating a new page when the record does not fit.
+///
+/// Thread safety: a HeapFile is NOT internally synchronized — callers
+/// serialize access per file (in the MDM, the owning database's latch
+/// does this: heap scans run under the shared latch only together with
+/// other readers, and appends/deletes under the exclusive latch). The
+/// BufferPool underneath is safe to share across files and threads.
 class HeapFile {
  public:
   /// Creates a new heap file; returns its header (first) page id.

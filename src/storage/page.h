@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <shared_mutex>
 
 namespace mdm::storage {
 
@@ -36,10 +37,20 @@ inline constexpr char kDbFileMagic[4] = {'M', 'D', 'M', 'P'};
 ///
 /// `pin_count` and `dirty` are maintained by the pool; clients obtain
 /// pinned pages from BufferPool::FetchPage / NewPage and must unpin them.
+///
+/// Thread safety: `latch` is the per-frame content latch. A client that
+/// shares a pool across threads takes `latch` shared to read `data` and
+/// exclusive to write it, and must RELEASE the latch before calling back
+/// into any BufferPool method on the same pool (the pool flushes dirty
+/// frames under its own mutex while holding `latch` shared; see the
+/// lock hierarchy in docs/CONCURRENCY.md). `id`, `dirty` and
+/// `pin_count` belong to the pool and are only read/written under the
+/// pool mutex — clients must not touch them directly.
 struct Page {
   PageId id = kInvalidPageId;
   bool dirty = false;
   int pin_count = 0;
+  mutable std::shared_mutex latch;
   uint8_t data[kPageSize] = {};
 
   void Zero() { std::memset(data, 0, kPageSize); }

@@ -77,6 +77,12 @@ class FileWalSink : public WalSink {
 /// (bad crc or truncated record) terminates recovery cleanly, matching
 /// the crash-consistency contract: everything up to the last fully
 /// synced commit is replayed.
+///
+/// Thread safety: externally synchronized. A WalWriter is attached to
+/// one er::Database and only ever written from mutation paths, which
+/// run under that database's exclusive latch (see docs/CONCURRENCY.md);
+/// the latch serializes Begin/LogOp/Commit so the writer needs no lock
+/// of its own, and LSNs stay monotone.
 class WalWriter {
  public:
   explicit WalWriter(WalSink* sink) : sink_(sink) {}

@@ -336,5 +336,49 @@ TEST(CrashSimTest, ProbabilisticTornAppendTorture) {
   RemoveDbFiles(path);
 }
 
+// Recovery must be idempotent: opening an intact database is a pure
+// read — two consecutive Open() calls (snapshot restore + journal
+// replay each time) land on the same state, same epoch, and leave the
+// on-disk files untouched. A recovery that "repairs" something on a
+// clean open would mean replay itself mutates durable state.
+TEST(CrashSimTest, ConsecutiveRecoveriesAreIdempotent) {
+  FailpointRegistry::Global()->Reset();
+  std::vector<Step> steps = BuildWorkload();
+  std::string path = TestDbPath("idem");
+  RemoveDbFiles(path);
+
+  std::string fp_live;
+  {
+    auto h = DurableDatabase::Open(path);
+    ASSERT_TRUE(h.ok()) << h.status().ToString();
+    RunOutcome rc = RunSteps((*h).get(), steps);
+    ASSERT_EQ(rc.acked, steps.size());
+    // Leave uncheckpointed work in the journal so recovery actually
+    // replays (the workload ends on a checkpoint; mutate past it).
+    ASSERT_TRUE(
+        (*h)->db()->SetAttribute(ChordId(0), "name", Value::Int(99)).ok());
+    ASSERT_TRUE((*h)->db()->DeleteEntity(NoteId(5, 1)).ok());
+    fp_live = Fingerprint(*(*h)->db());
+  }
+
+  std::string fp_first;
+  uint64_t epoch_first = 0;
+  {
+    auto h = DurableDatabase::Open(path);
+    ASSERT_TRUE(h.ok()) << h.status().ToString();
+    fp_first = Fingerprint(*(*h)->db());
+    epoch_first = (*h)->epoch();
+  }
+  EXPECT_EQ(fp_first, fp_live);
+
+  {
+    auto h = DurableDatabase::Open(path);
+    ASSERT_TRUE(h.ok()) << h.status().ToString();
+    EXPECT_EQ(Fingerprint(*(*h)->db()), fp_first);
+    EXPECT_EQ((*h)->epoch(), epoch_first);
+  }
+  RemoveDbFiles(path);
+}
+
 }  // namespace
 }  // namespace mdm

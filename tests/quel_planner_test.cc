@@ -4,7 +4,11 @@
 
 #include <algorithm>
 #include <regex>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "common/random.h"
 #include "ddl/parser.h"
 #include "er/database.h"
 #include "quel/planner.h"
@@ -531,6 +535,172 @@ TEST_F(QuelPlannerTest, NaiveAndPlannedAgreeOnRecursiveUnder) {
   ASSERT_TRUE(ablated.ok());
   EXPECT_EQ(Ints(*planned), Ints(*ablated));
 }
+
+// ----------------------------------------------------------------------
+// Index-ablation equivalence property: a database with the ordering
+// index on and one with it off receive the SAME seeded random sequence
+// of mutations and queries, and every answer must match — the index is
+// a pure accelerator, never an oracle. 500+ ops per seed; a failure
+// prints the seed and op number for replay.
+// ----------------------------------------------------------------------
+
+class IndexAblationFuzz : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(IndexAblationFuzz, IndexedAndUnindexedDatabasesStayEquivalent) {
+  const uint64_t seed = GetParam();
+  er::Database indexed;
+  er::Database plain;
+  for (er::Database* db : {&indexed, &plain}) {
+    ASSERT_TRUE(ddl::ExecuteDdl(R"(
+      define entity CHORD (name = integer)
+      define entity NOTE (name = integer)
+      define ordering note_in_chord (NOTE) under CHORD
+    )",
+                                db)
+                    .ok());
+  }
+  plain.EnableOrderingIndex(false);
+  ASSERT_TRUE(indexed.ordering_index_enabled());
+  ASSERT_FALSE(plain.ordering_index_enabled());
+
+  // Parallel id vectors: slot i refers to the same logical entity in
+  // both databases (ids may differ; slots keep them aligned).
+  std::vector<std::pair<EntityId, EntityId>> chords;
+  std::vector<std::pair<EntityId, EntityId>> notes;
+  int next_name = 0;
+  Rng rng(seed);
+
+  auto create = [&](const std::string& type,
+                    std::vector<std::pair<EntityId, EntityId>>* out) {
+    int name = next_name++;
+    auto a = indexed.CreateEntity(type);
+    auto b = plain.CreateEntity(type);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_TRUE(indexed.SetAttribute(*a, "name", Value::Int(name)).ok());
+    ASSERT_TRUE(plain.SetAttribute(*b, "name", Value::Int(name)).ok());
+    out->emplace_back(*a, *b);
+  };
+  for (int i = 0; i < 3; ++i) create("CHORD", &chords);
+  for (int i = 0; i < 8; ++i) create("NOTE", &notes);
+
+  auto h_indexed = *indexed.ResolveOrderingHandle("note_in_chord");
+  auto h_plain = *plain.ResolveOrderingHandle("note_in_chord");
+  QuelSession s_indexed(&indexed);
+  QuelSession s_plain(&plain);
+
+  constexpr int kOps = 600;
+  for (int op = 0; op < kOps; ++op) {
+    SCOPED_TRACE(testing::Message() << "seed " << seed << " op " << op);
+    const double dice = rng.NextDouble();
+    if (dice < 0.12 && !notes.empty()) {
+      // Append a random note under a random chord. Legal iff the note
+      // is currently unordered; both databases must agree either way.
+      auto [na, nb] = notes[rng.Uniform(notes.size())];
+      auto [ca, cb] = chords[rng.Uniform(chords.size())];
+      Status a = indexed.AppendChild(h_indexed, ca, na);
+      Status b = plain.AppendChild(h_plain, cb, nb);
+      ASSERT_EQ(a.code(), b.code()) << a.ToString() << " vs " << b.ToString();
+    } else if (dice < 0.22 && !notes.empty()) {
+      // Insert at a random position.
+      auto [na, nb] = notes[rng.Uniform(notes.size())];
+      auto [ca, cb] = chords[rng.Uniform(chords.size())];
+      size_t at = rng.Uniform(4);
+      Status a = indexed.InsertChildAt(h_indexed, ca, na, at);
+      Status b = plain.InsertChildAt(h_plain, cb, nb, at);
+      ASSERT_EQ(a.code(), b.code());
+    } else if (dice < 0.30 && !notes.empty()) {
+      auto [na, nb] = notes[rng.Uniform(notes.size())];
+      Status a = indexed.RemoveChild(h_indexed, na);
+      Status b = plain.RemoveChild(h_plain, nb);
+      ASSERT_EQ(a.code(), b.code());
+    } else if (dice < 0.36) {
+      if (rng.Bernoulli(0.7) || notes.size() < 4) {
+        create("NOTE", &notes);
+      } else {
+        // Delete an entity outright (detaches it from the ordering).
+        size_t slot = rng.Uniform(notes.size());
+        Status a = indexed.DeleteEntity(notes[slot].first);
+        Status b = plain.DeleteEntity(notes[slot].second);
+        ASSERT_EQ(a.code(), b.code());
+        notes.erase(notes.begin() + slot);
+      }
+    } else if (dice < 0.55 && notes.size() >= 2) {
+      // Pairwise predicates: Before/After must agree ok-ness and value.
+      auto [xa, xb] = notes[rng.Uniform(notes.size())];
+      auto [ya, yb] = notes[rng.Uniform(notes.size())];
+      auto before_a = indexed.Before(h_indexed, xa, ya);
+      auto before_b = plain.Before(h_plain, xb, yb);
+      ASSERT_EQ(before_a.ok(), before_b.ok());
+      if (before_a.ok()) {
+        ASSERT_EQ(*before_a, *before_b);
+      }
+      auto after_a = indexed.After(h_indexed, xa, ya);
+      auto after_b = plain.After(h_plain, xb, yb);
+      ASSERT_EQ(after_a.ok(), after_b.ok());
+      if (after_a.ok()) {
+        ASSERT_EQ(*after_a, *after_b);
+      }
+    } else if (dice < 0.70 && !notes.empty()) {
+      auto [na, nb] = notes[rng.Uniform(notes.size())];
+      auto [ca, cb] = chords[rng.Uniform(chords.size())];
+      auto under_a = indexed.Under(h_indexed, na, ca);
+      auto under_b = plain.Under(h_plain, nb, cb);
+      ASSERT_EQ(under_a.ok(), under_b.ok());
+      if (under_a.ok()) {
+        ASSERT_EQ(*under_a, *under_b);
+      }
+      auto pos_a = indexed.PositionOf(h_indexed, na);
+      auto pos_b = plain.PositionOf(h_plain, nb);
+      ASSERT_EQ(pos_a.ok(), pos_b.ok());
+      if (pos_a.ok()) {
+        ASSERT_EQ(*pos_a, *pos_b);
+      }
+    } else if (dice < 0.85 && !chords.empty()) {
+      // Child lists must agree element-by-element (mapped via slots).
+      auto [ca, cb] = chords[rng.Uniform(chords.size())];
+      auto kids_a = indexed.Children(h_indexed, ca);
+      auto kids_b = plain.Children(h_plain, cb);
+      ASSERT_EQ(kids_a.ok(), kids_b.ok());
+      if (!kids_a.ok()) continue;
+      ASSERT_EQ(kids_a->size(), kids_b->size());
+      for (size_t i = 0; i < kids_a->size(); ++i) {
+        auto slot = std::find_if(
+            notes.begin(), notes.end(),
+            [&](const auto& p) { return p.first == (*kids_a)[i]; });
+        ASSERT_NE(slot, notes.end());
+        ASSERT_EQ(slot->second, (*kids_b)[i]);
+      }
+    } else {
+      // The same QUEL ordering query against both databases.
+      const std::string query =
+          "range of n1, n2 is NOTE\n"
+          "retrieve (n1.name) where n1 " +
+          std::string(rng.Bernoulli(0.5) ? "before" : "after") +
+          " n2 in note_in_chord and n2.name = " +
+          std::to_string(rng.Uniform(static_cast<uint64_t>(next_name)));
+      auto rs_a = s_indexed.Execute(query);
+      auto rs_b = s_plain.Execute(query);
+      ASSERT_EQ(rs_a.ok(), rs_b.ok());
+      if (rs_a.ok()) {
+        std::vector<int64_t> va, vb;
+        for (const auto& row : rs_a->rows) va.push_back(row[0].AsInt());
+        for (const auto& row : rs_b->rows) vb.push_back(row[0].AsInt());
+        std::sort(va.begin(), va.end());
+        std::sort(vb.begin(), vb.end());
+        ASSERT_EQ(va, vb);
+      }
+    }
+  }
+  // The ablated database must never have built an index; the indexed
+  // one must have actually used its.
+  er::OrderingIndexStats ablated = plain.ordering_index_stats();
+  EXPECT_EQ(ablated.rank_rebuilds + ablated.interval_rebuilds, 0u);
+  er::OrderingIndexStats used = indexed.ordering_index_stats();
+  EXPECT_GT(used.rank_hits + used.interval_hits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IndexAblationFuzz,
+                         testing::Values(1u, 2u, 3u));
 
 }  // namespace
 }  // namespace mdm::quel
