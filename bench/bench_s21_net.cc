@@ -1,0 +1,147 @@
+// §2.1 over the wire — the cost of putting the MDM behind a socket:
+// the same read mix as bench_s21_clients, issued by 1/4/8 remote
+// clients against an in-process mdmd on 127.0.0.1, with the in-process
+// (mdm::Connection::Local) path measured alongside as the baseline.
+// Remote throughput pays a protocol round trip per script (frame
+// encode, TCP loopback, frame decode, paging) on top of the same QUEL
+// execution; the per-request latency column makes that tax visible.
+// On a single-hardware-thread host the remote curve flattens early
+// (client threads, connection threads, and the accept loop all
+// time-slice one core); hw_threads in the JSON line qualifies results.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/connection.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "quel/quel.h"
+
+namespace {
+
+constexpr int kChords = 64;
+constexpr int kNotesPerChord = 8;
+constexpr double kSecondsPerPoint = 0.5;
+
+/// Same alternating read mix as bench_s21_clients: ordering predicates
+/// and a counting scan, so local and remote numbers are comparable.
+const char* ReaderScript(uint64_t i) {
+  switch (i % 3) {
+    case 0:
+      return "range of n1, n2 is NOTE\n"
+             "retrieve (n1.name) where n1 before n2 in note_in_chord "
+             "and n2.name = 4";
+    case 1:
+      return "range of n is NOTE\nrange of c is CHORD\n"
+             "retrieve (n.name) where n under c in note_in_chord "
+             "and c.name = 7";
+    default:
+      return "retrieve (k = count(NOTE.name))";
+  }
+}
+
+struct Point {
+  double qps = 0;        // completed scripts per second, all clients
+  double latency_us = 0;  // mean per-request wall clock, microseconds
+};
+
+/// Runs `threads` clients for a fixed window; each obtains a Connection
+/// from `dial` (a fresh one per thread — Connections are single-client).
+template <typename Dial>
+Point Measure(int threads, Dial dial) {
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> done{0};
+  std::atomic<uint64_t> errors{0};
+  std::vector<std::thread> clients;
+  clients.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      auto conn = dial();
+      for (uint64_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        if (conn.Execute(ReaderScript(t + i)).ok())
+          done.fetch_add(1, std::memory_order_relaxed);
+        else
+          errors.fetch_add(1);
+      }
+    });
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(std::chrono::duration<double>(kSecondsPerPoint));
+  stop.store(true);
+  for (std::thread& c : clients) c.join();
+  double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (errors.load() != 0) {
+    std::printf("WARNING: %llu failed scripts\n",
+                (unsigned long long)errors.load());
+  }
+  Point p;
+  p.qps = static_cast<double>(done.load()) / secs;
+  // Mean latency as seen by one client: threads run concurrently, so a
+  // client completes qps/threads requests per second.
+  if (p.qps > 0) p.latency_us = 1e6 * threads / p.qps;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  mdm::bench::PrintHeader(
+      "§2.1 — networked MDM: remote clients vs in-process sessions",
+      "fig 1's terminals talking to the music data manager over the "
+      "mdmd wire protocol (docs/PROTOCOL.md)");
+  std::printf(
+      "expect: remote qps below in-process qps at every client count —\n"
+      "the gap is the protocol round trip (frame codec + TCP loopback +\n"
+      "result paging); latency shows the same tax per request.\n\n");
+
+  mdm::er::Database db = mdm::bench::MakeChordDb(kChords, kNotesPerChord);
+  mdm::net::Server server(&db);
+  if (!server.Start().ok()) {
+    std::printf("cannot start mdmd server\n");
+    return 1;
+  }
+  const uint16_t port = server.port();
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  const int counts[] = {1, 4, 8};
+  Point local[3], remote[3];
+  std::printf("%-10s %14s %14s %12s %12s\n", "clients", "local qps",
+              "remote qps", "local us", "remote us");
+  mdm::bench::MetricsSection metrics;
+  for (int i = 0; i < 3; ++i) {
+    local[i] = Measure(counts[i],
+                       [&db] { return mdm::Connection::Local(&db); });
+    remote[i] = Measure(counts[i], [port] {
+      auto conn = mdm::Connection::Remote("127.0.0.1", port);
+      if (!conn.ok()) std::abort();
+      return std::move(*conn);
+    });
+    std::printf("%-10d %14.0f %14.0f %12.1f %12.1f\n", counts[i],
+                local[i].qps, remote[i].qps, local[i].latency_us,
+                remote[i].latency_us);
+  }
+  server.Stop();
+  double tax_1 = local[0].qps > 0 ? remote[0].qps / local[0].qps : 0.0;
+  std::printf("\nremote/local throughput at 1 client: %.2fx "
+              "(hardware threads: %u)\n",
+              tax_1, hw);
+  std::printf(
+      "BENCH_JSON {\"bench\": \"s21_net\", \"chords\": %d, "
+      "\"notes_per_chord\": %d, \"seconds_per_point\": %.2f, "
+      "\"local_qps_1\": %.0f, \"local_qps_4\": %.0f, \"local_qps_8\": %.0f, "
+      "\"remote_qps_1\": %.0f, \"remote_qps_4\": %.0f, "
+      "\"remote_qps_8\": %.0f, \"remote_lat_us_1\": %.1f, "
+      "\"remote_lat_us_4\": %.1f, \"remote_lat_us_8\": %.1f, "
+      "\"remote_over_local_1\": %.3f, \"hw_threads\": %u%s}\n",
+      kChords, kNotesPerChord, kSecondsPerPoint, local[0].qps, local[1].qps,
+      local[2].qps, remote[0].qps, remote[1].qps, remote[2].qps,
+      remote[0].latency_us, remote[1].latency_us, remote[2].latency_us,
+      tax_1, hw, metrics.DeltaJsonSuffix().c_str());
+  return 0;
+}

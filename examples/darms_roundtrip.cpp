@@ -39,6 +39,10 @@ int main() {
               (unsigned long long)db.TotalEntities());
 
   // The imported score answers QUEL queries: count the syllables sung.
+  // DEPRECATED: constructing a QuelSession directly ties the client to
+  // the in-process database; new code should issue statements through
+  // mdm::Connection (net/connection.h), which offers the same Execute
+  // against local and remote (mdmd) databases alike.
   mdm::quel::QuelSession session(&db);
   auto rs = session.Execute(R"(
     range of s is SYLLABLE

@@ -1,0 +1,108 @@
+// mdmd — the music data manager daemon: one shared er::Database served
+// to many remote clients over the mdmd wire protocol (fig 1 made
+// literal; frame layout in docs/PROTOCOL.md).
+//
+//   $ ./build/examples/mdmd --port 7707
+//   mdmd: listening on 127.0.0.1:7707
+//   $ ./build/examples/mdmsh --connect 127.0.0.1:7707
+//
+// SIGTERM/SIGINT drain gracefully: accept stops, in-flight requests
+// finish and respond, connection threads join, then the process exits 0.
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "er/database.h"
+#include "er/persist.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void OnSignal(int) { g_shutdown = 1; }
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--host H] [--port P] [--max-connections N]\n"
+      "          [--max-frame-bytes B] [--deadline-ms MS] [--load PATH]\n"
+      "  --port 0 binds an ephemeral port (printed on stdout)\n"
+      "  --load  starts from a snapshot written by mdmsh \\save\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mdm::net::ServerOptions opts;
+  std::string snapshot;
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "mdmd: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--host") == 0) {
+      opts.host = need_value("--host");
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      opts.port = static_cast<uint16_t>(std::atoi(need_value("--port")));
+    } else if (std::strcmp(argv[i], "--max-connections") == 0) {
+      opts.max_connections =
+          static_cast<size_t>(std::atol(need_value("--max-connections")));
+    } else if (std::strcmp(argv[i], "--max-frame-bytes") == 0) {
+      opts.max_frame_bytes =
+          static_cast<size_t>(std::atol(need_value("--max-frame-bytes")));
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      opts.default_deadline_ms =
+          static_cast<uint32_t>(std::atol(need_value("--deadline-ms")));
+    } else if (std::strcmp(argv[i], "--load") == 0) {
+      snapshot = need_value("--load");
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  mdm::er::Database db;
+  if (!snapshot.empty()) {
+    auto loaded = mdm::er::LoadSnapshot(snapshot);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "mdmd: cannot load %s: %s\n", snapshot.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    db = std::move(*loaded);
+    std::printf("mdmd: loaded snapshot %s\n", snapshot.c_str());
+  }
+
+  mdm::net::Server server(&db, opts);
+  mdm::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "mdmd: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("mdmd: listening on %s:%u\n", opts.host.c_str(),
+              server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGINT, OnSignal);
+  while (g_shutdown == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::printf("mdmd: draining (%zu active connection(s), "
+              "%llu requests served)\n",
+              server.active_connections(),
+              (unsigned long long)server.requests_served());
+  server.Stop();
+  std::printf("mdmd: shut down cleanly\n");
+  return 0;
+}

@@ -2,17 +2,23 @@
 // music data manager, accepting the paper's DDL and extended QUEL plus
 // a few meta commands. Reads from stdin; suitable for piping scripts.
 //
+// All statements flow through the mdm::Connection facade, so the same
+// shell works against the in-process database (default) or a remote
+// mdmd server:
+//
 //   $ ./build/examples/mdmsh
+//   $ ./build/examples/mdmsh --connect 127.0.0.1:7707
 //   mdm> define entity NOTE (name = integer)
 //   mdm> append to NOTE (name = 7)
 //   mdm> retrieve (NOTE.name)
-//   mdm> \schema        -- deparse the schema
+//   mdm> \schema        -- deparse the schema (local sessions only)
 //   mdm> \ho            -- HO graph in DOT
 //   mdm> \save score.mdm  / \load score.mdm
 //   mdm> \quit
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -23,20 +29,18 @@
 #include "er/database.h"
 #include "er/persist.h"
 #include "er/session.h"
+#include "net/connection.h"
 #include "obs/metrics.h"
 #include "quel/quel.h"
 
 namespace {
 
-bool LooksLikeDdl(const std::string& text) {
-  return mdm::StartsWith(mdm::AsciiLower(std::string(mdm::StrTrim(text))),
-                         "define");
-}
-
 /// \stress: re-runs the last executed QUEL script from N concurrent
 /// client threads (each with its own QuelSession, the fig 1
 /// many-clients shape) and reports aggregate throughput. Retrieves
 /// overlap under the shared latch; mutating scripts serialize safely.
+/// (Local sessions only: against a remote server, run several mdmsh
+/// --connect processes, or bench_s21_net.)
 void RunStress(mdm::er::Database* db, const std::string& script,
                size_t threads, size_t iters) {
   std::atomic<uint64_t> ok{0};
@@ -46,6 +50,9 @@ void RunStress(mdm::er::Database* db, const std::string& script,
   clients.reserve(threads);
   for (size_t t = 0; t < threads; ++t) {
     clients.emplace_back([db, &script, iters, &ok, &failed] {
+      // DEPRECATED shape for clients: prefer mdm::Connection::Local(db)
+      // (net/connection.h); kept raw here to stress the session layer
+      // itself.
       mdm::quel::QuelSession session(db);
       for (size_t i = 0; i < iters; ++i) {
         if (session.Execute(script).ok()) {
@@ -71,9 +78,33 @@ void RunStress(mdm::er::Database* db, const std::string& script,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string endpoint;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      endpoint = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--connect host:port]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  // Local database backing the default (in-process) session. Unused in
+  // remote mode, where the data lives in the mdmd server.
   mdm::er::Database db;
-  mdm::quel::QuelSession session(&db);
+  mdm::Connection conn = mdm::Connection::Local(&db);
+  if (!endpoint.empty()) {
+    auto remote = mdm::Connection::Remote(endpoint);
+    if (!remote.ok()) {
+      std::fprintf(stderr, "mdmsh: cannot connect to %s: %s\n",
+                   endpoint.c_str(), remote.status().ToString().c_str());
+      return 1;
+    }
+    conn = std::move(*remote);
+    std::printf("connected to mdmd at %s\n", endpoint.c_str());
+  }
+  const bool local = !conn.is_remote();
+
   std::string buffer;
   std::string line;
   std::string last_script;  // most recent QUEL buffer, for \stress
@@ -94,15 +125,21 @@ int main() {
             "  explain retrieve ...   show the plan without running it\n"
             "  explain analyze retrieve ...   run it, annotate with actuals\n"
             "  statements may span lines; a blank line executes\n"
-            "  \\schema       deparse the schema as DDL\n"
-            "  \\ho           hierarchical ordering graph (DOT)\n"
+            "  \\schema       deparse the schema as DDL (local)\n"
+            "  \\ho           hierarchical ordering graph (DOT) (local)\n"
             "  \\stats        entity counts + session execution counters\n"
             "  \\stress [N] [ITERS]  re-run the last script from N client\n"
-            "                threads (default 4 x 100)\n"
+            "                threads (default 4 x 100) (local)\n"
             "  \\metrics      process metrics (Prometheus text; 'json' for JSON)\n"
-            "  \\save PATH    write a snapshot\n"
-            "  \\load PATH    replace the session with a snapshot\n"
+            "  \\save PATH    write a snapshot (local)\n"
+            "  \\load PATH    replace the session with a snapshot (local)\n"
             "  \\quit\n");
+      } else if (!local &&
+                 (cmd == "\\schema" || cmd == "\\ho" || cmd == "\\stats" ||
+                  cmd == "\\stress" || cmd == "\\save" || cmd == "\\load")) {
+        std::printf("%s works on a local session only; this shell is "
+                    "connected to a remote mdmd\n",
+                    cmd.c_str());
       } else if (cmd == "\\schema") {
         std::printf("%s", mdm::ddl::SchemaToDdl(db.schema()).c_str());
       } else if (cmd == "\\ho") {
@@ -116,7 +153,7 @@ int main() {
           std::printf("  %-20s %llu\n", type.name.c_str(),
                       n.ok() ? (unsigned long long)*n : 0ull);
         }
-        std::printf("session:\n%s", session.stats().ToString().c_str());
+        std::printf("session:\n%s", conn.local_stats().ToString().c_str());
       } else if (cmd == "\\stress") {
         if (last_script.empty()) {
           std::printf("nothing to stress: execute a QUEL script first\n");
@@ -164,25 +201,16 @@ int main() {
       std::fflush(stdout);
       continue;
     }
-    if (LooksLikeDdl(buffer)) {
-      auto result = mdm::ddl::ExecuteDdl(buffer, &db);
-      if (result.ok()) {
-        std::printf("defined %zu entity type(s), %zu relationship(s), "
-                    "%zu ordering(s)\n",
-                    result->entity_types.size(),
-                    result->relationships.size(),
-                    result->orderings.size());
-      } else {
-        std::printf("%s\n", result.status().ToString().c_str());
-      }
-    } else {
-      auto rs = session.Execute(buffer);
-      if (rs.ok()) {
-        std::printf("%s", rs->ToString().c_str());
+    // DDL and QUEL alike go through the Connection; remote errors come
+    // back code-intact over the wire (common::ErrorCode).
+    auto rs = conn.Execute(buffer);
+    if (rs.ok()) {
+      std::printf("%s", rs->ToString().c_str());
+      if (!mdm::StartsWith(
+              mdm::AsciiLower(std::string(mdm::StrTrim(buffer))), "define"))
         last_script = buffer;
-      } else {
-        std::printf("%s\n", rs.status().ToString().c_str());
-      }
+    } else {
+      std::printf("%s\n", rs.status().ToString().c_str());
     }
     buffer.clear();
     std::printf("mdm> ");

@@ -1,28 +1,35 @@
 // Quickstart: define a schema in the paper's DDL, build hierarchically
 // ordered data, and query it with the extended QUEL operators
 // (before / after / under / is) from §5.6.
+//
+// Statements are issued through mdm::Connection — the one client API
+// that works identically against an in-process database and a remote
+// mdmd server (swap Local for Remote("host:port") and nothing else
+// changes).
 #include <cstdio>
 
-#include "ddl/parser.h"
 #include "er/database.h"
+#include "net/connection.h"
 #include "quel/quel.h"
 
 int main() {
   mdm::er::Database db;
+  mdm::Connection conn = mdm::Connection::Local(&db);
 
-  // 1. The paper's running schema (§5.4).
-  auto ddl = mdm::ddl::ExecuteDdl(R"(
+  // 1. The paper's running schema (§5.4). The Connection routes
+  // `define` scripts to the DDL layer and reports what was defined.
+  auto ddl = conn.Execute(R"(
     define entity CHORD (name = integer)
     define entity NOTE (name = integer, pitch = string)
     define ordering note_in_chord (NOTE) under CHORD
-  )",
-                                  &db);
+  )");
   if (!ddl.ok()) {
     std::printf("DDL failed: %s\n", ddl.status().ToString().c_str());
     return 1;
   }
-  std::printf("defined: %zu entity types, %zu ordering(s)\n\n",
-              ddl->entity_types.size(), ddl->orderings.size());
+  std::printf("defined: %s entity types, %s ordering(s)\n\n",
+              ddl->At(0, 0).ToString().c_str(),
+              ddl->At(0, 2).ToString().c_str());
 
   // 2. A four-note chord, exactly the instance graph of fig 6.
   auto chord = db.CreateEntity("CHORD");
@@ -46,8 +53,7 @@ int main() {
               pitch->AsString().c_str());
 
   // 3. The paper's §5.6 queries, verbatim apart from '.' attribute
-  // syntax.
-  mdm::quel::QuelSession session(&db);
+  // syntax, all through the same Connection.
   struct NamedQuery {
     const char* label;
     const char* text;
@@ -70,7 +76,7 @@ int main() {
        "  where n1 under c1 in note_in_chord and n1.name = 4"},
   };
   for (const NamedQuery& q : queries) {
-    auto rs = session.Execute(q.text);
+    auto rs = conn.Execute(q.text);
     if (!rs.ok()) {
       std::printf("query failed: %s\n", rs.status().ToString().c_str());
       return 1;
@@ -88,7 +94,7 @@ int main() {
 
   // 4. `explain` renders the chosen plan — loop order, pushed-down
   // filters, and which §5.6 structural index answers each operator.
-  auto plan = session.Execute(
+  auto plan = conn.Execute(
       "range of n1, n2 is NOTE\n"
       "explain retrieve (n1.name, n1.pitch)\n"
       "  where n1 before n2 in note_in_chord and n2.name = 3");

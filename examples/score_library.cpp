@@ -5,6 +5,7 @@
 
 #include "biblio/thematic_index.h"
 #include "er/database.h"
+#include "net/connection.h"
 #include "quel/quel.h"
 
 int main() {
@@ -64,9 +65,11 @@ int main() {
     std::printf("  BWV %s - %s\n", e->number.c_str(), e->title.c_str());
   }
 
-  // 3. The catalog is ordinary MDM data: QUEL reaches it directly.
-  mdm::quel::QuelSession session(&db);
-  auto rs = session.Execute(R"(
+  // 3. The catalog is ordinary MDM data: QUEL reaches it through the
+  // mdm::Connection facade (the same call would work over the wire via
+  // Connection::Remote against an mdmd serving this library).
+  mdm::Connection conn = mdm::Connection::Local(&db);
+  auto rs = conn.Execute(R"(
     range of e is CATALOG_ENTRY
     retrieve (e.number, e.title, e.measure_count)
       where e.measure_count > 100

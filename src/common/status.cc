@@ -17,8 +17,55 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kIoError: return "IoError";
     case StatusCode::kUnimplemented: return "Unimplemented";
     case StatusCode::kInternal: return "Internal";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case StatusCode::kUnavailable: return "Unavailable";
   }
   return "Unknown";
+}
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::OK: return "OK";
+    case ErrorCode::NOT_FOUND: return "NOT_FOUND";
+    case ErrorCode::INVALID_ARGUMENT: return "INVALID_ARGUMENT";
+    case ErrorCode::CORRUPTION: return "CORRUPTION";
+    case ErrorCode::RESOURCE_EXHAUSTED: return "RESOURCE_EXHAUSTED";
+    case ErrorCode::DEADLINE_EXCEEDED: return "DEADLINE_EXCEEDED";
+    case ErrorCode::UNAVAILABLE: return "UNAVAILABLE";
+    case ErrorCode::INTERNAL: return "INTERNAL";
+  }
+  return "INTERNAL";
+}
+
+ErrorCode CanonicalCode(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return ErrorCode::OK;
+    case StatusCode::kNotFound:
+      return ErrorCode::NOT_FOUND;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kConstraintViolation:
+    case StatusCode::kParseError:
+    case StatusCode::kTypeError:
+      return ErrorCode::INVALID_ARGUMENT;
+    case StatusCode::kCorruption:
+      return ErrorCode::CORRUPTION;
+    case StatusCode::kResourceExhausted:
+      return ErrorCode::RESOURCE_EXHAUSTED;
+    case StatusCode::kDeadlineExceeded:
+      return ErrorCode::DEADLINE_EXCEEDED;
+    case StatusCode::kIoError:
+    case StatusCode::kUnavailable:
+      return ErrorCode::UNAVAILABLE;
+    case StatusCode::kUnimplemented:
+    case StatusCode::kInternal:
+      return ErrorCode::INTERNAL;
+  }
+  return ErrorCode::INTERNAL;
 }
 
 std::string Status::ToString() const {
@@ -64,6 +111,15 @@ Status Unimplemented(std::string message) {
 }
 Status Internal(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+Status ResourceExhausted(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+Status DeadlineExceeded(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+Status Unavailable(std::string message) {
+  return Status(StatusCode::kUnavailable, std::move(message));
 }
 
 }  // namespace mdm

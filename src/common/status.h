@@ -1,12 +1,19 @@
 #ifndef MDM_COMMON_STATUS_H_
 #define MDM_COMMON_STATUS_H_
 
+#include <cstdint>
 #include <string>
 #include <utility>
 
 namespace mdm {
 
 /// Error codes for operations across the music data manager.
+///
+/// These are the fine-grained codes used throughout the library; each
+/// maps onto exactly one canonical wire-level common::ErrorCode (see
+/// CanonicalCode below), so a Status crossing the mdmd wire protocol
+/// loses no information: the frame carries the StatusCode byte and the
+/// canonical code is re-derived on the far side.
 enum class StatusCode {
   kOk = 0,
   kInvalidArgument,   // malformed input from the caller
@@ -21,10 +28,43 @@ enum class StatusCode {
   kIoError,           // underlying file I/O failed
   kUnimplemented,
   kInternal,
+  kResourceExhausted, // server/connection limit hit; retry later
+  kDeadlineExceeded,  // per-request deadline elapsed before completion
+  kUnavailable,       // peer unreachable / connection lost; retryable
 };
 
 /// Human-readable name of a status code ("OK", "NotFound", ...).
 const char* StatusCodeName(StatusCode code);
+
+namespace common {
+
+/// Canonical error codes: the coarse, transport-stable vocabulary every
+/// public Status maps onto. The numeric values are part of the mdmd
+/// wire protocol (docs/PROTOCOL.md) and must never be renumbered; new
+/// codes append only.
+enum class ErrorCode : uint8_t {
+  OK = 0,
+  NOT_FOUND = 1,
+  INVALID_ARGUMENT = 2,
+  CORRUPTION = 3,
+  RESOURCE_EXHAUSTED = 4,
+  DEADLINE_EXCEEDED = 5,
+  UNAVAILABLE = 6,
+  INTERNAL = 7,
+};
+
+}  // namespace common
+
+using common::ErrorCode;
+
+/// "OK", "NOT_FOUND", ... (the wire-protocol spelling).
+const char* ErrorCodeName(ErrorCode code);
+
+/// Total mapping StatusCode -> canonical ErrorCode. Caller-fault codes
+/// (parse/type/constraint/precondition/range/duplicate) collapse to
+/// INVALID_ARGUMENT; kIoError and kUnavailable to UNAVAILABLE;
+/// kUnimplemented and kInternal to INTERNAL.
+ErrorCode CanonicalCode(StatusCode code);
 
 /// Result of an operation that can fail but returns no value.
 ///
@@ -46,6 +86,9 @@ class Status {
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
+  /// Canonical coarse code — what the wire protocol reports and what
+  /// callers should branch on for retry/backoff decisions.
+  ErrorCode error_code() const { return CanonicalCode(code_); }
   const std::string& message() const { return message_; }
 
   /// "NotFound: no entity type named FOO" (or "OK").
@@ -68,6 +111,9 @@ Status TypeError(std::string message);
 Status IoError(std::string message);
 Status Unimplemented(std::string message);
 Status Internal(std::string message);
+Status ResourceExhausted(std::string message);
+Status DeadlineExceeded(std::string message);
+Status Unavailable(std::string message);
 
 }  // namespace mdm
 

@@ -1,0 +1,223 @@
+#include "net/client.h"
+
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace mdm::net {
+
+namespace {
+
+Status SetBlocking(int fd, bool blocking) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0)
+    return Unavailable(std::string("fcntl failed: ") + std::strerror(errno));
+  if (blocking)
+    flags &= ~O_NONBLOCK;
+  else
+    flags |= O_NONBLOCK;
+  if (::fcntl(fd, F_SETFL, flags) < 0)
+    return Unavailable(std::string("fcntl failed: ") + std::strerror(errno));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<int> DialTcp(const std::string& host, uint16_t port,
+                    uint32_t timeout_ms) {
+  struct addrinfo hints = {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* addrs = nullptr;
+  std::string port_str = std::to_string(port);
+  int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &addrs);
+  if (rc != 0)
+    return Unavailable("cannot resolve " + host + ": " + gai_strerror(rc));
+
+  Status last = Unavailable("no addresses for " + host);
+  for (struct addrinfo* a = addrs; a != nullptr; a = a->ai_next) {
+    int fd = ::socket(a->ai_family, a->ai_socktype, a->ai_protocol);
+    if (fd < 0) {
+      last = Unavailable(std::string("socket failed: ") +
+                         std::strerror(errno));
+      continue;
+    }
+    // Non-blocking connect bounded by poll, then back to blocking.
+    Status s = SetBlocking(fd, false);
+    if (s.ok()) {
+      if (::connect(fd, a->ai_addr, a->ai_addrlen) < 0 &&
+          errno != EINPROGRESS) {
+        s = Unavailable(std::string("connect failed: ") +
+                        std::strerror(errno));
+      } else {
+        struct pollfd pfd = {fd, POLLOUT, 0};
+        int pr = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+        if (pr == 0) {
+          s = DeadlineExceeded("connect to " + host + ":" + port_str +
+                               " timed out after " +
+                               std::to_string(timeout_ms) + "ms");
+        } else if (pr < 0) {
+          s = Unavailable(std::string("poll failed: ") +
+                          std::strerror(errno));
+        } else {
+          int err = 0;
+          socklen_t len = sizeof(err);
+          ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+          if (err != 0)
+            s = Unavailable("connect to " + host + ":" + port_str +
+                            " failed: " + std::strerror(err));
+        }
+      }
+    }
+    if (s.ok()) s = SetBlocking(fd, true);
+    if (s.ok()) {
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      ::freeaddrinfo(addrs);
+      return fd;
+    }
+    ::close(fd);
+    last = std::move(s);
+  }
+  ::freeaddrinfo(addrs);
+  return last;
+}
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port,
+                               ClientOptions opts) {
+  MDM_ASSIGN_OR_RETURN(int fd, DialTcp(host, port, opts.connect_timeout_ms));
+  Client client(opts, host, port, fd);
+  // Admission handshake: a server over its connection limit answers the
+  // ping with RESOURCE_EXHAUSTED before closing.
+  MDM_RETURN_IF_ERROR(client.PingOnce());
+  return client;
+}
+
+Client::Client(Client&& other) noexcept
+    : opts_(other.opts_),
+      host_(std::move(other.host_)),
+      port_(other.port_),
+      fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    opts_ = other.opts_;
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::Reconnect() {
+  Close();
+  MDM_ASSIGN_OR_RETURN(int fd,
+                       DialTcp(host_, port_, opts_.connect_timeout_ms));
+  fd_ = fd;
+  return PingOnce();
+}
+
+Status Client::PingOnce() {
+  if (fd_ < 0) return Unavailable("client is not connected");
+  Frame ping;
+  ping.type = FrameType::kPing;
+  MDM_RETURN_IF_ERROR(WriteFrame(fd_, ping));
+  bool fatal = false;
+  Result<Frame> reply = ReadFrame(fd_, opts_.max_frame_bytes, &fatal);
+  if (!reply.ok()) {
+    if (fatal) Close();
+    return reply.status();
+  }
+  if (reply->type == FrameType::kError) {
+    Status remote;
+    MDM_RETURN_IF_ERROR(DecodeErrorFrame(*reply, &remote));
+    return remote;
+  }
+  if (reply->type != FrameType::kPong)
+    return Internal("unexpected reply to ping");
+  return Status::OK();
+}
+
+Status Client::Ping() {
+  Status s = PingOnce();
+  if (s.code() == StatusCode::kUnavailable && opts_.retry_reads > 0) {
+    MDM_RETURN_IF_ERROR(Reconnect());
+    return PingOnce();
+  }
+  return s;
+}
+
+Result<quel::ResultSet> Client::ExecuteOnce(const std::string& script) {
+  if (fd_ < 0) return Unavailable("client is not connected");
+  ExecuteRequest req;
+  req.script = script;
+  req.deadline_ms = opts_.deadline_ms;
+  Status sent = WriteFrame(fd_, EncodeExecuteRequest(req));
+  if (!sent.ok()) {
+    Close();
+    return sent;
+  }
+  quel::ResultSet rs;
+  bool done = false;
+  while (!done) {
+    bool fatal = false;
+    Result<Frame> frame = ReadFrame(fd_, opts_.max_frame_bytes, &fatal);
+    if (!frame.ok()) {
+      if (fatal) Close();
+      return frame.status();
+    }
+    switch (frame->type) {
+      case FrameType::kError: {
+        Status remote;
+        MDM_RETURN_IF_ERROR(DecodeErrorFrame(*frame, &remote));
+        return remote;
+      }
+      case FrameType::kResultPage:
+        MDM_RETURN_IF_ERROR(DecodeResultPage(*frame, &rs, &done));
+        break;
+      default:
+        Close();  // stream state unknown: give up on the connection
+        return Internal("unexpected frame type in Execute reply");
+    }
+  }
+  return rs;
+}
+
+Result<quel::ResultSet> Client::Execute(const std::string& script) {
+  Result<quel::ResultSet> r = ExecuteOnce(script);
+  // A connection lost mid-read is transparently retryable only for
+  // idempotent scripts: a mutation may have been applied before the
+  // reset, so replaying it could double-apply.
+  int attempts = opts_.retry_reads;
+  while (!r.ok() && attempts-- > 0 &&
+         r.status().code() == StatusCode::kUnavailable &&
+         IsIdempotentScript(script)) {
+    Status re = Reconnect();
+    if (!re.ok()) return re;
+    r = ExecuteOnce(script);
+  }
+  return r;
+}
+
+}  // namespace mdm::net

@@ -1,0 +1,82 @@
+#ifndef MDM_NET_CLIENT_H_
+#define MDM_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/protocol.h"
+#include "quel/quel.h"
+
+namespace mdm::net {
+
+struct ClientOptions {
+  /// Wall-clock budget for establishing the TCP connection (and the
+  /// ping/pong admission handshake).
+  uint32_t connect_timeout_ms = 5000;
+  /// Per-request execution deadline sent to the server; 0 asks for the
+  /// server's default.
+  uint32_t deadline_ms = 0;
+  /// Largest frame this client will accept from the server.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// How many times Execute transparently reconnects and retries after
+  /// a lost connection (ECONNRESET, server restart) — applied only to
+  /// idempotent read scripts (IsIdempotentScript); mutations surface
+  /// UNAVAILABLE to the caller instead, since the server may or may not
+  /// have applied them.
+  int retry_reads = 1;
+};
+
+/// Blocking mdmd client: one TCP connection, one outstanding request at
+/// a time. Not thread-safe — use one Client per thread (the fig 1
+/// many-clients shape), exactly like QuelSession-per-thread in-process.
+class Client {
+ public:
+  /// Connects and performs the admission handshake (ping/pong). A
+  /// server at its connection limit answers the handshake with
+  /// RESOURCE_EXHAUSTED, which is returned here.
+  static Result<Client> Connect(const std::string& host, uint16_t port,
+                                ClientOptions opts = {});
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Executes one DDL/QUEL script on the server; reassembles the paged
+  /// response. Errors arrive code-intact (Status::error_code()).
+  Result<quel::ResultSet> Execute(const std::string& script);
+
+  /// Round-trips a ping frame.
+  Status Ping();
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  const std::string& host() const { return host_; }
+  uint16_t port() const { return port_; }
+
+ private:
+  Client(ClientOptions opts, std::string host, uint16_t port, int fd)
+      : opts_(opts), host_(std::move(host)), port_(port), fd_(fd) {}
+
+  Result<quel::ResultSet> ExecuteOnce(const std::string& script);
+  Status PingOnce();
+  Status Reconnect();
+
+  ClientOptions opts_;
+  std::string host_;
+  uint16_t port_ = 0;
+  int fd_ = -1;
+};
+
+/// Low-level dial: TCP connect to host:port with a timeout; returns the
+/// connected blocking socket fd. Exposed for tests that need a raw
+/// socket to inject malformed frames.
+Result<int> DialTcp(const std::string& host, uint16_t port,
+                    uint32_t timeout_ms);
+
+}  // namespace mdm::net
+
+#endif  // MDM_NET_CLIENT_H_

@@ -1,0 +1,82 @@
+#include "net/connection.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "ddl/parser.h"
+
+namespace mdm {
+
+Result<quel::ResultSet> RunScript(er::Database* db,
+                                  quel::QuelSession* session,
+                                  const std::string& script) {
+  std::string head = AsciiLower(std::string(StrTrim(script)));
+  if (StartsWith(head, "define")) {
+    MDM_ASSIGN_OR_RETURN(ddl::DdlResult ddl, ddl::ExecuteDdl(script, db));
+    quel::ResultSet rs;
+    rs.columns = {"entity_types", "relationships", "orderings"};
+    rs.rows.push_back(
+        {rel::Value::Int(static_cast<int64_t>(ddl.entity_types.size())),
+         rel::Value::Int(static_cast<int64_t>(ddl.relationships.size())),
+         rel::Value::Int(static_cast<int64_t>(ddl.orderings.size()))});
+    rs.affected = ddl.entity_types.size() + ddl.relationships.size() +
+                  ddl.orderings.size();
+    return rs;
+  }
+  return session->Execute(script);
+}
+
+Connection Connection::Local() {
+  Connection c;
+  c.owned_db_ = std::make_unique<er::Database>();
+  c.db_ = c.owned_db_.get();
+  c.session_ = std::make_unique<quel::QuelSession>(c.db_);
+  return c;
+}
+
+Connection Connection::Local(er::Database* db) {
+  Connection c;
+  c.db_ = db;
+  c.session_ = std::make_unique<quel::QuelSession>(db);
+  return c;
+}
+
+Result<Connection> Connection::Remote(const std::string& host, uint16_t port,
+                                      net::ClientOptions opts) {
+  MDM_ASSIGN_OR_RETURN(net::Client client,
+                       net::Client::Connect(host, port, opts));
+  Connection c;
+  c.client_ = std::make_unique<net::Client>(std::move(client));
+  return c;
+}
+
+Result<Connection> Connection::Remote(const std::string& endpoint,
+                                      net::ClientOptions opts) {
+  size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon + 1 == endpoint.size())
+    return InvalidArgument("endpoint must be host:port, got '" + endpoint +
+                           "'");
+  std::string host = endpoint.substr(0, colon);
+  int port = 0;
+  for (size_t i = colon + 1; i < endpoint.size(); ++i) {
+    char ch = endpoint[i];
+    if (ch < '0' || ch > '9')
+      return InvalidArgument("bad port in endpoint '" + endpoint + "'");
+    port = port * 10 + (ch - '0');
+    if (port > 65535)
+      return InvalidArgument("port out of range in '" + endpoint + "'");
+  }
+  return Remote(host, static_cast<uint16_t>(port), opts);
+}
+
+Result<quel::ResultSet> Connection::Execute(const std::string& script) {
+  if (client_ != nullptr) return client_->Execute(script);
+  return RunScript(db_, session_.get(), script);
+}
+
+Status Connection::Ping() {
+  if (client_ != nullptr) return client_->Ping();
+  return Status::OK();
+}
+
+}  // namespace mdm

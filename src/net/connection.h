@@ -1,0 +1,88 @@
+#ifndef MDM_NET_CONNECTION_H_
+#define MDM_NET_CONNECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "er/database.h"
+#include "net/client.h"
+#include "quel/quel.h"
+
+namespace mdm {
+
+/// The one public client API to the music data manager: issue DDL/QUEL
+/// scripts and read ResultSets through the same interface whether the
+/// database lives in this process or behind an mdmd server.
+///
+///   auto conn = mdm::Connection::Local();                 // in-process
+///   auto conn = mdm::Connection::Remote("127.0.0.1:7707");// over TCP
+///   auto rs = conn.Execute("retrieve (NOTE.name)");
+///
+/// Execute accepts both languages: scripts starting with `define` run
+/// through the DDL layer (the result is a one-row summary of what was
+/// defined); everything else is QUEL. Errors carry a canonical
+/// common::ErrorCode either way — remote errors arrive code-intact over
+/// the wire (docs/PROTOCOL.md).
+///
+/// Thread safety matches the underlying session: a Connection is a
+/// single client and is not itself thread-safe; create one per thread.
+/// Local connections may share one er::Database freely (the PR 4
+/// locking stack serializes them); remote connections are independent
+/// sockets against a shared server.
+class Connection {
+ public:
+  /// In-process connection owning a fresh empty database.
+  static Connection Local();
+  /// In-process connection onto an existing database (not owned); the
+  /// database must outlive the Connection.
+  static Connection Local(er::Database* db);
+  /// TCP connection to an mdmd server.
+  static Result<Connection> Remote(const std::string& host, uint16_t port,
+                                   net::ClientOptions opts = {});
+  /// Convenience: "host:port" in one string (mdmsh --connect form).
+  static Result<Connection> Remote(const std::string& endpoint,
+                                   net::ClientOptions opts = {});
+
+  Connection(Connection&&) noexcept = default;
+  Connection& operator=(Connection&&) noexcept = default;
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Executes one DDL or QUEL script, local or remote.
+  Result<quel::ResultSet> Execute(const std::string& script);
+
+  /// Liveness probe: trivially OK locally, ping/pong remotely.
+  Status Ping();
+
+  bool is_remote() const { return client_ != nullptr; }
+  /// The in-process database, or nullptr on a remote connection.
+  /// Local-only tooling (mdmsh \schema, \save, ...) gates on this.
+  er::Database* local_db() const { return db_; }
+  /// Per-session execution counters (local connections only; remote
+  /// statistics live on the server's obs registry).
+  quel::ExecStats local_stats() const {
+    return session_ ? session_->stats() : quel::ExecStats{};
+  }
+
+ private:
+  Connection() = default;
+
+  std::unique_ptr<er::Database> owned_db_;
+  er::Database* db_ = nullptr;               // set iff local
+  std::unique_ptr<quel::QuelSession> session_;
+  std::unique_ptr<net::Client> client_;      // set iff remote
+};
+
+/// The shared local execution path used by Connection::Execute and by
+/// the mdmd server for each request: dispatches `script` to the DDL
+/// layer (leading keyword `define`) or to `session`.
+Result<quel::ResultSet> RunScript(er::Database* db,
+                                  quel::QuelSession* session,
+                                  const std::string& script);
+
+}  // namespace mdm
+
+#endif  // MDM_NET_CONNECTION_H_

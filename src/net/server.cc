@@ -1,0 +1,280 @@
+#include "net/server.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "net/connection.h"
+#include "obs/span.h"
+
+namespace mdm::net {
+
+namespace {
+
+/// Connection threads and the accept loop wake at this cadence to
+/// notice Stop(); it bounds drain latency, not request latency.
+constexpr int kPollMs = 100;
+
+uint64_t ElapsedMs(std::chrono::steady_clock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+}  // namespace
+
+Server::Server(er::Database* db, ServerOptions opts)
+    : db_(db),
+      opts_(std::move(opts)),
+      requests_total_(obs::Registry::Global()->GetCounter(
+          "mdm_net_requests_total", "Execute requests answered by mdmd")),
+      rejected_total_(obs::Registry::Global()->GetCounter(
+          "mdm_net_rejected_total",
+          "Connections rejected at the admission limit")),
+      bytes_in_total_(obs::Registry::Global()->GetCounter(
+          "mdm_net_bytes_in_total", "Frame bytes received by mdmd")),
+      bytes_out_total_(obs::Registry::Global()->GetCounter(
+          "mdm_net_bytes_out_total", "Frame bytes sent by mdmd")),
+      active_connections_(obs::Registry::Global()->GetGauge(
+          "mdm_net_active_connections", "Currently serving connections")),
+      request_span_duration_(obs::Registry::Global()->GetHistogram(
+          "mdm_span_duration_ns{span=\"net.request\"}",
+          "Inclusive span latency in nanoseconds")),
+      request_span_self_(obs::Registry::Global()->GetCounter(
+          "mdm_span_self_ns_total{span=\"net.request\"}",
+          "Span latency excluding child spans")) {}
+
+Server::~Server() { Stop(); }
+
+Status Server::Start() {
+  if (started_.exchange(true))
+    return FailedPrecondition("server already started");
+  struct addrinfo hints = {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  struct addrinfo* addrs = nullptr;
+  std::string port_str = std::to_string(opts_.port);
+  int rc = ::getaddrinfo(opts_.host.c_str(), port_str.c_str(), &hints,
+                         &addrs);
+  if (rc != 0)
+    return Unavailable("cannot resolve " + opts_.host + ": " +
+                       gai_strerror(rc));
+  Status last = Unavailable("no addresses for " + opts_.host);
+  for (struct addrinfo* a = addrs; a != nullptr; a = a->ai_next) {
+    int fd = ::socket(a->ai_family, a->ai_socktype, a->ai_protocol);
+    if (fd < 0) continue;
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, a->ai_addr, a->ai_addrlen) == 0 &&
+        ::listen(fd, 128) == 0) {
+      listen_fd_ = fd;
+      break;
+    }
+    last = Unavailable("cannot bind " + opts_.host + ":" + port_str + ": " +
+                       std::strerror(errno));
+    ::close(fd);
+  }
+  ::freeaddrinfo(addrs);
+  if (listen_fd_ < 0) return last;
+
+  // Resolve the bound port (meaningful when opts_.port was 0).
+  struct sockaddr_storage bound = {};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&bound),
+                    &len) == 0) {
+    if (bound.ss_family == AF_INET) {
+      port_ = ntohs(reinterpret_cast<struct sockaddr_in*>(&bound)->sin_port);
+    } else if (bound.ss_family == AF_INET6) {
+      port_ =
+          ntohs(reinterpret_cast<struct sockaddr_in6*>(&bound)->sin6_port);
+    }
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  // Not started, or another Stop already owns the drain: the joins
+  // below must run exactly once.
+  if (!started_.load() || stop_.exchange(true)) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // Drain: connection threads notice stop_ at their next poll tick,
+  // finish any request in flight, respond, and exit.
+  for (;;) {
+    std::unordered_map<uint64_t, std::thread> remaining;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      remaining.swap(conns_);
+      finished_.clear();
+    }
+    if (remaining.empty()) break;
+    for (auto& [id, t] : remaining)
+      if (t.joinable()) t.join();
+  }
+}
+
+void Server::ReapFinished() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (uint64_t id : finished_) {
+      auto it = conns_.find(id);
+      if (it != conns_.end()) {
+        done.push_back(std::move(it->second));
+        conns_.erase(it);
+      }
+    }
+    finished_.clear();
+  }
+  for (std::thread& t : done)
+    if (t.joinable()) t.join();
+}
+
+void Server::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    struct pollfd pfd = {listen_fd_, POLLIN, 0};
+    int pr = ::poll(&pfd, 1, kPollMs);
+    if (pr <= 0) {
+      ReapFinished();
+      continue;
+    }
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    if (active_.load(std::memory_order_relaxed) >= opts_.max_connections) {
+      // Graceful backpressure: answer the admission ping (or whatever
+      // arrives first) with RESOURCE_EXHAUSTED, then close.
+      rejected_total_->Inc();
+      Frame reject = EncodeErrorFrame(ResourceExhausted(
+          "server at its limit of " +
+          std::to_string(opts_.max_connections) + " connections"));
+      (void)WriteFrame(fd, reject);
+      ::close(fd);
+      continue;
+    }
+    active_.fetch_add(1, std::memory_order_relaxed);
+    active_connections_->Add(1);
+    uint64_t id;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      id = next_conn_id_++;
+      conns_.emplace(id, std::thread([this, id, fd] {
+                       ServeConnection(id, fd);
+                     }));
+    }
+    ReapFinished();
+  }
+}
+
+void Server::ServeConnection(uint64_t id, int fd) {
+  // One QUEL session per connection: its parse cache and declared
+  // ranges live as long as the client stays connected, mirroring an
+  // in-process QuelSession per client thread.
+  quel::QuelSession session(db_);
+  while (true) {
+    // Wait for the next request, waking periodically to honor drain.
+    struct pollfd pfd = {fd, POLLIN, 0};
+    int pr = ::poll(&pfd, 1, kPollMs);
+    if (pr == 0) {
+      if (stop_.load(std::memory_order_relaxed)) break;
+      continue;
+    }
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    bool fatal = false;
+    Result<Frame> frame = ReadFrame(fd, opts_.max_frame_bytes, &fatal);
+    auto t0 = std::chrono::steady_clock::now();
+    if (!frame.ok()) {
+      if (fatal) break;  // framing lost or peer gone: drop the link
+      // Framing intact: report the typed error and keep serving.
+      Frame err = EncodeErrorFrame(frame.status());
+      bytes_out_total_->Inc(kFrameHeaderBytes + err.payload.size());
+      if (!WriteFrame(fd, err).ok()) break;
+      continue;
+    }
+    bytes_in_total_->Inc(kFrameHeaderBytes + frame->payload.size());
+    if (frame->type == FrameType::kPing) {
+      Frame pong;
+      pong.type = FrameType::kPong;
+      bytes_out_total_->Inc(kFrameHeaderBytes);
+      if (!WriteFrame(fd, pong).ok()) break;
+      continue;
+    }
+    if (frame->type != FrameType::kExecuteRequest) {
+      Frame err = EncodeErrorFrame(
+          InvalidArgument("unexpected frame type " +
+                          std::to_string(static_cast<int>(frame->type))));
+      bytes_out_total_->Inc(kFrameHeaderBytes + err.payload.size());
+      if (!WriteFrame(fd, err).ok()) break;
+      continue;
+    }
+
+    obs::Span span("net.request", request_span_duration_,
+                   request_span_self_);
+    Result<ExecuteRequest> req = DecodeExecuteRequest(*frame);
+    Status finished = Status::OK();
+    if (!req.ok()) {
+      finished = req.status();
+    } else {
+      uint32_t deadline_ms = req->deadline_ms != 0
+                                 ? req->deadline_ms
+                                 : opts_.default_deadline_ms;
+      Result<quel::ResultSet> rs = RunScript(db_, &session, req->script);
+      if (!rs.ok()) {
+        finished = rs.status();
+      } else if (deadline_ms != 0 && ElapsedMs(t0) > deadline_ms) {
+        finished = DeadlineExceeded(
+            "request exceeded its " + std::to_string(deadline_ms) +
+            "ms deadline after execution");
+      } else {
+        bool write_ok = true;
+        for (Frame& page :
+             EncodeResultSetPages(*rs, opts_.rows_per_page)) {
+          if (deadline_ms != 0 && ElapsedMs(t0) > deadline_ms) {
+            finished = DeadlineExceeded(
+                "request exceeded its " + std::to_string(deadline_ms) +
+                "ms deadline while streaming results");
+            break;
+          }
+          bytes_out_total_->Inc(kFrameHeaderBytes + page.payload.size());
+          if (!WriteFrame(fd, page).ok()) {
+            write_ok = false;
+            break;
+          }
+        }
+        if (!write_ok) break;
+      }
+    }
+    requests_total_->Inc();
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    if (!finished.ok()) {
+      Frame err = EncodeErrorFrame(finished);
+      bytes_out_total_->Inc(kFrameHeaderBytes + err.payload.size());
+      if (!WriteFrame(fd, err).ok()) break;
+    }
+    if (stop_.load(std::memory_order_relaxed)) break;
+  }
+  ::close(fd);
+  active_.fetch_sub(1, std::memory_order_relaxed);
+  active_connections_->Add(-1);
+  std::lock_guard<std::mutex> lock(mu_);
+  finished_.push_back(id);
+}
+
+}  // namespace mdm::net

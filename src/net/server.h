@@ -1,0 +1,115 @@
+#ifndef MDM_NET_SERVER_H_
+#define MDM_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "er/database.h"
+#include "net/protocol.h"
+#include "obs/metrics.h"
+
+namespace mdm::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the actual one back via port().
+  uint16_t port = 0;
+  /// Admission limit: connection N+1 is accepted, answered with a
+  /// RESOURCE_EXHAUSTED error frame, and closed (graceful backpressure
+  /// rather than a SYN backlog timeout on the client).
+  size_t max_connections = 64;
+  /// Frames above this are rejected with RESOURCE_EXHAUSTED without
+  /// buffering the payload.
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Execution deadline applied when a request carries deadline_ms = 0.
+  uint32_t default_deadline_ms = 30'000;
+  /// Result rows per kResultPage frame.
+  size_t rows_per_page = 256;
+};
+
+/// mdmd: the multi-client TCP server putting one er::Database on a
+/// socket — the paper's fig 1 music data manager proper. One connection
+/// thread and one QuelSession per client; statements serialize through
+/// the PR 4 locking stack exactly as in-process sessions do (see
+/// docs/CONCURRENCY.md, "What a connection thread holds").
+///
+/// Lifecycle: Start() binds and spawns the accept loop; Stop() drains —
+/// stops accepting, lets every in-flight request finish and respond,
+/// then joins all connection threads. Stop is idempotent and also runs
+/// from the destructor. `mdmd` (examples/mdmd.cpp) wires SIGTERM/SIGINT
+/// to Stop for clean shutdown.
+///
+/// Deadlines are cooperative: checked when a request is picked up,
+/// after statement execution, and between result pages. A blocking
+/// statement is never interrupted mid-flight (the QUEL layer holds the
+/// database latch), so a deadline bounds what the client waits for, not
+/// server-side work already underway.
+///
+/// Observability: mdm_net_requests_total, mdm_net_rejected_total,
+/// mdm_net_bytes_{in,out}_total, mdm_net_active_connections and the
+/// net.request span on the global registry.
+class Server {
+ public:
+  explicit Server(er::Database* db, ServerOptions opts = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts accepting. Fails with UNAVAILABLE if
+  /// the address cannot be bound.
+  Status Start();
+
+  /// Graceful drain; safe to call multiple times / concurrently with
+  /// request processing.
+  void Stop();
+
+  /// The bound port (after Start; resolves port 0 to the real one).
+  uint16_t port() const { return port_; }
+  size_t active_connections() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+  /// Execute requests fully processed (success or error answered).
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(uint64_t id, int fd);
+  void ReapFinished();  // joins connection threads that have exited
+
+  er::Database* db_;
+  ServerOptions opts_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> started_{false};
+  std::thread accept_thread_;
+
+  std::mutex mu_;  // guards conns_ and finished_
+  std::unordered_map<uint64_t, std::thread> conns_;
+  std::vector<uint64_t> finished_;
+  uint64_t next_conn_id_ = 0;
+
+  std::atomic<size_t> active_{0};
+  std::atomic<uint64_t> requests_{0};
+
+  obs::Counter* requests_total_;
+  obs::Counter* rejected_total_;
+  obs::Counter* bytes_in_total_;
+  obs::Counter* bytes_out_total_;
+  obs::Gauge* active_connections_;
+  obs::Histogram* request_span_duration_;
+  obs::Counter* request_span_self_;
+};
+
+}  // namespace mdm::net
+
+#endif  // MDM_NET_SERVER_H_

@@ -1,0 +1,537 @@
+// The mdmd wire protocol and client/server stack (src/net): frame
+// codec goldens, malformed-frame rejection, error transport fidelity,
+// and loopback integration of concurrent remote clients against one
+// server. The integration tests exercise real TCP sockets on 127.0.0.1
+// and run under the tsan preset (a connection thread per client over
+// the PR 4 locking stack).
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "ddl/parser.h"
+#include "er/database.h"
+#include "net/client.h"
+#include "net/connection.h"
+#include "net/protocol.h"
+#include "net/server.h"
+#include "quel/quel.h"
+#include "rel/value.h"
+
+namespace mdm {
+namespace {
+
+std::string Hex(const std::vector<uint8_t>& bytes) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (uint8_t b : bytes) {
+    out += kDigits[b >> 4];
+    out += kDigits[b & 0xf];
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// common::ErrorCode — every Status carries a canonical code.
+
+TEST(ErrorCodeTest, CanonicalMappingIsTotal) {
+  EXPECT_EQ(CanonicalCode(StatusCode::kOk), ErrorCode::OK);
+  EXPECT_EQ(CanonicalCode(StatusCode::kNotFound), ErrorCode::NOT_FOUND);
+  for (StatusCode c :
+       {StatusCode::kInvalidArgument, StatusCode::kAlreadyExists,
+        StatusCode::kFailedPrecondition, StatusCode::kOutOfRange,
+        StatusCode::kConstraintViolation, StatusCode::kParseError,
+        StatusCode::kTypeError})
+    EXPECT_EQ(CanonicalCode(c), ErrorCode::INVALID_ARGUMENT)
+        << StatusCodeName(c);
+  EXPECT_EQ(CanonicalCode(StatusCode::kCorruption), ErrorCode::CORRUPTION);
+  EXPECT_EQ(CanonicalCode(StatusCode::kResourceExhausted),
+            ErrorCode::RESOURCE_EXHAUSTED);
+  EXPECT_EQ(CanonicalCode(StatusCode::kDeadlineExceeded),
+            ErrorCode::DEADLINE_EXCEEDED);
+  EXPECT_EQ(CanonicalCode(StatusCode::kIoError), ErrorCode::UNAVAILABLE);
+  EXPECT_EQ(CanonicalCode(StatusCode::kUnavailable),
+            ErrorCode::UNAVAILABLE);
+  EXPECT_EQ(CanonicalCode(StatusCode::kUnimplemented),
+            ErrorCode::INTERNAL);
+  EXPECT_EQ(CanonicalCode(StatusCode::kInternal), ErrorCode::INTERNAL);
+}
+
+TEST(ErrorCodeTest, StatusExposesErrorCode) {
+  EXPECT_EQ(Status::OK().error_code(), ErrorCode::OK);
+  EXPECT_EQ(NotFound("x").error_code(), ErrorCode::NOT_FOUND);
+  EXPECT_EQ(ParseError("x").error_code(), ErrorCode::INVALID_ARGUMENT);
+  EXPECT_EQ(ResourceExhausted("x").error_code(),
+            ErrorCode::RESOURCE_EXHAUSTED);
+  EXPECT_EQ(DeadlineExceeded("x").error_code(),
+            ErrorCode::DEADLINE_EXCEEDED);
+  EXPECT_EQ(Unavailable("x").error_code(), ErrorCode::UNAVAILABLE);
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::RESOURCE_EXHAUSTED),
+               "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(ErrorCodeName(ErrorCode::OK), "OK");
+}
+
+// ---------------------------------------------------------------------
+// Frame codec goldens: the wire encoding is a compatibility surface
+// (docs/PROTOCOL.md); byte-level changes are protocol revisions.
+
+TEST(ProtocolGoldenTest, ExecuteRequestFrame) {
+  net::ExecuteRequest req;
+  req.script = "retrieve (NOTE.name)";
+  req.deadline_ms = 250;
+  EXPECT_EQ(Hex(net::EncodeFrame(net::EncodeExecuteRequest(req))),
+            "4d444d500101000019000000312b51a4fa000000147265747269657665"
+            "20284e4f54452e6e616d6529");
+}
+
+TEST(ProtocolGoldenTest, ErrorFrame) {
+  EXPECT_EQ(Hex(net::EncodeFrame(net::EncodeErrorFrame(
+                NotFound("no entity type named FOO")))),
+            "4d444d50010300001b000000c5f94d0a0102186e6f20656e7469747920"
+            "74797065206e616d656420464f4f");
+}
+
+TEST(ProtocolGoldenTest, ResultPageFrames) {
+  quel::ResultSet rs;
+  rs.columns = {"n.name", "n.pitch"};
+  rs.rows.push_back({rel::Value::Int(7), rel::Value::String("G4")});
+  rs.rows.push_back({rel::Value::Int(9), rel::Value::String("B4")});
+  rs.rows.push_back({rel::Value::Null(), rel::Value::Ref(17)});
+  rs.affected = 3;
+  auto pages = net::EncodeResultSetPages(rs, 2);
+  ASSERT_EQ(pages.size(), 2u);
+  EXPECT_EQ(Hex(net::EncodeFrame(pages[0])),
+            "4d444d50010200002f0000009680e84c0102066e2e6e616d65076e2e70"
+            "6974636800020202070000000000000004024734020209000000000000"
+            "0004024234");
+  EXPECT_EQ(Hex(net::EncodeFrame(pages[1])),
+            "4d444d500102000015000000a5e6e7d50201020006110000000000000"
+            "00300000000000000");
+}
+
+// ---------------------------------------------------------------------
+// Codec round trips.
+
+TEST(ProtocolTest, ExecuteRequestRoundTrip) {
+  net::ExecuteRequest req;
+  req.script = "range of n is NOTE\nretrieve (n.name)";
+  req.deadline_ms = 1234;
+  auto bytes = net::EncodeFrame(net::EncodeExecuteRequest(req));
+  size_t consumed = 0;
+  auto frame = net::DecodeFrame(bytes.data(), bytes.size(),
+                                net::kDefaultMaxFrameBytes, &consumed);
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(consumed, bytes.size());
+  auto decoded = net::DecodeExecuteRequest(*frame);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->script, req.script);
+  EXPECT_EQ(decoded->deadline_ms, req.deadline_ms);
+}
+
+TEST(ProtocolTest, ErrorFramesRoundTripEveryCodeIntact) {
+  const Status statuses[] = {
+      InvalidArgument("m1"),   NotFound("m2"),
+      AlreadyExists("m3"),     FailedPrecondition("m4"),
+      OutOfRange("m5"),        Corruption("m6"),
+      ConstraintViolation("m7"), ParseError("m8"),
+      TypeError("m9"),         IoError("m10"),
+      Unimplemented("m11"),    Internal("m12"),
+      ResourceExhausted("m13"), DeadlineExceeded("m14"),
+      Unavailable("m15"),
+  };
+  for (const Status& s : statuses) {
+    Status out;
+    ASSERT_TRUE(
+        net::DecodeErrorFrame(net::EncodeErrorFrame(s), &out).ok());
+    EXPECT_EQ(out.code(), s.code()) << s.ToString();
+    EXPECT_EQ(out.error_code(), s.error_code()) << s.ToString();
+    EXPECT_EQ(out.message(), s.message());
+  }
+}
+
+TEST(ProtocolTest, ResultSetPagingRoundTrip) {
+  quel::ResultSet rs;
+  rs.columns = {"a", "b", "c"};
+  rs.explain = "plan text";
+  rs.affected = 42;
+  for (int i = 0; i < 5; ++i)
+    rs.rows.push_back({rel::Value::Int(i),
+                       rel::Value::String("s" + std::to_string(i)),
+                       rel::Value::Rat(Rational(i, 4))});
+  auto pages = net::EncodeResultSetPages(rs, 2);
+  ASSERT_EQ(pages.size(), 3u);
+
+  quel::ResultSet out;
+  bool done = false;
+  for (const net::Frame& page : pages) {
+    ASSERT_FALSE(done);
+    ASSERT_TRUE(net::DecodeResultPage(page, &out, &done).ok());
+  }
+  EXPECT_TRUE(done);
+  EXPECT_EQ(out.columns, rs.columns);
+  EXPECT_EQ(out.explain, rs.explain);
+  EXPECT_EQ(out.affected, rs.affected);
+  ASSERT_EQ(out.rows.size(), rs.rows.size());
+  for (size_t r = 0; r < rs.rows.size(); ++r)
+    for (size_t c = 0; c < rs.columns.size(); ++c)
+      EXPECT_TRUE(out.rows[r][c].Equals(rs.rows[r][c]));
+}
+
+TEST(ProtocolTest, EmptyResultSetIsOnePage) {
+  quel::ResultSet rs;
+  rs.affected = 7;
+  auto pages = net::EncodeResultSetPages(rs, 100);
+  ASSERT_EQ(pages.size(), 1u);
+  quel::ResultSet out;
+  bool done = false;
+  ASSERT_TRUE(net::DecodeResultPage(pages[0], &out, &done).ok());
+  EXPECT_TRUE(done);
+  EXPECT_TRUE(out.rows.empty());
+  EXPECT_EQ(out.affected, 7u);
+}
+
+// ---------------------------------------------------------------------
+// Malformed frames: every rejection is a typed error.
+
+TEST(ProtocolTest, TruncatedFramesAreCorruption) {
+  auto bytes = net::EncodeFrame(net::EncodeErrorFrame(NotFound("x")));
+  for (size_t cut : {size_t{0}, size_t{5}, net::kFrameHeaderBytes,
+                     bytes.size() - 1}) {
+    auto r = net::DecodeFrame(bytes.data(), cut);
+    ASSERT_FALSE(r.ok()) << "cut=" << cut;
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption) << "cut=" << cut;
+    EXPECT_EQ(r.status().error_code(), ErrorCode::CORRUPTION);
+  }
+}
+
+TEST(ProtocolTest, BadMagicIsCorruption) {
+  auto bytes = net::EncodeFrame(net::EncodeErrorFrame(NotFound("x")));
+  bytes[0] ^= 0xff;
+  auto r = net::DecodeFrame(bytes.data(), bytes.size());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ProtocolTest, BadVersionIsInvalidArgument) {
+  auto bytes = net::EncodeFrame(net::EncodeErrorFrame(NotFound("x")));
+  bytes[4] = net::kProtocolVersion + 1;
+  auto r = net::DecodeFrame(bytes.data(), bytes.size());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.status().error_code(), ErrorCode::INVALID_ARGUMENT);
+}
+
+TEST(ProtocolTest, OversizedFrameIsResourceExhausted) {
+  net::ExecuteRequest req;
+  req.script = std::string(2048, 'x');
+  auto bytes = net::EncodeFrame(net::EncodeExecuteRequest(req));
+  auto r = net::DecodeFrame(bytes.data(), bytes.size(), /*max=*/1024);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(r.status().error_code(), ErrorCode::RESOURCE_EXHAUSTED);
+}
+
+TEST(ProtocolTest, BadChecksumIsCorruption) {
+  auto bytes = net::EncodeFrame(net::EncodeErrorFrame(NotFound("x")));
+  bytes.back() ^= 0x01;  // flip a payload bit; crc no longer matches
+  auto r = net::DecodeFrame(bytes.data(), bytes.size());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ProtocolTest, IsIdempotentScript) {
+  EXPECT_TRUE(net::IsIdempotentScript(
+      "range of n is NOTE\nretrieve (n.name)"));
+  EXPECT_TRUE(net::IsIdempotentScript(
+      "explain retrieve (NOTE.name) where NOTE.name = 3"));
+  EXPECT_FALSE(net::IsIdempotentScript("append to NOTE (name = 7)"));
+  EXPECT_FALSE(net::IsIdempotentScript(
+      "replace n (pitch = \"A4\") where n.name = 7"));
+  EXPECT_FALSE(net::IsIdempotentScript("delete n where n.name = 7"));
+  EXPECT_FALSE(net::IsIdempotentScript(
+      "define entity NOTE (name = integer)"));
+  // Substrings of keywords do not disqualify.
+  EXPECT_TRUE(net::IsIdempotentScript(
+      "retrieve (n.name) where n.definedness = 1"));
+}
+
+// ---------------------------------------------------------------------
+// Loopback integration: a real server on 127.0.0.1.
+
+class NetServerTest : public ::testing::Test {
+ protected:
+  static constexpr int kNotes = 200;
+
+  void StartServer(net::ServerOptions opts = {}) {
+    opts.port = 0;
+    server_ = std::make_unique<net::Server>(&db_, opts);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void SetUp() override {
+    auto ddl = ddl::ExecuteDdl(R"(
+      define entity CHORD (name = integer)
+      define entity NOTE (name = integer)
+      define ordering note_in_chord (NOTE) under CHORD
+    )",
+                               &db_);
+    ASSERT_TRUE(ddl.ok());
+    auto chord = db_.CreateEntity("CHORD");
+    ASSERT_TRUE(chord.ok());
+    ASSERT_TRUE(
+        db_.SetAttribute(*chord, "name", rel::Value::Int(1)).ok());
+    for (int i = 0; i < kNotes; ++i) {
+      auto note = db_.CreateEntity("NOTE");
+      ASSERT_TRUE(note.ok());
+      ASSERT_TRUE(
+          db_.SetAttribute(*note, "name", rel::Value::Int(i)).ok());
+      ASSERT_TRUE(db_.AppendChild("note_in_chord", *chord, *note).ok());
+    }
+  }
+
+  void TearDown() override {
+    if (server_) server_->Stop();
+  }
+
+  er::Database db_;
+  std::unique_ptr<net::Server> server_;
+};
+
+TEST_F(NetServerTest, RemoteExecuteMatchesLocal) {
+  StartServer();
+  auto remote = Connection::Remote("127.0.0.1", server_->port());
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  Connection local = Connection::Local(&db_);
+
+  const char* script = "retrieve (k = count(NOTE.name))";
+  auto rr = remote->Execute(script);
+  auto lr = local.Execute(script);
+  ASSERT_TRUE(rr.ok()) << rr.status().ToString();
+  ASSERT_TRUE(lr.ok());
+  EXPECT_EQ(rr->ToString(), lr->ToString());
+  ASSERT_EQ(rr->rows.size(), 1u);
+  EXPECT_EQ(rr->At(0, 0).AsInt(), kNotes);
+}
+
+TEST_F(NetServerTest, MultiPageResultArrivesExactly) {
+  net::ServerOptions opts;
+  opts.rows_per_page = 7;  // forces ceil(200/7) = 29 pages
+  StartServer(opts);
+  auto conn = Connection::Remote("127.0.0.1", server_->port());
+  ASSERT_TRUE(conn.ok());
+  auto rs = conn->Execute("range of n is NOTE\nretrieve (n.name)");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  ASSERT_EQ(rs->rows.size(), static_cast<size_t>(kNotes));
+  // Every note name exactly once, in scan order.
+  for (int i = 0; i < kNotes; ++i) EXPECT_EQ(rs->At(i, 0).AsInt(), i);
+}
+
+TEST_F(NetServerTest, DdlAndMutationsOverTheWire) {
+  StartServer();
+  auto conn = Connection::Remote("127.0.0.1", server_->port());
+  ASSERT_TRUE(conn.ok());
+  auto ddl = conn->Execute("define entity LYRIC (text = string)");
+  ASSERT_TRUE(ddl.ok()) << ddl.status().ToString();
+  EXPECT_EQ(ddl->At(0, 0).AsInt(), 1);  // one entity type defined
+  ASSERT_TRUE(conn->Execute("append to LYRIC (text = \"la\")").ok());
+  auto rs = conn->Execute("retrieve (k = count(LYRIC.text))");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->At(0, 0).AsInt(), 1);
+  // The mutation is visible in-process too: one shared database.
+  EXPECT_EQ(*db_.CountEntities("LYRIC"), 1u);
+}
+
+TEST_F(NetServerTest, ErrorsArriveCodeIntact) {
+  StartServer();
+  auto conn = Connection::Remote("127.0.0.1", server_->port());
+  ASSERT_TRUE(conn.ok());
+
+  auto nf = conn->Execute("retrieve (NOPE.x)");
+  ASSERT_FALSE(nf.ok());
+  EXPECT_EQ(nf.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(nf.status().error_code(), ErrorCode::NOT_FOUND);
+  EXPECT_FALSE(nf.status().message().empty());
+
+  auto pe = conn->Execute("retrieve ((((");
+  ASSERT_FALSE(pe.ok());
+  EXPECT_EQ(pe.status().code(), StatusCode::kParseError);
+  EXPECT_EQ(pe.status().error_code(), ErrorCode::INVALID_ARGUMENT);
+}
+
+TEST_F(NetServerTest, FourConcurrentClientsExactCounts) {
+  StartServer();
+  constexpr int kClients = 4;
+  constexpr int kRequests = 25;
+  std::atomic<int> ok{0};
+  std::atomic<int> exact{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClients; ++t) {
+    threads.emplace_back([&, t] {
+      auto conn = Connection::Remote("127.0.0.1", server_->port());
+      if (!conn.ok()) return;
+      for (int i = 0; i < kRequests; ++i) {
+        const char* script =
+            (t + i) % 2 == 0
+                ? "retrieve (k = count(NOTE.name))"
+                : "range of n is NOTE\nrange of c is CHORD\n"
+                  "retrieve (k = count(n)) "
+                  "where n under c in note_in_chord and c.name = 1";
+        auto rs = conn->Execute(script);
+        if (!rs.ok()) continue;
+        ok.fetch_add(1);
+        if (rs->rows.size() == 1 && rs->At(0, 0).AsInt() == kNotes)
+          exact.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Exact-count assertions: every request succeeded and saw all 200
+  // notes (the database is static during this test).
+  EXPECT_EQ(ok.load(), kClients * kRequests);
+  EXPECT_EQ(exact.load(), kClients * kRequests);
+  // The server counts a request after writing its reply, so the last
+  // increment can trail the client's read by a moment; it can settle at
+  // exactly kClients * kRequests and never beyond.
+  const auto want = static_cast<uint64_t>(kClients * kRequests);
+  for (int i = 0; i < 100 && server_->requests_served() < want; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(server_->requests_served(), want);
+  EXPECT_EQ(server_->active_connections(), 0u);  // all clients closed
+}
+
+TEST_F(NetServerTest, MalformedFramesGetTypedErrorsWithoutKillingServer) {
+  net::ServerOptions opts;
+  opts.max_frame_bytes = 1024;
+  StartServer(opts);
+  auto fd = net::DialTcp("127.0.0.1", server_->port(), 2000);
+  ASSERT_TRUE(fd.ok());
+
+  auto expect_error = [&](const std::vector<uint8_t>& bytes,
+                          StatusCode want) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      ssize_t w = ::send(*fd, bytes.data() + sent, bytes.size() - sent, 0);
+      ASSERT_GT(w, 0);
+      sent += static_cast<size_t>(w);
+    }
+    bool fatal = false;
+    auto reply = net::ReadFrame(*fd, net::kDefaultMaxFrameBytes, &fatal);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    ASSERT_EQ(reply->type, net::FrameType::kError);
+    Status remote;
+    ASSERT_TRUE(net::DecodeErrorFrame(*reply, &remote).ok());
+    EXPECT_EQ(remote.code(), want);
+  };
+
+  // Bad checksum: framing intact, typed Corruption comes back.
+  {
+    auto bytes = net::EncodeFrame(net::EncodeExecuteRequest(
+        {"retrieve (NOTE.name)", 0}));
+    bytes.back() ^= 0x01;
+    expect_error(bytes, StatusCode::kCorruption);
+  }
+  // Unsupported version.
+  {
+    auto bytes = net::EncodeFrame(net::EncodeExecuteRequest(
+        {"retrieve (NOTE.name)", 0}));
+    bytes[4] = net::kProtocolVersion + 1;
+    expect_error(bytes, StatusCode::kInvalidArgument);
+  }
+  // Oversized payload (2 KiB against the 1 KiB server limit).
+  {
+    net::ExecuteRequest big;
+    big.script = std::string(2048, 'x');
+    expect_error(net::EncodeFrame(net::EncodeExecuteRequest(big)),
+                 StatusCode::kResourceExhausted);
+  }
+  // The same connection still serves real requests afterwards.
+  {
+    auto bytes = net::EncodeFrame(net::EncodeExecuteRequest(
+        {"retrieve (k = count(NOTE.name))", 0}));
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      ssize_t w = ::send(*fd, bytes.data() + sent, bytes.size() - sent, 0);
+      ASSERT_GT(w, 0);
+      sent += static_cast<size_t>(w);
+    }
+    bool fatal = false;
+    auto reply = net::ReadFrame(*fd, net::kDefaultMaxFrameBytes, &fatal);
+    ASSERT_TRUE(reply.ok());
+    ASSERT_EQ(reply->type, net::FrameType::kResultPage);
+  }
+  ::close(*fd);
+
+  // Garbage magic kills only that connection; the server keeps
+  // accepting new ones.
+  auto fd2 = net::DialTcp("127.0.0.1", server_->port(), 2000);
+  ASSERT_TRUE(fd2.ok());
+  std::vector<uint8_t> garbage(64, 0xAB);
+  ASSERT_GT(::send(*fd2, garbage.data(), garbage.size(), 0), 0);
+  ::close(*fd2);
+  auto conn = Connection::Remote("127.0.0.1", server_->port());
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  EXPECT_TRUE(conn->Execute("retrieve (k = count(NOTE.name))").ok());
+}
+
+TEST_F(NetServerTest, BackpressureRejectsBeyondMaxConnections) {
+  net::ServerOptions opts;
+  opts.max_connections = 1;
+  StartServer(opts);
+  auto first = Connection::Remote("127.0.0.1", server_->port());
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  // The admission handshake of the second connection reports the limit.
+  auto second = Connection::Remote("127.0.0.1", server_->port());
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(second.status().error_code(), ErrorCode::RESOURCE_EXHAUSTED);
+  // The admitted client is unaffected.
+  EXPECT_TRUE(first->Execute("retrieve (k = count(NOTE.name))").ok());
+}
+
+TEST_F(NetServerTest, DeadlineExceededIsReported) {
+  StartServer();
+  net::ClientOptions copts;
+  copts.deadline_ms = 1;  // the n×n scan below takes well over 1ms
+  auto conn =
+      Connection::Remote("127.0.0.1", server_->port(), copts);
+  ASSERT_TRUE(conn.ok());
+  auto rs = conn->Execute(
+      "range of a, b is NOTE\n"
+      "retrieve (a.name) where a.name = b.name");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(rs.status().error_code(), ErrorCode::DEADLINE_EXCEEDED);
+  // The connection survives a deadline miss. (Ping, not Execute: the
+  // 1ms deadline applies to every request on this connection, and under
+  // sanitizers even the count query can miss it.)
+  EXPECT_TRUE(conn->Ping().ok());
+}
+
+TEST_F(NetServerTest, StopDrainsCleanly) {
+  StartServer();
+  auto conn = Connection::Remote("127.0.0.1", server_->port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn->Execute("retrieve (k = count(NOTE.name))").ok());
+  server_->Stop();
+  EXPECT_EQ(server_->active_connections(), 0u);
+  // The drained server refuses further traffic: the request or its
+  // reply fails with a transport-level UNAVAILABLE (never a hang).
+  net::ClientOptions no_retry;
+  no_retry.retry_reads = 0;
+  auto gone = net::Client::Connect("127.0.0.1", server_->port(), no_retry);
+  if (gone.ok()) {
+    auto rs = gone->Execute("retrieve (NOTE.name)");
+    EXPECT_FALSE(rs.ok());
+  }
+}
+
+}  // namespace
+}  // namespace mdm
