@@ -1,0 +1,175 @@
+// §2.1 under fire — what chaos costs a remote reader: the bench_s21_net
+// read mix issued by one remote client whose byte stream passes through
+// a seeded FaultInjectingTransport at 0% / 1% / 5% per-op fault rates,
+// with the retry/backoff discipline (docs/ROBUSTNESS.md) switched on.
+// Faulted runs pay reconnects, replayed attempts, and backoff sleeps;
+// the throughput and p99 columns price that, and the obs registry delta
+// (mdm_net_client_retries_total, mdm_net_client_backoff_ms_total) in
+// the BENCH_JSON line shows the retry machinery doing the paying.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "net/client.h"
+#include "net/connection.h"
+#include "net/server.h"
+#include "net/transport.h"
+#include "obs/metrics.h"
+#include "quel/quel.h"
+
+namespace {
+
+constexpr int kChords = 64;
+constexpr int kNotesPerChord = 8;
+constexpr double kSecondsPerPoint = 0.5;
+
+/// Same alternating read mix as bench_s21_net, so the 0% row here is
+/// directly comparable to that bench's 1-client remote row.
+const char* ReaderScript(uint64_t i) {
+  switch (i % 3) {
+    case 0:
+      return "range of n1, n2 is NOTE\n"
+             "retrieve (n1.name) where n1 before n2 in note_in_chord "
+             "and n2.name = 4";
+    case 1:
+      return "range of n is NOTE\nrange of c is CHORD\n"
+             "retrieve (n.name) where n under c in note_in_chord "
+             "and c.name = 7";
+    default:
+      return "retrieve (k = count(NOTE.name))";
+  }
+}
+
+/// Client options that wrap every dialed transport in a seeded
+/// FaultInjectingTransport; each reconnect perturbs the seed so retries
+/// don't replay the fault that killed the previous link.
+mdm::net::ClientOptions FaultyOptions(double p_fault, uint64_t seed) {
+  mdm::net::ClientOptions copts;
+  copts.deadline_ms = 5000;
+  copts.attempt_timeout_ms = 250;
+  copts.retry.max_attempts = 8;
+  copts.retry.initial_backoff_ms = 1;
+  copts.retry.max_backoff_ms = 16;
+  copts.retry.jitter_seed = seed;
+  if (p_fault > 0) {
+    auto dials = std::make_shared<std::atomic<uint64_t>>(0);
+    copts.transport_factory =
+        [p_fault, seed, dials](const std::string& host, uint16_t port,
+                               uint32_t timeout_ms)
+        -> mdm::Result<std::unique_ptr<mdm::net::Transport>> {
+      auto base = mdm::net::DialTcpTransport(host, port, timeout_ms);
+      if (!base.ok()) return base.status();
+      mdm::net::FaultPlan plan;
+      plan.p_fault = p_fault;
+      plan.delay_ms = 1;
+      plan.seed = seed + dials->fetch_add(1) * 0x9E3779B97F4A7C15ull;
+      return std::unique_ptr<mdm::net::Transport>(
+          std::make_unique<mdm::net::FaultInjectingTransport>(
+              std::move(*base), plan));
+    };
+  }
+  return copts;
+}
+
+struct Point {
+  double qps = 0;      // completed scripts per second
+  double p50_us = 0;   // median per-request wall clock
+  double p99_us = 0;   // tail per-request wall clock
+  uint64_t failed = 0; // scripts that still failed after retries
+};
+
+Point Measure(uint16_t port, double p_fault, uint64_t seed) {
+  auto conn = mdm::Connection::Remote("127.0.0.1", port,
+                                      FaultyOptions(p_fault, seed));
+  if (!conn.ok()) {
+    // A faulty handshake can lose the dial; one clean retry at the
+    // bench level keeps the run going.
+    conn = mdm::Connection::Remote("127.0.0.1", port,
+                                   FaultyOptions(p_fault, seed + 1));
+    if (!conn.ok()) std::abort();
+  }
+  Point p;
+  std::vector<double> lat_us;
+  lat_us.reserve(4096);
+  auto t0 = std::chrono::steady_clock::now();
+  auto deadline = t0 + std::chrono::duration<double>(kSecondsPerPoint);
+  uint64_t i = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto r0 = std::chrono::steady_clock::now();
+    bool ok = conn->Execute(ReaderScript(i++)).ok();
+    double us = std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - r0)
+                    .count();
+    if (ok) {
+      lat_us.push_back(us);
+    } else {
+      ++p.failed;
+    }
+  }
+  double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  p.qps = static_cast<double>(lat_us.size()) / secs;
+  if (!lat_us.empty()) {
+    std::sort(lat_us.begin(), lat_us.end());
+    p.p50_us = lat_us[lat_us.size() / 2];
+    p.p99_us = lat_us[(lat_us.size() * 99) / 100];
+  }
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  mdm::bench::PrintHeader(
+      "§2.1 — remote reads under injected transport faults",
+      "fig 1's terminals on a flaky line: retry/backoff with deadline "
+      "budgets (docs/ROBUSTNESS.md) over the mdmd wire protocol");
+  std::printf(
+      "expect: throughput and tail latency degrade smoothly with the\n"
+      "fault rate — each injected fault costs a reconnect + replayed\n"
+      "attempt + backoff, visible in the p99 column and in the retry\n"
+      "counters on the BENCH_JSON line. No faulted run should fail\n"
+      "outright: retries heal every read at these rates.\n\n");
+
+  mdm::er::Database db = mdm::bench::MakeChordDb(kChords, kNotesPerChord);
+  mdm::net::Server server(&db);
+  if (!server.Start().ok()) {
+    std::printf("cannot start mdmd server\n");
+    return 1;
+  }
+  const uint16_t port = server.port();
+
+  const double rates[] = {0.0, 0.01, 0.05};
+  Point pts[3];
+  std::printf("%-12s %12s %12s %12s %10s\n", "fault rate", "qps", "p50 us",
+              "p99 us", "failed");
+  mdm::bench::MetricsSection metrics;
+  for (int i = 0; i < 3; ++i) {
+    pts[i] = Measure(port, rates[i], /*seed=*/1000 + i);
+    std::printf("%-12.2f %12.0f %12.1f %12.1f %10llu\n", rates[i], pts[i].qps,
+                pts[i].p50_us, pts[i].p99_us,
+                (unsigned long long)pts[i].failed);
+  }
+  server.Stop();
+  double degr = pts[0].qps > 0 ? pts[2].qps / pts[0].qps : 0.0;
+  std::printf("\nthroughput at 5%% faults vs clean: %.2fx\n", degr);
+  std::printf(
+      "BENCH_JSON {\"bench\": \"s21_fault\", \"chords\": %d, "
+      "\"notes_per_chord\": %d, \"seconds_per_point\": %.2f, "
+      "\"qps_f0\": %.0f, \"qps_f1\": %.0f, \"qps_f5\": %.0f, "
+      "\"p99_us_f0\": %.1f, \"p99_us_f1\": %.1f, \"p99_us_f5\": %.1f, "
+      "\"failed_f0\": %llu, \"failed_f1\": %llu, \"failed_f5\": %llu, "
+      "\"qps_f5_over_f0\": %.3f%s}\n",
+      kChords, kNotesPerChord, kSecondsPerPoint, pts[0].qps, pts[1].qps,
+      pts[2].qps, pts[0].p99_us, pts[1].p99_us, pts[2].p99_us,
+      (unsigned long long)pts[0].failed, (unsigned long long)pts[1].failed,
+      (unsigned long long)pts[2].failed, degr,
+      metrics.DeltaJsonSuffix().c_str());
+  return 0;
+}

@@ -13,12 +13,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "er/database.h"
 #include "er/persist.h"
 #include "net/server.h"
+#include "net/transport.h"
 #include "obs/metrics.h"
 
 namespace {
@@ -32,14 +34,23 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s [--host H] [--port P] [--max-connections N]\n"
       "          [--max-frame-bytes B] [--deadline-ms MS] [--load PATH]\n"
+      "          [--idle-timeout-ms MS] [--handshake-timeout-ms MS]\n"
+      "          [--write-timeout-ms MS] [--max-active-statements N]\n"
+      "          [--fault-inject SEED,RATE]\n"
       "  --port 0 binds an ephemeral port (printed on stdout)\n"
-      "  --load  starts from a snapshot written by mdmsh \\save\n",
+      "  --load  starts from a snapshot written by mdmsh \\save\n"
+      "  --fault-inject wraps every accepted connection in a seeded\n"
+      "    FaultInjectingTransport firing at RATE per I/O (chaos drills)\n",
       argv0);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A client may vanish mid-ResultSet; the write must fail with EPIPE,
+  // not kill the daemon. Transports also pass MSG_NOSIGNAL, but ignore
+  // the signal process-wide as a belt-and-braces guard.
+  std::signal(SIGPIPE, SIG_IGN);
   mdm::net::ServerOptions opts;
   std::string snapshot;
   for (int i = 1; i < argc; ++i) {
@@ -63,6 +74,32 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
       opts.default_deadline_ms =
           static_cast<uint32_t>(std::atol(need_value("--deadline-ms")));
+    } else if (std::strcmp(argv[i], "--idle-timeout-ms") == 0) {
+      opts.idle_timeout_ms =
+          static_cast<uint32_t>(std::atol(need_value("--idle-timeout-ms")));
+    } else if (std::strcmp(argv[i], "--handshake-timeout-ms") == 0) {
+      opts.handshake_timeout_ms = static_cast<uint32_t>(
+          std::atol(need_value("--handshake-timeout-ms")));
+    } else if (std::strcmp(argv[i], "--write-timeout-ms") == 0) {
+      opts.write_timeout_ms =
+          static_cast<uint32_t>(std::atol(need_value("--write-timeout-ms")));
+    } else if (std::strcmp(argv[i], "--max-active-statements") == 0) {
+      opts.max_active_statements = static_cast<size_t>(
+          std::atol(need_value("--max-active-statements")));
+    } else if (std::strcmp(argv[i], "--fault-inject") == 0) {
+      const char* spec = need_value("--fault-inject");
+      mdm::net::FaultPlan plan;
+      char* end = nullptr;
+      plan.seed = std::strtoull(spec, &end, 10);
+      if (end == nullptr || *end != ',') {
+        std::fprintf(stderr, "mdmd: --fault-inject wants SEED,RATE\n");
+        return 2;
+      }
+      plan.p_fault = std::strtod(end + 1, nullptr);
+      opts.transport_factory = [plan](int fd) {
+        return std::make_unique<mdm::net::FaultInjectingTransport>(
+            std::make_unique<mdm::net::TcpTransport>(fd), plan);
+      };
     } else if (std::strcmp(argv[i], "--load") == 0) {
       snapshot = need_value("--load");
     } else {

@@ -18,6 +18,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -80,11 +81,22 @@ void RunStress(mdm::er::Database* db, const std::string& script,
 
 int main(int argc, char** argv) {
   std::string endpoint;
+  mdm::net::ClientOptions copts;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
       endpoint = argv[++i];
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      copts.deadline_ms = static_cast<uint32_t>(std::atol(argv[++i]));
+    } else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
+      copts.retry.max_attempts = std::atoi(argv[++i]);
+      if (copts.retry.max_attempts < 1) copts.retry.max_attempts = 1;
     } else {
-      std::fprintf(stderr, "usage: %s [--connect host:port]\n", argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--connect host:port] [--deadline-ms MS] "
+                   "[--retries N]\n"
+                   "  --retries N: total attempts for idempotent reads "
+                   "(1 = never retry)\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -94,7 +106,7 @@ int main(int argc, char** argv) {
   mdm::er::Database db;
   mdm::Connection conn = mdm::Connection::Local(&db);
   if (!endpoint.empty()) {
-    auto remote = mdm::Connection::Remote(endpoint);
+    auto remote = mdm::Connection::Remote(endpoint, copts);
     if (!remote.ok()) {
       std::fprintf(stderr, "mdmsh: cannot connect to %s: %s\n",
                    endpoint.c_str(), remote.status().ToString().c_str());

@@ -9,28 +9,35 @@ const char* FaultKindName(FaultKind kind) {
     case FaultKind::kShortWrite: return "ShortWrite";
     case FaultKind::kTornWrite: return "TornWrite";
     case FaultKind::kPowerCut: return "PowerCut";
+    case FaultKind::kCorrupt: return "Corrupt";
+    case FaultKind::kDisconnect: return "Disconnect";
+    case FaultKind::kDelay: return "Delay";
+    case FaultKind::kDrop: return "Drop";
   }
   return "?";
 }
 
 Failpoint Failpoint::FailNth(uint64_t nth, FaultKind kind,
-                             double keep_fraction) {
+                             double keep_fraction, uint32_t delay_ms) {
   Failpoint fp;
   fp.mode_ = Mode::kNth;
   fp.nth_ = nth;
   fp.kind_ = kind;
   fp.keep_fraction_ = keep_fraction;
+  fp.delay_ms_ = delay_ms;
   return fp;
 }
 
 Failpoint Failpoint::FailWithProbability(double p, uint64_t seed,
                                          FaultKind kind,
-                                         double keep_fraction) {
+                                         double keep_fraction,
+                                         uint32_t delay_ms) {
   Failpoint fp;
   fp.mode_ = Mode::kProbability;
   fp.probability_ = p;
   fp.kind_ = kind;
   fp.keep_fraction_ = keep_fraction;
+  fp.delay_ms_ = delay_ms;
   fp.rng_ = Rng(seed);
   return fp;
 }
@@ -51,7 +58,7 @@ FaultDecision Failpoint::Eval() {
   }
   if (!fire) return {};
   ++fires_;
-  return {kind_, keep_fraction_};
+  return {kind_, keep_fraction_, delay_ms_};
 }
 
 FailpointRegistry* FailpointRegistry::Global() {

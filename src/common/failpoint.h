@@ -24,6 +24,19 @@ enum class FaultKind : uint8_t {
   /// Power dies mid-operation: the bytes in flight tear, and every
   /// subsequent I/O through the same registry fails until Reset.
   kPowerCut,
+  /// Network kinds (net::FaultInjectingTransport; no-ops for disk
+  /// sinks). kCorrupt: the bytes in flight are delivered with one byte
+  /// flipped but the operation reports success — the wire analog of a
+  /// torn write, detectable only by the frame CRC. kDisconnect: the
+  /// connection hard-closes before the operation touches the wire (a
+  /// peer death / RST). kDelay: the operation completes intact after a
+  /// stall of FaultDecision::delay_ms. kDrop: the bytes in flight are
+  /// silently swallowed and the operation reports success — the peer
+  /// waits forever and only a deadline rescues the caller.
+  kCorrupt,
+  kDisconnect,
+  kDelay,
+  kDrop,
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -34,6 +47,8 @@ struct FaultDecision {
   /// For kShortWrite / kTornWrite / kPowerCut: fraction of the bytes in
   /// flight that persist (rounded down per call site).
   double keep_fraction = 1.0;
+  /// For kDelay: how long the call site stalls before completing.
+  uint32_t delay_ms = 0;
 
   bool fired() const { return kind != FaultKind::kNone; }
 };
@@ -48,13 +63,15 @@ class Failpoint {
 
   /// Fires exactly once, on the nth evaluation (1-based).
   static Failpoint FailNth(uint64_t nth, FaultKind kind,
-                           double keep_fraction = 0.5);
+                           double keep_fraction = 0.5,
+                           uint32_t delay_ms = 0);
 
   /// Fires independently with probability `p` per evaluation; the
   /// decision stream is fully determined by `seed`.
   static Failpoint FailWithProbability(double p, uint64_t seed,
                                        FaultKind kind,
-                                       double keep_fraction = 0.5);
+                                       double keep_fraction = 0.5,
+                                       uint32_t delay_ms = 0);
 
   FaultDecision Eval();
 
@@ -69,6 +86,7 @@ class Failpoint {
   uint64_t nth_ = 0;
   double probability_ = 0.0;
   double keep_fraction_ = 0.5;
+  uint32_t delay_ms_ = 0;
   uint64_t hits_ = 0;
   uint64_t fires_ = 0;
   Rng rng_{1};

@@ -91,12 +91,24 @@ class Status {
   ErrorCode error_code() const { return CanonicalCode(code_); }
   const std::string& message() const { return message_; }
 
+  /// Server backoff hint, in milliseconds: "retry no sooner than this".
+  /// 0 (the default) means no hint. Set by load-shedding servers on
+  /// UNAVAILABLE / RESOURCE_EXHAUSTED statuses; transported losslessly
+  /// by the mdmd error frame (docs/PROTOCOL.md) and honored by the
+  /// client's RetryPolicy (net/retry.h).
+  uint32_t retry_after_ms() const { return retry_after_ms_; }
+  Status& set_retry_after_ms(uint32_t ms) {
+    retry_after_ms_ = ms;
+    return *this;
+  }
+
   /// "NotFound: no entity type named FOO" (or "OK").
   std::string ToString() const;
 
  private:
   StatusCode code_;
   std::string message_;
+  uint32_t retry_after_ms_ = 0;
 };
 
 Status InvalidArgument(std::string message);

@@ -8,9 +8,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <optional>
+#include <thread>
 #include <utility>
+
+#include "obs/metrics.h"
 
 namespace mdm::net {
 
@@ -29,10 +35,56 @@ Status SetBlocking(int fd, bool blocking) {
   return Status::OK();
 }
 
+obs::Counter* RetriesCounter() {
+  static obs::Counter* c = obs::Registry::Global()->GetCounter(
+      "mdm_net_client_retries_total",
+      "Transparent client retries of idempotent reads");
+  return c;
+}
+
+obs::Counter* BackoffCounter() {
+  static obs::Counter* c = obs::Registry::Global()->GetCounter(
+      "mdm_net_client_backoff_ms_total",
+      "Milliseconds spent sleeping between client retry attempts");
+  return c;
+}
+
+/// A transport-level failure the retry loop may transparently repair by
+/// reconnecting: the peer vanished (UNAVAILABLE) or the byte stream
+/// broke (CORRUPTION — a flipped frame on a flaky link). Everything
+/// else is an answer from the server and surfaces as-is.
+bool IsTransportFailure(const Status& s) {
+  return s.code() == StatusCode::kUnavailable ||
+         s.code() == StatusCode::kCorruption;
+}
+
+/// Normalizes a ReadFrame failure observed *mid-reply*. None of these
+/// are answers from the server (those arrive as decoded kError frames);
+/// they all mean the reply stream is unusable:
+///  * a recv timeout is a stalled peer/link — UNAVAILABLE, so the
+///    retry loop owns the deadline verdict;
+///  * a version or frame-size anomaly on a stream that handshook fine
+///    is byte garbage wearing a plausible header — CORRUPTION, exactly
+///    like a checksum mismatch.
+Status AsStreamFailure(const Status& s, const char* what) {
+  switch (s.code()) {
+    case StatusCode::kDeadlineExceeded:
+      return Unavailable(std::string(what) + " stalled: " + s.message());
+    case StatusCode::kUnavailable:
+    case StatusCode::kCorruption:
+      return s;
+    default:
+      return Corruption(std::string(what) + " stream broken: " +
+                        s.message());
+  }
+}
+
 }  // namespace
 
 Result<int> DialTcp(const std::string& host, uint16_t port,
                     uint32_t timeout_ms) {
+  if (host.empty())
+    return InvalidArgument("host must not be empty");
   struct addrinfo hints = {};
   hints.ai_family = AF_UNSPEC;
   hints.ai_socktype = SOCK_STREAM;
@@ -93,61 +145,77 @@ Result<int> DialTcp(const std::string& host, uint16_t port,
 
 Result<Client> Client::Connect(const std::string& host, uint16_t port,
                                ClientOptions opts) {
-  MDM_ASSIGN_OR_RETURN(int fd, DialTcp(host, port, opts.connect_timeout_ms));
-  Client client(opts, host, port, fd);
+  Result<std::unique_ptr<Transport>> t =
+      opts.transport_factory
+          ? opts.transport_factory(host, port, opts.connect_timeout_ms)
+          : DialTcpTransport(host, port, opts.connect_timeout_ms);
+  if (!t.ok()) return t.status();
+  Client client(std::move(opts), host, port, std::move(*t));
   // Admission handshake: a server over its connection limit answers the
-  // ping with RESOURCE_EXHAUSTED before closing.
+  // ping with RESOURCE_EXHAUSTED before closing. Bound the wait so a
+  // half-dead server cannot hang the connect.
+  if (client.opts_.connect_timeout_ms != 0)
+    (void)client.transport_->SetRecvTimeout(client.opts_.connect_timeout_ms);
   MDM_RETURN_IF_ERROR(client.PingOnce());
   return client;
 }
 
-Client::Client(Client&& other) noexcept
-    : opts_(other.opts_),
-      host_(std::move(other.host_)),
-      port_(other.port_),
-      fd_(other.fd_) {
-  other.fd_ = -1;
-}
-
-Client& Client::operator=(Client&& other) noexcept {
-  if (this != &other) {
-    Close();
-    opts_ = other.opts_;
-    host_ = std::move(other.host_);
-    port_ = other.port_;
-    fd_ = other.fd_;
-    other.fd_ = -1;
-  }
-  return *this;
-}
-
-Client::~Client() { Close(); }
-
 void Client::Close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
+  if (transport_ != nullptr) transport_->Close();
 }
 
-Status Client::Reconnect() {
+Status Client::Reconnect(const DeadlineBudget& budget) {
   Close();
-  MDM_ASSIGN_OR_RETURN(int fd,
-                       DialTcp(host_, port_, opts_.connect_timeout_ms));
-  fd_ = fd;
+  uint32_t connect_ms = opts_.connect_timeout_ms;
+  if (!budget.unlimited()) {
+    uint64_t remaining = std::max<uint64_t>(1, budget.remaining_ms());
+    connect_ms = connect_ms != 0
+                     ? static_cast<uint32_t>(
+                           std::min<uint64_t>(connect_ms, remaining))
+                     : static_cast<uint32_t>(remaining);
+  }
+  Result<std::unique_ptr<Transport>> t =
+      opts_.transport_factory
+          ? opts_.transport_factory(host_, port_, connect_ms)
+          : DialTcpTransport(host_, port_, connect_ms);
+  if (!t.ok()) {
+    // A timed-out dial is still "the peer is unreachable" to the retry
+    // loop; the deadline verdict belongs to the budget alone.
+    if (t.status().code() == StatusCode::kDeadlineExceeded)
+      return Unavailable("reconnect timed out: " + t.status().message());
+    return t.status();
+  }
+  transport_ = std::move(*t);
+  ArmAttemptTimeout(budget);  // bound the handshake ping too
   return PingOnce();
 }
 
+void Client::ArmAttemptTimeout(const DeadlineBudget& budget) {
+  if (transport_ == nullptr || transport_->closed()) return;
+  uint64_t ms = 0;  // 0 = unbounded
+  if (!budget.unlimited())
+    ms = std::max<uint64_t>(1, budget.remaining_ms());
+  if (opts_.attempt_timeout_ms != 0)
+    ms = ms != 0 ? std::min<uint64_t>(ms, opts_.attempt_timeout_ms)
+                 : opts_.attempt_timeout_ms;
+  if (ms != 0) {
+    (void)transport_->SetRecvTimeout(static_cast<uint32_t>(ms));
+    (void)transport_->SetSendTimeout(static_cast<uint32_t>(ms));
+  }
+}
+
 Status Client::PingOnce() {
-  if (fd_ < 0) return Unavailable("client is not connected");
+  if (transport_ == nullptr || transport_->closed())
+    return Unavailable("client is not connected");
   Frame ping;
   ping.type = FrameType::kPing;
-  MDM_RETURN_IF_ERROR(WriteFrame(fd_, ping));
+  MDM_RETURN_IF_ERROR(WriteFrame(transport_.get(), ping));
   bool fatal = false;
-  Result<Frame> reply = ReadFrame(fd_, opts_.max_frame_bytes, &fatal);
+  Result<Frame> reply =
+      ReadFrame(transport_.get(), opts_.max_frame_bytes, &fatal);
   if (!reply.ok()) {
-    if (fatal) Close();
-    return reply.status();
+    Close();
+    return AsStreamFailure(reply.status(), "ping reply");
   }
   if (reply->type == FrameType::kError) {
     Status remote;
@@ -159,33 +227,32 @@ Status Client::PingOnce() {
   return Status::OK();
 }
 
-Status Client::Ping() {
-  Status s = PingOnce();
-  if (s.code() == StatusCode::kUnavailable && opts_.retry_reads > 0) {
-    MDM_RETURN_IF_ERROR(Reconnect());
-    return PingOnce();
-  }
-  return s;
-}
-
 Result<quel::ResultSet> Client::ExecuteOnce(const std::string& script) {
-  if (fd_ < 0) return Unavailable("client is not connected");
+  if (transport_ == nullptr || transport_->closed())
+    return Unavailable("client is not connected");
   ExecuteRequest req;
   req.script = script;
   req.deadline_ms = opts_.deadline_ms;
-  Status sent = WriteFrame(fd_, EncodeExecuteRequest(req));
+  Status sent = WriteFrame(transport_.get(), EncodeExecuteRequest(req));
   if (!sent.ok()) {
     Close();
+    if (sent.code() == StatusCode::kDeadlineExceeded)
+      return Unavailable("send stalled: " + sent.message());
     return sent;
   }
   quel::ResultSet rs;
   bool done = false;
   while (!done) {
     bool fatal = false;
-    Result<Frame> frame = ReadFrame(fd_, opts_.max_frame_bytes, &fatal);
+    Result<Frame> frame =
+        ReadFrame(transport_.get(), opts_.max_frame_bytes, &fatal);
     if (!frame.ok()) {
-      if (fatal) Close();
-      return frame.status();
+      // Any failure mid-response leaves the reply stream unusable —
+      // even a "recoverable" CRC mismatch means pages were lost — so
+      // the connection is dropped either way; the retry loop may dial
+      // a fresh one.
+      Close();
+      return AsStreamFailure(frame.status(), "response");
     }
     switch (frame->type) {
       case FrameType::kError: {
@@ -204,20 +271,75 @@ Result<quel::ResultSet> Client::ExecuteOnce(const std::string& script) {
   return rs;
 }
 
-Result<quel::ResultSet> Client::Execute(const std::string& script) {
-  Result<quel::ResultSet> r = ExecuteOnce(script);
-  // A connection lost mid-read is transparently retryable only for
-  // idempotent scripts: a mutation may have been applied before the
-  // reset, so replaying it could double-apply.
-  int attempts = opts_.retry_reads;
-  while (!r.ok() && attempts-- > 0 &&
-         r.status().code() == StatusCode::kUnavailable &&
-         IsIdempotentScript(script)) {
-    Status re = Reconnect();
-    if (!re.ok()) return re;
-    r = ExecuteOnce(script);
+template <typename T, typename Attempt>
+Result<T> Client::WithRetries(bool retryable, Attempt attempt) {
+  DeadlineBudget budget(opts_.deadline_ms);
+  RetrySchedule schedule(opts_.retry);
+  int attempts_made = 0;
+  Status last = Status::OK();
+  for (;;) {
+    if (budget.exhausted())
+      return DeadlineExceeded(
+          "deadline of " + std::to_string(opts_.deadline_ms) +
+          "ms exhausted after " + std::to_string(attempts_made) +
+          " attempt(s)" +
+          (last.ok() ? std::string() : "; last error: " + last.message()));
+    std::optional<Status> fail;
+    if (transport_ == nullptr || transport_->closed()) {
+      Status re = Reconnect(budget);
+      if (!re.ok()) fail = re;
+    }
+    if (!fail.has_value()) {
+      ArmAttemptTimeout(budget);
+      Result<T> r = attempt();
+      if (r.ok()) return r;
+      fail = r.status();
+    }
+    ++attempts_made;
+    last = *fail;
+    // Answers from the server (NOT_FOUND, parse errors, a missed
+    // execution deadline, admission RESOURCE_EXHAUSTED, ...) surface
+    // as-is; only transport failures are transparently repairable.
+    if (!IsTransportFailure(last)) return last;
+    if (!retryable) return last;
+    if (attempts_made >= opts_.retry.max_attempts) {
+      Status s = Unavailable(
+          "retries exhausted after " + std::to_string(attempts_made) +
+          " attempt(s); last error: " + last.message());
+      return s;
+    }
+    uint32_t backoff_ms =
+        std::max(schedule.NextBackoffMs(), last.retry_after_ms());
+    if (!budget.CanAfford(backoff_ms))
+      return DeadlineExceeded(
+          "retry budget exhausted: " + std::to_string(budget.elapsed_ms()) +
+          "ms elapsed of a " + std::to_string(opts_.deadline_ms) +
+          "ms deadline after " + std::to_string(attempts_made) +
+          " attempt(s); last error: " + last.message());
+    RetriesCounter()->Inc();
+    BackoffCounter()->Inc(backoff_ms);
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
   }
-  return r;
+}
+
+Result<quel::ResultSet> Client::Execute(const std::string& script) {
+  // A mutation may have been applied before a connection died, so
+  // replaying it could double-apply; only idempotent reads retry.
+  const bool retryable =
+      opts_.retry.max_attempts > 1 && IsIdempotentScript(script);
+  return WithRetries<quel::ResultSet>(
+      retryable, [this, &script] { return ExecuteOnce(script); });
+}
+
+Status Client::Ping() {
+  Result<bool> r = WithRetries<bool>(opts_.retry.max_attempts > 1,
+                                     [this]() -> Result<bool> {
+                                       Status s = PingOnce();
+                                       if (!s.ok()) return s;
+                                       return true;
+                                     });
+  if (!r.ok()) return r.status();
+  return Status::OK();
 }
 
 }  // namespace mdm::net

@@ -2,30 +2,49 @@
 #define MDM_NET_CLIENT_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 
 #include "common/result.h"
 #include "common/status.h"
 #include "net/protocol.h"
+#include "net/retry.h"
+#include "net/transport.h"
 #include "quel/quel.h"
 
 namespace mdm::net {
+
+/// Hook for interposing on the client's byte stream (chaos tests wrap
+/// the dialed TcpTransport in a FaultInjectingTransport). Called for
+/// the initial connect and for every retry reconnect.
+using TransportFactory =
+    std::function<Result<std::unique_ptr<Transport>>(
+        const std::string& host, uint16_t port, uint32_t connect_timeout_ms)>;
 
 struct ClientOptions {
   /// Wall-clock budget for establishing the TCP connection (and the
   /// ping/pong admission handshake).
   uint32_t connect_timeout_ms = 5000;
-  /// Per-request execution deadline sent to the server; 0 asks for the
-  /// server's default.
+  /// Per-request execution deadline sent to the server (0 asks for the
+  /// server's default) — and, when non-zero, the client's *total* retry
+  /// budget: Execute never blocks or backs off past it, even while the
+  /// server (or a faulty link) stalls mid-frame.
   uint32_t deadline_ms = 0;
+  /// Bounds how long one attempt may wait on a single stalled recv
+  /// (0 = only the deadline bounds it). With a deadline set, the
+  /// effective per-attempt recv timeout is min(attempt_timeout_ms,
+  /// remaining budget).
+  uint32_t attempt_timeout_ms = 0;
   /// Largest frame this client will accept from the server.
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
-  /// How many times Execute transparently reconnects and retries after
-  /// a lost connection (ECONNRESET, server restart) — applied only to
-  /// idempotent read scripts (IsIdempotentScript); mutations surface
-  /// UNAVAILABLE to the caller instead, since the server may or may not
-  /// have applied them.
-  int retry_reads = 1;
+  /// Retry discipline for idempotent read scripts (net/retry.h):
+  /// exponential backoff with seeded decorrelated jitter, honoring the
+  /// server's retry_after_ms hints. Mutations are never retried — the
+  /// server may or may not have applied them — and surface UNAVAILABLE.
+  RetryPolicy retry;
+  /// Dials the server; null uses plain TCP (DialTcpTransport).
+  TransportFactory transport_factory;
 };
 
 /// Blocking mdmd client: one TCP connection, one outstanding request at
@@ -39,41 +58,59 @@ class Client {
   static Result<Client> Connect(const std::string& host, uint16_t port,
                                 ClientOptions opts = {});
 
-  Client(Client&& other) noexcept;
-  Client& operator=(Client&& other) noexcept;
+  Client(Client&&) noexcept = default;
+  Client& operator=(Client&&) noexcept = default;
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
-  ~Client();
+  ~Client() = default;
 
   /// Executes one DDL/QUEL script on the server; reassembles the paged
   /// response. Errors arrive code-intact (Status::error_code()).
+  ///
+  /// Transport failures (UNAVAILABLE, stream CORRUPTION) of idempotent
+  /// read scripts are retried per ClientOptions::retry; exhaustion is
+  /// typed: DEADLINE_EXCEEDED when deadline_ms ran out first,
+  /// UNAVAILABLE when max_attempts did. Observability:
+  /// mdm_net_client_retries_total / mdm_net_client_backoff_ms_total.
   Result<quel::ResultSet> Execute(const std::string& script);
 
-  /// Round-trips a ping frame.
+  /// Round-trips a ping frame (retried like an idempotent read).
   Status Ping();
 
   void Close();
-  bool connected() const { return fd_ >= 0; }
+  bool connected() const { return transport_ != nullptr && !transport_->closed(); }
   const std::string& host() const { return host_; }
   uint16_t port() const { return port_; }
 
  private:
-  Client(ClientOptions opts, std::string host, uint16_t port, int fd)
-      : opts_(opts), host_(std::move(host)), port_(port), fd_(fd) {}
+  Client(ClientOptions opts, std::string host, uint16_t port,
+         std::unique_ptr<Transport> t)
+      : opts_(std::move(opts)),
+        host_(std::move(host)),
+        port_(port),
+        transport_(std::move(t)) {}
 
   Result<quel::ResultSet> ExecuteOnce(const std::string& script);
   Status PingOnce();
-  Status Reconnect();
+  /// Dials a fresh transport, never spending longer than the remaining
+  /// budget on the connect.
+  Status Reconnect(const DeadlineBudget& budget);
+  /// Applies the per-attempt recv timeout from the remaining budget.
+  void ArmAttemptTimeout(const DeadlineBudget& budget);
+  /// Shared retry loop driving `attempt` (see Execute).
+  template <typename T, typename Attempt>
+  Result<T> WithRetries(bool retryable, Attempt attempt);
 
   ClientOptions opts_;
   std::string host_;
   uint16_t port_ = 0;
-  int fd_ = -1;
+  std::unique_ptr<Transport> transport_;
 };
 
 /// Low-level dial: TCP connect to host:port with a timeout; returns the
 /// connected blocking socket fd. Exposed for tests that need a raw
-/// socket to inject malformed frames.
+/// socket to inject malformed frames. Validates host up front: an
+/// empty host is INVALID_ARGUMENT, an unresolvable one UNAVAILABLE.
 Result<int> DialTcp(const std::string& host, uint16_t port,
                     uint32_t timeout_ms);
 

@@ -57,6 +57,15 @@ Result<Connection> Connection::Remote(const std::string& endpoint,
     return InvalidArgument("endpoint must be host:port, got '" + endpoint +
                            "'");
   std::string host = endpoint.substr(0, colon);
+  // Accept [v6::literal]:port and unwrap the brackets for the resolver.
+  if (host.size() >= 2 && host.front() == '[' && host.back() == ']')
+    host = host.substr(1, host.size() - 2);
+  if (host.empty())
+    return InvalidArgument("empty host in endpoint '" + endpoint + "'");
+  if (host.find(':') != std::string::npos && endpoint.front() != '[')
+    return InvalidArgument(
+        "ambiguous endpoint '" + endpoint +
+        "': bracket IPv6 literals as [addr]:port");
   int port = 0;
   for (size_t i = colon + 1; i < endpoint.size(); ++i) {
     char ch = endpoint[i];
@@ -66,6 +75,8 @@ Result<Connection> Connection::Remote(const std::string& endpoint,
     if (port > 65535)
       return InvalidArgument("port out of range in '" + endpoint + "'");
   }
+  if (port == 0)
+    return InvalidArgument("port must be 1-65535 in '" + endpoint + "'");
   return Remote(host, static_cast<uint16_t>(port), opts);
 }
 

@@ -1,5 +1,7 @@
 #include "net/protocol.h"
 
+#include "net/transport.h"
+
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -108,6 +110,7 @@ Frame EncodeErrorFrame(const Status& status) {
   ByteWriter w;
   w.PutU8(static_cast<uint8_t>(status.error_code()));
   w.PutU8(static_cast<uint8_t>(status.code()));
+  w.PutU32(status.retry_after_ms());
   w.PutString(status.message());
   Frame f;
   f.type = FrameType::kError;
@@ -120,9 +123,11 @@ Status DecodeErrorFrame(const Frame& frame, Status* out) {
     return InvalidArgument("frame is not an error frame");
   ByteReader r(frame.payload);
   uint8_t canonical = 0, fine = 0;
+  uint32_t retry_after_ms = 0;
   std::string message;
   MDM_RETURN_IF_ERROR(r.GetU8(&canonical));
   MDM_RETURN_IF_ERROR(r.GetU8(&fine));
+  MDM_RETURN_IF_ERROR(r.GetU32(&retry_after_ms));
   MDM_RETURN_IF_ERROR(r.GetString(&message));
   if (!r.AtEnd()) return Corruption("trailing bytes after error frame");
   StatusCode code = static_cast<StatusCode>(fine);
@@ -146,6 +151,7 @@ Status DecodeErrorFrame(const Frame& frame, Status* out) {
     }
   }
   *out = Status(code, std::move(message));
+  out->set_retry_after_ms(retry_after_ms);
   return Status::OK();
 }
 
@@ -224,15 +230,18 @@ Status DecodeResultPage(const Frame& frame, quel::ResultSet* out,
 
 namespace {
 
-/// recv exactly `n` bytes. `*eof` is set when the peer closed cleanly
-/// before the first byte (n stays unread); a close mid-buffer is an
-/// error, not EOF.
-Status ReadFully(int fd, uint8_t* buf, size_t n, bool* eof) {
+/// Recv exactly `n` bytes through the transport. `*eof` is set when the
+/// peer closed cleanly before the first byte (n stays unread); a close
+/// mid-buffer is an error, not EOF. A recv timeout propagates as the
+/// transport's DeadlineExceeded — the stream position is unknown, so
+/// the caller must treat it as fatal.
+Status ReadFully(Transport* t, uint8_t* buf, size_t n, bool* eof) {
   if (eof != nullptr) *eof = false;
   size_t got = 0;
   while (got < n) {
-    ssize_t r = ::recv(fd, buf + got, n - got, 0);
-    if (r == 0) {
+    Result<size_t> r = t->Recv(buf + got, n - got);
+    if (!r.ok()) return r.status();
+    if (*r == 0) {
       if (got == 0 && eof != nullptr) {
         *eof = true;
         return Unavailable("connection closed by peer");
@@ -241,21 +250,16 @@ Status ReadFully(int fd, uint8_t* buf, size_t n, bool* eof) {
                         std::to_string(got) + "/" + std::to_string(n) +
                         " bytes)");
     }
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return Unavailable(std::string("recv failed: ") +
-                         std::strerror(errno));
-    }
-    got += static_cast<size_t>(r);
+    got += *r;
   }
   return Status::OK();
 }
 
-Status DiscardFully(int fd, size_t n) {
+Status DiscardFully(Transport* t, size_t n) {
   uint8_t sink[4096];
   while (n > 0) {
     size_t chunk = std::min(n, sizeof(sink));
-    MDM_RETURN_IF_ERROR(ReadFully(fd, sink, chunk, nullptr));
+    MDM_RETURN_IF_ERROR(ReadFully(t, sink, chunk, nullptr));
     n -= chunk;
   }
   return Status::OK();
@@ -263,28 +267,26 @@ Status DiscardFully(int fd, size_t n) {
 
 }  // namespace
 
-Status WriteFrame(int fd, const Frame& frame) {
+Status WriteFrame(Transport* t, const Frame& frame) {
   std::vector<uint8_t> bytes = EncodeFrame(frame);
-  size_t sent = 0;
-  while (sent < bytes.size()) {
-    // MSG_NOSIGNAL: a dead peer yields EPIPE, not a process signal.
-    ssize_t w = ::send(fd, bytes.data() + sent, bytes.size() - sent,
-                       MSG_NOSIGNAL);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return Unavailable(std::string("send failed: ") +
-                         std::strerror(errno));
-    }
-    sent += static_cast<size_t>(w);
-  }
-  return Status::OK();
+  return t->Send(bytes.data(), bytes.size());
+}
+
+Status WriteFrame(int fd, const Frame& frame) {
+  TcpTransport t(fd, /*owns_fd=*/false);
+  return WriteFrame(&t, frame);
 }
 
 Result<Frame> ReadFrame(int fd, size_t max_frame_bytes, bool* fatal) {
+  TcpTransport t(fd, /*owns_fd=*/false);
+  return ReadFrame(&t, max_frame_bytes, fatal);
+}
+
+Result<Frame> ReadFrame(Transport* t, size_t max_frame_bytes, bool* fatal) {
   *fatal = true;  // default: any early exit kills the stream
   uint8_t header[kFrameHeaderBytes];
   bool eof = false;
-  MDM_RETURN_IF_ERROR(ReadFully(fd, header, sizeof(header), &eof));
+  MDM_RETURN_IF_ERROR(ReadFully(t, header, sizeof(header), &eof));
   ByteReader r(header, sizeof(header));
   uint32_t magic = 0, payload_len = 0, crc = 0;
   uint8_t version = 0, type = 0;
@@ -304,14 +306,14 @@ Result<Frame> ReadFrame(int fd, size_t max_frame_bytes, bool* fatal) {
     return Corruption("frame payload of " + std::to_string(payload_len) +
                       " bytes is beyond the discard ceiling");
   if (version != kProtocolVersion) {
-    MDM_RETURN_IF_ERROR(DiscardFully(fd, payload_len));
+    MDM_RETURN_IF_ERROR(DiscardFully(t, payload_len));
     *fatal = false;
     return InvalidArgument("unsupported protocol version " +
                            std::to_string(version) + " (this side speaks " +
                            std::to_string(kProtocolVersion) + ")");
   }
   if (payload_len > max_frame_bytes) {
-    MDM_RETURN_IF_ERROR(DiscardFully(fd, payload_len));
+    MDM_RETURN_IF_ERROR(DiscardFully(t, payload_len));
     *fatal = false;
     return ResourceExhausted("frame payload of " +
                              std::to_string(payload_len) +
@@ -322,7 +324,7 @@ Result<Frame> ReadFrame(int fd, size_t max_frame_bytes, bool* fatal) {
   frame.type = static_cast<FrameType>(type);
   frame.payload.resize(payload_len);
   if (payload_len > 0)
-    MDM_RETURN_IF_ERROR(ReadFully(fd, frame.payload.data(), payload_len,
+    MDM_RETURN_IF_ERROR(ReadFully(t, frame.payload.data(), payload_len,
                                   nullptr));
   if (Crc32(frame.payload.data(), frame.payload.size()) != crc) {
     *fatal = false;

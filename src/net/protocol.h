@@ -27,7 +27,7 @@ namespace mdm::net {
 /// All integers little-endian (the ByteWriter/ByteReader convention
 /// shared with the storage layer). Strings are varint-length-prefixed.
 
-inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr uint8_t kProtocolVersion = 2;
 inline constexpr uint32_t kFrameMagic = 0x504D444Du;  // "MDMP" on the wire
 inline constexpr size_t kFrameHeaderBytes = 16;
 /// Default cap on a single frame's payload. Oversized frames are
@@ -70,7 +70,8 @@ Frame EncodeExecuteRequest(const ExecuteRequest& req);
 Result<ExecuteRequest> DecodeExecuteRequest(const Frame& frame);
 
 /// Error frames carry the Status losslessly: canonical ErrorCode byte
-/// (what remote callers branch on), fine StatusCode byte, message.
+/// (what remote callers branch on), fine StatusCode byte, the
+/// retry_after_ms backoff hint (v2; 0 = no hint), message.
 Frame EncodeErrorFrame(const Status& status);
 /// Recovers the transported Status into `*out` (always non-OK on a
 /// well-formed error frame); the return value reports decoding itself
@@ -91,15 +92,22 @@ std::vector<Frame> EncodeResultSetPages(const quel::ResultSet& rs,
 Status DecodeResultPage(const Frame& frame, quel::ResultSet* out,
                         bool* done);
 
-/// Blocking framed I/O over a connected socket. WriteFrame loops until
-/// the whole frame is on the wire; ReadFrame reassembles one frame.
+class Transport;
+
+/// Blocking framed I/O over a Transport (net/transport.h). WriteFrame
+/// loops until the whole frame is on the wire; ReadFrame reassembles
+/// one frame. The int-fd overloads wrap the fd in a non-owning
+/// TcpTransport — kept for raw-socket tests and one-shot writes.
 ///
 /// ReadFrame distinguishes two failure classes via `*fatal`:
 ///  * fatal (stream unusable): peer closed, short read mid-frame, bad
-///    magic — the caller must drop the connection;
+///    magic, a recv timeout mid-frame — the caller must drop the
+///    connection;
 ///  * recoverable (framing intact): unsupported version, oversized
 ///    payload (the payload is read and discarded), bad checksum — the
 ///    caller may answer with a typed error frame and keep reading.
+Status WriteFrame(Transport* t, const Frame& frame);
+Result<Frame> ReadFrame(Transport* t, size_t max_frame_bytes, bool* fatal);
 Status WriteFrame(int fd, const Frame& frame);
 Result<Frame> ReadFrame(int fd, size_t max_frame_bytes, bool* fatal);
 

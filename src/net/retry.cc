@@ -1,0 +1,22 @@
+#include "net/retry.h"
+
+#include <algorithm>
+
+namespace mdm::net {
+
+uint32_t RetrySchedule::NextBackoffMs() {
+  uint64_t lo = policy_.initial_backoff_ms;
+  uint64_t hi = std::max<uint64_t>(lo, 3 * static_cast<uint64_t>(prev_ms_));
+  uint64_t pick = lo + (hi > lo ? rng_.Uniform(hi - lo + 1) : 0);
+  pick = std::min<uint64_t>(pick, policy_.max_backoff_ms);
+  prev_ms_ = static_cast<uint32_t>(pick);
+  return prev_ms_;
+}
+
+uint64_t DeadlineBudget::remaining_ms() const {
+  if (unlimited()) return UINT64_MAX;
+  uint64_t spent = elapsed_ms();
+  return spent >= deadline_ms_ ? 0 : deadline_ms_ - spent;
+}
+
+}  // namespace mdm::net

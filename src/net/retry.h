@@ -1,0 +1,103 @@
+#ifndef MDM_NET_RETRY_H_
+#define MDM_NET_RETRY_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace mdm::net {
+
+/// Client-side retry discipline for idempotent reads against mdmd.
+///
+/// Execute retries only transport-level UNAVAILABLE / CORRUPTION
+/// failures of scripts IsIdempotentScript accepts, sleeping an
+/// exponential backoff with *decorrelated jitter* between attempts:
+///
+///   backoff[0] = uniform(initial, 3 * initial)
+///   backoff[k] = min(max_backoff, uniform(initial, 3 * backoff[k-1]))
+///
+/// The jitter stream is fully determined by `jitter_seed` (common Rng),
+/// so a chaos run's retry timeline replays exactly from its seed.
+///
+/// Retries never overrun the request's deadline: the total budget is
+/// `deadline_ms` (when non-zero), and a retry is attempted only if the
+/// elapsed time plus the next backoff still fits (DeadlineBudget). On
+/// exhaustion the caller sees a typed status: DEADLINE_EXCEEDED when
+/// the deadline ran out, UNAVAILABLE when max_attempts did.
+struct RetryPolicy {
+  /// Total attempts including the first; 1 disables retries entirely.
+  int max_attempts = 3;
+  uint32_t initial_backoff_ms = 5;
+  uint32_t max_backoff_ms = 1000;
+  /// Seed for the decorrelated jitter stream. Fixed default keeps unit
+  /// tests and chaos replays deterministic; long-lived fleets may mix
+  /// in a per-client value to avoid synchronized retry storms.
+  uint64_t jitter_seed = 0x6D646D72u;  // "mdmr"
+
+  /// Convenience: a policy that never retries.
+  static RetryPolicy None() {
+    RetryPolicy p;
+    p.max_attempts = 1;
+    return p;
+  }
+};
+
+/// Deterministic backoff sequence generator for one request's retry
+/// loop. Exposed separately from Client so tests can pin the exact
+/// sequence a seed produces.
+class RetrySchedule {
+ public:
+  explicit RetrySchedule(const RetryPolicy& policy)
+      : policy_(policy),
+        rng_(policy.jitter_seed),
+        prev_ms_(policy.initial_backoff_ms) {}
+
+  /// The next decorrelated-jitter backoff, in milliseconds.
+  uint32_t NextBackoffMs();
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+  uint32_t prev_ms_;
+};
+
+/// Tracks one request's total time budget so the retry loop can prove
+/// it never sleeps (or dials) past the caller's deadline.
+class DeadlineBudget {
+ public:
+  /// `deadline_ms` = 0 means unlimited (the server's default deadline
+  /// still bounds execution remotely).
+  explicit DeadlineBudget(uint32_t deadline_ms)
+      : deadline_ms_(deadline_ms),
+        t0_(std::chrono::steady_clock::now()) {}
+
+  bool unlimited() const { return deadline_ms_ == 0; }
+
+  uint64_t elapsed_ms() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - t0_)
+            .count());
+  }
+
+  /// Milliseconds left before the deadline (saturating at 0); a very
+  /// large value when unlimited.
+  uint64_t remaining_ms() const;
+
+  bool exhausted() const { return !unlimited() && remaining_ms() == 0; }
+
+  /// Whether sleeping `backoff_ms` and then doing any work at all still
+  /// fits in the budget (strict: the backoff must leave time over).
+  bool CanAfford(uint32_t backoff_ms) const {
+    return unlimited() || remaining_ms() > backoff_ms;
+  }
+
+ private:
+  uint32_t deadline_ms_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace mdm::net
+
+#endif  // MDM_NET_RETRY_H_

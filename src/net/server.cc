@@ -50,7 +50,19 @@ Server::Server(er::Database* db, ServerOptions opts)
           "Inclusive span latency in nanoseconds")),
       request_span_self_(obs::Registry::Global()->GetCounter(
           "mdm_span_self_ns_total{span=\"net.request\"}",
-          "Span latency excluding child spans")) {}
+          "Span latency excluding child spans")),
+      shed_total_(obs::Registry::Global()->GetCounter(
+          "mdm_net_shed_total",
+          "Execute requests answered UNAVAILABLE by the load shedder")),
+      reaped_idle_total_(obs::Registry::Global()->GetCounter(
+          "mdm_net_reaped_idle_total",
+          "Connections dropped by the idle reaper")),
+      handshake_timeouts_total_(obs::Registry::Global()->GetCounter(
+          "mdm_net_handshake_timeouts_total",
+          "Connections dropped for a slow handshake or a mid-frame stall")),
+      write_timeouts_total_(obs::Registry::Global()->GetCounter(
+          "mdm_net_write_timeouts_total",
+          "Connections dropped because the peer stopped reading")) {}
 
 Server::~Server() { Stop(); }
 
@@ -159,9 +171,11 @@ void Server::AcceptLoop() {
       // Graceful backpressure: answer the admission ping (or whatever
       // arrives first) with RESOURCE_EXHAUSTED, then close.
       rejected_total_->Inc();
-      Frame reject = EncodeErrorFrame(ResourceExhausted(
+      Status reject_status = ResourceExhausted(
           "server at its limit of " +
-          std::to_string(opts_.max_connections) + " connections"));
+          std::to_string(opts_.max_connections) + " connections");
+      reject_status.set_retry_after_ms(opts_.shed_retry_after_ms);
+      Frame reject = EncodeErrorFrame(reject_status);
       (void)WriteFrame(fd, reject);
       ::close(fd);
       continue;
@@ -181,16 +195,48 @@ void Server::AcceptLoop() {
 }
 
 void Server::ServeConnection(uint64_t id, int fd) {
+  std::unique_ptr<Transport> t = opts_.transport_factory
+                                     ? opts_.transport_factory(fd)
+                                     : std::make_unique<TcpTransport>(fd);
+  // Self-protection at the socket: a peer that stalls mid-frame trips
+  // the recv timeout (slow-loris can't hold the thread), and a peer
+  // that stops reading its pages trips the send timeout.
+  if (opts_.handshake_timeout_ms != 0)
+    (void)t->SetRecvTimeout(opts_.handshake_timeout_ms);
+  if (opts_.write_timeout_ms != 0)
+    (void)t->SetSendTimeout(opts_.write_timeout_ms);
+
+  // Sends an error/pong/page frame, counting write timeouts; false
+  // means the connection is unusable and the loop must exit.
+  auto send_frame = [&](const Frame& f) {
+    bytes_out_total_->Inc(kFrameHeaderBytes + f.payload.size());
+    Status ws = WriteFrame(t.get(), f);
+    if (ws.ok()) return true;
+    if (ws.code() == StatusCode::kDeadlineExceeded)
+      write_timeouts_total_->Inc();
+    return false;
+  };
+
   // One QUEL session per connection: its parse cache and declared
   // ranges live as long as the client stays connected, mirroring an
   // in-process QuelSession per client thread.
   quel::QuelSession session(db_);
+  bool saw_frame = false;  // handshake allowance until the first frame
+  auto last_activity = std::chrono::steady_clock::now();
   while (true) {
-    // Wait for the next request, waking periodically to honor drain.
-    struct pollfd pfd = {fd, POLLIN, 0};
+    if (t->closed()) break;
+    // Wait for the next request, waking periodically to honor drain and
+    // the idle/handshake allowances.
+    struct pollfd pfd = {t->fd(), POLLIN, 0};
     int pr = ::poll(&pfd, 1, kPollMs);
     if (pr == 0) {
       if (stop_.load(std::memory_order_relaxed)) break;
+      uint64_t allowance =
+          saw_frame ? opts_.idle_timeout_ms : opts_.handshake_timeout_ms;
+      if (allowance != 0 && ElapsedMs(last_activity) > allowance) {
+        (saw_frame ? reaped_idle_total_ : handshake_timeouts_total_)->Inc();
+        break;
+      }
       continue;
     }
     if (pr < 0) {
@@ -198,30 +244,53 @@ void Server::ServeConnection(uint64_t id, int fd) {
       break;
     }
     bool fatal = false;
-    Result<Frame> frame = ReadFrame(fd, opts_.max_frame_bytes, &fatal);
+    Result<Frame> frame =
+        ReadFrame(t.get(), opts_.max_frame_bytes, &fatal);
     auto t0 = std::chrono::steady_clock::now();
+    last_activity = t0;
     if (!frame.ok()) {
-      if (fatal) break;  // framing lost or peer gone: drop the link
+      if (fatal) {
+        // A recv-timeout here is a mid-frame stall: the header arrived
+        // but the rest never did (slow-loris with a drip feed).
+        if (frame.status().code() == StatusCode::kDeadlineExceeded)
+          handshake_timeouts_total_->Inc();
+        break;  // framing lost or peer gone: drop the link
+      }
       // Framing intact: report the typed error and keep serving.
-      Frame err = EncodeErrorFrame(frame.status());
-      bytes_out_total_->Inc(kFrameHeaderBytes + err.payload.size());
-      if (!WriteFrame(fd, err).ok()) break;
+      if (!send_frame(EncodeErrorFrame(frame.status()))) break;
       continue;
     }
+    saw_frame = true;
     bytes_in_total_->Inc(kFrameHeaderBytes + frame->payload.size());
     if (frame->type == FrameType::kPing) {
       Frame pong;
       pong.type = FrameType::kPong;
-      bytes_out_total_->Inc(kFrameHeaderBytes);
-      if (!WriteFrame(fd, pong).ok()) break;
+      if (!send_frame(pong)) break;
       continue;
     }
     if (frame->type != FrameType::kExecuteRequest) {
       Frame err = EncodeErrorFrame(
           InvalidArgument("unexpected frame type " +
                           std::to_string(static_cast<int>(frame->type))));
-      bytes_out_total_->Inc(kFrameHeaderBytes + err.payload.size());
-      if (!WriteFrame(fd, err).ok()) break;
+      if (!send_frame(err)) break;
+      continue;
+    }
+
+    // Load shedding: past the high-water mark of statements already
+    // holding (or queueing on) the database latch, answer UNAVAILABLE
+    // with a backoff hint instead of deepening the convoy.
+    size_t in_flight = active_statements_.fetch_add(1) + 1;
+    if (opts_.max_active_statements != 0 &&
+        in_flight > opts_.max_active_statements) {
+      active_statements_.fetch_sub(1);
+      shed_total_->Inc();
+      shed_.fetch_add(1, std::memory_order_relaxed);
+      Status shed = Unavailable(
+          "server overloaded: " +
+          std::to_string(opts_.max_active_statements) +
+          " statements already in flight");
+      shed.set_retry_after_ms(opts_.shed_retry_after_ms);
+      if (!send_frame(EncodeErrorFrame(shed))) break;
       continue;
     }
 
@@ -229,6 +298,7 @@ void Server::ServeConnection(uint64_t id, int fd) {
                    request_span_self_);
     Result<ExecuteRequest> req = DecodeExecuteRequest(*frame);
     Status finished = Status::OK();
+    bool write_ok = true;
     if (!req.ok()) {
       finished = req.status();
     } else {
@@ -243,7 +313,6 @@ void Server::ServeConnection(uint64_t id, int fd) {
             "request exceeded its " + std::to_string(deadline_ms) +
             "ms deadline after execution");
       } else {
-        bool write_ok = true;
         for (Frame& page :
              EncodeResultSetPages(*rs, opts_.rows_per_page)) {
           if (deadline_ms != 0 && ElapsedMs(t0) > deadline_ms) {
@@ -252,25 +321,23 @@ void Server::ServeConnection(uint64_t id, int fd) {
                 "ms deadline while streaming results");
             break;
           }
-          bytes_out_total_->Inc(kFrameHeaderBytes + page.payload.size());
-          if (!WriteFrame(fd, page).ok()) {
+          if (!send_frame(page)) {
             write_ok = false;
             break;
           }
         }
-        if (!write_ok) break;
       }
     }
+    active_statements_.fetch_sub(1);
     requests_total_->Inc();
     requests_.fetch_add(1, std::memory_order_relaxed);
+    if (!write_ok) break;
     if (!finished.ok()) {
-      Frame err = EncodeErrorFrame(finished);
-      bytes_out_total_->Inc(kFrameHeaderBytes + err.payload.size());
-      if (!WriteFrame(fd, err).ok()) break;
+      if (!send_frame(EncodeErrorFrame(finished))) break;
     }
     if (stop_.load(std::memory_order_relaxed)) break;
   }
-  ::close(fd);
+  t->Close();
   active_.fetch_sub(1, std::memory_order_relaxed);
   active_connections_->Add(-1);
   std::lock_guard<std::mutex> lock(mu_);

@@ -3,6 +3,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -12,9 +14,17 @@
 #include "common/status.h"
 #include "er/database.h"
 #include "net/protocol.h"
+#include "net/transport.h"
 #include "obs/metrics.h"
 
 namespace mdm::net {
+
+/// Hook for interposing on a connection's byte stream server-side
+/// (chaos tests and `mdmd --fault-inject` wrap the accepted socket in a
+/// FaultInjectingTransport). Receives the accepted fd and must return a
+/// Transport owning it.
+using ServerTransportFactory =
+    std::function<std::unique_ptr<Transport>(int fd)>;
 
 struct ServerOptions {
   std::string host = "127.0.0.1";
@@ -31,6 +41,29 @@ struct ServerOptions {
   uint32_t default_deadline_ms = 30'000;
   /// Result rows per kResultPage frame.
   size_t rows_per_page = 256;
+
+  // --- self-protection (docs/ROBUSTNESS.md) ---
+
+  /// Reap a connection that has completed at least one frame but sent
+  /// nothing for this long (0 = never). Frees the thread and the
+  /// connection slot a vanished client would otherwise pin forever.
+  uint32_t idle_timeout_ms = 300'000;
+  /// Slow-loris guard, two-fold: a fresh connection must complete its
+  /// first frame within this window, and (as the socket recv timeout)
+  /// no peer may stall *mid-frame* longer than this. 0 disables both.
+  uint32_t handshake_timeout_ms = 10'000;
+  /// Per-connection socket send timeout: a client that stops reading
+  /// its ResultSet pages is cut off after this long (0 = never).
+  uint32_t write_timeout_ms = 10'000;
+  /// Load shedding high-water mark: when this many statements are
+  /// already executing, further Execute requests are answered with
+  /// UNAVAILABLE + a retry_after_ms hint instead of queueing on the
+  /// database latch (0 = never shed).
+  size_t max_active_statements = 32;
+  /// The backoff hint stamped on shed (and admission-reject) errors.
+  uint32_t shed_retry_after_ms = 50;
+  /// Wraps each accepted socket; null uses plain TcpTransport.
+  ServerTransportFactory transport_factory;
 };
 
 /// mdmd: the multi-client TCP server putting one er::Database on a
@@ -52,8 +85,10 @@ struct ServerOptions {
 /// server-side work already underway.
 ///
 /// Observability: mdm_net_requests_total, mdm_net_rejected_total,
-/// mdm_net_bytes_{in,out}_total, mdm_net_active_connections and the
-/// net.request span on the global registry.
+/// mdm_net_bytes_{in,out}_total, mdm_net_active_connections,
+/// mdm_net_shed_total, mdm_net_reaped_idle_total,
+/// mdm_net_handshake_timeouts_total, mdm_net_write_timeouts_total and
+/// the net.request span on the global registry.
 class Server {
  public:
   explicit Server(er::Database* db, ServerOptions opts = {});
@@ -79,6 +114,14 @@ class Server {
   uint64_t requests_served() const {
     return requests_.load(std::memory_order_relaxed);
   }
+  /// Statements executing right now (the load-shed watermark input).
+  size_t active_statements() const {
+    return active_statements_.load(std::memory_order_relaxed);
+  }
+  /// Execute requests answered UNAVAILABLE by the load shedder.
+  uint64_t shed_requests() const {
+    return shed_.load(std::memory_order_relaxed);
+  }
 
  private:
   void AcceptLoop();
@@ -100,6 +143,8 @@ class Server {
 
   std::atomic<size_t> active_{0};
   std::atomic<uint64_t> requests_{0};
+  std::atomic<size_t> active_statements_{0};
+  std::atomic<uint64_t> shed_{0};
 
   obs::Counter* requests_total_;
   obs::Counter* rejected_total_;
@@ -108,6 +153,10 @@ class Server {
   obs::Gauge* active_connections_;
   obs::Histogram* request_span_duration_;
   obs::Counter* request_span_self_;
+  obs::Counter* shed_total_;
+  obs::Counter* reaped_idle_total_;
+  obs::Counter* handshake_timeouts_total_;
+  obs::Counter* write_timeouts_total_;
 };
 
 }  // namespace mdm::net

@@ -21,7 +21,10 @@
 #include "net/client.h"
 #include "net/connection.h"
 #include "net/protocol.h"
+#include "net/retry.h"
 #include "net/server.h"
+#include "net/transport.h"
+#include "obs/metrics.h"
 #include "quel/quel.h"
 #include "rel/value.h"
 
@@ -88,15 +91,15 @@ TEST(ProtocolGoldenTest, ExecuteRequestFrame) {
   req.script = "retrieve (NOTE.name)";
   req.deadline_ms = 250;
   EXPECT_EQ(Hex(net::EncodeFrame(net::EncodeExecuteRequest(req))),
-            "4d444d500101000019000000312b51a4fa000000147265747269657665"
+            "4d444d500201000019000000312b51a4fa000000147265747269657665"
             "20284e4f54452e6e616d6529");
 }
 
 TEST(ProtocolGoldenTest, ErrorFrame) {
   EXPECT_EQ(Hex(net::EncodeFrame(net::EncodeErrorFrame(
                 NotFound("no entity type named FOO")))),
-            "4d444d50010300001b000000c5f94d0a0102186e6f20656e7469747920"
-            "74797065206e616d656420464f4f");
+            "4d444d50020300001f0000002979de74010200000000186e6f20656e74"
+            "6974792074797065206e616d656420464f4f");
 }
 
 TEST(ProtocolGoldenTest, ResultPageFrames) {
@@ -109,12 +112,12 @@ TEST(ProtocolGoldenTest, ResultPageFrames) {
   auto pages = net::EncodeResultSetPages(rs, 2);
   ASSERT_EQ(pages.size(), 2u);
   EXPECT_EQ(Hex(net::EncodeFrame(pages[0])),
-            "4d444d50010200002f0000009680e84c0102066e2e6e616d65076e2e70"
+            "4d444d50020200002f0000009680e84c0102066e2e6e616d65076e2e70"
             "6974636800020202070000000000000004024734020209000000000000"
             "0004024234");
   EXPECT_EQ(Hex(net::EncodeFrame(pages[1])),
-            "4d444d500102000015000000a5e6e7d50201020006110000000000000"
-            "00300000000000000");
+            "4d444d500202000015000000a5e6e7d5020102000611000000000000"
+            "000300000000000000");
 }
 
 // ---------------------------------------------------------------------
@@ -509,10 +512,12 @@ TEST_F(NetServerTest, DeadlineExceededIsReported) {
   ASSERT_FALSE(rs.ok());
   EXPECT_EQ(rs.status().code(), StatusCode::kDeadlineExceeded);
   EXPECT_EQ(rs.status().error_code(), ErrorCode::DEADLINE_EXCEEDED);
-  // The connection survives a deadline miss. (Ping, not Execute: the
-  // 1ms deadline applies to every request on this connection, and under
-  // sanitizers even the count query can miss it.)
-  EXPECT_TRUE(conn->Ping().ok());
+  // The server survives the miss: a fresh connection without the 1ms
+  // budget still serves. (The original connection may have been dropped
+  // by the client when its recv timed out mid-reply — by design.)
+  auto again = Connection::Remote("127.0.0.1", server_->port());
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_TRUE(again->Ping().ok());
 }
 
 TEST_F(NetServerTest, StopDrainsCleanly) {
@@ -525,12 +530,435 @@ TEST_F(NetServerTest, StopDrainsCleanly) {
   // The drained server refuses further traffic: the request or its
   // reply fails with a transport-level UNAVAILABLE (never a hang).
   net::ClientOptions no_retry;
-  no_retry.retry_reads = 0;
+  no_retry.retry = net::RetryPolicy::None();
   auto gone = net::Client::Connect("127.0.0.1", server_->port(), no_retry);
   if (gone.ok()) {
     auto rs = gone->Execute("retrieve (NOTE.name)");
     EXPECT_FALSE(rs.ok());
   }
+}
+
+// ---------------------------------------------------------------------
+// v2 error frames carry the retry_after_ms backoff hint.
+
+TEST(ProtocolTest, ErrorFrameCarriesRetryAfterHint) {
+  Status shed = Unavailable("server overloaded");
+  shed.set_retry_after_ms(75);
+  Status out;
+  ASSERT_TRUE(net::DecodeErrorFrame(net::EncodeErrorFrame(shed), &out).ok());
+  EXPECT_EQ(out.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(out.retry_after_ms(), 75u);
+
+  // A status without a hint round-trips as 0 (no hint).
+  Status plain;
+  ASSERT_TRUE(
+      net::DecodeErrorFrame(net::EncodeErrorFrame(NotFound("x")), &plain)
+          .ok());
+  EXPECT_EQ(plain.retry_after_ms(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// RetrySchedule: the decorrelated-jitter sequence is pinned per seed.
+
+TEST(RetryScheduleTest, SequenceIsDeterministicPerSeed) {
+  net::RetryPolicy p;  // default seed
+  net::RetrySchedule a(p);
+  net::RetrySchedule b(p);
+  std::vector<uint32_t> sa, sb;
+  for (int i = 0; i < 8; ++i) {
+    sa.push_back(a.NextBackoffMs());
+    sb.push_back(b.NextBackoffMs());
+  }
+  EXPECT_EQ(sa, sb);
+
+  net::RetryPolicy other = p;
+  other.jitter_seed = p.jitter_seed + 1;
+  net::RetrySchedule c(other);
+  std::vector<uint32_t> sc;
+  for (int i = 0; i < 8; ++i) sc.push_back(c.NextBackoffMs());
+  EXPECT_NE(sa, sc);
+}
+
+TEST(RetryScheduleTest, GoldenSequenceForDefaultSeed) {
+  // Pinned output of the default policy (initial 5ms, max 1000ms, seed
+  // "mdmr"). A change here is a behavior change to every client's retry
+  // timeline — deliberate edits only.
+  net::RetrySchedule s((net::RetryPolicy()));
+  std::vector<uint32_t> got;
+  for (int i = 0; i < 6; ++i) got.push_back(s.NextBackoffMs());
+  EXPECT_EQ(got, (std::vector<uint32_t>{13, 9, 8, 14, 6, 17}));
+}
+
+TEST(RetryScheduleTest, BackoffStaysWithinDecorrelatedBounds) {
+  net::RetryPolicy p;
+  p.initial_backoff_ms = 10;
+  p.max_backoff_ms = 100;
+  p.jitter_seed = 42;
+  net::RetrySchedule s(p);
+  uint64_t prev = p.initial_backoff_ms;
+  for (int i = 0; i < 200; ++i) {
+    uint32_t b = s.NextBackoffMs();
+    EXPECT_GE(b, p.initial_backoff_ms);
+    EXPECT_LE(b, p.max_backoff_ms);
+    EXPECT_LE(b, std::max<uint64_t>(3 * prev, p.initial_backoff_ms));
+    prev = b;
+  }
+}
+
+// ---------------------------------------------------------------------
+// DeadlineBudget: elapsed/remaining bookkeeping.
+
+TEST(DeadlineBudgetTest, UnlimitedBudgetAffordsEverything) {
+  net::DeadlineBudget b(0);
+  EXPECT_TRUE(b.unlimited());
+  EXPECT_FALSE(b.exhausted());
+  EXPECT_TRUE(b.CanAfford(1u << 30));
+}
+
+TEST(DeadlineBudgetTest, TracksElapsedAndExhausts) {
+  net::DeadlineBudget wide(60'000);
+  EXPECT_FALSE(wide.unlimited());
+  EXPECT_FALSE(wide.exhausted());
+  EXPECT_GT(wide.remaining_ms(), 50'000u);
+  EXPECT_TRUE(wide.CanAfford(100));
+  EXPECT_FALSE(wide.CanAfford(70'000));  // longer than the whole budget
+
+  net::DeadlineBudget tiny(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(tiny.exhausted());
+  EXPECT_EQ(tiny.remaining_ms(), 0u);
+  EXPECT_FALSE(tiny.CanAfford(0));  // strictly positive margin required
+}
+
+// ---------------------------------------------------------------------
+// Connection::Remote endpoint parsing: every malformed input is a typed
+// INVALID_ARGUMENT, an unreachable target UNAVAILABLE — never a crash
+// or a hang.
+
+TEST(ConnectionRemoteTest, MalformedEndpointsAreInvalidArgument) {
+  const char* cases[] = {
+      "",                  // nothing at all
+      "localhost",         // no port
+      "localhost:",        // empty port
+      ":7707",             // empty host
+      "[]:7707",           // empty bracketed host
+      "localhost:abc",     // non-numeric port
+      "localhost:7x7",     // digits then junk
+      "localhost:-1",      // sign is junk too
+      "localhost:0",       // port 0 is the "pick one" sentinel, not a target
+      "localhost:65536",   // out of range
+      "localhost:999999",  // far out of range
+      "::1:7707",          // unbracketed v6 literal is ambiguous
+  };
+  for (const char* ep : cases) {
+    auto c = Connection::Remote(ep);
+    ASSERT_FALSE(c.ok()) << ep;
+    EXPECT_EQ(c.status().code(), StatusCode::kInvalidArgument) << ep;
+    EXPECT_EQ(c.status().error_code(), ErrorCode::INVALID_ARGUMENT) << ep;
+  }
+}
+
+TEST(ConnectionRemoteTest, UnreachableEndpointsAreUnavailable) {
+  // Nothing listens here (port 1 is reserved and unbound in practice);
+  // connect is refused immediately.
+  net::ClientOptions copts;
+  copts.retry = net::RetryPolicy::None();
+  copts.connect_timeout_ms = 2000;
+  auto refused = Connection::Remote("127.0.0.1:1", copts);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(refused.status().error_code(), ErrorCode::UNAVAILABLE);
+
+  // An unresolvable name (RFC 2606 reserves .invalid) fails in the
+  // resolver, also UNAVAILABLE.
+  auto nxdomain =
+      Connection::Remote("no-such-host.invalid:7707", copts);
+  ASSERT_FALSE(nxdomain.ok());
+  EXPECT_EQ(nxdomain.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ClientTest, EmptyHostIsInvalidArgument) {
+  auto fd = net::DialTcp("", 7707, 100);
+  ASSERT_FALSE(fd.ok());
+  EXPECT_EQ(fd.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------
+// Client retry discipline over a live server.
+
+TEST_F(NetServerTest, RetryBudgetNeverExceedsDeadline) {
+  StartServer();
+  net::ClientOptions copts;
+  copts.deadline_ms = 300;
+  copts.retry.max_attempts = 50;  // budget, not attempts, must stop us
+  copts.retry.initial_backoff_ms = 5;
+  auto conn = Connection::Remote("127.0.0.1", server_->port(), copts);
+  ASSERT_TRUE(conn.ok());
+  server_->Stop();  // every retry now fails to reconnect
+
+  auto t0 = std::chrono::steady_clock::now();
+  auto rs = conn->Execute("retrieve (k = count(NOTE.name))");
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(rs.status().error_code(), ErrorCode::DEADLINE_EXCEEDED);
+  // The loop may start one last attempt just inside the budget, but it
+  // never *sleeps* past it; connect-refused attempts are instant, so a
+  // modest slack proves the bound.
+  EXPECT_LE(elapsed, 300 + 700);
+}
+
+TEST_F(NetServerTest, AttemptsExhaustionIsUnavailable) {
+  StartServer();
+  net::ClientOptions copts;
+  copts.retry.max_attempts = 3;
+  copts.retry.initial_backoff_ms = 1;
+  copts.retry.max_backoff_ms = 5;
+  auto conn = Connection::Remote("127.0.0.1", server_->port(), copts);
+  ASSERT_TRUE(conn.ok());
+  server_->Stop();  // unlimited budget: attempts run out first
+  auto rs = conn->Execute("retrieve (k = count(NOTE.name))");
+  ASSERT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(rs.status().error_code(), ErrorCode::UNAVAILABLE);
+}
+
+TEST_F(NetServerTest, IdempotentReadsRetryButMutationsDoNot) {
+  StartServer();
+  obs::Counter* retries = obs::Registry::Global()->GetCounter(
+      "mdm_net_client_retries_total", "");
+
+  // The factory wires a fault-injecting transport around each dial and
+  // parks a pointer so the test can arm faults after the handshake.
+  net::FaultInjectingTransport* current = nullptr;
+  net::ClientOptions copts;
+  copts.retry.max_attempts = 3;
+  copts.retry.initial_backoff_ms = 1;
+  copts.retry.max_backoff_ms = 5;
+  copts.transport_factory =
+      [&current](const std::string& host, uint16_t port,
+                 uint32_t timeout_ms)
+      -> Result<std::unique_ptr<net::Transport>> {
+    auto base = net::DialTcpTransport(host, port, timeout_ms);
+    if (!base.ok()) return base.status();
+    auto faulty = std::make_unique<net::FaultInjectingTransport>(
+        std::move(*base), net::FaultPlan{});
+    current = faulty.get();
+    return std::unique_ptr<net::Transport>(std::move(faulty));
+  };
+
+  {  // A read heals through a one-shot disconnect.
+    auto conn = Connection::Remote("127.0.0.1", server_->port(), copts);
+    ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+    ASSERT_NE(current, nullptr);
+    uint64_t before = retries->value();
+    current->FailAtOp(current->ops() + 1, FaultKind::kDisconnect);
+    auto rs = conn->Execute("retrieve (k = count(NOTE.name))");
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+    EXPECT_EQ(rs->At(0, 0).AsInt(), kNotes);
+    EXPECT_GE(retries->value() - before, 1u);
+  }
+  {  // The same fault on a mutation surfaces UNAVAILABLE, no retry.
+    auto conn = Connection::Remote("127.0.0.1", server_->port(), copts);
+    ASSERT_TRUE(conn.ok());
+    uint64_t before = retries->value();
+    current->FailAtOp(current->ops() + 1, FaultKind::kDisconnect);
+    auto rs = conn->Execute("append to NOTE (name = 9999)");
+    ASSERT_FALSE(rs.ok());
+    EXPECT_EQ(rs.status().code(), StatusCode::kUnavailable);
+    EXPECT_EQ(retries->value(), before);  // never retried
+    // The database was not double-appended by any hidden replay: the
+    // append died in the client's send, so the count is unchanged.
+    auto check = Connection::Remote("127.0.0.1", server_->port());
+    ASSERT_TRUE(check.ok());
+    auto count = check->Execute("retrieve (k = count(NOTE.name))");
+    ASSERT_TRUE(count.ok());
+    EXPECT_EQ(count->At(0, 0).AsInt(), kNotes);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Server self-protection.
+
+TEST_F(NetServerTest, SigpipeSafeWhenClientVanishesMidResultSet) {
+  // The client walks away mid-ResultSet; the server's writes to the
+  // dead socket must fail with a status, not raise SIGPIPE (which would
+  // kill this whole test process — server and client share it here).
+  net::ServerOptions opts;
+  opts.rows_per_page = 1;  // 200 pages: the disconnect lands mid-stream
+  StartServer(opts);
+  for (int round = 0; round < 3; ++round) {
+    auto fd = net::DialTcp("127.0.0.1", server_->port(), 2000);
+    ASSERT_TRUE(fd.ok());
+    auto bytes = net::EncodeFrame(net::EncodeExecuteRequest(
+        {"range of n is NOTE\nretrieve (n.name)", 0}));
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      ssize_t w = ::send(*fd, bytes.data() + sent, bytes.size() - sent,
+                         MSG_NOSIGNAL);
+      ASSERT_GT(w, 0);
+      sent += static_cast<size_t>(w);
+    }
+    // Read one page so the server is committed to streaming, then bail.
+    bool fatal = false;
+    auto first = net::ReadFrame(*fd, net::kDefaultMaxFrameBytes, &fatal);
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    ::close(*fd);
+  }
+  // Give the connection threads a moment to hit the dead sockets.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // Alive and serving: the writes EPIPEd quietly.
+  auto conn = Connection::Remote("127.0.0.1", server_->port());
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  auto rs = conn->Execute("retrieve (k = count(NOTE.name))");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->At(0, 0).AsInt(), kNotes);
+}
+
+TEST_F(NetServerTest, HandshakeTimeoutDropsSilentConnections) {
+  net::ServerOptions opts;
+  opts.handshake_timeout_ms = 150;
+  StartServer(opts);
+  obs::Counter* timeouts = obs::Registry::Global()->GetCounter(
+      "mdm_net_handshake_timeouts_total", "");
+  uint64_t before = timeouts->value();
+  // Connect and say nothing — a slow-loris opening move.
+  auto fd = net::DialTcp("127.0.0.1", server_->port(), 2000);
+  ASSERT_TRUE(fd.ok());
+  // The server hangs up on us within the allowance (plus poll slack).
+  uint8_t byte = 0;
+  struct timeval tv = {3, 0};
+  ::setsockopt(*fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ssize_t n = ::recv(*fd, &byte, 1, 0);
+  EXPECT_LE(n, 0);  // EOF (0) or reset; never a payload
+  ::close(*fd);
+  for (int i = 0; i < 100 && timeouts->value() == before; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GT(timeouts->value(), before);
+  // A well-behaved client is unaffected.
+  auto conn = Connection::Remote("127.0.0.1", server_->port());
+  ASSERT_TRUE(conn.ok());
+  EXPECT_TRUE(conn->Ping().ok());
+}
+
+TEST_F(NetServerTest, IdleReaperFreesAbandonedConnections) {
+  net::ServerOptions opts;
+  opts.idle_timeout_ms = 150;
+  StartServer(opts);
+  obs::Counter* reaped = obs::Registry::Global()->GetCounter(
+      "mdm_net_reaped_idle_total", "");
+  uint64_t before = reaped->value();
+  net::ClientOptions copts;
+  copts.retry = net::RetryPolicy::None();
+  auto conn =
+      Connection::Remote("127.0.0.1", server_->port(), copts);
+  ASSERT_TRUE(conn.ok());  // the handshake counts as traffic
+  for (int i = 0; i < 200 && reaped->value() == before; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GT(reaped->value(), before);
+  for (int i = 0; i < 100 && server_->active_connections() != 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(server_->active_connections(), 0u);  // the slot was freed
+  // The reaped client sees a clean transport failure on next use.
+  auto rs = conn->Execute("retrieve (k = count(NOTE.name))");
+  EXPECT_FALSE(rs.ok());
+}
+
+TEST_F(NetServerTest, LoadSheddingAnswersUnavailableWithHint) {
+  net::ServerOptions opts;
+  opts.max_active_statements = 1;
+  opts.shed_retry_after_ms = 37;
+  StartServer(opts);
+
+  // Hammer the single-statement watermark from several no-retry
+  // clients; overlapping statements beyond the first get shed.
+  constexpr int kThreads = 3;
+  std::atomic<int> shed_seen{0};
+  std::atomic<int> ok_seen{0};
+  std::atomic<uint32_t> hint_seen{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      net::ClientOptions copts;
+      copts.retry = net::RetryPolicy::None();
+      auto conn =
+          Connection::Remote("127.0.0.1", server_->port(), copts);
+      if (!conn.ok()) return;
+      for (int i = 0; i < 40; ++i) {
+        auto rs = conn->Execute(
+            "range of a, b is NOTE\n"
+            "retrieve (k = count(a.name)) where a.name = b.name");
+        if (rs.ok()) {
+          ok_seen.fetch_add(1);
+        } else if (rs.status().code() == StatusCode::kUnavailable) {
+          shed_seen.fetch_add(1);
+          hint_seen.store(rs.status().retry_after_ms());
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GT(ok_seen.load(), 0);    // the admitted statements completed
+  EXPECT_GT(shed_seen.load(), 0);  // and overload was answered, not queued
+  EXPECT_EQ(hint_seen.load(), 37u);
+  EXPECT_GT(server_->shed_requests(), 0u);
+
+  // With retries on, the same overload heals transparently.
+  net::ClientOptions retrying;
+  retrying.retry.max_attempts = 8;
+  auto conn = Connection::Remote("127.0.0.1", server_->port(), retrying);
+  ASSERT_TRUE(conn.ok());
+  auto rs = conn->Execute("retrieve (k = count(NOTE.name))");
+  EXPECT_TRUE(rs.ok()) << rs.status().ToString();
+}
+
+TEST_F(NetServerTest, WriteTimeoutCutsOffSlowConsumers) {
+  net::ServerOptions opts;
+  opts.write_timeout_ms = 200;
+  opts.rows_per_page = 8;
+  StartServer(opts);
+  obs::Counter* cut = obs::Registry::Global()->GetCounter(
+      "mdm_net_write_timeouts_total", "");
+  uint64_t before = cut->value();
+
+  // Seed ~64 rows of 4KB strings, then ask for the 64x64 cross product
+  // (~32MB) and never read it: the kernel buffers fill and the server's
+  // send blocks until SO_SNDTIMEO cuts the connection.
+  {
+    auto seed = Connection::Remote("127.0.0.1", server_->port());
+    ASSERT_TRUE(seed.ok());
+    ASSERT_TRUE(
+        seed->Execute("define entity LYRIC (text = string)").ok());
+    std::string big(4096, 'x');
+    for (int i = 0; i < 64; ++i) {
+      ASSERT_TRUE(
+          seed->Execute("append to LYRIC (text = \"" + big + "\")").ok());
+    }
+  }
+  auto fd = net::DialTcp("127.0.0.1", server_->port(), 2000);
+  ASSERT_TRUE(fd.ok());
+  int small = 4096;  // shrink our receive window to fill buffers fast
+  ::setsockopt(*fd, SOL_SOCKET, SO_RCVBUF, &small, sizeof(small));
+  auto bytes = net::EncodeFrame(net::EncodeExecuteRequest(
+      {"range of a, b is LYRIC\nretrieve (a.text, b.text)", 0}));
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t w = ::send(*fd, bytes.data() + sent, bytes.size() - sent,
+                       MSG_NOSIGNAL);
+    ASSERT_GT(w, 0);
+    sent += static_cast<size_t>(w);
+  }
+  // Do not read. The server must cut us off rather than block forever.
+  for (int i = 0; i < 500 && cut->value() == before; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GT(cut->value(), before);
+  ::close(*fd);
+  // The server remains fully available to well-behaved clients.
+  auto conn = Connection::Remote("127.0.0.1", server_->port());
+  ASSERT_TRUE(conn.ok());
+  EXPECT_TRUE(conn->Execute("retrieve (k = count(NOTE.name))").ok());
 }
 
 }  // namespace
