@@ -187,6 +187,13 @@ Status Client::Reconnect(const DeadlineBudget& budget) {
   }
   transport_ = std::move(*t);
   ArmAttemptTimeout(budget);  // bound the handshake ping too
+  if (budget.unlimited() && opts_.attempt_timeout_ms == 0 &&
+      opts_.connect_timeout_ms != 0) {
+    // The budget supplies no bound, so mirror Connect: a half-dead
+    // server must not hang the handshake indefinitely. WithRetries
+    // re-arms (and thereby clears) this before the next attempt.
+    (void)transport_->SetRecvTimeout(opts_.connect_timeout_ms);
+  }
   return PingOnce();
 }
 
@@ -198,10 +205,12 @@ void Client::ArmAttemptTimeout(const DeadlineBudget& budget) {
   if (opts_.attempt_timeout_ms != 0)
     ms = ms != 0 ? std::min<uint64_t>(ms, opts_.attempt_timeout_ms)
                  : opts_.attempt_timeout_ms;
-  if (ms != 0) {
-    (void)transport_->SetRecvTimeout(static_cast<uint32_t>(ms));
-    (void)transport_->SetSendTimeout(static_cast<uint32_t>(ms));
-  }
+  // Always applied, including 0 (= unbounded): the connect/reconnect
+  // handshake arms connect_timeout_ms on the socket, and a leftover
+  // handshake bound must never cap a later attempt's recv — a query
+  // legitimately slower than connect_timeout_ms is not a dead peer.
+  (void)transport_->SetRecvTimeout(static_cast<uint32_t>(ms));
+  (void)transport_->SetSendTimeout(static_cast<uint32_t>(ms));
 }
 
 Status Client::PingOnce() {

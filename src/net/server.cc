@@ -209,9 +209,13 @@ void Server::ServeConnection(uint64_t id, int fd) {
   // Sends an error/pong/page frame, counting write timeouts; false
   // means the connection is unusable and the loop must exit.
   auto send_frame = [&](const Frame& f) {
-    bytes_out_total_->Inc(kFrameHeaderBytes + f.payload.size());
     Status ws = WriteFrame(t.get(), f);
-    if (ws.ok()) return true;
+    if (ws.ok()) {
+      // Counted only once the frame is actually on the wire — a write
+      // timeout or dead peer must not inflate bytes-out.
+      bytes_out_total_->Inc(kFrameHeaderBytes + f.payload.size());
+      return true;
+    }
     if (ws.code() == StatusCode::kDeadlineExceeded)
       write_timeouts_total_->Inc();
     return false;

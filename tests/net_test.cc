@@ -5,6 +5,8 @@
 // and run under the tsan preset (a connection thread per client over
 // the PR 4 locking stack).
 #include <gtest/gtest.h>
+#include <arpa/inet.h>
+#include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -681,6 +683,62 @@ TEST(ClientTest, EmptyHostIsInvalidArgument) {
   auto fd = net::DialTcp("", 7707, 100);
   ASSERT_FALSE(fd.ok());
   EXPECT_EQ(fd.status().code(), StatusCode::kInvalidArgument);
+}
+
+// Regression: Connect bounds the admission handshake recv with
+// connect_timeout_ms, and that bound must be cleared before later
+// requests — a leftover handshake timeout silently capped every recv
+// on the original connection, so legitimate replies slower than
+// connect_timeout_ms (server default deadline is 30s) spuriously
+// failed UNAVAILABLE.
+TEST(ClientTest, HandshakeTimeoutDoesNotCapLaterReplies) {
+  // A hand-rolled server: answers the admission ping promptly, then
+  // stalls well past connect_timeout_ms before answering the next one.
+  int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<struct sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(lfd, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<struct sockaddr*>(&addr),
+                          &len),
+            0);
+  uint16_t port = ntohs(addr.sin_port);
+
+  std::thread srv([lfd] {
+    int cfd = ::accept(lfd, nullptr, nullptr);
+    if (cfd < 0) return;
+    auto answer_ping = [cfd](uint32_t stall_ms) {
+      bool fatal = false;
+      auto req = net::ReadFrame(cfd, net::kDefaultMaxFrameBytes, &fatal);
+      if (!req.ok() || req->type != net::FrameType::kPing) return false;
+      if (stall_ms != 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+      net::Frame pong;
+      pong.type = net::FrameType::kPong;
+      return net::WriteFrame(cfd, pong).ok();
+    };
+    answer_ping(0);    // admission handshake: prompt
+    answer_ping(600);  // next ping: 3x connect_timeout_ms
+    ::close(cfd);
+  });
+
+  net::ClientOptions copts;
+  copts.connect_timeout_ms = 200;  // bounds the *handshake* only
+  copts.retry = net::RetryPolicy::None();  // a retry must not mask this
+  auto client = net::Client::Connect("127.0.0.1", port, copts);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  // With a stale handshake bound this recv would die UNAVAILABLE after
+  // ~200ms; unbounded (deadline_ms = 0, attempt_timeout_ms = 0) it
+  // must wait out the 600ms stall and succeed.
+  EXPECT_TRUE(client->Ping().ok());
+  client->Close();
+  srv.join();
+  ::close(lfd);
 }
 
 // ---------------------------------------------------------------------
