@@ -1,0 +1,195 @@
+// §5.2 secondary attribute indexes: the thematic-catalog lookup
+// ("retrieve the piece named X") and the §5.6 `is` join ("notes of the
+// chord c"), each through the planner with the index defined versus the
+// EnableAttrIndex(false) linear-scan ablation. Google-benchmark curves
+// show the indexed side flat in corpus size while the scan grows
+// linearly; the BENCH_JSON block carries the 10^4-entry acceptance
+// numbers (>=100x on both shapes).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "net/connection.h"
+#include "quel/quel.h"
+
+namespace {
+
+using mdm::Connection;
+using mdm::bench::MakeChordDb;
+using mdm::bench::MetricsSection;
+using mdm::er::Database;
+using mdm::er::EntityId;
+using mdm::rel::Value;
+
+// The paper's NOTE/CHORD schema with an entity-valued NOTE.chord
+// reference (the §5.6 join target) and secondary indexes on both the
+// note name (thematic catalog) and the chord reference (is-join).
+Database MakeIndexedChordDb(int n_chords, int notes_per_chord) {
+  Database db;
+  auto ddl = mdm::ddl::ExecuteDdl(R"(
+    define entity CHORD (name = integer)
+    define entity NOTE (name = integer, chord = CHORD)
+    define index chord_name on CHORD(name)
+    define index note_name on NOTE(name)
+    define index note_chord on NOTE(chord)
+  )",
+                                  &db);
+  if (!ddl.ok()) std::abort();
+  int note_name = 0;
+  for (int c = 1; c <= n_chords; ++c) {
+    EntityId chord = *db.CreateEntity("CHORD");
+    (void)db.SetAttribute(chord, "name", Value::Int(c));
+    for (int n = 0; n < notes_per_chord; ++n) {
+      EntityId note = *db.CreateEntity("NOTE");
+      (void)db.SetAttribute(note, "name", Value::Int(note_name++));
+      (void)db.SetAttribute(note, "chord", Value::Ref(chord));
+    }
+  }
+  return db;
+}
+
+// Thematic-catalog point lookup: one note by name, worst case (the
+// last-created name) for the scan.
+std::string LookupQuery(int total_notes) {
+  return "range of n is NOTE\nretrieve (n.name) where n.name = " +
+         std::to_string(total_notes - 1);
+}
+
+// §5.6 join: the notes belonging to the last chord, reached through the
+// chord's own indexed name and the note_chord reference index.
+std::string IsJoinQuery(int n_chords) {
+  return "range of n is NOTE\nrange of c is CHORD\n"
+         "retrieve (n.name) where n.chord is c and c.name = " +
+         std::to_string(n_chords);
+}
+
+void BM_LookupIndexed(benchmark::State& state) {
+  int notes = static_cast<int>(state.range(0));
+  Database db = MakeIndexedChordDb(1, notes);
+  Connection conn = Connection::Local(&db);
+  std::string q = LookupQuery(notes);
+  for (auto _ : state) benchmark::DoNotOptimize(conn.Execute(q)->size());
+}
+BENCHMARK(BM_LookupIndexed)->Arg(64)->Arg(1024)->Arg(10000);
+
+void BM_LookupLinearScan(benchmark::State& state) {
+  int notes = static_cast<int>(state.range(0));
+  Database db = MakeIndexedChordDb(1, notes);
+  db.EnableAttrIndex(false);
+  Connection conn = Connection::Local(&db);
+  std::string q = LookupQuery(notes);
+  for (auto _ : state) benchmark::DoNotOptimize(conn.Execute(q)->size());
+}
+BENCHMARK(BM_LookupLinearScan)->Arg(64)->Arg(1024)->Arg(10000);
+
+// The is-join keeps the chord fan-out fixed at 10 notes per chord and
+// grows the corpus, so the indexed side stays proportional to the
+// result (10 probes) while the scan touches every note per chord.
+void BM_IsJoinIndexed(benchmark::State& state) {
+  int chords = static_cast<int>(state.range(0)) / 10;
+  Database db = MakeIndexedChordDb(chords, 10);
+  Connection conn = Connection::Local(&db);
+  std::string q = IsJoinQuery(chords);
+  for (auto _ : state) benchmark::DoNotOptimize(conn.Execute(q)->size());
+}
+BENCHMARK(BM_IsJoinIndexed)->Arg(64)->Arg(1024)->Arg(10000);
+
+void BM_IsJoinLinearScan(benchmark::State& state) {
+  int chords = static_cast<int>(state.range(0)) / 10;
+  Database db = MakeIndexedChordDb(chords, 10);
+  db.EnableAttrIndex(false);
+  Connection conn = Connection::Local(&db);
+  std::string q = IsJoinQuery(chords);
+  for (auto _ : state) benchmark::DoNotOptimize(conn.Execute(q)->size());
+}
+BENCHMARK(BM_IsJoinLinearScan)->Arg(64)->Arg(1024)->Arg(10000);
+
+// Maintenance price: each iteration re-points one note's indexed
+// attributes (two erase+insert pairs in the trees).
+void BM_IndexedUpdate(benchmark::State& state) {
+  Database db = MakeIndexedChordDb(10, 100);
+  EntityId victim = 0;
+  (void)db.ForEachEntity("NOTE", [&](EntityId id) {
+    victim = id;
+    return false;
+  });
+  int64_t next = 1000000;
+  for (auto _ : state) {
+    if (!db.SetAttribute(victim, "name", Value::Int(next++)).ok())
+      state.SkipWithError("update failed");
+  }
+}
+BENCHMARK(BM_IndexedUpdate);
+
+// Wall-clock nanoseconds per call of `f`, averaged over `iters` calls.
+template <typename F>
+double NsPerOp(F&& f, int iters) {
+  auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) f();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(t1 - t0).count() / iters;
+}
+
+// The acceptance comparison at 10^4 entries, one JSON object so runs
+// can be diffed: indexed vs EnableAttrIndex(false) for the catalog
+// lookup and the is-join, plus the registry's index counters.
+void EmitAcceptanceJson() {
+  constexpr int kIters = 200;
+  MetricsSection metrics;
+
+  Database flat = MakeIndexedChordDb(1, 10000);
+  Connection conn = Connection::Local(&flat);
+  std::string lookup = LookupQuery(10000);
+  double lookup_idx = NsPerOp(
+      [&] { benchmark::DoNotOptimize(conn.Execute(lookup)->size()); }, kIters);
+  flat.EnableAttrIndex(false);
+  conn.local_session()->ClearParseCache();  // replan without the index
+  double lookup_scan = NsPerOp(
+      [&] { benchmark::DoNotOptimize(conn.Execute(lookup)->size()); },
+      kIters / 10);
+  flat.EnableAttrIndex(true);
+
+  Database corpus = MakeIndexedChordDb(1000, 10);
+  Connection cc = Connection::Local(&corpus);
+  std::string join = IsJoinQuery(1000);
+  double join_idx = NsPerOp(
+      [&] { benchmark::DoNotOptimize(cc.Execute(join)->size()); }, kIters);
+  corpus.EnableAttrIndex(false);
+  cc.local_session()->ClearParseCache();
+  double join_scan = NsPerOp(
+      [&] { benchmark::DoNotOptimize(cc.Execute(join)->size()); },
+      kIters / 10);
+  corpus.EnableAttrIndex(true);
+
+  std::printf(
+      "BENCH_JSON {\"bench\": \"s52_attr_index\", "
+      "\"scale\": {\"notes\": 10000, \"chords\": 1000}, \"results\": ["
+      "{\"op\": \"catalog_lookup\", \"indexed_ns\": %.0f, "
+      "\"unindexed_ns\": %.0f, \"speedup\": %.1f}, "
+      "{\"op\": \"is_join\", \"indexed_ns\": %.0f, "
+      "\"unindexed_ns\": %.0f, \"speedup\": %.1f}], "
+      "\"metrics\": {%s}}\n",
+      lookup_idx, lookup_scan, lookup_scan / lookup_idx, join_idx, join_scan,
+      join_scan / join_idx, metrics.DeltaJson().c_str());
+  std::printf("acceptance (>=100x at 10^4 entries): lookup %.1fx, "
+              "is-join %.1fx\n\n",
+              lookup_scan / lookup_idx, join_scan / join_idx);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mdm::bench::PrintHeader(
+      "§5.2 — secondary attribute indexes",
+      "the thematic-catalog lookup and the §5.6 is-join, indexed vs "
+      "the EnableAttrIndex(false) linear-scan ablation");
+  std::printf("expect: indexed lookup/join flat in corpus size; the\n"
+              "ablated scans linear. IndexedUpdate shows the per-mutation\n"
+              "maintenance price.\n\n");
+  EmitAcceptanceJson();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -6,6 +6,7 @@
 #include "cmn/temporal.h"
 #include "darms/darms.h"
 #include "er/database.h"
+#include "net/connection.h"
 #include "quel/quel.h"
 
 int main() {
@@ -39,12 +40,10 @@ int main() {
               (unsigned long long)db.TotalEntities());
 
   // The imported score answers QUEL queries: count the syllables sung.
-  // DEPRECATED: constructing a QuelSession directly ties the client to
-  // the in-process database; new code should issue statements through
-  // mdm::Connection (net/connection.h), which offers the same Execute
-  // against local and remote (mdmd) databases alike.
-  mdm::quel::QuelSession session(&db);
-  auto rs = session.Execute(R"(
+  // Statements go through mdm::Connection — the one public API, same
+  // Execute against local and remote (mdmd) databases alike.
+  mdm::Connection conn = mdm::Connection::Local(&db);
+  auto rs = conn.Execute(R"(
     range of s is SYLLABLE
     retrieve (n = count(s), text = min(s.text))
   )");

@@ -37,7 +37,7 @@
 namespace {
 
 /// \stress: re-runs the last executed QUEL script from N concurrent
-/// client threads (each with its own QuelSession, the fig 1
+/// client threads (each with its own local Connection, the fig 1
 /// many-clients shape) and reports aggregate throughput. Retrieves
 /// overlap under the shared latch; mutating scripts serialize safely.
 /// (Local sessions only: against a remote server, run several mdmsh
@@ -51,12 +51,9 @@ void RunStress(mdm::er::Database* db, const std::string& script,
   clients.reserve(threads);
   for (size_t t = 0; t < threads; ++t) {
     clients.emplace_back([db, &script, iters, &ok, &failed] {
-      // DEPRECATED shape for clients: prefer mdm::Connection::Local(db)
-      // (net/connection.h); kept raw here to stress the session layer
-      // itself.
-      mdm::quel::QuelSession session(db);
+      mdm::Connection conn = mdm::Connection::Local(db);
       for (size_t i = 0; i < iters; ++i) {
-        if (session.Execute(script).ok()) {
+        if (conn.Execute(script).ok()) {
           ok.fetch_add(1, std::memory_order_relaxed);
         } else {
           failed.fetch_add(1, std::memory_order_relaxed);

@@ -19,6 +19,12 @@ class DdlParser {
   Result<DdlResult> Run() {
     DdlResult result;
     while (!AtEnd()) {
+      if (IsKeyword(Peek(), "destroy")) {
+        Advance();
+        MDM_RETURN_IF_ERROR(ExpectKeyword("index"));
+        MDM_RETURN_IF_ERROR(DestroyIndex(&result));
+        continue;
+      }
       MDM_RETURN_IF_ERROR(ExpectKeyword("define"));
       const Token& what = Peek();
       if (IsKeyword(what, "entity")) {
@@ -30,9 +36,12 @@ class DdlParser {
       } else if (IsKeyword(what, "ordering")) {
         Advance();
         MDM_RETURN_IF_ERROR(ParseOrdering(&result));
+      } else if (IsKeyword(what, "index")) {
+        Advance();
+        MDM_RETURN_IF_ERROR(ParseIndex(&result));
       } else {
         return ParseError(StrFormat(
-            "line %zu: expected entity/relationship/ordering after "
+            "line %zu: expected entity/relationship/ordering/index after "
             "'define', got '%s'",
             what.line, what.text.c_str()));
       }
@@ -174,6 +183,29 @@ class DdlParser {
     } else {
       result->orderings.push_back(def.name);
     }
+    return Status::OK();
+  }
+
+  // define index name on entity_type (attr)
+  Status ParseIndex(DdlResult* result) {
+    er::AttrIndexDef def;
+    MDM_ASSIGN_OR_RETURN(def.name, ExpectIdentifier("index name"));
+    MDM_RETURN_IF_ERROR(ExpectKeyword("on"));
+    MDM_ASSIGN_OR_RETURN(def.entity_type, ExpectIdentifier("entity type"));
+    MDM_RETURN_IF_ERROR(Expect(TokenType::kLParen, "'('"));
+    MDM_ASSIGN_OR_RETURN(def.attr, ExpectIdentifier("attribute name"));
+    MDM_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+    std::string name = def.name;
+    if (db_ != nullptr) MDM_RETURN_IF_ERROR(db_->DefineIndex(std::move(def)));
+    result->indexes.push_back(std::move(name));
+    return Status::OK();
+  }
+
+  // destroy index name ("destroy" "index" already consumed)
+  Status DestroyIndex(DdlResult* result) {
+    MDM_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("index name"));
+    if (db_ != nullptr) MDM_RETURN_IF_ERROR(db_->DestroyIndex(name));
+    result->destroyed_indexes.push_back(std::move(name));
     return Status::OK();
   }
 

@@ -11,11 +11,13 @@
 
 namespace mdm::ddl {
 
-/// Result of executing a DDL script: what was defined.
+/// Result of executing a DDL script: what was defined (or destroyed).
 struct DdlResult {
   std::vector<std::string> entity_types;
   std::vector<std::string> relationships;
   std::vector<std::string> orderings;  // final (possibly generated) names
+  std::vector<std::string> indexes;
+  std::vector<std::string> destroyed_indexes;
 };
 
 /// Parses and executes a DDL script against `db`.
@@ -23,6 +25,7 @@ struct DdlResult {
 /// Grammar (§5.4, [Rub87] BNF):
 ///   script     := { statement }
 ///   statement  := define_entity | define_rel | define_ordering
+///                   | define_index | destroy_index
 ///   define_entity   := "define" "entity" name "(" [attr {"," attr}] ")"
 ///   attr            := name "=" type_name
 ///   define_rel      := "define" "relationship" name
@@ -30,10 +33,16 @@ struct DdlResult {
 ///   role            := name "=" entity_type_name
 ///   define_ordering := "define" "ordering" [name]
 ///                          "(" child {"," child} ")" "under" parent
+///   define_index    := "define" "index" name "on" entity_type_name
+///                          "(" attr_name ")"
+///   destroy_index   := "destroy" "index" name
 ///
 /// `type_name` is one of the scalar domains (integer, float, string,
 /// bool, rational) or a previously defined entity type (making the
-/// attribute an entity-valued reference, §5.1).
+/// attribute an entity-valued reference, §5.1). Indexes are the §5.2
+/// physical design: a secondary B-tree over one attribute of one entity
+/// type, maintained on every create/update/delete and journaled like
+/// any other schema change (see docs/INDEXES.md).
 Result<DdlResult> ExecuteDdl(const std::string& script, er::Database* db);
 
 /// Parses a DDL script without executing it (syntax check only).

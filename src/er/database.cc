@@ -1,6 +1,7 @@
 #include "er/database.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/strings.h"
 #include "obs/metrics.h"
@@ -41,6 +42,97 @@ struct ErCounters {
   }
 };
 
+/// Process-wide mirrors of the per-database AttrIndexStats fields.
+struct IndexCounters {
+  obs::Counter* lookups;
+  obs::Counter* inserts;
+  obs::Counter* erases;
+  obs::Counter* rebuilds;
+  static const IndexCounters& Get() {
+    static IndexCounters c = {
+        obs::Registry::Global()->GetCounter(
+            "mdm_index_lookups_total",
+            "Secondary-index probes answered from a B+tree"),
+        obs::Registry::Global()->GetCounter(
+            "mdm_index_inserts_total",
+            "Secondary-index entries added (mutations and backfills)"),
+        obs::Registry::Global()->GetCounter(
+            "mdm_index_erases_total",
+            "Secondary-index entries removed (updates and deletes)"),
+        obs::Registry::Global()->GetCounter(
+            "mdm_index_rebuilds_total",
+            "Secondary-index full backfills (define, restore, replay)")};
+    return c;
+  }
+};
+
+// ---------------------------------------------------------------------
+// Secondary-index key encoding.
+//
+// The B+tree maps int64 keys to entity ids. The encoding must satisfy:
+// values equal under Value::Compare encode to the same key (or the
+// probe misses rows); unequal values MAY collide (strings and rationals
+// are hashed) because the planner keeps the equality conjunct in the
+// filter list, so every candidate is re-checked. Value::Compare treats
+// int and float as one numeric domain, so integral floats canonicalize
+// to their int64 value (Float(2.0) and Int(2) must share a key); -0.0
+// folds into that path via the integral check. Nulls are never indexed.
+// ---------------------------------------------------------------------
+
+uint64_t Fnv1a64(const void* data, size_t n, uint64_t h = 0xCBF29CE484222325ull) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+int64_t AttrKeyFor(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return 0;  // callers never index or probe nulls
+    case ValueType::kBool:
+      return v.AsBool() ? 1 : 0;
+    case ValueType::kInt:
+      return v.AsInt();
+    case ValueType::kRef:
+      return static_cast<int64_t>(v.AsRef());
+    case ValueType::kFloat: {
+      double d = v.AsFloat();
+      // Integral floats share the int encoding (numeric cross-compare).
+      if (d >= -9223372036854775808.0 && d < 9223372036854775808.0 &&
+          d == static_cast<double>(static_cast<int64_t>(d)))
+        return static_cast<int64_t>(d);
+      int64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      return bits;
+    }
+    case ValueType::kString: {
+      const std::string& s = v.AsString();
+      return static_cast<int64_t>(Fnv1a64(s.data(), s.size()));
+    }
+    case ValueType::kRational: {
+      // Rationals are kept normalized (gcd = 1, den > 0), so hashing
+      // (num, den) is exact for equality.
+      int64_t pair[2] = {v.AsRational().num(), v.AsRational().den()};
+      return static_cast<int64_t>(Fnv1a64(pair, sizeof(pair)));
+    }
+  }
+  return 0;
+}
+
+// EntityIds are allocated sequentially from 1, so they fit the 48-bit
+// (page, slot) Rid with room to spare.
+storage::Rid RidForEntity(EntityId id) {
+  return storage::Rid{static_cast<storage::PageId>(id >> 16),
+                      static_cast<uint16_t>(id & 0xFFFF)};
+}
+
+EntityId EntityForRid(const storage::Rid& rid) {
+  return (static_cast<EntityId>(rid.page_id) << 16) | rid.slot;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------
@@ -69,6 +161,11 @@ Database& Database::operator=(Database&& other) noexcept {
       other.ordering_index_enabled_.load(std::memory_order_relaxed),
       std::memory_order_relaxed);
   index_stats_.CopyFrom(other.index_stats_);
+  attr_indexes_ = std::move(other.attr_indexes_);
+  attr_index_enabled_.store(
+      other.attr_index_enabled_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  attr_stats_.CopyFrom(other.attr_stats_);
   wal_ = other.wal_;
   open_txn_ = other.open_txn_;
   replaying_ = other.replaying_;
@@ -78,6 +175,7 @@ Database& Database::operator=(Database&& other) noexcept {
   other.rel_instances_.clear();
   other.rels_by_name_.clear();
   other.ordering_instances_.clear();
+  other.attr_indexes_.clear();
   other.next_entity_id_ = 1;
   other.next_rel_id_ = 1;
   other.wal_ = nullptr;
@@ -247,6 +345,8 @@ Status Database::DeleteEntity(EntityId id) {
     rel_instances_.erase(rid);
   }
 
+  AttrIndexOnDelete(*rec);
+
   std::vector<EntityId>& list = by_type_[AsciiUpper(type_name)];
   list.erase(std::remove(list.begin(), list.end(), id), list.end());
   entities_.erase(id);
@@ -304,6 +404,7 @@ Status Database::SetAttribute(EntityId id, const std::string& attr,
   payload.PutU64(id);
   payload.PutString(adef.name);
   value.Encode(&payload);
+  AttrIndexOnSet(*rec, static_cast<uint32_t>(*idx), rec->attrs[*idx], value);
   rec->attrs[*idx] = std::move(value);
   return LogOp(Op::kSetAttribute, payload.data());
 }
@@ -476,33 +577,25 @@ bool Database::IsAncestor(const OrderingInstances& inst, EntityId needle,
 // Lazy structural indexes (§5.6 execution).
 // ---------------------------------------------------------------------
 
-// Both accessors follow the same publish protocol. Fast path: load the
-// cell's epoch then the published snapshot (acquire); a snapshot
-// stamped with the current epoch is immutable and safe to use without
-// any lock. Slow path: serialize on rebuild_mu, re-check (another
-// reader may have just rebuilt), rebuild from children/parent_of —
-// which cannot change underneath us, since mutators need the exclusive
-// database latch while every reader here holds it shared — and publish
-// with a release store. Readers that loaded the old snapshot keep a
-// complete (merely stale-epoch) table via shared ownership.
+// Both accessors follow the same publish protocol. Load the epoch
+// (stable for the whole call: epoch bumps happen under the exclusive
+// database latch, and every reader here holds it shared), then under
+// the cell's publish_mu either hand out the published snapshot (if its
+// stamp matches) or rebuild from children/parent_of and republish.
+// Snapshots are immutable once published, so a reader keeps a complete
+// (merely stale-epoch) table via shared ownership even after a later
+// republish. Rebuilds serialize on publish_mu — same as before, when it
+// doubled as the rebuild mutex.
 
 std::shared_ptr<const Database::RankIndex> Database::RankIndexFor(
     const OrderingInstances& inst) const {
   OrderingIndexCell* cell = inst.index.get();
   const uint64_t cur = cell->epoch.load(std::memory_order_acquire);
-  std::shared_ptr<const RankIndex> snap =
-      cell->ranks.load(std::memory_order_acquire);
-  if (snap != nullptr && snap->epoch == cur) {
+  std::lock_guard<std::mutex> lock(cell->publish_mu);
+  if (cell->ranks != nullptr && cell->ranks->epoch == cur) {
     index_stats_.rank_hits.fetch_add(1, std::memory_order_relaxed);
     ErCounters::Get().rank_hits->Inc();
-    return snap;
-  }
-  std::lock_guard<std::mutex> lock(cell->rebuild_mu);
-  snap = cell->ranks.load(std::memory_order_acquire);
-  if (snap != nullptr && snap->epoch == cur) {
-    index_stats_.rank_hits.fetch_add(1, std::memory_order_relaxed);
-    ErCounters::Get().rank_hits->Inc();
-    return snap;
+    return cell->ranks;
   }
   index_stats_.rank_rebuilds.fetch_add(1, std::memory_order_relaxed);
   ErCounters::Get().rank_rebuilds->Inc();
@@ -512,7 +605,7 @@ std::shared_ptr<const Database::RankIndex> Database::RankIndexFor(
     (void)parent;
     for (size_t i = 0; i < sibs.size(); ++i) fresh->rank_of[sibs[i]] = i;
   }
-  cell->ranks.store(fresh, std::memory_order_release);
+  cell->ranks = fresh;
   return fresh;
 }
 
@@ -520,19 +613,11 @@ std::shared_ptr<const Database::IntervalIndex> Database::IntervalIndexFor(
     const OrderingInstances& inst) const {
   OrderingIndexCell* cell = inst.index.get();
   const uint64_t cur = cell->epoch.load(std::memory_order_acquire);
-  std::shared_ptr<const IntervalIndex> snap =
-      cell->intervals.load(std::memory_order_acquire);
-  if (snap != nullptr && snap->epoch == cur) {
+  std::lock_guard<std::mutex> lock(cell->publish_mu);
+  if (cell->intervals != nullptr && cell->intervals->epoch == cur) {
     index_stats_.interval_hits.fetch_add(1, std::memory_order_relaxed);
     ErCounters::Get().interval_hits->Inc();
-    return snap;
-  }
-  std::lock_guard<std::mutex> lock(cell->rebuild_mu);
-  snap = cell->intervals.load(std::memory_order_acquire);
-  if (snap != nullptr && snap->epoch == cur) {
-    index_stats_.interval_hits.fetch_add(1, std::memory_order_relaxed);
-    ErCounters::Get().interval_hits->Inc();
-    return snap;
+    return cell->intervals;
   }
   obs::Span span("er.interval_rebuild");
   index_stats_.interval_rebuilds.fetch_add(1, std::memory_order_relaxed);
@@ -566,7 +651,7 @@ std::shared_ptr<const Database::IntervalIndex> Database::IntervalIndexFor(
       }
     }
   }
-  cell->intervals.store(fresh, std::memory_order_release);
+  cell->intervals = fresh;
   return fresh;
 }
 
@@ -856,6 +941,131 @@ Result<bool> Database::Under(const std::string& ordering, EntityId child,
 }
 
 // ---------------------------------------------------------------------
+// Secondary attribute indexes (§5.2 as physical design).
+// ---------------------------------------------------------------------
+
+Status Database::DefineIndex(AttrIndexDef def) {
+  if (def.name.empty()) return InvalidArgument("index name required");
+  const EntityTypeDef* tdef = schema_.FindEntityType(def.entity_type);
+  if (tdef == nullptr)
+    return NotFound("no entity type named " + def.entity_type);
+  auto slot = tdef->AttributeIndex(def.attr);
+  if (!slot.has_value())
+    return NotFound(StrFormat("entity type %s has no attribute %s",
+                              tdef->name.c_str(), def.attr.c_str()));
+  const std::string key = AsciiUpper(def.name);
+  if (attr_indexes_.count(key) != 0)
+    return AlreadyExists("an index named " + def.name + " already exists");
+
+  AttrIndex ix;
+  // Store the schema's canonical spellings so explain output and the
+  // meta-schema catalog match the DDL regardless of query-side casing.
+  ix.def.name = std::move(def.name);
+  ix.def.entity_type = tdef->name;
+  ix.def.attr = tdef->attributes[*slot].name;
+  for (size_t i = 0; i < schema_.entity_types().size(); ++i)
+    if (&schema_.entity_types()[i] == tdef)
+      ix.type_index = static_cast<uint32_t>(i);
+  ix.attr_slot = static_cast<uint32_t>(*slot);
+
+  // Backfill from existing entities (nulls are never indexed).
+  attr_stats_.rebuilds.fetch_add(1, std::memory_order_relaxed);
+  IndexCounters::Get().rebuilds->Inc();
+  auto by = by_type_.find(AsciiUpper(tdef->name));
+  if (by != by_type_.end()) {
+    for (EntityId id : by->second) {
+      const Value& v = entities_.at(id).attrs[ix.attr_slot];
+      if (v.is_null()) continue;
+      ix.tree.Insert(AttrKeyFor(v), RidForEntity(id));
+      attr_stats_.inserts.fetch_add(1, std::memory_order_relaxed);
+      IndexCounters::Get().inserts->Inc();
+    }
+  }
+
+  ByteWriter payload;
+  payload.PutString(ix.def.name);
+  payload.PutString(ix.def.entity_type);
+  payload.PutString(ix.def.attr);
+  attr_indexes_.emplace(key, std::move(ix));
+  return LogOp(Op::kDefineIndex, payload.data());
+}
+
+Status Database::DestroyIndex(const std::string& name) {
+  auto it = attr_indexes_.find(AsciiUpper(name));
+  if (it == attr_indexes_.end())
+    return NotFound("no index named " + name);
+  attr_indexes_.erase(it);
+  ByteWriter payload;
+  payload.PutString(name);
+  return LogOp(Op::kDestroyIndex, payload.data());
+}
+
+std::vector<AttrIndexDef> Database::AttrIndexDefs() const {
+  std::vector<AttrIndexDef> out;
+  for (const auto& [key, ix] : attr_indexes_) out.push_back(ix.def);
+  return out;
+}
+
+const AttrIndex* Database::FindAttrIndex(std::string_view entity_type,
+                                         std::string_view attr) const {
+  if (!attr_index_enabled()) return nullptr;
+  for (const auto& [key, ix] : attr_indexes_) {
+    if (EqualsIgnoreCase(ix.def.entity_type, entity_type) &&
+        EqualsIgnoreCase(ix.def.attr, attr))
+      return &ix;
+  }
+  return nullptr;
+}
+
+const AttrIndex* Database::FindAttrIndexByName(std::string_view name) const {
+  auto it = attr_indexes_.find(AsciiUpper(std::string(name)));
+  return it == attr_indexes_.end() ? nullptr : &it->second;
+}
+
+std::vector<EntityId> Database::IndexLookup(const AttrIndex& index,
+                                            const Value& key) const {
+  std::vector<EntityId> out;
+  if (key.is_null()) return out;  // see header: callers scan for nulls
+  attr_stats_.lookups.fetch_add(1, std::memory_order_relaxed);
+  IndexCounters::Get().lookups->Inc();
+  for (const storage::Rid& rid : index.tree.Find(AttrKeyFor(key)))
+    out.push_back(EntityForRid(rid));
+  return out;
+}
+
+void Database::AttrIndexOnSet(const EntityRecord& rec, uint32_t attr_slot,
+                              const Value& old_value, const Value& new_value) {
+  if (attr_indexes_.empty()) return;
+  for (auto& [key, ix] : attr_indexes_) {
+    if (ix.type_index != rec.type_index || ix.attr_slot != attr_slot)
+      continue;
+    if (!old_value.is_null() &&
+        ix.tree.Erase(AttrKeyFor(old_value), RidForEntity(rec.id))) {
+      attr_stats_.erases.fetch_add(1, std::memory_order_relaxed);
+      IndexCounters::Get().erases->Inc();
+    }
+    if (!new_value.is_null()) {
+      ix.tree.Insert(AttrKeyFor(new_value), RidForEntity(rec.id));
+      attr_stats_.inserts.fetch_add(1, std::memory_order_relaxed);
+      IndexCounters::Get().inserts->Inc();
+    }
+  }
+}
+
+void Database::AttrIndexOnDelete(const EntityRecord& rec) {
+  if (attr_indexes_.empty()) return;
+  for (auto& [key, ix] : attr_indexes_) {
+    if (ix.type_index != rec.type_index) continue;
+    const Value& v = rec.attrs[ix.attr_slot];
+    if (v.is_null()) continue;
+    if (ix.tree.Erase(AttrKeyFor(v), RidForEntity(rec.id))) {
+      attr_stats_.erases.fetch_add(1, std::memory_order_relaxed);
+      IndexCounters::Get().erases->Inc();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
 // Graphs and diagnostics.
 // ---------------------------------------------------------------------
 
@@ -956,6 +1166,15 @@ void Database::Snapshot(ByteWriter* w) const {
       for (EntityId kid : kids) w->PutU64(kid);
     }
   }
+  // Secondary attribute indexes: definitions only. The tree contents
+  // are derivable from the entity data above, so Restore rebuilds them
+  // (and counts the rebuilds) instead of deserializing b-tree pages.
+  w->PutVarint(attr_indexes_.size());
+  for (const auto& [key, ix] : attr_indexes_) {
+    w->PutString(ix.def.name);
+    w->PutString(ix.def.entity_type);
+    w->PutString(ix.def.attr);
+  }
 }
 
 Status Database::Restore(ByteReader* r, Database* out) {
@@ -1039,6 +1258,21 @@ Status Database::Restore(ByteReader* r, Database* out) {
         inst.parent_of[kid] = parent;
       }
       inst.children[parent] = std::move(kids);
+    }
+  }
+  // Index-definition section (absent in pre-index snapshots: treat EOF
+  // as zero indexes). DefineIndex re-backfills each tree from the
+  // freshly restored entities; no journal is attached yet, so nothing
+  // is re-logged.
+  if (!r->AtEnd()) {
+    uint64_t n_indexes;
+    MDM_RETURN_IF_ERROR(r->GetVarint(&n_indexes));
+    for (uint64_t i = 0; i < n_indexes; ++i) {
+      AttrIndexDef def;
+      MDM_RETURN_IF_ERROR(r->GetString(&def.name));
+      MDM_RETURN_IF_ERROR(r->GetString(&def.entity_type));
+      MDM_RETURN_IF_ERROR(r->GetString(&def.attr));
+      MDM_RETURN_IF_ERROR(out->DefineIndex(std::move(def)));
     }
   }
   return Status::OK();
@@ -1145,6 +1379,18 @@ Status Database::ApplyOp(const storage::WalRecord& rec) {
       MDM_RETURN_IF_ERROR(r.GetString(&attr));
       MDM_RETURN_IF_ERROR(Value::Decode(&r, &v));
       return SetRelationshipAttribute(id, attr, std::move(v));
+    }
+    case Op::kDefineIndex: {
+      AttrIndexDef def;
+      MDM_RETURN_IF_ERROR(r.GetString(&def.name));
+      MDM_RETURN_IF_ERROR(r.GetString(&def.entity_type));
+      MDM_RETURN_IF_ERROR(r.GetString(&def.attr));
+      return DefineIndex(std::move(def));
+    }
+    case Op::kDestroyIndex: {
+      std::string name;
+      MDM_RETURN_IF_ERROR(r.GetString(&name));
+      return DestroyIndex(name);
     }
   }
   return Corruption(StrFormat("unknown journal opcode %u", opcode));

@@ -18,6 +18,7 @@
 #include "common/status.h"
 #include "er/schema.h"
 #include "rel/value.h"
+#include "storage/btree.h"
 #include "storage/wal.h"
 
 namespace mdm::er {
@@ -64,6 +65,40 @@ struct OrderingIndexStats {
   uint64_t linear_scans = 0;
 };
 
+/// Definition of one secondary attribute index (§5.2's "orderings as
+/// physical optimization" generalized to attributes — the thematic
+/// index made physical): a B+tree over one attribute of one entity
+/// type. Index names are unique case-insensitively; the catalog is
+/// mirrored into the meta-schema as INDEX_DEF entities (Fig 9).
+struct AttrIndexDef {
+  std::string name;
+  std::string entity_type;
+  std::string attr;
+};
+
+/// Per-database counters for the secondary attribute indexes.
+/// Process-wide totals live on the obs registry as
+/// mdm_index_{lookups,inserts,erases,rebuilds}_total; this accessor
+/// remains for per-instance attribution in tests and benches.
+struct AttrIndexStats {
+  uint64_t lookups = 0;   // IndexLookup probes answered from a B+tree
+  uint64_t inserts = 0;   // entries added (mutations + backfill)
+  uint64_t erases = 0;    // entries removed (updates, deletes)
+  uint64_t rebuilds = 0;  // full backfills (define, restore, replay)
+};
+
+/// One live secondary index: its definition, the resolved schema slots
+/// and the backing B+tree. Obtained from Database::FindAttrIndex; the
+/// pointer is stable until the next DefineIndex/DestroyIndex (index DDL
+/// takes the exclusive latch), so holding it for one planned statement
+/// is safe.
+struct AttrIndex {
+  AttrIndexDef def;
+  uint32_t type_index = 0;  // into ErSchema::entity_types()
+  uint32_t attr_slot = 0;   // into that type's attributes
+  storage::BTree tree;
+};
+
 /// The music data manager's entity-relationship database with
 /// hierarchical ordering (the paper's §5 extension).
 ///
@@ -92,11 +127,12 @@ struct OrderingIndexStats {
 /// Under a shared latch, reads are snapshot-consistent: structural
 /// mutations (which require the exclusive latch) cannot interleave, and
 /// the lazy §5.6 ordering indexes are published as immutable epoch-
-/// stamped snapshots (std::atomic<std::shared_ptr>), so Before/After/
-/// Under never observe a half-rebuilt rank or interval table even while
-/// many readers trigger rebuilds concurrently. Moving a Database (move
-/// construction/assignment) is NOT latch-protected — quiesce all
-/// sessions first. See docs/CONCURRENCY.md for the lock hierarchy.
+/// stamped snapshots behind an explicit epoch + per-cell publish mutex,
+/// so Before/After/Under never observe a half-rebuilt rank or interval
+/// table even while many readers trigger rebuilds concurrently. Moving
+/// a Database (move construction/assignment) is NOT latch-protected —
+/// quiesce all sessions first. See docs/CONCURRENCY.md for the lock
+/// hierarchy.
 class Database {
  public:
   Database() = default;
@@ -255,6 +291,54 @@ class Database {
   void ResetOrderingIndexStats() { index_stats_.Reset(); }
 
   // ------------------------------------------------------------------
+  // Secondary attribute indexes (§5.2 as physical design).
+  //
+  // `define index <name> on <entity>(<attr>)` in the DDL lands here.
+  // Indexes are maintained inline by SetAttribute/DeleteEntity, are
+  // journaled (and so replayed/crash-recovered like any mutation), and
+  // are rebuilt from entity data on Restore — the snapshot stores only
+  // the definitions.
+  // ------------------------------------------------------------------
+
+  /// Creates a B+tree index over one attribute and backfills it from
+  /// existing entities. Mutator (exclusive latch); journaled.
+  Status DefineIndex(AttrIndexDef def);
+  /// Drops the named index. Mutator (exclusive latch); journaled.
+  Status DestroyIndex(const std::string& name);
+  /// All index definitions, in case-normalized name order.
+  std::vector<AttrIndexDef> AttrIndexDefs() const;
+  /// The live index on (entity type, attribute), or nullptr when none
+  /// exists or the ablation switch is off. The planner calls this at
+  /// plan time; the pointer stays valid for the whole statement (index
+  /// DDL needs the exclusive latch).
+  const AttrIndex* FindAttrIndex(std::string_view entity_type,
+                                 std::string_view attr) const;
+  const AttrIndex* FindAttrIndexByName(std::string_view name) const;
+  /// Candidate entities whose `attr` may equal `key`, in id order.
+  /// String/rational keys are hash-encoded, so collisions are possible:
+  /// callers must re-check the predicate per candidate (the planner
+  /// keeps the conjunct in the filter list). `key` must not be null —
+  /// nulls are never indexed; probe a null key by falling back to a
+  /// full scan (null == null is true under Value::Compare).
+  std::vector<EntityId> IndexLookup(const AttrIndex& index,
+                                    const rel::Value& key) const;
+
+  /// Ablation switch: when off, FindAttrIndex returns nullptr so every
+  /// plan falls back to full scans. Maintenance continues either way
+  /// (the trees stay consistent for re-enabling). Exposed for
+  /// bench_s52_attr_index; toggling counts as a mutation.
+  void EnableAttrIndex(bool on) {
+    attr_index_enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool attr_index_enabled() const {
+    return attr_index_enabled_.load(std::memory_order_relaxed);
+  }
+  AttrIndexStats attr_index_stats() const {
+    return attr_stats_.Snapshot();
+  }
+  void ResetAttrIndexStats() { attr_stats_.Reset(); }
+
+  // ------------------------------------------------------------------
   // Graphs and diagnostics.
   // ------------------------------------------------------------------
   /// Instance graph (fig 6 / fig 8(c)): P-edges and S-edges of the
@@ -301,6 +385,8 @@ class Database {
     kInsertChildAt = 9,
     kRemoveChild = 10,
     kSetRelAttribute = 11,
+    kDefineIndex = 12,
+    kDestroyIndex = 13,
   };
 
   // --- structural indexes, maintained lazily (§5.6 execution) ---
@@ -327,13 +413,20 @@ class Database {
     std::unordered_map<EntityId, std::pair<uint64_t, uint64_t>> interval_of;
   };
   // Heap-allocated so OrderingInstances (and the vector holding it)
-  // stays movable; the atomics give lock-free reads on the hot path and
-  // rebuild_mu serializes rebuilds (double-checked under the mutex).
+  // stays movable. Publish protocol: the epoch is an atomic bumped by
+  // mutators (under the exclusive db latch); the published snapshot
+  // pointers are plain shared_ptrs guarded by publish_mu. Readers copy
+  // the pointer under a short critical section and then use the
+  // immutable snapshot lock-free. This replaces an earlier
+  // std::atomic<std::shared_ptr> publish whose libstdc++ lock-bit
+  // internals (_Sp_atomic) tripped TSan; one explicit mutex is exactly
+  // as scalable (atomic<shared_ptr> takes an internal lock anyway) and
+  // is race-free by construction.
   struct OrderingIndexCell {
     std::atomic<uint64_t> epoch{1};
-    std::mutex rebuild_mu;
-    std::atomic<std::shared_ptr<const RankIndex>> ranks{};
-    std::atomic<std::shared_ptr<const IntervalIndex>> intervals{};
+    std::mutex publish_mu;
+    std::shared_ptr<const RankIndex> ranks;          // guarded by publish_mu
+    std::shared_ptr<const IntervalIndex> intervals;  // guarded by publish_mu
   };
 
   struct OrderingInstances {
@@ -372,6 +465,12 @@ class Database {
   Status CheckOrderedPairExists(EntityId a, EntityId b) const;
   Status LogOp(Op op, const std::vector<uint8_t>& payload);
   Status ApplyOp(const storage::WalRecord& rec);
+  // Maintenance hooks for the secondary attribute indexes: called by
+  // SetAttribute (old value out, new value in) and DeleteEntity.
+  void AttrIndexOnSet(const EntityRecord& rec, uint32_t attr_slot,
+                      const rel::Value& old_value,
+                      const rel::Value& new_value);
+  void AttrIndexOnDelete(const EntityRecord& rec);
 
   // Relaxed-atomic twin of OrderingIndexStats: bumped by concurrent
   // readers (index lookups run under the shared latch).
@@ -413,6 +512,40 @@ class Database {
     }
   };
 
+  // Relaxed-atomic twin of AttrIndexStats: lookups are bumped by
+  // concurrent readers under the shared latch.
+  struct AtomicAttrIndexStats {
+    std::atomic<uint64_t> lookups{0};
+    std::atomic<uint64_t> inserts{0};
+    std::atomic<uint64_t> erases{0};
+    std::atomic<uint64_t> rebuilds{0};
+
+    AttrIndexStats Snapshot() const {
+      AttrIndexStats s;
+      s.lookups = lookups.load(std::memory_order_relaxed);
+      s.inserts = inserts.load(std::memory_order_relaxed);
+      s.erases = erases.load(std::memory_order_relaxed);
+      s.rebuilds = rebuilds.load(std::memory_order_relaxed);
+      return s;
+    }
+    void Reset() {
+      lookups.store(0, std::memory_order_relaxed);
+      inserts.store(0, std::memory_order_relaxed);
+      erases.store(0, std::memory_order_relaxed);
+      rebuilds.store(0, std::memory_order_relaxed);
+    }
+    void CopyFrom(const AtomicAttrIndexStats& o) {
+      lookups.store(o.lookups.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+      inserts.store(o.inserts.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+      erases.store(o.erases.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+      rebuilds.store(o.rebuilds.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    }
+  };
+
   mutable std::shared_mutex mu_;  // see latch()
   ErSchema schema_;
   std::map<EntityId, EntityRecord> entities_;
@@ -425,6 +558,11 @@ class Database {
   RelInstanceId next_rel_id_ = 1;
   std::atomic<bool> ordering_index_enabled_{true};
   mutable AtomicOrderingIndexStats index_stats_;
+  // Secondary attribute indexes, keyed by case-normalized (upper) index
+  // name. std::map so AttrIndex* stays stable across unrelated DDL.
+  std::map<std::string, AttrIndex> attr_indexes_;
+  std::atomic<bool> attr_index_enabled_{true};
+  mutable AtomicAttrIndexStats attr_stats_;
 
   storage::WalWriter* wal_ = nullptr;
   uint64_t open_txn_ = 0;

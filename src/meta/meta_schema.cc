@@ -24,6 +24,14 @@ constexpr char kMetaDdl[] = R"(
   define relationship order_child (child = ENTITY, ordering = ORDERING)
 )";
 
+// Secondary-index catalog (Fig 9 discipline: physical design is data
+// too). Kept separate from kMetaDdl so InstallMetaSchema can upgrade
+// databases whose meta-schema predates indexes.
+constexpr char kIndexDefDdl[] = R"(
+  define entity INDEX_DEF (index_name = string, index_entity = ENTITY,
+                           index_attribute = string)
+)";
+
 constexpr char kGraphicsDdl[] = R"(
   define entity GraphDef (name = string, function = string)
   define relationship GDefUse (graphdef = GraphDef, entity = ENTITY)
@@ -78,10 +86,15 @@ Status CatalogAttributes(Database* db, const std::vector<er::AttributeDef>&
 }  // namespace
 
 Status InstallMetaSchema(Database* db) {
-  if (db->schema().FindEntityType("ENTITY") != nullptr)
-    return Status::OK();  // already installed
-  auto r = ddl::ExecuteDdl(kMetaDdl, db);
-  return r.ok() ? Status::OK() : r.status();
+  if (db->schema().FindEntityType("ENTITY") == nullptr) {
+    auto r = ddl::ExecuteDdl(kMetaDdl, db);
+    if (!r.ok()) return r.status();
+  }
+  if (db->schema().FindEntityType("INDEX_DEF") == nullptr) {
+    auto r = ddl::ExecuteDdl(kIndexDefDdl, db);
+    if (!r.ok()) return r.status();
+  }
+  return Status::OK();
 }
 
 Status SyncSchemaToMeta(Database* db) {
@@ -133,6 +146,38 @@ Status SyncSchemaToMeta(Database* db) {
                                                       {"ordering", oid}})
                               .status());
     }
+  }
+  // 4) INDEX_DEF instances mirror the secondary-index catalog. Unlike
+  //    passes 1-3, indexes can be destroyed (`destroy index`), so rows
+  //    for indexes that no longer exist are removed on re-sync.
+  if (db->schema().FindEntityType("INDEX_DEF") != nullptr) {
+    std::vector<er::AttrIndexDef> defs = db->AttrIndexDefs();
+    for (const er::AttrIndexDef& def : defs) {
+      if (FindByStringAttr(*db, "INDEX_DEF", "index_name", def.name).ok())
+        continue;
+      MDM_ASSIGN_OR_RETURN(EntityId iid, db->CreateEntity("INDEX_DEF"));
+      MDM_RETURN_IF_ERROR(
+          db->SetAttribute(iid, "index_name", Value::String(def.name)));
+      MDM_ASSIGN_OR_RETURN(EntityId ent_meta,
+                           FindMetaEntity(*db, def.entity_type));
+      MDM_RETURN_IF_ERROR(
+          db->SetAttribute(iid, "index_entity", Value::Ref(ent_meta)));
+      MDM_RETURN_IF_ERROR(
+          db->SetAttribute(iid, "index_attribute", Value::String(def.attr)));
+    }
+    std::vector<EntityId> stale;
+    MDM_RETURN_IF_ERROR(db->ForEachEntity("INDEX_DEF", [&](EntityId id) {
+      auto v = db->GetAttribute(id, "index_name");
+      bool live = false;
+      if (v.ok() && !v->is_null()) {
+        for (const er::AttrIndexDef& def : defs) {
+          if (EqualsIgnoreCase(def.name, v->AsString())) live = true;
+        }
+      }
+      if (!live) stale.push_back(id);
+      return true;
+    }));
+    for (EntityId id : stale) MDM_RETURN_IF_ERROR(db->DeleteEntity(id));
   }
   return Status::OK();
 }

@@ -27,16 +27,25 @@ namespace mdm::meta {
 ///       under RELATIONSHIP
 ///   define relationship order_child (child = ENTITY,
 ///                                    ordering = ORDERING)
+///   define entity INDEX_DEF (index_name = string,
+///                            index_entity = ENTITY,
+///                            index_attribute = string)
 ///
 /// into the SAME database whose schema it describes — the paper's
-/// schema/data blurring.
+/// schema/data blurring. INDEX_DEF extends Fig 9 to the physical
+/// design: each secondary attribute index (docs/INDEXES.md) is
+/// catalogued as data. Databases whose meta-schema predates INDEX_DEF
+/// are upgraded in place.
 Status InstallMetaSchema(er::Database* db);
 
 /// Populates (or refreshes) the meta-database from the database's own
 /// schema: one ENTITY instance per entity type (including the meta
 /// types themselves), ATTRIBUTE instances hierarchically ordered under
-/// their owners, RELATIONSHIP and ORDERING instances, and order_child
-/// links. Idempotent: re-running catalogs only definitions added since.
+/// their owners, RELATIONSHIP and ORDERING instances, order_child
+/// links, and INDEX_DEF rows for the secondary-index catalog.
+/// Idempotent: re-running catalogs only definitions added since —
+/// except INDEX_DEF rows, which are also deleted when their index has
+/// been destroyed.
 Status SyncSchemaToMeta(er::Database* db);
 
 /// The ENTITY meta-instance cataloguing `entity_type_name`.

@@ -11,16 +11,20 @@ Result<quel::ResultSet> RunScript(er::Database* db,
                                   quel::QuelSession* session,
                                   const std::string& script) {
   std::string head = AsciiLower(std::string(StrTrim(script)));
-  if (StartsWith(head, "define")) {
+  if (StartsWith(head, "define") || StartsWith(head, "destroy")) {
     MDM_ASSIGN_OR_RETURN(ddl::DdlResult ddl, ddl::ExecuteDdl(script, db));
     quel::ResultSet rs;
-    rs.columns = {"entity_types", "relationships", "orderings"};
+    // "indexes" counts index DDL statements executed, defined plus
+    // destroyed — schema objects the script touched either way.
+    rs.columns = {"entity_types", "relationships", "orderings", "indexes"};
+    size_t index_ops = ddl.indexes.size() + ddl.destroyed_indexes.size();
     rs.rows.push_back(
         {rel::Value::Int(static_cast<int64_t>(ddl.entity_types.size())),
          rel::Value::Int(static_cast<int64_t>(ddl.relationships.size())),
-         rel::Value::Int(static_cast<int64_t>(ddl.orderings.size()))});
+         rel::Value::Int(static_cast<int64_t>(ddl.orderings.size())),
+         rel::Value::Int(static_cast<int64_t>(index_ops))});
     rs.affected = ddl.entity_types.size() + ddl.relationships.size() +
-                  ddl.orderings.size();
+                  ddl.orderings.size() + index_ops;
     return rs;
   }
   return session->Execute(script);

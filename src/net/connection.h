@@ -21,11 +21,14 @@ namespace mdm {
 ///   auto conn = mdm::Connection::Remote("127.0.0.1:7707");// over TCP
 ///   auto rs = conn.Execute("retrieve (NOTE.name)");
 ///
-/// Execute accepts both languages: scripts starting with `define` run
-/// through the DDL layer (the result is a one-row summary of what was
-/// defined); everything else is QUEL. Errors carry a canonical
-/// common::ErrorCode either way — remote errors arrive code-intact over
-/// the wire (docs/PROTOCOL.md).
+/// Execute accepts both languages: scripts starting with `define` or
+/// `destroy` run through the DDL layer (the result is a one-row summary
+/// of what was defined/destroyed — entity types, relationships,
+/// orderings, and secondary indexes); everything else is QUEL. Errors
+/// carry a canonical common::ErrorCode either way — remote errors
+/// arrive code-intact over the wire (docs/PROTOCOL.md). This class plus
+/// the DDL/QUEL string surface IS the public API (DESIGN.md §"Public
+/// API"); raw QuelSession/ExecuteDdl use is internal.
 ///
 /// Thread safety matches the underlying session: a Connection is a
 /// single client and is not itself thread-safe; create one per thread.
@@ -66,6 +69,11 @@ class Connection {
   quel::ExecStats local_stats() const {
     return session_ ? session_->stats() : quel::ExecStats{};
   }
+  /// The in-process QUEL session, or nullptr on a remote connection.
+  /// For tooling/tests that need session-level knobs (ExecuteNaive
+  /// ablations, ClearParseCache, ResetStats) — not part of the public
+  /// client surface.
+  quel::QuelSession* local_session() const { return session_.get(); }
 
  private:
   Connection() = default;
@@ -78,7 +86,9 @@ class Connection {
 
 /// The shared local execution path used by Connection::Execute and by
 /// the mdmd server for each request: dispatches `script` to the DDL
-/// layer (leading keyword `define`) or to `session`.
+/// layer (leading keyword `define` or `destroy`) or to `session`.
+/// Because the server routes through here, every DDL form — including
+/// index DDL — behaves identically over Local() and Remote().
 Result<quel::ResultSet> RunScript(er::Database* db,
                                   quel::QuelSession* session,
                                   const std::string& script);

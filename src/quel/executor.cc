@@ -62,6 +62,21 @@ obs::Counter* StatementSelf() {
   return c;
 }
 
+/// Pre-resolved metrics for the per-probe span on index-backed loops.
+obs::Histogram* IndexProbeDuration() {
+  static obs::Histogram* h = obs::Registry::Global()->GetHistogram(
+      "mdm_span_duration_ns{span=\"quel.index_probe\"}",
+      "Inclusive span latency in nanoseconds");
+  return h;
+}
+
+obs::Counter* IndexProbeSelf() {
+  static obs::Counter* c = obs::Registry::Global()->GetCounter(
+      "mdm_span_self_ns_total{span=\"quel.index_probe\"}",
+      "Span latency excluding child spans");
+  return c;
+}
+
 /// What a range variable is bound to during evaluation.
 struct Binding {
   bool is_relationship = false;
@@ -126,6 +141,12 @@ class Evaluator {
       case Qual::Kind::kIs: {
         MDM_ASSIGN_OR_RETURN(Value lhs, Eval(q.lhs));
         MDM_ASSIGN_OR_RETURN(Value rhs, Eval(q.rhs));
+        // A null operand designates no entity, so `is` is simply false
+        // — NOT a TypeError. This must agree with the index-probe path
+        // (planner.h), which never enumerates null-valued rows: were
+        // null an error here, an index probe would mask it and ablation
+        // equivalence would break.
+        if (lhs.is_null() || rhs.is_null()) return false;
         if (lhs.type() != ValueType::kRef || rhs.type() != ValueType::kRef)
           return TypeError("'is' compares entities, not values");
         return lhs.AsRef() == rhs.AsRef();
@@ -277,17 +298,48 @@ class NestedLoopJoin {
             return inner.ok();
           }));
     } else {
-      MDM_RETURN_IF_ERROR(db_->ForEachEntity(var.type, [&](EntityId id) {
-        if (stats_ != nullptr) {
-          stats_->rows_scanned.fetch_add(1, std::memory_order_relaxed);
-          QuelCounters::Get().rows_scanned->Inc();
+      bool probed = false;
+      if (var.index != nullptr) {
+        // Index-backed loop: evaluate the key over the outer bindings
+        // and enumerate only matching candidates. A null key falls
+        // through to the scan (nulls are never indexed, but
+        // Value::Compare treats null = null as a match, so only the
+        // scan path sees those rows).
+        MDM_ASSIGN_OR_RETURN(Value probe_key, eval.Eval(*var.index_key));
+        if (!probe_key.is_null()) {
+          probed = true;
+          std::vector<EntityId> candidates;
+          {
+            obs::Span span("quel.index_probe", IndexProbeDuration(),
+                           IndexProbeSelf());
+            candidates = db_->IndexLookup(*var.index, probe_key);
+          }
+          for (EntityId id : candidates) {
+            if (stats_ != nullptr) {
+              stats_->rows_scanned.fetch_add(1, std::memory_order_relaxed);
+              QuelCounters::Get().rows_scanned->Inc();
+            }
+            Binding b;
+            b.entity = id;
+            bindings_[key] = b;
+            inner = Descend(depth + 1);
+            if (!inner.ok()) break;
+          }
         }
-        Binding b;
-        b.entity = id;
-        bindings_[key] = b;
-        inner = Descend(depth + 1);
-        return inner.ok();
-      }));
+      }
+      if (!probed) {
+        MDM_RETURN_IF_ERROR(db_->ForEachEntity(var.type, [&](EntityId id) {
+          if (stats_ != nullptr) {
+            stats_->rows_scanned.fetch_add(1, std::memory_order_relaxed);
+            QuelCounters::Get().rows_scanned->Inc();
+          }
+          Binding b;
+          b.entity = id;
+          bindings_[key] = b;
+          inner = Descend(depth + 1);
+          return inner.ok();
+        }));
+      }
     }
     bindings_.erase(key);
     return inner;

@@ -1,6 +1,7 @@
 #include "quel/planner.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/strings.h"
 
@@ -119,6 +120,95 @@ Status BindOrderHandles(Database* db,
                   t1.first.c_str(), t2.first.c_str()));
   plan->order_handles[&q] = candidates[0];
   return Status::OK();
+}
+
+/// Declared rel::ValueType of an expression over the planned range
+/// variables, or nullopt when it cannot be typed statically
+/// (relationship variables, unknown attributes). Used to gate index
+/// probes: a probe may only replace a scan when the key side is
+/// statically comparable with the indexed attribute, so type errors
+/// the scan path would raise are never masked by an empty probe.
+std::optional<rel::ValueType> StaticExprType(
+    const Database* db,
+    const std::map<std::string, std::pair<std::string, bool>>& types,
+    const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      return e.literal.type();
+    case Expr::Kind::kVarRef: {
+      auto it = types.find(AsciiLower(e.var));
+      if (it == types.end() || it->second.second) return std::nullopt;
+      return rel::ValueType::kRef;
+    }
+    case Expr::Kind::kAttrRef: {
+      auto it = types.find(AsciiLower(e.var));
+      if (it == types.end() || it->second.second) return std::nullopt;
+      const er::EntityTypeDef* tdef =
+          db->schema().FindEntityType(it->second.first);
+      if (tdef == nullptr) return std::nullopt;
+      std::optional<size_t> slot = tdef->AttributeIndex(e.attr);
+      if (!slot) return std::nullopt;
+      return tdef->attributes[*slot].type;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Whether an equality between two statically-typed operands can be
+/// answered by an index keyed on one of them. Same type always; int and
+/// float mix because Value::Compare is numeric across the pair (and
+/// AttrKeyFor canonicalizes integral floats onto the int encoding).
+bool IndexKeyTypesComparable(rel::ValueType a, rel::ValueType b) {
+  if (a == b) return true;
+  auto numeric = [](rel::ValueType t) {
+    return t == rel::ValueType::kInt || t == rel::ValueType::kFloat;
+  };
+  return numeric(a) && numeric(b);
+}
+
+/// Picks an index probe for entity loop `var`, if any conjunct has the
+/// shape `var.attr = <key>` / `<key> = var.attr` (or `is` over refs)
+/// with every key-side variable bound by an outer loop and a live index
+/// on (var.type, attr). First eligible conjunct wins; the conjunct is
+/// NOT removed from the filter list — hashed key encodings may collide
+/// and a runtime null key falls back to the scan, so re-checking keeps
+/// probe plans row-for-row equivalent to scan plans. A query naming the
+/// wrong key attribute (footnote 3) simply finds no index here and
+/// keeps the scan.
+void SelectIndexProbe(
+    Database* db,
+    const std::map<std::string, std::pair<std::string, bool>>& types,
+    const std::vector<const Qual*>& conjuncts,
+    const std::set<std::string>& bound, PlannedVar* var) {
+  for (const Qual* c : conjuncts) {
+    bool eq_shape =
+        (c->kind == Qual::Kind::kCompare && c->cmp == CompareOp::kEq) ||
+        c->kind == Qual::Kind::kIs;
+    if (!eq_shape) continue;
+    for (int flip = 0; flip < 2; ++flip) {
+      const Expr& attr_side = flip == 0 ? c->lhs : c->rhs;
+      const Expr& key_side = flip == 0 ? c->rhs : c->lhs;
+      if (attr_side.kind != Expr::Kind::kAttrRef) continue;
+      if (AsciiLower(attr_side.var) != var->name) continue;
+      std::set<std::string> key_vars;
+      CollectExprVars(key_side, &key_vars);
+      bool all_bound = true;
+      for (const std::string& kv : key_vars)
+        if (bound.count(kv) == 0) all_bound = false;
+      if (!all_bound) continue;
+      const er::AttrIndex* ix = db->FindAttrIndex(var->type, attr_side.attr);
+      if (ix == nullptr) continue;
+      std::optional<rel::ValueType> at = StaticExprType(db, types, attr_side);
+      std::optional<rel::ValueType> kt = StaticExprType(db, types, key_side);
+      if (!at || !kt || !IndexKeyTypesComparable(*at, *kt)) continue;
+      // `is` compares entity references; guard against `is` over scalars
+      // which the evaluator rejects at runtime.
+      if (c->kind == Qual::Kind::kIs && *at != rel::ValueType::kRef) continue;
+      var->index = ix;
+      var->index_key = &key_side;
+      return;
+    }
+  }
 }
 
 /// Renders a qualification; with a database + plan, ordering operators
@@ -261,6 +351,24 @@ Result<Plan> PlanQuery(Database* db,
                      });
   }
 
+  std::map<std::string, std::pair<std::string, bool>> types;
+  for (const PlannedVar& var : plan.vars)
+    types[var.name] = {var.type, var.is_relationship};
+
+  // Index probe selection, in loop order: each entity loop may be
+  // driven by an equality conjunct whose key side is bound by outer
+  // loops (index selection for literal keys, index-nested-loop join for
+  // outer-variable keys). Runs after the sort so "bound" is final; the
+  // naive plan never probes — it is the ablation baseline.
+  if (pushdown) {
+    std::set<std::string> bound;
+    for (PlannedVar& var : plan.vars) {
+      if (!var.is_relationship)
+        SelectIndexProbe(db, types, conjuncts, bound, &var);
+      bound.insert(var.name);
+    }
+  }
+
   // Push each conjunct to the outermost depth at which its variables
   // are all bound (depth 0 = constant). Without pushdown everything
   // evaluates at the innermost level.
@@ -280,12 +388,8 @@ Result<Plan> PlanQuery(Database* db,
   }
 
   // Bind every ordering operator to a resolved handle, once.
-  if (stmt.qual != nullptr) {
-    std::map<std::string, std::pair<std::string, bool>> types;
-    for (const PlannedVar& var : plan.vars)
-      types[var.name] = {var.type, var.is_relationship};
+  if (stmt.qual != nullptr)
     MDM_RETURN_IF_ERROR(BindOrderHandles(db, types, *stmt.qual, &plan));
-  }
   return plan;
 }
 
@@ -320,6 +424,9 @@ std::string RenderPlan(const Database& db, const Statement& stmt,
     out += StrFormat("  loop %zu: %s is %s (~%llu rows)", v + 1,
                      var.name.c_str(), var.type.c_str(),
                      (unsigned long long)var.cardinality);
+    if (var.index != nullptr)
+      out += StrFormat(" via index %s(%s)", var.index->def.name.c_str(),
+                       var.index->def.attr.c_str());
     if (actual != nullptr) {
       // Self time of loop v+1: everything spent at depth v (its filter
       // gate plus the enumeration) minus the time handed to depth v+1.

@@ -23,6 +23,18 @@ struct PlannedVar {
   // when none does): single-variable predicates make a loop maximally
   // selective, so lower ranks loop first.
   size_t selectivity = SIZE_MAX;
+  // Index-backed enumeration (nullptr = full scan). When the planner
+  // finds an equality conjunct `var.attr = <key>` (or `var.attr is
+  // <key>`) whose key side is fully bound by outer loops and a live
+  // secondary index covers (type, attr), this loop probes the index
+  // with the evaluated key instead of scanning every instance — an
+  // index selection when the key is a literal, an index-nested-loop
+  // join when it references outer variables. The conjunct itself stays
+  // in the filter list (hash keys may collide), and a runtime null key
+  // falls back to the scan. Both pointers borrow from the statement AST
+  // / database and are valid for the statement's execution.
+  const er::AttrIndex* index = nullptr;
+  const Expr* index_key = nullptr;
 };
 
 /// One top-level AND conjunct: evaluated as soon as the first `depth`

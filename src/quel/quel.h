@@ -160,6 +160,13 @@ struct ExecCounters {
 /// and relationship (footnote 6), so `retrieve (PERSON.name) where ...`
 /// works without a range statement.
 ///
+/// QuelSession is an internal building block: application clients go
+/// through `mdm::Connection` (DESIGN.md §"Public API"), which owns one
+/// session per local connection and dispatches DDL scripts too. Direct
+/// construction is for the Connection/server plumbing, tests, and
+/// benches that need session-level knobs (ExecuteNaive, ResetStats,
+/// ClearParseCache).
+///
 /// Execution goes through a small planner (quel/planner.h): range
 /// variables are ordered by selectivity and estimated cardinality,
 /// top-level AND conjuncts are pushed down to the outermost loop level

@@ -5,6 +5,7 @@
 #include "cmn/score_builder.h"
 #include "cmn/temporal.h"
 #include "er/database.h"
+#include "net/connection.h"
 #include "quel/quel.h"
 
 namespace mdm::cmn {
@@ -307,7 +308,7 @@ TEST_F(CmnScoreTest, CmnQueriesThroughQuel) {
   ASSERT_TRUE(b.AddNote(*chord, Clef::kTreble, 3).ok());
   ASSERT_TRUE(b.AddNote(*chord, Clef::kTreble, 5).ok());
 
-  quel::QuelSession session(&db_);
+  mdm::Connection session = mdm::Connection::Local(&db_);
   auto rs = session.Execute(R"(
     range of n is NOTE
     range of c is CHORD

@@ -25,6 +25,7 @@
 #include "er/database.h"
 #include "er/session.h"
 #include "obs/metrics.h"
+#include "net/connection.h"
 #include "quel/quel.h"
 #include "rel/value.h"
 #include "storage/buffer_pool.h"
@@ -387,7 +388,7 @@ TEST(QuelConcurrency, ConcurrentRetrievesWithMutatingClient) {
 
   std::atomic<int> violations{0};
   std::thread writer([&] {
-    quel::QuelSession session(&db);
+    mdm::Connection session = mdm::Connection::Local(&db);
     for (int64_t i = 0; i < kAppends; ++i) {
       if (!session.Execute("append to NOTE (name = 900)").ok())
         violations.fetch_add(1);
@@ -398,7 +399,7 @@ TEST(QuelConcurrency, ConcurrentRetrievesWithMutatingClient) {
   std::vector<std::thread> readers;
   for (int t = 0; t < kReaders; ++t) {
     readers.emplace_back([&] {
-      quel::QuelSession session(&db);
+      mdm::Connection session = mdm::Connection::Local(&db);
       int64_t last = kInitial;
       for (int i = 0; i < 200; ++i) {
         auto rs = session.Execute("retrieve (c = count(NOTE.name))");
@@ -417,7 +418,7 @@ TEST(QuelConcurrency, ConcurrentRetrievesWithMutatingClient) {
   for (std::thread& t : readers) t.join();
   EXPECT_EQ(violations.load(), 0);
 
-  quel::QuelSession check(&db);
+  mdm::Connection check = mdm::Connection::Local(&db);
   auto rs = check.Execute("retrieve (c = count(NOTE.name))");
   ASSERT_TRUE(rs.ok());
   EXPECT_EQ(rs->rows[0][0].AsInt(), kInitial + kAppends);
@@ -454,7 +455,8 @@ TEST(QuelConcurrency, SharedSessionParseCacheAndCountersExact) {
       "retrieve (m = max(NOTE.name))",
   };
 
-  quel::QuelSession shared(&db);
+  mdm::Connection shared_conn = mdm::Connection::Local(&db);
+  quel::QuelSession& shared = *shared_conn.local_session();
   const uint64_t statements_before =
       obs::Registry::Global()
           ->GetCounter("mdm_quel_statements_total")

@@ -6,6 +6,7 @@
 #include "ddl/parser.h"
 #include "er/database.h"
 #include "mtime/meter.h"
+#include "net/connection.h"
 #include "quel/quel.h"
 
 namespace mdm {
@@ -90,7 +91,7 @@ TEST(CoverageTest, QuelSortByParseErrors) {
   er::Database db;
   ASSERT_TRUE(
       db.DefineEntityType({"N", {{"v", rel::ValueType::kInt, ""}}}).ok());
-  quel::QuelSession session(&db);
+  mdm::Connection session = mdm::Connection::Local(&db);
   EXPECT_EQ(session.Execute("retrieve (N.v) sort v").status().code(),
             StatusCode::kParseError);
   EXPECT_EQ(session.Execute("retrieve (N.v) sort by").status().code(),

@@ -16,6 +16,7 @@
 #include "mtime/tempo_map.h"
 #include "notation/engrave.h"
 #include "notation/piano_roll.h"
+#include "net/connection.h"
 #include "quel/quel.h"
 #include "sound/sound.h"
 
@@ -52,7 +53,7 @@ TEST(IntegrationTest, FullPipeline) {
   ASSERT_TRUE(biblio::AddEntry(&db, *bwv, entry).ok());
 
   // 3. Query: QUEL over the combined schema.
-  quel::QuelSession session(&db);
+  mdm::Connection session = mdm::Connection::Local(&db);
   auto rs = session.Execute(R"(
     range of n is NOTE
     retrieve (lo = min(n.midi_key), hi = max(n.midi_key), c = count(n))

@@ -3,6 +3,7 @@
 #include "ddl/parser.h"
 #include "er/database.h"
 #include "meta/meta_schema.h"
+#include "net/connection.h"
 #include "quel/quel.h"
 
 namespace mdm::meta {
@@ -72,7 +73,7 @@ TEST_F(MetaTest, SyncIsIdempotent) {
 TEST_F(MetaTest, MetaIsQueryableThroughQuel) {
   // The schema/data blur: the catalog answers QUEL queries like any
   // other data.
-  quel::QuelSession session(&db_);
+  mdm::Connection session = mdm::Connection::Local(&db_);
   auto rs = session.Execute(R"(
     range of e is ENTITY
     range of a is ATTRIBUTE

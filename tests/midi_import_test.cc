@@ -3,6 +3,7 @@
 #include "cmn/temporal.h"
 #include "midi/import.h"
 #include "mtime/tempo_map.h"
+#include "net/connection.h"
 #include "quel/quel.h"
 
 namespace mdm::midi {
@@ -80,7 +81,7 @@ TEST(MidiImportTest, ChannelsBecomeVoicesAndChordsMerge) {
   EXPECT_EQ(import->notes, 4);
   // The triad merged into ONE chord.
   EXPECT_EQ(*db.CountEntities("CHORD"), 2u);
-  quel::QuelSession session(&db);
+  mdm::Connection session = mdm::Connection::Local(&db);
   auto rs = session.Execute(R"(
     range of n is NOTE
     range of c is CHORD
@@ -146,7 +147,7 @@ TEST(QuelSortByTest, SortsRows) {
   mtime::TempoMap tempo;
   auto import = ImportMidiTrack(&db, track, tempo, "sortable");
   ASSERT_TRUE(import.ok());
-  quel::QuelSession session(&db);
+  mdm::Connection session = mdm::Connection::Local(&db);
   auto rs = session.Execute(
       "range of n is NOTE retrieve (n.midi_key) sort by n.midi_key");
   ASSERT_TRUE(rs.ok()) << rs.status().ToString();

@@ -9,6 +9,7 @@
 #include "common/strings.h"
 #include "ddl/parser.h"
 #include "er/database.h"
+#include "net/connection.h"
 #include "quel/quel.h"
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
@@ -146,10 +147,10 @@ TEST_P(QuelStrategyPropertyTest, PushdownMatchesNaive) {
       "and not c.name = 0",
       "retrieve unique (NOTE.octave)",
   };
-  quel::QuelSession session(&db);
+  mdm::Connection session = mdm::Connection::Local(&db);
   for (const std::string& q : queries) {
     auto fast = session.Execute(q);
-    auto slow = session.ExecuteNaive(q);
+    auto slow = session.local_session()->ExecuteNaive(q);
     ASSERT_TRUE(fast.ok()) << q << " -> " << fast.status().ToString();
     ASSERT_TRUE(slow.ok()) << q << " -> " << slow.status().ToString();
     // Compare as multisets of stringified rows (join order may differ).

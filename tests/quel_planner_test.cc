@@ -11,6 +11,7 @@
 #include "common/random.h"
 #include "ddl/parser.h"
 #include "er/database.h"
+#include "net/connection.h"
 #include "quel/planner.h"
 #include "quel/quel.h"
 
@@ -186,9 +187,9 @@ TEST_F(QuelPlannerTest, UnderIndexSurvivesMutation) {
 }
 
 TEST_F(QuelPlannerTest, QuelUnderIsMultiLevel) {
-  QuelSession session(&db_);
+  Connection conn = Connection::Local(&db_);
   // section 1 is the root: both notes lie under it at depth 2.
-  auto rs = session.Execute(R"(
+  auto rs = conn.Execute(R"(
     range of n is NOTE
     range of s is SECTION
     retrieve (n.name) where n under s in sec_tree and s.name = 1
@@ -237,16 +238,16 @@ TEST_F(QuelPlannerTest, PlanBindsOrderingInsideOrAndNot) {
 }
 
 TEST_F(QuelPlannerTest, PlanErrors) {
-  QuelSession session(&db_);
+  Connection conn = Connection::Local(&db_);
   // Unknown ordering: rejected at plan time, before any row is read.
-  EXPECT_EQ(session
+  EXPECT_EQ(conn
                 .Execute("range of n1, n2 is NOTE\n"
                          "retrieve (n1.name) where n1 before n2 in ghost")
                 .status()
                 .code(),
             StatusCode::kNotFound);
   // No ordering relates two chords.
-  EXPECT_EQ(session
+  EXPECT_EQ(conn
                 .Execute("range of c1, c2 is CHORD\n"
                          "retrieve (c1.name) where c1 before c2")
                 .status()
@@ -254,13 +255,13 @@ TEST_F(QuelPlannerTest, PlanErrors) {
             StatusCode::kNotFound);
   // NOTE participates in two orderings: the operand types are ambiguous
   // without an `in` clause.
-  EXPECT_EQ(session
+  EXPECT_EQ(conn
                 .Execute("range of n1, n2 is NOTE\n"
                          "retrieve (n1.name) where n1 before n2")
                 .status()
                 .code(),
             StatusCode::kInvalidArgument);
-  EXPECT_EQ(session.Execute("retrieve (zzz.name)").status().code(),
+  EXPECT_EQ(conn.Execute("retrieve (zzz.name)").status().code(),
             StatusCode::kNotFound);
 }
 
@@ -269,8 +270,8 @@ TEST_F(QuelPlannerTest, PlanErrors) {
 // ----------------------------------------------------------------------
 
 TEST_F(QuelPlannerTest, ExplainGolden) {
-  QuelSession session(&db_);
-  auto rs = session.Execute(R"(
+  Connection conn = Connection::Local(&db_);
+  auto rs = conn.Execute(R"(
     range of n1, n2 is NOTE
     explain retrieve (n1.name)
       where n1 before n2 in note_in_chord and n2.name = 30
@@ -289,12 +290,12 @@ TEST_F(QuelPlannerTest, ExplainGolden) {
 }
 
 TEST_F(QuelPlannerTest, ExplainUnderShowsIntervalIndexAndAblation) {
-  QuelSession session(&db_);
+  Connection conn = Connection::Local(&db_);
   const char* query =
       "range of n is NOTE\nrange of s is SECTION\n"
       "explain retrieve (c = count(n))"
       " where n under s in sec_tree and s.name = 1";
-  auto rs = session.Execute(query);
+  auto rs = conn.Execute(query);
   ASSERT_TRUE(rs.ok()) << rs.status().ToString();
   EXPECT_EQ(rs->ToString(),
             "plan: retrieve\n"
@@ -306,7 +307,7 @@ TEST_F(QuelPlannerTest, ExplainUnderShowsIntervalIndexAndAblation) {
             "    filter: n under s in sec_tree [interval index]\n"
             "  emit: count(n)\n");
   db_.EnableOrderingIndex(false);
-  auto ablated = session.Execute(query);
+  auto ablated = conn.Execute(query);
   ASSERT_TRUE(ablated.ok());
   EXPECT_NE(ablated->ToString().find("[linear scan]"), std::string::npos);
   EXPECT_NE(ablated->ToString().find("ordering index: off"),
@@ -314,16 +315,16 @@ TEST_F(QuelPlannerTest, ExplainUnderShowsIntervalIndexAndAblation) {
 }
 
 TEST_F(QuelPlannerTest, ExplainNeverExecutes) {
-  QuelSession session(&db_);
-  auto rs = session.Execute(
+  Connection conn = Connection::Local(&db_);
+  auto rs = conn.Execute(
       "range of n is NOTE\nexplain retrieve (n.name)");
   ASSERT_TRUE(rs.ok());
   EXPECT_TRUE(rs->rows.empty());
   EXPECT_FALSE(rs->explain.empty());
   // A plan-only run enumerates no bindings.
-  EXPECT_EQ(session.stats().rows_scanned, 0u);
+  EXPECT_EQ(conn.local_stats().rows_scanned, 0u);
   // And `explain` is retrieve-only.
-  EXPECT_EQ(session.Execute("explain delete n").status().code(),
+  EXPECT_EQ(conn.Execute("explain delete n").status().code(),
             StatusCode::kParseError);
 }
 
@@ -348,8 +349,8 @@ uint64_t ExtractNs(const std::string& text, const std::string& key) {
 }
 
 TEST_F(QuelPlannerTest, ExplainAnalyzeGolden) {
-  QuelSession session(&db_);
-  auto rs = session.Execute(R"(
+  Connection conn = Connection::Local(&db_);
+  auto rs = conn.Execute(R"(
     range of n1, n2 is NOTE
     explain analyze retrieve (n1.name)
       where n1 before n2 in note_in_chord and n2.name = 30
@@ -373,13 +374,13 @@ TEST_F(QuelPlannerTest, ExplainAnalyzeGolden) {
 }
 
 TEST_F(QuelPlannerTest, ExplainAnalyzeExecutesForReal) {
-  QuelSession session(&db_);
-  auto rs = session.Execute(
+  Connection conn = Connection::Local(&db_);
+  auto rs = conn.Execute(
       "range of n is NOTE\nexplain analyze retrieve (n.name)");
   ASSERT_TRUE(rs.ok()) << rs.status().ToString();
   EXPECT_FALSE(rs->explain.empty());
   // Unlike plain explain, analyze enumerates every binding.
-  EXPECT_EQ(session.stats().rows_scanned, 7u);
+  EXPECT_EQ(conn.local_stats().rows_scanned, 7u);
 }
 
 TEST_F(QuelPlannerTest, ExplainAnalyzeTimesSumToStatement) {
@@ -397,8 +398,8 @@ TEST_F(QuelPlannerTest, ExplainAnalyzeTimesSumToStatement) {
     for (int n = 0; n < 100; ++n)
       AddChild("big_note_in_chord", "BIGNOTE", chord, note_name++);
   }
-  QuelSession session(&db_);
-  auto rs = session.Execute(R"(
+  Connection conn = Connection::Local(&db_);
+  auto rs = conn.Execute(R"(
     range of b1, b2 is BIGNOTE
     explain analyze retrieve (b1.name)
       where b1 before b2 in big_note_in_chord and b2.name = 50
@@ -427,8 +428,8 @@ TEST_F(QuelPlannerTest, ExplainAnalyzeTimesSumToStatement) {
 // ----------------------------------------------------------------------
 
 TEST_F(QuelPlannerTest, ResultSetAccessors) {
-  QuelSession session(&db_);
-  auto rs = session.Execute(
+  Connection conn = Connection::Local(&db_);
+  auto rs = conn.Execute(
       "range of n is NOTE\n"
       "retrieve (n.name) where n under chord in note_in_chord"
       " sort by n.name");
@@ -460,78 +461,78 @@ TEST_F(QuelPlannerTest, ResultSetAccessors) {
 // ----------------------------------------------------------------------
 
 TEST_F(QuelPlannerTest, ExecStatsAndParseCache) {
-  QuelSession session(&db_);
+  Connection conn = Connection::Local(&db_);
   const std::string query =
       "range of n1, n2 is NOTE\n"
       "retrieve (n1.name)"
       " where n1 before n2 in note_in_chord and n2.name = 30";
-  auto first = session.Execute(query);
+  auto first = conn.Execute(query);
   ASSERT_TRUE(first.ok());
-  const ExecStats after_first = session.stats();
+  const ExecStats after_first = conn.local_stats();
   EXPECT_EQ(after_first.statements, 2u);  // range + retrieve
   EXPECT_EQ(after_first.plan_cache_hits, 0u);
   // n2 loops over all 7 notes; n1 only under the surviving binding.
   EXPECT_EQ(after_first.rows_scanned, 14u);
   EXPECT_GT(after_first.conjuncts_evaluated, 0u);
 
-  auto second = session.Execute(query);
+  auto second = conn.Execute(query);
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(Ints(*second), Ints(*first));
-  const ExecStats& after_second = session.stats();
+  const ExecStats& after_second = conn.local_stats();
   EXPECT_EQ(after_second.statements, 4u);
   EXPECT_EQ(after_second.plan_cache_hits, 1u);
   // The rank index was built during the first run; the re-run only hits.
   EXPECT_GT(after_second.index_hits, after_first.index_hits);
 
-  session.ResetStats();
-  EXPECT_EQ(session.stats().statements, 0u);
-  EXPECT_EQ(session.stats().ToString(),
+  conn.local_session()->ResetStats();
+  EXPECT_EQ(conn.local_stats().statements, 0u);
+  EXPECT_EQ(conn.local_stats().ToString(),
             "statements: 0\nrows scanned: 0\nconjuncts evaluated: 0\n"
             "ordering index hits: 0\nordering index misses: 0\n"
             "plan cache hits: 0\n");
 }
 
 TEST_F(QuelPlannerTest, ResetStatsKeepsParseCache) {
-  QuelSession session(&db_);
+  Connection conn = Connection::Local(&db_);
   const std::string query = "range of n is NOTE\nretrieve (n.name)";
-  ASSERT_TRUE(session.Execute(query).ok());
-  session.ResetStats();
-  EXPECT_EQ(session.stats().plan_cache_hits, 0u);
+  ASSERT_TRUE(conn.Execute(query).ok());
+  conn.local_session()->ResetStats();
+  EXPECT_EQ(conn.local_stats().plan_cache_hits, 0u);
   // The cache survived the reset: the re-run skips the parser and the
   // hit counter starts counting again from zero.
-  ASSERT_TRUE(session.Execute(query).ok());
-  EXPECT_EQ(session.stats().plan_cache_hits, 1u);
-  EXPECT_EQ(session.stats().statements, 2u);
+  ASSERT_TRUE(conn.Execute(query).ok());
+  EXPECT_EQ(conn.local_stats().plan_cache_hits, 1u);
+  EXPECT_EQ(conn.local_stats().statements, 2u);
 }
 
 TEST_F(QuelPlannerTest, ClearParseCacheForcesReparseWithoutTouchingStats) {
-  QuelSession session(&db_);
+  Connection conn = Connection::Local(&db_);
   const std::string query = "range of n is NOTE\nretrieve (n.name)";
-  ASSERT_TRUE(session.Execute(query).ok());
-  ASSERT_TRUE(session.Execute(query).ok());
-  EXPECT_EQ(session.stats().plan_cache_hits, 1u);
-  session.ClearParseCache();
+  ASSERT_TRUE(conn.Execute(query).ok());
+  ASSERT_TRUE(conn.Execute(query).ok());
+  EXPECT_EQ(conn.local_stats().plan_cache_hits, 1u);
+  conn.local_session()->ClearParseCache();
   // Counters are untouched; the next run re-parses, so no new hit.
-  EXPECT_EQ(session.stats().plan_cache_hits, 1u);
-  ASSERT_TRUE(session.Execute(query).ok());
-  EXPECT_EQ(session.stats().plan_cache_hits, 1u);
+  EXPECT_EQ(conn.local_stats().plan_cache_hits, 1u);
+  ASSERT_TRUE(conn.Execute(query).ok());
+  EXPECT_EQ(conn.local_stats().plan_cache_hits, 1u);
   // And the re-parsed script is cached again.
-  ASSERT_TRUE(session.Execute(query).ok());
-  EXPECT_EQ(session.stats().plan_cache_hits, 2u);
+  ASSERT_TRUE(conn.Execute(query).ok());
+  EXPECT_EQ(conn.local_stats().plan_cache_hits, 2u);
 }
 
 TEST_F(QuelPlannerTest, NaiveAndPlannedAgreeOnRecursiveUnder) {
-  QuelSession session(&db_);
+  Connection conn = Connection::Local(&db_);
   const char* query =
       "range of n is NOTE\nrange of s is SECTION\n"
       "retrieve (n.name) where n under s in sec_tree and s.name = 1";
-  auto planned = session.Execute(query);
+  auto planned = conn.Execute(query);
   ASSERT_TRUE(planned.ok());
-  auto naive = session.ExecuteNaive(query);
+  auto naive = conn.local_session()->ExecuteNaive(query);
   ASSERT_TRUE(naive.ok());
   EXPECT_EQ(Ints(*planned), Ints(*naive));
   db_.EnableOrderingIndex(false);
-  auto ablated = session.Execute(query);
+  auto ablated = conn.Execute(query);
   ASSERT_TRUE(ablated.ok());
   EXPECT_EQ(Ints(*planned), Ints(*ablated));
 }
@@ -585,8 +586,8 @@ TEST_P(IndexAblationFuzz, IndexedAndUnindexedDatabasesStayEquivalent) {
 
   auto h_indexed = *indexed.ResolveOrderingHandle("note_in_chord");
   auto h_plain = *plain.ResolveOrderingHandle("note_in_chord");
-  QuelSession s_indexed(&indexed);
-  QuelSession s_plain(&plain);
+  Connection c_indexed = Connection::Local(&indexed);
+  Connection c_plain = Connection::Local(&plain);
 
   constexpr int kOps = 600;
   for (int op = 0; op < kOps; ++op) {
@@ -678,8 +679,8 @@ TEST_P(IndexAblationFuzz, IndexedAndUnindexedDatabasesStayEquivalent) {
           std::string(rng.Bernoulli(0.5) ? "before" : "after") +
           " n2 in note_in_chord and n2.name = " +
           std::to_string(rng.Uniform(static_cast<uint64_t>(next_name)));
-      auto rs_a = s_indexed.Execute(query);
-      auto rs_b = s_plain.Execute(query);
+      auto rs_a = c_indexed.Execute(query);
+      auto rs_b = c_plain.Execute(query);
       ASSERT_EQ(rs_a.ok(), rs_b.ok());
       if (rs_a.ok()) {
         std::vector<int64_t> va, vb;

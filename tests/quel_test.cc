@@ -2,6 +2,7 @@
 
 #include "ddl/parser.h"
 #include "er/database.h"
+#include "net/connection.h"
 #include "quel/quel.h"
 
 namespace mdm::quel {
@@ -51,8 +52,8 @@ class QuelOrderingTest : public testing::Test {
 
 TEST_F(QuelOrderingTest, PaperQueryNotesBefore) {
   // "Given a note n, retrieve the notes prior to n in its chord."
-  QuelSession session(&db_);
-  auto rs = session.Execute(R"(
+  Connection conn = Connection::Local(&db_);
+  auto rs = conn.Execute(R"(
     range of n1, n2 is NOTE
     retrieve (n1.name)
       where n1 before n2 in note_in_chord and n2.name = 30
@@ -62,8 +63,8 @@ TEST_F(QuelOrderingTest, PaperQueryNotesBefore) {
 }
 
 TEST_F(QuelOrderingTest, PaperQueryNotesAfter) {
-  QuelSession session(&db_);
-  auto rs = session.Execute(R"(
+  Connection conn = Connection::Local(&db_);
+  auto rs = conn.Execute(R"(
     range of n1, n2 is NOTE
     retrieve (n1.name)
       where n1 after n2 in note_in_chord and n2.name = 10
@@ -73,8 +74,8 @@ TEST_F(QuelOrderingTest, PaperQueryNotesAfter) {
 }
 
 TEST_F(QuelOrderingTest, PaperQueryNotesUnderChord) {
-  QuelSession session(&db_);
-  auto rs = session.Execute(R"(
+  Connection conn = Connection::Local(&db_);
+  auto rs = conn.Execute(R"(
     range of n1 is NOTE
     range of c1 is CHORD
     retrieve (n1.name)
@@ -86,8 +87,8 @@ TEST_F(QuelOrderingTest, PaperQueryNotesUnderChord) {
 
 TEST_F(QuelOrderingTest, PaperQueryParentChord) {
   // "Retrieve the parent chord of note n."
-  QuelSession session(&db_);
-  auto rs = session.Execute(R"(
+  Connection conn = Connection::Local(&db_);
+  auto rs = conn.Execute(R"(
     range of n1 is NOTE
     range of c1 is CHORD
     retrieve (c1.name)
@@ -100,8 +101,8 @@ TEST_F(QuelOrderingTest, PaperQueryParentChord) {
 
 TEST_F(QuelOrderingTest, DifferentParentsNotComparable) {
   // Notes 10 (chord 1) and 40 (chord 2): neither before nor after.
-  QuelSession session(&db_);
-  auto rs = session.Execute(R"(
+  Connection conn = Connection::Local(&db_);
+  auto rs = conn.Execute(R"(
     range of n1, n2 is NOTE
     retrieve (n1.name)
       where (n1 before n2 in note_in_chord
@@ -113,8 +114,8 @@ TEST_F(QuelOrderingTest, DifferentParentsNotComparable) {
 }
 
 TEST_F(QuelOrderingTest, OrderingNameInferredWhenUnique) {
-  QuelSession session(&db_);
-  auto rs = session.Execute(R"(
+  Connection conn = Connection::Local(&db_);
+  auto rs = conn.Execute(R"(
     range of n1 is NOTE
     range of c1 is CHORD
     retrieve (n1.name) where n1 under c1 and c1.name = 1
@@ -125,16 +126,16 @@ TEST_F(QuelOrderingTest, OrderingNameInferredWhenUnique) {
 
 TEST_F(QuelOrderingTest, ImplicitRangeVariables) {
   // Footnote 6: NOTE / CHORD act as implicitly declared range variables.
-  QuelSession session(&db_);
-  auto rs = session.Execute(
+  Connection conn = Connection::Local(&db_);
+  auto rs = conn.Execute(
       "retrieve (NOTE.name) where NOTE under CHORD and CHORD.name = 1");
   ASSERT_TRUE(rs.ok()) << rs.status().ToString();
   EXPECT_EQ(Ints(*rs), (std::vector<int64_t>{10, 20, 30}));
 }
 
 TEST_F(QuelOrderingTest, Aggregates) {
-  QuelSession session(&db_);
-  auto rs = session.Execute(R"(
+  Connection conn = Connection::Local(&db_);
+  auto rs = conn.Execute(R"(
     range of n1 is NOTE
     range of c1 is CHORD
     retrieve (c = count(n1), s = sum(n1.name), mn = min(n1.name),
@@ -152,8 +153,8 @@ TEST_F(QuelOrderingTest, Aggregates) {
 
 TEST_F(QuelOrderingTest, GroupedAggregates) {
   // QUEL's by-grouping: notes per chord in one query.
-  QuelSession session(&db_);
-  auto rs = session.Execute(R"(
+  Connection conn = Connection::Local(&db_);
+  auto rs = conn.Execute(R"(
     range of n is NOTE
     range of c is CHORD
     retrieve (k = count(n by c.name))
@@ -169,7 +170,7 @@ TEST_F(QuelOrderingTest, GroupedAggregates) {
   EXPECT_EQ(rs->rows[1][0].AsInt(), 2);
   EXPECT_EQ(rs->rows[1][1].AsInt(), 2);
   // Sum per chord.
-  rs = session.Execute(R"(
+  rs = conn.Execute(R"(
     range of n is NOTE
     range of c is CHORD
     retrieve (s = sum(n.name by c.name))
@@ -181,7 +182,7 @@ TEST_F(QuelOrderingTest, GroupedAggregates) {
   EXPECT_EQ(rs->rows[0][1].AsInt(), 90);  // chord 2: 40+50
   EXPECT_EQ(rs->rows[1][1].AsInt(), 60);  // chord 1: 10+20+30
   // A grouped aggregate must be the only target.
-  EXPECT_EQ(session
+  EXPECT_EQ(conn
                 .Execute("range of n is NOTE range of c is CHORD "
                          "retrieve (count(n by c.name), c.name) "
                          "where n under c in note_in_chord")
@@ -191,21 +192,21 @@ TEST_F(QuelOrderingTest, GroupedAggregates) {
 }
 
 TEST_F(QuelOrderingTest, AppendReplaceDelete) {
-  QuelSession session(&db_);
-  auto rs = session.Execute("append to NOTE (name = 99)");
+  Connection conn = Connection::Local(&db_);
+  auto rs = conn.Execute("append to NOTE (name = 99)");
   ASSERT_TRUE(rs.ok());
   EXPECT_EQ(rs->affected, 1u);
-  rs = session.Execute(R"(
+  rs = conn.Execute(R"(
     range of n1 is NOTE
     replace n1 (name = 77) where n1.name = 99
   )");
   ASSERT_TRUE(rs.ok());
   EXPECT_EQ(rs->affected, 1u);
-  rs = session.Execute(
+  rs = conn.Execute(
       "range of n1 is NOTE retrieve (n1.name) where n1.name = 77");
   ASSERT_TRUE(rs.ok());
   EXPECT_EQ(rs->rows.size(), 1u);
-  rs = session.Execute("range of n1 is NOTE delete n1 where n1.name = 77");
+  rs = conn.Execute("range of n1 is NOTE delete n1 where n1.name = 77");
   ASSERT_TRUE(rs.ok());
   EXPECT_EQ(rs->affected, 1u);
   auto count = db_.CountEntities("NOTE");
@@ -213,48 +214,48 @@ TEST_F(QuelOrderingTest, AppendReplaceDelete) {
 }
 
 TEST_F(QuelOrderingTest, DeleteWithoutQualDeletesAll) {
-  QuelSession session(&db_);
-  auto rs = session.Execute("range of n1 is NOTE delete n1");
+  Connection conn = Connection::Local(&db_);
+  auto rs = conn.Execute("range of n1 is NOTE delete n1");
   ASSERT_TRUE(rs.ok());
   EXPECT_EQ(rs->affected, 5u);
   EXPECT_EQ(*db_.CountEntities("NOTE"), 0u);
 }
 
 TEST_F(QuelOrderingTest, NaiveAndPushdownAgree) {
-  QuelSession session(&db_);
+  Connection conn = Connection::Local(&db_);
   const char* q = R"(
     range of n1, n2 is NOTE
     retrieve (n1.name)
       where n1 before n2 in note_in_chord and n2.name = 30
   )";
-  auto fast = session.Execute(q);
-  auto slow = session.ExecuteNaive(q);
+  auto fast = conn.Execute(q);
+  auto slow = conn.local_session()->ExecuteNaive(q);
   ASSERT_TRUE(fast.ok());
   ASSERT_TRUE(slow.ok());
   EXPECT_EQ(Ints(*fast), Ints(*slow));
 }
 
 TEST_F(QuelOrderingTest, Errors) {
-  QuelSession session(&db_);
-  EXPECT_EQ(session.Execute("retrieve (x.name)").status().code(),
+  Connection conn = Connection::Local(&db_);
+  EXPECT_EQ(conn.Execute("retrieve (x.name)").status().code(),
             StatusCode::kNotFound);  // undeclared variable
-  EXPECT_EQ(session.Execute("range of n1 is GHOST").status().code(),
+  EXPECT_EQ(conn.Execute("range of n1 is GHOST").status().code(),
             StatusCode::kNotFound);
-  EXPECT_EQ(session
+  EXPECT_EQ(conn
                 .Execute("range of n1 is NOTE retrieve (n1.name) "
                          "where n1.name = 'text'")
                 .status()
                 .code(),
             StatusCode::kTypeError);
-  EXPECT_EQ(session.Execute("retrieve (NOTE.name) where NOTE under NOTE "
+  EXPECT_EQ(conn.Execute("retrieve (NOTE.name) where NOTE under NOTE "
                             "in ghost_order")
                 .status()
                 .code(),
             StatusCode::kNotFound);
-  EXPECT_EQ(session.Execute("retrieve ()").status().code(),
+  EXPECT_EQ(conn.Execute("retrieve ()").status().code(),
             StatusCode::kParseError);
   // Mixed aggregate and plain targets.
-  EXPECT_EQ(session
+  EXPECT_EQ(conn
                 .Execute("range of n1 is NOTE "
                          "retrieve (count(n1), n1.name)")
                 .status()
@@ -297,9 +298,9 @@ TEST(QuelIsOperatorTest, StarSpangledBanner) {
                                       {"composition", *other}})
                   .ok());
 
-  QuelSession session(&db);
+  Connection conn = Connection::Local(&db);
   // The paper's query, using implicit range variables.
-  auto rs = session.Execute(R"(
+  auto rs = conn.Execute(R"(
     retrieve (PERSON.name)
       where COMPOSITION.title = "The Star Spangled Banner"
         and COMPOSER.composition is COMPOSITION

@@ -5,6 +5,7 @@
 #include "darms/darms.h"
 #include "er/database.h"
 #include "mtime/tempo_map.h"
+#include "net/connection.h"
 #include "quel/quel.h"
 
 namespace mdm::cmn {
@@ -123,7 +124,7 @@ TEST(QuelUniqueTest, RetrieveUniqueDeduplicates) {
     ASSERT_TRUE(
         db.SetAttribute(*note, "pitch", rel::Value::String(p)).ok());
   }
-  quel::QuelSession session(&db);
+  mdm::Connection session = mdm::Connection::Local(&db);
   auto all = session.Execute("retrieve (NOTE.pitch)");
   ASSERT_TRUE(all.ok());
   EXPECT_EQ(all->rows.size(), 5u);
