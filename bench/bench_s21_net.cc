@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "net/client.h"
 #include "net/connection.h"
 #include "net/server.h"
 #include "obs/metrics.h"
@@ -47,6 +48,7 @@ const char* ReaderScript(uint64_t i) {
 struct Point {
   double qps = 0;        // completed scripts per second, all clients
   double latency_us = 0;  // mean per-request wall clock, microseconds
+  double p99_us = 0;      // client-observed p99, microseconds
 };
 
 /// Runs `threads` clients for a fixed window; each obtains a Connection
@@ -56,13 +58,20 @@ Point Measure(int threads, Dial dial) {
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> done{0};
   std::atomic<uint64_t> errors{0};
+  mdm::bench::LatencyRecorder lat;
   std::vector<std::thread> clients;
   clients.reserve(threads);
   for (int t = 0; t < threads; ++t) {
     clients.emplace_back([&, t] {
       auto conn = dial();
       for (uint64_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
-        if (conn.Execute(ReaderScript(t + i)).ok())
+        auto req0 = std::chrono::steady_clock::now();
+        bool ok = conn.Execute(ReaderScript(t + i)).ok();
+        lat.ObserveNs(static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - req0)
+                .count()));
+        if (ok)
           done.fetch_add(1, std::memory_order_relaxed);
         else
           errors.fetch_add(1);
@@ -85,6 +94,7 @@ Point Measure(int threads, Dial dial) {
   // Mean latency as seen by one client: threads run concurrently, so a
   // client completes qps/threads requests per second.
   if (p.qps > 0) p.latency_us = 1e6 * threads / p.qps;
+  p.p99_us = lat.PercentileUs(0.99);
   return p;
 }
 
@@ -126,6 +136,36 @@ int main() {
                 local[i].qps, remote[i].qps, local[i].latency_us,
                 remote[i].latency_us);
   }
+  // Tracing overhead: the same 4-client remote mix with the v3 trace
+  // context enabled at three sampling rates. Every request already
+  // carries a trace_id (that is the v3 frame layout); sampling decides
+  // whether the server records the request's span tree into its trace
+  // ring. Target: sampling 1% of requests costs <= 2% qps vs 0%.
+  std::printf(
+      "\ntracing overhead (4 remote clients, --trace-sample R):\n"
+      "%-10s %14s %12s\n", "sampling", "qps", "p99 us");
+  const double kRates[] = {0.0, 0.01, 1.0};
+  Point traced[3];
+  for (int i = 0; i < 3; ++i) {
+    const double rate = kRates[i];
+    traced[i] = Measure(4, [port, rate, i] {
+      mdm::net::ClientOptions copts;
+      copts.trace_sample_rate = rate;
+      copts.trace_seed = 0x6D646D62 + static_cast<uint64_t>(i);  // "mdmb"
+      auto conn = mdm::Connection::Remote("127.0.0.1", port, copts);
+      if (!conn.ok()) std::abort();
+      return std::move(*conn);
+    });
+    char label[16];
+    std::snprintf(label, sizeof label, "%g%%", rate * 100);
+    std::printf("%-10s %14.0f %12.1f\n", label, traced[i].qps,
+                traced[i].p99_us);
+  }
+  double trace_1pct_over_0 =
+      traced[0].qps > 0 ? traced[1].qps / traced[0].qps : 0.0;
+  std::printf("qps at 1%% sampling relative to 0%%: %.3fx "
+              "(target: >= 0.98x)\n", trace_1pct_over_0);
+
   server.Stop();
   double tax_1 = local[0].qps > 0 ? remote[0].qps / local[0].qps : 0.0;
   std::printf("\nremote/local throughput at 1 client: %.2fx "
@@ -138,10 +178,16 @@ int main() {
       "\"remote_qps_1\": %.0f, \"remote_qps_4\": %.0f, "
       "\"remote_qps_8\": %.0f, \"remote_lat_us_1\": %.1f, "
       "\"remote_lat_us_4\": %.1f, \"remote_lat_us_8\": %.1f, "
-      "\"remote_over_local_1\": %.3f, \"hw_threads\": %u%s}\n",
+      "\"remote_over_local_1\": %.3f, "
+      "\"trace_qps_0pct\": %.0f, \"trace_qps_1pct\": %.0f, "
+      "\"trace_qps_100pct\": %.0f, \"trace_p99_us_0pct\": %.1f, "
+      "\"trace_p99_us_1pct\": %.1f, \"trace_p99_us_100pct\": %.1f, "
+      "\"trace_1pct_over_0pct\": %.3f, \"hw_threads\": %u%s}\n",
       kChords, kNotesPerChord, kSecondsPerPoint, local[0].qps, local[1].qps,
       local[2].qps, remote[0].qps, remote[1].qps, remote[2].qps,
       remote[0].latency_us, remote[1].latency_us, remote[2].latency_us,
-      tax_1, hw, metrics.DeltaJsonSuffix().c_str());
+      tax_1, traced[0].qps, traced[1].qps, traced[2].qps, traced[0].p99_us,
+      traced[1].p99_us, traced[2].p99_us, trace_1pct_over_0, hw,
+      metrics.DeltaJsonSuffix().c_str());
   return 0;
 }

@@ -107,6 +107,24 @@ class MetricsSection {
   std::map<std::string, uint64_t> before_;
 };
 
+/// Client-side latency percentiles for bench worker loops: a lock-free
+/// obs::Histogram of nanosecond observations shared by the threads,
+/// with quantiles estimated by the same obs::HistogramPercentile() the
+/// /statusz admin endpoint serves — a bench's p99 and the server's
+/// dashboard p99 come from one estimator (log2 buckets, linear
+/// interpolation, so ~2×-accurate; see obs/metrics.h).
+class LatencyRecorder {
+ public:
+  void ObserveNs(uint64_t ns) { h_.Observe(ns); }
+  uint64_t count() const { return h_.count(); }
+  double PercentileUs(double q) const {
+    return obs::HistogramPercentile(h_, q) / 1e3;
+  }
+
+ private:
+  obs::Histogram h_;
+};
+
 inline void PrintHeader(const char* experiment, const char* paper_artifact) {
   std::printf("==========================================================\n");
   std::printf("%s\n", experiment);

@@ -19,9 +19,11 @@
 
 #include "er/database.h"
 #include "er/persist.h"
+#include "net/admin.h"
 #include "net/server.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
+#include "obs/slowlog.h"
 
 namespace {
 
@@ -36,11 +38,17 @@ void Usage(const char* argv0) {
       "          [--max-frame-bytes B] [--deadline-ms MS] [--load PATH]\n"
       "          [--idle-timeout-ms MS] [--handshake-timeout-ms MS]\n"
       "          [--write-timeout-ms MS] [--max-active-statements N]\n"
-      "          [--fault-inject SEED,RATE]\n"
+      "          [--fault-inject SEED,RATE] [--admin-port P]\n"
+      "          [--slow-query-ms MS] [--slow-query-log PATH]\n"
       "  --port 0 binds an ephemeral port (printed on stdout)\n"
       "  --load  starts from a snapshot written by mdmsh \\save\n"
       "  --fault-inject wraps every accepted connection in a seeded\n"
-      "    FaultInjectingTransport firing at RATE per I/O (chaos drills)\n",
+      "    FaultInjectingTransport firing at RATE per I/O (chaos drills)\n"
+      "  --admin-port serves GET /metrics /healthz /statusz /traces/<id>\n"
+      "    over HTTP (0 = ephemeral, printed on stdout)\n"
+      "  --slow-query-log writes one JSON line per slow statement to\n"
+      "    PATH ('-' = stderr); --slow-query-ms sets the threshold\n"
+      "    (default 0: log every statement)\n",
       argv0);
 }
 
@@ -53,6 +61,9 @@ int main(int argc, char** argv) {
   std::signal(SIGPIPE, SIG_IGN);
   mdm::net::ServerOptions opts;
   std::string snapshot;
+  std::string slow_query_log_path;
+  bool admin = false;
+  mdm::net::AdminOptions admin_opts;
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) -> const char* {
       if (i + 1 >= argc) {
@@ -102,6 +113,15 @@ int main(int argc, char** argv) {
       };
     } else if (std::strcmp(argv[i], "--load") == 0) {
       snapshot = need_value("--load");
+    } else if (std::strcmp(argv[i], "--admin-port") == 0) {
+      admin = true;
+      admin_opts.port =
+          static_cast<uint16_t>(std::atoi(need_value("--admin-port")));
+    } else if (std::strcmp(argv[i], "--slow-query-ms") == 0) {
+      opts.slow_query_ms =
+          static_cast<uint32_t>(std::atol(need_value("--slow-query-ms")));
+    } else if (std::strcmp(argv[i], "--slow-query-log") == 0) {
+      slow_query_log_path = need_value("--slow-query-log");
     } else {
       Usage(argv[0]);
       return 2;
@@ -120,6 +140,19 @@ int main(int argc, char** argv) {
     std::printf("mdmd: loaded snapshot %s\n", snapshot.c_str());
   }
 
+  if (!slow_query_log_path.empty()) {
+    auto sink = mdm::obs::SlowQueryLog::Open(slow_query_log_path);
+    if (!sink.ok()) {
+      std::fprintf(stderr, "mdmd: cannot open slow-query log %s: %s\n",
+                   slow_query_log_path.c_str(),
+                   sink.status().ToString().c_str());
+      return 1;
+    }
+    opts.slow_query_log = std::move(*sink);
+    std::printf("mdmd: slow-query log -> %s (threshold %ums)\n",
+                slow_query_log_path.c_str(), opts.slow_query_ms);
+  }
+
   mdm::net::Server server(&db, opts);
   mdm::Status started = server.Start();
   if (!started.ok()) {
@@ -128,6 +161,21 @@ int main(int argc, char** argv) {
   }
   std::printf("mdmd: listening on %s:%u\n", opts.host.c_str(),
               server.port());
+
+  std::unique_ptr<mdm::net::AdminServer> admin_server;
+  if (admin) {
+    admin_opts.host = opts.host;
+    admin_server =
+        std::make_unique<mdm::net::AdminServer>(&server, admin_opts);
+    mdm::Status admin_started = admin_server->Start();
+    if (!admin_started.ok()) {
+      std::fprintf(stderr, "mdmd: %s\n",
+                   admin_started.ToString().c_str());
+      return 1;
+    }
+    std::printf("mdmd: admin listening on %s:%u\n", admin_opts.host.c_str(),
+                admin_server->port());
+  }
   std::fflush(stdout);
 
   std::signal(SIGTERM, OnSignal);
@@ -139,6 +187,7 @@ int main(int argc, char** argv) {
               "%llu requests served)\n",
               server.active_connections(),
               (unsigned long long)server.requests_served());
+  if (admin_server != nullptr) admin_server->Stop();
   server.Stop();
   std::printf("mdmd: shut down cleanly\n");
   return 0;

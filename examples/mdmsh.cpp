@@ -30,11 +30,28 @@
 #include "er/database.h"
 #include "er/persist.h"
 #include "er/session.h"
+#include "net/admin.h"
 #include "net/connection.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "quel/quel.h"
 
 namespace {
+
+/// Splits "host:port" (net admin endpoint form); false on bad input.
+bool SplitHostPort(const std::string& endpoint, std::string* host,
+                   uint16_t* port) {
+  size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon + 1 == endpoint.size())
+    return false;
+  *host = endpoint.substr(0, colon);
+  if (host->size() >= 2 && host->front() == '[' && host->back() == ']')
+    *host = host->substr(1, host->size() - 2);
+  long p = std::atol(endpoint.c_str() + colon + 1);
+  if (host->empty() || p < 1 || p > 65535) return false;
+  *port = static_cast<uint16_t>(p);
+  return true;
+}
 
 /// \stress: re-runs the last executed QUEL script from N concurrent
 /// client threads (each with its own local Connection, the fig 1
@@ -78,24 +95,41 @@ void RunStress(mdm::er::Database* db, const std::string& script,
 
 int main(int argc, char** argv) {
   std::string endpoint;
+  std::string admin_endpoint;
   mdm::net::ClientOptions copts;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
       endpoint = argv[++i];
+    } else if (std::strcmp(argv[i], "--admin") == 0 && i + 1 < argc) {
+      admin_endpoint = argv[++i];
     } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
       copts.deadline_ms = static_cast<uint32_t>(std::atol(argv[++i]));
     } else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
       copts.retry.max_attempts = std::atoi(argv[++i]);
       if (copts.retry.max_attempts < 1) copts.retry.max_attempts = 1;
+    } else if (std::strcmp(argv[i], "--trace-sample") == 0 && i + 1 < argc) {
+      copts.trace_sample_rate = std::strtod(argv[++i], nullptr);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--connect host:port] [--deadline-ms MS] "
-                   "[--retries N]\n"
+                   "usage: %s [--connect host:port] [--admin host:port] "
+                   "[--deadline-ms MS] [--retries N] [--trace-sample R]\n"
                    "  --retries N: total attempts for idempotent reads "
-                   "(1 = never retry)\n",
+                   "(1 = never retry)\n"
+                   "  --admin: the server's --admin-port endpoint, for "
+                   "\\metrics / \\statusz / \\trace against a remote mdmd\n"
+                   "  --trace-sample R: sample fraction R of requests "
+                   "(remote; retrieve traces with \\trace last)\n",
                    argv[0]);
       return 2;
     }
+  }
+  std::string admin_host;
+  uint16_t admin_port = 0;
+  if (!admin_endpoint.empty() &&
+      !SplitHostPort(admin_endpoint, &admin_host, &admin_port)) {
+    std::fprintf(stderr, "mdmsh: --admin wants host:port, got '%s'\n",
+                 admin_endpoint.c_str());
+    return 2;
   }
 
   // Local database backing the default (in-process) session. Unused in
@@ -113,6 +147,11 @@ int main(int argc, char** argv) {
     std::printf("connected to mdmd at %s\n", endpoint.c_str());
   }
   const bool local = !conn.is_remote();
+  // Locally every statement is traced (the shell is a debugging tool;
+  // the per-span cost is negligible at human typing speed), so `\trace
+  // last` always has something to show. Remote tracing is opt-in via
+  // --trace-sample because it costs server ring space per request.
+  if (local) conn.EnableLocalTracing(/*seed=*/0x6D646D73);  // "mdms"
 
   std::string buffer;
   std::string line;
@@ -139,7 +178,12 @@ int main(int argc, char** argv) {
             "  \\stats        entity counts + session execution counters\n"
             "  \\stress [N] [ITERS]  re-run the last script from N client\n"
             "                threads (default 4 x 100) (local)\n"
-            "  \\metrics      process metrics (Prometheus text; 'json' for JSON)\n"
+            "  \\metrics      Prometheus text ('json' for JSON): the\n"
+            "                server's via --admin, else this process's\n"
+            "  \\statusz      server status page via --admin; locally the\n"
+            "                statement-latency percentiles\n"
+            "  \\trace last   last request's trace as Chrome trace JSON\n"
+            "                (remote needs --admin and --trace-sample)\n"
             "  \\save PATH    write a snapshot (local)\n"
             "  \\load PATH    replace the session with a snapshot (local)\n"
             "  \\quit\n");
@@ -174,10 +218,98 @@ int main(int argc, char** argv) {
         }
       } else if (cmd == "\\metrics") {
         bool json = parts.size() > 1 && parts[1] == "json";
-        if (json) {
-          std::printf("%s\n", mdm::obs::RenderJson().c_str());
+        if (!local && admin_port != 0) {
+          // The numbers a remote operator wants are the SERVER's, not
+          // this shell process's — fetch them from the admin endpoint.
+          if (json)
+            std::printf("# note: the admin endpoint serves Prometheus text "
+                        "only; showing /metrics\n");
+          auto body = mdm::net::HttpGet(admin_host, admin_port, "/metrics",
+                                        /*timeout_ms=*/2'000);
+          if (body.ok()) {
+            std::printf("# origin: mdmd admin %s\n%s", admin_endpoint.c_str(),
+                        body->c_str());
+          } else {
+            std::printf("cannot reach admin endpoint %s: %s\n",
+                        admin_endpoint.c_str(),
+                        body.status().ToString().c_str());
+          }
         } else {
-          std::printf("%s", mdm::obs::RenderPrometheusText().c_str());
+          if (!local)
+            std::printf("# origin: this mdmsh process (client-side metrics "
+                        "only; pass --admin HOST:PORT for the server's)\n");
+          else
+            std::printf("# origin: this mdmsh process (local database)\n");
+          if (json) {
+            std::printf("%s\n", mdm::obs::RenderJson().c_str());
+          } else {
+            std::printf("%s", mdm::obs::RenderPrometheusText().c_str());
+          }
+        }
+      } else if (cmd == "\\statusz") {
+        if (!local) {
+          if (admin_port == 0) {
+            std::printf("\\statusz on a remote session needs --admin "
+                        "HOST:PORT (the server's --admin-port)\n");
+          } else {
+            auto body = mdm::net::HttpGet(admin_host, admin_port, "/statusz",
+                                          /*timeout_ms=*/2'000);
+            if (body.ok()) {
+              std::printf("%s", body->c_str());
+            } else {
+              std::printf("cannot reach admin endpoint %s: %s\n",
+                          admin_endpoint.c_str(),
+                          body.status().ToString().c_str());
+            }
+          }
+        } else {
+          mdm::obs::Histogram* h = mdm::obs::Registry::Global()->GetHistogram(
+              "mdm_span_duration_ns{span=\"quel.statement\"}",
+              "Inclusive span latency in nanoseconds");
+          std::printf("quel.statement latency (this process, %llu samples):\n"
+                      "  p50 %.0f ns  p90 %.0f ns  p99 %.0f ns\n",
+                      (unsigned long long)h->count(),
+                      mdm::obs::HistogramPercentile(*h, 0.50),
+                      mdm::obs::HistogramPercentile(*h, 0.90),
+                      mdm::obs::HistogramPercentile(*h, 0.99));
+        }
+      } else if (cmd == "\\trace") {
+        if (parts.size() < 2 || parts[1] != "last") {
+          std::printf("usage: \\trace last\n");
+        } else if (conn.last_trace_id() == 0) {
+          std::printf("no traced request yet%s\n",
+                      !local && copts.trace_sample_rate <= 0.0
+                          ? " (start mdmsh with --trace-sample 1)"
+                          : "");
+        } else if (local) {
+          auto trace = mdm::obs::TraceRing::Global()->Find(
+              conn.last_trace_id());
+          if (trace == nullptr) {
+            std::printf("trace %s has aged out of the ring\n",
+                        mdm::obs::FormatTraceId(conn.last_trace_id()).c_str());
+          } else {
+            std::printf("%s\n",
+                        mdm::obs::RenderTraceEventJson(*trace).c_str());
+          }
+        } else if (admin_port == 0) {
+          std::printf("\\trace last on a remote session needs --admin "
+                      "HOST:PORT (the server's --admin-port)\n");
+        } else if (!conn.last_trace_sampled()) {
+          std::printf("last request (trace %s) was not sampled; raise "
+                      "--trace-sample\n",
+                      mdm::obs::FormatTraceId(conn.last_trace_id()).c_str());
+        } else {
+          std::string path =
+              "/traces/" + mdm::obs::FormatTraceId(conn.last_trace_id());
+          auto body = mdm::net::HttpGet(admin_host, admin_port, path,
+                                        /*timeout_ms=*/2'000);
+          if (body.ok()) {
+            std::printf("%s\n", body->c_str());
+          } else {
+            std::printf("cannot fetch %s from %s: %s\n", path.c_str(),
+                        admin_endpoint.c_str(),
+                        body.status().ToString().c_str());
+          }
         }
       } else if (cmd == "\\save" && parts.size() > 1) {
         mdm::Status s = mdm::er::SaveSnapshot(db, parts[1]);

@@ -1,0 +1,364 @@
+#include "net/admin.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mdm::net {
+
+namespace {
+
+/// Accept loop poll cadence: bounds Stop() latency only.
+constexpr int kPollMs = 100;
+/// A GET request line + headers comfortably fits; anything longer is a
+/// client we do not want to serve.
+constexpr size_t kMaxRequestBytes = 8 * 1024;
+/// HttpGet response cap — /metrics and trace JSON are tens of KB, a
+/// response beyond this means something is wrong on the other end.
+constexpr size_t kMaxResponseBytes = 8 * 1024 * 1024;
+
+void JsonEscapeTo(std::string* out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, static_cast<size_t>(n));
+}
+
+const char* ReasonPhrase(int http_status) {
+  switch (http_status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Error";
+  }
+}
+
+}  // namespace
+
+AdminServer::AdminServer(Server* server, AdminOptions opts)
+    : server_(server), opts_(std::move(opts)) {}
+
+AdminServer::~AdminServer() { Stop(); }
+
+Status AdminServer::Start() {
+  if (started_.exchange(true))
+    return FailedPrecondition("admin server already started");
+  struct addrinfo hints = {};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  struct addrinfo* addrs = nullptr;
+  std::string port_str = std::to_string(opts_.port);
+  int rc =
+      ::getaddrinfo(opts_.host.c_str(), port_str.c_str(), &hints, &addrs);
+  if (rc != 0)
+    return Unavailable("cannot resolve " + opts_.host + ": " +
+                       gai_strerror(rc));
+  Status last = Unavailable("no addresses for " + opts_.host);
+  for (struct addrinfo* a = addrs; a != nullptr; a = a->ai_next) {
+    int fd = ::socket(a->ai_family, a->ai_socktype, a->ai_protocol);
+    if (fd < 0) continue;
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::bind(fd, a->ai_addr, a->ai_addrlen) == 0 &&
+        ::listen(fd, 16) == 0) {
+      listen_fd_ = fd;
+      break;
+    }
+    last = Unavailable("cannot bind admin " + opts_.host + ":" + port_str +
+                       ": " + std::strerror(errno));
+    ::close(fd);
+  }
+  ::freeaddrinfo(addrs);
+  if (listen_fd_ < 0) return last;
+
+  struct sockaddr_storage bound = {};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&bound),
+                    &len) == 0) {
+    if (bound.ss_family == AF_INET) {
+      port_ = ntohs(reinterpret_cast<struct sockaddr_in*>(&bound)->sin_port);
+    } else if (bound.ss_family == AF_INET6) {
+      port_ =
+          ntohs(reinterpret_cast<struct sockaddr_in6*>(&bound)->sin6_port);
+    }
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void AdminServer::Stop() {
+  if (!started_.load() || stop_.exchange(true)) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void AdminServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    struct pollfd pfd = {listen_fd_, POLLIN, 0};
+    int pr = ::poll(&pfd, 1, kPollMs);
+    if (pr <= 0) continue;
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ServeOne(fd);
+  }
+}
+
+void AdminServer::ServeOne(int fd) {
+  std::unique_ptr<Transport> t = opts_.transport_factory
+                                     ? opts_.transport_factory(fd)
+                                     : std::make_unique<TcpTransport>(fd);
+  if (opts_.io_timeout_ms != 0) {
+    (void)t->SetRecvTimeout(opts_.io_timeout_ms);
+    (void)t->SetSendTimeout(opts_.io_timeout_ms);
+  }
+  // Read until the end-of-headers blank line; HTTP GETs have no body.
+  std::string head;
+  while (head.find("\r\n\r\n") == std::string::npos) {
+    if (head.size() >= kMaxRequestBytes) {
+      t->Close();
+      return;
+    }
+    uint8_t buf[1024];
+    Result<size_t> n = t->Recv(buf, sizeof(buf));
+    if (!n.ok() || *n == 0) {
+      t->Close();
+      return;
+    }
+    head.append(reinterpret_cast<char*>(buf), *n);
+  }
+
+  int http_status = 400;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body = "bad request\n";
+  size_t line_end = head.find("\r\n");
+  std::string request_line = head.substr(0, line_end);
+  // "GET /path HTTP/1.x" — split on the two spaces.
+  size_t sp1 = request_line.find(' ');
+  size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  if (sp1 != std::string::npos && sp2 != std::string::npos) {
+    std::string method = request_line.substr(0, sp1);
+    std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+    if (method != "GET") {
+      http_status = 405;
+      body = "only GET is served here\n";
+    } else {
+      Route(target, &http_status, &content_type, &body);
+    }
+  }
+
+  std::string resp;
+  resp.reserve(body.size() + 128);
+  AppendF(&resp, "HTTP/1.0 %d %s\r\n", http_status,
+          ReasonPhrase(http_status));
+  resp += "Content-Type: " + content_type + "\r\n";
+  AppendF(&resp, "Content-Length: %zu\r\n", body.size());
+  resp += "Connection: close\r\n\r\n";
+  resp += body;
+  (void)t->Send(reinterpret_cast<const uint8_t*>(resp.data()), resp.size());
+  t->Close();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void AdminServer::Route(const std::string& target, int* http_status,
+                        std::string* content_type, std::string* body) const {
+  // Ignore any query string: scrapers append ?format= etc.
+  std::string path = target.substr(0, target.find('?'));
+  *http_status = 200;
+  if (path == "/healthz") {
+    *body = "ok\n";
+    return;
+  }
+  if (path == "/metrics") {
+    // Prometheus text exposition 0.0.4 (the version=... parameter is
+    // what scrapers sniff).
+    *content_type = "text/plain; version=0.0.4; charset=utf-8";
+    *body = obs::RenderPrometheusText();
+    return;
+  }
+  if (path == "/statusz") {
+    *content_type = "application/json";
+    *body = RenderStatusz();
+    return;
+  }
+  if (path == "/traces") {
+    *content_type = "application/json";
+    std::string out = "{\"traces\":[";
+    bool first = true;
+    for (uint64_t id : obs::TraceRing::Global()->RecentIds()) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + obs::FormatTraceId(id) + "\"";
+    }
+    out += "]}\n";
+    *body = std::move(out);
+    return;
+  }
+  constexpr size_t kTracePrefixLen = 8;  // "/traces/"
+  if (path.compare(0, kTracePrefixLen, "/traces/") == 0) {
+    uint64_t id = 0;
+    if (!obs::ParseTraceId(path.substr(kTracePrefixLen), &id)) {
+      *http_status = 400;
+      *body = "malformed trace id (want 16 hex digits)\n";
+      return;
+    }
+    std::shared_ptr<const obs::Trace> trace =
+        obs::TraceRing::Global()->Find(id);
+    if (trace == nullptr) {
+      *http_status = 404;
+      *body = "no such trace (the ring holds the most recent " +
+              std::to_string(obs::TraceRing::kDefaultCapacity) +
+              " sampled traces)\n";
+      return;
+    }
+    *content_type = "application/json";
+    *body = obs::RenderTraceEventJson(*trace);
+    return;
+  }
+  *http_status = 404;
+  *body = "no such route; try /metrics /healthz /statusz /traces\n";
+}
+
+std::string AdminServer::RenderStatusz() const {
+  std::string out = "{";
+  if (server_ != nullptr) {
+    AppendF(&out, "\"uptime_ms\":%llu,",
+            static_cast<unsigned long long>(server_->uptime_ms()));
+    AppendF(&out, "\"active_connections\":%zu,",
+            server_->active_connections());
+    AppendF(&out, "\"active_statements\":%zu,",
+            server_->active_statements());
+    AppendF(&out, "\"requests_total\":%llu,",
+            static_cast<unsigned long long>(server_->requests_served()));
+    AppendF(&out, "\"shed_total\":%llu,",
+            static_cast<unsigned long long>(server_->shed_requests()));
+    AppendF(&out, "\"reaped_total\":%llu,",
+            static_cast<unsigned long long>(server_->reaped_connections()));
+  }
+  // net.request latency percentiles from the span histogram the server
+  // already maintains — the HistogramPercentile estimate is plenty for
+  // a status page (docs/OBSERVABILITY.md "Percentiles").
+  obs::Histogram* h = obs::Registry::Global()->GetHistogram(
+      "mdm_span_duration_ns{span=\"net.request\"}",
+      "Inclusive span latency in nanoseconds");
+  AppendF(&out,
+          "\"net_request_latency_ns\":{\"count\":%llu,\"p50\":%.0f,"
+          "\"p90\":%.0f,\"p99\":%.0f},",
+          static_cast<unsigned long long>(h->count()),
+          obs::HistogramPercentile(*h, 0.50),
+          obs::HistogramPercentile(*h, 0.90),
+          obs::HistogramPercentile(*h, 0.99));
+  AppendF(&out, "\"traces_held\":%zu,", obs::TraceRing::Global()->size());
+  out += "\"connections\":[";
+  if (server_ != nullptr) {
+    bool first = true;
+    for (const ConnectionStatus& cs : server_->ConnectionStatuses()) {
+      if (!first) out += ",";
+      first = false;
+      AppendF(&out, "{\"id\":%llu,\"peer\":\"",
+              static_cast<unsigned long long>(cs.id));
+      JsonEscapeTo(&out, cs.peer);
+      AppendF(&out, "\",\"age_ms\":%llu,\"requests\":%llu,",
+              static_cast<unsigned long long>(cs.age_ms),
+              static_cast<unsigned long long>(cs.requests));
+      out += cs.executing ? "\"executing\":true,\"statement\":\""
+                          : "\"executing\":false,\"statement\":\"";
+      JsonEscapeTo(&out, cs.statement);
+      AppendF(&out, "\",\"statement_age_ms\":%llu}",
+              static_cast<unsigned long long>(cs.statement_age_ms));
+    }
+  }
+  out += "]}\n";
+  return out;
+}
+
+Result<std::string> HttpGet(const std::string& host, uint16_t port,
+                            const std::string& path, uint32_t timeout_ms) {
+  Result<std::unique_ptr<Transport>> t =
+      DialTcpTransport(host, port, timeout_ms);
+  if (!t.ok()) return t.status();
+  if (timeout_ms != 0) {
+    (void)(*t)->SetRecvTimeout(timeout_ms);
+    (void)(*t)->SetSendTimeout(timeout_ms);
+  }
+  std::string req =
+      "GET " + path + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  Status s =
+      (*t)->Send(reinterpret_cast<const uint8_t*>(req.data()), req.size());
+  if (!s.ok()) return s;
+  std::string resp;
+  for (;;) {
+    if (resp.size() >= kMaxResponseBytes)
+      return ResourceExhausted("admin response exceeds " +
+                               std::to_string(kMaxResponseBytes) + " bytes");
+    uint8_t buf[4096];
+    Result<size_t> n = (*t)->Recv(buf, sizeof(buf));
+    if (!n.ok()) return n.status();
+    if (*n == 0) break;  // orderly EOF: HTTP/1.0 end of response
+    resp.append(reinterpret_cast<char*>(buf), *n);
+  }
+  (*t)->Close();
+  size_t line_end = resp.find("\r\n");
+  size_t head_end = resp.find("\r\n\r\n");
+  if (line_end == std::string::npos || head_end == std::string::npos)
+    return Unavailable("malformed HTTP response from admin endpoint");
+  std::string status_line = resp.substr(0, line_end);
+  // "HTTP/1.0 200 OK" — the code is the second token.
+  size_t sp = status_line.find(' ');
+  int code = sp == std::string::npos
+                 ? 0
+                 : std::atoi(status_line.c_str() + sp + 1);
+  std::string http_body = resp.substr(head_end + 4);
+  if (code == 200) return http_body;
+  if (code == 404) return Status(NotFound(http_body));
+  return Status(
+      Internal("admin endpoint returned HTTP " + std::to_string(code) +
+               ": " + http_body));
+}
+
+}  // namespace mdm::net

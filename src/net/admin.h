@@ -1,0 +1,93 @@
+#ifndef MDM_NET_ADMIN_H_
+#define MDM_NET_ADMIN_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "net/server.h"
+#include "net/transport.h"
+
+namespace mdm::net {
+
+struct AdminOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the actual one back via port().
+  uint16_t port = 0;
+  /// One admin request must complete its recv and its send within this
+  /// bound each — the endpoint serves requests inline on its accept
+  /// thread, so a stalled scraper must not wedge it (0 = no bound).
+  uint32_t io_timeout_ms = 1'000;
+  /// Wraps each accepted socket; null uses plain TcpTransport. The same
+  /// chaos seam the data port has, so fault sweeps can hit /metrics too.
+  ServerTransportFactory transport_factory;
+};
+
+/// mdmd's admin/telemetry endpoint: a deliberately minimal HTTP/1.0
+/// listener (GET only, one request per connection, Connection: close)
+/// so `curl` and a Prometheus scraper work against it without pulling
+/// an HTTP library into the tree. Routes (docs/OBSERVABILITY.md):
+///
+///   GET /metrics      Prometheus text exposition of the global registry
+///   GET /healthz      "ok" once accepting — a liveness probe
+///   GET /statusz      JSON: uptime, request/shed/reap totals, net.request
+///                     latency percentiles, per-connection status table
+///   GET /traces       JSON list of trace ids in the ring, newest first
+///   GET /traces/<id>  Chrome trace_event JSON for that trace (16-hex id)
+///
+/// Serving is inline on the accept thread: admin traffic is a scraper
+/// every few seconds, not a request stream, and the io timeout bounds
+/// how long one slow client can hold the thread.
+class AdminServer {
+ public:
+  /// `server` supplies the /statusz live data; may be null (a bare
+  /// metrics endpoint), in which case /statusz reports only the
+  /// registry-independent fields it can compute alone.
+  explicit AdminServer(Server* server, AdminOptions opts = {});
+  ~AdminServer();
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  Status Start();
+  void Stop();
+
+  /// The bound port (after Start; resolves port 0 to the real one).
+  uint16_t port() const { return port_; }
+  /// HTTP requests answered (any status), for tests.
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeOne(int fd);
+  /// Routes a request target to (status, content-type, body).
+  void Route(const std::string& target, int* http_status,
+             std::string* content_type, std::string* body) const;
+  std::string RenderStatusz() const;
+
+  Server* server_;
+  AdminOptions opts_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> requests_{0};
+  std::thread accept_thread_;
+};
+
+/// Minimal HTTP/1.0 GET, the client side of AdminServer: connects,
+/// sends the request, reads to EOF, returns the response body. Maps
+/// HTTP status onto Status: 200 -> OK, 404 -> NotFound, anything else
+/// -> Internal (body in the message). mdmsh's \metrics/\statusz/\trace
+/// use it; tests hit the endpoint through it.
+Result<std::string> HttpGet(const std::string& host, uint16_t port,
+                            const std::string& path, uint32_t timeout_ms);
+
+}  // namespace mdm::net
+
+#endif  // MDM_NET_ADMIN_H_

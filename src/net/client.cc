@@ -242,6 +242,8 @@ Result<quel::ResultSet> Client::ExecuteOnce(const std::string& script) {
   ExecuteRequest req;
   req.script = script;
   req.deadline_ms = opts_.deadline_ms;
+  req.trace_id = last_trace_id_;
+  req.trace_sampled = last_trace_sampled_;
   Status sent = WriteFrame(transport_.get(), EncodeExecuteRequest(req));
   if (!sent.ok()) {
     Close();
@@ -332,6 +334,14 @@ Result<T> Client::WithRetries(bool retryable, Attempt attempt) {
 }
 
 Result<quel::ResultSet> Client::Execute(const std::string& script) {
+  // One trace identity per Execute call: every retry attempt replays
+  // the same id, so a retried request is one trace server-side. Ids
+  // come from the seeded PRNG (never wall-clock) and are never 0 — 0
+  // marks "no trace context" on the wire.
+  last_trace_id_ = trace_rng_.Next();
+  if (last_trace_id_ == 0) last_trace_id_ = trace_rng_.Next() | 1;
+  last_trace_sampled_ = opts_.trace_sample_rate > 0.0 &&
+                        trace_rng_.Bernoulli(opts_.trace_sample_rate);
   // A mutation may have been applied before a connection died, so
   // replaying it could double-apply; only idempotent reads retry.
   const bool retryable =

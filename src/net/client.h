@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 
+#include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "net/protocol.h"
@@ -43,6 +44,16 @@ struct ClientOptions {
   /// server's retry_after_ms hints. Mutations are never retried — the
   /// server may or may not have applied them — and surface UNAVAILABLE.
   RetryPolicy retry;
+  /// Fraction of Execute calls marked for server-side tracing (wire
+  /// protocol v3): every request carries a fresh trace_id; `sampled` is
+  /// set on this fraction of them, telling the server to record the
+  /// request's span tree into its trace ring (GET /traces/<id> on the
+  /// admin endpoint). 0 disables sampling, 1 samples everything.
+  double trace_sample_rate = 0.0;
+  /// Seed for the trace_id/sampling PRNG — ids are seeded, never
+  /// wall-clock, so a workload replays with identical ids. Give each
+  /// client of a fleet its own seed or ids will collide.
+  uint64_t trace_seed = 0x6D646D74;  // "mdmt"
   /// Dials the server; null uses plain TCP (DialTcpTransport).
   TransportFactory transport_factory;
 };
@@ -82,13 +93,20 @@ class Client {
   const std::string& host() const { return host_; }
   uint16_t port() const { return port_; }
 
+  /// Trace context of the most recent Execute call (all attempts of one
+  /// call share one id, so a retried request is still one trace).
+  /// last_trace_id() is 0 until the first Execute.
+  uint64_t last_trace_id() const { return last_trace_id_; }
+  bool last_trace_sampled() const { return last_trace_sampled_; }
+
  private:
   Client(ClientOptions opts, std::string host, uint16_t port,
          std::unique_ptr<Transport> t)
       : opts_(std::move(opts)),
         host_(std::move(host)),
         port_(port),
-        transport_(std::move(t)) {}
+        transport_(std::move(t)),
+        trace_rng_(opts_.trace_seed) {}
 
   Result<quel::ResultSet> ExecuteOnce(const std::string& script);
   Status PingOnce();
@@ -105,6 +123,9 @@ class Client {
   std::string host_;
   uint16_t port_ = 0;
   std::unique_ptr<Transport> transport_;
+  Rng trace_rng_;
+  uint64_t last_trace_id_ = 0;
+  bool last_trace_sampled_ = false;
 };
 
 /// Low-level dial: TCP connect to host:port with a timeout; returns the

@@ -4,6 +4,7 @@
 
 #include "common/strings.h"
 #include "ddl/parser.h"
+#include "obs/trace.h"
 
 namespace mdm {
 
@@ -84,8 +85,33 @@ Result<Connection> Connection::Remote(const std::string& endpoint,
   return Remote(host, static_cast<uint16_t>(port), opts);
 }
 
+void Connection::EnableLocalTracing(uint64_t seed) {
+  if (client_ != nullptr) return;  // remote traces via ClientOptions
+  local_trace_rng_ = std::make_unique<Rng>(seed);
+}
+
+uint64_t Connection::last_trace_id() const {
+  if (client_ != nullptr) return client_->last_trace_id();
+  return local_last_trace_id_;
+}
+
+bool Connection::last_trace_sampled() const {
+  if (client_ != nullptr) return client_->last_trace_sampled();
+  return local_last_trace_id_ != 0;
+}
+
 Result<quel::ResultSet> Connection::Execute(const std::string& script) {
   if (client_ != nullptr) return client_->Execute(script);
+  if (local_trace_rng_ != nullptr) {
+    // Local analog of the server's request scope: one always-sampled
+    // context per Execute, published to the global ring on exit so
+    // mdmsh's `\trace last` can export it.
+    uint64_t id = local_trace_rng_->Next();
+    if (id == 0) id = local_trace_rng_->Next() | 1;
+    local_last_trace_id_ = id;
+    obs::TraceContext trace_ctx(id, /*sampled=*/true);
+    return RunScript(db_, session_.get(), script);
+  }
   return RunScript(db_, session_.get(), script);
 }
 

@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "er/database.h"
@@ -75,6 +76,20 @@ class Connection {
   /// client surface.
   quel::QuelSession* local_session() const { return session_.get(); }
 
+  /// Local connections only: wrap every subsequent Execute in an
+  /// always-sampled obs::TraceContext with seeded ids, so `\trace last`
+  /// works without a server (the ids land in TraceRing::Global()).
+  /// Remote connections trace via ClientOptions::trace_sample_rate
+  /// instead; this is a no-op there.
+  void EnableLocalTracing(uint64_t seed);
+
+  /// The trace id stamped on the most recent Execute (0 before the
+  /// first one, or when tracing is off). Remote: the id sent on the
+  /// wire. Local: the id of the trace published to the local ring.
+  uint64_t last_trace_id() const;
+  /// Whether the most recent Execute was sampled.
+  bool last_trace_sampled() const;
+
  private:
   Connection() = default;
 
@@ -82,6 +97,8 @@ class Connection {
   er::Database* db_ = nullptr;               // set iff local
   std::unique_ptr<quel::QuelSession> session_;
   std::unique_ptr<net::Client> client_;      // set iff remote
+  std::unique_ptr<Rng> local_trace_rng_;     // set iff local tracing on
+  uint64_t local_last_trace_id_ = 0;
 };
 
 /// The shared local execution path used by Connection::Execute and by

@@ -25,21 +25,32 @@ constexpr uint8_t kPageLast = 0x2;
 // while discarding (protects the discard loop from a hostile length).
 constexpr size_t kDiscardCeilingBytes = 64u << 20;
 
-void PutHeader(ByteWriter* w, FrameType type, uint32_t payload_len,
-               uint32_t crc) {
+void PutHeader(ByteWriter* w, uint8_t version, FrameType type,
+               uint32_t payload_len, uint32_t crc) {
   w->PutU32(kFrameMagic);
-  w->PutU8(kProtocolVersion);
+  w->PutU8(version);
   w->PutU8(static_cast<uint8_t>(type));
   w->PutU16(0);  // reserved
   w->PutU32(payload_len);
   w->PutU32(crc);
 }
 
+bool VersionSupported(uint8_t version) {
+  return version >= kMinProtocolVersion && version <= kProtocolVersion;
+}
+
+std::string UnsupportedVersionMessage(uint8_t version) {
+  return "unsupported protocol version " + std::to_string(version) +
+         " (this side speaks " + std::to_string(kMinProtocolVersion) + ".." +
+         std::to_string(kProtocolVersion) + ")";
+}
+
 }  // namespace
 
 std::vector<uint8_t> EncodeFrame(const Frame& frame) {
   ByteWriter w;
-  PutHeader(&w, frame.type, static_cast<uint32_t>(frame.payload.size()),
+  PutHeader(&w, frame.version, frame.type,
+            static_cast<uint32_t>(frame.payload.size()),
             Crc32(frame.payload.data(), frame.payload.size()));
   w.PutBytes(frame.payload.data(), frame.payload.size());
   return w.Take();
@@ -62,10 +73,8 @@ Result<Frame> DecodeFrame(const uint8_t* data, size_t size,
   MDM_RETURN_IF_ERROR(r.GetU32(&payload_len));
   MDM_RETURN_IF_ERROR(r.GetU32(&crc));
   if (magic != kFrameMagic) return Corruption("bad frame magic");
-  if (version != kProtocolVersion)
-    return InvalidArgument("unsupported protocol version " +
-                           std::to_string(version) + " (this side speaks " +
-                           std::to_string(kProtocolVersion) + ")");
+  if (!VersionSupported(version))
+    return InvalidArgument(UnsupportedVersionMessage(version));
   if (payload_len > max_frame_bytes)
     return ResourceExhausted("frame payload of " +
                              std::to_string(payload_len) +
@@ -80,14 +89,20 @@ Result<Frame> DecodeFrame(const uint8_t* data, size_t size,
     return Corruption("frame checksum mismatch");
   Frame frame;
   frame.type = static_cast<FrameType>(type);
+  frame.version = version;
   frame.payload.assign(payload, payload + payload_len);
   if (consumed != nullptr) *consumed = kFrameHeaderBytes + payload_len;
   return frame;
 }
 
 Frame EncodeExecuteRequest(const ExecuteRequest& req) {
+  // v3 payload: u32 deadline_ms, u64 trace_id, u8 flags, string script.
+  // (v2 omitted the trace fields; DecodeExecuteRequest branches on the
+  // frame's stamped version.)
   ByteWriter w;
   w.PutU32(req.deadline_ms);
+  w.PutU64(req.trace_id);
+  w.PutU8(req.trace_sampled ? 1 : 0);
   w.PutString(req.script);
   Frame f;
   f.type = FrameType::kExecuteRequest;
@@ -101,6 +116,12 @@ Result<ExecuteRequest> DecodeExecuteRequest(const Frame& frame) {
   ByteReader r(frame.payload);
   ExecuteRequest req;
   MDM_RETURN_IF_ERROR(r.GetU32(&req.deadline_ms));
+  if (frame.version >= 3) {
+    uint8_t flags = 0;
+    MDM_RETURN_IF_ERROR(r.GetU64(&req.trace_id));
+    MDM_RETURN_IF_ERROR(r.GetU8(&flags));
+    req.trace_sampled = (flags & 0x1) != 0;
+  }
   MDM_RETURN_IF_ERROR(r.GetString(&req.script));
   if (!r.AtEnd()) return Corruption("trailing bytes after ExecuteRequest");
   return req;
@@ -305,12 +326,10 @@ Result<Frame> ReadFrame(Transport* t, size_t max_frame_bytes, bool* fatal) {
   if (payload_len > kDiscardCeilingBytes)
     return Corruption("frame payload of " + std::to_string(payload_len) +
                       " bytes is beyond the discard ceiling");
-  if (version != kProtocolVersion) {
+  if (!VersionSupported(version)) {
     MDM_RETURN_IF_ERROR(DiscardFully(t, payload_len));
     *fatal = false;
-    return InvalidArgument("unsupported protocol version " +
-                           std::to_string(version) + " (this side speaks " +
-                           std::to_string(kProtocolVersion) + ")");
+    return InvalidArgument(UnsupportedVersionMessage(version));
   }
   if (payload_len > max_frame_bytes) {
     MDM_RETURN_IF_ERROR(DiscardFully(t, payload_len));
@@ -322,6 +341,7 @@ Result<Frame> ReadFrame(Transport* t, size_t max_frame_bytes, bool* fatal) {
   }
   Frame frame;
   frame.type = static_cast<FrameType>(type);
+  frame.version = version;
   frame.payload.resize(payload_len);
   if (payload_len > 0)
     MDM_RETURN_IF_ERROR(ReadFully(t, frame.payload.data(), payload_len,

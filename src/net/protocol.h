@@ -18,7 +18,7 @@ namespace mdm::net {
 /// Frame = 16-byte header + payload:
 ///
 ///   u32  magic        "MDMP" (0x504D444D little-endian)
-///   u8   version      kProtocolVersion
+///   u8   version      kMinProtocolVersion..kProtocolVersion
 ///   u8   type         FrameType
 ///   u16  reserved     0
 ///   u32  payload_len  bytes following the header
@@ -26,8 +26,17 @@ namespace mdm::net {
 ///
 /// All integers little-endian (the ByteWriter/ByteReader convention
 /// shared with the storage layer). Strings are varint-length-prefixed.
+///
+/// Version negotiation is per-frame and implicit: both sides accept the
+/// whole [kMinProtocolVersion, kProtocolVersion] range, decode each
+/// frame per its own stamped version, and the server mirrors a
+/// request's version onto its reply frames — so a v2 client talks to a
+/// v3 server without a handshake round.
 
-inline constexpr uint8_t kProtocolVersion = 2;
+inline constexpr uint8_t kProtocolVersion = 3;
+/// Oldest version this build still decodes (v2 added retry_after_ms on
+/// error frames; v3 added trace_id/sampling on ExecuteRequest).
+inline constexpr uint8_t kMinProtocolVersion = 2;
 inline constexpr uint32_t kFrameMagic = 0x504D444Du;  // "MDMP" on the wire
 inline constexpr size_t kFrameHeaderBytes = 16;
 /// Default cap on a single frame's payload. Oversized frames are
@@ -44,6 +53,10 @@ enum class FrameType : uint8_t {
 
 struct Frame {
   FrameType type = FrameType::kPing;
+  /// Stamped into the header by EncodeFrame; set from the header by
+  /// DecodeFrame/ReadFrame. The server copies a request's version onto
+  /// its replies so old clients keep decoding them.
+  uint8_t version = kProtocolVersion;
   std::vector<uint8_t> payload;
 };
 
@@ -61,9 +74,18 @@ Result<Frame> DecodeFrame(const uint8_t* data, size_t size,
 
 /// One Execute round: the client sends the script text (DDL or QUEL);
 /// `deadline_ms` bounds server-side execution (0 = server default).
+///
+/// v3 adds end-to-end trace context: a client-generated 8-byte
+/// `trace_id` (seeded PRNG, never wall-clock — see ClientOptions) plus
+/// a sampling flag. When `trace_sampled` is set the server records the
+/// request's span tree into its trace ring (obs/trace.h), retrievable
+/// as `GET /traces/<id>` from the admin endpoint. A v2 frame decodes
+/// with trace_id = 0 / unsampled.
 struct ExecuteRequest {
   std::string script;
   uint32_t deadline_ms = 0;
+  uint64_t trace_id = 0;
+  bool trace_sampled = false;
 };
 
 Frame EncodeExecuteRequest(const ExecuteRequest& req);

@@ -7,12 +7,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 
 #include "net/connection.h"
 #include "obs/span.h"
+#include "obs/trace.h"
 
 namespace mdm::net {
 
@@ -27,6 +29,28 @@ uint64_t ElapsedMs(std::chrono::steady_clock::time_point t0) {
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now() - t0)
           .count());
+}
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+/// Numeric "ip:port" of the connected peer, for /statusz attribution.
+std::string PeerString(int fd) {
+  struct sockaddr_storage ss = {};
+  socklen_t len = sizeof(ss);
+  if (::getpeername(fd, reinterpret_cast<struct sockaddr*>(&ss), &len) != 0)
+    return "?";
+  char host[NI_MAXHOST];
+  char serv[NI_MAXSERV];
+  if (::getnameinfo(reinterpret_cast<struct sockaddr*>(&ss), len, host,
+                    sizeof(host), serv, sizeof(serv),
+                    NI_NUMERICHOST | NI_NUMERICSERV) != 0)
+    return "?";
+  return std::string(host) + ":" + serv;
 }
 
 }  // namespace
@@ -110,8 +134,45 @@ Status Server::Start() {
           ntohs(reinterpret_cast<struct sockaddr_in6*>(&bound)->sin6_port);
     }
   }
+  started_at_ = std::chrono::steady_clock::now();
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::OK();
+}
+
+uint64_t Server::uptime_ms() const {
+  if (started_at_ == std::chrono::steady_clock::time_point{}) return 0;
+  return ElapsedMs(started_at_);
+}
+
+std::vector<ConnectionStatus> Server::ConnectionStatuses() const {
+  std::vector<std::pair<uint64_t, std::shared_ptr<ConnState>>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(states_mu_);
+    snapshot.assign(states_.begin(), states_.end());
+  }
+  std::vector<ConnectionStatus> out;
+  out.reserve(snapshot.size());
+  for (const auto& [id, state] : snapshot) {
+    ConnectionStatus cs;
+    cs.id = id;
+    cs.peer = state->peer;
+    cs.age_ms = ElapsedMs(state->connected_at);
+    cs.requests = state->requests.load(std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (!state->statement.empty()) {
+        cs.executing = true;
+        cs.statement = state->statement;
+        cs.statement_age_ms = ElapsedMs(state->stmt_start);
+      }
+    }
+    out.push_back(std::move(cs));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ConnectionStatus& a, const ConnectionStatus& b) {
+              return a.id < b.id;
+            });
+  return out;
 }
 
 void Server::Stop() {
@@ -206,9 +267,15 @@ void Server::ServeConnection(uint64_t id, int fd) {
   if (opts_.write_timeout_ms != 0)
     (void)t->SetSendTimeout(opts_.write_timeout_ms);
 
+  // The peer's protocol version, updated from each frame it sends; the
+  // server mirrors it onto replies so a v2 client decodes a v3
+  // server's answers (docs/PROTOCOL.md "Versioning").
+  uint8_t peer_version = kProtocolVersion;
+
   // Sends an error/pong/page frame, counting write timeouts; false
   // means the connection is unusable and the loop must exit.
-  auto send_frame = [&](const Frame& f) {
+  auto send_frame = [&](Frame f) {
+    f.version = peer_version;
     Status ws = WriteFrame(t.get(), f);
     if (ws.ok()) {
       // Counted only once the frame is actually on the wire — a write
@@ -216,15 +283,29 @@ void Server::ServeConnection(uint64_t id, int fd) {
       bytes_out_total_->Inc(kFrameHeaderBytes + f.payload.size());
       return true;
     }
-    if (ws.code() == StatusCode::kDeadlineExceeded)
+    if (ws.code() == StatusCode::kDeadlineExceeded) {
       write_timeouts_total_->Inc();
+      reaped_.fetch_add(1, std::memory_order_relaxed);
+    }
     return false;
   };
+
+  // Live status row for /statusz.
+  auto state = std::make_shared<ConnState>();
+  state->peer = PeerString(fd);
+  state->connected_at = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lock(states_mu_);
+    states_.emplace(id, state);
+  }
 
   // One QUEL session per connection: its parse cache and declared
   // ranges live as long as the client stays connected, mirroring an
   // in-process QuelSession per client thread.
   quel::QuelSession session(db_);
+  // Per-loop actuals cost two clock reads per loop entry; pay them
+  // only when a slow-query log wants the attribution.
+  if (opts_.slow_query_log != nullptr) session.set_collect_actuals(true);
   bool saw_frame = false;  // handshake allowance until the first frame
   auto last_activity = std::chrono::steady_clock::now();
   while (true) {
@@ -239,6 +320,7 @@ void Server::ServeConnection(uint64_t id, int fd) {
           saw_frame ? opts_.idle_timeout_ms : opts_.handshake_timeout_ms;
       if (allowance != 0 && ElapsedMs(last_activity) > allowance) {
         (saw_frame ? reaped_idle_total_ : handshake_timeouts_total_)->Inc();
+        reaped_.fetch_add(1, std::memory_order_relaxed);
         break;
       }
       continue;
@@ -256,8 +338,10 @@ void Server::ServeConnection(uint64_t id, int fd) {
       if (fatal) {
         // A recv-timeout here is a mid-frame stall: the header arrived
         // but the rest never did (slow-loris with a drip feed).
-        if (frame.status().code() == StatusCode::kDeadlineExceeded)
+        if (frame.status().code() == StatusCode::kDeadlineExceeded) {
           handshake_timeouts_total_->Inc();
+          reaped_.fetch_add(1, std::memory_order_relaxed);
+        }
         break;  // framing lost or peer gone: drop the link
       }
       // Framing intact: report the typed error and keep serving.
@@ -265,6 +349,7 @@ void Server::ServeConnection(uint64_t id, int fd) {
       continue;
     }
     saw_frame = true;
+    peer_version = frame->version;
     bytes_in_total_->Inc(kFrameHeaderBytes + frame->payload.size());
     if (frame->type == FrameType::kPing) {
       Frame pong;
@@ -298,37 +383,86 @@ void Server::ServeConnection(uint64_t id, int fd) {
       continue;
     }
 
-    obs::Span span("net.request", request_span_duration_,
-                   request_span_self_);
     Result<ExecuteRequest> req = DecodeExecuteRequest(*frame);
     Status finished = Status::OK();
     bool write_ok = true;
+    uint64_t rows_emitted = 0;
+    uint64_t rows_affected = 0;
     if (!req.ok()) {
       finished = req.status();
     } else {
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->statement = req->script.size() > 160
+                               ? req->script.substr(0, 160) + "..."
+                               : req->script;
+        state->stmt_start = std::chrono::steady_clock::now();
+      }
       uint32_t deadline_ms = req->deadline_ms != 0
                                  ? req->deadline_ms
                                  : opts_.default_deadline_ms;
-      Result<quel::ResultSet> rs = RunScript(db_, &session, req->script);
-      if (!rs.ok()) {
-        finished = rs.status();
-      } else if (deadline_ms != 0 && ElapsedMs(t0) > deadline_ms) {
-        finished = DeadlineExceeded(
-            "request exceeded its " + std::to_string(deadline_ms) +
-            "ms deadline after execution");
-      } else {
-        for (Frame& page :
-             EncodeResultSetPages(*rs, opts_.rows_per_page)) {
-          if (deadline_ms != 0 && ElapsedMs(t0) > deadline_ms) {
-            finished = DeadlineExceeded(
-                "request exceeded its " + std::to_string(deadline_ms) +
-                "ms deadline while streaming results");
-            break;
+      {
+        // Request-scoped tracing (wire protocol v3): every span closed
+        // on this thread until the end of this block — net.request,
+        // quel.statement, index probes, fsyncs — records into this
+        // request's buffer. The context publishes to the trace ring
+        // (GET /traces/<id>) when it leaves scope, after the span.
+        obs::TraceContext trace_ctx(
+            req->trace_id, req->trace_sampled && req->trace_id != 0);
+        obs::Span span("net.request", request_span_duration_,
+                       request_span_self_);
+        Result<quel::ResultSet> rs = RunScript(db_, &session, req->script);
+        if (!rs.ok()) {
+          finished = rs.status();
+        } else if (deadline_ms != 0 && ElapsedMs(t0) > deadline_ms) {
+          finished = DeadlineExceeded(
+              "request exceeded its " + std::to_string(deadline_ms) +
+              "ms deadline after execution");
+        } else {
+          rows_emitted = rs->rows.size();
+          rows_affected = rs->affected;
+          for (Frame& page :
+               EncodeResultSetPages(*rs, opts_.rows_per_page)) {
+            if (deadline_ms != 0 && ElapsedMs(t0) > deadline_ms) {
+              finished = DeadlineExceeded(
+                  "request exceeded its " + std::to_string(deadline_ms) +
+                  "ms deadline while streaming results");
+              break;
+            }
+            if (!send_frame(page)) {
+              write_ok = false;
+              break;
+            }
           }
-          if (!send_frame(page)) {
-            write_ok = false;
-            break;
-          }
+        }
+      }
+      state->requests.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->statement.clear();
+      }
+      // Structured slow-query log: one JSONL record per statement at
+      // least slow_query_ms slow, carrying the trace_id for /traces
+      // correlation and the per-loop actuals for why-is-it-slow.
+      if (opts_.slow_query_log != nullptr) {
+        // Take (and thereby clear) the actuals unconditionally so a
+        // fast statement's loops can never attach to a later slow one.
+        quel::StatementActuals actuals = session.TakeLastActuals();
+        uint64_t latency_us = ElapsedUs(t0);
+        if (latency_us / 1000 >= opts_.slow_query_ms) {
+          obs::SlowQueryRecord rec;
+          rec.script_hash = obs::Fnv1a64(req->script);
+          rec.script = req->script;
+          rec.trace_id = req->trace_id;
+          rec.sampled = req->trace_sampled && req->trace_id != 0;
+          rec.latency_us = latency_us;
+          rec.rows = rows_emitted;
+          rec.affected = rows_affected;
+          rec.error = ErrorCodeName(finished.error_code());
+          for (auto& loop : actuals.loops)
+            rec.loops.push_back(
+                {std::move(loop.var), loop.rows_in, loop.rows_out});
+          opts_.slow_query_log->Log(std::move(rec));
         }
       }
     }
@@ -344,6 +478,10 @@ void Server::ServeConnection(uint64_t id, int fd) {
   t->Close();
   active_.fetch_sub(1, std::memory_order_relaxed);
   active_connections_->Add(-1);
+  {
+    std::lock_guard<std::mutex> lock(states_mu_);
+    states_.erase(id);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   finished_.push_back(id);
 }

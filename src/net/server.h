@@ -2,6 +2,7 @@
 #define MDM_NET_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -16,6 +17,7 @@
 #include "net/protocol.h"
 #include "net/transport.h"
 #include "obs/metrics.h"
+#include "obs/slowlog.h"
 
 namespace mdm::net {
 
@@ -64,6 +66,27 @@ struct ServerOptions {
   uint32_t shed_retry_after_ms = 50;
   /// Wraps each accepted socket; null uses plain TcpTransport.
   ServerTransportFactory transport_factory;
+
+  // --- observability (docs/OBSERVABILITY.md) ---
+
+  /// Structured slow-query log sink; null disables slow-query logging.
+  /// Shared so mdmd and tests can read records_written() after Stop.
+  std::shared_ptr<obs::SlowQueryLog> slow_query_log;
+  /// Statements at least this slow are logged (requires a sink). 0 logs
+  /// every statement — useful for tests and short traffic captures.
+  uint32_t slow_query_ms = 0;
+};
+
+/// One row of /statusz's per-connection table: who is connected, for
+/// how long, and what (if anything) they are executing right now.
+struct ConnectionStatus {
+  uint64_t id = 0;
+  std::string peer;             // "ip:port" of the accepted socket
+  uint64_t age_ms = 0;          // since accept
+  uint64_t requests = 0;        // Execute requests answered so far
+  bool executing = false;
+  std::string statement;        // current script (excerpt), "" when idle
+  uint64_t statement_age_ms = 0;
 };
 
 /// mdmd: the multi-client TCP server putting one er::Database on a
@@ -122,8 +145,26 @@ class Server {
   uint64_t shed_requests() const {
     return shed_.load(std::memory_order_relaxed);
   }
+  /// Connections reaped by the self-protection timeouts (idle reaper +
+  /// handshake/write timeouts) since Start.
+  uint64_t reaped_connections() const {
+    return reaped_.load(std::memory_order_relaxed);
+  }
+  /// Milliseconds since Start (0 before Start).
+  uint64_t uptime_ms() const;
+  /// Snapshot of every live connection, for /statusz.
+  std::vector<ConnectionStatus> ConnectionStatuses() const;
 
  private:
+  struct ConnState {
+    std::string peer;
+    std::chrono::steady_clock::time_point connected_at;
+    std::atomic<uint64_t> requests{0};
+    mutable std::mutex mu;  // guards statement + stmt_start
+    std::string statement;  // non-empty while executing
+    std::chrono::steady_clock::time_point stmt_start;
+  };
+
   void AcceptLoop();
   void ServeConnection(uint64_t id, int fd);
   void ReapFinished();  // joins connection threads that have exited
@@ -141,10 +182,18 @@ class Server {
   std::vector<uint64_t> finished_;
   uint64_t next_conn_id_ = 0;
 
+  // Live-connection status registry for /statusz: the serving thread
+  // writes, the admin endpoint reads. Separate from mu_ so a statusz
+  // render never contends with thread reaping.
+  mutable std::mutex states_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<ConnState>> states_;
+
+  std::chrono::steady_clock::time_point started_at_{};
   std::atomic<size_t> active_{0};
   std::atomic<uint64_t> requests_{0};
   std::atomic<size_t> active_statements_{0};
   std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> reaped_{0};
 
   obs::Counter* requests_total_;
   obs::Counter* rejected_total_;

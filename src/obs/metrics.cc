@@ -1,10 +1,12 @@
 #include "obs/metrics.h"
 
+#include <algorithm>
 #include <bit>
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 namespace mdm::obs {
 
@@ -113,11 +115,36 @@ Histogram* Registry::GetHistogram(std::string_view name,
 
 std::string Registry::RenderPrometheusText() const {
   std::lock_guard<std::mutex> lock(mu_);
+  // Group series by family *base*, not by full registered name: the
+  // map's full-name order would split a family whenever another name
+  // sorts between its unlabeled series ("fam") and a labeled one
+  // ("fam{...}", and '_' < '{' puts "fam_other" in between), emitting
+  // duplicate HELP/TYPE headers — invalid exposition text. Sort by
+  // (base, labels) instead so every family renders contiguously.
+  struct Row {
+    std::string base;
+    std::string labels;
+    const Entry* entry;
+  };
+  std::vector<Row> rows;
+  rows.reserve(metrics_.size());
+  for (const auto& [name, e] : metrics_) {
+    Row row;
+    SplitName(name, &row.base, &row.labels);
+    row.entry = &e;
+    rows.push_back(std::move(row));
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const Row& a, const Row& b) {
+                     if (a.base != b.base) return a.base < b.base;
+                     return a.labels < b.labels;
+                   });
   std::string out;
   std::string last_family;
-  for (const auto& [name, e] : metrics_) {
-    std::string base, labels;
-    SplitName(name, &base, &labels);
+  for (const Row& row : rows) {
+    const std::string& base = row.base;
+    const std::string& labels = row.labels;
+    const Entry& e = *row.entry;
     if (base != last_family) {
       last_family = base;
       if (!e.help.empty())
@@ -243,5 +270,35 @@ std::string RenderPrometheusText() {
 }
 
 std::string RenderJson() { return Registry::Global()->RenderJson(); }
+
+double HistogramPercentile(const Histogram& h, double q) {
+  const uint64_t count = h.count();
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // The rank of the q-th observation, 1-based; q=0 means the first.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < Histogram::kFiniteBuckets; ++i) {
+    uint64_t n = h.bucket_count(i);
+    if (n == 0) continue;
+    if (cumulative + n >= rank) {
+      // Linear interpolation inside bucket (lo, hi]: the k-th of its n
+      // observations sits at lo + (k/n)·(hi − lo).
+      double lo = i == 0 ? 0.0
+                         : static_cast<double>(
+                               Histogram::BucketUpperBound(i - 1));
+      double hi = static_cast<double>(Histogram::BucketUpperBound(i));
+      double k = static_cast<double>(rank - cumulative);
+      return lo + (hi - lo) * (k / static_cast<double>(n));
+    }
+    cumulative += n;
+  }
+  // The rank lands in +Inf: saturate at the last finite bound.
+  return static_cast<double>(
+      Histogram::BucketUpperBound(Histogram::kFiniteBuckets - 1));
+}
 
 }  // namespace mdm::obs

@@ -143,6 +143,15 @@ class Registry {
 std::string RenderPrometheusText();
 std::string RenderJson();
 
+/// Estimated quantile of a log2-bucket histogram: finds the bucket
+/// holding the q-th observation (q in [0, 1]) and interpolates linearly
+/// between its bounds. The log2 buckets make this a ~2×-accurate
+/// estimate — plenty for p50/p90/p99 dashboards, and cheap enough for
+/// the /statusz endpoint and the benches to recompute per render.
+/// Returns 0 for an empty histogram; observations past the last finite
+/// bound (the +Inf bucket) report as that bound.
+double HistogramPercentile(const Histogram& h, double q);
+
 }  // namespace mdm::obs
 
 #endif  // MDM_OBS_METRICS_H_

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "obs/trace.h"
+
 namespace mdm::obs {
 
 namespace {
@@ -35,6 +37,11 @@ Span::~Span() {
   duration_->Observe(total);
   self_ns_->Inc(total >= child_ns_ ? total - child_ns_ : 0);
   if (parent_ != nullptr) parent_->child_ns_ += total;
+  // Request-scoped tracing (obs/trace.h): when the thread is serving a
+  // sampled request, the span also lands in that request's trace
+  // buffer. One thread-local read when no context is installed.
+  if (TraceContext* ctx = TraceContext::Current())
+    ctx->Record(name_, start_, total, g_depth);
   g_current = parent_;
   --g_depth;
 }

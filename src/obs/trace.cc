@@ -1,0 +1,157 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace mdm::obs {
+
+namespace {
+
+thread_local TraceContext* g_trace_context = nullptr;
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  *out += buf;
+}
+
+}  // namespace
+
+TraceContext::TraceContext(uint64_t trace_id, bool sampled)
+    : trace_id_(trace_id),
+      sampled_(sampled),
+      t0_(std::chrono::steady_clock::now()),
+      prev_(g_trace_context) {
+  if (sampled_) events_.reserve(16);
+  g_trace_context = this;
+}
+
+TraceContext::~TraceContext() {
+  g_trace_context = prev_;
+  if (!sampled_) return;
+  Trace t;
+  t.trace_id = trace_id_;
+  t.events = std::move(events_);
+  t.truncated = truncated_;
+  TraceRing::Global()->Publish(std::move(t));
+}
+
+TraceContext* TraceContext::Current() { return g_trace_context; }
+
+void TraceContext::Record(const char* name,
+                          std::chrono::steady_clock::time_point start,
+                          uint64_t dur_ns, int depth) {
+  if (!sampled_) return;
+  if (events_.size() >= kMaxEventsPerTrace) {
+    truncated_ = true;
+    return;
+  }
+  TraceEvent e;
+  e.name = name;
+  // A span opened before the context was installed (possible only under
+  // misuse) clamps to offset 0 rather than wrapping.
+  e.start_ns = start >= t0_
+                   ? static_cast<uint64_t>(
+                         std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             start - t0_)
+                             .count())
+                   : 0;
+  e.dur_ns = dur_ns;
+  e.depth = depth;
+  events_.push_back(e);
+}
+
+TraceRing* TraceRing::Global() {
+  static TraceRing* g = new TraceRing();  // never destroyed, like the
+  return g;                               // metrics registry
+}
+
+void TraceRing::Publish(Trace trace) {
+  auto t = std::make_shared<const Trace>(std::move(trace));
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_front(std::move(t));
+  while (ring_.size() > capacity_) ring_.pop_back();
+}
+
+std::shared_ptr<const Trace> TraceRing::Find(uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& t : ring_)
+    if (t->trace_id == trace_id) return t;
+  return nullptr;
+}
+
+std::shared_ptr<const Trace> TraceRing::Latest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.empty() ? nullptr : ring_.front();
+}
+
+std::vector<uint64_t> TraceRing::RecentIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> ids;
+  ids.reserve(ring_.size());
+  for (const auto& t : ring_) ids.push_back(t->trace_id);
+  return ids;
+}
+
+size_t TraceRing::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+void TraceRing::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+}
+
+std::string RenderTraceEventJson(const Trace& trace) {
+  // Timestamps are microseconds in the trace_event format; emit
+  // fractional microseconds so nanosecond spans stay distinguishable.
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"otherData\":{";
+  out += "\"trace_id\":\"" + FormatTraceId(trace.trace_id) + "\",";
+  out += std::string("\"truncated\":") +
+         (trace.truncated ? "true" : "false") + "},\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : trace.events) {
+    if (!first) out += ",";
+    first = false;
+    AppendF(&out,
+            "{\"name\":\"%s\",\"cat\":\"mdm\",\"ph\":\"X\","
+            "\"ts\":%" PRIu64 ".%03" PRIu64 ",\"dur\":%" PRIu64
+            ".%03" PRIu64 ",\"pid\":1,\"tid\":1,\"args\":{\"depth\":%d}}",
+            e.name, e.start_ns / 1000, e.start_ns % 1000, e.dur_ns / 1000,
+            e.dur_ns % 1000, e.depth);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string FormatTraceId(uint64_t trace_id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, trace_id);
+  return buf;
+}
+
+bool ParseTraceId(const std::string& text, uint64_t* out) {
+  size_t i = 0;
+  if (text.size() >= 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X'))
+    i = 2;
+  if (i == text.size() || text.size() - i > 16) return false;
+  uint64_t v = 0;
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    else return false;
+    v = (v << 4) | static_cast<uint64_t>(digit);
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace mdm::obs

@@ -1,0 +1,132 @@
+#ifndef MDM_OBS_TRACE_H_
+#define MDM_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mdm::obs {
+
+/// Request-scoped tracing (PR 8): while aggregate metrics (metrics.h)
+/// answer "how is the process doing", a trace answers "where did THIS
+/// request spend its time". A client stamps every ExecuteRequest with a
+/// seeded 8-byte trace_id + sampling flag (wire protocol v3); the
+/// server installs a TraceContext for the request's lifetime, and every
+/// obs::Span that closes under it (net.request → quel.statement →
+/// quel.index_probe → storage.fsync ...) appends one event to the
+/// per-trace buffer. Completed sampled traces land in a bounded
+/// in-memory ring and are exported as Chrome trace_event JSON
+/// (chrome://tracing / Perfetto) via `GET /traces/<id>` on the mdmd
+/// admin endpoint (net/admin.h).
+
+/// One closed span inside a trace. `name` is the span's literal name
+/// (spans require their name to outlive them, so storing the pointer is
+/// safe). Times are relative to the owning TraceContext's start.
+struct TraceEvent {
+  const char* name = "";
+  uint64_t start_ns = 0;  // offset from the trace's start
+  uint64_t dur_ns = 0;    // inclusive duration
+  int depth = 0;          // span nesting depth at close (1 = outermost)
+};
+
+/// A completed request's span buffer.
+struct Trace {
+  uint64_t trace_id = 0;
+  std::vector<TraceEvent> events;  // in span-close order (children first)
+  /// Set when the request closed more spans than kMaxEventsPerTrace;
+  /// the surplus was dropped, not sampled.
+  bool truncated = false;
+};
+
+/// RAII scope installing a per-request trace buffer as the calling
+/// thread's current context. Construction pushes (contexts nest, the
+/// innermost wins — the server uses exactly one per request);
+/// destruction pops and, when sampled, publishes the collected events
+/// to TraceRing::Global().
+///
+/// Not thread-safe and deliberately thread-local: a request is served
+/// by one connection thread, the same contract as obs::Span. Spans on
+/// other threads (background flushers etc.) do not record into it.
+class TraceContext {
+ public:
+  /// Bounds one trace's buffer so a pathological statement cannot hold
+  /// unbounded memory; past it, events are dropped and `truncated` set.
+  static constexpr size_t kMaxEventsPerTrace = 512;
+
+  TraceContext(uint64_t trace_id, bool sampled);
+  ~TraceContext();
+
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+  /// The calling thread's innermost context, or nullptr.
+  static TraceContext* Current();
+
+  uint64_t trace_id() const { return trace_id_; }
+  bool sampled() const { return sampled_; }
+
+  /// Appends one closed span. No-op when not sampled, so an installed
+  /// but unsampled context costs one branch per span close.
+  void Record(const char* name, std::chrono::steady_clock::time_point start,
+              uint64_t dur_ns, int depth);
+
+ private:
+  uint64_t trace_id_;
+  bool sampled_;
+  std::chrono::steady_clock::time_point t0_;
+  std::vector<TraceEvent> events_;
+  bool truncated_ = false;
+  TraceContext* prev_;
+};
+
+/// Bounded ring of recently completed sampled traces, newest evicting
+/// oldest. Lookups return shared_ptr snapshots so an export can render
+/// while new traces keep landing.
+class TraceRing {
+ public:
+  static constexpr size_t kDefaultCapacity = 64;
+
+  static TraceRing* Global();
+
+  explicit TraceRing(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  void Publish(Trace trace);
+  /// The trace with this id, or nullptr. When an id was published more
+  /// than once (a client reusing ids), the newest wins.
+  std::shared_ptr<const Trace> Find(uint64_t trace_id) const;
+  /// The most recently published trace, or nullptr.
+  std::shared_ptr<const Trace> Latest() const;
+  /// Ids currently held, newest first.
+  std::vector<uint64_t> RecentIds() const;
+  size_t size() const;
+  void Clear();  // tests
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<std::shared_ptr<const Trace>> ring_;  // front = newest
+};
+
+/// Renders a trace as Chrome trace_event JSON — load the body in
+/// chrome://tracing or https://ui.perfetto.dev. Events are complete
+/// ("ph":"X") slices on one pid/tid; nesting is reconstructed by the
+/// viewer from ts/dur. Deterministic byte-for-byte for a given Trace.
+std::string RenderTraceEventJson(const Trace& trace);
+
+/// Formats a trace id the way URLs and logs carry it: 16 lowercase hex
+/// digits, zero-padded. ParseTraceId accepts exactly that form (with an
+/// optional 0x prefix); returns false on malformed input.
+std::string FormatTraceId(uint64_t trace_id);
+bool ParseTraceId(const std::string& text, uint64_t* out);
+
+}  // namespace mdm::obs
+
+#endif  // MDM_OBS_TRACE_H_

@@ -573,22 +573,33 @@ Result<ResultSet> QuelSession::Run(const std::string& script, bool pushdown) {
   return last;
 }
 
-// Defined out of line to keep Run readable.
+// Defined out of line to keep Run readable. `actuals_out`, when
+// non-null, receives the per-loop actual row counts even outside
+// `explain analyze` (the slow-query-log path).
 Result<ResultSet> RunQueryImpl(Database* db,
                                const std::map<std::string, std::string>&
                                    session_ranges,
                                const Statement& stmt, bool pushdown,
-                               ExecCounters* stats);
+                               ExecCounters* stats,
+                               StatementActuals* actuals_out);
 
 Result<ResultSet> QuelSession::RunQuery(
     const Statement& stmt, bool pushdown,
     const std::map<std::string, std::string>& ranges) {
-  return RunQueryImpl(db_, ranges, stmt, pushdown, &stats_);
+  if (!collect_actuals())
+    return RunQueryImpl(db_, ranges, stmt, pushdown, &stats_, nullptr);
+  StatementActuals actuals;
+  Result<ResultSet> rs =
+      RunQueryImpl(db_, ranges, stmt, pushdown, &stats_, &actuals);
+  std::lock_guard<std::mutex> lock(mu_);
+  last_actuals_ = std::move(actuals);
+  return rs;
 }
 
 Result<ResultSet> RunQueryImpl(
     Database* db, const std::map<std::string, std::string>& session_ranges,
-    const Statement& stmt, bool pushdown, ExecCounters* stats) {
+    const Statement& stmt, bool pushdown, ExecCounters* stats,
+    StatementActuals* actuals_out) {
   const bool analyze = stmt.explain && stmt.analyze;
   std::chrono::steady_clock::time_point analyze_start;
   if (analyze) analyze_start = std::chrono::steady_clock::now();
@@ -600,8 +611,9 @@ Result<ResultSet> RunQueryImpl(
     rs.explain = ExplainPlan(*db, stmt, plan);
     return rs;
   }
+  const bool collect = analyze || actuals_out != nullptr;
   AnalyzeStats actual;
-  if (analyze) actual.Resize(plan.vars.size() + 1);
+  if (collect) actual.Resize(plan.vars.size() + 1);
 
   ResultSet rs;
   bool has_agg = false;
@@ -641,7 +653,7 @@ Result<ResultSet> RunQueryImpl(
       replacements;
   std::set<EntityId> deletions;
 
-  NestedLoopJoin join(db, &plan, stats, analyze ? &actual : nullptr);
+  NestedLoopJoin join(db, &plan, stats, collect ? &actual : nullptr);
   MDM_RETURN_IF_ERROR(join.Run([&](const std::map<std::string, Binding>&
                                        bindings) -> Status {
     Evaluator eval(db, &bindings, &plan.order_handles);
@@ -715,6 +727,21 @@ Result<ResultSet> RunQueryImpl(
         return Internal("unexpected statement kind in query runner");
     }
   }));
+
+  if (actuals_out != nullptr) {
+    // Depth k >= 1 is entered once per binding enumerated by loop k
+    // (planner.h AnalyzeStats), so loop i's in/out counts live at
+    // depth i+1.
+    actuals_out->loops.clear();
+    actuals_out->loops.reserve(plan.vars.size());
+    for (size_t i = 0; i < plan.vars.size(); ++i) {
+      StatementActuals::Loop loop;
+      loop.var = plan.vars[i].name;
+      loop.rows_in = actual.calls[i + 1];
+      loop.rows_out = actual.passed[i + 1];
+      actuals_out->loops.push_back(std::move(loop));
+    }
+  }
 
   if (stmt.kind == Statement::Kind::kRetrieve && stmt.unique) {
     // `retrieve unique`: drop duplicate rows, preserving first-seen

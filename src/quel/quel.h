@@ -140,6 +140,21 @@ struct ExecCounters {
   }
 };
 
+/// Per-loop actual row counts of the last executed query statement,
+/// outermost loop first — the same numbers `explain analyze` renders,
+/// collected without the explain wrapper when the session's
+/// collect-actuals knob is on. The mdmd slow-query log attaches these
+/// so a slow join shows which loop exploded (docs/OBSERVABILITY.md).
+struct StatementActuals {
+  struct Loop {
+    std::string var;       // planned range variable (lowercased)
+    uint64_t rows_in = 0;  // bindings the loop enumerated
+    uint64_t rows_out = 0; // bindings surviving its pushed-down filters
+  };
+  std::vector<Loop> loops;
+  bool empty() const { return loops.empty(); }
+};
+
 /// A QUEL session against one MDM database.
 ///
 /// Implements the QUEL subset used in the paper plus the §5.6
@@ -226,17 +241,44 @@ class QuelSession {
     parse_cache_.clear();
   }
 
+  /// When on, every query statement records its per-loop actual row
+  /// counts (the `explain analyze` collector, minus the timing render)
+  /// readable via TakeLastActuals. Costs two clock reads per loop
+  /// level entry, so it is off by default and enabled by mdmd only
+  /// when a slow-query log is configured.
+  void set_collect_actuals(bool on) {
+    collect_actuals_.store(on, std::memory_order_relaxed);
+  }
+  bool collect_actuals() const {
+    return collect_actuals_.load(std::memory_order_relaxed);
+  }
+
+  /// Returns and clears the actuals of the most recent query statement
+  /// (take-semantics so a later DDL or parse error cannot leak a stale
+  /// attribution into the next slow-query record). Empty when the last
+  /// statement ran no query loop (range/append/DDL) or collection is
+  /// off.
+  StatementActuals TakeLastActuals() {
+    std::lock_guard<std::mutex> lock(mu_);
+    StatementActuals out = std::move(last_actuals_);
+    last_actuals_ = StatementActuals{};
+    return out;
+  }
+
  private:
   Result<ResultSet> Run(const std::string& script, bool pushdown);
   Result<ResultSet> RunQuery(const Statement& stmt, bool pushdown,
                              const std::map<std::string, std::string>& ranges);
 
   er::Database* db_;
-  // mu_ guards ranges_ and parse_cache_ (session-local state); the
-  // database itself is guarded by its own latch, taken per statement.
+  // mu_ guards ranges_, parse_cache_ and last_actuals_ (session-local
+  // state); the database itself is guarded by its own latch, taken per
+  // statement.
   mutable std::mutex mu_;
   std::map<std::string, std::string> ranges_;
   ExecCounters stats_;
+  std::atomic<bool> collect_actuals_{false};
+  StatementActuals last_actuals_;
   // Statement cache keyed by script text. Statements are immutable once
   // parsed; the shared_ptr keeps a script alive while it executes even
   // if the cache is cleared mid-run.

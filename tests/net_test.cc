@@ -92,15 +92,52 @@ TEST(ProtocolGoldenTest, ExecuteRequestFrame) {
   net::ExecuteRequest req;
   req.script = "retrieve (NOTE.name)";
   req.deadline_ms = 250;
+  // v3 layout: deadline_ms u32 | trace_id u64 | flags u8 | script.
   EXPECT_EQ(Hex(net::EncodeFrame(net::EncodeExecuteRequest(req))),
-            "4d444d500201000019000000312b51a4fa000000147265747269657665"
-            "20284e4f54452e6e616d6529");
+            "4d444d5003010000220000002b9518f6fa0000000000000000000000"
+            "0014726574726965766520284e4f54452e6e616d6529");
+}
+
+TEST(ProtocolGoldenTest, ExecuteRequestFrameWithTrace) {
+  net::ExecuteRequest req;
+  req.script = "retrieve (NOTE.name)";
+  req.deadline_ms = 250;
+  req.trace_id = 0x1122334455667788ull;
+  req.trace_sampled = true;
+  EXPECT_EQ(Hex(net::EncodeFrame(net::EncodeExecuteRequest(req))),
+            "4d444d500301000022000000474f2a1ffa000000887766554433221101"
+            "14726574726965766520284e4f54452e6e616d6529");
+}
+
+// The previous protocol revision's bytes (the PR 6 golden) must keep
+// decoding: a v2 client talking to a v3 server sends exactly these.
+TEST(ProtocolGoldenTest, V2ExecuteRequestStillDecodes) {
+  const char kV2Hex[] =
+      "4d444d500201000019000000312b51a4fa000000147265747269657665"
+      "20284e4f54452e6e616d6529";
+  std::vector<uint8_t> bytes;
+  for (size_t i = 0; kV2Hex[i] != '\0'; i += 2) {
+    auto nibble = [](char c) {
+      return static_cast<uint8_t>(c <= '9' ? c - '0' : c - 'a' + 10);
+    };
+    bytes.push_back(
+        static_cast<uint8_t>(nibble(kV2Hex[i]) << 4 | nibble(kV2Hex[i + 1])));
+  }
+  auto frame = net::DecodeFrame(bytes.data(), bytes.size());
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->version, 2);
+  auto req = net::DecodeExecuteRequest(*frame);
+  ASSERT_TRUE(req.ok()) << req.status().ToString();
+  EXPECT_EQ(req->script, "retrieve (NOTE.name)");
+  EXPECT_EQ(req->deadline_ms, 250u);
+  EXPECT_EQ(req->trace_id, 0u);  // v2 carries no trace context
+  EXPECT_FALSE(req->trace_sampled);
 }
 
 TEST(ProtocolGoldenTest, ErrorFrame) {
   EXPECT_EQ(Hex(net::EncodeFrame(net::EncodeErrorFrame(
                 NotFound("no entity type named FOO")))),
-            "4d444d50020300001f0000002979de74010200000000186e6f20656e74"
+            "4d444d50030300001f0000002979de74010200000000186e6f20656e74"
             "6974792074797065206e616d656420464f4f");
 }
 
@@ -114,11 +151,11 @@ TEST(ProtocolGoldenTest, ResultPageFrames) {
   auto pages = net::EncodeResultSetPages(rs, 2);
   ASSERT_EQ(pages.size(), 2u);
   EXPECT_EQ(Hex(net::EncodeFrame(pages[0])),
-            "4d444d50020200002f0000009680e84c0102066e2e6e616d65076e2e70"
+            "4d444d50030200002f0000009680e84c0102066e2e6e616d65076e2e70"
             "6974636800020202070000000000000004024734020209000000000000"
             "0004024234");
   EXPECT_EQ(Hex(net::EncodeFrame(pages[1])),
-            "4d444d500202000015000000a5e6e7d5020102000611000000000000"
+            "4d444d500302000015000000a5e6e7d5020102000611000000000000"
             "000300000000000000");
 }
 
@@ -405,8 +442,13 @@ TEST_F(NetServerTest, FourConcurrentClientsExactCounts) {
   // The server counts a request after writing its reply, so the last
   // increment can trail the client's read by a moment; it can settle at
   // exactly kClients * kRequests and never beyond.
+  // Likewise a connection thread notices the client's close (EOF) only
+  // at its next poll wakeup, so active_connections drains to 0 shortly
+  // after the last join rather than synchronously with it.
   const auto want = static_cast<uint64_t>(kClients * kRequests);
-  for (int i = 0; i < 100 && server_->requests_served() < want; ++i)
+  for (int i = 0; i < 100 && (server_->requests_served() < want ||
+                              server_->active_connections() > 0);
+       ++i)
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   EXPECT_EQ(server_->requests_served(), want);
   EXPECT_EQ(server_->active_connections(), 0u);  // all clients closed

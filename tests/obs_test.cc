@@ -155,6 +155,26 @@ TEST(RegistryTest, LabelledSeriesShareOneFamilyHeader) {
             "mdm_multi_total{kind=\"b\"} 2\n");
 }
 
+TEST(RegistryTest, FamiliesStayContiguousWhenLabeledSeriesInterleave) {
+  // Registry iteration is by FULL name, and '_' (0x5f) sorts before
+  // '{' (0x7b) — so "mdm_fam_other" falls lexicographically between
+  // "mdm_fam" and "mdm_fam{...}". The renderer must group by (base
+  // name, labels), not full-name order, or the mdm_fam family is split
+  // in two and Prometheus rejects the duplicate HELP/TYPE headers.
+  Registry reg;
+  reg.GetCounter("mdm_fam", "Fam")->Inc(1);
+  reg.GetCounter("mdm_fam_other", "Other")->Inc(2);
+  reg.GetCounter("mdm_fam{kind=\"z\"}", "Fam")->Inc(3);
+  EXPECT_EQ(reg.RenderPrometheusText(),
+            "# HELP mdm_fam Fam\n"
+            "# TYPE mdm_fam counter\n"
+            "mdm_fam 1\n"
+            "mdm_fam{kind=\"z\"} 3\n"
+            "# HELP mdm_fam_other Other\n"
+            "# TYPE mdm_fam_other counter\n"
+            "mdm_fam_other 2\n");
+}
+
 TEST(RegistryTest, CounterValuesSnapshotsMonotonicSeries) {
   Registry reg;
   reg.GetCounter("mdm_c_total")->Inc(5);
@@ -176,6 +196,68 @@ TEST(RegistryTest, ResetAllKeepsPointersValid) {
   reg.ResetAllForTest();
   EXPECT_EQ(c->value(), 0u);
   EXPECT_EQ(reg.GetCounter("mdm_r_total"), c);
+}
+
+// ----------------------------------------------------------------------
+// HistogramPercentile: the log2-bucket quantile estimate behind
+// /statusz and the benches.
+// ----------------------------------------------------------------------
+
+TEST(HistogramPercentileTest, EmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_EQ(HistogramPercentile(h, 0.5), 0.0);
+  EXPECT_EQ(HistogramPercentile(h, 0.99), 0.0);
+}
+
+TEST(HistogramPercentileTest, SingleBucketInterpolatesLinearly) {
+  Histogram h;
+  // Four observations, all in bucket (4, 8] (index 3).
+  for (int i = 0; i < 4; ++i) h.Observe(6);
+  // The k-th of n=4 observations sits at lo + (k/4)(hi-lo), lo=4 hi=8.
+  EXPECT_DOUBLE_EQ(HistogramPercentile(h, 0.25), 5.0);   // rank 1
+  EXPECT_DOUBLE_EQ(HistogramPercentile(h, 0.50), 6.0);   // rank 2
+  EXPECT_DOUBLE_EQ(HistogramPercentile(h, 1.00), 8.0);   // rank 4
+  // Out-of-range q clamps.
+  EXPECT_DOUBLE_EQ(HistogramPercentile(h, -1.0), 5.0);
+  EXPECT_DOUBLE_EQ(HistogramPercentile(h, 2.0), 8.0);
+}
+
+TEST(HistogramPercentileTest, WalksAcrossBuckets) {
+  Histogram h;
+  h.Observe(1);    // bucket 0: (0, 1]
+  h.Observe(2);    // bucket 1: (1, 2]
+  h.Observe(100);  // bucket 7: (64, 128]
+  h.Observe(100);
+  // rank(0.5 * 4) = 2 -> the single observation filling bucket 1.
+  EXPECT_DOUBLE_EQ(HistogramPercentile(h, 0.5), 2.0);
+  // rank 4 -> second of two in (64, 128].
+  EXPECT_DOUBLE_EQ(HistogramPercentile(h, 1.0), 128.0);
+  // rank 3 -> first of two in (64, 128]: 64 + 32.
+  EXPECT_DOUBLE_EQ(HistogramPercentile(h, 0.75), 96.0);
+}
+
+TEST(HistogramPercentileTest, OverflowSaturatesAtLastFiniteBound) {
+  Histogram h;
+  h.Observe(1);
+  h.Observe(5'000'000'000);  // +Inf bucket
+  EXPECT_DOUBLE_EQ(
+      HistogramPercentile(h, 1.0),
+      static_cast<double>(
+          Histogram::BucketUpperBound(Histogram::kFiniteBuckets - 1)));
+}
+
+TEST(HistogramPercentileTest, EstimateIsWithinOneBucketOfTruth) {
+  // 1000 uniform observations in [1, 1000]: p50 true value 500 lies in
+  // (256, 512], p99's 990 in (512, 1024] — the estimate must land in
+  // the same bucket as the exact answer (the documented ~2x accuracy).
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Observe(v);
+  double p50 = HistogramPercentile(h, 0.50);
+  EXPECT_GT(p50, 256.0);
+  EXPECT_LE(p50, 512.0);
+  double p99 = HistogramPercentile(h, 0.99);
+  EXPECT_GT(p99, 512.0);
+  EXPECT_LE(p99, 1024.0);
 }
 
 // ----------------------------------------------------------------------
