@@ -65,6 +65,7 @@ BENCHMARK(BM_PrivateStores)->Arg(1)->Arg(4)->Arg(16);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool smoke = mdm::bench::ConsumeSmokeFlag(&argc, argv);
   mdm::bench::PrintHeader(
       "Fig 1 — the MDM and its clients",
       "block diagram: editors/typesetters, compositional tools, score "
@@ -74,6 +75,7 @@ int main(int argc, char** argv) {
       "re-import per client. Expect shared cost to grow slower with N\n"
       "and the gap to widen as clients are added.\n\n");
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!smoke) benchmark::RunSpecifiedBenchmarks();
+  mdm::bench::PrintSmokeJson("fig01_mdm_clients", smoke);
   return 0;
 }

@@ -76,6 +76,7 @@ BENCHMARK(BM_IncipitSearch)->Arg(10)->Arg(100)->Arg(1000);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool smoke = mdm::bench::ConsumeSmokeFlag(&argc, argv);
   mdm::bench::PrintHeader("Fig 2 — thematic index entry",
                           "the BWV 578 entry: thematic incipit plus "
                           "Besetzung/EZ/Takte/Abschriften/Ausgaben/"
@@ -86,6 +87,7 @@ int main(int argc, char** argv) {
   auto text = mdm::biblio::FormatEntry(db, *entry);
   std::printf("%s\n", text->c_str());
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!smoke) benchmark::RunSpecifiedBenchmarks();
+  mdm::bench::PrintSmokeJson("fig02_thematic_index", smoke);
   return 0;
 }

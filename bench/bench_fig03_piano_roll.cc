@@ -45,6 +45,7 @@ BENCHMARK(BM_SvgPianoRoll)->Arg(4)->Arg(32)->Arg(256);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool smoke = mdm::bench::ConsumeSmokeFlag(&argc, argv);
   mdm::bench::PrintHeader(
       "Fig 3 — piano roll of the BWV 578 fugue opening",
       "time rightward, pitch upward, black rectangles per note; the "
@@ -65,6 +66,7 @@ int main(int argc, char** argv) {
   std::printf("%s\n",
               mdm::notation::AsciiPianoRoll(*notes, options).c_str());
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!smoke) benchmark::RunSpecifiedBenchmarks();
+  mdm::bench::PrintSmokeJson("fig03_piano_roll", smoke);
   return 0;
 }

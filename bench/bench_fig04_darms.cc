@@ -70,6 +70,7 @@ BENCHMARK(BM_ImportToCmn)->Arg(8)->Arg(64)->Arg(512);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool smoke = mdm::bench::ConsumeSmokeFlag(&argc, argv);
   mdm::bench::PrintHeader(
       "Fig 4 — DARMS encoding of a fragment of music",
       "fig 4(b)'s encoding with instrument, clef, key signature, "
@@ -102,6 +103,7 @@ int main(int argc, char** argv) {
     std::printf("  %-10s| %s\n", row[0], row[1]);
   std::printf("\n");
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!smoke) benchmark::RunSpecifiedBenchmarks();
+  mdm::bench::PrintSmokeJson("fig04_darms", smoke);
   return 0;
 }

@@ -98,6 +98,7 @@ BENCHMARK(BM_RelationshipScan)->Arg(10)->Arg(100)->Arg(1000);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool smoke = mdm::bench::ConsumeSmokeFlag(&argc, argv);
   mdm::bench::PrintHeader(
       "Fig 5 — an entity-relationship graph",
       "PERSON --m:n COMPOSER--> COMPOSITION, with the implicit 1:n "
@@ -106,6 +107,7 @@ int main(int argc, char** argv) {
   std::printf("schema as DDL (deparsed from the catalog):\n%s\n",
               mdm::ddl::SchemaToDdl(db.schema()).c_str());
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!smoke) benchmark::RunSpecifiedBenchmarks();
+  mdm::bench::PrintSmokeJson("fig05_er_graph", smoke);
   return 0;
 }

@@ -97,6 +97,7 @@ BENCHMARK(BM_AblationLinkedListNth)->Arg(4)->Arg(64)->Arg(1024);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool smoke = mdm::bench::ConsumeSmokeFlag(&argc, argv);
   mdm::bench::PrintHeader(
       "Fig 6 — a simple instance graph",
       "parent y with ordered children u,v,w,x; S-edges between siblings, "
@@ -113,6 +114,7 @@ int main(int argc, char** argv) {
   std::printf("the third child of the parent is entity #%llu\n\n",
               (unsigned long long)*third);
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!smoke) benchmark::RunSpecifiedBenchmarks();
+  mdm::bench::PrintSmokeJson("fig06_instance_graph", smoke);
   return 0;
 }

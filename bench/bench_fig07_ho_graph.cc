@@ -72,6 +72,7 @@ BENCHMARK(BM_OrderingsWithChild)->Arg(4)->Arg(32)->Arg(256);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool smoke = mdm::bench::ConsumeSmokeFlag(&argc, argv);
   mdm::bench::PrintHeader(
       "Fig 7 — a hierarchical ordering graph",
       "schema-level box diagram: CHORD -> NOTE under the ordering "
@@ -79,6 +80,7 @@ int main(int argc, char** argv) {
   Database db = mdm::bench::MakeChordDb(0, 0);
   std::printf("%s\n", db.HoGraphDot().c_str());
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!smoke) benchmark::RunSpecifiedBenchmarks();
+  mdm::bench::PrintSmokeJson("fig07_ho_graph", smoke);
   return 0;
 }

@@ -117,6 +117,7 @@ BENCHMARK(BM_CycleRejection)->Arg(4)->Arg(32)->Arg(256);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool smoke = mdm::bench::ConsumeSmokeFlag(&argc, argv);
   mdm::bench::PrintHeader(
       "Fig 8 — recursive ordering: beam groups",
       "(a) HO graph with the recursive edge, (b) beamed notation with "
@@ -146,6 +147,7 @@ int main(int argc, char** argv) {
   auto dot = db.InstanceGraphDot("beams", g1, "label");
   std::printf("%s\n", dot->c_str());
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!smoke) benchmark::RunSpecifiedBenchmarks();
+  mdm::bench::PrintSmokeJson("fig08_recursive_beams", smoke);
   return 0;
 }

@@ -68,6 +68,7 @@ BENCHMARK(BM_MetaAttributeLookup)->Arg(4)->Arg(32)->Arg(128);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool smoke = mdm::bench::ConsumeSmokeFlag(&argc, argv);
   mdm::bench::PrintHeader(
       "Fig 9 — the meta-schema's HO graph",
       "ENTITY/RELATIONSHIP own ordered ATTRIBUTEs; ORDERING references "
@@ -81,6 +82,7 @@ int main(int argc, char** argv) {
   for (const std::string& a : *attrs) std::printf(" %s", a.c_str());
   std::printf("\n(schema and data in the same database, as §6 requires)\n\n");
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!smoke) benchmark::RunSpecifiedBenchmarks();
+  mdm::bench::PrintSmokeJson("fig09_meta_schema", smoke);
   return 0;
 }

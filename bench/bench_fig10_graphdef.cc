@@ -92,6 +92,7 @@ BENCHMARK(BM_PostScriptInterpreter)->Arg(10)->Arg(100)->Arg(1000);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool smoke = mdm::bench::ConsumeSmokeFlag(&argc, argv);
   mdm::bench::PrintHeader(
       "Fig 10 — schema for graphical definitions",
       "GraphDef holds the drawing function; GDefUse binds it to the "
@@ -102,6 +103,7 @@ int main(int argc, char** argv) {
   std::printf("stem drawn through the 4-step procedure:\n%s\n",
               rendering->ToSvg().c_str());
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!smoke) benchmark::RunSpecifiedBenchmarks();
+  mdm::bench::PrintSmokeJson("fig10_graphdef", smoke);
   return 0;
 }

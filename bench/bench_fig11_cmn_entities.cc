@@ -59,6 +59,7 @@ BENCHMARK(BM_SchemaDeparse);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool smoke = mdm::bench::ConsumeSmokeFlag(&argc, argv);
   mdm::bench::PrintHeader("Fig 11 — the entities of a CMN schema",
                           "the full entity-type table, Score through "
                           "Degree plus graphical attribute types");
@@ -71,6 +72,7 @@ int main(int argc, char** argv) {
               db.schema().orderings().size(),
               db.schema().relationships().size());
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!smoke) benchmark::RunSpecifiedBenchmarks();
+  mdm::bench::PrintSmokeJson("fig11_cmn_entities", smoke);
   return 0;
 }

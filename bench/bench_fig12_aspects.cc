@@ -47,6 +47,7 @@ BENCHMARK(BM_AspectViewExtraction);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool smoke = mdm::bench::ConsumeSmokeFlag(&argc, argv);
   mdm::bench::PrintHeader("Fig 12 — aspects of musical entities",
                           "the aspect/subaspect tree: views on the "
                           "musical schema");
@@ -76,6 +77,7 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!smoke) benchmark::RunSpecifiedBenchmarks();
+  mdm::bench::PrintSmokeJson("fig12_aspects", smoke);
   return 0;
 }

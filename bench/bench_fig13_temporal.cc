@@ -83,6 +83,7 @@ BENCHMARK(BM_TempoMapping);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool smoke = mdm::bench::ConsumeSmokeFlag(&argc, argv);
   mdm::bench::PrintHeader(
       "Fig 13 — the temporal aspect's HO graph",
       "SCORE > MOVEMENT > MEASURE > SYNC > CHORD > NOTE; groups beside, "
@@ -106,6 +107,7 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!smoke) benchmark::RunSpecifiedBenchmarks();
+  mdm::bench::PrintSmokeJson("fig13_temporal", smoke);
   return 0;
 }

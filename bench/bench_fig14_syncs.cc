@@ -72,6 +72,7 @@ BENCHMARK(BM_AlignVoices)->Arg(1)->Arg(4)->Arg(16);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool smoke = mdm::bench::ConsumeSmokeFlag(&argc, argv);
   mdm::bench::PrintHeader(
       "Fig 14 — dividing a measure into syncs",
       "two voices with different rhythms; every distinct onset becomes "
@@ -106,6 +107,7 @@ int main(int argc, char** argv) {
   }
   std::printf("\n");
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!smoke) benchmark::RunSpecifiedBenchmarks();
+  mdm::bench::PrintSmokeJson("fig14_syncs", smoke);
   return 0;
 }

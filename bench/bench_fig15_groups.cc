@@ -60,6 +60,7 @@ BENCHMARK(BM_GroupDurationNested)->Arg(2)->Arg(8)->Arg(32);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool smoke = mdm::bench::ConsumeSmokeFlag(&argc, argv);
   mdm::bench::PrintHeader(
       "Fig 15 — group functions",
       "phrasing groups (slurs) and timing groups (beams, tuplets) over "
@@ -89,6 +90,7 @@ int main(int argc, char** argv) {
   std::printf("slur over beam + quarter: %s beats\n\n",
               slur_d->ToString().c_str());
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!smoke) benchmark::RunSpecifiedBenchmarks();
+  mdm::bench::PrintSmokeJson("fig15_groups", smoke);
   return 0;
 }

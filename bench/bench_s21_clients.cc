@@ -21,7 +21,7 @@ namespace {
 
 constexpr int kChords = 64;
 constexpr int kNotesPerChord = 8;
-constexpr double kSecondsPerPoint = 0.5;
+double kSecondsPerPoint = 0.5;  // --smoke shrinks this
 
 /// One reader's query mix: alternating ordering predicates and scans,
 /// each a fresh snapshot read under the shared latch.
@@ -95,7 +95,9 @@ double MeasureQps(mdm::er::Database* db, int threads) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (mdm::bench::ConsumeSmokeFlag(&argc, argv))
+    kSecondsPerPoint = 0.05;
   mdm::bench::PrintHeader(
       "§2.1 — concurrent MDM clients: read throughput vs client count",
       "fig 1's many-clients/one-server shape: N reader sessions + 1 "

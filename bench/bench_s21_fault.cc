@@ -26,7 +26,7 @@ namespace {
 
 constexpr int kChords = 64;
 constexpr int kNotesPerChord = 8;
-constexpr double kSecondsPerPoint = 0.5;
+double kSecondsPerPoint = 0.5;  // --smoke shrinks this
 
 /// Same alternating read mix as bench_s21_net, so the 0% row here is
 /// directly comparable to that bench's 1-client remote row.
@@ -125,7 +125,9 @@ Point Measure(uint16_t port, double p_fault, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (mdm::bench::ConsumeSmokeFlag(&argc, argv))
+    kSecondsPerPoint = 0.05;
   mdm::bench::PrintHeader(
       "§2.1 — remote reads under injected transport faults",
       "fig 1's terminals on a flaky line: retry/backoff with deadline "

@@ -26,7 +26,7 @@ namespace {
 
 constexpr int kChords = 64;
 constexpr int kNotesPerChord = 8;
-constexpr double kSecondsPerPoint = 0.5;
+double kSecondsPerPoint = 0.5;  // --smoke shrinks this
 
 /// Same alternating read mix as bench_s21_clients: ordering predicates
 /// and a counting scan, so local and remote numbers are comparable.
@@ -100,7 +100,9 @@ Point Measure(int threads, Dial dial) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (mdm::bench::ConsumeSmokeFlag(&argc, argv))
+    kSecondsPerPoint = 0.05;
   mdm::bench::PrintHeader(
       "§2.1 — networked MDM: remote clients vs in-process sessions",
       "fig 1's terminals talking to the music data manager over the "

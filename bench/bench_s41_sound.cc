@@ -81,6 +81,7 @@ BENCHMARK(BM_EncodeQuantized);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool smoke = mdm::bench::ConsumeSmokeFlag(&argc, argv);
   mdm::bench::PrintHeader(
       "§4.1 — sound representations and compaction",
       "\"ten minutes of musical sound can be recorded with acceptable "
@@ -105,6 +106,7 @@ int main(int argc, char** argv) {
   std::printf("  perceptual 8-bit quantization [Kra79]:    %.2fx\n\n",
               quant.Ratio());
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!smoke) benchmark::RunSpecifiedBenchmarks();
+  mdm::bench::PrintSmokeJson("s41_sound", smoke);
   return 0;
 }

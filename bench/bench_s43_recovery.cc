@@ -115,6 +115,7 @@ void EmitDurabilityJson() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool smoke = mdm::bench::ConsumeSmokeFlag(&argc, argv);
   mdm::bench::PrintHeader(
       "§4.3 — recovery time: reopen-and-replay vs journal length",
       "cost of opening a durable score database after a crash, with and "
@@ -124,6 +125,6 @@ int main(int argc, char** argv) {
       "it is O(snapshot) and nearly independent of the mutation count.\n\n");
   EmitDurabilityJson();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!smoke) benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -181,6 +181,7 @@ void EmitAcceptanceJson() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool smoke = mdm::bench::ConsumeSmokeFlag(&argc, argv);
   mdm::bench::PrintHeader(
       "§5.2 — secondary attribute indexes",
       "the thematic-catalog lookup and the §5.6 is-join, indexed vs "
@@ -190,6 +191,6 @@ int main(int argc, char** argv) {
               "maintenance price.\n\n");
   EmitAcceptanceJson();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!smoke) benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

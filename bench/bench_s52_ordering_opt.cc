@@ -109,6 +109,7 @@ BENCHMARK(BM_WrongKeySelection)->Arg(100)->Arg(1000)->Arg(10000);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool smoke = mdm::bench::ConsumeSmokeFlag(&argc, argv);
   mdm::bench::PrintHeader(
       "§5.2 — ordering as a physical performance optimization",
       "keyed selection on a sorted/indexed relation vs a scan; footnote "
@@ -118,6 +119,7 @@ int main(int argc, char** argv) {
       "crossover immediately beyond trivial sizes; wrong-key selection\n"
       "degrades to the scan no matter the index.\n\n");
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!smoke) benchmark::RunSpecifiedBenchmarks();
+  mdm::bench::PrintSmokeJson("s52_ordering_opt", smoke);
   return 0;
 }

@@ -153,6 +153,7 @@ BENCHMARK(BM_QueryBefore10kUnindexed);
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool smoke = mdm::bench::ConsumeSmokeFlag(&argc, argv);
   mdm::bench::PrintHeader(
       "§5.6 — ordering-index ablation",
       "before/after as rank comparisons, multi-level under as interval "
@@ -161,6 +162,7 @@ int main(int argc, char** argv) {
               "depth; the fallbacks linear. Rebuild-after-append shows the\n"
               "cost a mutation puts on the next ordering query.\n\n");
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!smoke) benchmark::RunSpecifiedBenchmarks();
+  mdm::bench::PrintSmokeJson("s56_ordering_index", smoke);
   return 0;
 }

@@ -262,6 +262,7 @@ void EmitBeforeAfterJson() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool smoke = mdm::bench::ConsumeSmokeFlag(&argc, argv);
   mdm::bench::PrintHeader(
       "§5.6 — manipulation of ordered entities",
       "the paper's retrieve queries over before/after/under in "
@@ -277,6 +278,6 @@ int main(int argc, char** argv) {
               "quadratic (the gap widens with database size).\n\n");
   EmitBeforeAfterJson();
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!smoke) benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -125,6 +125,34 @@ class LatencyRecorder {
   obs::Histogram h_;
 };
 
+/// Strips `--smoke` from argv (so benchmark::Initialize never sees an
+/// unknown flag) and reports whether it was present. Smoke mode is the
+/// CI contract for every bench binary: shrink the workload to seconds,
+/// skip the Google-benchmark timing loop, but still print the BENCH_JSON
+/// summary line(s) — bench/smoke_runner.cc validates them per binary.
+inline bool ConsumeSmokeFlag(int* argc, char** argv) {
+  bool smoke = false;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+      continue;
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  argv[out] = nullptr;
+  return smoke;
+}
+
+/// The minimal BENCH_JSON line for benches whose measurements live in
+/// Google-benchmark loops (skipped under --smoke): names the binary and
+/// records the mode, so the smoke runner can validate the contract.
+inline void PrintSmokeJson(const char* bench, bool smoke) {
+  std::printf("BENCH_JSON {\"bench\": \"%s\", \"smoke\": %s}\n", bench,
+              smoke ? "true" : "false");
+}
+
 inline void PrintHeader(const char* experiment, const char* paper_artifact) {
   std::printf("==========================================================\n");
   std::printf("%s\n", experiment);

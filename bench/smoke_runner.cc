@@ -1,0 +1,94 @@
+// Smoke harness for the bench binaries: runs one bench with --smoke,
+// captures its stdout, and validates the BENCH_JSON contract every
+// binary promises — at least one `BENCH_JSON {...}` line whose payload
+// parses as a JSON object with a string "bench" member. Registered as
+// one ctest per bench (label `benchsmoke`), so a bench that stops
+// emitting parseable results fails CI instead of silently rotting the
+// nightly dashboards.
+//
+// Usage: smoke_runner <path-to-bench-binary> [extra args...]
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace {
+
+constexpr const char* kPrefix = "BENCH_JSON ";
+
+int CheckLine(const std::string& payload) {
+  auto parsed = mdm::json::Parse(payload);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "FAIL: BENCH_JSON payload does not parse: %s\n  %s\n",
+                 parsed.status().message().c_str(), payload.c_str());
+    return 1;
+  }
+  if (!parsed->is_object()) {
+    std::fprintf(stderr, "FAIL: BENCH_JSON payload is not an object:\n  %s\n",
+                 payload.c_str());
+    return 1;
+  }
+  if (!parsed->Has("bench", mdm::json::Value::Kind::kString)) {
+    std::fprintf(stderr,
+                 "FAIL: BENCH_JSON object lacks a string \"bench\" key:\n"
+                 "  %s\n",
+                 payload.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: smoke_runner <bench-binary> [args...]\n");
+    return 2;
+  }
+  std::string cmd;
+  for (int i = 1; i < argc; ++i) {
+    if (i > 1) cmd += ' ';
+    cmd += argv[i];
+  }
+  cmd += " --smoke 2>&1";
+
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) {
+    std::fprintf(stderr, "FAIL: cannot run: %s\n", cmd.c_str());
+    return 2;
+  }
+  std::vector<std::string> json_lines;
+  std::string line;
+  int ch;
+  while ((ch = std::fgetc(pipe)) != EOF) {
+    if (ch != '\n') {
+      line.push_back(static_cast<char>(ch));
+      continue;
+    }
+    if (line.rfind(kPrefix, 0) == 0)
+      json_lines.push_back(line.substr(std::strlen(kPrefix)));
+    line.clear();
+  }
+  if (line.rfind(kPrefix, 0) == 0)
+    json_lines.push_back(line.substr(std::strlen(kPrefix)));
+  int status = pclose(pipe);
+
+  if (status != 0) {
+    std::fprintf(stderr, "FAIL: bench exited with status %d: %s\n", status,
+                 cmd.c_str());
+    return 1;
+  }
+  if (json_lines.empty()) {
+    std::fprintf(stderr, "FAIL: no BENCH_JSON line in output of: %s\n",
+                 cmd.c_str());
+    return 1;
+  }
+  int failures = 0;
+  for (const std::string& payload : json_lines) failures += CheckLine(payload);
+  if (failures == 0)
+    std::printf("OK: %zu BENCH_JSON line(s) validated from %s\n",
+                json_lines.size(), argv[1]);
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,231 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace mdm::json {
+
+const Value* Value::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+bool Value::Has(const std::string& key, Kind kind) const {
+  const Value* v = Find(key);
+  return v != nullptr && v->kind() == kind;
+}
+
+Value Value::Bool(bool b) {
+  Value v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+Value Value::Number(double n) {
+  Value v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = n;
+  return v;
+}
+Value Value::String(std::string s) {
+  Value v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+Value Value::Array(std::vector<Value> a) {
+  Value v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(a);
+  return v;
+}
+Value Value::Object(std::map<std::string, Value> o) {
+  Value v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::move(o);
+  return v;
+}
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Value> Run() {
+    MDM_ASSIGN_OR_RETURN(Value v, ParseValue(0));
+    SkipSpace();
+    if (pos_ != text_.size())
+      return ParseError("trailing characters after JSON document");
+    return v;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+  void SkipSpace() {
+    while (!AtEnd() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+  bool Consume(char c) {
+    if (AtEnd() || Peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool ConsumeWord(const char* w) {
+    size_t n = std::char_traits<char>::length(w);
+    if (text_.compare(pos_, n, w) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Result<Value> ParseValue(int depth) {
+    if (depth > kMaxDepth) return ParseError("JSON nesting too deep");
+    SkipSpace();
+    if (AtEnd()) return ParseError("unexpected end of JSON input");
+    char c = Peek();
+    if (c == '{') return ParseObject(depth);
+    if (c == '[') return ParseArray(depth);
+    if (c == '"') {
+      MDM_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return Value::String(std::move(s));
+    }
+    if (ConsumeWord("true")) return Value::Bool(true);
+    if (ConsumeWord("false")) return Value::Bool(false);
+    if (ConsumeWord("null")) return Value::Null();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+      return ParseNumber();
+    return ParseError(StrFormat("unexpected '%c' in JSON", c));
+  }
+
+  Result<Value> ParseObject(int depth) {
+    ++pos_;  // '{'
+    std::map<std::string, Value> members;
+    SkipSpace();
+    if (Consume('}')) return Value::Object(std::move(members));
+    while (true) {
+      SkipSpace();
+      MDM_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipSpace();
+      if (!Consume(':')) return ParseError("expected ':' in JSON object");
+      MDM_ASSIGN_OR_RETURN(Value v, ParseValue(depth + 1));
+      members.insert_or_assign(std::move(key), std::move(v));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Value::Object(std::move(members));
+      return ParseError("expected ',' or '}' in JSON object");
+    }
+  }
+
+  Result<Value> ParseArray(int depth) {
+    ++pos_;  // '['
+    std::vector<Value> items;
+    SkipSpace();
+    if (Consume(']')) return Value::Array(std::move(items));
+    while (true) {
+      MDM_ASSIGN_OR_RETURN(Value v, ParseValue(depth + 1));
+      items.push_back(std::move(v));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Value::Array(std::move(items));
+      return ParseError("expected ',' or ']' in JSON array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    if (AtEnd() || Peek() != '"') return ParseError("expected '\"'");
+    ++pos_;
+    std::string out;
+    while (!AtEnd()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (AtEnd()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size())
+            return ParseError("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return ParseError("bad \\u escape digit");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // combined — no producer in this repo emits them).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return ParseError(StrFormat("bad escape '\\%c'", esc));
+      }
+    }
+    return ParseError("unterminated JSON string");
+  }
+
+  Result<Value> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {}
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek())))
+      ++pos_;
+    if (Consume('.'))
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek())))
+        ++pos_;
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek())))
+        ++pos_;
+    }
+    std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    double v = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0' || !std::isfinite(v))
+      return ParseError("malformed JSON number '" + token + "'");
+    return Value::Number(v);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Parse(const std::string& text) {
+  Parser p(text);
+  return p.Run();
+}
+
+}  // namespace mdm::json

@@ -1,0 +1,67 @@
+#ifndef MDM_COMMON_JSON_H_
+#define MDM_COMMON_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace mdm::json {
+
+/// A parsed JSON value. This is the *reading* half only — the repo's
+/// JSON producers (obs renderers, BENCH_JSON lines, the slow-query log)
+/// each format their own output; this parser exists so tests and the
+/// bench smoke checker can validate what they emit without a third-party
+/// dependency.
+///
+/// Numbers are kept as doubles (every BENCH_JSON number fits); object
+/// member order is not preserved (members live in a std::map).
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  const std::string& AsString() const { return string_; }
+  const std::vector<Value>& AsArray() const { return array_; }
+  const std::map<std::string, Value>& AsObject() const { return object_; }
+
+  /// Object member by key, or nullptr when absent (or not an object).
+  const Value* Find(const std::string& key) const;
+  /// True when the object has `key` with the given kind.
+  bool Has(const std::string& key, Kind kind) const;
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b);
+  static Value Number(double n);
+  static Value String(std::string s);
+  static Value Array(std::vector<Value> a);
+  static Value Object(std::map<std::string, Value> o);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::map<std::string, Value> object_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, anything else
+/// after the document is a kParseError). Depth is bounded (64) so
+/// adversarial input cannot blow the stack.
+Result<Value> Parse(const std::string& text);
+
+}  // namespace mdm::json
+
+#endif  // MDM_COMMON_JSON_H_

@@ -1,0 +1,216 @@
+#include "corpus/generator.h"
+
+#include <algorithm>
+#include <iterator>
+
+#include "common/random.h"
+
+namespace mdm::corpus {
+
+using darms::DarmsItem;
+
+namespace {
+
+// All generated durations are integer multiples of a sixteenth note, so
+// any partially filled measure can always be completed exactly (a
+// sixteenth always fits). Values are in sixteenth units; the letters are
+// the DARMS codes the encoder will emit.
+struct Duration {
+  int sixteenths;
+  Rational beats;  // quarter-note beats, as DarmsItem stores them
+  bool dotted;
+};
+
+const Duration kDurations[] = {
+    {16, Rational(4), false},     // W
+    {12, Rational(3), true},      // H.
+    {8, Rational(2), false},      // H
+    {6, Rational(3, 2), true},    // Q.
+    {4, Rational(1), false},      // Q
+    {3, Rational(3, 4), true},    // E.
+    {2, Rational(1, 2), false},   // E
+    {1, Rational(1, 4), false},   // S
+};
+
+// Weights biasing toward quarters and eighths — a plausible melodic
+// duration distribution rather than a uniform one.
+const int kDurationWeight[] = {1, 1, 3, 2, 8, 2, 8, 3};
+
+const char* const kSyllables[] = {"al", "le", "lu", "ia", "do", "re",
+                                  "mi", "fa", "sol", "la", "ti", "san",
+                                  "ctus", "glo", "ri", "a"};
+
+const char* const kAnnotations[] = {"dolce",    "cresc.",   "dim.",
+                                    "rit.",     "a tempo",  "espress.",
+                                    "legato",   "marcato",  "rubato"};
+
+// Picks a duration no longer than `remaining` sixteenths; `allow_dots`
+// is cleared for rests (the encoder's rest form has no dot syntax).
+const Duration& PickDuration(Rng* rng, int remaining, bool allow_dots) {
+  int total = 0;
+  int weights[8] = {0};
+  for (int i = 0; i < 8; ++i) {
+    if (kDurations[i].sixteenths > remaining) continue;
+    if (kDurations[i].dotted && !allow_dots) continue;
+    weights[i] = kDurationWeight[i];
+    total += weights[i];
+  }
+  int pick = static_cast<int>(rng->Uniform(static_cast<uint64_t>(total)));
+  for (int i = 0; i < 8; ++i) {
+    pick -= weights[i];
+    if (pick < 0) return kDurations[i];
+  }
+  return kDurations[7];  // unreachable: the sixteenth always qualifies
+}
+
+DarmsItem MakeItem(DarmsItem::Kind kind) {
+  DarmsItem item;
+  item.kind = kind;
+  return item;
+}
+
+}  // namespace
+
+GeneratedScore GenerateScore(const ScoreSpec& spec) {
+  Rng rng(spec.seed);
+  GeneratedScore out;
+
+  DarmsItem instrument = MakeItem(DarmsItem::Kind::kInstrument);
+  instrument.number = 1;
+  out.items.push_back(instrument);
+
+  DarmsItem clef = MakeItem(DarmsItem::Kind::kClef);
+  clef.clef = spec.clef;
+  out.items.push_back(clef);
+
+  DarmsItem key = MakeItem(DarmsItem::Kind::kKeySignature);
+  key.number = std::clamp(spec.key_sharps, -7, 7);
+  out.items.push_back(key);
+
+  DarmsItem meter = MakeItem(DarmsItem::Kind::kMeter);
+  meter.meter_num = std::max(1, spec.meter_num);
+  meter.meter_den = spec.meter_den;
+  if (meter.meter_den != 2 && meter.meter_den != 4 && meter.meter_den != 8)
+    meter.meter_den = 4;
+  out.items.push_back(meter);
+
+  const int capacity = meter.meter_num * 16 / meter.meter_den;
+
+  // Melodic random walk over short-form space codes. Short codes must
+  // stay in [1, 19]: the parser reads user codes >= 20 as full-form
+  // (2x -> x), so 20+ would not round-trip through EncodeUser.
+  int degree = 9;  // middle of the staff region
+  const int max_step = std::clamp(spec.max_step, 1, 8);
+
+  auto emit_note = [&](const Duration& d) {
+    int step = static_cast<int>(rng.Range(-max_step, max_step));
+    degree = std::clamp(degree + step, 1, 19);
+    DarmsItem note = MakeItem(DarmsItem::Kind::kNote);
+    note.space_code = degree;
+    note.duration = d.beats;
+    note.dotted = d.dotted;
+    if (rng.Bernoulli(spec.accidental_prob)) {
+      uint64_t which = rng.Uniform(3);
+      note.accidental = which == 0   ? cmn::Accidental::kSharp
+                        : which == 1 ? cmn::Accidental::kFlat
+                                     : cmn::Accidental::kNatural;
+    }
+    if (rng.Bernoulli(0.04)) {
+      note.stem_explicit = true;
+      note.stem_down = degree > 9;
+    }
+    if (rng.Bernoulli(spec.syllable_prob))
+      note.text = kSyllables[rng.Uniform(std::size(kSyllables))];
+    out.items.push_back(note);
+    ++out.notes;
+  };
+
+  while (out.notes < std::max(1, spec.target_notes)) {
+    if (out.measures > 0) out.items.push_back(MakeItem(DarmsItem::Kind::kBarline));
+    ++out.measures;
+    if (rng.Bernoulli(spec.annotation_prob)) {
+      DarmsItem ann = MakeItem(DarmsItem::Kind::kAnnotation);
+      ann.text = kAnnotations[rng.Uniform(std::size(kAnnotations))];
+      out.items.push_back(ann);
+    }
+    int remaining = capacity;
+    while (remaining > 0) {
+      // A beamed run of eighths, when at least two fit.
+      if (remaining >= 4 && rng.Bernoulli(spec.beam_prob)) {
+        int run = static_cast<int>(rng.Range(2, std::min(4, remaining / 2)));
+        out.items.push_back(MakeItem(DarmsItem::Kind::kBeamBegin));
+        for (int i = 0; i < run; ++i) emit_note(kDurations[6]);  // eighths
+        out.items.push_back(MakeItem(DarmsItem::Kind::kBeamEnd));
+        remaining -= run * 2;
+        continue;
+      }
+      if (rng.Bernoulli(spec.rest_prob)) {
+        const Duration& d = PickDuration(&rng, remaining, /*allow_dots=*/false);
+        DarmsItem rest = MakeItem(DarmsItem::Kind::kRest);
+        rest.duration = d.beats;
+        out.items.push_back(rest);
+        ++out.rests;
+        remaining -= d.sixteenths;
+        continue;
+      }
+      const Duration& d = PickDuration(&rng, remaining, /*allow_dots=*/true);
+      emit_note(d);
+      remaining -= d.sixteenths;
+    }
+  }
+  out.items.push_back(MakeItem(DarmsItem::Kind::kFinalBarline));
+
+  out.user_darms = darms::EncodeUser(out.items);
+  out.canonical_darms = darms::EncodeCanonical(out.items);
+  return out;
+}
+
+ScoreSpec DeriveScoreSpec(const CorpusSpec& corpus, int index) {
+  // A dedicated RNG per score, decorrelated from neighbours by mixing
+  // the index with a large odd constant before seeding.
+  Rng rng(corpus.seed * 0x9E3779B97F4A7C15ull +
+          static_cast<uint64_t>(index + 1) * 0xBF58476D1CE4E5B9ull);
+  ScoreSpec spec;
+  spec.seed = rng.Next();
+
+  const int scores = std::max(1, corpus.scores);
+  // Per-score note budgets must *sum* to the corpus target, not merely
+  // average to it (independent ±40% jitter across 10³ scores can land
+  // the total below target_total_notes). Each boundary between
+  // consecutive scores draws a seeded jitter and score i's budget is
+  // base_i + J(i) − J(i−1): the jitters telescope away, so budgets sum
+  // to exactly the target while scores still differ in length — and
+  // GenerateScore guarantees ≥ budget notes per score. J is a pure
+  // function of (corpus seed, boundary), keeping this stateless.
+  const int64_t total = std::max<int64_t>(scores, corpus.target_total_notes);
+  const int64_t mean = total / scores;
+  const int64_t amp = (mean * 2) / 5;
+  auto boundary_jitter = [&](int i) -> int64_t {
+    if (i < 0 || i >= scores - 1 || amp == 0) return 0;
+    Rng jrng(corpus.seed * 0xD6E8FEB86659FD93ull +
+             static_cast<uint64_t>(i + 1) * 0xA0761D6478BD642Full);
+    return jrng.Range(-amp, amp);
+  };
+  const int64_t base = total * (index + 1) / scores - total * index / scores;
+  spec.target_notes = static_cast<int>(std::max<int64_t>(
+      1, base + boundary_jitter(index) - boundary_jitter(index - 1)));
+
+  spec.key_sharps = static_cast<int>(rng.Range(-4, 4));
+  const char clefs[] = {'G', 'G', 'F', 'C'};  // treble-heavy, like a library
+  spec.clef = clefs[rng.Uniform(4)];
+  switch (rng.Uniform(4)) {
+    case 0: spec.meter_num = 3, spec.meter_den = 4; break;
+    case 1: spec.meter_num = 2, spec.meter_den = 4; break;
+    case 2: spec.meter_num = 6, spec.meter_den = 8; break;
+    default: spec.meter_num = 4, spec.meter_den = 4; break;
+  }
+  spec.rest_prob = 0.04 + rng.NextDouble() * 0.10;
+  spec.accidental_prob = 0.02 + rng.NextDouble() * 0.10;
+  spec.beam_prob = 0.20 + rng.NextDouble() * 0.30;
+  spec.syllable_prob = rng.Bernoulli(0.3) ? 0.15 : 0.02;  // some are vocal
+  spec.annotation_prob = rng.NextDouble() * 0.05;
+  spec.max_step = static_cast<int>(rng.Range(2, 6));
+  return spec;
+}
+
+}  // namespace mdm::corpus

@@ -1,0 +1,71 @@
+#ifndef MDM_CORPUS_GENERATOR_H_
+#define MDM_CORPUS_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "darms/darms.h"
+
+namespace mdm::corpus {
+
+/// Tunable distributions for one synthesized score. Every knob is a
+/// probability or small integer so a CorpusSpec can jitter them per
+/// score; the generated item stream always parses cleanly (the
+/// round-trip property test in tests/corpus_test.cc holds over the
+/// whole parameter space — see docs/WORKLOADS.md "Corpus knobs").
+struct ScoreSpec {
+  uint64_t seed = 1;
+  /// Approximate note count; generation closes the final measure after
+  /// reaching it, so actual counts overshoot by at most one measure.
+  int target_notes = 1000;
+  int meter_num = 4;
+  int meter_den = 4;
+  int key_sharps = 0;  // -7 (flats) .. +7 (sharps)
+  char clef = 'G';     // 'G' | 'F' | 'C'
+  double rest_prob = 0.08;        // rest instead of a note
+  double accidental_prob = 0.06;  // explicit #/-/N on a note
+  double dot_prob = 0.10;         // dotted duration (when it fits)
+  double beam_prob = 0.35;        // an eighth/sixteenth run gets beamed
+  double syllable_prob = 0.05;    // attached ,@syllable$
+  double annotation_prob = 0.02;  // standalone @annotation$ per measure
+  int max_step = 4;  // melodic random-walk step, in staff degrees
+};
+
+/// One synthesized score: the DARMS item stream plus its two encodings.
+/// `user_darms` (durations elided, short space codes) is what the
+/// loader feeds the importer — the compact form a copyist would type —
+/// so corpus loading exercises the carried-duration parser paths.
+struct GeneratedScore {
+  std::vector<darms::DarmsItem> items;
+  std::string user_darms;
+  std::string canonical_darms;
+  int notes = 0;
+  int rests = 0;
+  int measures = 0;
+};
+
+/// Synthesizes a statistically plausible single-voice DARMS score:
+/// clef/key/meter header, a bounded melodic random walk over staff
+/// degrees, durations drawn to exactly fill each measure, beamed
+/// eighth-note runs, rests, syllables and annotations per the spec's
+/// distributions. Deterministic in spec.seed.
+GeneratedScore GenerateScore(const ScoreSpec& spec);
+
+/// Corpus-level shape: how many scores, how many notes in total, and
+/// how much the per-score specs vary around the defaults.
+struct CorpusSpec {
+  uint64_t seed = 42;
+  int scores = 1000;
+  /// Total notes across all scores; per-score targets are jittered
+  /// ±40% around target_total_notes/scores.
+  int64_t target_total_notes = 1'000'000;
+};
+
+/// The derived spec for score `index` (0-based): seeded from the corpus
+/// seed, with per-score key/clef/meter/density variation.
+ScoreSpec DeriveScoreSpec(const CorpusSpec& corpus, int index);
+
+}  // namespace mdm::corpus
+
+#endif  // MDM_CORPUS_GENERATOR_H_

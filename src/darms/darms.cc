@@ -85,6 +85,9 @@ class DarmsParser {
         if (what == 'K') {
           DarmsItem item = Make(DarmsItem::Kind::kKeySignature);
           MDM_ASSIGN_OR_RETURN(int n, ReadInt("key signature count"));
+          if (n < 0 || n > 7)
+            return ParseError(
+                StrFormat("key signature of %d accidentals is invalid", n));
           if (AtEnd() || (Peek() != '#' && Peek() != '-'))
             return ParseError("key signature needs '#' or '-'");
           item.number = Peek() == '#' ? n : -n;
@@ -97,6 +100,10 @@ class DarmsParser {
             return ParseError("meter needs ':'");
           ++pos_;
           MDM_ASSIGN_OR_RETURN(item.meter_den, ReadInt("meter denominator"));
+          if (item.meter_num < 1 || item.meter_num > 64 ||
+              item.meter_den < 1 || item.meter_den > 64)
+            return ParseError(StrFormat("meter %d:%d is invalid",
+                                        item.meter_num, item.meter_den));
           items.push_back(item);
         } else if (what == 'G' || what == 'F' || what == 'C') {
           DarmsItem item = Make(DarmsItem::Kind::kClef);
@@ -112,6 +119,10 @@ class DarmsParser {
         int count = 1;
         if (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
           MDM_ASSIGN_OR_RETURN(count, ReadInt("rest count"));
+          // A multi-rest run is bounded: "R99999999" must be a parse
+          // error, not an allocation proportional to attacker input.
+          if (count < 1 || count > 4096)
+            return ParseError(StrFormat("rest count %d out of range", count));
         }
         Rational dur = carried;
         if (!AtEnd()) {
@@ -188,9 +199,14 @@ class DarmsParser {
     }
     if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek())))
       return ParseError(StrFormat("expected %s", what));
+    // Bounded so a long digit run is a parse error, not signed overflow
+    // (no DARMS number is legitimately this large).
+    constexpr int kMaxNumber = 1'000'000;
     int v = 0;
     while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
       v = v * 10 + (Peek() - '0');
+      if (v > kMaxNumber)
+        return ParseError(StrFormat("%s out of range", what));
       ++pos_;
     }
     return negative ? -v : v;

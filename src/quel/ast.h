@@ -103,9 +103,14 @@ struct Statement {
   std::vector<SortKey> sort_keys;  // `sort by label [desc], ...`
   std::unique_ptr<Qual> qual;  // shared by retrieve/replace/delete
 
-  // kAppend: `append to TYPE (attr = literal, ...)`
+  // kAppend: `append to TYPE (attr = literal, ...)`, optionally followed
+  // by `under <var> in <ordering> [where qual]` — the created entity is
+  // appended as the last child of every entity the qualification binds
+  // `var` to (the editor's "add a measure at the end" operation, §5.5).
   std::string append_type;
   std::vector<std::pair<std::string, Expr>> assignments;  // append/replace
+  std::string append_parent_var;  // empty: plain append
+  std::string append_ordering;    // ordering to append under
 
   // kReplace / kDelete: the updated/deleted range variable
   std::string update_var;

@@ -400,7 +400,34 @@ struct AggState {
   }
 };
 
+/// Deep copy of a qualification tree. Needed when a statement from the
+/// (shared, immutable) parse cache contributes its qual to a synthetic
+/// statement: Qual holds unique_ptr children and is not copyable.
+std::unique_ptr<Qual> CloneQual(const Qual& q) {
+  auto out = std::make_unique<Qual>();
+  out->kind = q.kind;
+  out->lhs = q.lhs;
+  out->rhs = q.rhs;
+  out->cmp = q.cmp;
+  out->order_op = q.order_op;
+  out->order_var1 = q.order_var1;
+  out->order_var2 = q.order_var2;
+  out->ordering = q.ordering;
+  if (q.a != nullptr) out->a = CloneQual(*q.a);
+  if (q.b != nullptr) out->b = CloneQual(*q.b);
+  return out;
+}
+
 }  // namespace
+
+// Defined at the bottom of this file; the append-under path runs a
+// synthetic retrieve through it to bind its parent variable.
+Result<ResultSet> RunQueryImpl(Database* db,
+                               const std::map<std::string, std::string>&
+                                   session_ranges,
+                               const Statement& stmt, bool pushdown,
+                               ExecCounters* stats,
+                               StatementActuals* actuals_out);
 
 std::optional<size_t> ResultSet::ColumnIndex(std::string_view name) const {
   for (size_t i = 0; i < columns.size(); ++i)
@@ -538,6 +565,54 @@ Result<ResultSet> QuelSession::Run(const std::string& script, bool pushdown) {
         break;
       }
       case Statement::Kind::kAppend: {
+        if (!stmt.append_parent_var.empty()) {
+          // `append ... under v in ordering [where qual]`: bind v via a
+          // synthetic retrieve (the exclusive latch is already held;
+          // RunQueryImpl takes none itself), then create one entity per
+          // distinct parent and append it as the last child. Duplicate
+          // parent bindings from a join collapse to one append each.
+          Statement query;
+          query.kind = Statement::Kind::kRetrieve;
+          Target t;
+          t.label = "parent";
+          t.expr = Expr::VarRef(stmt.append_parent_var);
+          query.targets.push_back(std::move(t));
+          if (stmt.qual != nullptr) query.qual = CloneQual(*stmt.qual);
+          MDM_ASSIGN_OR_RETURN(
+              ResultSet parent_rows,
+              RunQueryImpl(db_, ranges, query, pushdown, &stats_, nullptr));
+          std::set<EntityId> seen;
+          std::vector<EntityId> parents;
+          for (const auto& row : parent_rows.rows) {
+            if (row.empty() || row[0].type() != ValueType::kRef)
+              return TypeError("append-under parent must be an entity");
+            if (seen.insert(row[0].AsRef()).second)
+              parents.push_back(row[0].AsRef());
+          }
+          MDM_ASSIGN_OR_RETURN(
+              er::OrderingHandle h,
+              db_->ResolveOrderingHandle(stmt.append_ordering));
+          for (EntityId parent : parents) {
+            // The parent variable stays bound during assignment
+            // evaluation, so `append to X (a = v.b) under v ...` copies
+            // from the parent.
+            std::map<std::string, Binding> binds;
+            Binding pb;
+            pb.entity = parent;
+            binds[AsciiLower(stmt.append_parent_var)] = pb;
+            Evaluator eval(db_, &binds);
+            MDM_ASSIGN_OR_RETURN(EntityId id,
+                                 db_->CreateEntity(stmt.append_type));
+            for (const auto& [attr, expr] : stmt.assignments) {
+              MDM_ASSIGN_OR_RETURN(Value v, eval.Eval(expr));
+              MDM_RETURN_IF_ERROR(db_->SetAttribute(id, attr, std::move(v)));
+            }
+            MDM_RETURN_IF_ERROR(db_->AppendChild(h, parent, id));
+          }
+          last = ResultSet{};
+          last.affected = parents.size();
+          break;
+        }
         MDM_ASSIGN_OR_RETURN(EntityId id,
                              db_->CreateEntity(stmt.append_type));
         std::map<std::string, Binding> empty;

@@ -162,6 +162,7 @@ class QuelParser {
   }
 
   // append to TYPE ( attr = expr {, attr = expr} )
+  //   [ under VAR in ORDERING [ where qual ] ]
   Result<Statement> ParseAppend() {
     Advance();  // append
     MDM_RETURN_IF_ERROR(ExpectKeyword("to"));
@@ -181,6 +182,18 @@ class QuelParser {
       }
     }
     MDM_RETURN_IF_ERROR(Expect(TokenType::kRParen, "')'"));
+    if (IsKeyword(Peek(), "under")) {
+      Advance();
+      MDM_ASSIGN_OR_RETURN(stmt.append_parent_var,
+                           ExpectIdentifier("parent range variable"));
+      MDM_RETURN_IF_ERROR(ExpectKeyword("in"));
+      MDM_ASSIGN_OR_RETURN(stmt.append_ordering,
+                           ExpectIdentifier("ordering name"));
+      if (IsKeyword(Peek(), "where")) {
+        Advance();
+        MDM_ASSIGN_OR_RETURN(stmt.qual, ParseQual());
+      }
+    }
     return stmt;
   }
 

@@ -1,0 +1,543 @@
+#include "workload/driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <iterator>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "obs/metrics.h"
+
+namespace mdm::workload {
+
+using corpus::TenantModel;
+using quel::ResultSet;
+using rel::Value;
+
+const char* ClassName(ClientClass c) {
+  switch (c) {
+    case ClientClass::kEditor: return "editor";
+    case ClientClass::kAnalyzer: return "analyzer";
+    case ClientClass::kTypesetter: return "typesetter";
+    case ClientClass::kLibrarian: return "librarian";
+  }
+  return "unknown";
+}
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void HashBytes(uint64_t* h, const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    *h ^= p[i];
+    *h *= kFnvPrime;
+  }
+}
+void HashStr(uint64_t* h, const std::string& s) {
+  HashBytes(h, s.data(), s.size());
+  HashBytes(h, "|", 1);
+}
+void HashInt(uint64_t* h, int64_t v) { HashBytes(h, &v, sizeof(v)); }
+
+uint64_t HashKeys(const std::vector<int>& keys) {
+  uint64_t h = kFnvOffset;
+  for (int k : keys) HashInt(&h, k);
+  return h;
+}
+
+const char* const kDynamicMarks[] = {"pp", "p", "mp", "mf", "f", "ff"};
+
+/// Everything one tenant's op stream needs; owned by exactly one worker
+/// thread, so nothing here is synchronized.
+struct TenantRt {
+  const TenantModel* model = nullptr;
+  int tenant = 0;
+  Rng rng{1};
+  uint64_t log_hash = kFnvOffset;
+  int ops_done = 0;
+  int appended_measures = 0;
+  int annotations = 0;
+  std::vector<int> rare_keys;  // keys occurring <= 2 times (before-query)
+};
+
+/// State shared by all workers: the mix spec, latency recorders, and
+/// the divergence log.
+struct Shared {
+  const WorkloadSpec* spec = nullptr;
+  corpus::Corpus* corpus = nullptr;
+  obs::Histogram latency[kClassCount];  // per-class op latency, ns
+  std::atomic<uint64_t> ops[kClassCount] = {};
+  std::atomic<uint64_t> errors[kClassCount] = {};
+  std::atomic<uint64_t> oracle_checks{0};
+  std::atomic<uint64_t> oracle_divergences{0};
+  std::mutex div_mu;
+  std::vector<std::string> divergences;
+
+  bool oracle() const { return spec->oracle_every > 0; }
+
+  void Check(bool ok, const std::string& what) {
+    if (!oracle()) return;
+    oracle_checks.fetch_add(1, std::memory_order_relaxed);
+    if (ok) return;
+    oracle_divergences.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(div_mu);
+    if (divergences.size() <
+        static_cast<size_t>(std::max(0, spec->max_divergences)))
+      divergences.push_back(what);
+  }
+};
+
+/// One worker: a Connection plus the tenants it owns.
+class Worker {
+ public:
+  Worker(Shared* shared, Connection conn, std::vector<TenantRt*> tenants)
+      : shared_(shared), conn_(std::move(conn)), tenants_(std::move(tenants)) {}
+
+  Status Run() {
+    // Round-robin across owned tenants: every tenant's stream is
+    // sequential and self-contained, so the round-robin order (and the
+    // thread count) cannot change any tenant's op sequence or results.
+    for (int round = 0; round < shared_->spec->ops_per_tenant; ++round)
+      for (TenantRt* t : tenants_) MDM_RETURN_IF_ERROR(RunOneOp(t));
+    return Status::OK();
+  }
+
+ private:
+  ClientClass PickClass(Rng* rng) const {
+    const WorkloadSpec& s = *shared_->spec;
+    const int w[kClassCount] = {
+        std::max(0, s.editor_weight), std::max(0, s.analyzer_weight),
+        std::max(0, s.typesetter_weight), std::max(0, s.librarian_weight)};
+    int total = w[0] + w[1] + w[2] + w[3];
+    if (total == 0) return ClientClass::kAnalyzer;
+    int pick = static_cast<int>(rng->Uniform(static_cast<uint64_t>(total)));
+    for (int i = 0; i < kClassCount; ++i) {
+      pick -= w[i];
+      if (pick < 0) return static_cast<ClientClass>(i);
+    }
+    return ClientClass::kAnalyzer;
+  }
+
+  /// Executes a script, timing it against `cls` and folding the result
+  /// digest into the tenant's op log. Returns the result set (empty on
+  /// error, with the status code folded instead).
+  ResultSet Timed(TenantRt* t, ClientClass cls, const std::string& name,
+                  const std::string& script) {
+    HashStr(&t->log_hash, name);
+    auto t0 = std::chrono::steady_clock::now();
+    Result<ResultSet> rs = conn_.Execute(script);
+    uint64_t ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    size_t ci = static_cast<size_t>(cls);
+    shared_->latency[ci].Observe(ns);
+    shared_->ops[ci].fetch_add(1, std::memory_order_relaxed);
+    if (!rs.ok()) {
+      shared_->errors[ci].fetch_add(1, std::memory_order_relaxed);
+      HashStr(&t->log_hash, "error");
+      HashInt(&t->log_hash, static_cast<int64_t>(rs.status().code()));
+      shared_->Check(false, StrFormat("t%d %s failed: %s", t->tenant,
+                                      name.c_str(),
+                                      rs.status().message().c_str()));
+      return ResultSet{};
+    }
+    HashInt(&t->log_hash, static_cast<int64_t>(rs->affected));
+    HashInt(&t->log_hash, static_cast<int64_t>(rs->rows.size()));
+    for (const auto& row : rs->rows)
+      for (const Value& v : row) HashStr(&t->log_hash, v.ToString());
+    return *std::move(rs);
+  }
+
+  // --- the Fig-1 client ops -----------------------------------------
+
+  void EditorOp(TenantRt* t) {
+    switch (t->rng.Uniform(3)) {
+      case 0: {  // E1: append a measure at the end of the movement
+        int number = t->model->measures + t->appended_measures + 1;
+        ResultSet rs = Timed(
+            t, ClientClass::kEditor, "E1-append-measure",
+            StrFormat("range of v is MOVEMENT range of s is SCORE "
+                      "append to MEASURE (number = %d, meter_num = 4, "
+                      "meter_den = 4) under v in measure_in_movement "
+                      "where v under s in movement_in_score and "
+                      "s.title = \"%s\"",
+                      number, t->model->title.c_str()));
+        shared_->Check(rs.affected == 1,
+                       StrFormat("t%d E1 affected %llu != 1", t->tenant,
+                                 (unsigned long long)rs.affected));
+        if (rs.affected == 1) ++t->appended_measures;
+        break;
+      }
+      case 1: {  // E2: drop an annotation tagged with the tenant id
+        ResultSet rs = Timed(
+            t, ClientClass::kEditor, "E2-annotate",
+            StrFormat("append to ANNOTATION (text = \"mark-%d-%d\", "
+                      "xpos = %d)",
+                      t->tenant, t->annotations, t->tenant));
+        shared_->Check(rs.affected == 1,
+                       StrFormat("t%d E2 affected %llu != 1", t->tenant,
+                                 (unsigned long long)rs.affected));
+        if (rs.affected == 1) ++t->annotations;
+        break;
+      }
+      default: {  // E3: set a dynamic mark on every note of one pitch
+        int key = t->model->keys[t->rng.Uniform(t->model->keys.size())];
+        const char* mark = kDynamicMarks[t->rng.Uniform(
+            std::size(kDynamicMarks))];
+        ResultSet rs = Timed(
+            t, ClientClass::kEditor, "E3-dynamics",
+            StrFormat("range of n is NOTE range of s is STAFF "
+                      "replace n (dynamic = \"%s\") where "
+                      "n under s in note_on_staff and s.number = %d "
+                      "and n.midi_key = %d",
+                      mark, t->tenant, key));
+        uint64_t expect =
+            static_cast<uint64_t>(t->model->key_count.at(key));
+        shared_->Check(rs.affected == expect,
+                       StrFormat("t%d E3 key %d affected %llu != %llu",
+                                 t->tenant, key,
+                                 (unsigned long long)rs.affected,
+                                 (unsigned long long)expect));
+        break;
+      }
+    }
+  }
+
+  void AnalyzerOp(TenantRt* t) {
+    switch (t->rng.Uniform(4)) {
+      case 0: {  // A1: §5.6 before-count against a rare pitch
+        int key = t->rare_keys[t->rng.Uniform(t->rare_keys.size())];
+        ResultSet rs = Timed(
+            t, ClientClass::kAnalyzer, "A1-before-count",
+            StrFormat("range of n1, n2 is NOTE range of s is STAFF "
+                      "retrieve (c = count(n1)) where "
+                      "n1 before n2 in note_on_staff and "
+                      "n2 under s in note_on_staff and s.number = %d "
+                      "and n2.midi_key = %d",
+                      t->tenant, key));
+        // Expected: for each occurrence of `key` at position i (0-based
+        // in staff order), i predecessors — summed over occurrences.
+        int64_t expect = 0;
+        for (size_t i = 0; i < t->model->keys.size(); ++i)
+          if (t->model->keys[i] == key) expect += static_cast<int64_t>(i);
+        int64_t got = rs.rows.empty() ? -1 : rs.At(0, 0).AsInt();
+        shared_->Check(got == expect,
+                       StrFormat("t%d A1 key %d count %lld != %lld",
+                                 t->tenant, key, (long long)got,
+                                 (long long)expect));
+        break;
+      }
+      case 1: {  // A2: note count
+        ResultSet rs = Timed(
+            t, ClientClass::kAnalyzer, "A2-note-count",
+            StrFormat("range of n is NOTE range of s is STAFF "
+                      "retrieve (c = count(n)) where "
+                      "n under s in note_on_staff and s.number = %d",
+                      t->tenant));
+        int64_t got = rs.rows.empty() ? -1 : rs.At(0, 0).AsInt();
+        shared_->Check(got == t->model->notes,
+                       StrFormat("t%d A2 count %lld != %d", t->tenant,
+                                 (long long)got, t->model->notes));
+        break;
+      }
+      case 2: {  // A3: degree histogram (grouped aggregate)
+        ResultSet rs = Timed(
+            t, ClientClass::kAnalyzer, "A3-degree-hist",
+            StrFormat("range of n is NOTE range of s is STAFF "
+                      "retrieve (c = count(n by n.degree)) where "
+                      "n under s in note_on_staff and s.number = %d",
+                      t->tenant));
+        std::map<int, int> got;
+        for (size_t r = 0; r < rs.rows.size(); ++r)
+          got[static_cast<int>(rs.At(r, 0).AsInt())] =
+              static_cast<int>(rs.At(r, 1).AsInt());
+        shared_->Check(got == t->model->degree_hist,
+                       StrFormat("t%d A3 histogram mismatch (%zu groups)",
+                                 t->tenant, rs.rows.size()));
+        break;
+      }
+      default: {  // A4: pitch range
+        ResultSet rs = Timed(
+            t, ClientClass::kAnalyzer, "A4-range",
+            StrFormat("range of n is NOTE range of s is STAFF "
+                      "retrieve (lo = min(n.midi_key), "
+                      "hi = max(n.midi_key)) where "
+                      "n under s in note_on_staff and s.number = %d",
+                      t->tenant));
+        int64_t lo = rs.rows.empty() ? -1 : rs.At(0, 0).AsInt();
+        int64_t hi = rs.rows.empty() ? -1 : rs.At(0, 1).AsInt();
+        shared_->Check(
+            lo == t->model->min_key && hi == t->model->max_key,
+            StrFormat("t%d A4 range [%lld,%lld] != [%d,%d]", t->tenant,
+                      (long long)lo, (long long)hi, t->model->min_key,
+                      t->model->max_key));
+        break;
+      }
+    }
+  }
+
+  void TypesetterOp(TenantRt* t) {
+    switch (t->rng.Uniform(2)) {
+      case 0: {  // T1: page through every note of the score, in order
+        ResultSet rs = Timed(
+            t, ClientClass::kTypesetter, "T1-page-notes",
+            StrFormat("range of n is NOTE range of s is STAFF "
+                      "retrieve (n.midi_key, n.degree) where "
+                      "n under s in note_on_staff and s.number = %d",
+                      t->tenant));
+        std::vector<int> got;
+        got.reserve(rs.rows.size());
+        for (size_t r = 0; r < rs.rows.size(); ++r)
+          got.push_back(static_cast<int>(rs.At(r, 0).AsInt()));
+        shared_->Check(HashKeys(got) == HashKeys(t->model->keys),
+                       StrFormat("t%d T1 note sequence mismatch "
+                                 "(%zu rows, %zu expected)",
+                                 t->tenant, got.size(),
+                                 t->model->keys.size()));
+        break;
+      }
+      default: {  // T2: measure listing for pagination
+        ResultSet rs = Timed(
+            t, ClientClass::kTypesetter, "T2-measures",
+            StrFormat("range of m is MEASURE range of v is MOVEMENT "
+                      "range of s is SCORE "
+                      "retrieve (m.number) where "
+                      "m under v in measure_in_movement and "
+                      "v under s in movement_in_score and "
+                      "s.title = \"%s\"",
+                      t->model->title.c_str()));
+        size_t expect = static_cast<size_t>(t->model->measures +
+                                            t->appended_measures);
+        shared_->Check(rs.rows.size() == expect,
+                       StrFormat("t%d T2 measures %zu != %zu", t->tenant,
+                                 rs.rows.size(), expect));
+        break;
+      }
+    }
+  }
+
+  void LibrarianOp(TenantRt* t) {
+    switch (t->rng.Uniform(2)) {
+      case 0: {  // L1: thematic-index probe by incipit (indexed)
+        ResultSet rs = Timed(
+            t, ClientClass::kLibrarian, "L1-incipit",
+            StrFormat("range of e is CATALOG_ENTRY "
+                      "retrieve (e.number) where e.incipit = \"%s\"",
+                      t->model->incipit_text.c_str()));
+        auto it = shared_->corpus->incipit_count.find(
+            t->model->incipit_text);
+        size_t expect =
+            it == shared_->corpus->incipit_count.end()
+                ? 0
+                : static_cast<size_t>(it->second);
+        shared_->Check(rs.rows.size() == expect,
+                       StrFormat("t%d L1 incipit matches %zu != %zu",
+                                 t->tenant, rs.rows.size(), expect));
+        break;
+      }
+      default: {  // L2: index probe vs full scan must agree
+        ResultSet by_number = Timed(
+            t, ClientClass::kLibrarian, "L2-by-number",
+            StrFormat("range of e is CATALOG_ENTRY "
+                      "retrieve (e.title) where e.number = \"%s\"",
+                      t->model->catalog_number.c_str()));
+        ResultSet by_title = Timed(
+            t, ClientClass::kLibrarian, "L2-by-title",
+            StrFormat("range of e is CATALOG_ENTRY "
+                      "retrieve (e.title) where e.title = \"%s\"",
+                      t->model->title.c_str()));
+        // At() yields a string Value; compare the raw text (ToString
+        // would quote it).
+        auto text = [](const ResultSet& rs) {
+          if (rs.rows.size() != 1) return std::string();
+          const Value& v = rs.At(0, 0);
+          return v.type() == rel::ValueType::kString ? v.AsString()
+                                                     : std::string();
+        };
+        bool same = !text(by_number).empty() &&
+                    text(by_number) == text(by_title) &&
+                    text(by_number) == t->model->title;
+        shared_->Check(same,
+                       StrFormat("t%d L2 index/scan disagree (%zu vs %zu "
+                                 "rows)",
+                                 t->tenant, by_number.rows.size(),
+                                 by_title.rows.size()));
+        break;
+      }
+    }
+  }
+
+  /// The expensive cross-checks, run every oracle_every ops per tenant.
+  void OracleBattery(TenantRt* t) {
+    {  // annotation count via the xpos index
+      ResultSet rs = Timed(
+          t, ClientClass::kAnalyzer, "B1-annotations",
+          StrFormat("range of a is ANNOTATION "
+                    "retrieve (c = count(a)) where a.xpos = %d",
+                    t->tenant));
+      int64_t got = rs.rows.empty() ? -1 : rs.At(0, 0).AsInt();
+      shared_->Check(got == t->annotations,
+                     StrFormat("t%d B1 annotations %lld != %d", t->tenant,
+                               (long long)got, t->annotations));
+    }
+    {  // measure numbers are exactly 1..N after editor appends
+      ResultSet rs = Timed(
+          t, ClientClass::kTypesetter, "B2-measure-seq",
+          StrFormat("range of m is MEASURE range of v is MOVEMENT "
+                    "range of s is SCORE "
+                    "retrieve (m.number) where "
+                    "m under v in measure_in_movement and "
+                    "v under s in movement_in_score and s.title = \"%s\"",
+                    t->model->title.c_str()));
+      std::vector<int> numbers;
+      for (size_t r = 0; r < rs.rows.size(); ++r)
+        numbers.push_back(static_cast<int>(rs.At(r, 0).AsInt()));
+      std::sort(numbers.begin(), numbers.end());
+      bool ok = static_cast<int>(numbers.size()) ==
+                t->model->measures + t->appended_measures;
+      for (size_t i = 0; ok && i < numbers.size(); ++i)
+        ok = numbers[i] == static_cast<int>(i) + 1;
+      shared_->Check(ok, StrFormat("t%d B2 measure numbers not 1..%d",
+                                   t->tenant,
+                                   t->model->measures +
+                                       t->appended_measures));
+    }
+  }
+
+  Status RunOneOp(TenantRt* t) {
+    switch (PickClass(&t->rng)) {
+      case ClientClass::kEditor: EditorOp(t); break;
+      case ClientClass::kAnalyzer: AnalyzerOp(t); break;
+      case ClientClass::kTypesetter: TypesetterOp(t); break;
+      case ClientClass::kLibrarian: LibrarianOp(t); break;
+    }
+    ++t->ops_done;
+    if (shared_->oracle() &&
+        t->ops_done % shared_->spec->oracle_every == 0)
+      OracleBattery(t);
+    return Status::OK();
+  }
+
+  Shared* shared_;
+  Connection conn_;
+  std::vector<TenantRt*> tenants_;
+};
+
+uint64_t OracleStateHash(const TenantRt& t) {
+  uint64_t h = kFnvOffset;
+  HashInt(&h, t.tenant);
+  HashInt(&h, t.model->notes);
+  HashInt(&h, t.model->measures);
+  HashInt(&h, t.appended_measures);
+  HashInt(&h, t.annotations);
+  HashInt(&h, static_cast<int64_t>(HashKeys(t.model->keys)));
+  for (const auto& [deg, n] : t.model->degree_hist) {
+    HashInt(&h, deg);
+    HashInt(&h, n);
+  }
+  return h;
+}
+
+}  // namespace
+
+Result<Report> RunWorkload(const WorkloadSpec& spec, corpus::Corpus* corpus,
+                           const ConnectionFactory& factory) {
+  if (corpus == nullptr || corpus->tenants.empty())
+    return InvalidArgument("workload needs a loaded corpus");
+  if (spec.ops_per_tenant < 0)
+    return InvalidArgument("ops_per_tenant must be >= 0");
+
+  const int tenant_count = static_cast<int>(corpus->tenants.size());
+  const int threads =
+      std::clamp(spec.threads, 1, std::min(tenant_count, 64));
+
+  Shared shared;
+  shared.spec = &spec;
+  shared.corpus = corpus;
+
+  // Per-tenant runtimes, seeded independently of thread placement.
+  std::vector<TenantRt> rts(static_cast<size_t>(tenant_count));
+  for (int i = 0; i < tenant_count; ++i) {
+    TenantRt& t = rts[static_cast<size_t>(i)];
+    t.model = &corpus->tenants[static_cast<size_t>(i)];
+    t.tenant = t.model->tenant;
+    t.rng = Rng(spec.seed * 0x9E3779B97F4A7C15ull +
+                static_cast<uint64_t>(t.tenant + 1) * 0x94D049BB133111EBull);
+    for (const auto& [key, n] : t.model->key_count)
+      if (n <= 2) t.rare_keys.push_back(key);
+    if (t.rare_keys.empty()) t.rare_keys.push_back(t.model->min_key);
+  }
+
+  // One connection per worker, created up front so factory failures
+  // surface before any ops run.
+  std::vector<std::unique_ptr<Worker>> workers;
+  for (int w = 0; w < threads; ++w) {
+    MDM_ASSIGN_OR_RETURN(Connection conn, factory());
+    std::vector<TenantRt*> mine;
+    for (int i = w; i < tenant_count; i += threads)
+      mine.push_back(&rts[static_cast<size_t>(i)]);
+    workers.push_back(std::make_unique<Worker>(&shared, std::move(conn),
+                                               std::move(mine)));
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<Status> worker_status(static_cast<size_t>(threads),
+                                    Status::OK());
+  if (threads == 1) {
+    worker_status[0] = workers[0]->Run();
+  } else {
+    std::vector<std::thread> pool;
+    for (int w = 0; w < threads; ++w)
+      pool.emplace_back([&, w] {
+        worker_status[static_cast<size_t>(w)] = workers[static_cast<size_t>(w)]->Run();
+      });
+    for (std::thread& th : pool) th.join();
+  }
+  double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  for (const Status& s : worker_status) MDM_RETURN_IF_ERROR(s);
+
+  Report report;
+  report.wall_seconds = wall;
+  for (int c = 0; c < kClassCount; ++c) {
+    ClassStats& cs = report.per_class[c];
+    cs.ops = shared.ops[c].load(std::memory_order_relaxed);
+    cs.errors = shared.errors[c].load(std::memory_order_relaxed);
+    cs.qps = wall > 0 ? static_cast<double>(cs.ops) / wall : 0;
+    cs.p50_us =
+        obs::HistogramPercentile(shared.latency[c], 0.50) / 1000.0;
+    cs.p99_us =
+        obs::HistogramPercentile(shared.latency[c], 0.99) / 1000.0;
+    report.total_ops += cs.ops;
+    report.total_errors += cs.errors;
+    obs::Registry::Global()
+        ->GetCounter(StrFormat("mdm_workload_ops_total{class=\"%s\"}",
+                               ClassName(static_cast<ClientClass>(c))),
+                     "workload driver operations")
+        ->Inc(cs.ops);
+  }
+  report.oracle_checks =
+      shared.oracle_checks.load(std::memory_order_relaxed);
+  report.oracle_divergences =
+      shared.oracle_divergences.load(std::memory_order_relaxed);
+  report.divergences = std::move(shared.divergences);
+  // Order-independent combination: per-tenant digests are deterministic
+  // and tenants are disjoint, so any thread placement sums identically.
+  for (const TenantRt& t : rts) {
+    report.op_log_hash += t.log_hash;
+    report.oracle_hash += OracleStateHash(t);
+  }
+  return report;
+}
+
+}  // namespace mdm::workload

@@ -1,0 +1,84 @@
+#ifndef MDM_WORKLOAD_DRIVER_H_
+#define MDM_WORKLOAD_DRIVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "corpus/loader.h"
+#include "net/connection.h"
+
+namespace mdm::workload {
+
+/// The paper's Fig-1 client classes: who is talking to the MDM.
+enum class ClientClass { kEditor = 0, kAnalyzer, kTypesetter, kLibrarian };
+inline constexpr int kClassCount = 4;
+const char* ClassName(ClientClass c);
+
+/// Deterministic multi-tenant workload over a loaded corpus. Each
+/// tenant (score) gets its own seeded RNG and a fully sequential op
+/// stream; tenants are partitioned across threads (tenant % threads),
+/// so the per-tenant stream — and therefore the op-log and oracle
+/// hashes, which combine per-tenant digests order-independently — is
+/// identical for any thread count. See docs/WORKLOADS.md.
+struct WorkloadSpec {
+  uint64_t seed = 1;
+  int threads = 1;
+  /// Ops issued per tenant (closed loop: next op starts when the
+  /// previous reply lands). Fixed counts, not wall-clock, so runs are
+  /// replayable.
+  int ops_per_tenant = 32;
+  /// Relative Fig-1 mix weights.
+  int editor_weight = 2;
+  int analyzer_weight = 3;
+  int typesetter_weight = 3;
+  int librarian_weight = 2;
+  /// 0 disables the oracle. N > 0: every op's count/affected result is
+  /// cross-checked against the tenant model, and every N ops per tenant
+  /// the full battery runs (histogram, orderings, index-vs-scan
+  /// equivalence, annotation count).
+  int oracle_every = 0;
+  /// At most this many divergence descriptions are kept in the report.
+  int max_divergences = 16;
+};
+
+/// Produces one Connection per worker thread. Must be callable from
+/// multiple threads concurrently (each call from a distinct worker).
+using ConnectionFactory = std::function<Result<Connection>()>;
+
+struct ClassStats {
+  uint64_t ops = 0;
+  uint64_t errors = 0;
+  double qps = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+};
+
+struct Report {
+  ClassStats per_class[kClassCount];
+  uint64_t total_ops = 0;
+  uint64_t total_errors = 0;
+  uint64_t oracle_checks = 0;
+  uint64_t oracle_divergences = 0;
+  std::vector<std::string> divergences;  // first max_divergences examples
+  /// FNV-1a digest of every op (name, args, result), XOR-combined
+  /// across tenants: identical for identical seeds, any thread count.
+  uint64_t op_log_hash = 0;
+  /// Digest of the final per-tenant oracle models.
+  uint64_t oracle_hash = 0;
+  double wall_seconds = 0;
+};
+
+/// Replays the client mix against connections from `factory`. The
+/// corpus is mutated only in the driver's own bookkeeping (appended
+/// measures, annotation counts); the database mutations go through the
+/// connections. Returns an error only for setup failures (factory,
+/// empty corpus); per-op errors are counted in the report.
+Result<Report> RunWorkload(const WorkloadSpec& spec, corpus::Corpus* corpus,
+                           const ConnectionFactory& factory);
+
+}  // namespace mdm::workload
+
+#endif  // MDM_WORKLOAD_DRIVER_H_

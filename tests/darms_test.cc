@@ -214,5 +214,53 @@ TEST(DarmsExportTest, ImportExportReimportPreservesNotes) {
   EXPECT_EQ(degrees(db), degrees(db2));
 }
 
+// Regressions from fuzzing the parser with corpus-generator mutations:
+// every malformed input must come back as a typed ParseError — no
+// crash, no signed-overflow UB, no allocation proportional to a bogus
+// repeat count.
+TEST(DarmsFuzzRegressionTest, HugeDigitRunIsParseError) {
+  auto items = ParseDarms("99999999999999999999Q");
+  ASSERT_FALSE(items.ok());
+  EXPECT_EQ(items.status().code(), StatusCode::kParseError);
+  EXPECT_NE(items.status().message().find("out of range"),
+            std::string::npos);
+}
+
+TEST(DarmsFuzzRegressionTest, RestCountIsBounded) {
+  EXPECT_FALSE(ParseDarms("R99999W").ok());
+  EXPECT_FALSE(ParseDarms("R99999999999999999999W").ok());
+  auto ok = ParseDarms("R4W");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+}
+
+TEST(DarmsFuzzRegressionTest, MeterBoundsEnforced) {
+  EXPECT_FALSE(ParseDarms("!M4:0").ok());
+  EXPECT_FALSE(ParseDarms("!M0:4").ok());
+  EXPECT_FALSE(ParseDarms("!M99:4").ok());
+  EXPECT_FALSE(ParseDarms("!M4:99999999999999999999").ok());
+  EXPECT_TRUE(ParseDarms("!M64:64").ok());
+}
+
+TEST(DarmsFuzzRegressionTest, KeySignatureBoundsEnforced) {
+  EXPECT_FALSE(ParseDarms("!K8#").ok());
+  EXPECT_FALSE(ParseDarms("!K99-").ok());
+  EXPECT_FALSE(ParseDarms("!K99999999999999999999#").ok());
+  auto ok = ParseDarms("!K7#");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ((*ok)[0].number, 7);
+}
+
+TEST(DarmsFuzzRegressionTest, ImporterSurvivesMalformedInput) {
+  // The importer path (parser + schema writes) returns typed errors for
+  // the same corrupted inputs instead of crashing mid-import.
+  for (const char* bad :
+       {"99999999999999999999Q", "R99999W", "!M4:0", "!K9#", "(((((", "@"}) {
+    er::Database db;
+    auto import = ImportDarms(&db, bad, "bad");
+    EXPECT_FALSE(import.ok()) << bad;
+    EXPECT_FALSE(import.status().message().empty());
+  }
+}
+
 }  // namespace
 }  // namespace mdm::darms

@@ -1,0 +1,159 @@
+// Macro-benchmark harness suite (`macro` label; also in the tsan
+// preset's filter): the workload driver's determinism contract, oracle
+// soundness against both transports, and a sabotage test proving the
+// oracle actually detects divergence rather than vacuously passing.
+//
+// `ctest -L macro` runs the 10^4-note acceptance preset; the nightly CI
+// workflow runs the full 10^6-note scale through bench_fig01_macro.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "corpus/loader.h"
+#include "er/database.h"
+#include "net/connection.h"
+#include "net/server.h"
+#include "workload/driver.h"
+
+namespace mdm::workload {
+namespace {
+
+corpus::Corpus LoadFresh(er::Database* db, uint64_t seed, int scores,
+                         int64_t notes) {
+  corpus::LoadOptions options;
+  options.spec.seed = seed;
+  options.spec.scores = scores;
+  options.spec.target_total_notes = notes;
+  auto corpus = corpus::LoadCorpus(db, options);
+  EXPECT_TRUE(corpus.ok()) << corpus.status().ToString();
+  return *std::move(corpus);
+}
+
+WorkloadSpec SmallSpec(int threads, int oracle_every = 2) {
+  WorkloadSpec spec;
+  spec.seed = 21;
+  spec.threads = threads;
+  spec.ops_per_tenant = 6;
+  spec.oracle_every = oracle_every;
+  return spec;
+}
+
+Report RunLocal(const WorkloadSpec& spec, er::Database* db,
+                corpus::Corpus* corpus) {
+  auto report = RunWorkload(spec, corpus, [db] {
+    return Result<Connection>(Connection::Local(db));
+  });
+  EXPECT_TRUE(report.ok()) << report.status().ToString();
+  return *std::move(report);
+}
+
+TEST(MacroDeterminismTest, SameSeedSameHashes) {
+  Report reports[2];
+  for (int run = 0; run < 2; ++run) {
+    er::Database db;
+    corpus::Corpus corpus = LoadFresh(&db, 3, 6, 1200);
+    reports[run] = RunLocal(SmallSpec(/*threads=*/1), &db, &corpus);
+  }
+  EXPECT_EQ(reports[0].op_log_hash, reports[1].op_log_hash);
+  EXPECT_EQ(reports[0].oracle_hash, reports[1].oracle_hash);
+  EXPECT_EQ(reports[0].total_ops, reports[1].total_ops);
+  EXPECT_EQ(reports[0].oracle_divergences, 0u);
+  EXPECT_EQ(reports[1].oracle_divergences, 0u);
+  EXPECT_GT(reports[0].oracle_checks, 0u);
+}
+
+TEST(MacroDeterminismTest, ThreadCountDoesNotChangeHashes) {
+  Report single, multi;
+  {
+    er::Database db;
+    corpus::Corpus corpus = LoadFresh(&db, 3, 6, 1200);
+    single = RunLocal(SmallSpec(/*threads=*/1), &db, &corpus);
+  }
+  {
+    er::Database db;
+    corpus::Corpus corpus = LoadFresh(&db, 3, 6, 1200);
+    multi = RunLocal(SmallSpec(/*threads=*/4), &db, &corpus);
+  }
+  EXPECT_EQ(single.op_log_hash, multi.op_log_hash);
+  EXPECT_EQ(single.oracle_hash, multi.oracle_hash);
+  EXPECT_EQ(single.total_ops, multi.total_ops);
+  EXPECT_EQ(multi.oracle_divergences, 0u);
+  EXPECT_EQ(multi.total_errors, 0u);
+}
+
+TEST(MacroDeterminismTest, RemoteTransportMatchesLocal) {
+  Report local;
+  {
+    er::Database db;
+    corpus::Corpus corpus = LoadFresh(&db, 3, 6, 1200);
+    local = RunLocal(SmallSpec(/*threads=*/2), &db, &corpus);
+  }
+  Report remote;
+  {
+    er::Database db;
+    corpus::Corpus corpus = LoadFresh(&db, 3, 6, 1200);
+    net::Server server(&db);
+    ASSERT_TRUE(server.Start().ok());
+    const uint16_t port = server.port();
+    auto report =
+        RunWorkload(SmallSpec(/*threads=*/2), &corpus,
+                    [port] { return Connection::Remote("127.0.0.1", port); });
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    remote = *std::move(report);
+    server.Stop();
+  }
+  // One op stream, two transports: bit-identical results.
+  EXPECT_EQ(local.op_log_hash, remote.op_log_hash);
+  EXPECT_EQ(local.oracle_hash, remote.oracle_hash);
+  EXPECT_EQ(remote.oracle_divergences, 0u);
+  EXPECT_EQ(remote.total_errors, 0u);
+}
+
+// The oracle must detect corruption, not just bless whatever the
+// database says: plant a rogue annotation the driver never made and
+// the per-tenant battery has to flag it.
+TEST(MacroOracleTest, DetectsInjectedDivergence) {
+  er::Database db;
+  corpus::Corpus corpus = LoadFresh(&db, 3, 4, 800);
+  {
+    Connection conn = Connection::Local(&db);
+    auto rs =
+        conn.Execute("append to ANNOTATION (text = \"rogue\", xpos = 0)");
+    ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  }
+  WorkloadSpec spec = SmallSpec(/*threads=*/1, /*oracle_every=*/1);
+  auto report = RunWorkload(spec, &corpus, [&db] {
+    return Result<Connection>(Connection::Local(&db));
+  });
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->oracle_divergences, 0u);
+  ASSERT_FALSE(report->divergences.empty());
+  EXPECT_NE(report->divergences[0].find("B1"), std::string::npos)
+      << report->divergences[0];
+}
+
+// The issue's acceptance preset: ~10^4 notes across 20 scores, the full
+// mix with the oracle on, multi-threaded, zero divergences — the same
+// shape bench_fig01_macro --smoke runs, wired into `ctest -L macro`.
+TEST(MacroAcceptanceTest, TenThousandNotePresetRunsClean) {
+  er::Database db;
+  corpus::Corpus corpus = LoadFresh(&db, 42, 20, 10'000);
+  EXPECT_GE(corpus.total_notes, 10'000);
+  WorkloadSpec spec;
+  spec.seed = 42;
+  spec.threads = 4;
+  spec.ops_per_tenant = 6;
+  spec.oracle_every = 3;
+  Report report = RunLocal(spec, &db, &corpus);
+  EXPECT_EQ(report.total_errors, 0u);
+  EXPECT_EQ(report.oracle_divergences, 0u)
+      << (report.divergences.empty() ? "" : report.divergences[0]);
+  EXPECT_GT(report.oracle_checks, 0u);
+  // Timed() records battery and paired-query executions too, so the
+  // mix floor is scores * ops_per_tenant.
+  EXPECT_GE(report.total_ops, static_cast<uint64_t>(20 * spec.ops_per_tenant));
+  for (const auto& cs : report.per_class) EXPECT_GE(cs.p99_us, cs.p50_us);
+}
+
+}  // namespace
+}  // namespace mdm::workload

@@ -326,5 +326,84 @@ TEST(QuelResultSetTest, ToStringFormatsTable) {
   EXPECT_NE(affected.ToString().find("3 rows affected"), std::string::npos);
 }
 
+TEST_F(QuelOrderingTest, AppendUnderAddsLastChild) {
+  // The editor's "add at the end" (§5.5): the created entity lands as
+  // the final child of the qualified parent.
+  Connection conn = Connection::Local(&db_);
+  auto rs = conn.Execute(R"(
+    range of c1 is CHORD
+    append to NOTE (name = 60) under c1 in note_in_chord
+      where c1.name = 2
+  )");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->affected, 1u);
+  auto children = db_.Children("note_in_chord", chord2_);
+  ASSERT_TRUE(children.ok());
+  ASSERT_EQ(children->size(), 3u);
+  auto name = db_.GetAttribute(children->back(), "name");
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(name->AsInt(), 60);
+}
+
+TEST_F(QuelOrderingTest, AppendUnderCreatesOnePerMatchingParent) {
+  Connection conn = Connection::Local(&db_);
+  auto rs = conn.Execute(R"(
+    range of c1 is CHORD
+    append to NOTE (name = 70) under c1 in note_in_chord
+  )");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->affected, 2u);  // one fresh NOTE per chord
+  for (er::EntityId chord : {chord1_, chord2_}) {
+    auto children = db_.Children("note_in_chord", chord);
+    ASSERT_TRUE(children.ok());
+    auto name = db_.GetAttribute(children->back(), "name");
+    EXPECT_EQ(name->AsInt(), 70);
+  }
+  EXPECT_EQ(*db_.CountEntities("NOTE"), 7u);
+}
+
+TEST_F(QuelOrderingTest, AppendUnderNoMatchCreatesNothing) {
+  Connection conn = Connection::Local(&db_);
+  auto rs = conn.Execute(R"(
+    range of c1 is CHORD
+    append to NOTE (name = 80) under c1 in note_in_chord
+      where c1.name = 99
+  )");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->affected, 0u);
+  EXPECT_EQ(*db_.CountEntities("NOTE"), 5u);
+}
+
+TEST_F(QuelOrderingTest, AppendUnderAssignmentsSeeParentBinding) {
+  // Attribute expressions may reference the parent variable: the new
+  // note inherits its chord's name.
+  Connection conn = Connection::Local(&db_);
+  auto rs = conn.Execute(R"(
+    range of c1 is CHORD
+    append to NOTE (name = c1.name) under c1 in note_in_chord
+      where c1.name = 1
+  )");
+  ASSERT_TRUE(rs.ok()) << rs.status().ToString();
+  EXPECT_EQ(rs->affected, 1u);
+  auto children = db_.Children("note_in_chord", chord1_);
+  auto name = db_.GetAttribute(children->back(), "name");
+  EXPECT_EQ(name->AsInt(), 1);
+}
+
+TEST_F(QuelOrderingTest, AppendUnderErrors) {
+  Connection conn = Connection::Local(&db_);
+  // Unknown ordering.
+  EXPECT_FALSE(conn.Execute(R"(
+    range of c1 is CHORD
+    append to NOTE (name = 1) under c1 in no_such_ordering
+  )")
+                   .ok());
+  // Malformed: `under` without `in <ordering>`.
+  EXPECT_FALSE(conn.Execute(
+                       "range of c1 is CHORD "
+                       "append to NOTE (name = 1) under c1")
+                   .ok());
+}
+
 }  // namespace
 }  // namespace mdm::quel
