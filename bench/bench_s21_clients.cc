@@ -14,7 +14,10 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "common/strings.h"
+#include "er/persist.h"
 #include "er/session.h"
+#include "net/connection.h"
 #include "quel/quel.h"
 
 namespace {
@@ -93,6 +96,81 @@ double MeasureQps(mdm::er::Database* db, int threads) {
   return static_cast<double>(reads.load()) / secs;
 }
 
+/// Writer throughput against a *journaled* database: kWriters committer
+/// threads appending through Connection (each append = one statement
+/// group = one commit that must reach the disk) while `readers`
+/// snapshot-readers run alongside. With group commit OFF every commit
+/// pays its own fsync inside the exclusive latch; ON, commit records
+/// are appended under the latch and the fsync is batched in the
+/// coordinator outside it — the write-path overhaul's headline number.
+constexpr int kWriters = 8;
+
+double MeasureWriterQps(const std::string& path, int readers,
+                        bool group_commit) {
+  auto remove_files = [&] {
+    std::remove(path.c_str());
+    std::remove((path + ".tmp").c_str());
+    std::remove((path + ".wal").c_str());
+  };
+  remove_files();
+  auto h = mdm::er::DurableDatabase::Open(path);
+  if (!h.ok()) std::abort();
+  if (group_commit)
+    (*h)->EnableGroupCommit({/*interval_us=*/100, /*max_batch=*/64});
+  mdm::er::Database* db = (*h)->db();
+  {
+    mdm::Connection setup = mdm::Connection::Local(db);
+    if (!setup.Execute("define entity NOTE (name = integer)").ok())
+      std::abort();
+    if (!setup.Execute("append to NOTE (name = 0)").ok()) std::abort();
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> writes{0};
+  std::atomic<uint64_t> errors{0};
+
+  std::vector<std::thread> writer_threads;
+  for (int w = 0; w < kWriters; ++w) {
+    writer_threads.emplace_back([&, w] {
+      mdm::Connection conn = mdm::Connection::Local(db);
+      for (uint64_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        if (conn.Execute(
+                    mdm::StrFormat("append to NOTE (name = %llu)",
+                                   (unsigned long long)(w * 1000000 + i)))
+                .ok())
+          writes.fetch_add(1, std::memory_order_relaxed);
+        else
+          errors.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> reader_threads;
+  for (int t = 0; t < readers; ++t) {
+    reader_threads.emplace_back([&] {
+      mdm::Connection conn = mdm::Connection::Local(db);
+      while (!stop.load(std::memory_order_relaxed))
+        (void)conn.Execute("retrieve (k = count(NOTE.name))");
+    });
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(kSecondsPerPoint));
+  stop.store(true);
+  for (std::thread& t : writer_threads) t.join();
+  for (std::thread& t : reader_threads) t.join();
+  double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (errors.load() != 0)
+    std::printf("WARNING: %llu failed writes\n",
+                (unsigned long long)errors.load());
+  double qps = static_cast<double>(writes.load()) / secs;
+  h->reset();  // close before removing the files
+  remove_files();
+  return qps;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -128,5 +206,39 @@ int main(int argc, char** argv) {
       "\"qps_8\": %.0f, \"scaling_8v1\": %.3f, \"hw_threads\": %u}\n",
       kChords, kNotesPerChord, kSecondsPerPoint, qps[0], qps[1], qps[2],
       qps[3], scaling, hw);
+
+  // --- writer throughput: WAL group commit on/off × 1/4/8 readers ----
+  std::printf(
+      "\nwriter throughput (journaled db, %d writer threads; commits "
+      "must\nreach disk — group commit batches concurrent fsyncs, "
+      "snapshot reads\nkeep readers off the latch):\n\n",
+      kWriters);
+  const std::string wpath = "bench_s21_writers.mdm";
+  const int reader_counts[] = {1, 4, 8};
+  double wqps_on[3] = {};
+  double wqps_off[3] = {};
+  for (int i = 0; i < 3; ++i) {
+    wqps_off[i] = MeasureWriterQps(wpath, reader_counts[i], false);
+    wqps_on[i] = MeasureWriterQps(wpath, reader_counts[i], true);
+    std::printf(
+        "%d reader(s) + %d writers: %8.0f writes/s (group commit off)  "
+        "%8.0f writes/s (on)  %.1fx\n",
+        reader_counts[i], kWriters, wqps_off[i], wqps_on[i],
+        wqps_off[i] > 0 ? wqps_on[i] / wqps_off[i] : 0.0);
+  }
+  double speedup_8r =
+      wqps_off[2] > 0 ? wqps_on[2] / wqps_off[2] : 0.0;
+  std::printf("\ngroup-commit speedup under 8 readers: %.1fx\n",
+              speedup_8r);
+  std::printf(
+      "BENCH_JSON {\"bench\": \"s21_writers\", \"writers\": %d, "
+      "\"seconds_per_point\": %.2f, "
+      "\"gc_off_qps_r1\": %.0f, \"gc_off_qps_r4\": %.0f, "
+      "\"gc_off_qps_r8\": %.0f, "
+      "\"gc_on_qps_r1\": %.0f, \"gc_on_qps_r4\": %.0f, "
+      "\"gc_on_qps_r8\": %.0f, "
+      "\"gc_speedup_r8\": %.3f, \"hw_threads\": %u}\n",
+      kWriters, kSecondsPerPoint, wqps_off[0], wqps_off[1], wqps_off[2],
+      wqps_on[0], wqps_on[1], wqps_on[2], speedup_8r, hw);
   return 0;
 }

@@ -1,6 +1,9 @@
 #include "corpus/loader.h"
 
 #include <algorithm>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
 
 #include "biblio/thematic_index.h"
 #include "cmn/schema.h"
@@ -40,6 +43,59 @@ Status DefineWorkloadIndexes(er::Database* db) {
   return Status::OK();
 }
 
+/// Restores normal index maintenance even when the load errors out
+/// mid-way — a database left in bulk mode would silently stop
+/// maintaining its indexes.
+class BulkIndexScope {
+ public:
+  explicit BulkIndexScope(er::Database* db) : db_(db) {
+    db_->BeginBulkIndexLoad();
+  }
+  ~BulkIndexScope() {
+    if (db_ != nullptr) (void)db_->EndBulkIndexLoad();
+  }
+  /// Ends the scope explicitly so the success path can surface a
+  /// rebuild failure instead of swallowing it in the destructor.
+  Result<uint64_t> End() {
+    er::Database* db = db_;
+    db_ = nullptr;
+    return db->EndBulkIndexLoad();
+  }
+
+ private:
+  er::Database* db_;
+};
+
+/// One score's import = ONE er statement group = one WAL transaction
+/// with a single (group-committable) fsync — the in-process analog of
+/// Connection::ExecuteBatch, which the workload driver uses for the
+/// same reason. Without this, every CreateEntity/SetAttribute inside
+/// the DARMS importer auto-commits, and a journaled 10^6-note load
+/// pays millions of syncs.
+class ScoreBatchScope {
+ public:
+  explicit ScoreBatchScope(er::Database* db)
+      : db_(db), latch_(db->latch()) {
+    db_->BeginStatementGroup();
+  }
+  ~ScoreBatchScope() {
+    if (!ended_) (void)db_->EndStatementGroup();
+  }
+  /// Commits the group, releases the latch, and waits for durability.
+  Status Commit() {
+    ended_ = true;
+    Result<uint64_t> lsn = db_->EndStatementGroup();
+    latch_.unlock();
+    MDM_RETURN_IF_ERROR(lsn.status());
+    return db_->WaitDurable(*lsn);
+  }
+
+ private:
+  er::Database* db_;
+  std::unique_lock<std::shared_mutex> latch_;
+  bool ended_ = false;
+};
+
 }  // namespace
 
 Result<Corpus> LoadCorpus(er::Database* db, const LoadOptions& options) {
@@ -57,6 +113,13 @@ Result<Corpus> LoadCorpus(er::Database* db, const LoadOptions& options) {
   MDM_RETURN_IF_ERROR(biblio::InstallBiblioSchema(db));
   MDM_ASSIGN_OR_RETURN(EntityId catalog,
                        biblio::CreateCatalog(db, "MDM corpus", "MDM"));
+  // Indexes are defined BEFORE the load; in bulk mode their per-insert
+  // maintenance is suppressed and each tree is rebuilt once at the end,
+  // so the default cost matches the old define-after-load shape while
+  // also covering databases that already carry indexes.
+  if (options.define_indexes) MDM_RETURN_IF_ERROR(DefineWorkloadIndexes(db));
+  std::optional<BulkIndexScope> bulk;
+  if (options.bulk_index_build) bulk.emplace(db);
 
   Corpus corpus;
   corpus.tenants.reserve(static_cast<size_t>(std::max(1, options.spec.scores)));
@@ -65,6 +128,8 @@ Result<Corpus> LoadCorpus(er::Database* db, const LoadOptions& options) {
   for (int i = 0; i < std::max(1, options.spec.scores); ++i) {
     ScoreSpec spec = DeriveScoreSpec(options.spec, i);
     GeneratedScore gen = GenerateScore(spec);
+    // One WAL transaction per score (see ScoreBatchScope).
+    ScoreBatchScope batch(db);
 
     TenantModel model;
     model.tenant = i;
@@ -115,6 +180,7 @@ Result<Corpus> LoadCorpus(er::Database* db, const LoadOptions& options) {
     entry.measure_count = model.measures;
     entry.incipit = model.incipit;
     MDM_RETURN_IF_ERROR(biblio::AddEntry(db, catalog, entry).status());
+    MDM_RETURN_IF_ERROR(batch.Commit());
 
     corpus.total_notes += model.notes;
     corpus.total_rests += import.rests;
@@ -129,8 +195,8 @@ Result<Corpus> LoadCorpus(er::Database* db, const LoadOptions& options) {
     if (options.progress) options.progress(i + 1, corpus.total_notes);
   }
 
-  // Indexes after the bulk load: one backfill each, at full scale.
-  if (options.define_indexes) MDM_RETURN_IF_ERROR(DefineWorkloadIndexes(db));
+  // One rebuild per index, at full scale, instead of per-insert upkeep.
+  if (bulk.has_value()) MDM_RETURN_IF_ERROR(bulk->End().status());
   return corpus;
 }
 

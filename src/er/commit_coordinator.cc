@@ -1,0 +1,82 @@
+#include "er/commit_coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace mdm::er {
+
+namespace {
+
+struct GroupCommitMetrics {
+  obs::Counter* groups;
+  obs::Histogram* batch_size;
+  static const GroupCommitMetrics& Get() {
+    static GroupCommitMetrics m = {
+        obs::Registry::Global()->GetCounter(
+            "mdm_wal_group_commits_total",
+            "Group-commit fsyncs issued by a leader"),
+        obs::Registry::Global()->GetHistogram(
+            "mdm_wal_commit_batch_size",
+            "Committers covered by one group-commit fsync")};
+    return m;
+  }
+};
+
+}  // namespace
+
+Status CommitCoordinator::WaitDurable(uint64_t lsn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!poison_.ok()) return poison_;
+  if (lsn <= synced_) return Status::OK();
+
+  requested_ = std::max(requested_, lsn);
+  ++waiters_;
+  // Waking the leader early once the batch is full beats waiting out
+  // the grace window.
+  if (leader_active_ && waiters_ >= options_.max_batch) cv_.notify_all();
+
+  while (leader_active_) {
+    cv_.wait(lock);
+    if (!poison_.ok()) {
+      --waiters_;
+      return poison_;
+    }
+    if (lsn <= synced_) {
+      --waiters_;
+      return Status::OK();
+    }
+  }
+
+  // Leader: hold the batch open for the grace window (or until it
+  // fills), then fsync once for everyone queued.
+  leader_active_ = true;
+  if (options_.interval_us > 0 && waiters_ < options_.max_batch)
+    cv_.wait_for(lock, std::chrono::microseconds(options_.interval_us),
+                 [&] { return waiters_ >= options_.max_batch; });
+  const uint64_t target = requested_;
+  const uint32_t batch = waiters_;
+  lock.unlock();
+
+  // The sync covers every record appended before it — including commit
+  // records appended (under the latch) after `target` was captured;
+  // those waiters simply find lsn <= synced_ already on arrival.
+  Status synced = wal_->Sync();
+
+  lock.lock();
+  leader_active_ = false;
+  --waiters_;
+  if (!synced.ok()) {
+    poison_ = synced;
+    cv_.notify_all();
+    return synced;
+  }
+  synced_ = std::max(synced_, target);
+  GroupCommitMetrics::Get().groups->Inc();
+  GroupCommitMetrics::Get().batch_size->Observe(batch);
+  cv_.notify_all();
+  return Status::OK();
+}
+
+}  // namespace mdm::er

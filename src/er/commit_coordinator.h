@@ -1,0 +1,66 @@
+#ifndef MDM_ER_COMMIT_COORDINATOR_H_
+#define MDM_ER_COMMIT_COORDINATOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/status.h"
+#include "storage/wal.h"
+
+namespace mdm::er {
+
+/// WAL group commit (docs/WRITEPATH.md §2).
+///
+/// Committers append their commit record under the exclusive db latch
+/// (WalWriter::CommitNoSync), release the latch, then call WaitDurable
+/// with that record's LSN. The first waiter to find no leader becomes
+/// the leader: it waits a short grace window (`interval_us`) for more
+/// committers to arrive — or until `max_batch` are queued — then issues
+/// ONE WalWriter::Sync covering every commit record appended so far and
+/// wakes the whole batch. Followers just sleep until a leader's sync
+/// covers their LSN. Under contention, N committers pay one fsync
+/// instead of N; single-threaded, the cost is one fsync plus at most
+/// one grace window.
+///
+/// A failed sync poisons the coordinator: the failure status is
+/// returned to every current AND future waiter, because the WAL tail's
+/// durability is now unknown and acking later commits would lie. This
+/// matches Commit()'s contract (an fsync error is fatal for the
+/// journal), and the workload can still read.
+class CommitCoordinator {
+ public:
+  struct Options {
+    /// Grace window the leader holds the batch open, microseconds.
+    uint32_t interval_us = 100;
+    /// Leader syncs immediately once this many committers are waiting.
+    uint32_t max_batch = 64;
+  };
+
+  CommitCoordinator(storage::WalWriter* wal, Options options)
+      : wal_(wal), options_(options) {}
+  CommitCoordinator(const CommitCoordinator&) = delete;
+  CommitCoordinator& operator=(const CommitCoordinator&) = delete;
+
+  /// Blocks until a sync covering `lsn` has completed (possibly issued
+  /// by this thread as leader). Call WITHOUT the db latch held.
+  Status WaitDurable(uint64_t lsn);
+
+  const Options& options() const { return options_; }
+
+ private:
+  storage::WalWriter* wal_;
+  const Options options_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t synced_ = 0;     // highest LSN known fsynced
+  uint64_t requested_ = 0;  // highest LSN any waiter needs
+  uint32_t waiters_ = 0;    // committers currently queued
+  bool leader_active_ = false;
+  Status poison_ = Status::OK();  // sticky first sync failure
+};
+
+}  // namespace mdm::er
+
+#endif  // MDM_ER_COMMIT_COORDINATOR_H_

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/strings.h"
+#include "er/commit_coordinator.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
@@ -65,6 +66,41 @@ struct IndexCounters {
     return c;
   }
 };
+
+/// Metrics for the copy-on-write snapshot machinery (docs/WRITEPATH.md).
+struct SnapCounters {
+  obs::Counter* publishes;
+  obs::Counter* reads;
+  obs::Counter* pin_fallbacks;
+  obs::Counter* index_fallbacks;
+  static const SnapCounters& Get() {
+    static SnapCounters c = {
+        obs::Registry::Global()->GetCounter(
+            "mdm_er_snapshot_publishes_total",
+            "Copy-on-write table snapshots published"),
+        obs::Registry::Global()->GetCounter(
+            "mdm_er_snapshot_reads_total",
+            "Read scopes served from a pinned snapshot (no db latch)"),
+        obs::Registry::Global()->GetCounter(
+            "mdm_er_snapshot_pin_fallbacks_total",
+            "Snapshot pins refused (unpublished mutations, no disciplined "
+            "writer); reader fell back to the shared latch"),
+        obs::Registry::Global()->GetCounter(
+            "mdm_index_snapshot_fallbacks_total",
+            "Snapshot index probes degraded to a type scan by an "
+            "erase-epoch mismatch")};
+    return c;
+  }
+};
+
+/// The snapshot a SnapshotReadScope pinned for this thread (see
+/// Database::ReadTables). Raw pointers: the scope object owns the
+/// keep-alive shared_ptr.
+struct TlsPinned {
+  const Database* db = nullptr;
+  const Tables* tables = nullptr;
+};
+thread_local TlsPinned g_pinned;
 
 // ---------------------------------------------------------------------
 // Secondary-index key encoding.
@@ -136,88 +172,262 @@ EntityId EntityForRid(const storage::Rid& rid) {
 }  // namespace
 
 // ---------------------------------------------------------------------
+// Snapshot read scopes.
+// ---------------------------------------------------------------------
+
+SnapshotReadScope::SnapshotReadScope(const Database* db,
+                                     std::shared_ptr<const Tables> tables)
+    : tables_(std::move(tables)),
+      prev_db_(g_pinned.db),
+      prev_tables_(g_pinned.tables) {
+  if (tables_ != nullptr) {
+    SnapCounters::Get().reads->Inc();
+    g_pinned.db = db;
+    g_pinned.tables = tables_.get();
+  }
+}
+
+SnapshotReadScope::~SnapshotReadScope() {
+  g_pinned.db = prev_db_;
+  g_pinned.tables = prev_tables_;
+}
+
+const Tables& Database::ReadTables() const {
+  if (g_pinned.db == this) return *g_pinned.tables;
+  return live_;
+}
+
+std::shared_ptr<const Tables> Database::TryPinSnapshot() const {
+  // Unpublished mutations with no disciplined writer mid-flight mean a
+  // caller mutated through the direct API without guards; serving the
+  // stale snapshot would hide those writes from its own thread.
+  if (ops_applied_.load(std::memory_order_acquire) !=
+          published_ops_.load(std::memory_order_acquire) &&
+      !writer_active_.load(std::memory_order_acquire)) {
+    SnapCounters::Get().pin_fallbacks->Inc();
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(snap_mu_);
+  return published_;
+}
+
+void Database::PublishSnapshot() {
+  if (published_ != nullptr &&
+      ops_applied_.load(std::memory_order_relaxed) ==
+          published_ops_.load(std::memory_order_relaxed))
+    return;  // nothing changed since the last publish
+  RefreshIndexEpochs();
+  auto snap = std::make_shared<const Tables>(live_);
+  {
+    std::lock_guard<std::mutex> lock(snap_mu_);
+    published_ = std::move(snap);
+  }
+  ++publish_gen_;
+  snapshot_epoch_.fetch_add(1, std::memory_order_relaxed);
+  published_ops_.store(ops_applied_.load(std::memory_order_relaxed),
+                       std::memory_order_release);
+  SnapCounters::Get().publishes->Inc();
+}
+
+Database::Database() { PublishSnapshot(); }
+
+// ---------------------------------------------------------------------
 // Moves.
 //
-// Hand-written because the latch, the atomic ablation flag and the
-// atomic stats are not movable. Moving is NOT latch-protected: callers
-// (mdmsh \load, persist's Restore) quiesce all sessions first. The
-// destination gets fresh synchronization state and a copy of the
-// counters; the source is left empty and reusable.
+// Hand-written because the latch, the snap mutex, the atomic ablation
+// flags and the atomic stats are not movable. Moving is NOT
+// latch-protected: callers (mdmsh \load, persist's Restore) quiesce all
+// sessions first. The destination gets fresh synchronization state and
+// a copy of the counters; the source is left empty and reusable.
+// Snapshots pinned from the source before the move stay readable (the
+// pin owns the Tables), but resolve against the source object only.
 // ---------------------------------------------------------------------
 
 Database::Database(Database&& other) noexcept { *this = std::move(other); }
 
 Database& Database::operator=(Database&& other) noexcept {
   if (this == &other) return *this;
-  schema_ = std::move(other.schema_);
-  entities_ = std::move(other.entities_);
-  by_type_ = std::move(other.by_type_);
-  rel_instances_ = std::move(other.rel_instances_);
-  rels_by_name_ = std::move(other.rels_by_name_);
-  ordering_instances_ = std::move(other.ordering_instances_);
-  next_entity_id_ = other.next_entity_id_;
-  next_rel_id_ = other.next_rel_id_;
+  live_ = std::move(other.live_);
+  published_ = std::move(other.published_);
+  publish_gen_ = other.publish_gen_;
+  snapshot_epoch_.store(other.snapshot_epoch_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  ops_applied_.store(other.ops_applied_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  published_ops_.store(other.published_ops_.load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  writer_active_.store(false, std::memory_order_relaxed);
   ordering_index_enabled_.store(
       other.ordering_index_enabled_.load(std::memory_order_relaxed),
       std::memory_order_relaxed);
   index_stats_.CopyFrom(other.index_stats_);
-  attr_indexes_ = std::move(other.attr_indexes_);
   attr_index_enabled_.store(
       other.attr_index_enabled_.load(std::memory_order_relaxed),
       std::memory_order_relaxed);
   attr_stats_.CopyFrom(other.attr_stats_);
+  bulk_index_load_.store(
+      other.bulk_index_load_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  attr_erase_dirty_ = other.attr_erase_dirty_;
   wal_ = other.wal_;
+  coordinator_ = other.coordinator_;
   open_txn_ = other.open_txn_;
+  group_active_ = other.group_active_;
   replaying_ = other.replaying_;
-  other.schema_ = ErSchema();
-  other.entities_.clear();
-  other.by_type_.clear();
-  other.rel_instances_.clear();
-  other.rels_by_name_.clear();
-  other.ordering_instances_.clear();
-  other.attr_indexes_.clear();
-  other.next_entity_id_ = 1;
-  other.next_rel_id_ = 1;
+
+  other.live_ = Tables();
+  other.published_.reset();
+  other.publish_gen_ = 1;
+  other.snapshot_epoch_.store(0, std::memory_order_relaxed);
+  other.ops_applied_.store(0, std::memory_order_relaxed);
+  other.published_ops_.store(0, std::memory_order_relaxed);
+  other.writer_active_.store(false, std::memory_order_relaxed);
+  other.bulk_index_load_.store(false, std::memory_order_relaxed);
+  other.attr_erase_dirty_ = false;
   other.wal_ = nullptr;
+  other.coordinator_ = nullptr;
   other.open_txn_ = 0;
+  other.group_active_ = false;
   other.replaying_ = false;
+  other.PublishSnapshot();  // leave the source reusable, like fresh-built
   return *this;
 }
 
 // ---------------------------------------------------------------------
-// Lookup helpers.
+// Lookup and copy-on-write helpers.
+//
+// Rule of thumb for this file: PMap-typed fields of live_ may be
+// mutated directly (persistent maps never touch shared nodes — a
+// published snapshot keeps its own root), while every shared_ptr-held
+// struct (schema, by_type, rels_by_name, indexes, OrdStates, records,
+// Sibs) goes through its Mutable* helper, which clones unless the
+// object is already private to the current publish generation.
 // ---------------------------------------------------------------------
 
 const EntityRecord* Database::FindEntity(EntityId id) const {
-  auto it = entities_.find(id);
-  return it == entities_.end() ? nullptr : &it->second;
+  const std::shared_ptr<EntityRecord>* p = ReadTables().entities.Find(id);
+  return p == nullptr ? nullptr : p->get();
 }
 
-EntityRecord* Database::FindEntity(EntityId id) {
-  auto it = entities_.find(id);
-  return it == entities_.end() ? nullptr : &it->second;
+EntityRecord* Database::MutableEntity(EntityId id) {
+  const std::shared_ptr<EntityRecord>* p = live_.entities.Find(id);
+  if (p == nullptr) return nullptr;
+  if ((*p)->gen == publish_gen_) return p->get();
+  auto fresh = std::make_shared<EntityRecord>(**p);
+  fresh->gen = publish_gen_;
+  EntityRecord* raw = fresh.get();
+  live_.entities.Insert(id, std::move(fresh));
+  return raw;
+}
+
+RelationshipInstance* Database::MutableRel(RelInstanceId id) {
+  const std::shared_ptr<RelationshipInstance>* p = live_.rels.Find(id);
+  if (p == nullptr) return nullptr;
+  if ((*p)->gen == publish_gen_) return p->get();
+  auto fresh = std::make_shared<RelationshipInstance>(**p);
+  fresh->gen = publish_gen_;
+  RelationshipInstance* raw = fresh.get();
+  live_.rels.Insert(id, std::move(fresh));
+  return raw;
+}
+
+ErSchema* Database::MutableSchema() {
+  if (live_.schema->gen != publish_gen_) {
+    auto fresh = std::make_shared<SchemaState>(*live_.schema);
+    fresh->gen = publish_gen_;
+    live_.schema = std::move(fresh);
+  }
+  return &live_.schema->schema;
+}
+
+TypeMap* Database::MutableByType() {
+  if (live_.by_type->gen != publish_gen_) {
+    auto fresh = std::make_shared<TypeMap>(*live_.by_type);
+    fresh->gen = publish_gen_;
+    live_.by_type = std::move(fresh);
+  }
+  return live_.by_type.get();
+}
+
+RelNameMap* Database::MutableRelsByName() {
+  if (live_.rels_by_name->gen != publish_gen_) {
+    auto fresh = std::make_shared<RelNameMap>(*live_.rels_by_name);
+    fresh->gen = publish_gen_;
+    live_.rels_by_name = std::move(fresh);
+  }
+  return live_.rels_by_name.get();
+}
+
+IndexMap* Database::MutableIndexes() {
+  if (live_.indexes->gen != publish_gen_) {
+    auto fresh = std::make_shared<IndexMap>(*live_.indexes);
+    fresh->gen = publish_gen_;
+    live_.indexes = std::move(fresh);
+  }
+  return live_.indexes.get();
+}
+
+OrdState* Database::MutableOrd(size_t index) {
+  std::shared_ptr<OrdState>& slot = live_.orderings[index];
+  if (slot->gen != publish_gen_) {
+    auto fresh = std::make_shared<OrdState>(*slot);  // shares the cell
+    fresh->gen = publish_gen_;
+    slot = std::move(fresh);
+  }
+  return slot.get();
+}
+
+Sibs* Database::MutableSibs(OrdState* ord, EntityId parent) {
+  const std::shared_ptr<Sibs>* cur = ord->children.Find(parent);
+  std::shared_ptr<Sibs> fresh;
+  if (cur == nullptr) {
+    fresh = std::make_shared<Sibs>();
+  } else if ((*cur)->gen == publish_gen_) {
+    return cur->get();
+  } else {
+    fresh = std::make_shared<Sibs>(**cur);
+  }
+  fresh->gen = publish_gen_;
+  Sibs* raw = fresh.get();
+  ord->children.Insert(parent, std::move(fresh));
+  return raw;
+}
+
+const ErSchema& Database::schema() const {
+  return ReadTables().schema->schema;
+}
+
+uint64_t Database::TotalEntities() const {
+  return ReadTables().entities.size();
+}
+
+const OrderingDef& Database::ordering_def(OrderingHandle h) const {
+  return ReadTables().schema->schema.orderings()[h.index()];
 }
 
 Result<const OrderingDef*> Database::ResolveOrdering(
     const std::string& name) const {
-  const OrderingDef* def = schema_.FindOrdering(name);
+  const OrderingDef* def = ReadTables().schema->schema.FindOrdering(name);
   if (def == nullptr) return NotFound("no ordering named " + name);
   return def;
 }
 
 Result<OrderingHandle> Database::ResolveOrderingHandle(
     std::string_view name) const {
-  auto idx = schema_.FindOrderingIndex(std::string(name));
+  auto idx = ReadTables().schema->schema.FindOrderingIndex(std::string(name));
   if (!idx.has_value())
     return NotFound("no ordering named " + std::string(name));
   return OrderingHandle::FromIndex(*idx);
 }
 
 // ---------------------------------------------------------------------
-// Journaling plumbing.
+// Journaling and commit plumbing.
 // ---------------------------------------------------------------------
 
 Status Database::LogOp(Op op, const std::vector<uint8_t>& payload) {
+  // Counted even when no journal is attached (or during replay): this
+  // is the staleness fence TryPinSnapshot compares against.
+  ops_applied_.fetch_add(1, std::memory_order_release);
   if (wal_ == nullptr || replaying_) return Status::OK();
   ByteWriter w;
   w.PutU8(static_cast<uint8_t>(op));
@@ -225,9 +435,22 @@ Status Database::LogOp(Op op, const std::vector<uint8_t>& payload) {
   std::string bytes(reinterpret_cast<const char*>(w.data().data()),
                     w.size());
   if (open_txn_ != 0) return wal_->LogOp(open_txn_, std::move(bytes));
-  // Auto-commit: each op is its own transaction.
+  if (group_active_) {
+    // Statement group: open the group's transaction lazily on the first
+    // journaled op; EndStatementGroup commits it.
+    MDM_ASSIGN_OR_RETURN(open_txn_, wal_->Begin());
+    return wal_->LogOp(open_txn_, std::move(bytes));
+  }
+  // Auto-commit: each op is its own transaction. With a coordinator the
+  // fsync is group-amortized (we block here, latch held — correct but
+  // unbatched for single-threaded direct-API use; the executor's
+  // statement groups are the fast path).
   MDM_ASSIGN_OR_RETURN(uint64_t txn, wal_->Begin());
   MDM_RETURN_IF_ERROR(wal_->LogOp(txn, std::move(bytes)));
+  if (coordinator_ != nullptr) {
+    MDM_ASSIGN_OR_RETURN(uint64_t lsn, wal_->CommitNoSync(txn));
+    return coordinator_->WaitDurable(lsn);
+  }
   return wal_->Commit(txn);
 }
 
@@ -245,6 +468,41 @@ Status Database::CommitTxn() {
   return wal_->Commit(txn);
 }
 
+void Database::BeginStatementGroup() {
+  writer_active_.store(true, std::memory_order_release);
+  group_active_ = true;
+}
+
+Result<uint64_t> Database::EndStatementGroup() {
+  group_active_ = false;
+  uint64_t lsn = 0;
+  Status commit = Status::OK();
+  if (open_txn_ != 0) {
+    uint64_t txn = open_txn_;
+    open_txn_ = 0;
+    if (coordinator_ != nullptr && wal_ != nullptr) {
+      Result<uint64_t> r = wal_->CommitNoSync(txn);
+      if (r.ok())
+        lsn = *r;
+      else
+        commit = r.status();
+    } else if (wal_ != nullptr) {
+      commit = wal_->Commit(txn);
+    }
+  }
+  // Visibility before durability (async-commit style): the new state is
+  // published now; the caller acks only after WaitDurable returns.
+  PublishSnapshot();
+  writer_active_.store(false, std::memory_order_release);
+  if (!commit.ok()) return commit;
+  return lsn;
+}
+
+Status Database::WaitDurable(uint64_t lsn) {
+  if (lsn == 0 || coordinator_ == nullptr) return Status::OK();
+  return coordinator_->WaitDurable(lsn);
+}
+
 // ---------------------------------------------------------------------
 // Schema definition.
 // ---------------------------------------------------------------------
@@ -252,22 +510,27 @@ Status Database::CommitTxn() {
 Status Database::DefineEntityType(EntityTypeDef def) {
   ByteWriter payload;
   EncodeEntityTypeDef(def, &payload);
-  MDM_RETURN_IF_ERROR(schema_.AddEntityType(std::move(def)));
+  MDM_RETURN_IF_ERROR(MutableSchema()->AddEntityType(std::move(def)));
   return LogOp(Op::kDefineEntity, payload.data());
 }
 
 Status Database::DefineRelationship(RelationshipDef def) {
   ByteWriter payload;
   EncodeRelationshipDef(def, &payload);
-  MDM_RETURN_IF_ERROR(schema_.AddRelationship(std::move(def)));
+  MDM_RETURN_IF_ERROR(MutableSchema()->AddRelationship(std::move(def)));
   return LogOp(Op::kDefineRelationship, payload.data());
 }
 
 Result<std::string> Database::DefineOrdering(OrderingDef def) {
-  MDM_RETURN_IF_ERROR(schema_.AddOrdering(def));
+  ErSchema* schema = MutableSchema();
+  MDM_RETURN_IF_ERROR(schema->AddOrdering(def));
   // AddOrdering may have generated a name; fetch the stored def.
-  const OrderingDef& stored = schema_.orderings().back();
-  ordering_instances_.resize(schema_.orderings().size());
+  const OrderingDef& stored = schema->orderings().back();
+  while (live_.orderings.size() < schema->orderings().size()) {
+    auto slot = std::make_shared<OrdState>();
+    slot->gen = publish_gen_;
+    live_.orderings.push_back(std::move(slot));
+  }
   ByteWriter payload;
   EncodeOrderingDef(stored, &payload);
   MDM_RETURN_IF_ERROR(LogOp(Op::kDefineOrdering, payload.data()));
@@ -279,20 +542,22 @@ Result<std::string> Database::DefineOrdering(OrderingDef def) {
 // ---------------------------------------------------------------------
 
 Result<EntityId> Database::CreateEntity(const std::string& type) {
-  const EntityTypeDef* def = schema_.FindEntityType(type);
+  const ErSchema& schema = live_.schema->schema;
+  const EntityTypeDef* def = schema.FindEntityType(type);
   if (def == nullptr) return NotFound("no entity type named " + type);
   uint32_t type_index = 0;
-  for (size_t i = 0; i < schema_.entity_types().size(); ++i)
-    if (&schema_.entity_types()[i] == def)
+  for (size_t i = 0; i < schema.entity_types().size(); ++i)
+    if (&schema.entity_types()[i] == def)
       type_index = static_cast<uint32_t>(i);
 
-  EntityId id = next_entity_id_++;
-  EntityRecord rec;
-  rec.id = id;
-  rec.type_index = type_index;
-  rec.attrs.assign(def->attributes.size(), Value::Null());
-  entities_.emplace(id, std::move(rec));
-  by_type_[AsciiUpper(def->name)].push_back(id);
+  EntityId id = live_.next_entity_id++;
+  auto rec = std::make_shared<EntityRecord>();
+  rec->id = id;
+  rec->type_index = type_index;
+  rec->attrs.assign(def->attributes.size(), Value::Null());
+  rec->gen = publish_gen_;
+  live_.entities.Insert(id, std::move(rec));
+  MutableByType()->sets[AsciiUpper(def->name)].Insert(id, 0);
 
   ByteWriter payload;
   payload.PutString(def->name);
@@ -302,54 +567,60 @@ Result<EntityId> Database::CreateEntity(const std::string& type) {
 }
 
 Status Database::DeleteEntity(EntityId id) {
-  EntityRecord* rec = FindEntity(id);
-  if (rec == nullptr)
+  const std::shared_ptr<EntityRecord>* found = live_.entities.Find(id);
+  if (found == nullptr)
     return NotFound(StrFormat("no entity #%llu", (unsigned long long)id));
-  const std::string type_name =
-      schema_.entity_types()[rec->type_index].name;
+  // Keep the record alive across the container surgery below.
+  std::shared_ptr<EntityRecord> rec = *found;
+  const ErSchema& schema = live_.schema->schema;
+  const std::string type_name = schema.entity_types()[rec->type_index].name;
 
   // Detach from every ordering: as a child (remove from its siblings) and
   // as a parent (children become roots of that ordering).
-  for (OrderingInstances& inst : ordering_instances_) {
-    bool touched = false;
-    auto pit = inst.parent_of.find(id);
-    if (pit != inst.parent_of.end()) {
-      std::vector<EntityId>& sibs = inst.children[pit->second];
-      sibs.erase(std::remove(sibs.begin(), sibs.end(), id), sibs.end());
-      inst.parent_of.erase(pit);
-      touched = true;
+  for (size_t i = 0; i < live_.orderings.size(); ++i) {
+    const OrdState& cur = *live_.orderings[i];
+    const EntityId* pp = cur.parent_of.Find(id);
+    const bool as_parent = cur.children.Contains(id);
+    if (pp == nullptr && !as_parent) continue;
+    EntityId parent = pp == nullptr ? kInvalidEntityId : *pp;
+    OrdState* ord = MutableOrd(i);
+    if (pp != nullptr) {
+      Sibs* sibs = MutableSibs(ord, parent);
+      sibs->ids.erase(std::remove(sibs->ids.begin(), sibs->ids.end(), id),
+                      sibs->ids.end());
+      ord->parent_of.Erase(id);
     }
-    auto cit = inst.children.find(id);
-    if (cit != inst.children.end()) {
-      for (EntityId child : cit->second) inst.parent_of.erase(child);
-      inst.children.erase(cit);
-      touched = true;
+    if (as_parent) {
+      std::vector<EntityId> kids = (*ord->children.Find(id))->ids;
+      for (EntityId child : kids) ord->parent_of.Erase(child);
+      ord->children.Erase(id);
     }
-    if (touched) inst.Invalidate();
+    ++ord->version;
   }
 
   // Delete relationship instances that reference the entity.
   std::vector<RelInstanceId> doomed;
-  for (const auto& [rid, ri] : rel_instances_) {
-    for (EntityId ref : ri.role_refs)
-      if (ref == id) {
-        doomed.push_back(rid);
-        break;
-      }
-  }
+  live_.rels.ForEach(
+      [&](RelInstanceId rid, const std::shared_ptr<RelationshipInstance>& ri) {
+        for (EntityId ref : ri->role_refs)
+          if (ref == id) {
+            doomed.push_back(rid);
+            break;
+          }
+        return true;
+      });
   for (RelInstanceId rid : doomed) {
-    const RelationshipInstance& ri = rel_instances_.at(rid);
-    std::vector<RelInstanceId>& list =
-        rels_by_name_[AsciiUpper(schema_.relationships()[ri.rel_index].name)];
-    list.erase(std::remove(list.begin(), list.end(), rid), list.end());
-    rel_instances_.erase(rid);
+    const RelationshipInstance& ri = **live_.rels.Find(rid);
+    const std::string rel_name =
+        AsciiUpper(schema.relationships()[ri.rel_index].name);
+    MutableRelsByName()->sets[rel_name].Erase(rid);
+    live_.rels.Erase(rid);
   }
 
   AttrIndexOnDelete(*rec);
 
-  std::vector<EntityId>& list = by_type_[AsciiUpper(type_name)];
-  list.erase(std::remove(list.begin(), list.end(), id), list.end());
-  entities_.erase(id);
+  MutableByType()->sets[AsciiUpper(type_name)].Erase(id);
+  live_.entities.Erase(id);
 
   ByteWriter payload;
   payload.PutU64(id);
@@ -359,18 +630,20 @@ Status Database::DeleteEntity(EntityId id) {
 bool Database::Exists(EntityId id) const { return FindEntity(id) != nullptr; }
 
 Result<std::string> Database::TypeOf(EntityId id) const {
-  const EntityRecord* rec = FindEntity(id);
+  const Tables& t = ReadTables();
+  const std::shared_ptr<EntityRecord>* rec = t.entities.Find(id);
   if (rec == nullptr)
     return NotFound(StrFormat("no entity #%llu", (unsigned long long)id));
-  return schema_.entity_types()[rec->type_index].name;
+  return t.schema->schema.entity_types()[(*rec)->type_index].name;
 }
 
 Status Database::SetAttribute(EntityId id, const std::string& attr,
                               Value value) {
-  EntityRecord* rec = FindEntity(id);
+  const EntityRecord* rec = FindEntity(id);
   if (rec == nullptr)
     return NotFound(StrFormat("no entity #%llu", (unsigned long long)id));
-  const EntityTypeDef& def = schema_.entity_types()[rec->type_index];
+  const ErSchema& schema = live_.schema->schema;
+  const EntityTypeDef& def = schema.entity_types()[rec->type_index];
   auto idx = def.AttributeIndex(attr);
   if (!idx.has_value())
     return NotFound(StrFormat("entity type %s has no attribute %s",
@@ -392,7 +665,7 @@ Status Database::SetAttribute(EntityId id, const std::string& attr,
                                   adef.name.c_str(),
                                   (unsigned long long)value.AsRef()));
       const std::string& target_type =
-          schema_.entity_types()[target->type_index].name;
+          schema.entity_types()[target->type_index].name;
       if (!adef.ref_target.empty() &&
           !EqualsIgnoreCase(target_type, adef.ref_target))
         return TypeError(StrFormat("attribute %s expects a %s, got a %s",
@@ -404,40 +677,46 @@ Status Database::SetAttribute(EntityId id, const std::string& attr,
   payload.PutU64(id);
   payload.PutString(adef.name);
   value.Encode(&payload);
-  AttrIndexOnSet(*rec, static_cast<uint32_t>(*idx), rec->attrs[*idx], value);
-  rec->attrs[*idx] = std::move(value);
+  EntityRecord* mut = MutableEntity(id);
+  AttrIndexOnSet(*mut, static_cast<uint32_t>(*idx), mut->attrs[*idx], value);
+  mut->attrs[*idx] = std::move(value);
   return LogOp(Op::kSetAttribute, payload.data());
 }
 
 Result<Value> Database::GetAttribute(EntityId id,
                                      const std::string& attr) const {
-  const EntityRecord* rec = FindEntity(id);
-  if (rec == nullptr)
+  const Tables& t = ReadTables();
+  const std::shared_ptr<EntityRecord>* recp = t.entities.Find(id);
+  if (recp == nullptr)
     return NotFound(StrFormat("no entity #%llu", (unsigned long long)id));
-  const EntityTypeDef& def = schema_.entity_types()[rec->type_index];
+  const EntityRecord& rec = **recp;
+  const EntityTypeDef& def = t.schema->schema.entity_types()[rec.type_index];
   auto idx = def.AttributeIndex(attr);
   if (!idx.has_value())
     return NotFound(StrFormat("entity type %s has no attribute %s",
                               def.name.c_str(), attr.c_str()));
-  return rec->attrs[*idx];
+  return rec.attrs[*idx];
 }
 
 Status Database::ForEachEntity(const std::string& type,
                                const std::function<bool(EntityId)>& fn) const {
-  if (schema_.FindEntityType(type) == nullptr)
+  const Tables& t = ReadTables();
+  if (t.schema->schema.FindEntityType(type) == nullptr)
     return NotFound("no entity type named " + type);
-  auto it = by_type_.find(AsciiUpper(type));
-  if (it == by_type_.end()) return Status::OK();
-  for (EntityId id : it->second)
-    if (!fn(id)) break;
+  auto it = t.by_type->sets.find(AsciiUpper(type));
+  if (it == t.by_type->sets.end()) return Status::OK();
+  it->second.ForEach([&](EntityId id, uint8_t) { return fn(id); });
   return Status::OK();
 }
 
 Result<uint64_t> Database::CountEntities(const std::string& type) const {
-  if (schema_.FindEntityType(type) == nullptr)
+  const Tables& t = ReadTables();
+  if (t.schema->schema.FindEntityType(type) == nullptr)
     return NotFound("no entity type named " + type);
-  auto it = by_type_.find(AsciiUpper(type));
-  return it == by_type_.end() ? 0 : static_cast<uint64_t>(it->second.size());
+  auto it = t.by_type->sets.find(AsciiUpper(type));
+  return it == t.by_type->sets.end()
+             ? 0
+             : static_cast<uint64_t>(it->second.size());
 }
 
 // ---------------------------------------------------------------------
@@ -447,11 +726,12 @@ Result<uint64_t> Database::CountEntities(const std::string& type) const {
 Result<RelInstanceId> Database::Connect(
     const std::string& rel,
     const std::vector<std::pair<std::string, EntityId>>& bindings) {
-  const RelationshipDef* def = schema_.FindRelationship(rel);
+  const ErSchema& schema = live_.schema->schema;
+  const RelationshipDef* def = schema.FindRelationship(rel);
   if (def == nullptr) return NotFound("no relationship named " + rel);
   uint32_t rel_index = 0;
-  for (size_t i = 0; i < schema_.relationships().size(); ++i)
-    if (&schema_.relationships()[i] == def)
+  for (size_t i = 0; i < schema.relationships().size(); ++i)
+    if (&schema.relationships()[i] == def)
       rel_index = static_cast<uint32_t>(i);
 
   std::vector<EntityId> refs(def->roles.size(), kInvalidEntityId);
@@ -465,7 +745,7 @@ Result<RelInstanceId> Database::Connect(
       return NotFound(StrFormat("role %s targets missing entity #%llu",
                                 role.c_str(), (unsigned long long)id));
     const std::string& target_type =
-        schema_.entity_types()[target->type_index].name;
+        schema.entity_types()[target->type_index].name;
     if (!EqualsIgnoreCase(target_type, def->roles[*ridx].entity_type))
       return TypeError(StrFormat("role %s expects a %s, got a %s",
                                  role.c_str(),
@@ -479,14 +759,15 @@ Result<RelInstanceId> Database::Connect(
                                        def->roles[i].name.c_str(),
                                        def->name.c_str()));
 
-  RelInstanceId id = next_rel_id_++;
-  RelationshipInstance inst;
-  inst.id = id;
-  inst.rel_index = rel_index;
-  inst.role_refs = refs;
-  inst.attrs.assign(def->attributes.size(), Value::Null());
-  rel_instances_.emplace(id, std::move(inst));
-  rels_by_name_[AsciiUpper(def->name)].push_back(id);
+  RelInstanceId id = live_.next_rel_id++;
+  auto inst = std::make_shared<RelationshipInstance>();
+  inst->id = id;
+  inst->rel_index = rel_index;
+  inst->role_refs = refs;
+  inst->attrs.assign(def->attributes.size(), Value::Null());
+  inst->gen = publish_gen_;
+  live_.rels.Insert(id, std::move(inst));
+  MutableRelsByName()->sets[AsciiUpper(def->name)].Insert(id, 0);
 
   ByteWriter payload;
   payload.PutString(def->name);
@@ -498,14 +779,14 @@ Result<RelInstanceId> Database::Connect(
 }
 
 Status Database::Disconnect(RelInstanceId id) {
-  auto it = rel_instances_.find(id);
-  if (it == rel_instances_.end())
+  const std::shared_ptr<RelationshipInstance>* found = live_.rels.Find(id);
+  if (found == nullptr)
     return NotFound(StrFormat("no relationship instance #%llu",
                               (unsigned long long)id));
-  std::vector<RelInstanceId>& list = rels_by_name_[AsciiUpper(
-      schema_.relationships()[it->second.rel_index].name)];
-  list.erase(std::remove(list.begin(), list.end(), id), list.end());
-  rel_instances_.erase(it);
+  const std::string rel_name = AsciiUpper(
+      live_.schema->schema.relationships()[(*found)->rel_index].name);
+  MutableRelsByName()->sets[rel_name].Erase(id);
+  live_.rels.Erase(id);
   ByteWriter payload;
   payload.PutU64(id);
   return LogOp(Op::kDisconnect, payload.data());
@@ -514,11 +795,12 @@ Status Database::Disconnect(RelInstanceId id) {
 Status Database::SetRelationshipAttribute(RelInstanceId id,
                                           const std::string& attr,
                                           Value value) {
-  auto it = rel_instances_.find(id);
-  if (it == rel_instances_.end())
+  const std::shared_ptr<RelationshipInstance>* found = live_.rels.Find(id);
+  if (found == nullptr)
     return NotFound(StrFormat("no relationship instance #%llu",
                               (unsigned long long)id));
-  const RelationshipDef& def = schema_.relationships()[it->second.rel_index];
+  const RelationshipDef& def =
+      live_.schema->schema.relationships()[(*found)->rel_index];
   auto idx = def.AttributeIndex(attr);
   if (!idx.has_value())
     return NotFound(StrFormat("relationship %s has no attribute %s",
@@ -533,42 +815,47 @@ Status Database::SetRelationshipAttribute(RelInstanceId id,
   payload.PutU64(id);
   payload.PutString(adef.name);
   value.Encode(&payload);
-  it->second.attrs[*idx] = std::move(value);
+  MutableRel(id)->attrs[*idx] = std::move(value);
   return LogOp(Op::kSetRelAttribute, payload.data());
 }
 
 Status Database::ForEachRelationship(
     const std::string& rel,
     const std::function<bool(const RelationshipInstance&)>& fn) const {
-  if (schema_.FindRelationship(rel) == nullptr)
+  const Tables& t = ReadTables();
+  if (t.schema->schema.FindRelationship(rel) == nullptr)
     return NotFound("no relationship named " + rel);
-  auto it = rels_by_name_.find(AsciiUpper(rel));
-  if (it == rels_by_name_.end()) return Status::OK();
-  for (RelInstanceId id : it->second)
-    if (!fn(rel_instances_.at(id))) break;
+  auto it = t.rels_by_name->sets.find(AsciiUpper(rel));
+  if (it == t.rels_by_name->sets.end()) return Status::OK();
+  it->second.ForEach([&](RelInstanceId id, uint8_t) {
+    const std::shared_ptr<RelationshipInstance>* ri = t.rels.Find(id);
+    return ri == nullptr ? true : fn(**ri);
+  });
   return Status::OK();
 }
 
 Result<uint64_t> Database::CountRelationships(const std::string& rel) const {
-  if (schema_.FindRelationship(rel) == nullptr)
+  const Tables& t = ReadTables();
+  if (t.schema->schema.FindRelationship(rel) == nullptr)
     return NotFound("no relationship named " + rel);
-  auto it = rels_by_name_.find(AsciiUpper(rel));
-  return it == rels_by_name_.end() ? 0
-                                   : static_cast<uint64_t>(it->second.size());
+  auto it = t.rels_by_name->sets.find(AsciiUpper(rel));
+  return it == t.rels_by_name->sets.end()
+             ? 0
+             : static_cast<uint64_t>(it->second.size());
 }
 
 // ---------------------------------------------------------------------
 // Hierarchical ordering.
 // ---------------------------------------------------------------------
 
-bool Database::IsAncestor(const OrderingInstances& inst, EntityId needle,
+bool Database::IsAncestor(const OrdState& ord, EntityId needle,
                           EntityId start) const {
   EntityId cur = start;
   while (cur != kInvalidEntityId) {
     if (cur == needle) return true;
-    auto it = inst.parent_of.find(cur);
-    if (it == inst.parent_of.end()) return false;
-    cur = it->second;
+    const EntityId* parent = ord.parent_of.Find(cur);
+    if (parent == nullptr) return false;
+    cur = *parent;
   }
   return false;
 }
@@ -577,22 +864,24 @@ bool Database::IsAncestor(const OrderingInstances& inst, EntityId needle,
 // Lazy structural indexes (§5.6 execution).
 // ---------------------------------------------------------------------
 
-// Both accessors follow the same publish protocol. Load the epoch
-// (stable for the whole call: epoch bumps happen under the exclusive
-// database latch, and every reader here holds it shared), then under
-// the cell's publish_mu either hand out the published snapshot (if its
-// stamp matches) or rebuild from children/parent_of and republish.
-// Snapshots are immutable once published, so a reader keeps a complete
-// (merely stale-epoch) table via shared ownership even after a later
-// republish. Rebuilds serialize on publish_mu — same as before, when it
+// Both accessors follow the same publish protocol. The caller hands in
+// the OrdState it is reading (live or pinned); its `version` stamps the
+// edge set exactly (versions advance only under the exclusive latch, so
+// version history is linear and equal versions mean equal edges). Under
+// the cell's publish_mu — the cell is shared between the live state and
+// every snapshot of it — either hand out the published index (if its
+// stamp matches) or rebuild from the caller's own children/parent_of.
+// Rebuilds republish only monotonically: a reader on a stale snapshot
+// keeps its private rebuild instead of clobbering a newer published
+// index. Rebuilds serialize on publish_mu — same as before, when it
 // doubled as the rebuild mutex.
 
-std::shared_ptr<const Database::RankIndex> Database::RankIndexFor(
-    const OrderingInstances& inst) const {
-  OrderingIndexCell* cell = inst.index.get();
-  const uint64_t cur = cell->epoch.load(std::memory_order_acquire);
+std::shared_ptr<const RankIndex> Database::RankIndexFor(
+    const OrdState& ord) const {
+  OrderingIndexCell* cell = ord.cell.get();
+  const uint64_t v = ord.version;
   std::lock_guard<std::mutex> lock(cell->publish_mu);
-  if (cell->ranks != nullptr && cell->ranks->epoch == cur) {
+  if (cell->ranks != nullptr && cell->ranks->built_version == v) {
     index_stats_.rank_hits.fetch_add(1, std::memory_order_relaxed);
     ErCounters::Get().rank_hits->Inc();
     return cell->ranks;
@@ -600,21 +889,25 @@ std::shared_ptr<const Database::RankIndex> Database::RankIndexFor(
   index_stats_.rank_rebuilds.fetch_add(1, std::memory_order_relaxed);
   ErCounters::Get().rank_rebuilds->Inc();
   auto fresh = std::make_shared<RankIndex>();
-  fresh->epoch = cur;
-  for (const auto& [parent, sibs] : inst.children) {
-    (void)parent;
-    for (size_t i = 0; i < sibs.size(); ++i) fresh->rank_of[sibs[i]] = i;
-  }
-  cell->ranks = fresh;
+  fresh->built_version = v;
+  ord.children.ForEach(
+      [&](EntityId parent, const std::shared_ptr<Sibs>& sibs) {
+        (void)parent;
+        for (size_t i = 0; i < sibs->ids.size(); ++i)
+          fresh->rank_of[sibs->ids[i]] = i;
+        return true;
+      });
+  if (cell->ranks == nullptr || cell->ranks->built_version < v)
+    cell->ranks = fresh;
   return fresh;
 }
 
-std::shared_ptr<const Database::IntervalIndex> Database::IntervalIndexFor(
-    const OrderingInstances& inst) const {
-  OrderingIndexCell* cell = inst.index.get();
-  const uint64_t cur = cell->epoch.load(std::memory_order_acquire);
+std::shared_ptr<const IntervalIndex> Database::IntervalIndexFor(
+    const OrdState& ord) const {
+  OrderingIndexCell* cell = ord.cell.get();
+  const uint64_t v = ord.version;
   std::lock_guard<std::mutex> lock(cell->publish_mu);
-  if (cell->intervals != nullptr && cell->intervals->epoch == cur) {
+  if (cell->intervals != nullptr && cell->intervals->built_version == v) {
     index_stats_.interval_hits.fetch_add(1, std::memory_order_relaxed);
     ErCounters::Get().interval_hits->Inc();
     return cell->intervals;
@@ -623,7 +916,7 @@ std::shared_ptr<const Database::IntervalIndex> Database::IntervalIndexFor(
   index_stats_.interval_rebuilds.fetch_add(1, std::memory_order_relaxed);
   ErCounters::Get().interval_rebuilds->Inc();
   auto fresh = std::make_shared<IntervalIndex>();
-  fresh->epoch = cur;
+  fresh->built_version = v;
   auto& interval_of = fresh->interval_of;
   uint64_t clock = 0;
   // Iterative Euler tour from every root (a parent that is nobody's
@@ -632,17 +925,20 @@ std::shared_ptr<const Database::IntervalIndex> Database::IntervalIndexFor(
     EntityId node;
     size_t next_child;
   };
+  std::vector<EntityId> roots;
+  ord.children.ForEach([&](EntityId parent, const std::shared_ptr<Sibs>&) {
+    if (!ord.parent_of.Contains(parent)) roots.push_back(parent);
+    return true;
+  });
   std::vector<Frame> stack;
-  for (const auto& [root, kids] : inst.children) {
-    (void)kids;
-    if (inst.parent_of.count(root) != 0) continue;
+  for (EntityId root : roots) {
     stack.push_back({root, 0});
     interval_of[root].first = clock++;
     while (!stack.empty()) {
       Frame& top = stack.back();
-      auto cit = inst.children.find(top.node);
-      if (cit != inst.children.end() && top.next_child < cit->second.size()) {
-        EntityId next = cit->second[top.next_child++];
+      const std::shared_ptr<Sibs>* kids = ord.children.Find(top.node);
+      if (kids != nullptr && top.next_child < (*kids)->ids.size()) {
+        EntityId next = (*kids)->ids[top.next_child++];
         interval_of[next].first = clock++;
         stack.push_back({next, 0});
       } else {
@@ -651,7 +947,8 @@ std::shared_ptr<const Database::IntervalIndex> Database::IntervalIndexFor(
       }
     }
   }
-  cell->intervals = fresh;
+  if (cell->intervals == nullptr || cell->intervals->built_version < v)
+    cell->intervals = fresh;
   return fresh;
 }
 
@@ -669,7 +966,8 @@ Status Database::CheckOrderedPairExists(EntityId a, EntityId b) const {
 
 Status Database::DoInsertChildAt(OrderingHandle h, EntityId parent,
                                  EntityId child, size_t pos) {
-  const OrderingDef& def = ordering_def(h);
+  const ErSchema& schema = live_.schema->schema;
+  const OrderingDef& def = schema.orderings()[h.index()];
   const EntityRecord* parent_rec = FindEntity(parent);
   if (parent_rec == nullptr)
     return NotFound(StrFormat("no parent entity #%llu",
@@ -679,9 +977,9 @@ Status Database::DoInsertChildAt(OrderingHandle h, EntityId parent,
     return NotFound(StrFormat("no child entity #%llu",
                               (unsigned long long)child));
   const std::string& parent_type =
-      schema_.entity_types()[parent_rec->type_index].name;
+      schema.entity_types()[parent_rec->type_index].name;
   const std::string& child_type =
-      schema_.entity_types()[child_rec->type_index].name;
+      schema.entity_types()[child_rec->type_index].name;
   if (!EqualsIgnoreCase(parent_type, def.parent_type))
     return TypeError(StrFormat("ordering %s expects parent of type %s, "
                                "got %s",
@@ -692,26 +990,27 @@ Status Database::DoInsertChildAt(OrderingHandle h, EntityId parent,
                                "type %s",
                                def.name.c_str(), child_type.c_str()));
 
-  OrderingInstances& inst = ordering_instances_[h.index()];
-  if (inst.parent_of.count(child) != 0)
+  const OrdState& cur = *live_.orderings[h.index()];
+  if (cur.parent_of.Contains(child))
     return ConstraintViolation(StrFormat(
         "entity #%llu already has a parent in ordering %s",
         (unsigned long long)child, def.name.c_str()));
   // §5.5: P-edge cycles are disallowed — an instance may not be "part of"
   // itself. Only recursive orderings can form them.
-  if (child == parent || (def.IsRecursive() && IsAncestor(inst, child, parent)))
+  if (child == parent || (def.IsRecursive() && IsAncestor(cur, child, parent)))
     return ConstraintViolation(StrFormat(
         "inserting #%llu under #%llu would create a P-edge cycle in %s",
         (unsigned long long)child, (unsigned long long)parent,
         def.name.c_str()));
 
-  std::vector<EntityId>& sibs = inst.children[parent];
-  if (pos > sibs.size())
+  OrdState* ord = MutableOrd(h.index());
+  Sibs* sibs = MutableSibs(ord, parent);
+  if (pos > sibs->ids.size())
     return OutOfRange(StrFormat("position %zu beyond %zu siblings", pos,
-                                sibs.size()));
-  sibs.insert(sibs.begin() + pos, child);
-  inst.parent_of[child] = parent;
-  inst.Invalidate();
+                                sibs->ids.size()));
+  sibs->ids.insert(sibs->ids.begin() + pos, child);
+  ord->parent_of.Insert(child, parent);
+  ++ord->version;
 
   ByteWriter payload;
   payload.PutString(def.name);
@@ -723,9 +1022,9 @@ Status Database::DoInsertChildAt(OrderingHandle h, EntityId parent,
 
 Status Database::AppendChild(OrderingHandle h, EntityId parent,
                              EntityId child) {
-  const OrderingInstances& inst = ordering_instances_[h.index()];
-  auto it = inst.children.find(parent);
-  size_t pos = it == inst.children.end() ? 0 : it->second.size();
+  const std::shared_ptr<Sibs>* sibs =
+      live_.orderings[h.index()]->children.Find(parent);
+  size_t pos = sibs == nullptr ? 0 : (*sibs)->ids.size();
   return DoInsertChildAt(h, parent, child, pos);
 }
 
@@ -747,16 +1046,19 @@ Status Database::InsertChildAt(const std::string& ordering, EntityId parent,
 }
 
 Status Database::DoRemoveChild(OrderingHandle h, EntityId child) {
-  const OrderingDef& def = ordering_def(h);
-  OrderingInstances& inst = ordering_instances_[h.index()];
-  auto it = inst.parent_of.find(child);
-  if (it == inst.parent_of.end())
+  const OrderingDef& def = live_.schema->schema.orderings()[h.index()];
+  const OrdState& cur = *live_.orderings[h.index()];
+  const EntityId* pp = cur.parent_of.Find(child);
+  if (pp == nullptr)
     return NotFound(StrFormat("entity #%llu has no parent in ordering %s",
                               (unsigned long long)child, def.name.c_str()));
-  std::vector<EntityId>& sibs = inst.children[it->second];
-  sibs.erase(std::remove(sibs.begin(), sibs.end(), child), sibs.end());
-  inst.Invalidate();
-  inst.parent_of.erase(it);
+  EntityId parent = *pp;
+  OrdState* ord = MutableOrd(h.index());
+  Sibs* sibs = MutableSibs(ord, parent);
+  sibs->ids.erase(std::remove(sibs->ids.begin(), sibs->ids.end(), child),
+                  sibs->ids.end());
+  ord->parent_of.Erase(child);
+  ++ord->version;
   ByteWriter payload;
   payload.PutString(def.name);
   payload.PutU64(child);
@@ -778,10 +1080,10 @@ Status Database::RemoveChild(const std::string& ordering, EntityId child) {
 
 Result<std::vector<EntityId>> Database::Children(OrderingHandle h,
                                                  EntityId parent) const {
-  const OrderingInstances& inst = ordering_instances_[h.index()];
-  auto it = inst.children.find(parent);
-  if (it == inst.children.end()) return std::vector<EntityId>{};
-  return it->second;
+  const OrdState& ord = *ReadTables().orderings[h.index()];
+  const std::shared_ptr<Sibs>* sibs = ord.children.Find(parent);
+  if (sibs == nullptr) return std::vector<EntityId>{};
+  return (*sibs)->ids;
 }
 
 Result<std::vector<EntityId>> Database::Children(const std::string& ordering,
@@ -792,10 +1094,9 @@ Result<std::vector<EntityId>> Database::Children(const std::string& ordering,
 
 Result<uint64_t> Database::ChildCount(OrderingHandle h,
                                       EntityId parent) const {
-  const OrderingInstances& inst = ordering_instances_[h.index()];
-  auto it = inst.children.find(parent);
-  return it == inst.children.end() ? 0
-                                   : static_cast<uint64_t>(it->second.size());
+  const OrdState& ord = *ReadTables().orderings[h.index()];
+  const std::shared_ptr<Sibs>* sibs = ord.children.Find(parent);
+  return sibs == nullptr ? 0 : static_cast<uint64_t>((*sibs)->ids.size());
 }
 
 Result<uint64_t> Database::ChildCount(const std::string& ordering,
@@ -805,9 +1106,9 @@ Result<uint64_t> Database::ChildCount(const std::string& ordering,
 }
 
 Result<EntityId> Database::ParentOf(OrderingHandle h, EntityId child) const {
-  const OrderingInstances& inst = ordering_instances_[h.index()];
-  auto it = inst.parent_of.find(child);
-  return it == inst.parent_of.end() ? kInvalidEntityId : it->second;
+  const OrdState& ord = *ReadTables().orderings[h.index()];
+  const EntityId* parent = ord.parent_of.Find(child);
+  return parent == nullptr ? kInvalidEntityId : *parent;
 }
 
 Result<EntityId> Database::ParentOf(const std::string& ordering,
@@ -817,17 +1118,17 @@ Result<EntityId> Database::ParentOf(const std::string& ordering,
 }
 
 Result<size_t> Database::PositionOf(OrderingHandle h, EntityId child) const {
-  const OrderingInstances& inst = ordering_instances_[h.index()];
-  auto it = inst.parent_of.find(child);
-  if (it != inst.parent_of.end()) {
+  const OrdState& ord = *ReadTables().orderings[h.index()];
+  const EntityId* parent = ord.parent_of.Find(child);
+  if (parent != nullptr) {
     if (ordering_index_enabled()) {
-      std::shared_ptr<const RankIndex> ranks = RankIndexFor(inst);
+      std::shared_ptr<const RankIndex> ranks = RankIndexFor(ord);
       auto rit = ranks->rank_of.find(child);
       if (rit != ranks->rank_of.end()) return rit->second;
     } else {
       index_stats_.linear_scans.fetch_add(1, std::memory_order_relaxed);
       ErCounters::Get().linear_scans->Inc();
-      const std::vector<EntityId>& sibs = inst.children.at(it->second);
+      const std::vector<EntityId>& sibs = (*ord.children.Find(*parent))->ids;
       for (size_t i = 0; i < sibs.size(); ++i)
         if (sibs[i] == child) return i;
     }
@@ -845,13 +1146,13 @@ Result<size_t> Database::PositionOf(const std::string& ordering,
 
 Result<EntityId> Database::NthChild(OrderingHandle h, EntityId parent,
                                     size_t n) const {
-  const OrderingInstances& inst = ordering_instances_[h.index()];
-  auto it = inst.children.find(parent);
-  size_t count = it == inst.children.end() ? 0 : it->second.size();
+  const OrdState& ord = *ReadTables().orderings[h.index()];
+  const std::shared_ptr<Sibs>* sibs = ord.children.Find(parent);
+  size_t count = sibs == nullptr ? 0 : (*sibs)->ids.size();
   if (n >= count)
     return OutOfRange(StrFormat("parent has %zu children, wanted index %zu",
                                 count, n));
-  return it->second[n];
+  return (*sibs)->ids[n];
 }
 
 Result<EntityId> Database::NthChild(const std::string& ordering,
@@ -866,17 +1167,15 @@ Result<EntityId> Database::NthChild(const std::string& ordering,
 
 Result<bool> Database::Before(OrderingHandle h, EntityId a, EntityId b) const {
   MDM_RETURN_IF_ERROR(CheckOrderedPairExists(a, b));
-  const OrderingInstances& inst = ordering_instances_[h.index()];
-  auto pa = inst.parent_of.find(a);
-  auto pb = inst.parent_of.find(b);
+  const OrdState& ord = *ReadTables().orderings[h.index()];
+  const EntityId* pa = ord.parent_of.Find(a);
+  const EntityId* pb = ord.parent_of.Find(b);
   // §5.6: entities with different parents are not comparable -> false.
-  if (pa == inst.parent_of.end() || pb == inst.parent_of.end() ||
-      pa->second != pb->second)
-    return false;
+  if (pa == nullptr || pb == nullptr || *pa != *pb) return false;
   if (!ordering_index_enabled()) {
     index_stats_.linear_scans.fetch_add(1, std::memory_order_relaxed);
     ErCounters::Get().linear_scans->Inc();
-    const std::vector<EntityId>& sibs = inst.children.at(pa->second);
+    const std::vector<EntityId>& sibs = (*ord.children.Find(*pa))->ids;
     size_t ia = sibs.size(), ib = sibs.size();
     for (size_t i = 0; i < sibs.size(); ++i) {
       if (sibs[i] == a) ia = i;
@@ -886,7 +1185,7 @@ Result<bool> Database::Before(OrderingHandle h, EntityId a, EntityId b) const {
   }
   // Both ranks come from ONE immutable snapshot, so the comparison can
   // never mix pre- and post-mutation sibling orders.
-  std::shared_ptr<const RankIndex> ranks = RankIndexFor(inst);
+  std::shared_ptr<const RankIndex> ranks = RankIndexFor(ord);
   auto ia = ranks->rank_of.find(a);
   auto ib = ranks->rank_of.find(b);
   if (ia == ranks->rank_of.end() || ib == ranks->rank_of.end()) return false;
@@ -912,19 +1211,19 @@ Result<bool> Database::After(const std::string& ordering, EntityId a,
 Result<bool> Database::Under(OrderingHandle h, EntityId child,
                              EntityId parent) const {
   MDM_RETURN_IF_ERROR(CheckOrderedPairExists(child, parent));
-  const OrderingInstances& inst = ordering_instances_[h.index()];
+  const OrdState& ord = *ReadTables().orderings[h.index()];
   if (child == parent) return false;
   // Fast path: the direct parent needs no interval lookup.
-  auto it = inst.parent_of.find(child);
-  if (it == inst.parent_of.end()) return false;
-  if (it->second == parent) return true;
+  const EntityId* direct = ord.parent_of.Find(child);
+  if (direct == nullptr) return false;
+  if (*direct == parent) return true;
   if (!ordering_index_enabled()) {
     // Ablation: multi-level containment by walking P-edges upward.
     index_stats_.linear_scans.fetch_add(1, std::memory_order_relaxed);
     ErCounters::Get().linear_scans->Inc();
-    return IsAncestor(inst, parent, it->second);
+    return IsAncestor(ord, parent, *direct);
   }
-  std::shared_ptr<const IntervalIndex> intervals = IntervalIndexFor(inst);
+  std::shared_ptr<const IntervalIndex> intervals = IntervalIndexFor(ord);
   auto ci = intervals->interval_of.find(child);
   auto pi = intervals->interval_of.find(parent);
   if (ci == intervals->interval_of.end() ||
@@ -946,7 +1245,8 @@ Result<bool> Database::Under(const std::string& ordering, EntityId child,
 
 Status Database::DefineIndex(AttrIndexDef def) {
   if (def.name.empty()) return InvalidArgument("index name required");
-  const EntityTypeDef* tdef = schema_.FindEntityType(def.entity_type);
+  const ErSchema& schema = live_.schema->schema;
+  const EntityTypeDef* tdef = schema.FindEntityType(def.entity_type);
   if (tdef == nullptr)
     return NotFound("no entity type named " + def.entity_type);
   auto slot = tdef->AttributeIndex(def.attr);
@@ -954,47 +1254,51 @@ Status Database::DefineIndex(AttrIndexDef def) {
     return NotFound(StrFormat("entity type %s has no attribute %s",
                               tdef->name.c_str(), def.attr.c_str()));
   const std::string key = AsciiUpper(def.name);
-  if (attr_indexes_.count(key) != 0)
+  if (live_.indexes->slots.count(key) != 0)
     return AlreadyExists("an index named " + def.name + " already exists");
 
-  AttrIndex ix;
+  auto ix = std::make_shared<AttrIndex>();
   // Store the schema's canonical spellings so explain output and the
   // meta-schema catalog match the DDL regardless of query-side casing.
-  ix.def.name = std::move(def.name);
-  ix.def.entity_type = tdef->name;
-  ix.def.attr = tdef->attributes[*slot].name;
-  for (size_t i = 0; i < schema_.entity_types().size(); ++i)
-    if (&schema_.entity_types()[i] == tdef)
-      ix.type_index = static_cast<uint32_t>(i);
-  ix.attr_slot = static_cast<uint32_t>(*slot);
+  ix->def.name = std::move(def.name);
+  ix->def.entity_type = tdef->name;
+  ix->def.attr = tdef->attributes[*slot].name;
+  for (size_t i = 0; i < schema.entity_types().size(); ++i)
+    if (&schema.entity_types()[i] == tdef)
+      ix->type_index = static_cast<uint32_t>(i);
+  ix->attr_slot = static_cast<uint32_t>(*slot);
 
-  // Backfill from existing entities (nulls are never indexed).
+  // Backfill from existing entities (nulls are never indexed). The tree
+  // is not yet visible to any reader, so no probe lock is needed.
   attr_stats_.rebuilds.fetch_add(1, std::memory_order_relaxed);
   IndexCounters::Get().rebuilds->Inc();
-  auto by = by_type_.find(AsciiUpper(tdef->name));
-  if (by != by_type_.end()) {
-    for (EntityId id : by->second) {
-      const Value& v = entities_.at(id).attrs[ix.attr_slot];
-      if (v.is_null()) continue;
-      ix.tree.Insert(AttrKeyFor(v), RidForEntity(id));
-      attr_stats_.inserts.fetch_add(1, std::memory_order_relaxed);
-      IndexCounters::Get().inserts->Inc();
-    }
+  auto by = live_.by_type->sets.find(AsciiUpper(tdef->name));
+  if (by != live_.by_type->sets.end()) {
+    by->second.ForEach([&](EntityId id, uint8_t) {
+      const Value& v = (*live_.entities.Find(id))->attrs[ix->attr_slot];
+      if (!v.is_null()) {
+        ix->tree.Insert(AttrKeyFor(v), RidForEntity(id));
+        attr_stats_.inserts.fetch_add(1, std::memory_order_relaxed);
+        IndexCounters::Get().inserts->Inc();
+      }
+      return true;
+    });
   }
 
   ByteWriter payload;
-  payload.PutString(ix.def.name);
-  payload.PutString(ix.def.entity_type);
-  payload.PutString(ix.def.attr);
-  attr_indexes_.emplace(key, std::move(ix));
+  payload.PutString(ix->def.name);
+  payload.PutString(ix->def.entity_type);
+  payload.PutString(ix->def.attr);
+  MutableIndexes()->slots[key] = IndexSlot{std::move(ix), 0};
   return LogOp(Op::kDefineIndex, payload.data());
 }
 
 Status Database::DestroyIndex(const std::string& name) {
-  auto it = attr_indexes_.find(AsciiUpper(name));
-  if (it == attr_indexes_.end())
+  const std::string key = AsciiUpper(name);
+  if (live_.indexes->slots.count(key) == 0)
     return NotFound("no index named " + name);
-  attr_indexes_.erase(it);
+  // Pinned snapshots co-own the AttrIndex and keep probing it.
+  MutableIndexes()->slots.erase(key);
   ByteWriter payload;
   payload.PutString(name);
   return LogOp(Op::kDestroyIndex, payload.data());
@@ -1002,24 +1306,27 @@ Status Database::DestroyIndex(const std::string& name) {
 
 std::vector<AttrIndexDef> Database::AttrIndexDefs() const {
   std::vector<AttrIndexDef> out;
-  for (const auto& [key, ix] : attr_indexes_) out.push_back(ix.def);
+  for (const auto& [key, slot] : ReadTables().indexes->slots)
+    out.push_back(slot.index->def);
   return out;
 }
 
 const AttrIndex* Database::FindAttrIndex(std::string_view entity_type,
                                          std::string_view attr) const {
   if (!attr_index_enabled()) return nullptr;
-  for (const auto& [key, ix] : attr_indexes_) {
-    if (EqualsIgnoreCase(ix.def.entity_type, entity_type) &&
-        EqualsIgnoreCase(ix.def.attr, attr))
-      return &ix;
+  if (bulk_index_load_.load(std::memory_order_relaxed)) return nullptr;
+  for (const auto& [key, slot] : ReadTables().indexes->slots) {
+    if (EqualsIgnoreCase(slot.index->def.entity_type, entity_type) &&
+        EqualsIgnoreCase(slot.index->def.attr, attr))
+      return slot.index.get();
   }
   return nullptr;
 }
 
 const AttrIndex* Database::FindAttrIndexByName(std::string_view name) const {
-  auto it = attr_indexes_.find(AsciiUpper(std::string(name)));
-  return it == attr_indexes_.end() ? nullptr : &it->second;
+  const IndexMap& im = *ReadTables().indexes;
+  auto it = im.slots.find(AsciiUpper(std::string(name)));
+  return it == im.slots.end() ? nullptr : it->second.index.get();
 }
 
 std::vector<EntityId> Database::IndexLookup(const AttrIndex& index,
@@ -1028,19 +1335,65 @@ std::vector<EntityId> Database::IndexLookup(const AttrIndex& index,
   if (key.is_null()) return out;  // see header: callers scan for nulls
   attr_stats_.lookups.fetch_add(1, std::memory_order_relaxed);
   IndexCounters::Get().lookups->Inc();
-  for (const storage::Rid& rid : index.tree.Find(AttrKeyFor(key)))
-    out.push_back(EntityForRid(rid));
+  const Tables& t = ReadTables();
+  if (&t == &live_) {
+    // Live read: the caller holds the db latch (shared or exclusive),
+    // which already excludes tree maintenance (exclusive latch).
+    for (const storage::Rid& rid : index.tree.Find(AttrKeyFor(key)))
+      out.push_back(EntityForRid(rid));
+    return out;
+  }
+  // Snapshot probe. The tree is shared mutable state, so synchronize
+  // with writer maintenance on probe_mu and fence on the erase epoch
+  // captured when this snapshot was published: an erase since then may
+  // have removed a row this snapshot still contains.
+  const IndexSlot* slot = nullptr;
+  auto it = t.indexes->slots.find(AsciiUpper(index.def.name));
+  if (it != t.indexes->slots.end() && it->second.index.get() == &index)
+    slot = &it->second;
+  {
+    std::shared_lock<std::shared_mutex> probe(index.probe_mu);
+    if (slot != nullptr &&
+        index.erase_epoch.load(std::memory_order_acquire) ==
+            slot->erase_epoch) {
+      for (const storage::Rid& rid : index.tree.Find(AttrKeyFor(key))) {
+        EntityId id = EntityForRid(rid);
+        // Rows inserted after the snapshot are filtered here (and by the
+        // retained equality conjunct for value changes).
+        if (t.entities.Contains(id)) out.push_back(id);
+      }
+      return out;
+    }
+  }
+  // Degraded: scan-shaped candidate list — every id of the indexed type
+  // in this snapshot. Correct superset; the conjunct re-check filters.
+  SnapCounters::Get().index_fallbacks->Inc();
+  const std::string type_name =
+      AsciiUpper(t.schema->schema.entity_types()[index.type_index].name);
+  auto bt = t.by_type->sets.find(type_name);
+  if (bt != t.by_type->sets.end()) {
+    bt->second.ForEach([&](EntityId id, uint8_t) {
+      out.push_back(id);
+      return true;
+    });
+  }
   return out;
 }
 
 void Database::AttrIndexOnSet(const EntityRecord& rec, uint32_t attr_slot,
                               const Value& old_value, const Value& new_value) {
-  if (attr_indexes_.empty()) return;
-  for (auto& [key, ix] : attr_indexes_) {
+  if (bulk_index_load_.load(std::memory_order_relaxed)) return;
+  const IndexMap& im = *live_.indexes;
+  if (im.slots.empty()) return;
+  for (const auto& [key, slot] : im.slots) {
+    AttrIndex& ix = *slot.index;
     if (ix.type_index != rec.type_index || ix.attr_slot != attr_slot)
       continue;
+    std::unique_lock<std::shared_mutex> probe(ix.probe_mu);
     if (!old_value.is_null() &&
         ix.tree.Erase(AttrKeyFor(old_value), RidForEntity(rec.id))) {
+      ix.erase_epoch.fetch_add(1, std::memory_order_release);
+      attr_erase_dirty_ = true;
       attr_stats_.erases.fetch_add(1, std::memory_order_relaxed);
       IndexCounters::Get().erases->Inc();
     }
@@ -1053,16 +1406,68 @@ void Database::AttrIndexOnSet(const EntityRecord& rec, uint32_t attr_slot,
 }
 
 void Database::AttrIndexOnDelete(const EntityRecord& rec) {
-  if (attr_indexes_.empty()) return;
-  for (auto& [key, ix] : attr_indexes_) {
+  if (bulk_index_load_.load(std::memory_order_relaxed)) return;
+  const IndexMap& im = *live_.indexes;
+  if (im.slots.empty()) return;
+  for (const auto& [key, slot] : im.slots) {
+    AttrIndex& ix = *slot.index;
     if (ix.type_index != rec.type_index) continue;
     const Value& v = rec.attrs[ix.attr_slot];
     if (v.is_null()) continue;
+    std::unique_lock<std::shared_mutex> probe(ix.probe_mu);
     if (ix.tree.Erase(AttrKeyFor(v), RidForEntity(rec.id))) {
+      ix.erase_epoch.fetch_add(1, std::memory_order_release);
+      attr_erase_dirty_ = true;
       attr_stats_.erases.fetch_add(1, std::memory_order_relaxed);
       IndexCounters::Get().erases->Inc();
     }
   }
+}
+
+void Database::RefreshIndexEpochs() {
+  if (!attr_erase_dirty_) return;
+  attr_erase_dirty_ = false;
+  IndexMap* im = MutableIndexes();
+  for (auto& [key, slot] : im->slots)
+    slot.erase_epoch = slot.index->erase_epoch.load(std::memory_order_acquire);
+}
+
+void Database::BeginBulkIndexLoad() {
+  bulk_index_load_.store(true, std::memory_order_relaxed);
+}
+
+Result<uint64_t> Database::EndBulkIndexLoad() {
+  if (!bulk_index_load_.load(std::memory_order_relaxed))
+    return FailedPrecondition("no bulk index load active");
+  bulk_index_load_.store(false, std::memory_order_relaxed);
+  uint64_t rebuilt = 0;
+  const ErSchema& schema = live_.schema->schema;
+  for (const auto& [key, slot] : live_.indexes->slots) {
+    AttrIndex& ix = *slot.index;
+    std::unique_lock<std::shared_mutex> probe(ix.probe_mu);
+    ix.tree = storage::BTree();
+    attr_stats_.rebuilds.fetch_add(1, std::memory_order_relaxed);
+    IndexCounters::Get().rebuilds->Inc();
+    const std::string type_name =
+        AsciiUpper(schema.entity_types()[ix.type_index].name);
+    auto by = live_.by_type->sets.find(type_name);
+    if (by != live_.by_type->sets.end()) {
+      by->second.ForEach([&](EntityId id, uint8_t) {
+        const Value& v = (*live_.entities.Find(id))->attrs[ix.attr_slot];
+        if (!v.is_null()) {
+          ix.tree.Insert(AttrKeyFor(v), RidForEntity(id));
+          attr_stats_.inserts.fetch_add(1, std::memory_order_relaxed);
+          IndexCounters::Get().inserts->Inc();
+        }
+        return true;
+      });
+    }
+    // The tree changed wholesale: fence any snapshot published earlier.
+    ix.erase_epoch.fetch_add(1, std::memory_order_release);
+    attr_erase_dirty_ = true;
+    ++rebuilt;
+  }
+  return rebuilt;
 }
 
 // ---------------------------------------------------------------------
@@ -1073,16 +1478,19 @@ Result<std::string> Database::InstanceGraphDot(
     const std::string& ordering, EntityId root,
     const std::string& label_attr) const {
   MDM_ASSIGN_OR_RETURN(OrderingHandle h, ResolveOrderingHandle(ordering));
+  const Tables& t = ReadTables();
   std::string dot =
       "digraph instance_graph {\n  rankdir=TB;\n  node [shape=circle];\n";
   auto label_of = [&](EntityId id) -> std::string {
-    const EntityRecord* rec = FindEntity(id);
-    if (rec == nullptr) return StrFormat("#%llu", (unsigned long long)id);
-    const EntityTypeDef& tdef = schema_.entity_types()[rec->type_index];
+    const std::shared_ptr<EntityRecord>* recp = t.entities.Find(id);
+    if (recp == nullptr) return StrFormat("#%llu", (unsigned long long)id);
+    const EntityRecord& rec = **recp;
+    const EntityTypeDef& tdef =
+        t.schema->schema.entity_types()[rec.type_index];
     if (!label_attr.empty()) {
       auto idx = tdef.AttributeIndex(label_attr);
-      if (idx.has_value() && !rec->attrs[*idx].is_null()) {
-        const Value& v = rec->attrs[*idx];
+      if (idx.has_value() && !rec.attrs[*idx].is_null()) {
+        const Value& v = rec.attrs[*idx];
         return v.type() == ValueType::kString ? v.AsString() : v.ToString();
       }
     }
@@ -1092,12 +1500,12 @@ Result<std::string> Database::InstanceGraphDot(
   std::vector<EntityId> queue{root};
   dot += StrFormat("  n%llu [label=\"%s\"];\n", (unsigned long long)root,
                    label_of(root).c_str());
-  const OrderingInstances& inst = ordering_instances_[h.index()];
+  const OrdState& ord = *t.orderings[h.index()];
   for (size_t qi = 0; qi < queue.size(); ++qi) {
     EntityId parent = queue[qi];
-    auto it = inst.children.find(parent);
-    if (it == inst.children.end()) continue;
-    const std::vector<EntityId>& kids = it->second;
+    const std::shared_ptr<Sibs>* sibs = ord.children.Find(parent);
+    if (sibs == nullptr) continue;
+    const std::vector<EntityId>& kids = (*sibs)->ids;
     for (size_t i = 0; i < kids.size(); ++i) {
       dot += StrFormat("  n%llu [label=\"%s\"];\n",
                        (unsigned long long)kids[i], label_of(kids[i]).c_str());
@@ -1118,62 +1526,81 @@ Result<std::string> Database::InstanceGraphDot(
 }
 
 uint64_t Database::CountDanglingRefs() const {
+  const Tables& t = ReadTables();
   uint64_t dangling = 0;
-  for (const auto& [id, rec] : entities_) {
-    for (const Value& v : rec.attrs)
-      if (v.type() == ValueType::kRef && !Exists(v.AsRef())) ++dangling;
-  }
-  for (const auto& [rid, ri] : rel_instances_) {
-    for (EntityId ref : ri.role_refs)
-      if (!Exists(ref)) ++dangling;
-  }
+  t.entities.ForEach(
+      [&](EntityId, const std::shared_ptr<EntityRecord>& rec) {
+        for (const Value& v : rec->attrs)
+          if (v.type() == ValueType::kRef && t.entities.Find(v.AsRef()) == nullptr)
+            ++dangling;
+        return true;
+      });
+  t.rels.ForEach(
+      [&](RelInstanceId, const std::shared_ptr<RelationshipInstance>& ri) {
+        for (EntityId ref : ri->role_refs)
+          if (t.entities.Find(ref) == nullptr) ++dangling;
+        return true;
+      });
   return dangling;
 }
 
 // ---------------------------------------------------------------------
 // Snapshot / restore.
+//
+// The byte format is unchanged from the pre-COW layout: entities and
+// relationship instances in id order (PMap in-order walk ≡ the old
+// std::map iteration), orderings by schema position with per-parent
+// keyed child lists (iteration order within an ordering is not part of
+// the format), index definitions last.
 // ---------------------------------------------------------------------
 
 void Database::Snapshot(ByteWriter* w) const {
+  const Tables& t = ReadTables();
   w->PutU32(0x4D444D53);  // "MDMS"
-  schema_.Encode(w);
-  w->PutU64(next_entity_id_);
-  w->PutU64(next_rel_id_);
-  w->PutVarint(entities_.size());
-  for (const auto& [id, rec] : entities_) {
-    w->PutU64(id);
-    w->PutU32(rec.type_index);
-    w->PutVarint(rec.attrs.size());
-    for (const Value& v : rec.attrs) v.Encode(w);
-  }
-  w->PutVarint(rel_instances_.size());
-  for (const auto& [id, ri] : rel_instances_) {
-    w->PutU64(id);
-    w->PutU32(ri.rel_index);
-    w->PutVarint(ri.role_refs.size());
-    for (EntityId ref : ri.role_refs) w->PutU64(ref);
-    w->PutVarint(ri.attrs.size());
-    for (const Value& v : ri.attrs) v.Encode(w);
-  }
-  w->PutVarint(ordering_instances_.size());
-  for (size_t i = 0; i < ordering_instances_.size(); ++i) {
-    const OrderingInstances& inst = ordering_instances_[i];
-    w->PutString(AsciiUpper(schema_.orderings()[i].name));
-    w->PutVarint(inst.children.size());
-    for (const auto& [parent, kids] : inst.children) {
-      w->PutU64(parent);
-      w->PutVarint(kids.size());
-      for (EntityId kid : kids) w->PutU64(kid);
-    }
+  t.schema->schema.Encode(w);
+  w->PutU64(t.next_entity_id);
+  w->PutU64(t.next_rel_id);
+  w->PutVarint(t.entities.size());
+  t.entities.ForEach(
+      [&](EntityId id, const std::shared_ptr<EntityRecord>& rec) {
+        w->PutU64(id);
+        w->PutU32(rec->type_index);
+        w->PutVarint(rec->attrs.size());
+        for (const Value& v : rec->attrs) v.Encode(w);
+        return true;
+      });
+  w->PutVarint(t.rels.size());
+  t.rels.ForEach(
+      [&](RelInstanceId id, const std::shared_ptr<RelationshipInstance>& ri) {
+        w->PutU64(id);
+        w->PutU32(ri->rel_index);
+        w->PutVarint(ri->role_refs.size());
+        for (EntityId ref : ri->role_refs) w->PutU64(ref);
+        w->PutVarint(ri->attrs.size());
+        for (const Value& v : ri->attrs) v.Encode(w);
+        return true;
+      });
+  w->PutVarint(t.orderings.size());
+  for (size_t i = 0; i < t.orderings.size(); ++i) {
+    const OrdState& ord = *t.orderings[i];
+    w->PutString(AsciiUpper(t.schema->schema.orderings()[i].name));
+    w->PutVarint(ord.children.size());
+    ord.children.ForEach(
+        [&](EntityId parent, const std::shared_ptr<Sibs>& sibs) {
+          w->PutU64(parent);
+          w->PutVarint(sibs->ids.size());
+          for (EntityId kid : sibs->ids) w->PutU64(kid);
+          return true;
+        });
   }
   // Secondary attribute indexes: definitions only. The tree contents
   // are derivable from the entity data above, so Restore rebuilds them
   // (and counts the rebuilds) instead of deserializing b-tree pages.
-  w->PutVarint(attr_indexes_.size());
-  for (const auto& [key, ix] : attr_indexes_) {
-    w->PutString(ix.def.name);
-    w->PutString(ix.def.entity_type);
-    w->PutString(ix.def.attr);
+  w->PutVarint(t.indexes->slots.size());
+  for (const auto& [key, slot] : t.indexes->slots) {
+    w->PutString(slot.index->def.name);
+    w->PutString(slot.index->def.entity_type);
+    w->PutString(slot.index->def.attr);
   }
 }
 
@@ -1182,67 +1609,82 @@ Status Database::Restore(ByteReader* r, Database* out) {
   uint32_t magic;
   MDM_RETURN_IF_ERROR(r->GetU32(&magic));
   if (magic != 0x4D444D53) return Corruption("bad snapshot magic");
-  MDM_RETURN_IF_ERROR(ErSchema::Decode(r, &out->schema_));
-  MDM_RETURN_IF_ERROR(r->GetU64(&out->next_entity_id_));
-  MDM_RETURN_IF_ERROR(r->GetU64(&out->next_rel_id_));
+  {
+    ErSchema decoded;
+    MDM_RETURN_IF_ERROR(ErSchema::Decode(r, &decoded));
+    *out->MutableSchema() = std::move(decoded);
+  }
+  const ErSchema& schema = out->live_.schema->schema;
+  MDM_RETURN_IF_ERROR(r->GetU64(&out->live_.next_entity_id));
+  MDM_RETURN_IF_ERROR(r->GetU64(&out->live_.next_rel_id));
+  TypeMap* by_type = out->MutableByType();
   uint64_t n_entities;
   MDM_RETURN_IF_ERROR(r->GetVarint(&n_entities));
   for (uint64_t i = 0; i < n_entities; ++i) {
-    EntityRecord rec;
-    MDM_RETURN_IF_ERROR(r->GetU64(&rec.id));
-    MDM_RETURN_IF_ERROR(r->GetU32(&rec.type_index));
-    if (rec.type_index >= out->schema_.entity_types().size())
+    auto rec = std::make_shared<EntityRecord>();
+    rec->gen = out->publish_gen_;
+    MDM_RETURN_IF_ERROR(r->GetU64(&rec->id));
+    MDM_RETURN_IF_ERROR(r->GetU32(&rec->type_index));
+    if (rec->type_index >= schema.entity_types().size())
       return Corruption("snapshot entity with bad type index");
     uint64_t n_attrs;
     MDM_RETURN_IF_ERROR(r->GetVarint(&n_attrs));
     for (uint64_t j = 0; j < n_attrs; ++j) {
       Value v;
       MDM_RETURN_IF_ERROR(Value::Decode(r, &v));
-      rec.attrs.push_back(std::move(v));
+      rec->attrs.push_back(std::move(v));
     }
     const std::string& type_name =
-        out->schema_.entity_types()[rec.type_index].name;
-    out->by_type_[AsciiUpper(type_name)].push_back(rec.id);
-    out->entities_.emplace(rec.id, std::move(rec));
+        schema.entity_types()[rec->type_index].name;
+    by_type->sets[AsciiUpper(type_name)].Insert(rec->id, 0);
+    EntityId id = rec->id;
+    out->live_.entities.Insert(id, std::move(rec));
   }
+  RelNameMap* rels_by_name = out->MutableRelsByName();
   uint64_t n_rels;
   MDM_RETURN_IF_ERROR(r->GetVarint(&n_rels));
   for (uint64_t i = 0; i < n_rels; ++i) {
-    RelationshipInstance ri;
-    MDM_RETURN_IF_ERROR(r->GetU64(&ri.id));
-    MDM_RETURN_IF_ERROR(r->GetU32(&ri.rel_index));
-    if (ri.rel_index >= out->schema_.relationships().size())
+    auto ri = std::make_shared<RelationshipInstance>();
+    ri->gen = out->publish_gen_;
+    MDM_RETURN_IF_ERROR(r->GetU64(&ri->id));
+    MDM_RETURN_IF_ERROR(r->GetU32(&ri->rel_index));
+    if (ri->rel_index >= schema.relationships().size())
       return Corruption("snapshot relationship with bad index");
     uint64_t n_refs;
     MDM_RETURN_IF_ERROR(r->GetVarint(&n_refs));
     for (uint64_t j = 0; j < n_refs; ++j) {
       EntityId ref;
       MDM_RETURN_IF_ERROR(r->GetU64(&ref));
-      ri.role_refs.push_back(ref);
+      ri->role_refs.push_back(ref);
     }
     uint64_t n_attrs;
     MDM_RETURN_IF_ERROR(r->GetVarint(&n_attrs));
     for (uint64_t j = 0; j < n_attrs; ++j) {
       Value v;
       MDM_RETURN_IF_ERROR(Value::Decode(r, &v));
-      ri.attrs.push_back(std::move(v));
+      ri->attrs.push_back(std::move(v));
     }
     const std::string& rel_name =
-        out->schema_.relationships()[ri.rel_index].name;
-    out->rels_by_name_[AsciiUpper(rel_name)].push_back(ri.id);
-    out->rel_instances_.emplace(ri.id, std::move(ri));
+        schema.relationships()[ri->rel_index].name;
+    rels_by_name->sets[AsciiUpper(rel_name)].Insert(ri->id, 0);
+    RelInstanceId id = ri->id;
+    out->live_.rels.Insert(id, std::move(ri));
   }
   uint64_t n_orderings;
   MDM_RETURN_IF_ERROR(r->GetVarint(&n_orderings));
-  out->ordering_instances_.resize(out->schema_.orderings().size());
+  while (out->live_.orderings.size() < schema.orderings().size()) {
+    auto slot = std::make_shared<OrdState>();
+    slot->gen = out->publish_gen_;
+    out->live_.orderings.push_back(std::move(slot));
+  }
   for (uint64_t i = 0; i < n_orderings; ++i) {
     std::string name;
     MDM_RETURN_IF_ERROR(r->GetString(&name));
-    auto idx = out->schema_.FindOrderingIndex(name);
+    auto idx = schema.FindOrderingIndex(name);
     if (!idx.has_value())
       return Corruption("snapshot ordering instances for unknown ordering " +
                         name);
-    OrderingInstances& inst = out->ordering_instances_[*idx];
+    OrdState* ord = out->live_.orderings[*idx].get();
     uint64_t n_parents;
     MDM_RETURN_IF_ERROR(r->GetVarint(&n_parents));
     for (uint64_t j = 0; j < n_parents; ++j) {
@@ -1250,14 +1692,15 @@ Status Database::Restore(ByteReader* r, Database* out) {
       MDM_RETURN_IF_ERROR(r->GetU64(&parent));
       uint64_t n_kids;
       MDM_RETURN_IF_ERROR(r->GetVarint(&n_kids));
-      std::vector<EntityId> kids;
+      auto sibs = std::make_shared<Sibs>();
+      sibs->gen = out->publish_gen_;
       for (uint64_t k = 0; k < n_kids; ++k) {
         EntityId kid;
         MDM_RETURN_IF_ERROR(r->GetU64(&kid));
-        kids.push_back(kid);
-        inst.parent_of[kid] = parent;
+        sibs->ids.push_back(kid);
+        ord->parent_of.Insert(kid, parent);
       }
-      inst.children[parent] = std::move(kids);
+      ord->children.Insert(parent, std::move(sibs));
     }
   }
   // Index-definition section (absent in pre-index snapshots: treat EOF
@@ -1275,6 +1718,11 @@ Status Database::Restore(ByteReader* r, Database* out) {
       MDM_RETURN_IF_ERROR(out->DefineIndex(std::move(def)));
     }
   }
+  // The direct container fills above bypass LogOp, so force the ops
+  // fence forward before publishing (readers must see the restored
+  // state, not the empty ctor snapshot).
+  out->ops_applied_.fetch_add(1, std::memory_order_release);
+  out->PublishSnapshot();
   return Status::OK();
 }
 
@@ -1311,7 +1759,7 @@ Status Database::ApplyOp(const storage::WalRecord& rec) {
       MDM_RETURN_IF_ERROR(r.GetString(&type));
       MDM_RETURN_IF_ERROR(r.GetU64(&id));
       // Replay must reproduce the original id.
-      next_entity_id_ = id;
+      live_.next_entity_id = id;
       MDM_ASSIGN_OR_RETURN(EntityId got, CreateEntity(type));
       if (got != id) return Corruption("journal replay id drift");
       return Status::OK();
@@ -1336,7 +1784,7 @@ Status Database::ApplyOp(const storage::WalRecord& rec) {
       MDM_RETURN_IF_ERROR(r.GetString(&rel));
       MDM_RETURN_IF_ERROR(r.GetU64(&id));
       MDM_RETURN_IF_ERROR(r.GetVarint(&n));
-      const RelationshipDef* def = schema_.FindRelationship(rel);
+      const RelationshipDef* def = live_.schema->schema.FindRelationship(rel);
       if (def == nullptr || def->roles.size() != n)
         return Corruption("journal connect against unknown relationship");
       std::vector<std::pair<std::string, EntityId>> bindings;
@@ -1345,7 +1793,7 @@ Status Database::ApplyOp(const storage::WalRecord& rec) {
         MDM_RETURN_IF_ERROR(r.GetU64(&ref));
         bindings.emplace_back(def->roles[i].name, ref);
       }
-      next_rel_id_ = id;
+      live_.next_rel_id = id;
       MDM_ASSIGN_OR_RETURN(RelInstanceId got, Connect(rel, bindings));
       if (got != id) return Corruption("journal replay rel-id drift");
       return Status::OK();
@@ -1403,6 +1851,7 @@ Status Database::ReplayJournal(const std::vector<uint8_t>& log) {
         return ApplyOp(rec);
       });
   replaying_ = false;
+  PublishSnapshot();
   if (!n.ok()) return n.status();
   return Status::OK();
 }

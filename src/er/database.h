@@ -16,6 +16,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "er/pmap.h"
 #include "er/schema.h"
 #include "rel/value.h"
 #include "storage/btree.h"
@@ -23,31 +24,39 @@
 
 namespace mdm::er {
 
+class CommitCoordinator;
+
 /// Identifier of a relationship instance.
 using RelInstanceId = uint64_t;
 
 /// One stored entity instance: its type and one value per declared
-/// attribute (null until set).
+/// attribute (null until set). `gen` is the copy-on-write stamp: a
+/// record whose gen equals the database's current publish generation
+/// was created (or already cloned) since the last snapshot publish and
+/// may be mutated in place; anything older is shared with published
+/// snapshots and must be cloned first (see MutableEntity).
 struct EntityRecord {
   EntityId id = kInvalidEntityId;
   uint32_t type_index = 0;  // into ErSchema::entity_types()
   std::vector<rel::Value> attrs;
+  uint64_t gen = 0;
 };
 
 /// One stored relationship instance ("m to n"): an entity per role plus
-/// relationship attributes.
+/// relationship attributes. Copy-on-write like EntityRecord.
 struct RelationshipInstance {
   RelInstanceId id = 0;
   uint32_t rel_index = 0;  // into ErSchema::relationships()
   std::vector<EntityId> role_refs;
   std::vector<rel::Value> attrs;
+  uint64_t gen = 0;
 };
 
 /// Counters for the per-ordering structural indexes (§5.6 execution).
 /// `rank_hits`/`interval_hits` are index lookups answered from the
 /// current published snapshot; `*_rebuilds` count snapshot rebuilds
 /// triggered by a lookup after a structural mutation retired the
-/// previous epoch; `linear_scans` counts predicate evaluations that
+/// previous version; `linear_scans` counts predicate evaluations that
 /// bypassed the indexes (ablation mode). Under concurrency the counts
 /// are exact (relaxed atomics) but attribution across sessions is
 /// best-effort.
@@ -88,15 +97,145 @@ struct AttrIndexStats {
 };
 
 /// One live secondary index: its definition, the resolved schema slots
-/// and the backing B+tree. Obtained from Database::FindAttrIndex; the
-/// pointer is stable until the next DefineIndex/DestroyIndex (index DDL
-/// takes the exclusive latch), so holding it for one planned statement
-/// is safe.
+/// and the backing B+tree. Heap-allocated and shared between the live
+/// tables and published snapshots, so a pinned snapshot keeps probing
+/// a dropped index safely.
+///
+/// The tree itself is mutated in place by writers (under the exclusive
+/// db latch). Snapshot readers probe it without the db latch, so probe
+/// and maintenance synchronize on `probe_mu`. `erase_epoch` counts
+/// entry removals (updates, deletes, bulk rebuilds): a snapshot whose
+/// publish-time epoch no longer matches falls back to a scan-shaped
+/// candidate list, because the tree may now be missing rows that exist
+/// in that snapshot. Inserts need no epoch — extra candidates are
+/// filtered by the retained equality conjunct and the snapshot
+/// existence check.
 struct AttrIndex {
   AttrIndexDef def;
   uint32_t type_index = 0;  // into ErSchema::entity_types()
   uint32_t attr_slot = 0;   // into that type's attributes
   storage::BTree tree;
+  mutable std::shared_mutex probe_mu;
+  std::atomic<uint64_t> erase_epoch{0};
+};
+
+// ---------------------------------------------------------------------
+// The snapshot substrate (docs/WRITEPATH.md).
+//
+// All reader-visible state hangs off `Tables`, a value of a few root
+// pointers into persistent (structurally shared) containers. Publishing
+// a snapshot is one Tables copy; mutators copy-on-write the paths they
+// touch, stamped with the publish generation so repeated mutation
+// between publishes stays in-place. Readers pin the published Tables
+// (a shared_ptr copy under a short mutex) and then read entirely
+// lock-free; versions retire automatically when the last pin drains.
+// ---------------------------------------------------------------------
+
+/// child -> 0-based rank among its siblings, for every ordered child of
+/// one ordering, valid for OrdState::version == built_version.
+struct RankIndex {
+  uint64_t built_version = 0;
+  std::unordered_map<EntityId, size_t> rank_of;
+};
+
+/// Euler-tour labels over the ordering forest: entity -> (entry, exit).
+/// `a` lies under `b` iff b.entry < a.entry && a.exit < b.exit.
+struct IntervalIndex {
+  uint64_t built_version = 0;
+  std::unordered_map<EntityId, std::pair<uint64_t, uint64_t>> interval_of;
+};
+
+/// The lazily published §5.6 index cache for one ordering, SHARED by
+/// the live tables and every snapshot of it (the cell pointer rides
+/// along on OrdState copies). Readers rebuild from their own OrdState
+/// when the published index's built_version does not match, and
+/// republish only monotonically — a stale-snapshot reader never
+/// clobbers a newer published index, it just keeps its private rebuild.
+/// One explicit mutex instead of atomic<shared_ptr>: see PR 7 notes in
+/// ROADMAP.md (libstdc++ _Sp_atomic vs TSan).
+struct OrderingIndexCell {
+  std::mutex publish_mu;
+  std::shared_ptr<const RankIndex> ranks;          // guarded by publish_mu
+  std::shared_ptr<const IntervalIndex> intervals;  // guarded by publish_mu
+};
+
+/// The ordered children of one parent in one ordering. Copy-on-write
+/// via `gen`, exactly like EntityRecord.
+struct Sibs {
+  uint64_t gen = 0;
+  std::vector<EntityId> ids;
+};
+
+/// One ordering's instance edges. `version` advances on every S/P-edge
+/// mutation (it replaces the old cell epoch as the index staleness
+/// stamp and is meaningful across snapshots: equal versions mean equal
+/// edge sets, since version history is linear under the single-writer
+/// discipline).
+struct OrdState {
+  uint64_t gen = 0;
+  uint64_t version = 1;
+  // parent -> ordered children (the S-edge sequence).
+  PMap<EntityId, std::shared_ptr<Sibs>> children;
+  // child -> parent (the P-edge).
+  PMap<EntityId, EntityId> parent_of;
+  std::shared_ptr<OrderingIndexCell> cell = std::make_shared<OrderingIndexCell>();
+};
+
+/// Entity ids are assigned monotonically, so key order doubles as
+/// creation order for these sets.
+using IdSet = PMap<EntityId, uint8_t>;
+using RelIdSet = PMap<RelInstanceId, uint8_t>;
+
+/// Entity-type name (upper) -> ids of that type. The outer map is tiny
+/// (one entry per schema type), so it copy-on-writes wholesale per
+/// publish window; the inner IdSets share structure.
+struct TypeMap {
+  uint64_t gen = 0;
+  std::map<std::string, IdSet> sets;
+};
+
+struct RelNameMap {
+  uint64_t gen = 0;
+  std::map<std::string, RelIdSet> sets;
+};
+
+/// One catalog slot per secondary index. `erase_epoch` is the index's
+/// AttrIndex::erase_epoch captured at publish time — the staleness
+/// fence for snapshot probes (see AttrIndex).
+struct IndexSlot {
+  std::shared_ptr<AttrIndex> index;
+  uint64_t erase_epoch = 0;
+};
+
+/// Index name (upper) -> slot; copy-on-write wholesale (index DDL and
+/// erase-epoch refreshes are rare).
+struct IndexMap {
+  uint64_t gen = 0;
+  std::map<std::string, IndexSlot> slots;
+};
+
+/// Schema, copy-on-write wholesale per publish window (DDL is rare).
+struct SchemaState {
+  uint64_t gen = 0;
+  ErSchema schema;
+};
+
+/// Everything a read statement can observe, as one copyable bundle of
+/// root pointers. The live database mutates its own Tables (under the
+/// exclusive latch, via copy-on-write); PublishSnapshot copies it into
+/// an immutable shared_ptr that readers pin. Do not mutate through a
+/// Tables you did not build.
+struct Tables {
+  std::shared_ptr<SchemaState> schema = std::make_shared<SchemaState>();
+  PMap<EntityId, std::shared_ptr<EntityRecord>> entities;
+  std::shared_ptr<TypeMap> by_type = std::make_shared<TypeMap>();
+  PMap<RelInstanceId, std::shared_ptr<RelationshipInstance>> rels;
+  std::shared_ptr<RelNameMap> rels_by_name = std::make_shared<RelNameMap>();
+  // One slot per schema ordering, indexed by OrderingHandle::index().
+  std::vector<std::shared_ptr<OrdState>> orderings;
+  std::shared_ptr<IndexMap> indexes = std::make_shared<IndexMap>();
+  EntityId next_entity_id = 1;
+  RelInstanceId next_rel_id = 1;
 };
 
 /// The music data manager's entity-relationship database with
@@ -111,31 +250,38 @@ struct AttrIndex {
 ///
 /// Durability: attach a WAL writer with AttachJournal and every mutation
 /// is redo-logged; Snapshot/Restore write and read full images. Recover
-/// with ReplayJournal over a log produced since the snapshot.
+/// with ReplayJournal over a log produced since the snapshot. Attach a
+/// CommitCoordinator (er/commit_coordinator.h) and commits become group
+/// commits: the fsync is amortized over every thread committing in the
+/// same window (docs/WRITEPATH.md).
 ///
-/// Thread safety — EXTERNAL locking via `latch()`:
+/// Thread safety — EXTERNAL locking via `latch()`, plus latch-free
+/// snapshot reads:
 ///
 /// Methods do not lock internally (they call each other and replay the
 /// journal through the same code paths; self-locking would deadlock).
-/// Instead every concurrent caller brackets calls with the reader-writer
-/// latch: shared for the const read API, exclusive for any mutator
-/// (including AttachJournal/BeginTxn/CommitTxn/Snapshot-as-writer-free
-/// but Restore/ReplayJournal/EnableOrderingIndex as writers). The
-/// er::Session guards (er/session.h) and the QUEL executor do this for
-/// you; direct single-threaded use needs no locks at all.
+/// Every concurrent MUTATOR brackets calls with the latch held
+/// exclusively, and whoever releases the exclusive latch publishes
+/// first (er::WriteGuard and the QUEL executor do both for you).
+/// Readers have two modes:
 ///
-/// Under a shared latch, reads are snapshot-consistent: structural
-/// mutations (which require the exclusive latch) cannot interleave, and
-/// the lazy §5.6 ordering indexes are published as immutable epoch-
-/// stamped snapshots behind an explicit epoch + per-cell publish mutex,
-/// so Before/After/Under never observe a half-rebuilt rank or interval
-/// table even while many readers trigger rebuilds concurrently. Moving
-/// a Database (move construction/assignment) is NOT latch-protected —
-/// quiesce all sessions first. See docs/CONCURRENCY.md for the lock
-/// hierarchy.
+///  * shared latch (ReadGuard) — reads the live tables; always correct,
+///    blocks behind writers;
+///  * pinned snapshot (TryPinSnapshot + SnapshotReadScope) — reads the
+///    last published Tables with NO db latch at all; never blocks, and
+///    never observes a half-applied statement. TryPinSnapshot refuses
+///    (returns null) when un-published mutations exist without an
+///    active disciplined writer, so undisciplined single-threaded
+///    mutation (direct API, no guards) degrades readers to the shared
+///    latch instead of serving them stale data.
+///
+/// Moving a Database (move construction/assignment) is NOT
+/// latch-protected — quiesce all sessions first. See
+/// docs/CONCURRENCY.md for the lock hierarchy and docs/WRITEPATH.md for
+/// the publish protocol.
 class Database {
  public:
-  Database() = default;
+  Database();
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
   Database(Database&& other) noexcept;
@@ -153,7 +299,7 @@ class Database {
   /// Returns the (possibly generated) ordering name.
   Result<std::string> DefineOrdering(OrderingDef def);
 
-  const ErSchema& schema() const { return schema_; }
+  const ErSchema& schema() const;
 
   // ------------------------------------------------------------------
   // Entities.
@@ -175,7 +321,7 @@ class Database {
   Status ForEachEntity(const std::string& type,
                        const std::function<bool(EntityId)>& fn) const;
   Result<uint64_t> CountEntities(const std::string& type) const;
-  uint64_t TotalEntities() const { return entities_.size(); }
+  uint64_t TotalEntities() const;
 
   // ------------------------------------------------------------------
   // Relationships.
@@ -207,9 +353,7 @@ class Database {
   /// lifetime (orderings are append-only).
   Result<OrderingHandle> ResolveOrderingHandle(std::string_view name) const;
   /// The definition behind a handle obtained from this database.
-  const OrderingDef& ordering_def(OrderingHandle h) const {
-    return schema_.orderings()[h.index()];
-  }
+  const OrderingDef& ordering_def(OrderingHandle h) const;
 
   Status AppendChild(const std::string& ordering, EntityId parent,
                      EntityId child);
@@ -304,13 +448,16 @@ class Database {
   /// existing entities. Mutator (exclusive latch); journaled.
   Status DefineIndex(AttrIndexDef def);
   /// Drops the named index. Mutator (exclusive latch); journaled.
+  /// Pinned snapshots keep probing their copy of the dropped index.
   Status DestroyIndex(const std::string& name);
   /// All index definitions, in case-normalized name order.
   std::vector<AttrIndexDef> AttrIndexDefs() const;
   /// The live index on (entity type, attribute), or nullptr when none
-  /// exists or the ablation switch is off. The planner calls this at
+  /// exists, the ablation switch is off, or a bulk index load is in
+  /// progress (the trees are stale then). The planner calls this at
   /// plan time; the pointer stays valid for the whole statement (index
-  /// DDL needs the exclusive latch).
+  /// DDL needs the exclusive latch, and pinned snapshots co-own the
+  /// index).
   const AttrIndex* FindAttrIndex(std::string_view entity_type,
                                  std::string_view attr) const;
   const AttrIndex* FindAttrIndexByName(std::string_view name) const;
@@ -319,7 +466,12 @@ class Database {
   /// callers must re-check the predicate per candidate (the planner
   /// keeps the conjunct in the filter list). `key` must not be null —
   /// nulls are never indexed; probe a null key by falling back to a
-  /// full scan (null == null is true under Value::Compare).
+  /// full scan (null == null is true under Value::Compare). Under a
+  /// SnapshotReadScope the candidates are filtered to entities that
+  /// exist in the snapshot, and a tree that has erased entries since
+  /// the snapshot was published degrades to a scan-shaped candidate
+  /// list (every id of the type) — correct either way, the conjunct
+  /// re-check does the rest.
   std::vector<EntityId> IndexLookup(const AttrIndex& index,
                                     const rel::Value& key) const;
 
@@ -338,20 +490,54 @@ class Database {
   }
   void ResetAttrIndexStats() { attr_stats_.Reset(); }
 
-  // ------------------------------------------------------------------
-  // Graphs and diagnostics.
-  // ------------------------------------------------------------------
-  /// Instance graph (fig 6 / fig 8(c)): P-edges and S-edges of the
-  /// subtree rooted at `root`, in Graphviz DOT. The node label uses the
-  /// entity's `label_attr` attribute when present, else TYPE#id.
-  Result<std::string> InstanceGraphDot(const std::string& ordering,
-                                       EntityId root,
-                                       const std::string& label_attr) const;
-  std::string HoGraphDot() const { return schema_.ToHoGraphDot(); }
+  /// Bulk index load (the corpus-loader fast path): between Begin and
+  /// End, per-mutation index maintenance is suspended and FindAttrIndex
+  /// reports no indexes (stale trees must not serve probes); End
+  /// rebuilds every tree from the entity data in one backfill pass per
+  /// index and returns how many trees were rebuilt. Both are mutators
+  /// (exclusive latch). Durability is unaffected: the journal logs the
+  /// data ops, and recovery re-backfills indexes anyway.
+  void BeginBulkIndexLoad();
+  Result<uint64_t> EndBulkIndexLoad();
+  bool bulk_index_load_active() const {
+    return bulk_index_load_.load(std::memory_order_relaxed);
+  }
 
-  /// Scans all ref-valued attributes and role bindings; reports the
-  /// count of dangling references (targets that no longer exist).
-  uint64_t CountDanglingRefs() const;
+  // ------------------------------------------------------------------
+  // Snapshot reads (docs/WRITEPATH.md).
+  // ------------------------------------------------------------------
+
+  /// Pins the last published snapshot: a short snap-mutex critical
+  /// section, never the db latch. Returns null when no snapshot can be
+  /// served faithfully (unpublished mutations with no disciplined
+  /// writer active) — fall back to a shared-latch live read.
+  std::shared_ptr<const Tables> TryPinSnapshot() const;
+
+  /// Copies the live tables into the published snapshot slot and opens
+  /// a fresh copy-on-write generation. Callers MUST hold the exclusive
+  /// latch (or be the only thread touching the database). Whoever
+  /// releases the exclusive latch publishes first — WriteGuard and the
+  /// QUEL executor enforce this.
+  void PublishSnapshot();
+
+  /// Monotone count of published snapshots (the reader-visible epoch).
+  uint64_t snapshot_epoch() const {
+    return snapshot_epoch_.load(std::memory_order_relaxed);
+  }
+
+  /// Brackets a disciplined direct-API writer (the exclusive latch is
+  /// held throughout): Begin marks a writer active so TryPinSnapshot
+  /// keeps serving the last published state instead of refusing; End
+  /// publishes and clears the mark. er::WriteGuard calls these — prefer
+  /// it over calling them directly. Unlike statement groups, these do
+  /// NOT change commit semantics (each journaled op still auto-commits).
+  void BeginWriteScope() {
+    writer_active_.store(true, std::memory_order_release);
+  }
+  void EndWriteScope() {
+    PublishSnapshot();
+    writer_active_.store(false, std::memory_order_release);
+  }
 
   // ------------------------------------------------------------------
   // Durability.
@@ -359,9 +545,44 @@ class Database {
   /// Attach a journal; subsequent mutations are redo-logged. Pass
   /// nullptr to detach.
   void AttachJournal(storage::WalWriter* wal) { wal_ = wal; }
+  /// Attach a group-commit coordinator (owned by DurableDatabase).
+  /// With one attached, auto-committed mutations and statement groups
+  /// commit through CommitNoSync and block in the coordinator until a
+  /// leader's single fsync covers them. Pass nullptr to detach.
+  void AttachCommitCoordinator(CommitCoordinator* c) { coordinator_ = c; }
+  CommitCoordinator* commit_coordinator() const { return coordinator_; }
   /// Groups subsequent ops into one transaction until CommitTxn.
   Status BeginTxn();
   Status CommitTxn();
+
+  /// Statement groups — the executor's commit bracket. Between Begin
+  /// and End, journaled ops accumulate in ONE WAL transaction (opened
+  /// lazily on the first op), so a statement — or a whole batch — is
+  /// crash-atomic: recovery applies all of it or none of it.
+  /// EndStatementGroup writes the commit record (unsynced when a
+  /// coordinator is attached), publishes the snapshot, and returns the
+  /// commit LSN to pass to WaitDurable AFTER releasing the latch (0
+  /// when there is nothing to sync). Both require the exclusive latch.
+  void BeginStatementGroup();
+  Result<uint64_t> EndStatementGroup();
+  /// Blocks until the group commit covering `lsn` has fsynced (no-op
+  /// for lsn 0 or without a coordinator). Call WITHOUT the latch.
+  Status WaitDurable(uint64_t lsn);
+
+  // ------------------------------------------------------------------
+  // Diagnostics.
+  // ------------------------------------------------------------------
+  /// Graphviz DOT rendering of one ordering's instance graph below
+  /// `root` (fig 6 style: dashed P-edges child->parent, S-edges between
+  /// adjacent siblings). `label_attr` names an attribute to label nodes
+  /// with (empty: type#id).
+  Result<std::string> InstanceGraphDot(const std::string& ordering,
+                                       EntityId root,
+                                       const std::string& label_attr) const;
+  /// Ref-attributes and role refs pointing at deleted entities.
+  uint64_t CountDanglingRefs() const;
+  /// Graphviz DOT rendering of the schema's HO-graph (fig 7).
+  std::string HoGraphDot() const { return schema().ToHoGraphDot(); }
 
   /// Full-image snapshot of schema + data.
   void Snapshot(ByteWriter* w) const;
@@ -372,6 +593,8 @@ class Database {
   Status ReplayJournal(const std::vector<uint8_t>& log);
 
  private:
+  friend class SnapshotReadScope;
+
   // Journal opcodes.
   enum class Op : uint8_t {
     kDefineEntity = 1,
@@ -389,79 +612,40 @@ class Database {
     kDestroyIndex = 13,
   };
 
-  // --- structural indexes, maintained lazily (§5.6 execution) ---
-  //
-  // Both indexes are published as immutable epoch-stamped snapshots.
-  // A structural mutation (under the exclusive latch) only bumps the
-  // cell's epoch; the first predicate lookup that finds the published
-  // snapshot stale rebuilds a fresh one off to the side and publishes
-  // it atomically. Concurrent readers under the shared latch therefore
-  // see either the complete old snapshot or the complete new one —
-  // never a half-rebuilt table (the torn-index hazard of the previous
-  // mutable-in-place scheme).
-
-  // child -> 0-based rank among its siblings, for every ordered child
-  // of this ordering.
-  struct RankIndex {
-    uint64_t epoch = 0;
-    std::unordered_map<EntityId, size_t> rank_of;
-  };
-  // Euler-tour labels over the ordering forest: entity -> (entry,
-  // exit). `a` lies under `b` iff b.entry < a.entry && a.exit < b.exit.
-  struct IntervalIndex {
-    uint64_t epoch = 0;
-    std::unordered_map<EntityId, std::pair<uint64_t, uint64_t>> interval_of;
-  };
-  // Heap-allocated so OrderingInstances (and the vector holding it)
-  // stays movable. Publish protocol: the epoch is an atomic bumped by
-  // mutators (under the exclusive db latch); the published snapshot
-  // pointers are plain shared_ptrs guarded by publish_mu. Readers copy
-  // the pointer under a short critical section and then use the
-  // immutable snapshot lock-free. This replaces an earlier
-  // std::atomic<std::shared_ptr> publish whose libstdc++ lock-bit
-  // internals (_Sp_atomic) tripped TSan; one explicit mutex is exactly
-  // as scalable (atomic<shared_ptr> takes an internal lock anyway) and
-  // is race-free by construction.
-  struct OrderingIndexCell {
-    std::atomic<uint64_t> epoch{1};
-    std::mutex publish_mu;
-    std::shared_ptr<const RankIndex> ranks;          // guarded by publish_mu
-    std::shared_ptr<const IntervalIndex> intervals;  // guarded by publish_mu
-  };
-
-  struct OrderingInstances {
-    // parent -> ordered children (the S-edge sequence).
-    std::unordered_map<EntityId, std::vector<EntityId>> children;
-    // child -> parent (the P-edge).
-    std::unordered_map<EntityId, EntityId> parent_of;
-
-    std::unique_ptr<OrderingIndexCell> index =
-        std::make_unique<OrderingIndexCell>();
-
-    // Called on every S/P-edge mutation of this ordering; retires the
-    // published snapshots by advancing the epoch.
-    void Invalidate() {
-      index->epoch.fetch_add(1, std::memory_order_release);
-    }
-  };
+  /// The tables this thread should read: the snapshot pinned by an
+  /// enclosing SnapshotReadScope on THIS database, else the live
+  /// tables. Mutators always see live_ (mutating statements never run
+  /// under a scope).
+  const Tables& ReadTables() const;
 
   const EntityRecord* FindEntity(EntityId id) const;
-  EntityRecord* FindEntity(EntityId id);
+  /// Copy-on-write lookup for mutation: clones the record (stamping the
+  /// current publish generation) unless it is already private to this
+  /// generation. nullptr if missing.
+  EntityRecord* MutableEntity(EntityId id);
+  RelationshipInstance* MutableRel(RelInstanceId id);
+  ErSchema* MutableSchema();
+  TypeMap* MutableByType();
+  RelNameMap* MutableRelsByName();
+  IndexMap* MutableIndexes();
+  OrdState* MutableOrd(size_t index);
+  /// The mutable sibling vector of `parent` in `ord` (created empty if
+  /// absent), cloned first if shared with a snapshot.
+  Sibs* MutableSibs(OrdState* ord, EntityId parent);
+
   Result<const OrderingDef*> ResolveOrdering(const std::string& name) const;
   // Core mutators shared by the public API and journal replay.
   Status DoInsertChildAt(OrderingHandle h, EntityId parent, EntityId child,
                          size_t pos);
   Status DoRemoveChild(OrderingHandle h, EntityId child);
   // Walks P-edges upward from `start`; true if `needle` is an ancestor.
-  bool IsAncestor(const OrderingInstances& inst, EntityId needle,
-                  EntityId start) const;
-  // Lazy index access: returns the current published snapshot,
-  // rebuilding and republishing it first if the epoch moved. Safe for
-  // concurrent readers under the shared latch.
-  std::shared_ptr<const RankIndex> RankIndexFor(
-      const OrderingInstances& inst) const;
+  bool IsAncestor(const OrdState& ord, EntityId needle, EntityId start) const;
+  // Lazy index access: returns an index valid for ord.version —
+  // published if fresh, else rebuilt from the caller's own OrdState
+  // (live or pinned) and republished when strictly newer.
+  std::shared_ptr<const RankIndex> RankIndexFor(const OrdState& ord) const;
   std::shared_ptr<const IntervalIndex> IntervalIndexFor(
-      const OrderingInstances& inst) const;
+      const OrdState& ord) const;
   Status CheckOrderedPairExists(EntityId a, EntityId b) const;
   Status LogOp(Op op, const std::vector<uint8_t>& payload);
   Status ApplyOp(const storage::WalRecord& rec);
@@ -471,9 +655,12 @@ class Database {
                       const rel::Value& old_value,
                       const rel::Value& new_value);
   void AttrIndexOnDelete(const EntityRecord& rec);
+  // Re-captures AttrIndex::erase_epoch into the IndexSlots before a
+  // publish, when any erase happened since the last one.
+  void RefreshIndexEpochs();
 
   // Relaxed-atomic twin of OrderingIndexStats: bumped by concurrent
-  // readers (index lookups run under the shared latch).
+  // readers (index lookups run under the shared latch or a snapshot).
   struct AtomicOrderingIndexStats {
     std::atomic<uint64_t> rank_hits{0};
     std::atomic<uint64_t> rank_rebuilds{0};
@@ -513,7 +700,7 @@ class Database {
   };
 
   // Relaxed-atomic twin of AttrIndexStats: lookups are bumped by
-  // concurrent readers under the shared latch.
+  // concurrent readers under the shared latch or a snapshot.
   struct AtomicAttrIndexStats {
     std::atomic<uint64_t> lookups{0};
     std::atomic<uint64_t> inserts{0};
@@ -547,26 +734,57 @@ class Database {
   };
 
   mutable std::shared_mutex mu_;  // see latch()
-  ErSchema schema_;
-  std::map<EntityId, EntityRecord> entities_;
-  std::unordered_map<std::string, std::vector<EntityId>> by_type_;
-  std::map<RelInstanceId, RelationshipInstance> rel_instances_;
-  std::unordered_map<std::string, std::vector<RelInstanceId>> rels_by_name_;
-  // One slot per schema ordering, indexed by OrderingHandle::index().
-  std::vector<OrderingInstances> ordering_instances_;
-  EntityId next_entity_id_ = 1;
-  RelInstanceId next_rel_id_ = 1;
+
+  // The live tables (mutated copy-on-write under the exclusive latch)
+  // and the published snapshot readers pin. snap_mu_ guards only the
+  // published_ pointer swap/copy — it is the last mutex in the lock
+  // hierarchy and is never held across any other acquisition.
+  Tables live_;
+  mutable std::mutex snap_mu_;
+  std::shared_ptr<const Tables> published_;
+  // Copy-on-write window stamp: structures with gen == publish_gen_ are
+  // private to the window since the last publish and mutate in place.
+  uint64_t publish_gen_ = 1;
+  std::atomic<uint64_t> snapshot_epoch_{0};
+  // Staleness fence for TryPinSnapshot: total mutations applied vs
+  // mutations covered by the published snapshot, and whether a
+  // disciplined writer (statement group) is mid-flight (its publish is
+  // coming; the published snapshot is the last committed state).
+  std::atomic<uint64_t> ops_applied_{0};
+  std::atomic<uint64_t> published_ops_{0};
+  std::atomic<bool> writer_active_{false};
+
   std::atomic<bool> ordering_index_enabled_{true};
   mutable AtomicOrderingIndexStats index_stats_;
-  // Secondary attribute indexes, keyed by case-normalized (upper) index
-  // name. std::map so AttrIndex* stays stable across unrelated DDL.
-  std::map<std::string, AttrIndex> attr_indexes_;
   std::atomic<bool> attr_index_enabled_{true};
   mutable AtomicAttrIndexStats attr_stats_;
+  std::atomic<bool> bulk_index_load_{false};
+  bool attr_erase_dirty_ = false;
 
   storage::WalWriter* wal_ = nullptr;
+  CommitCoordinator* coordinator_ = nullptr;
   uint64_t open_txn_ = 0;
+  bool group_active_ = false;
   bool replaying_ = false;
+};
+
+/// RAII pin of a published snapshot for the current thread: while in
+/// scope, every const read API call on `db` from this thread resolves
+/// against the pinned Tables instead of the live ones — no db latch,
+/// no blocking, planner/executor code unchanged. Scopes nest (the
+/// innermost wins) and are per-thread; do not run mutators on the same
+/// database inside a scope.
+class SnapshotReadScope {
+ public:
+  SnapshotReadScope(const Database* db, std::shared_ptr<const Tables> tables);
+  ~SnapshotReadScope();
+  SnapshotReadScope(const SnapshotReadScope&) = delete;
+  SnapshotReadScope& operator=(const SnapshotReadScope&) = delete;
+
+ private:
+  std::shared_ptr<const Tables> tables_;  // keeps the snapshot alive
+  const Database* prev_db_;
+  const Tables* prev_tables_;
 };
 
 }  // namespace mdm::er

@@ -170,7 +170,18 @@ Result<std::unique_ptr<DurableDatabase>> DurableDatabase::Open(
 }
 
 DurableDatabase::~DurableDatabase() {
+  db_.AttachCommitCoordinator(nullptr);
   db_.AttachJournal(nullptr);
+}
+
+void DurableDatabase::EnableGroupCommit(CommitCoordinator::Options options) {
+  coordinator_ = std::make_unique<CommitCoordinator>(wal_.get(), options);
+  db_.AttachCommitCoordinator(coordinator_.get());
+}
+
+void DurableDatabase::DisableGroupCommit() {
+  db_.AttachCommitCoordinator(nullptr);
+  coordinator_.reset();
 }
 
 std::string DurableDatabase::wal_path() const {
@@ -178,6 +189,14 @@ std::string DurableDatabase::wal_path() const {
 }
 
 Status DurableDatabase::AttachJournal(bool truncate) {
+  // Remember whether group commit was on: the coordinator is bound to
+  // the WalWriter being replaced and must be rebuilt against the new
+  // one (its LSN horizon restarts with the new epoch's log).
+  const bool group_commit = coordinator_ != nullptr;
+  CommitCoordinator::Options coord_options =
+      group_commit ? coordinator_->options() : CommitCoordinator::Options{};
+  db_.AttachCommitCoordinator(nullptr);
+  coordinator_.reset();
   db_.AttachJournal(nullptr);
   wal_.reset();
   wal_sink_.reset();
@@ -204,10 +223,12 @@ Status DurableDatabase::AttachJournal(bool truncate) {
   if (!failed.ok()) {
     wal_ = std::make_unique<storage::WalWriter>(&broken_sink_);
     db_.AttachJournal(wal_.get());
+    if (group_commit) EnableGroupCommit(coord_options);
     return failed;
   }
   wal_ = std::make_unique<storage::WalWriter>(wal_sink_.get());
   db_.AttachJournal(wal_.get());
+  if (group_commit) EnableGroupCommit(coord_options);
   return Status::OK();
 }
 

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "er/commit_coordinator.h"
 #include "er/database.h"
 #include "storage/wal.h"
 
@@ -59,6 +60,15 @@ class DurableDatabase {
   /// The journal file backing the current epoch.
   std::string wal_path() const;
 
+  /// Turns on WAL group commit (docs/WRITEPATH.md): commits append
+  /// their record under the latch and batch into one fsync in the
+  /// coordinator. Survives Checkpoint (the coordinator is re-attached
+  /// to each epoch's journal). Call before concurrent use.
+  void EnableGroupCommit(CommitCoordinator::Options options);
+  /// Detaches the coordinator; commits go back to one fsync each.
+  void DisableGroupCommit();
+  CommitCoordinator* commit_coordinator() { return coordinator_.get(); }
+
  private:
   /// Sink attached when the real journal cannot be opened: every append
   /// fails, so no mutation is acknowledged without being logged.
@@ -79,6 +89,7 @@ class DurableDatabase {
   Database db_;
   std::unique_ptr<storage::FileWalSink> wal_sink_;
   std::unique_ptr<storage::WalWriter> wal_;
+  std::unique_ptr<CommitCoordinator> coordinator_;
   BrokenWalSink broken_sink_;
 };
 

@@ -1,0 +1,175 @@
+#ifndef MDM_ER_PMAP_H_
+#define MDM_ER_PMAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace mdm::er {
+
+/// Deterministic treap priority: a fixed avalanche mix of the key, so
+/// the tree shape depends only on the key set (replay- and
+/// snapshot-stable; no RNG state to carry).
+inline uint64_t PMapMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+inline uint64_t PMapPriority(uint64_t key) { return PMapMix64(key); }
+inline uint64_t PMapPriority(uint32_t key) {
+  return PMapMix64(static_cast<uint64_t>(key));
+}
+inline uint64_t PMapPriority(int64_t key) {
+  return PMapMix64(static_cast<uint64_t>(key));
+}
+inline uint64_t PMapPriority(const std::string& key) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return PMapMix64(h);
+}
+
+/// A persistent (immutable, structurally shared) ordered map — the
+/// copy-on-write substrate behind er::Tables snapshots. Insert/Erase
+/// path-copy O(log n) nodes and leave every previously taken copy of
+/// the map untouched, so publishing a database snapshot is a handful of
+/// root-pointer copies regardless of data volume, and readers traverse
+/// their pinned version without any lock.
+///
+/// Implementation: a treap with deterministic hash-derived priorities,
+/// maintained via path-copying split/merge. Iteration (ForEach) is
+/// in key order; entity/relationship ids are monotonically assigned, so
+/// key order doubles as creation order for the id-keyed sets.
+///
+/// Thread safety: a PMap value is NOT synchronized — the owner mutates
+/// it under the database's exclusive latch. Copies of the map (sharing
+/// nodes) may be read freely from any thread: shared nodes are
+/// immutable after publication, and shared_ptr refcounts handle
+/// retirement once the last snapshot referencing a version drains.
+template <typename K, typename V>
+class PMap {
+ public:
+  PMap() = default;
+
+  size_t size() const { return root_ ? root_->count : 0; }
+  bool empty() const { return root_ == nullptr; }
+
+  /// Pointer to the value for `key`, or nullptr. The pointee lives as
+  /// long as any map version containing the node does.
+  const V* Find(const K& key) const {
+    const Node* n = root_.get();
+    while (n != nullptr) {
+      if (key < n->key)
+        n = n->left.get();
+      else if (n->key < key)
+        n = n->right.get();
+      else
+        return &n->value;
+    }
+    return nullptr;
+  }
+
+  bool Contains(const K& key) const { return Find(key) != nullptr; }
+
+  /// Inserts or overwrites. O(log n) expected; path-copies the spine.
+  void Insert(const K& key, V value) {
+    NodePtr l, e, r;
+    SplitAt(root_, key, &l, &e, &r);
+    NodePtr fresh = std::make_shared<Node>(key, std::move(value));
+    root_ = Merge(Merge(std::move(l), std::move(fresh)), std::move(r));
+  }
+
+  /// Removes `key` if present. O(log n) expected.
+  void Erase(const K& key) {
+    NodePtr l, e, r;
+    SplitAt(root_, key, &l, &e, &r);
+    root_ = Merge(std::move(l), std::move(r));
+  }
+
+  /// In-key-order traversal; return false from `fn` to stop early.
+  bool ForEach(const std::function<bool(const K&, const V&)>& fn) const {
+    return Walk(root_.get(), fn);
+  }
+
+ private:
+  struct Node;
+  using NodePtr = std::shared_ptr<const Node>;
+
+  struct Node {
+    Node(K k, V v)
+        : key(std::move(k)),
+          value(std::move(v)),
+          priority(PMapPriority(key)) {}
+    Node(const Node& o, NodePtr l, NodePtr r)
+        : key(o.key),
+          value(o.value),
+          priority(o.priority),
+          left(std::move(l)),
+          right(std::move(r)),
+          count(1 + (left ? left->count : 0) + (right ? right->count : 0)) {}
+
+    K key;
+    V value;
+    uint64_t priority;
+    NodePtr left;
+    NodePtr right;
+    size_t count = 1;
+  };
+
+  static NodePtr WithChildren(const NodePtr& n, NodePtr l, NodePtr r) {
+    return std::make_shared<Node>(*n, std::move(l), std::move(r));
+  }
+
+  /// Splits `n` into keys < key (*l), the key node if present (*e), and
+  /// keys > key (*r). Path-copies the split spine.
+  static void SplitAt(const NodePtr& n, const K& key, NodePtr* l, NodePtr* e,
+                      NodePtr* r) {
+    if (!n) {
+      l->reset();
+      e->reset();
+      r->reset();
+      return;
+    }
+    if (key < n->key) {
+      NodePtr rl;
+      SplitAt(n->left, key, l, e, &rl);
+      *r = WithChildren(n, std::move(rl), n->right);
+    } else if (n->key < key) {
+      NodePtr lr;
+      SplitAt(n->right, key, &lr, e, r);
+      *l = WithChildren(n, n->left, std::move(lr));
+    } else {
+      *l = n->left;
+      *e = n;
+      *r = n->right;
+    }
+  }
+
+  static NodePtr Merge(NodePtr a, NodePtr b) {
+    if (!a) return b;
+    if (!b) return a;
+    if (a->priority >= b->priority)
+      return WithChildren(a, a->left, Merge(a->right, std::move(b)));
+    return WithChildren(b, Merge(std::move(a), b->left), b->right);
+  }
+
+  static bool Walk(const Node* n,
+                   const std::function<bool(const K&, const V&)>& fn) {
+    if (n == nullptr) return true;
+    if (!Walk(n->left.get(), fn)) return false;
+    if (!fn(n->key, n->value)) return false;
+    return Walk(n->right.get(), fn);
+  }
+
+  NodePtr root_;
+};
+
+}  // namespace mdm::er
+
+#endif  // MDM_ER_PMAP_H_

@@ -37,7 +37,20 @@ class ReadGuard {
 
 class WriteGuard {
  public:
-  explicit WriteGuard(Database& db) : lock_(db.latch()), db_(&db) {}
+  explicit WriteGuard(Database& db) : lock_(db.latch()), db_(&db) {
+    db_->BeginWriteScope();
+  }
+  /// Publishes the snapshot BEFORE releasing the latch, so latch-free
+  /// snapshot readers (TryPinSnapshot) always see the last completed
+  /// write bracket, never a half-applied one.
+  ~WriteGuard() {
+    db_->EndWriteScope();
+    lock_.unlock();
+  }
+  WriteGuard(const WriteGuard&) = delete;
+  WriteGuard& operator=(const WriteGuard&) = delete;
+  WriteGuard(WriteGuard&&) = delete;
+  WriteGuard& operator=(WriteGuard&&) = delete;
 
   Database* operator->() const { return db_; }
   Database& operator*() const { return *db_; }

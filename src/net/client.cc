@@ -236,12 +236,13 @@ Status Client::PingOnce() {
   return Status::OK();
 }
 
-Result<quel::ResultSet> Client::ExecuteOnce(const std::string& script) {
+Result<quel::ResultSet> Client::ExecuteOnce(const std::string& script,
+                                            uint32_t deadline_ms) {
   if (transport_ == nullptr || transport_->closed())
     return Unavailable("client is not connected");
   ExecuteRequest req;
   req.script = script;
-  req.deadline_ms = opts_.deadline_ms;
+  req.deadline_ms = deadline_ms;
   req.trace_id = last_trace_id_;
   req.trace_sampled = last_trace_sampled_;
   Status sent = WriteFrame(transport_.get(), EncodeExecuteRequest(req));
@@ -282,16 +283,77 @@ Result<quel::ResultSet> Client::ExecuteOnce(const std::string& script) {
   return rs;
 }
 
+Result<BatchResult> Client::ExecuteBatchOnce(
+    const std::vector<std::string>& scripts, uint32_t deadline_ms) {
+  if (transport_ == nullptr || transport_->closed())
+    return Unavailable("client is not connected");
+  BatchExecuteRequest req;
+  req.scripts = scripts;
+  req.deadline_ms = deadline_ms;
+  req.trace_id = last_trace_id_;
+  req.trace_sampled = last_trace_sampled_;
+  Status sent = WriteFrame(transport_.get(), EncodeBatchExecuteRequest(req));
+  if (!sent.ok()) {
+    Close();
+    if (sent.code() == StatusCode::kDeadlineExceeded)
+      return Unavailable("send stalled: " + sent.message());
+    return sent;
+  }
+  BatchResult result;
+  bool have_status = false;
+  bool results_follow = false;
+  bool done = false;
+  // Reply shape: one kBatchStatus frame, then — iff every statement
+  // succeeded — the last statement's ResultSet as ordinary pages.
+  while (!have_status || (results_follow && !done)) {
+    bool fatal = false;
+    Result<Frame> frame =
+        ReadFrame(transport_.get(), opts_.max_frame_bytes, &fatal);
+    if (!frame.ok()) {
+      Close();
+      return AsStreamFailure(frame.status(), "batch response");
+    }
+    switch (frame->type) {
+      case FrameType::kError: {
+        Status remote;
+        MDM_RETURN_IF_ERROR(DecodeErrorFrame(*frame, &remote));
+        return remote;
+      }
+      case FrameType::kBatchStatus:
+        if (have_status) {
+          Close();
+          return Internal("duplicate BatchStatus frame in batch reply");
+        }
+        MDM_RETURN_IF_ERROR(
+            DecodeBatchStatus(*frame, &result, &results_follow));
+        have_status = true;
+        break;
+      case FrameType::kResultPage:
+        if (!have_status) {
+          Close();
+          return Internal("result page before BatchStatus in batch reply");
+        }
+        MDM_RETURN_IF_ERROR(DecodeResultPage(*frame, &result.last, &done));
+        break;
+      default:
+        Close();  // stream state unknown: give up on the connection
+        return Internal("unexpected frame type in ExecuteBatch reply");
+    }
+  }
+  return result;
+}
+
 template <typename T, typename Attempt>
-Result<T> Client::WithRetries(bool retryable, Attempt attempt) {
-  DeadlineBudget budget(opts_.deadline_ms);
-  RetrySchedule schedule(opts_.retry);
+Result<T> Client::WithRetries(bool retryable, uint32_t deadline_ms,
+                              const RetryPolicy& retry, Attempt attempt) {
+  DeadlineBudget budget(deadline_ms);
+  RetrySchedule schedule(retry);
   int attempts_made = 0;
   Status last = Status::OK();
   for (;;) {
     if (budget.exhausted())
       return DeadlineExceeded(
-          "deadline of " + std::to_string(opts_.deadline_ms) +
+          "deadline of " + std::to_string(deadline_ms) +
           "ms exhausted after " + std::to_string(attempts_made) +
           " attempt(s)" +
           (last.ok() ? std::string() : "; last error: " + last.message()));
@@ -313,7 +375,7 @@ Result<T> Client::WithRetries(bool retryable, Attempt attempt) {
     // as-is; only transport failures are transparently repairable.
     if (!IsTransportFailure(last)) return last;
     if (!retryable) return last;
-    if (attempts_made >= opts_.retry.max_attempts) {
+    if (attempts_made >= retry.max_attempts) {
       Status s = Unavailable(
           "retries exhausted after " + std::to_string(attempts_made) +
           " attempt(s); last error: " + last.message());
@@ -324,7 +386,7 @@ Result<T> Client::WithRetries(bool retryable, Attempt attempt) {
     if (!budget.CanAfford(backoff_ms))
       return DeadlineExceeded(
           "retry budget exhausted: " + std::to_string(budget.elapsed_ms()) +
-          "ms elapsed of a " + std::to_string(opts_.deadline_ms) +
+          "ms elapsed of a " + std::to_string(deadline_ms) +
           "ms deadline after " + std::to_string(attempts_made) +
           " attempt(s); last error: " + last.message());
     RetriesCounter()->Inc();
@@ -333,25 +395,67 @@ Result<T> Client::WithRetries(bool retryable, Attempt attempt) {
   }
 }
 
-Result<quel::ResultSet> Client::Execute(const std::string& script) {
-  // One trace identity per Execute call: every retry attempt replays
-  // the same id, so a retried request is one trace server-side. Ids
-  // come from the seeded PRNG (never wall-clock) and are never 0 — 0
-  // marks "no trace context" on the wire.
+void Client::NewTraceIdentity(const ExecOptions& opts) {
+  // One trace identity per Execute/ExecuteBatch call: every retry
+  // attempt replays the same id, so a retried request is one trace
+  // server-side. Ids come from the seeded PRNG (never wall-clock) and
+  // are never 0 — 0 marks "no trace context" on the wire.
   last_trace_id_ = trace_rng_.Next();
   if (last_trace_id_ == 0) last_trace_id_ = trace_rng_.Next() | 1;
-  last_trace_sampled_ = opts_.trace_sample_rate > 0.0 &&
-                        trace_rng_.Bernoulli(opts_.trace_sample_rate);
+  switch (opts.trace) {
+    case ExecOptions::Trace::kForce:
+      last_trace_sampled_ = true;
+      break;
+    case ExecOptions::Trace::kOff:
+      last_trace_sampled_ = false;
+      break;
+    case ExecOptions::Trace::kDefault:
+      last_trace_sampled_ = opts_.trace_sample_rate > 0.0 &&
+                            trace_rng_.Bernoulli(opts_.trace_sample_rate);
+      break;
+  }
+}
+
+Result<quel::ResultSet> Client::Execute(const std::string& script,
+                                        const ExecOptions& opts) {
+  NewTraceIdentity(opts);
+  uint32_t deadline_ms = EffectiveDeadlineMs(opts);
+  const RetryPolicy& retry = EffectiveRetry(opts);
   // A mutation may have been applied before a connection died, so
   // replaying it could double-apply; only idempotent reads retry.
   const bool retryable =
-      opts_.retry.max_attempts > 1 && IsIdempotentScript(script);
+      retry.max_attempts > 1 && IsIdempotentScript(script);
   return WithRetries<quel::ResultSet>(
-      retryable, [this, &script] { return ExecuteOnce(script); });
+      retryable, deadline_ms, retry,
+      [this, &script, deadline_ms] {
+        return ExecuteOnce(script, deadline_ms);
+      });
+}
+
+Result<BatchResult> Client::ExecuteBatch(
+    const std::vector<std::string>& scripts, const ExecOptions& opts) {
+  NewTraceIdentity(opts);
+  uint32_t deadline_ms = EffectiveDeadlineMs(opts);
+  const RetryPolicy& retry = EffectiveRetry(opts);
+  // The server may have applied (and committed) a batch whose reply was
+  // lost, so only an all-reads batch is transparently retryable.
+  bool all_idempotent = true;
+  for (const std::string& s : scripts)
+    if (!IsIdempotentScript(s)) {
+      all_idempotent = false;
+      break;
+    }
+  const bool retryable = retry.max_attempts > 1 && all_idempotent;
+  return WithRetries<BatchResult>(
+      retryable, deadline_ms, retry,
+      [this, &scripts, deadline_ms] {
+        return ExecuteBatchOnce(scripts, deadline_ms);
+      });
 }
 
 Status Client::Ping() {
   Result<bool> r = WithRetries<bool>(opts_.retry.max_attempts > 1,
+                                     opts_.deadline_ms, opts_.retry,
                                      [this]() -> Result<bool> {
                                        Status s = PingOnce();
                                        if (!s.ok()) return s;

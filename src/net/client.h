@@ -5,10 +5,12 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "net/exec_options.h"
 #include "net/protocol.h"
 #include "net/retry.h"
 #include "net/transport.h"
@@ -31,6 +33,11 @@ struct ClientOptions {
   /// server's default) — and, when non-zero, the client's *total* retry
   /// budget: Execute never blocks or backs off past it, even while the
   /// server (or a faulty link) stalls mid-frame.
+  ///
+  /// DEPRECATION NOTE: since the ExecOptions redesign this field is the
+  /// connection-wide *default*; prefer passing mdm::ExecOptions
+  /// {.deadline_ms = ...} per call. The field stays (existing fleet
+  /// configs keep working) but new code should not reach for it.
   uint32_t deadline_ms = 0;
   /// Bounds how long one attempt may wait on a single stalled recv
   /// (0 = only the deadline bounds it). With a deadline set, the
@@ -43,12 +50,18 @@ struct ClientOptions {
   /// exponential backoff with seeded decorrelated jitter, honoring the
   /// server's retry_after_ms hints. Mutations are never retried — the
   /// server may or may not have applied them — and surface UNAVAILABLE.
+  ///
+  /// DEPRECATION NOTE: the connection-wide *default*; per-call override
+  /// via mdm::ExecOptions::retry.
   RetryPolicy retry;
   /// Fraction of Execute calls marked for server-side tracing (wire
   /// protocol v3): every request carries a fresh trace_id; `sampled` is
   /// set on this fraction of them, telling the server to record the
   /// request's span tree into its trace ring (GET /traces/<id> on the
   /// admin endpoint). 0 disables sampling, 1 samples everything.
+  ///
+  /// DEPRECATION NOTE: the connection-wide *default*; per-call override
+  /// via mdm::ExecOptions::trace (kForce / kOff).
   double trace_sample_rate = 0.0;
   /// Seed for the trace_id/sampling PRNG — ids are seeded, never
   /// wall-clock, so a workload replays with identical ids. Give each
@@ -77,13 +90,24 @@ class Client {
 
   /// Executes one DDL/QUEL script on the server; reassembles the paged
   /// response. Errors arrive code-intact (Status::error_code()).
+  /// `opts` overrides the ClientOptions defaults for this call only.
   ///
   /// Transport failures (UNAVAILABLE, stream CORRUPTION) of idempotent
-  /// read scripts are retried per ClientOptions::retry; exhaustion is
-  /// typed: DEADLINE_EXCEEDED when deadline_ms ran out first,
-  /// UNAVAILABLE when max_attempts did. Observability:
+  /// read scripts are retried per the effective retry policy;
+  /// exhaustion is typed: DEADLINE_EXCEEDED when the deadline ran out
+  /// first, UNAVAILABLE when max_attempts did. Observability:
   /// mdm_net_client_retries_total / mdm_net_client_backoff_ms_total.
-  Result<quel::ResultSet> Execute(const std::string& script);
+  Result<quel::ResultSet> Execute(const std::string& script,
+                                  const ExecOptions& opts = {});
+
+  /// Executes N scripts in ONE round trip (wire protocol v4): the
+  /// server runs them under a single exclusive latch acquisition and
+  /// commits them as one group-committed WAL transaction. Per-statement
+  /// outcomes arrive in the BatchResult; the last statement's ResultSet
+  /// rides along when every statement succeeded. Retried transparently
+  /// only when EVERY script is idempotent.
+  Result<BatchResult> ExecuteBatch(const std::vector<std::string>& scripts,
+                                   const ExecOptions& opts = {});
 
   /// Round-trips a ping frame (retried like an idempotent read).
   Status Ping();
@@ -108,16 +132,30 @@ class Client {
         transport_(std::move(t)),
         trace_rng_(opts_.trace_seed) {}
 
-  Result<quel::ResultSet> ExecuteOnce(const std::string& script);
+  Result<quel::ResultSet> ExecuteOnce(const std::string& script,
+                                      uint32_t deadline_ms);
+  Result<BatchResult> ExecuteBatchOnce(const std::vector<std::string>& scripts,
+                                       uint32_t deadline_ms);
   Status PingOnce();
   /// Dials a fresh transport, never spending longer than the remaining
   /// budget on the connect.
   Status Reconnect(const DeadlineBudget& budget);
   /// Applies the per-attempt recv timeout from the remaining budget.
   void ArmAttemptTimeout(const DeadlineBudget& budget);
-  /// Shared retry loop driving `attempt` (see Execute).
+  /// Resolves per-call overrides against the ClientOptions defaults.
+  uint32_t EffectiveDeadlineMs(const ExecOptions& opts) const {
+    return opts.deadline_ms != 0 ? opts.deadline_ms : opts_.deadline_ms;
+  }
+  const RetryPolicy& EffectiveRetry(const ExecOptions& opts) const {
+    return opts.retry.has_value() ? *opts.retry : opts_.retry;
+  }
+  /// Stamps a fresh trace identity for one Execute/ExecuteBatch call.
+  void NewTraceIdentity(const ExecOptions& opts);
+  /// Shared retry loop driving `attempt` (see Execute). `deadline_ms`
+  /// and `retry` are the per-call effective values.
   template <typename T, typename Attempt>
-  Result<T> WithRetries(bool retryable, Attempt attempt);
+  Result<T> WithRetries(bool retryable, uint32_t deadline_ms,
+                        const RetryPolicy& retry, Attempt attempt);
 
   ClientOptions opts_;
   std::string host_;

@@ -1,5 +1,7 @@
 #include "net/connection.h"
 
+#include <mutex>
+#include <shared_mutex>
 #include <utility>
 
 #include "common/strings.h"
@@ -8,27 +10,100 @@
 
 namespace mdm {
 
+namespace {
+
+bool IsDdlScript(const std::string& script) {
+  std::string head = AsciiLower(std::string(StrTrim(script)));
+  return StartsWith(head, "define") || StartsWith(head, "destroy");
+}
+
+quel::ResultSet DdlSummary(const ddl::DdlResult& ddl) {
+  quel::ResultSet rs;
+  // "indexes" counts index DDL statements executed, defined plus
+  // destroyed — schema objects the script touched either way.
+  rs.columns = {"entity_types", "relationships", "orderings", "indexes"};
+  size_t index_ops = ddl.indexes.size() + ddl.destroyed_indexes.size();
+  rs.rows.push_back(
+      {rel::Value::Int(static_cast<int64_t>(ddl.entity_types.size())),
+       rel::Value::Int(static_cast<int64_t>(ddl.relationships.size())),
+       rel::Value::Int(static_cast<int64_t>(ddl.orderings.size())),
+       rel::Value::Int(static_cast<int64_t>(index_ops))});
+  rs.affected = ddl.entity_types.size() + ddl.relationships.size() +
+                ddl.orderings.size() + index_ops;
+  return rs;
+}
+
+/// Dispatches one script with the exclusive db latch already held and
+/// an er statement group open — the shape both the batch path and the
+/// latched DDL path execute under.
+Result<quel::ResultSet> RunStatementPreLocked(er::Database* db,
+                                              quel::QuelSession* session,
+                                              const std::string& script) {
+  if (IsDdlScript(script)) {
+    MDM_ASSIGN_OR_RETURN(ddl::DdlResult ddl, ddl::ExecuteDdl(script, db));
+    return DdlSummary(ddl);
+  }
+  return session->ExecutePreLocked(script);
+}
+
+}  // namespace
+
 Result<quel::ResultSet> RunScript(er::Database* db,
                                   quel::QuelSession* session,
                                   const std::string& script) {
-  std::string head = AsciiLower(std::string(StrTrim(script)));
-  if (StartsWith(head, "define") || StartsWith(head, "destroy")) {
-    MDM_ASSIGN_OR_RETURN(ddl::DdlResult ddl, ddl::ExecuteDdl(script, db));
-    quel::ResultSet rs;
-    // "indexes" counts index DDL statements executed, defined plus
-    // destroyed — schema objects the script touched either way.
-    rs.columns = {"entity_types", "relationships", "orderings", "indexes"};
-    size_t index_ops = ddl.indexes.size() + ddl.destroyed_indexes.size();
-    rs.rows.push_back(
-        {rel::Value::Int(static_cast<int64_t>(ddl.entity_types.size())),
-         rel::Value::Int(static_cast<int64_t>(ddl.relationships.size())),
-         rel::Value::Int(static_cast<int64_t>(ddl.orderings.size())),
-         rel::Value::Int(static_cast<int64_t>(index_ops))});
-    rs.affected = ddl.entity_types.size() + ddl.relationships.size() +
-                  ddl.orderings.size() + index_ops;
+  if (IsDdlScript(script)) {
+    // DDL mutates schema state shared with every reader, so it takes
+    // the exclusive latch and commits through a statement group exactly
+    // like a QUEL write (historically it ran unlatched, racing against
+    // concurrent QUEL sessions on the same database).
+    Result<quel::ResultSet> rs = quel::ResultSet{};
+    Result<uint64_t> lsn = 0;
+    {
+      std::unique_lock<std::shared_mutex> latch(db->latch());
+      db->BeginStatementGroup();
+      rs = RunStatementPreLocked(db, session, script);
+      lsn = db->EndStatementGroup();
+    }
+    MDM_RETURN_IF_ERROR(rs.status());
+    MDM_RETURN_IF_ERROR(lsn.status());
+    MDM_RETURN_IF_ERROR(db->WaitDurable(*lsn));
     return rs;
   }
   return session->Execute(script);
+}
+
+Result<BatchResult> RunBatch(er::Database* db, quel::QuelSession* session,
+                             const std::vector<std::string>& scripts) {
+  BatchResult out;
+  out.submitted = scripts.size();
+  out.statements.reserve(scripts.size());
+  Result<uint64_t> lsn = 0;
+  {
+    std::unique_lock<std::shared_mutex> latch(db->latch());
+    db->BeginStatementGroup();
+    for (const std::string& script : scripts) {
+      Result<quel::ResultSet> rs =
+          RunStatementPreLocked(db, session, script);
+      if (!rs.ok()) {
+        // Prefix-stop: earlier statements stay applied and commit with
+        // the group (redo-only WAL has no statement-level undo); the
+        // tail after the failure never runs.
+        out.statements.push_back({rs.status(), 0});
+        out.last = quel::ResultSet{};
+        break;
+      }
+      out.statements.push_back({Status::OK(), rs->affected});
+      out.last = std::move(*rs);
+    }
+    // The group always ends — even after a failed statement — so the
+    // latch is never released with a transaction half-open.
+    lsn = db->EndStatementGroup();
+  }
+  MDM_RETURN_IF_ERROR(lsn.status());
+  // One durability wait for the whole batch, after the latch is gone:
+  // the group-commit coordinator folds it into a shared fsync.
+  MDM_RETURN_IF_ERROR(db->WaitDurable(*lsn));
+  return out;
 }
 
 Connection Connection::Local() {
@@ -100,9 +175,11 @@ bool Connection::last_trace_sampled() const {
   return local_last_trace_id_ != 0;
 }
 
-Result<quel::ResultSet> Connection::Execute(const std::string& script) {
-  if (client_ != nullptr) return client_->Execute(script);
-  if (local_trace_rng_ != nullptr) {
+Result<quel::ResultSet> Connection::Execute(const std::string& script,
+                                            const ExecOptions& opts) {
+  if (client_ != nullptr) return client_->Execute(script, opts);
+  if (local_trace_rng_ != nullptr &&
+      opts.trace != ExecOptions::Trace::kOff) {
     // Local analog of the server's request scope: one always-sampled
     // context per Execute, published to the global ring on exit so
     // mdmsh's `\trace last` can export it.
@@ -113,6 +190,20 @@ Result<quel::ResultSet> Connection::Execute(const std::string& script) {
     return RunScript(db_, session_.get(), script);
   }
   return RunScript(db_, session_.get(), script);
+}
+
+Result<BatchResult> Connection::ExecuteBatch(
+    const std::vector<std::string>& scripts, const ExecOptions& opts) {
+  if (client_ != nullptr) return client_->ExecuteBatch(scripts, opts);
+  if (local_trace_rng_ != nullptr &&
+      opts.trace != ExecOptions::Trace::kOff) {
+    uint64_t id = local_trace_rng_->Next();
+    if (id == 0) id = local_trace_rng_->Next() | 1;
+    local_last_trace_id_ = id;
+    obs::TraceContext trace_ctx(id, /*sampled=*/true);
+    return RunBatch(db_, session_.get(), scripts);
+  }
+  return RunBatch(db_, session_.get(), scripts);
 }
 
 Status Connection::Ping() {

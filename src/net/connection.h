@@ -5,11 +5,14 @@
 #include <memory>
 #include <string>
 
+#include <vector>
+
 #include "common/random.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "er/database.h"
 #include "net/client.h"
+#include "net/exec_options.h"
 #include "quel/quel.h"
 
 namespace mdm {
@@ -55,8 +58,24 @@ class Connection {
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
 
-  /// Executes one DDL or QUEL script, local or remote.
-  Result<quel::ResultSet> Execute(const std::string& script);
+  /// Executes one DDL or QUEL script, local or remote. `opts` overrides
+  /// the connection-wide defaults (deadline, trace sampling, retry
+  /// policy) for this call only; a default-constructed ExecOptions
+  /// keeps the old single-argument behavior exactly. Local connections
+  /// execute inline, so deadline_ms and retry are remote-only knobs.
+  Result<quel::ResultSet> Execute(const std::string& script,
+                                  const ExecOptions& opts = {});
+
+  /// Executes N scripts as ONE batch — the bulk write surface. All
+  /// statements run back-to-back under a single exclusive database
+  /// latch acquisition and commit as ONE WAL transaction with one
+  /// group-committed fsync; remotely the whole batch is one network
+  /// round trip (wire protocol v4). Execution stops at the first
+  /// failing statement (its outcome is the last entry in
+  /// BatchResult::statements); crash recovery replays the batch
+  /// all-or-nothing. Identical semantics over Local() and Remote().
+  Result<BatchResult> ExecuteBatch(const std::vector<std::string>& scripts,
+                                   const ExecOptions& opts = {});
 
   /// Liveness probe: trivially OK locally, ping/pong remotely.
   Status Ping();
@@ -109,6 +128,17 @@ class Connection {
 Result<quel::ResultSet> RunScript(er::Database* db,
                                   quel::QuelSession* session,
                                   const std::string& script);
+
+/// The shared batch execution core used by Connection::ExecuteBatch
+/// (local) and by the mdmd server for each kBatchExecuteRequest: takes
+/// the exclusive latch ONCE, opens one er statement group, dispatches
+/// each script (DDL or QUEL) pre-locked, stops at the first failure,
+/// commits the group as one WAL transaction, and waits for durability
+/// after the latch is released. Returns a non-OK Result only for
+/// commit/fsync-level failures; per-statement errors land in
+/// BatchResult::statements.
+Result<BatchResult> RunBatch(er::Database* db, quel::QuelSession* session,
+                             const std::vector<std::string>& scripts);
 
 }  // namespace mdm
 

@@ -1,0 +1,90 @@
+#ifndef MDM_NET_EXEC_OPTIONS_H_
+#define MDM_NET_EXEC_OPTIONS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "net/retry.h"
+#include "quel/quel.h"
+
+namespace mdm {
+
+/// Per-call execution knobs for Connection::Execute / ExecuteBatch (and
+/// the underlying net::Client). Connection-wide defaults still live in
+/// net::ClientOptions; every field here overrides that default for one
+/// call only. A default-constructed ExecOptions changes nothing, so
+/// existing call sites keep their exact behavior.
+struct ExecOptions {
+  /// Server-side execution deadline and client retry budget for this
+  /// call, in milliseconds. 0 = use the connection's default
+  /// (ClientOptions::deadline_ms). Local connections execute inline and
+  /// ignore the deadline.
+  uint32_t deadline_ms = 0;
+
+  /// Per-call trace sampling override. kDefault defers to the
+  /// connection's ClientOptions::trace_sample_rate coin flip; kForce
+  /// samples this call unconditionally (the way `\trace` tooling wants
+  /// exactly one request recorded); kOff suppresses sampling even when
+  /// the connection-wide rate would have picked it.
+  enum class Trace : uint8_t { kDefault, kOff, kForce };
+  Trace trace = Trace::kDefault;
+
+  /// Per-call retry policy override for idempotent reads. Unset = use
+  /// the connection's ClientOptions::retry. Mutations are never retried
+  /// regardless of this setting.
+  std::optional<net::RetryPolicy> retry;
+};
+
+/// Outcome of one statement inside a batch (script order).
+struct BatchStatementOutcome {
+  Status status;
+  /// Rows affected by this statement (0 for pure reads and failures).
+  uint64_t affected = 0;
+};
+
+/// Result of Connection::ExecuteBatch. Statements execute in order
+/// under ONE exclusive latch acquisition and commit as ONE WAL
+/// transaction (one group-committed fsync). Execution stops at the
+/// first failing statement: `statements` holds one outcome per
+/// *attempted* statement, so statements.size() < submitted means the
+/// tail after the failure was never run. Crash atomicity is
+/// all-or-nothing for the whole batch — recovery either replays the
+/// batch's single transaction or none of it (docs/WRITEPATH.md).
+struct BatchResult {
+  /// Number of scripts in the request.
+  size_t submitted = 0;
+  /// One entry per attempted statement, in script order.
+  std::vector<BatchStatementOutcome> statements;
+  /// The last attempted statement's ResultSet when the whole batch
+  /// succeeded (the common "load N rows, then retrieve a digest"
+  /// shape); empty otherwise.
+  quel::ResultSet last;
+
+  /// Every submitted statement ran and succeeded.
+  bool all_ok() const {
+    if (statements.size() != submitted) return false;
+    for (const BatchStatementOutcome& s : statements)
+      if (!s.status.ok()) return false;
+    return true;
+  }
+  /// Index of the first failed statement, or `submitted` when none
+  /// failed.
+  size_t failed_index() const {
+    for (size_t i = 0; i < statements.size(); ++i)
+      if (!statements[i].status.ok()) return i;
+    return submitted;
+  }
+  /// The first failure, or OK when the batch fully succeeded.
+  Status first_error() const {
+    for (const BatchStatementOutcome& s : statements)
+      if (!s.status.ok()) return s.status;
+    return Status::OK();
+  }
+};
+
+}  // namespace mdm
+
+#endif  // MDM_NET_EXEC_OPTIONS_H_

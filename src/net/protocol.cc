@@ -45,6 +45,34 @@ std::string UnsupportedVersionMessage(uint8_t version) {
          std::to_string(kProtocolVersion) + ")";
 }
 
+/// Reconstructs a transported Status from its wire bytes. A peer
+/// speaking a later minor revision may send a fine code we do not
+/// know; the canonical byte still identifies the error class.
+Status StatusFromWire(uint8_t canonical, uint8_t fine,
+                      uint32_t retry_after_ms, std::string message) {
+  StatusCode code = static_cast<StatusCode>(fine);
+  if (StatusCodeName(code) == std::string("Unknown")) {
+    switch (static_cast<ErrorCode>(canonical)) {
+      case ErrorCode::NOT_FOUND: code = StatusCode::kNotFound; break;
+      case ErrorCode::INVALID_ARGUMENT:
+        code = StatusCode::kInvalidArgument;
+        break;
+      case ErrorCode::CORRUPTION: code = StatusCode::kCorruption; break;
+      case ErrorCode::RESOURCE_EXHAUSTED:
+        code = StatusCode::kResourceExhausted;
+        break;
+      case ErrorCode::DEADLINE_EXCEEDED:
+        code = StatusCode::kDeadlineExceeded;
+        break;
+      case ErrorCode::UNAVAILABLE: code = StatusCode::kUnavailable; break;
+      default: code = StatusCode::kInternal; break;
+    }
+  }
+  Status out(code, std::move(message));
+  out.set_retry_after_ms(retry_after_ms);
+  return out;
+}
+
 }  // namespace
 
 std::vector<uint8_t> EncodeFrame(const Frame& frame) {
@@ -151,28 +179,112 @@ Status DecodeErrorFrame(const Frame& frame, Status* out) {
   MDM_RETURN_IF_ERROR(r.GetU32(&retry_after_ms));
   MDM_RETURN_IF_ERROR(r.GetString(&message));
   if (!r.AtEnd()) return Corruption("trailing bytes after error frame");
-  StatusCode code = static_cast<StatusCode>(fine);
-  // A peer speaking a later minor revision may send a fine code we do
-  // not know; the canonical byte still identifies the error class.
-  if (StatusCodeName(code) == std::string("Unknown")) {
-    switch (static_cast<ErrorCode>(canonical)) {
-      case ErrorCode::NOT_FOUND: code = StatusCode::kNotFound; break;
-      case ErrorCode::INVALID_ARGUMENT:
-        code = StatusCode::kInvalidArgument;
-        break;
-      case ErrorCode::CORRUPTION: code = StatusCode::kCorruption; break;
-      case ErrorCode::RESOURCE_EXHAUSTED:
-        code = StatusCode::kResourceExhausted;
-        break;
-      case ErrorCode::DEADLINE_EXCEEDED:
-        code = StatusCode::kDeadlineExceeded;
-        break;
-      case ErrorCode::UNAVAILABLE: code = StatusCode::kUnavailable; break;
-      default: code = StatusCode::kInternal; break;
+  *out = StatusFromWire(canonical, fine, retry_after_ms, std::move(message));
+  return Status::OK();
+}
+
+Frame EncodeBatchExecuteRequest(const BatchExecuteRequest& req) {
+  // v4 payload: u32 deadline_ms, u64 trace_id, u8 flags, varint N,
+  // N x string scripts. The shared prefix deliberately mirrors a v3
+  // ExecuteRequest so the two request kinds stay diffable on the wire.
+  ByteWriter w;
+  w.PutU32(req.deadline_ms);
+  w.PutU64(req.trace_id);
+  w.PutU8(req.trace_sampled ? 1 : 0);
+  w.PutVarint(req.scripts.size());
+  for (const std::string& s : req.scripts) w.PutString(s);
+  Frame f;
+  f.type = FrameType::kBatchExecuteRequest;
+  f.payload = w.Take();
+  return f;
+}
+
+Result<BatchExecuteRequest> DecodeBatchExecuteRequest(const Frame& frame) {
+  if (frame.type != FrameType::kBatchExecuteRequest)
+    return InvalidArgument("frame is not a BatchExecuteRequest");
+  if (frame.version < 4)
+    return InvalidArgument("batch frames require protocol v4, frame is v" +
+                           std::to_string(frame.version));
+  ByteReader r(frame.payload);
+  BatchExecuteRequest req;
+  uint8_t flags = 0;
+  uint64_t n = 0;
+  MDM_RETURN_IF_ERROR(r.GetU32(&req.deadline_ms));
+  MDM_RETURN_IF_ERROR(r.GetU64(&req.trace_id));
+  MDM_RETURN_IF_ERROR(r.GetU8(&flags));
+  req.trace_sampled = (flags & 0x1) != 0;
+  MDM_RETURN_IF_ERROR(r.GetVarint(&n));
+  req.scripts.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    std::string script;
+    MDM_RETURN_IF_ERROR(r.GetString(&script));
+    req.scripts.push_back(std::move(script));
+  }
+  if (!r.AtEnd())
+    return Corruption("trailing bytes after BatchExecuteRequest");
+  return req;
+}
+
+Frame EncodeBatchStatus(const BatchResult& result) {
+  // v4 payload: varint submitted, varint attempted, per attempted
+  // statement {u8 ok, u64 affected, [error bytes as in kError]},
+  // u8 results_follow.
+  ByteWriter w;
+  w.PutVarint(result.submitted);
+  w.PutVarint(result.statements.size());
+  for (const BatchStatementOutcome& st : result.statements) {
+    w.PutU8(st.status.ok() ? 1 : 0);
+    w.PutU64(st.affected);
+    if (!st.status.ok()) {
+      w.PutU8(static_cast<uint8_t>(st.status.error_code()));
+      w.PutU8(static_cast<uint8_t>(st.status.code()));
+      w.PutU32(st.status.retry_after_ms());
+      w.PutString(st.status.message());
     }
   }
-  *out = Status(code, std::move(message));
-  out->set_retry_after_ms(retry_after_ms);
+  w.PutU8(result.all_ok() ? 1 : 0);
+  Frame f;
+  f.type = FrameType::kBatchStatus;
+  f.payload = w.Take();
+  return f;
+}
+
+Status DecodeBatchStatus(const Frame& frame, BatchResult* out,
+                         bool* results_follow) {
+  if (frame.type != FrameType::kBatchStatus)
+    return InvalidArgument("frame is not a BatchStatus");
+  ByteReader r(frame.payload);
+  uint64_t submitted = 0, attempted = 0;
+  MDM_RETURN_IF_ERROR(r.GetVarint(&submitted));
+  MDM_RETURN_IF_ERROR(r.GetVarint(&attempted));
+  if (attempted > submitted)
+    return Corruption("BatchStatus claims more attempted than submitted");
+  out->submitted = static_cast<size_t>(submitted);
+  out->statements.clear();
+  out->statements.reserve(attempted);
+  out->last = quel::ResultSet{};
+  for (uint64_t i = 0; i < attempted; ++i) {
+    uint8_t ok = 0;
+    BatchStatementOutcome st;
+    MDM_RETURN_IF_ERROR(r.GetU8(&ok));
+    MDM_RETURN_IF_ERROR(r.GetU64(&st.affected));
+    if (ok == 0) {
+      uint8_t canonical = 0, fine = 0;
+      uint32_t retry_after_ms = 0;
+      std::string message;
+      MDM_RETURN_IF_ERROR(r.GetU8(&canonical));
+      MDM_RETURN_IF_ERROR(r.GetU8(&fine));
+      MDM_RETURN_IF_ERROR(r.GetU32(&retry_after_ms));
+      MDM_RETURN_IF_ERROR(r.GetString(&message));
+      st.status =
+          StatusFromWire(canonical, fine, retry_after_ms, std::move(message));
+    }
+    out->statements.push_back(std::move(st));
+  }
+  uint8_t follow = 0;
+  MDM_RETURN_IF_ERROR(r.GetU8(&follow));
+  if (!r.AtEnd()) return Corruption("trailing bytes after BatchStatus");
+  *results_follow = follow != 0;
   return Status::OK();
 }
 

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "net/exec_options.h"
 #include "quel/quel.h"
 
 namespace mdm::net {
@@ -33,9 +34,10 @@ namespace mdm::net {
 /// request's version onto its reply frames — so a v2 client talks to a
 /// v3 server without a handshake round.
 
-inline constexpr uint8_t kProtocolVersion = 3;
+inline constexpr uint8_t kProtocolVersion = 4;
 /// Oldest version this build still decodes (v2 added retry_after_ms on
-/// error frames; v3 added trace_id/sampling on ExecuteRequest).
+/// error frames; v3 added trace_id/sampling on ExecuteRequest; v4 added
+/// the batch frames kBatchExecuteRequest/kBatchStatus).
 inline constexpr uint8_t kMinProtocolVersion = 2;
 inline constexpr uint32_t kFrameMagic = 0x504D444Du;  // "MDMP" on the wire
 inline constexpr size_t kFrameHeaderBytes = 16;
@@ -44,11 +46,13 @@ inline constexpr size_t kFrameHeaderBytes = 16;
 inline constexpr size_t kDefaultMaxFrameBytes = 4u << 20;
 
 enum class FrameType : uint8_t {
-  kExecuteRequest = 1,  // client -> server: one DDL/QUEL script
-  kResultPage = 2,      // server -> client: one page of a ResultSet
-  kError = 3,           // server -> client: Status (code + message)
-  kPing = 4,            // either direction: liveness / handshake
-  kPong = 5,            // reply to kPing
+  kExecuteRequest = 1,       // client -> server: one DDL/QUEL script
+  kResultPage = 2,           // server -> client: one page of a ResultSet
+  kError = 3,                // server -> client: Status (code + message)
+  kPing = 4,                 // either direction: liveness / handshake
+  kPong = 5,                 // reply to kPing
+  kBatchExecuteRequest = 6,  // client -> server (v4): N scripts, one trip
+  kBatchStatus = 7,          // server -> client (v4): per-statement status
 };
 
 struct Frame {
@@ -90,6 +94,37 @@ struct ExecuteRequest {
 
 Frame EncodeExecuteRequest(const ExecuteRequest& req);
 Result<ExecuteRequest> DecodeExecuteRequest(const Frame& frame);
+
+/// One batched round (v4): N scripts executed back-to-back under a
+/// single exclusive database latch acquisition, committed as ONE WAL
+/// transaction with one group-committed fsync, answered in one network
+/// round trip. The reply is a single kBatchStatus frame (per-statement
+/// outcome), followed — only when every statement succeeded — by
+/// kResultPage frames carrying the LAST statement's ResultSet.
+/// `deadline_ms` and the trace fields mean exactly what they do on
+/// ExecuteRequest; the whole batch is one trace. v2/v3 peers never see
+/// these frames: a client only sends them stamped v4, and the server
+/// rejects a batch frame claiming an older version.
+struct BatchExecuteRequest {
+  std::vector<std::string> scripts;
+  uint32_t deadline_ms = 0;
+  uint64_t trace_id = 0;
+  bool trace_sampled = false;
+};
+
+Frame EncodeBatchExecuteRequest(const BatchExecuteRequest& req);
+Result<BatchExecuteRequest> DecodeBatchExecuteRequest(const Frame& frame);
+
+/// Serializes the per-statement outcomes of `result` (statuses travel
+/// losslessly, like error frames) plus a results-follow flag that is
+/// set iff the batch fully succeeded — the server then streams the
+/// last statement's ResultSet as ordinary kResultPage frames.
+Frame EncodeBatchStatus(const BatchResult& result);
+/// Recovers submitted/statements into `*out` (last is left empty; the
+/// caller folds any following result pages into it). `*results_follow`
+/// mirrors the encoded flag.
+Status DecodeBatchStatus(const Frame& frame, BatchResult* out,
+                         bool* results_follow);
 
 /// Error frames carry the Status losslessly: canonical ErrorCode byte
 /// (what remote callers branch on), fine StatusCode byte, the

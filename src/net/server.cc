@@ -357,7 +357,8 @@ void Server::ServeConnection(uint64_t id, int fd) {
       if (!send_frame(pong)) break;
       continue;
     }
-    if (frame->type != FrameType::kExecuteRequest) {
+    if (frame->type != FrameType::kExecuteRequest &&
+        frame->type != FrameType::kBatchExecuteRequest) {
       Frame err = EncodeErrorFrame(
           InvalidArgument("unexpected frame type " +
                           std::to_string(static_cast<int>(frame->type))));
@@ -367,7 +368,8 @@ void Server::ServeConnection(uint64_t id, int fd) {
 
     // Load shedding: past the high-water mark of statements already
     // holding (or queueing on) the database latch, answer UNAVAILABLE
-    // with a backoff hint instead of deepening the convoy.
+    // with a backoff hint instead of deepening the convoy. A batch
+    // counts as one unit — it holds the latch once, like one statement.
     size_t in_flight = active_statements_.fetch_add(1) + 1;
     if (opts_.max_active_statements != 0 &&
         in_flight > opts_.max_active_statements) {
@@ -380,6 +382,85 @@ void Server::ServeConnection(uint64_t id, int fd) {
           " statements already in flight");
       shed.set_retry_after_ms(opts_.shed_retry_after_ms);
       if (!send_frame(EncodeErrorFrame(shed))) break;
+      continue;
+    }
+
+    if (frame->type == FrameType::kBatchExecuteRequest) {
+      // One batch = one latch acquisition + one group-committed WAL
+      // transaction server-side (RunBatch in net/connection.cc). The
+      // reply is a kBatchStatus frame, then — iff every statement
+      // succeeded — the last statement's ResultSet as ordinary pages.
+      Result<BatchExecuteRequest> breq = DecodeBatchExecuteRequest(*frame);
+      Status finished = Status::OK();
+      bool write_ok = true;
+      if (!breq.ok()) {
+        finished = breq.status();
+      } else {
+        {
+          std::lock_guard<std::mutex> lock(state->mu);
+          state->statement =
+              "batch of " + std::to_string(breq->scripts.size()) +
+              " statement(s)";
+          if (!breq->scripts.empty()) {
+            const std::string& first = breq->scripts.front();
+            state->statement +=
+                ": " + (first.size() > 120 ? first.substr(0, 120) + "..."
+                                           : first);
+          }
+          state->stmt_start = std::chrono::steady_clock::now();
+        }
+        uint32_t deadline_ms = breq->deadline_ms != 0
+                                   ? breq->deadline_ms
+                                   : opts_.default_deadline_ms;
+        {
+          // The whole batch is one trace and one net.request span.
+          obs::TraceContext trace_ctx(
+              breq->trace_id, breq->trace_sampled && breq->trace_id != 0);
+          obs::Span span("net.request", request_span_duration_,
+                         request_span_self_);
+          Result<BatchResult> br = RunBatch(db_, &session, breq->scripts);
+          if (!br.ok()) {
+            finished = br.status();
+          } else if (deadline_ms != 0 && ElapsedMs(t0) > deadline_ms) {
+            finished = DeadlineExceeded(
+                "batch exceeded its " + std::to_string(deadline_ms) +
+                "ms deadline after execution");
+          } else if (!send_frame(EncodeBatchStatus(*br))) {
+            write_ok = false;
+          } else if (br->all_ok()) {
+            for (Frame& page :
+                 EncodeResultSetPages(br->last, opts_.rows_per_page)) {
+              if (deadline_ms != 0 && ElapsedMs(t0) > deadline_ms) {
+                finished = DeadlineExceeded(
+                    "batch exceeded its " + std::to_string(deadline_ms) +
+                    "ms deadline while streaming results");
+                break;
+              }
+              if (!send_frame(page)) {
+                write_ok = false;
+                break;
+              }
+            }
+          }
+        }
+        state->requests.fetch_add(1, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> lock(state->mu);
+          state->statement.clear();
+        }
+        // Clear the per-statement actuals so a batch's loops can never
+        // attach to a later slow single statement. Batches are not
+        // slow-query logged — there is no single script to attribute.
+        if (opts_.slow_query_log != nullptr) (void)session.TakeLastActuals();
+      }
+      active_statements_.fetch_sub(1);
+      requests_total_->Inc();
+      requests_.fetch_add(1, std::memory_order_relaxed);
+      if (!write_ok) break;
+      if (!finished.ok()) {
+        if (!send_frame(EncodeErrorFrame(finished))) break;
+      }
+      if (stop_.load(std::memory_order_relaxed)) break;
       continue;
     }
 

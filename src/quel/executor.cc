@@ -46,6 +46,28 @@ struct QuelCounters {
   }
 };
 
+/// How each statement acquired (or avoided) the database latch — the
+/// observable half of the snapshot-read contract: a read-heavy workload
+/// should show snapshot_reads rising while exclusive stays flat.
+struct LatchCounters {
+  obs::Counter* exclusive;
+  obs::Counter* shared;
+  obs::Counter* snapshot_reads;
+  static const LatchCounters& Get() {
+    static LatchCounters c = {
+        obs::Registry::Global()->GetCounter(
+            "mdm_quel_exclusive_latch_total",
+            "Statements executed under the exclusive db latch"),
+        obs::Registry::Global()->GetCounter(
+            "mdm_quel_shared_latch_total",
+            "Read statements that fell back to the shared db latch"),
+        obs::Registry::Global()->GetCounter(
+            "mdm_quel_snapshot_reads_total",
+            "Read statements served from a pinned snapshot (no latch)")};
+    return c;
+  }
+};
+
 /// Pre-resolved metrics for the per-statement span, so the hot Execute
 /// path skips the registry lookup.
 obs::Histogram* StatementDuration() {
@@ -504,7 +526,12 @@ Result<ResultSet> QuelSession::ExecuteNaive(const std::string& script) {
   return Run(script, /*pushdown=*/false);
 }
 
-Result<ResultSet> QuelSession::Run(const std::string& script, bool pushdown) {
+Result<ResultSet> QuelSession::ExecutePreLocked(const std::string& script) {
+  return Run(script, /*pushdown=*/true, LatchMode::kPreLocked);
+}
+
+Result<ResultSet> QuelSession::Run(const std::string& script, bool pushdown,
+                                   LatchMode mode) {
   // Statement cache: scripts are re-run verbatim by interactive sessions
   // and benchmarks, so a text-keyed cache skips the lexer and parser.
   // Parsing is pure (no database access), so doing it under the session
@@ -534,20 +561,68 @@ Result<ResultSet> QuelSession::Run(const std::string& script, bool pushdown) {
     obs::Span span("quel.statement", StatementDuration(), StatementSelf());
     stats_.statements.fetch_add(1, std::memory_order_relaxed);
     QuelCounters::Get().statements->Inc();
-    // Per-statement database latch (see the thread-safety contract in
-    // quel.h): retrieves run under the shared latch so concurrent
-    // readers overlap; mutating statements take it exclusively.
     const bool mutates = stmt.kind == Statement::Kind::kAppend ||
                          stmt.kind == Statement::Kind::kReplace ||
                          stmt.kind == Statement::Kind::kDelete;
-    std::shared_lock<std::shared_mutex> read_latch;
-    std::unique_lock<std::shared_mutex> write_latch;
-    if (mutates) {
-      write_latch = std::unique_lock<std::shared_mutex>(db_->latch());
+    if (mode == LatchMode::kPreLocked) {
+      // Batch path: the caller holds the exclusive latch and an open
+      // statement group around the whole batch.
+      MDM_RETURN_IF_ERROR(RunStatement(stmt, pushdown, &ranges, &last));
+    } else if (mutates) {
+      // One statement = one statement group = one WAL transaction:
+      // crash-atomic, published before the latch drops, and the
+      // group-commit fsync wait happens OUTSIDE the latch so concurrent
+      // committers batch into one fsync instead of serializing on it.
+      Status run;
+      Result<uint64_t> commit_lsn = 0;
+      {
+        std::unique_lock<std::shared_mutex> write_latch(db_->latch());
+        LatchCounters::Get().exclusive->Inc();
+        db_->BeginStatementGroup();
+        run = RunStatement(stmt, pushdown, &ranges, &last);
+        // On error the group still ends: the logged prefix commits
+        // (redo-only WAL — applied effects cannot be unapplied) and the
+        // snapshot is published, keeping state and journal agreed.
+        commit_lsn = db_->EndStatementGroup();
+      }
+      MDM_RETURN_IF_ERROR(run);
+      MDM_RETURN_IF_ERROR(commit_lsn.status());
+      MDM_RETURN_IF_ERROR(db_->WaitDurable(*commit_lsn));
     } else {
-      read_latch = std::shared_lock<std::shared_mutex>(db_->latch());
+      // Read-only statement: serve from a pinned snapshot with no db
+      // latch when possible, else fall back to the shared latch.
+      std::shared_ptr<const er::Tables> snap = db_->TryPinSnapshot();
+      if (snap != nullptr) {
+        LatchCounters::Get().snapshot_reads->Inc();
+        er::SnapshotReadScope scope(db_, std::move(snap));
+        MDM_RETURN_IF_ERROR(RunStatement(stmt, pushdown, &ranges, &last));
+      } else {
+        std::shared_lock<std::shared_mutex> read_latch(db_->latch());
+        LatchCounters::Get().shared->Inc();
+        MDM_RETURN_IF_ERROR(RunStatement(stmt, pushdown, &ranges, &last));
+      }
     }
-    switch (stmt.kind) {
+  }
+  // Attribute this script's ordering-index activity to the session
+  // (best-effort when other sessions run concurrently; see ExecStats).
+  const er::OrderingIndexStats after = db_->ordering_index_stats();
+  stats_.index_hits.fetch_add(
+      (after.rank_hits - before.rank_hits) +
+          (after.interval_hits - before.interval_hits),
+      std::memory_order_relaxed);
+  stats_.index_misses.fetch_add(
+      (after.rank_rebuilds - before.rank_rebuilds) +
+          (after.interval_rebuilds - before.interval_rebuilds) +
+          (after.linear_scans - before.linear_scans),
+      std::memory_order_relaxed);
+  return last;
+}
+
+Status QuelSession::RunStatement(const Statement& stmt, bool pushdown,
+                                 std::map<std::string, std::string>* ranges,
+                                 ResultSet* out) {
+  ResultSet& last = *out;
+  switch (stmt.kind) {
       case Statement::Kind::kRange: {
         // `range of v1, v2 is TYPE`
         bool is_rel =
@@ -559,7 +634,7 @@ Result<ResultSet> QuelSession::Run(const std::string& script, bool pushdown) {
         std::lock_guard<std::mutex> lock(mu_);
         for (const std::string& v : stmt.range_vars) {
           ranges_[AsciiLower(v)] = stmt.range_type;
-          ranges[AsciiLower(v)] = stmt.range_type;
+          (*ranges)[AsciiLower(v)] = stmt.range_type;
         }
         last = ResultSet{};
         break;
@@ -580,7 +655,7 @@ Result<ResultSet> QuelSession::Run(const std::string& script, bool pushdown) {
           if (stmt.qual != nullptr) query.qual = CloneQual(*stmt.qual);
           MDM_ASSIGN_OR_RETURN(
               ResultSet parent_rows,
-              RunQueryImpl(db_, ranges, query, pushdown, &stats_, nullptr));
+              RunQueryImpl(db_, *ranges, query, pushdown, &stats_, nullptr));
           std::set<EntityId> seen;
           std::vector<EntityId> parents;
           for (const auto& row : parent_rows.rows) {
@@ -628,24 +703,11 @@ Result<ResultSet> QuelSession::Run(const std::string& script, bool pushdown) {
       case Statement::Kind::kRetrieve:
       case Statement::Kind::kReplace:
       case Statement::Kind::kDelete: {
-        MDM_ASSIGN_OR_RETURN(last, RunQuery(stmt, pushdown, ranges));
+        MDM_ASSIGN_OR_RETURN(last, RunQuery(stmt, pushdown, *ranges));
         break;
       }
-    }
   }
-  // Attribute this script's ordering-index activity to the session
-  // (best-effort when other sessions run concurrently; see ExecStats).
-  const er::OrderingIndexStats after = db_->ordering_index_stats();
-  stats_.index_hits.fetch_add(
-      (after.rank_hits - before.rank_hits) +
-          (after.interval_hits - before.interval_hits),
-      std::memory_order_relaxed);
-  stats_.index_misses.fetch_add(
-      (after.rank_rebuilds - before.rank_rebuilds) +
-          (after.interval_rebuilds - before.interval_rebuilds) +
-          (after.linear_scans - before.linear_scans),
-      std::memory_order_relaxed);
-  return last;
+  return Status::OK();
 }
 
 // Defined out of line to keep Run readable. `actuals_out`, when

@@ -210,12 +210,27 @@ class QuelSession {
 
   /// Executes a script of one or more statements; returns the result of
   /// the last retrieve (or an empty/affected-count result).
+  ///
+  /// Latching (docs/WRITEPATH.md): read-only statements first try to
+  /// pin the published snapshot and run with NO db latch at all,
+  /// falling back to the shared latch only when no faithful snapshot is
+  /// available; mutating statements take the exclusive latch, run as
+  /// one statement group (one WAL transaction, crash-atomic), publish,
+  /// release the latch, and only then wait for group-commit durability.
   Result<ResultSet> Execute(const std::string& script);
 
   /// Executes with conjunct push-down disabled — the full cross product
   /// is enumerated and the whole qualification evaluated at the bottom.
   /// Exposed for the §5.6 evaluation-strategy benchmark.
   Result<ResultSet> ExecuteNaive(const std::string& script);
+
+  /// Executes a script with NO latching or commit bracketing of its
+  /// own: the caller already holds the database latch exclusively and
+  /// has an open statement group (mdm::Connection's batch path, which
+  /// runs N scripts under one latch acquisition and one group-committed
+  /// fsync). Retrieves inside the batch read the live tables, so they
+  /// see the batch's own earlier writes.
+  Result<ResultSet> ExecutePreLocked(const std::string& script);
 
   /// Declared (explicit) range variables: name -> entity/relationship
   /// type. Persists across Execute calls, like a QUEL terminal session.
@@ -266,7 +281,17 @@ class QuelSession {
   }
 
  private:
-  Result<ResultSet> Run(const std::string& script, bool pushdown);
+  /// How Run acquires the database latch around each statement.
+  enum class LatchMode {
+    kAuto,       // per-statement: snapshot/shared read, exclusive write
+    kPreLocked,  // caller holds the exclusive latch + statement group
+  };
+
+  Result<ResultSet> Run(const std::string& script, bool pushdown,
+                        LatchMode mode = LatchMode::kAuto);
+  Status RunStatement(const Statement& stmt, bool pushdown,
+                      std::map<std::string, std::string>* ranges,
+                      ResultSet* last);
   Result<ResultSet> RunQuery(const Statement& stmt, bool pushdown,
                              const std::map<std::string, std::string>& ranges);
 

@@ -114,6 +114,13 @@ Status WalWriter::Commit(uint64_t txn_id) {
   return Status::OK();
 }
 
+Result<uint64_t> WalWriter::CommitNoSync(uint64_t txn_id) {
+  uint64_t lsn = next_lsn_;  // the commit record's own LSN
+  MDM_RETURN_IF_ERROR(AppendRecord(txn_id, WalRecordType::kCommit, ""));
+  WalCommits()->Inc();
+  return lsn;
+}
+
 Status WalWriter::Abort(uint64_t txn_id) {
   return AppendRecord(txn_id, WalRecordType::kAbort, "");
 }

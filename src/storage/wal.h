@@ -90,6 +90,17 @@ class WalWriter {
   Result<uint64_t> Begin();  // returns new txn id
   Status LogOp(uint64_t txn_id, std::string payload);
   Status Commit(uint64_t txn_id);  // syncs the sink
+  /// Writes the commit record WITHOUT syncing and returns its LSN.
+  /// The transaction is durable only once a later Sync() covers that
+  /// LSN — the group-commit split (er::CommitCoordinator batches the
+  /// Sync over every commit record appended in the same window).
+  Result<uint64_t> CommitNoSync(uint64_t txn_id);
+  /// Syncs the sink: every record appended so far is durable on OK.
+  /// Unlike Append/Commit (exclusive-latch callers only), Sync may be
+  /// called concurrently with appends — FILE* streams lock internally,
+  /// and a commit record racing past the fsync is simply covered by the
+  /// next one; recovery tolerates the torn tail either way.
+  Status Sync() { return sink_->Sync(); }
   Status Abort(uint64_t txn_id);
 
   uint64_t next_lsn() const { return next_lsn_; }

@@ -157,55 +157,119 @@ class Worker {
     return *std::move(rs);
   }
 
+  /// Executes several statements as ONE Connection::ExecuteBatch call —
+  /// one round trip, one latch acquisition, one group-committed fsync —
+  /// timing the whole batch as a single op of `cls`. The digest folds in
+  /// every statement's outcome plus the final result set, so local and
+  /// remote transports must agree batch-for-batch, not just op-for-op.
+  BatchResult TimedBatch(TenantRt* t, ClientClass cls,
+                         const std::string& name,
+                         const std::vector<std::string>& scripts) {
+    HashStr(&t->log_hash, name);
+    auto t0 = std::chrono::steady_clock::now();
+    Result<BatchResult> br = conn_.ExecuteBatch(scripts);
+    uint64_t ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    size_t ci = static_cast<size_t>(cls);
+    shared_->latency[ci].Observe(ns);
+    shared_->ops[ci].fetch_add(1, std::memory_order_relaxed);
+    if (!br.ok()) {
+      shared_->errors[ci].fetch_add(1, std::memory_order_relaxed);
+      HashStr(&t->log_hash, "error");
+      HashInt(&t->log_hash, static_cast<int64_t>(br.status().code()));
+      shared_->Check(false, StrFormat("t%d %s failed: %s", t->tenant,
+                                      name.c_str(),
+                                      br.status().message().c_str()));
+      return BatchResult{};
+    }
+    if (!br->all_ok()) {
+      shared_->errors[ci].fetch_add(1, std::memory_order_relaxed);
+      shared_->Check(false,
+                     StrFormat("t%d %s statement %d failed: %s", t->tenant,
+                               name.c_str(),
+                               static_cast<int>(br->failed_index()),
+                               br->first_error().message().c_str()));
+    }
+    HashInt(&t->log_hash, static_cast<int64_t>(br->statements.size()));
+    for (const BatchStatementOutcome& st : br->statements) {
+      HashInt(&t->log_hash, static_cast<int64_t>(st.status.code()));
+      HashInt(&t->log_hash, static_cast<int64_t>(st.affected));
+    }
+    HashInt(&t->log_hash, static_cast<int64_t>(br->last.rows.size()));
+    for (const auto& row : br->last.rows)
+      for (const Value& v : row) HashStr(&t->log_hash, v.ToString());
+    return *std::move(br);
+  }
+
   // --- the Fig-1 client ops -----------------------------------------
 
+  // Editor ops go through Connection::ExecuteBatch: an editor's "save"
+  // is a handful of statements that must land together, and batching
+  // them is what lets N editors share one group-committed fsync.
   void EditorOp(TenantRt* t) {
     switch (t->rng.Uniform(3)) {
       case 0: {  // E1: append a measure at the end of the movement
         int number = t->model->measures + t->appended_measures + 1;
-        ResultSet rs = Timed(
+        BatchResult br = TimedBatch(
             t, ClientClass::kEditor, "E1-append-measure",
-            StrFormat("range of v is MOVEMENT range of s is SCORE "
-                      "append to MEASURE (number = %d, meter_num = 4, "
-                      "meter_den = 4) under v in measure_in_movement "
-                      "where v under s in movement_in_score and "
-                      "s.title = \"%s\"",
-                      number, t->model->title.c_str()));
-        shared_->Check(rs.affected == 1,
+            {StrFormat("range of v is MOVEMENT range of s is SCORE "
+                       "append to MEASURE (number = %d, meter_num = 4, "
+                       "meter_den = 4) under v in measure_in_movement "
+                       "where v under s in movement_in_score and "
+                       "s.title = \"%s\"",
+                       number, t->model->title.c_str())});
+        uint64_t affected =
+            br.statements.empty() ? 0 : br.statements[0].affected;
+        shared_->Check(affected == 1,
                        StrFormat("t%d E1 affected %llu != 1", t->tenant,
-                                 (unsigned long long)rs.affected));
-        if (rs.affected == 1) ++t->appended_measures;
+                                 (unsigned long long)affected));
+        if (affected == 1) ++t->appended_measures;
         break;
       }
-      case 1: {  // E2: drop an annotation tagged with the tenant id
-        ResultSet rs = Timed(
+      case 1: {  // E2: annotate, then read the tag count back — one
+                 // round trip, one WAL transaction.
+        BatchResult br = TimedBatch(
             t, ClientClass::kEditor, "E2-annotate",
-            StrFormat("append to ANNOTATION (text = \"mark-%d-%d\", "
-                      "xpos = %d)",
-                      t->tenant, t->annotations, t->tenant));
-        shared_->Check(rs.affected == 1,
+            {StrFormat("append to ANNOTATION (text = \"mark-%d-%d\", "
+                       "xpos = %d)",
+                       t->tenant, t->annotations, t->tenant),
+             StrFormat("range of a is ANNOTATION retrieve "
+                       "(c = count(a)) where a.xpos = %d",
+                       t->tenant)});
+        uint64_t affected =
+            br.statements.empty() ? 0 : br.statements[0].affected;
+        shared_->Check(affected == 1,
                        StrFormat("t%d E2 affected %llu != 1", t->tenant,
-                                 (unsigned long long)rs.affected));
-        if (rs.affected == 1) ++t->annotations;
+                                 (unsigned long long)affected));
+        int64_t expect = static_cast<int64_t>(t->annotations) + 1;
+        int64_t got = br.last.rows.empty() ? -1 : br.last.At(0, 0).AsInt();
+        shared_->Check(br.all_ok() && got == expect,
+                       StrFormat("t%d E2 count %lld != %lld", t->tenant,
+                                 (long long)got, (long long)expect));
+        if (affected == 1) ++t->annotations;
         break;
       }
       default: {  // E3: set a dynamic mark on every note of one pitch
         int key = t->model->keys[t->rng.Uniform(t->model->keys.size())];
         const char* mark = kDynamicMarks[t->rng.Uniform(
             std::size(kDynamicMarks))];
-        ResultSet rs = Timed(
+        BatchResult br = TimedBatch(
             t, ClientClass::kEditor, "E3-dynamics",
-            StrFormat("range of n is NOTE range of s is STAFF "
-                      "replace n (dynamic = \"%s\") where "
-                      "n under s in note_on_staff and s.number = %d "
-                      "and n.midi_key = %d",
-                      mark, t->tenant, key));
+            {StrFormat("range of n is NOTE range of s is STAFF "
+                       "replace n (dynamic = \"%s\") where "
+                       "n under s in note_on_staff and s.number = %d "
+                       "and n.midi_key = %d",
+                       mark, t->tenant, key)});
+        uint64_t affected =
+            br.statements.empty() ? 0 : br.statements[0].affected;
         uint64_t expect =
             static_cast<uint64_t>(t->model->key_count.at(key));
-        shared_->Check(rs.affected == expect,
+        shared_->Check(affected == expect,
                        StrFormat("t%d E3 key %d affected %llu != %llu",
                                  t->tenant, key,
-                                 (unsigned long long)rs.affected,
+                                 (unsigned long long)affected,
                                  (unsigned long long)expect));
         break;
       }

@@ -336,6 +336,133 @@ TEST(CrashSimTest, ProbabilisticTornAppendTorture) {
   RemoveDbFiles(path);
 }
 
+// Group commit + statement groups under power cuts. Each step below is
+// a BATCH — one statement group, i.e. one WAL transaction with a single
+// commit record, exactly what Connection::ExecuteBatch produces — and
+// the database runs with the commit coordinator attached. The sweep
+// cuts power at every I/O boundary; the recovered state must land on a
+// BATCH boundary. A fingerprint between boundaries would mean a batch
+// tore in half (half its mutations applied after recovery), violating
+// all-or-nothing; a commit record fsynced by a leader on behalf of a
+// follower must likewise never be lost once acknowledged.
+std::vector<Step> BuildBatchedWorkload() {
+  std::vector<Step> steps;
+  auto add = [&](std::string what,
+                 std::function<Status(DurableDatabase*)> fn) {
+    steps.push_back({std::move(what), std::move(fn)});
+  };
+  // Wraps `body` in one statement group and waits for durability — the
+  // in-process shape of an ExecuteBatch call.
+  auto batched = [](std::function<Status(er::Database*)> body) {
+    return [body](DurableDatabase* h) -> Status {
+      er::Database* db = h->db();
+      db->BeginStatementGroup();
+      Status st = body(db);
+      Result<uint64_t> lsn = db->EndStatementGroup();
+      MDM_RETURN_IF_ERROR(st);
+      MDM_RETURN_IF_ERROR(lsn.status());
+      return db->WaitDurable(*lsn);
+    };
+  };
+  add("schema batch", batched([](er::Database* db) -> Status {
+        MDM_RETURN_IF_ERROR(db->DefineEntityType(
+            {"CHORD", {{"name", rel::ValueType::kInt, ""}}}));
+        MDM_RETURN_IF_ERROR(db->DefineEntityType(
+            {"NOTE",
+             {{"pitch", rel::ValueType::kInt, ""},
+              {"dur", rel::ValueType::kInt, ""}}}));
+        MDM_RETURN_IF_ERROR(db->DefineRelationship(
+            {"NEXT", {{"from", "CHORD"}, {"to", "CHORD"}}, {}}));
+        return db->DefineOrdering({"note_in_chord", {"NOTE"}, "CHORD"})
+            .status();
+      }));
+  constexpr int kBatchChords = 8;
+  for (int c = 0; c < kBatchChords; ++c) {
+    add("chord batch " + std::to_string(c),
+        batched([c](er::Database* db) -> Status {
+          MDM_ASSIGN_OR_RETURN(er::EntityId chord, db->CreateEntity("CHORD"));
+          MDM_RETURN_IF_ERROR(db->SetAttribute(chord, "name", Value::Int(c)));
+          for (int n = 0; n < kNotes; ++n) {
+            MDM_ASSIGN_OR_RETURN(er::EntityId note, db->CreateEntity("NOTE"));
+            MDM_RETURN_IF_ERROR(db->SetAttribute(
+                note, "pitch", Value::Int(60 + (c * 7 + n) % 24)));
+            MDM_RETURN_IF_ERROR(
+                db->AppendChild("note_in_chord", chord, note));
+          }
+          if (c > 0)
+            return db
+                ->Connect("NEXT", {{"from", ChordId(c - 1)}, {"to", chord}})
+                .status();
+          return Status::OK();
+        }));
+    if (c % 4 == 3) {
+      add("checkpoint after batch " + std::to_string(c),
+          [](DurableDatabase* h) { return h->Checkpoint(); });
+    }
+  }
+  add("delete batch", batched([](er::Database* db) -> Status {
+        for (int c = 0; c < 3; ++c)
+          MDM_RETURN_IF_ERROR(db->DeleteEntity(NoteId(c, 0)));
+        return Status::OK();
+      }));
+  return steps;
+}
+
+TEST(CrashSimTest, GroupCommitBatchesArePowerCutAtomic) {
+  FailpointRegistry* reg = FailpointRegistry::Global();
+  reg->Reset();
+  std::vector<Step> steps = BuildBatchedWorkload();
+  std::vector<std::string> ref = ReferenceFingerprints(steps);
+  ASSERT_EQ(ref.size(), steps.size() + 1);
+
+  const er::CommitCoordinator::Options gc{/*interval_us=*/0,
+                                          /*max_batch=*/8};
+  std::string path = TestDbPath("gc");
+  uint64_t total_io = 0;
+  {
+    RemoveDbFiles(path);
+    reg->ArmPowerCutAtIo(std::numeric_limits<uint64_t>::max());
+    auto h = DurableDatabase::Open(path);
+    ASSERT_TRUE(h.ok()) << h.status().ToString();
+    (*h)->EnableGroupCommit(gc);
+    RunOutcome rc = RunSteps((*h).get(), steps);
+    ASSERT_EQ(rc.acked, steps.size());
+    total_io = reg->io_count();
+    reg->Reset();
+  }
+  ASSERT_GE(total_io, 100u)
+      << "batched workload too small to cover distinct crash points";
+
+  const double keeps[5] = {0.0, 0.3, 0.5, 0.8, 0.97};
+  uint64_t violations = 0;
+  for (uint64_t cut = 1; cut <= total_io; ++cut) {
+    double keep = keeps[cut % 5];
+    RemoveDbFiles(path);
+    reg->ArmPowerCutAtIo(cut, keep);
+    RunOutcome rc;
+    {
+      auto h = DurableDatabase::Open(path);
+      if (h.ok()) {
+        (*h)->EnableGroupCommit(gc);
+        rc = RunSteps((*h).get(), steps);
+      }
+    }
+    reg->Reset();
+    auto h = DurableDatabase::Open(path);
+    ASSERT_TRUE(h.ok())
+        << "cut " << cut << ": recovery failed: " << h.status().ToString();
+    size_t k = 0;
+    if (!MatchesCommittedPrefix(Fingerprint(*(*h)->db()), ref, rc, &k)) {
+      ++violations;
+      ADD_FAILURE() << "cut " << cut << " (keep " << keep
+                    << "): recovered state matches no batch boundary in ["
+                    << rc.acked << ", " << rc.attempted << "]";
+    }
+  }
+  EXPECT_EQ(violations, 0u);
+  RemoveDbFiles(path);
+}
+
 // Recovery must be idempotent: opening an intact database is a pure
 // read — two consecutive Open() calls (snapshot restore + journal
 // replay each time) land on the same state, same epoch, and leave the

@@ -92,9 +92,11 @@ TEST(ProtocolGoldenTest, ExecuteRequestFrame) {
   net::ExecuteRequest req;
   req.script = "retrieve (NOTE.name)";
   req.deadline_ms = 250;
-  // v3 layout: deadline_ms u32 | trace_id u64 | flags u8 | script.
+  // v3+ layout: deadline_ms u32 | trace_id u64 | flags u8 | script
+  // (the header now stamps v4; the ExecuteRequest payload is unchanged
+  // since v3, so only the version byte moved).
   EXPECT_EQ(Hex(net::EncodeFrame(net::EncodeExecuteRequest(req))),
-            "4d444d5003010000220000002b9518f6fa0000000000000000000000"
+            "4d444d5004010000220000002b9518f6fa0000000000000000000000"
             "0014726574726965766520284e4f54452e6e616d6529");
 }
 
@@ -105,12 +107,12 @@ TEST(ProtocolGoldenTest, ExecuteRequestFrameWithTrace) {
   req.trace_id = 0x1122334455667788ull;
   req.trace_sampled = true;
   EXPECT_EQ(Hex(net::EncodeFrame(net::EncodeExecuteRequest(req))),
-            "4d444d500301000022000000474f2a1ffa000000887766554433221101"
+            "4d444d500401000022000000474f2a1ffa000000887766554433221101"
             "14726574726965766520284e4f54452e6e616d6529");
 }
 
-// The previous protocol revision's bytes (the PR 6 golden) must keep
-// decoding: a v2 client talking to a v3 server sends exactly these.
+// The previous protocol revisions' bytes must keep decoding: a v2
+// client talking to a v4 server sends exactly these (the PR 6 golden).
 TEST(ProtocolGoldenTest, V2ExecuteRequestStillDecodes) {
   const char kV2Hex[] =
       "4d444d500201000019000000312b51a4fa000000147265747269657665"
@@ -137,7 +139,7 @@ TEST(ProtocolGoldenTest, V2ExecuteRequestStillDecodes) {
 TEST(ProtocolGoldenTest, ErrorFrame) {
   EXPECT_EQ(Hex(net::EncodeFrame(net::EncodeErrorFrame(
                 NotFound("no entity type named FOO")))),
-            "4d444d50030300001f0000002979de74010200000000186e6f20656e74"
+            "4d444d50040300001f0000002979de74010200000000186e6f20656e74"
             "6974792074797065206e616d656420464f4f");
 }
 
@@ -151,12 +153,109 @@ TEST(ProtocolGoldenTest, ResultPageFrames) {
   auto pages = net::EncodeResultSetPages(rs, 2);
   ASSERT_EQ(pages.size(), 2u);
   EXPECT_EQ(Hex(net::EncodeFrame(pages[0])),
-            "4d444d50030200002f0000009680e84c0102066e2e6e616d65076e2e70"
+            "4d444d50040200002f0000009680e84c0102066e2e6e616d65076e2e70"
             "6974636800020202070000000000000004024734020209000000000000"
             "0004024234");
   EXPECT_EQ(Hex(net::EncodeFrame(pages[1])),
-            "4d444d500302000015000000a5e6e7d5020102000611000000000000"
+            "4d444d500402000015000000a5e6e7d5020102000611000000000000"
             "000300000000000000");
+}
+
+// v4 batch frames: the BatchExecuteRequest payload mirrors a v3
+// ExecuteRequest prefix (deadline | trace_id | flags), then varint N
+// and N scripts.
+TEST(ProtocolGoldenTest, BatchExecuteRequestFrame) {
+  net::BatchExecuteRequest req;
+  req.deadline_ms = 250;
+  req.trace_id = 0x1122334455667788ull;
+  req.trace_sampled = true;
+  req.scripts = {"append to NOTE (name = \"C4\")",
+                 "retrieve (NOTE.name)"};
+  EXPECT_EQ(Hex(net::EncodeFrame(net::EncodeBatchExecuteRequest(req))),
+            "4d444d50040600004000000009a0bfc4fa0000008877665544332211"
+            "01021c617070656e6420746f204e4f544520286e616d65203d202243"
+            "34222914726574726965766520284e4f54452e6e616d6529");
+}
+
+TEST(ProtocolGoldenTest, BatchStatusFrameAllOk) {
+  BatchResult br;
+  br.submitted = 2;
+  br.statements.push_back({Status::OK(), 1});
+  br.statements.push_back({Status::OK(), 0});
+  // submitted=2 | attempted=2 | {ok,affected}x2 | results_follow=1.
+  EXPECT_EQ(Hex(net::EncodeFrame(net::EncodeBatchStatus(br))),
+            "4d444d5004070000150000006bdf7bcf020201010000000000000001"
+            "000000000000000001");
+}
+
+TEST(ProtocolGoldenTest, BatchStatusFramePrefixStop) {
+  BatchResult br;
+  br.submitted = 3;
+  br.statements.push_back({Status::OK(), 1});
+  br.statements.push_back({NotFound("no entity type named FOO"), 0});
+  // Statement 3 was never attempted; results_follow=0.
+  EXPECT_EQ(Hex(net::EncodeFrame(net::EncodeBatchStatus(br))),
+            "4d444d5004070000340000001720d5bb030201010000000000000000"
+            "0000000000000000010200000000186e6f20656e7469747920747970"
+            "65206e616d656420464f4f00");
+}
+
+TEST(ProtocolTest, BatchExecuteRequestRoundTrip) {
+  net::BatchExecuteRequest req;
+  req.deadline_ms = 77;
+  req.trace_id = 42;
+  req.trace_sampled = false;
+  req.scripts = {"range of n is NOTE", "retrieve (n.name)", ""};
+  auto bytes = net::EncodeFrame(net::EncodeBatchExecuteRequest(req));
+  auto frame = net::DecodeFrame(bytes.data(), bytes.size());
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->version, net::kProtocolVersion);
+  auto decoded = net::DecodeBatchExecuteRequest(*frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->scripts, req.scripts);
+  EXPECT_EQ(decoded->deadline_ms, req.deadline_ms);
+  EXPECT_EQ(decoded->trace_id, req.trace_id);
+  EXPECT_FALSE(decoded->trace_sampled);
+}
+
+// Batch frames are a v4 construct: a batch frame stamped with an older
+// version is a protocol violation, not something to guess about.
+TEST(ProtocolTest, BatchFrameClaimingV3IsRejected) {
+  net::BatchExecuteRequest req;
+  req.scripts = {"retrieve (NOTE.name)"};
+  net::Frame f = net::EncodeBatchExecuteRequest(req);
+  f.version = 3;
+  auto decoded = net::DecodeBatchExecuteRequest(f);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolTest, BatchStatusRoundTripStatusesIntact) {
+  BatchResult br;
+  br.submitted = 4;
+  br.statements.push_back({Status::OK(), 3});
+  br.statements.push_back({Status::OK(), 0});
+  Status failed = ParseError("bad token near 'retrive'");
+  failed.set_retry_after_ms(250);
+  br.statements.push_back({failed, 0});
+  net::Frame f = net::EncodeBatchStatus(br);
+  BatchResult out;
+  bool results_follow = true;
+  ASSERT_TRUE(net::DecodeBatchStatus(f, &out, &results_follow).ok());
+  EXPECT_FALSE(results_follow);  // not all_ok
+  EXPECT_EQ(out.submitted, 4u);
+  ASSERT_EQ(out.statements.size(), 3u);
+  EXPECT_TRUE(out.statements[0].status.ok());
+  EXPECT_EQ(out.statements[0].affected, 3u);
+  EXPECT_TRUE(out.statements[1].status.ok());
+  EXPECT_EQ(out.statements[2].status.code(), StatusCode::kParseError);
+  EXPECT_EQ(out.statements[2].status.error_code(),
+            ErrorCode::INVALID_ARGUMENT);
+  EXPECT_EQ(out.statements[2].status.message(),
+            "bad token near 'retrive'");
+  EXPECT_EQ(out.statements[2].status.retry_after_ms(), 250u);
+  EXPECT_EQ(out.failed_index(), 2u);
+  EXPECT_FALSE(out.all_ok());
 }
 
 // ---------------------------------------------------------------------
@@ -318,26 +417,28 @@ class NetServerTest : public ::testing::Test {
     ASSERT_TRUE(server_->Start().ok());
   }
 
-  void SetUp() override {
+  static void SeedDb(er::Database* db) {
     auto ddl = ddl::ExecuteDdl(R"(
       define entity CHORD (name = integer)
       define entity NOTE (name = integer)
       define ordering note_in_chord (NOTE) under CHORD
     )",
-                               &db_);
+                               db);
     ASSERT_TRUE(ddl.ok());
-    auto chord = db_.CreateEntity("CHORD");
+    auto chord = db->CreateEntity("CHORD");
     ASSERT_TRUE(chord.ok());
     ASSERT_TRUE(
-        db_.SetAttribute(*chord, "name", rel::Value::Int(1)).ok());
+        db->SetAttribute(*chord, "name", rel::Value::Int(1)).ok());
     for (int i = 0; i < kNotes; ++i) {
-      auto note = db_.CreateEntity("NOTE");
+      auto note = db->CreateEntity("NOTE");
       ASSERT_TRUE(note.ok());
       ASSERT_TRUE(
-          db_.SetAttribute(*note, "name", rel::Value::Int(i)).ok());
-      ASSERT_TRUE(db_.AppendChild("note_in_chord", *chord, *note).ok());
+          db->SetAttribute(*note, "name", rel::Value::Int(i)).ok());
+      ASSERT_TRUE(db->AppendChild("note_in_chord", *chord, *note).ok());
     }
   }
+
+  void SetUp() override { SeedDb(&db_); }
 
   void TearDown() override {
     if (server_) server_->Stop();
@@ -389,6 +490,89 @@ TEST_F(NetServerTest, DdlAndMutationsOverTheWire) {
   EXPECT_EQ(rs->At(0, 0).AsInt(), 1);
   // The mutation is visible in-process too: one shared database.
   EXPECT_EQ(*db_.CountEntities("LYRIC"), 1u);
+}
+
+TEST_F(NetServerTest, BatchExecutesInOneRoundTripWithLastResult) {
+  StartServer();
+  auto conn = Connection::Remote("127.0.0.1", server_->port());
+  ASSERT_TRUE(conn.ok());
+  auto br = conn->ExecuteBatch({
+      "define entity LYRIC (text = string)",
+      "append to LYRIC (text = \"la\")",
+      "append to LYRIC (text = \"da\")",
+      "retrieve (k = count(LYRIC.text))",
+  });
+  ASSERT_TRUE(br.ok()) << br.status().ToString();
+  EXPECT_TRUE(br->all_ok());
+  ASSERT_EQ(br->statements.size(), 4u);
+  EXPECT_EQ(br->statements[0].affected, 1u);  // one entity type defined
+  EXPECT_EQ(br->statements[1].affected, 1u);
+  EXPECT_EQ(br->statements[2].affected, 1u);
+  // The last statement's ResultSet rides along in the same round trip.
+  ASSERT_EQ(br->last.rows.size(), 1u);
+  EXPECT_EQ(br->last.At(0, 0).AsInt(), 2);
+  // Applied on the shared database, not a shadow copy.
+  EXPECT_EQ(*db_.CountEntities("LYRIC"), 2u);
+}
+
+TEST_F(NetServerTest, BatchMatchesLocalSemantics) {
+  StartServer();
+  auto remote = Connection::Remote("127.0.0.1", server_->port());
+  ASSERT_TRUE(remote.ok());
+  er::Database local_db;
+  SeedDb(&local_db);  // identical seed to the fixture's remote db
+  Connection local = Connection::Local(&local_db);
+  std::vector<std::string> scripts = {
+      "append to NOTE (name = 41)",
+      "append to NOTE (name = 43)",
+      "range of n is NOTE\nretrieve (n.name) where n.name > 40",
+  };
+  auto rr = remote->ExecuteBatch(scripts);
+  auto lr = local.ExecuteBatch(scripts);
+  ASSERT_TRUE(rr.ok()) << rr.status().ToString();
+  ASSERT_TRUE(lr.ok()) << lr.status().ToString();
+  EXPECT_TRUE(rr->all_ok());
+  EXPECT_TRUE(lr->all_ok());
+  ASSERT_EQ(rr->statements.size(), lr->statements.size());
+  for (size_t i = 0; i < rr->statements.size(); ++i)
+    EXPECT_EQ(rr->statements[i].affected, lr->statements[i].affected) << i;
+  EXPECT_EQ(rr->last.ToString(), lr->last.ToString());
+}
+
+TEST_F(NetServerTest, BatchStopsAtFirstErrorCodeIntact) {
+  StartServer();
+  auto conn = Connection::Remote("127.0.0.1", server_->port());
+  ASSERT_TRUE(conn.ok());
+  auto br = conn->ExecuteBatch({
+      "append to NOTE (name = 999)",
+      "retrieve (NOPE.x)",          // fails: no such entity type
+      "append to NOTE (name = 1000)",  // never attempted
+  });
+  ASSERT_TRUE(br.ok()) << br.status().ToString();
+  EXPECT_FALSE(br->all_ok());
+  ASSERT_EQ(br->statements.size(), 2u);  // prefix-stop after the failure
+  EXPECT_TRUE(br->statements[0].status.ok());
+  EXPECT_EQ(br->statements[1].status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(br->statements[1].status.error_code(), ErrorCode::NOT_FOUND);
+  EXPECT_EQ(br->failed_index(), 1u);
+  EXPECT_EQ(br->first_error().code(), StatusCode::kNotFound);
+  // The applied prefix committed; the tail never ran.
+  auto rs = conn->Execute("range of n is NOTE\n"
+                          "retrieve (k = count(n.name)) where n.name > 900");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->At(0, 0).AsInt(), 1);
+}
+
+TEST_F(NetServerTest, EmptyBatchIsOkAndEmpty) {
+  StartServer();
+  auto conn = Connection::Remote("127.0.0.1", server_->port());
+  ASSERT_TRUE(conn.ok());
+  auto br = conn->ExecuteBatch({});
+  ASSERT_TRUE(br.ok()) << br.status().ToString();
+  EXPECT_TRUE(br->all_ok());
+  EXPECT_EQ(br->submitted, 0u);
+  EXPECT_TRUE(br->statements.empty());
+  EXPECT_TRUE(br->last.rows.empty());
 }
 
 TEST_F(NetServerTest, ErrorsArriveCodeIntact) {
